@@ -1,0 +1,107 @@
+//! Property-based tests for the authentication substrate.
+
+use proptest::prelude::*;
+use sensorsafe_auth::{
+    constant_time_eq, from_hex, hmac_sha256, sha256, to_hex, ApiKey, KeyRing, Principal, Role,
+    Sha256,
+};
+
+proptest! {
+    /// Hex encode/decode round-trips arbitrary bytes.
+    #[test]
+    fn hex_roundtrip(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        let hex = to_hex(&data);
+        prop_assert_eq!(hex.len(), data.len() * 2);
+        prop_assert_eq!(from_hex(&hex).unwrap(), data);
+    }
+
+    /// Incremental hashing equals one-shot hashing for any split.
+    #[test]
+    fn sha256_incremental_equals_oneshot(
+        data in prop::collection::vec(any::<u8>(), 0..512),
+        split_points in prop::collection::vec(any::<prop::sample::Index>(), 0..4),
+    ) {
+        let expected = sha256(&data);
+        let mut cuts: Vec<usize> = split_points.iter().map(|i| i.index(data.len() + 1)).collect();
+        cuts.sort_unstable();
+        let mut hasher = Sha256::new();
+        let mut prev = 0;
+        for cut in cuts {
+            hasher.update(&data[prev..cut]);
+            prev = cut;
+        }
+        hasher.update(&data[prev..]);
+        prop_assert_eq!(hasher.finalize(), expected);
+    }
+
+    /// SHA-256 has no trivial collisions on small perturbations.
+    #[test]
+    fn sha256_bitflip_changes_digest(
+        data in prop::collection::vec(any::<u8>(), 1..256),
+        byte in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let mut flipped = data.clone();
+        let i = byte.index(data.len());
+        flipped[i] ^= 1 << bit;
+        prop_assert_ne!(sha256(&data), sha256(&flipped));
+    }
+
+    /// HMAC differs under key or message perturbation.
+    #[test]
+    fn hmac_sensitivity(
+        key in prop::collection::vec(any::<u8>(), 0..100),
+        msg in prop::collection::vec(any::<u8>(), 0..100),
+    ) {
+        let base = hmac_sha256(&key, &msg);
+        let mut key2 = key.clone();
+        key2.push(1);
+        prop_assert_ne!(hmac_sha256(&key2, &msg), base);
+        let mut msg2 = msg.clone();
+        msg2.push(1);
+        prop_assert_ne!(hmac_sha256(&key, &msg2), base);
+    }
+
+    /// constant_time_eq agrees with ==.
+    #[test]
+    fn ct_eq_correct(
+        a in prop::collection::vec(any::<u8>(), 0..64),
+        b in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        prop_assert_eq!(constant_time_eq(&a, &b), a == b);
+        prop_assert!(constant_time_eq(&a, &a));
+    }
+
+    /// Seed-derived keys round-trip through the wire form and verify.
+    #[test]
+    fn api_key_wire_roundtrip(seed in prop::collection::vec(any::<u8>(), 0..64)) {
+        let key = ApiKey::from_seed(&seed);
+        let parsed = ApiKey::parse(&key.to_hex()).unwrap();
+        prop_assert!(key.verify(&parsed));
+    }
+
+    /// A keyring never authenticates a key it didn't issue.
+    #[test]
+    fn keyring_rejects_foreign_keys(
+        registered_seeds in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..16), 1..8),
+        foreign_seed in prop::collection::vec(any::<u8>(), 17..32),
+    ) {
+        let ring = KeyRing::new();
+        for (i, seed) in registered_seeds.iter().enumerate() {
+            let key = ApiKey::from_seed(seed);
+            ring.register_key(&key, Principal { name: format!("u{i}"), role: Role::Consumer });
+        }
+        // Foreign seeds are longer than any registered seed, so the key
+        // is distinct with overwhelming probability.
+        let foreign = ApiKey::from_seed(&foreign_seed);
+        prop_assert!(ring.authenticate(&foreign.to_hex()).is_none());
+        // Registered ones all authenticate.
+        for (i, seed) in registered_seeds.iter().enumerate() {
+            let key = ApiKey::from_seed(seed);
+            // Duplicate seeds overwrite; whoever holds the key gets the
+            // last principal. Either way authentication succeeds.
+            let principal = ring.authenticate(&key.to_hex());
+            prop_assert!(principal.is_some(), "seed {i} lost");
+        }
+    }
+}

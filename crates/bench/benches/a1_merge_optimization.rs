@@ -1,0 +1,83 @@
+//! A1 — §5.1's merge optimization ablation.
+//!
+//! "If this packet is directly converted to a wave segment, there will
+//! be too many wave segments in total decreasing the query performance."
+//! Measures query latency with merging disabled (one segment per
+//! 64-sample Zephyr packet) versus enabled at several caps, plus the
+//! ingest-side cost of merging.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sensorsafe_bench::{chest_packets, segment_store_with, DAY_START};
+use sensorsafe_core::store::{MergePolicy, Query, SegmentStore};
+use sensorsafe_core::types::{TimeRange, Timestamp};
+use std::hint::black_box;
+
+const PACKETS: usize = 2812; // one hour
+
+fn full_scan_query() -> Query {
+    Query::all().in_time(TimeRange::new(
+        Timestamp::from_millis(DAY_START),
+        Timestamp::from_millis(DAY_START + 3600 * 1000),
+    ))
+}
+
+fn point_query() -> Query {
+    // One second somewhere in the middle.
+    let t = DAY_START + 1800 * 1000;
+    Query::all().in_time(TimeRange::new(
+        Timestamp::from_millis(t),
+        Timestamp::from_millis(t + 1000),
+    ))
+}
+
+fn policies() -> Vec<(&'static str, MergePolicy)> {
+    vec![
+        ("disabled_64_per_segment", MergePolicy::disabled()),
+        ("cap_512", MergePolicy { enabled: true, max_rows: 512 }),
+        ("cap_8192_default", MergePolicy::default()),
+        ("cap_unbounded", MergePolicy { enabled: true, max_rows: usize::MAX }),
+    ]
+}
+
+fn bench_query_vs_merge_policy(c: &mut Criterion) {
+    let packets = chest_packets(PACKETS);
+    let stores: Vec<(&str, SegmentStore)> = policies()
+        .into_iter()
+        .map(|(name, policy)| (name, segment_store_with(&packets, policy)))
+        .collect();
+    let scan = full_scan_query();
+    let point = point_query();
+    let mut scan_group = c.benchmark_group("a1_hour_scan_query");
+    for (name, store) in &stores {
+        scan_group.bench_with_input(BenchmarkId::from_parameter(name), store, |b, store| {
+            b.iter(|| black_box(store.query(black_box(&scan)).len()))
+        });
+    }
+    scan_group.finish();
+    let mut point_group = c.benchmark_group("a1_one_second_point_query");
+    for (name, store) in &stores {
+        point_group.bench_with_input(BenchmarkId::from_parameter(name), store, |b, store| {
+            b.iter(|| black_box(store.query(black_box(&point)).len()))
+        });
+    }
+    point_group.finish();
+}
+
+fn bench_ingest_cost_of_merging(c: &mut Criterion) {
+    let packets = chest_packets(512);
+    let mut group = c.benchmark_group("a1_ingest_512_packets");
+    group.sample_size(20);
+    for (name, policy) in policies() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &policy,
+            |b, policy| {
+                b.iter(|| black_box(segment_store_with(&packets, *policy).stats().segments))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_vs_merge_policy, bench_ingest_cost_of_merging);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! A2 — §5.2 contributor search scaling.
+//!
+//! The paper's example query — "finding data contributors who share ECG
+//! and respiration sensor data at the location labeled 'work' from 9am
+//! to 6pm on weekdays" — run against rule mirrors of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sensorsafe_bench::synthetic_rules;
+use sensorsafe_core::policy::{ConsumerCtx, RuleIndex, SearchQuery};
+use sensorsafe_core::types::{ContextKind, ContributorId, RepeatTime};
+use std::hint::black_box;
+
+fn paper_query() -> SearchQuery {
+    SearchQuery {
+        consumer: ConsumerCtx::user("bob"),
+        raw_channels: vec!["ecg".into(), "respiration".into()],
+        location_labels: vec!["work".into()],
+        repeat: Some(RepeatTime::weekdays_nine_to_six()),
+        ..Default::default()
+    }
+}
+
+fn driving_stress_query() -> SearchQuery {
+    SearchQuery {
+        consumer: ConsumerCtx::user("bob"),
+        raw_channels: vec!["ecg".into(), "respiration".into()],
+        active_contexts: vec![ContextKind::Drive],
+        ..Default::default()
+    }
+}
+
+fn index_with(contributors: usize, rules_each: usize) -> RuleIndex {
+    let mut index = RuleIndex::new();
+    for i in 0..contributors {
+        index.sync(
+            ContributorId::new(format!("contributor-{i:05}")),
+            1,
+            synthetic_rules(i, rules_each),
+        );
+    }
+    index
+}
+
+fn bench_search_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a2_search_vs_contributors");
+    for n in [10usize, 100, 1_000, 10_000] {
+        let index = index_with(n, 4);
+        let query = paper_query();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &index, |b, index| {
+            b.iter(|| black_box(index.search(black_box(&query)).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_search_vs_rules_per_contributor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a2_search_vs_rules_per_contributor");
+    for rules_each in [1usize, 4, 16, 32] {
+        let index = index_with(500, rules_each);
+        let query = driving_stress_query();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(rules_each),
+            &index,
+            |b, index| b.iter(|| black_box(index.search(black_box(&query)).len())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_sync_throughput(c: &mut Criterion) {
+    // The push-sync write path: how fast can the mirror absorb rule
+    // updates?
+    c.bench_function("a2_sync_one_update_into_1000", |b| {
+        let mut index = index_with(1_000, 4);
+        let mut epoch = 2u64;
+        b.iter(|| {
+            epoch += 1;
+            black_box(index.sync(
+                ContributorId::new("contributor-00500"),
+                epoch,
+                synthetic_rules(7, 4),
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_search_scaling,
+    bench_search_vs_rules_per_contributor,
+    bench_sync_throughput
+);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! F1 — Fig. 1's architectural claim: "The broker is not a performance
+//! bottleneck because sensor data are directly transferred from each
+//! remote data store to data consumers."
+//!
+//! Compares the SensorSafe data path (broker serves only the access
+//! list; data flows store→consumer) against a strawman broker that
+//! relays the data itself, as contributor count grows. The broker-side
+//! work per downloaded megabyte should stay flat in the SensorSafe
+//! design and grow linearly in the strawman.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sensorsafe_bench::alice_scenario;
+use sensorsafe_core::net::{LocalTransport, Request, Response, Service, Transport};
+use sensorsafe_core::store::Query;
+use sensorsafe_core::{json, Deployment};
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// Builds a deployment with `n` contributors (all sharing), returning
+/// the consumer app plus direct store transport for the strawman.
+fn deployment_with(n: usize) -> (Deployment, sensorsafe_core::ConsumerApp) {
+    let mut deployment = Deployment::in_process();
+    deployment.add_store("store-1");
+    for i in 0..n {
+        let handle = deployment
+            .register_contributor("store-1", &format!("c{i}"))
+            .unwrap();
+        handle.upload_scenario(&alice_scenario(i as u64)).unwrap();
+        handle.set_rules(&json!([{"Action": "Allow"}])).unwrap();
+    }
+    let bob = deployment.register_consumer("bob").unwrap();
+    let names: Vec<String> = (0..n).map(|i| format!("c{i}")).collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    bob.add_contributors(&refs).unwrap();
+    (deployment, bob)
+}
+
+/// The strawman: every byte of data relayed through a broker-side proxy
+/// handler (an extra hop + copy on the broker).
+struct RelayBroker {
+    store: Arc<dyn Transport>,
+}
+
+impl Service for RelayBroker {
+    fn handle(&self, request: &Request) -> Response {
+        // Forward verbatim and copy the response back out — exactly what
+        // a data-relaying broker would do.
+        match self.store.round_trip(request) {
+            Ok(resp) => resp,
+            Err(_) => Response::error(
+                sensorsafe_core::net::Status::InternalError,
+                "relay failed",
+            ),
+        }
+    }
+}
+
+fn bench_direct_vs_relayed(c: &mut Criterion) {
+    let (deployment, bob) = deployment_with(4);
+    let query = Query::all();
+    // Direct path: consumer → store.
+    let mut group = c.benchmark_group("f1_download_4_contributors");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(4));
+    group.bench_function("sensorsafe_direct", |b| {
+        b.iter(|| {
+            let results = bob.download_all(&query).unwrap();
+            black_box(results.iter().map(|(_, v)| v.raw_samples()).sum::<usize>())
+        })
+    });
+    // Strawman: same requests through the relay hop.
+    let store_transport = (deployment.transports())("store-1");
+    let relay: Arc<dyn Service> = Arc::new(RelayBroker {
+        store: store_transport,
+    });
+    let relay_transport = LocalTransport::new(relay);
+    let access = bob.access_list().unwrap();
+    group.bench_function("strawman_broker_relay", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for entry in &access {
+                let body = json!({
+                    "key": (entry.api_key.clone()),
+                    "contributor": (entry.contributor.clone()),
+                    "query": (query.to_json()),
+                });
+                let resp = relay_transport
+                    .round_trip(&Request::post_json("/api/query", &body))
+                    .unwrap();
+                total += resp.body.len();
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+fn bench_broker_metadata_path_scaling(c: &mut Criterion) {
+    // The broker's own per-download work (serving the access list) as
+    // contributor count grows: this is all the broker ever does on the
+    // data path.
+    let mut group = c.benchmark_group("f1_broker_access_list");
+    group.sample_size(20);
+    for n in [1usize, 8, 32] {
+        let (_deployment, bob) = deployment_with(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &bob, |b, bob| {
+            b.iter(|| black_box(bob.access_list().unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_direct_vs_relayed, bench_broker_metadata_path_scaling);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! F4 — Fig. 4: privacy-rule JSON parsing and serialization throughput
+//! (the wire format every rule edit and broker sync pays for).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sensorsafe_bench::synthetic_rules;
+use sensorsafe_core::policy::PrivacyRule;
+use std::hint::black_box;
+
+const FIG4: &str = r#"[{ 'Consumer': ['Bob'],
+ 'LocationLabel': ['UCLA'],
+ 'Action': 'Allow'
+},
+{ 'Consumer': ['Bob'],
+ 'LocationLabel': ['UCLA'],
+ 'RepeatTime': { 'Day': ['Mon', 'Tue', 'Wed', 'Thu', 'Fri'],
+ 'HourMin': ['9:00am', '6:00pm']},
+ 'Context': ['Conversation'],
+ 'Action': { 'Abstraction': { 'Stress': 'NotShared' } }
+}]"#;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f4_fig4_document");
+    group.throughput(Throughput::Bytes(FIG4.len() as u64));
+    group.bench_function("parse", |b| {
+        b.iter(|| black_box(PrivacyRule::parse_rules(black_box(FIG4)).unwrap().len()))
+    });
+    let rules = PrivacyRule::parse_rules(FIG4).unwrap();
+    group.bench_function("serialize", |b| {
+        b.iter(|| black_box(PrivacyRule::rules_to_json(black_box(&rules)).to_string().len()))
+    });
+    group.finish();
+}
+
+fn bench_rule_set_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f4_parse_vs_rule_count");
+    for n in [2usize, 16, 128] {
+        let rules: Vec<PrivacyRule> = (0..n)
+            .flat_map(|i| synthetic_rules(i, 2))
+            .take(n)
+            .collect();
+        let text = PrivacyRule::rules_to_json(&rules).to_string();
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &text, |b, text| {
+            b.iter(|| black_box(PrivacyRule::parse_rules(black_box(text)).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4, bench_rule_set_size);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! F5 — Fig. 5's wave-segment representation vs per-sample tuples.
+//!
+//! The paper: "Storing the time series of sensor data as individual
+//! tuples is inefficient both in terms of storage size and querying
+//! time." This bench loads identical chest-band workloads into the
+//! [`TupleStore`] baseline and the wave-segment store, then measures
+//! range-query latency; the companion `report` binary prints the
+//! storage-size comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sensorsafe_bench::{chest_packets, segment_store_with, tuple_store_with, DAY_START};
+use sensorsafe_core::store::{MergePolicy, Query, TupleStore};
+use sensorsafe_core::types::{TimeRange, Timestamp};
+use std::hint::black_box;
+
+/// One hour of 50 Hz chest data = 2812 packets.
+const PACKETS: usize = 2812;
+
+fn mid_range_query() -> Query {
+    // A 5-minute window in the middle of the hour.
+    let start = DAY_START + 25 * 60 * 1000;
+    Query::all().in_time(TimeRange::new(
+        Timestamp::from_millis(start),
+        Timestamp::from_millis(start + 5 * 60 * 1000),
+    ))
+}
+
+fn bench_query_latency(c: &mut Criterion) {
+    let packets = chest_packets(PACKETS);
+    let tuple_store: TupleStore = tuple_store_with(&packets);
+    let merged = segment_store_with(&packets, MergePolicy::default());
+    let unmerged = segment_store_with(&packets, MergePolicy::disabled());
+    let query = mid_range_query();
+    let samples_hit = 5 * 60 * 50u64;
+    let mut group = c.benchmark_group("f5_range_query_5min_of_1h");
+    group.throughput(Throughput::Elements(samples_hit));
+    group.bench_function("tuple_baseline", |b| {
+        b.iter(|| black_box(tuple_store.query(black_box(&query)).len()))
+    });
+    group.bench_function("wave_segments_unmerged_64", |b| {
+        b.iter(|| black_box(unmerged.query(black_box(&query)).len()))
+    });
+    group.bench_function("wave_segments_merged", |b| {
+        b.iter(|| black_box(merged.query(black_box(&query)).len()))
+    });
+    group.finish();
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let packets = chest_packets(256);
+    let mut group = c.benchmark_group("f5_ingest_256_packets");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(256 * 64));
+    group.bench_function("tuple_baseline", |b| {
+        b.iter(|| black_box(tuple_store_with(&packets).len()))
+    });
+    group.bench_function("wave_segments_merged", |b| {
+        b.iter(|| {
+            black_box(
+                segment_store_with(&packets, MergePolicy::default())
+                    .stats()
+                    .segments,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_segment_size_sweep(c: &mut Criterion) {
+    // Query latency as a function of samples-per-segment (the paper's
+    // "large enough number of samples" argument).
+    let packets = chest_packets(PACKETS);
+    let query = mid_range_query();
+    let mut group = c.benchmark_group("f5_samples_per_segment_sweep");
+    for cap in [64usize, 256, 1024, 4096, 16384] {
+        let store = segment_store_with(
+            &packets,
+            MergePolicy {
+                enabled: cap > 64,
+                max_rows: cap,
+            },
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &store, |b, store| {
+            b.iter(|| black_box(store.query(black_box(&query)).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_query_latency,
+    bench_ingest,
+    bench_segment_size_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! T1 — Table 1: rule-evaluation throughput per condition type.
+//!
+//! Measures the access-control engine's per-window decision latency for
+//! each condition kind in isolation, for the combined Table 1 rule set,
+//! and as rule-set size scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sensorsafe_bench::table1_rule_set;
+use sensorsafe_core::policy::{
+    evaluate, Action, Conditions, ConsumerCtx, ConsumerSelector, DependencyGraph,
+    LocationCondition, PrivacyRule, TimeCondition, WindowCtx,
+};
+use sensorsafe_core::types::{
+    ChannelId, ContextKind, ContextState, GeoPoint, RepeatTime, Region, Timestamp,
+};
+use std::hint::black_box;
+
+fn window() -> WindowCtx {
+    WindowCtx {
+        time: Timestamp::from_civil(2011, 7, 4).plus_millis(10 * 3600 * 1000),
+        location: Some(GeoPoint::ucla()),
+        location_labels: vec!["UCLA".into()],
+        contexts: vec![
+            ContextState::on(ContextKind::Drive),
+            ContextState::on(ContextKind::Stress),
+            ContextState::off(ContextKind::Conversation),
+        ],
+    }
+}
+
+fn channels() -> Vec<ChannelId> {
+    ["ecg", "respiration", "accel_mag", "audio_energy", "gps_lat", "gps_lon"]
+        .iter()
+        .map(|c| ChannelId::new(*c))
+        .collect()
+}
+
+fn per_condition_rules() -> Vec<(&'static str, PrivacyRule)> {
+    vec![
+        ("consumer", PrivacyRule {
+            conditions: Conditions {
+                consumers: vec![ConsumerSelector::User("bob".into())],
+                ..Default::default()
+            },
+            action: Action::Allow,
+        }),
+        ("location-label", PrivacyRule {
+            conditions: Conditions {
+                location: Some(LocationCondition {
+                    labels: vec!["UCLA".into()],
+                    regions: vec![],
+                }),
+                ..Default::default()
+            },
+            action: Action::Allow,
+        }),
+        ("location-region", PrivacyRule {
+            conditions: Conditions {
+                location: Some(LocationCondition {
+                    labels: vec![],
+                    regions: vec![Region::around(GeoPoint::ucla(), 0.01)],
+                }),
+                ..Default::default()
+            },
+            action: Action::Allow,
+        }),
+        ("time-repeat", PrivacyRule {
+            conditions: Conditions {
+                time: Some(TimeCondition {
+                    ranges: vec![],
+                    repeats: vec![RepeatTime::weekdays_nine_to_six()],
+                }),
+                ..Default::default()
+            },
+            action: Action::Allow,
+        }),
+        ("sensor", PrivacyRule {
+            conditions: Conditions {
+                sensors: vec!["ecg".into()],
+                ..Default::default()
+            },
+            action: Action::Allow,
+        }),
+        ("context", PrivacyRule {
+            conditions: Conditions {
+                contexts: vec![ContextKind::Drive],
+                ..Default::default()
+            },
+            action: Action::Deny,
+        }),
+    ]
+}
+
+fn bench_condition_types(c: &mut Criterion) {
+    let graph = DependencyGraph::paper();
+    let bob = ConsumerCtx::user("bob");
+    let w = window();
+    let chans = channels();
+    let mut group = c.benchmark_group("t1_condition_types");
+    for (name, rule) in per_condition_rules() {
+        let rules = vec![rule];
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(evaluate(
+                    black_box(&rules),
+                    &bob,
+                    &w,
+                    &chans,
+                    &graph,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_table(c: &mut Criterion) {
+    let graph = DependencyGraph::paper();
+    let bob = ConsumerCtx::user("bob");
+    let w = window();
+    let chans = channels();
+    let rules = table1_rule_set();
+    c.bench_function("t1_full_table1_rule_set", |b| {
+        b.iter(|| black_box(evaluate(&rules, &bob, &w, &chans, &graph)))
+    });
+}
+
+fn bench_rule_count_scaling(c: &mut Criterion) {
+    let graph = DependencyGraph::paper();
+    let bob = ConsumerCtx::user("bob");
+    let w = window();
+    let chans = channels();
+    let mut group = c.benchmark_group("t1_rule_count_scaling");
+    for n in [1usize, 8, 32, 128] {
+        let rules: Vec<PrivacyRule> = (0..n)
+            .map(|i| sensorsafe_bench::synthetic_rules(i, 2).pop().unwrap())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &rules, |b, rules| {
+            b.iter(|| black_box(evaluate(rules, &bob, &w, &chans, &graph)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_condition_types,
+    bench_full_table,
+    bench_rule_count_scaling
+);
+criterion_main!(benches);

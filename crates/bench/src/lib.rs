@@ -1,0 +1,195 @@
+//! Shared workload builders for the SensorSafe benchmark harness.
+//!
+//! Each bench target regenerates one paper artifact (see DESIGN.md §4
+//! and EXPERIMENTS.md); this crate holds the workload constructors they
+//! share so benches and the `report` binary measure identical inputs.
+
+use sensorsafe_core::policy::{
+    AbstractionSpec, Action, BinaryAbs, Conditions, ConsumerSelector, LocationCondition,
+    PrivacyRule, TimeCondition,
+};
+use sensorsafe_core::sim::Scenario;
+use sensorsafe_core::store::{MergePolicy, SegmentStore, TupleStore};
+use sensorsafe_core::types::{
+    ChannelSpec, ContextKind, GeoPoint, RepeatTime, Region, SegmentMeta, Timestamp, Timing,
+    WaveSegment,
+};
+
+/// Day-start timestamp used across all workloads.
+pub const DAY_START: i64 = 1_311_500_000_000;
+
+/// Builds `n_packets` consecutive Zephyr-style 64-sample chest packets
+/// (ECG i16 + respiration f32 at 50 Hz).
+pub fn chest_packets(n_packets: usize) -> Vec<WaveSegment> {
+    let hz = 50.0;
+    (0..n_packets)
+        .map(|p| {
+            let start = DAY_START + (p * 64 * 20) as i64;
+            let meta = SegmentMeta {
+                timing: Timing::Uniform {
+                    start: Timestamp::from_millis(start),
+                    interval_secs: 1.0 / hz,
+                },
+                location: Some(GeoPoint::ucla()),
+                format: vec![ChannelSpec::i16("ecg"), ChannelSpec::f32("respiration")],
+            };
+            let rows: Vec<Vec<f64>> = (0..64)
+                .map(|i| {
+                    let t = (p * 64 + i) as f64;
+                    vec![(t * 1.3).sin() * 400.0, 300.0 + (t / 25.0).sin() * 40.0]
+                })
+                .collect();
+            WaveSegment::from_rows(meta, &rows).expect("valid packet")
+        })
+        .collect()
+}
+
+/// Loads packets into a segment store with the given merge policy.
+pub fn segment_store_with(packets: &[WaveSegment], merge: MergePolicy) -> SegmentStore {
+    let mut store = SegmentStore::in_memory(merge);
+    for p in packets {
+        store.insert_segment(p.clone()).expect("in-memory insert");
+    }
+    store
+}
+
+/// Loads the same packets into the per-tuple baseline.
+pub fn tuple_store_with(packets: &[WaveSegment]) -> TupleStore {
+    let mut store = TupleStore::new();
+    for p in packets {
+        store.insert_segment(p);
+    }
+    store
+}
+
+/// A rule set with one rule per Table 1 condition type, for T1.
+pub fn table1_rule_set() -> Vec<PrivacyRule> {
+    vec![
+        PrivacyRule::allow_all(),
+        PrivacyRule {
+            conditions: Conditions {
+                consumers: vec![ConsumerSelector::User("bob".into())],
+                ..Default::default()
+            },
+            action: Action::Allow,
+        },
+        PrivacyRule {
+            conditions: Conditions {
+                location: Some(LocationCondition {
+                    labels: vec!["UCLA".into()],
+                    regions: vec![Region::around(GeoPoint::ucla(), 0.01)],
+                }),
+                ..Default::default()
+            },
+            action: Action::Deny,
+        },
+        PrivacyRule {
+            conditions: Conditions {
+                time: Some(TimeCondition {
+                    ranges: vec![],
+                    repeats: vec![RepeatTime::weekdays_nine_to_six()],
+                }),
+                ..Default::default()
+            },
+            action: Action::Deny,
+        },
+        PrivacyRule {
+            conditions: Conditions {
+                sensors: vec!["ecg".into()],
+                contexts: vec![ContextKind::Drive],
+                ..Default::default()
+            },
+            action: Action::Deny,
+        },
+        PrivacyRule {
+            conditions: Conditions {
+                contexts: vec![ContextKind::Conversation],
+                ..Default::default()
+            },
+            action: Action::Abstraction(AbstractionSpec {
+                stress: Some(BinaryAbs::NotShared),
+                ..Default::default()
+            }),
+        },
+    ]
+}
+
+/// Synthetic per-contributor rule sets for the A2 search bench,
+/// deterministic in `i`. Contributors fall into four equal classes:
+/// driving-deniers, at-work-deniers, smoking-abstractors, and
+/// unrestricted sharers; `rules_per_contributor` pads the set with
+/// consumer-scoped allow rules so rule-count scaling can be measured
+/// without changing the class mix.
+pub fn synthetic_rules(i: usize, rules_per_contributor: usize) -> Vec<PrivacyRule> {
+    let mut rules = vec![PrivacyRule::allow_all()];
+    let restriction = match i % 4 {
+        0 => Some(PrivacyRule {
+            conditions: Conditions {
+                contexts: vec![ContextKind::Drive],
+                sensors: vec!["ecg".into(), "respiration".into()],
+                ..Default::default()
+            },
+            action: Action::Deny,
+        }),
+        1 => Some(PrivacyRule {
+            conditions: Conditions {
+                location: Some(LocationCondition {
+                    labels: vec!["work".into()],
+                    regions: vec![],
+                }),
+                ..Default::default()
+            },
+            action: Action::Deny,
+        }),
+        2 => Some(PrivacyRule {
+            conditions: Conditions::default(),
+            action: Action::Abstraction(AbstractionSpec {
+                smoking: Some(BinaryAbs::Label),
+                ..Default::default()
+            }),
+        }),
+        _ => None, // unrestricted sharer
+    };
+    rules.extend(restriction);
+    while rules.len() < rules_per_contributor {
+        rules.push(PrivacyRule {
+            conditions: Conditions {
+                consumers: vec![ConsumerSelector::User(
+                    format!("colleague-{}", rules.len()).as_str().into(),
+                )],
+                ..Default::default()
+            },
+            action: Action::Allow,
+        });
+    }
+    rules.truncate(rules_per_contributor.max(1));
+    rules
+}
+
+/// The canonical Alice day used by device benches.
+pub fn alice_scenario(seed: u64) -> Scenario {
+    Scenario::alice_day(Timestamp::from_millis(DAY_START), seed, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chest_packets_are_mergeable() {
+        let packets = chest_packets(10);
+        assert_eq!(packets.len(), 10);
+        assert!(packets[0].can_merge(&packets[1]));
+        let store = segment_store_with(&packets, MergePolicy::default());
+        assert_eq!(store.stats().segments, 1);
+        let tuples = tuple_store_with(&packets);
+        assert_eq!(tuples.len(), 640);
+    }
+
+    #[test]
+    fn workload_rule_sets_parse() {
+        assert_eq!(table1_rule_set().len(), 6);
+        assert_eq!(synthetic_rules(0, 4).len(), 4);
+        assert_eq!(synthetic_rules(5, 1).len(), 1);
+    }
+}

@@ -1,0 +1,24 @@
+//! The SensorSafe broker (Fig. 2 right, §5.2).
+//!
+//! The broker makes a *distributed* fleet of remote data stores usable:
+//! it records every contributor's identity and data-store address,
+//! mirrors their privacy rules for **contributor search**, automates
+//! consumer registration at each store (key escrow, §5.4), and lets
+//! consumers keep named contributor lists. Sensor data never flows
+//! through the broker — consumers download directly from the stores
+//! (the F1 bench measures exactly this property).
+//!
+//! * [`registry`] — contributor → store-address registry, paired-store
+//!   records, consumer accounts with escrowed keys and saved lists.
+//! * [`service`] — the HTTP API: `/api/sync` (rule mirror, pushed by
+//!   stores), `/api/register`, `/api/stores/register`,
+//!   `/api/consumers/*` (escrow + lists), `/api/search`.
+//! * [`web`] — the broker's web UI: contributor search form and result
+//!   lists.
+
+pub mod registry;
+pub mod service;
+pub mod web;
+
+pub use registry::{BrokerRegistry, ConsumerRecord, StoreAccess, StoreRecord};
+pub use service::{BrokerConfig, BrokerService, TransportFactory};

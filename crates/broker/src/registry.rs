@@ -1,0 +1,124 @@
+//! Broker-side registries: stores, contributors, consumers, escrowed
+//! keys.
+
+use sensorsafe_types::{ConsumerId, ContributorId, GroupId, StoreAddr, StudyId};
+use std::collections::BTreeMap;
+
+/// A paired remote data store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreRecord {
+    /// Where consumers (and the broker) reach it.
+    pub addr: StoreAddr,
+    /// A `Role::Server` key on that store, used by the broker to
+    /// auto-register consumers there (§5.4 "the registration process is
+    /// automatically handled by the broker").
+    pub register_key: String,
+}
+
+/// A consumer's escrowed access to one contributor's store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreAccess {
+    /// The contributor whose data this unlocks.
+    pub contributor: ContributorId,
+    /// The contributor's store address.
+    pub addr: StoreAddr,
+    /// The consumer's API key **on that store** (escrowed at the broker;
+    /// "the list of API keys are stored on the broker").
+    pub api_key: String,
+}
+
+/// A consumer account at the broker.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConsumerRecord {
+    /// Group memberships (forwarded to stores at auto-registration).
+    pub groups: Vec<GroupId>,
+    /// Study enrollments.
+    pub studies: Vec<StudyId>,
+    /// Saved contributor list ("saves the list in his account", §6).
+    pub contributor_list: Vec<ContributorId>,
+    /// Escrowed per-store keys, by contributor.
+    pub access: BTreeMap<ContributorId, StoreAccess>,
+}
+
+/// All broker registries (callers wrap this in a lock).
+#[derive(Debug, Default)]
+pub struct BrokerRegistry {
+    /// Paired stores by address.
+    pub stores: BTreeMap<String, StoreRecord>,
+    /// Which store hosts each contributor.
+    pub contributors: BTreeMap<ContributorId, StoreAddr>,
+    /// Consumer accounts.
+    pub consumers: BTreeMap<ConsumerId, ConsumerRecord>,
+}
+
+impl BrokerRegistry {
+    /// Empty registry.
+    pub fn new() -> BrokerRegistry {
+        BrokerRegistry::default()
+    }
+
+    /// Records (or re-records) a paired store.
+    pub fn upsert_store(&mut self, record: StoreRecord) {
+        self.stores.insert(record.addr.as_str().to_string(), record);
+    }
+
+    /// Records which store hosts a contributor.
+    pub fn upsert_contributor(&mut self, contributor: ContributorId, addr: StoreAddr) {
+        self.contributors.insert(contributor, addr);
+    }
+
+    /// The store hosting a contributor, with its registration key.
+    pub fn store_of(&self, contributor: &ContributorId) -> Option<&StoreRecord> {
+        let addr = self.contributors.get(contributor)?;
+        self.stores.get(addr.as_str())
+    }
+
+    /// Number of registered contributors.
+    pub fn contributor_count(&self) -> usize {
+        self.contributors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_and_contributor_registry() {
+        let mut reg = BrokerRegistry::new();
+        reg.upsert_store(StoreRecord {
+            addr: StoreAddr::new("10.0.0.1:7001"),
+            register_key: "k1".into(),
+        });
+        reg.upsert_contributor(ContributorId::new("alice"), StoreAddr::new("10.0.0.1:7001"));
+        let store = reg.store_of(&ContributorId::new("alice")).unwrap();
+        assert_eq!(store.register_key, "k1");
+        assert_eq!(reg.contributor_count(), 1);
+        // Contributor on an unpaired store: no record.
+        reg.upsert_contributor(ContributorId::new("bob"), StoreAddr::new("10.0.0.9:7001"));
+        assert!(reg.store_of(&ContributorId::new("bob")).is_none());
+    }
+
+    #[test]
+    fn upsert_store_replaces() {
+        let mut reg = BrokerRegistry::new();
+        reg.upsert_store(StoreRecord {
+            addr: StoreAddr::new("a:1"),
+            register_key: "old".into(),
+        });
+        reg.upsert_store(StoreRecord {
+            addr: StoreAddr::new("a:1"),
+            register_key: "new".into(),
+        });
+        assert_eq!(reg.stores.len(), 1);
+        assert_eq!(reg.stores["a:1"].register_key, "new");
+    }
+
+    #[test]
+    fn consumer_record_defaults() {
+        let rec = ConsumerRecord::default();
+        assert!(rec.groups.is_empty());
+        assert!(rec.access.is_empty());
+        assert!(rec.contributor_list.is_empty());
+    }
+}

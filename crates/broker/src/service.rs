@@ -1,0 +1,864 @@
+//! The broker's HTTP API.
+//!
+//! | Endpoint | Who | Purpose |
+//! |---|---|---|
+//! | `GET /health` | anyone | liveness + registry stats |
+//! | `POST /api/register` | admin key | create consumer accounts (returns the consumer's broker key) |
+//! | `POST /api/stores/register` | admin key | pair a data store: record its address + registration key, mint its sync key |
+//! | `POST /api/contributors/register` | store key | record a contributor hosted at a store |
+//! | `POST /api/sync` | store key | mirror a contributor's privacy rules (§5.2) |
+//! | `POST /api/search` | consumer | contributor search over mirrored rules |
+//! | `POST /api/consumers/add` | consumer | auto-register at contributors' stores; escrow the keys |
+//! | `POST /api/consumers/access` | consumer | fetch the saved list with store addresses + escrowed keys |
+
+use crate::registry::{BrokerRegistry, ConsumerRecord, StoreAccess, StoreRecord};
+use parking_lot::{Mutex, RwLock};
+use sensorsafe_auth::{ApiKey, KeyRing, PasswordStore, Principal, Role, SessionManager};
+use sensorsafe_json::{json, Value};
+use sensorsafe_net::{Request, Response, Router, Service, Status, TcpTransport, Transport};
+use sensorsafe_policy::{ConsumerCtx, PrivacyRule, RuleIndex, SearchQuery};
+use sensorsafe_types::{
+    ChannelId, ConsumerId, ContextKind, ContributorId, GroupId, RepeatTime, StoreAddr, StudyId,
+    TimeOfDay, TimeRange, Timestamp, Weekday,
+};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Resolves a store address to a transport. Tests and in-process benches
+/// plug in local transports; production uses [`TcpTransport`].
+pub type TransportFactory = Arc<dyn Fn(&str) -> Arc<dyn Transport> + Send + Sync>;
+
+/// Construction-time configuration.
+#[derive(Clone)]
+pub struct BrokerConfig {
+    /// Human-readable name (web UI).
+    pub name: String,
+    /// How to reach data stores.
+    pub transports: TransportFactory,
+}
+
+impl Default for BrokerConfig {
+    /// TCP transports.
+    fn default() -> Self {
+        BrokerConfig {
+            name: "sensorsafe-broker".to_string(),
+            transports: Arc::new(|addr: &str| {
+                Arc::new(TcpTransport::new(addr)) as Arc<dyn Transport>
+            }),
+        }
+    }
+}
+
+pub(crate) struct Inner {
+    pub(crate) config: BrokerConfig,
+    pub(crate) registry: RwLock<BrokerRegistry>,
+    pub(crate) rules: Mutex<RuleIndex>,
+    pub(crate) keys: KeyRing,
+    pub(crate) passwords: PasswordStore,
+    pub(crate) sessions: SessionManager,
+}
+
+/// The broker service. Cheap to clone (shared state).
+#[derive(Clone)]
+pub struct BrokerService {
+    inner: Arc<Inner>,
+    router: Arc<Router>,
+}
+
+fn bad_request(msg: &str) -> Response {
+    Response::error(Status::BadRequest, msg)
+}
+
+fn unauthorized() -> Response {
+    Response::error(Status::Unauthorized, "invalid API key")
+}
+
+impl Inner {
+    pub(crate) fn authenticate(&self, body: &Value) -> Option<Principal> {
+        let key = body.get("key").and_then(Value::as_str)?;
+        self.keys.authenticate(key)
+    }
+
+    fn handle_health(&self) -> Response {
+        let registry = self.registry.read();
+        Response::json(&json!({
+            "ok": true,
+            "server": (self.config.name.clone()),
+            "stores": (registry.stores.len()),
+            "contributors": (registry.contributor_count()),
+            "consumers": (registry.consumers.len()),
+        }))
+    }
+
+    fn handle_register(&self, body: &Value) -> Response {
+        let Some(principal) = self.authenticate(body) else {
+            return unauthorized();
+        };
+        if principal.role != Role::Server {
+            return Response::error(Status::Forbidden, "registration requires the admin key");
+        }
+        let Some(name) = body.get("name").and_then(Value::as_str) else {
+            return bad_request("missing 'name'");
+        };
+        if name.is_empty() {
+            return bad_request("empty 'name'");
+        }
+        let groups: Vec<GroupId> = body
+            .get("groups")
+            .and_then(Value::as_string_list)
+            .unwrap_or_default()
+            .into_iter()
+            .map(GroupId::new)
+            .collect();
+        let studies: Vec<StudyId> = body
+            .get("studies")
+            .and_then(Value::as_string_list)
+            .unwrap_or_default()
+            .into_iter()
+            .map(StudyId::new)
+            .collect();
+        {
+            let mut registry = self.registry.write();
+            let id = ConsumerId::new(name);
+            if registry.consumers.contains_key(&id) {
+                return Response::error(Status::Conflict, "consumer already exists");
+            }
+            registry.consumers.insert(
+                id,
+                ConsumerRecord {
+                    groups,
+                    studies,
+                    ..Default::default()
+                },
+            );
+        }
+        let key = self.keys.register(Principal {
+            name: name.to_string(),
+            role: Role::Consumer,
+        });
+        Response::json_with_status(Status::Created, &json!({ "api_key": (key.to_hex()) }))
+    }
+
+    fn handle_store_register(&self, body: &Value) -> Response {
+        let Some(principal) = self.authenticate(body) else {
+            return unauthorized();
+        };
+        if principal.role != Role::Server {
+            return Response::error(Status::Forbidden, "pairing requires the admin key");
+        }
+        let (Some(addr), Some(register_key)) = (
+            body.get("addr").and_then(Value::as_str),
+            body.get("register_key").and_then(Value::as_str),
+        ) else {
+            return bad_request("missing 'addr' or 'register_key'");
+        };
+        if addr.is_empty() {
+            return bad_request("empty 'addr'");
+        }
+        self.registry.write().upsert_store(StoreRecord {
+            addr: StoreAddr::new(addr),
+            register_key: register_key.to_string(),
+        });
+        // Mint the key the store will use for /api/sync and
+        // /api/contributors/register.
+        let store_key = self.keys.register(Principal {
+            name: format!("store:{addr}"),
+            role: Role::Server,
+        });
+        Response::json_with_status(
+            Status::Created,
+            &json!({ "store_key": (store_key.to_hex()) }),
+        )
+    }
+
+    fn handle_contributor_register(&self, body: &Value) -> Response {
+        let Some(principal) = self.authenticate(body) else {
+            return unauthorized();
+        };
+        if principal.role != Role::Server {
+            return Response::error(Status::Forbidden, "store key required");
+        }
+        let (Some(contributor), Some(addr)) = (
+            body.get("contributor").and_then(Value::as_str),
+            body.get("store_addr").and_then(Value::as_str),
+        ) else {
+            return bad_request("missing 'contributor' or 'store_addr'");
+        };
+        self.registry
+            .write()
+            .upsert_contributor(ContributorId::new(contributor), StoreAddr::new(addr));
+        Response::json(&json!({ "ok": true }))
+    }
+
+    fn handle_sync(&self, body: &Value) -> Response {
+        let Some(principal) = self.authenticate(body) else {
+            return unauthorized();
+        };
+        if principal.role != Role::Server {
+            return Response::error(Status::Forbidden, "store key required");
+        }
+        let Some(contributor) = body.get("contributor").and_then(Value::as_str) else {
+            return bad_request("missing 'contributor'");
+        };
+        let Some(epoch) = body.get("epoch").and_then(Value::as_u64) else {
+            return bad_request("missing 'epoch'");
+        };
+        let Some(rules_json) = body.get("rules") else {
+            return bad_request("missing 'rules'");
+        };
+        let rules = match PrivacyRule::parse_rules(&rules_json.to_string()) {
+            Ok(r) => r,
+            Err(e) => return bad_request(&e.to_string()),
+        };
+        // Rule syncs double as contributor-registration upserts, so a
+        // store paired after its contributors registered still converges.
+        if let Some(addr) = body.get("store_addr").and_then(Value::as_str) {
+            self.registry
+                .write()
+                .upsert_contributor(ContributorId::new(contributor), StoreAddr::new(addr));
+        }
+        let accepted = self
+            .rules
+            .lock()
+            .sync(ContributorId::new(contributor), epoch, rules);
+        Response::json(&json!({ "accepted": accepted }))
+    }
+
+    fn parse_search_query(body: &Value, consumer: ConsumerCtx) -> Result<SearchQuery, String> {
+        let q = body.get("query").unwrap_or(&Value::Null);
+        let mut query = SearchQuery {
+            consumer,
+            ..Default::default()
+        };
+        if let Some(channels) = q.get("channels").and_then(Value::as_string_list) {
+            query.raw_channels = channels
+                .into_iter()
+                .map(|c| ChannelId::try_new(c).ok_or("bad channel name"))
+                .collect::<Result<_, _>>()?;
+        }
+        if let Some(labels) = q.get("label_contexts").and_then(Value::as_string_list) {
+            query.label_contexts = labels
+                .iter()
+                .map(|l| ContextKind::parse(l).ok_or(format!("unknown context '{l}'")))
+                .collect::<Result<_, _>>()?;
+        }
+        if let Some(locations) = q.get("location_labels").and_then(Value::as_string_list) {
+            query.location_labels = locations;
+        }
+        if let Some(active) = q.get("active_contexts").and_then(Value::as_string_list) {
+            query.active_contexts = active
+                .iter()
+                .map(|l| ContextKind::parse(l).ok_or(format!("unknown context '{l}'")))
+                .collect::<Result<_, _>>()?;
+        }
+        if let Some(repeat) = q.get("repeat") {
+            let days = match repeat.get("days").and_then(Value::as_string_list) {
+                None => Vec::new(),
+                Some(names) => names
+                    .iter()
+                    .map(|d| Weekday::parse(d).ok_or(format!("unknown weekday '{d}'")))
+                    .collect::<Result<_, _>>()?,
+            };
+            let from = repeat
+                .get("from")
+                .and_then(Value::as_str)
+                .and_then(TimeOfDay::parse)
+                .ok_or("repeat missing 'from'")?;
+            let to = repeat
+                .get("to")
+                .and_then(Value::as_str)
+                .and_then(TimeOfDay::parse)
+                .ok_or("repeat missing 'to'")?;
+            query.repeat = Some(RepeatTime::new(days, from, to));
+        }
+        if let Some(range) = q.get("range") {
+            let start = range
+                .get("start")
+                .and_then(Value::as_i64)
+                .ok_or("range missing 'start'")?;
+            let end = range
+                .get("end")
+                .and_then(Value::as_i64)
+                .ok_or("range missing 'end'")?;
+            if end < start {
+                return Err("range end before start".into());
+            }
+            query.range = Some(TimeRange::new(
+                Timestamp::from_millis(start),
+                Timestamp::from_millis(end),
+            ));
+        }
+        Ok(query)
+    }
+
+    fn consumer_ctx(&self, name: &str) -> Option<ConsumerCtx> {
+        let registry = self.registry.read();
+        let record = registry.consumers.get(&ConsumerId::new(name))?;
+        Some(ConsumerCtx {
+            id: Some(ConsumerId::new(name)),
+            groups: record.groups.clone(),
+            studies: record.studies.clone(),
+        })
+    }
+
+    fn handle_search(&self, body: &Value) -> Response {
+        let Some(principal) = self.authenticate(body) else {
+            return unauthorized();
+        };
+        if principal.role != Role::Consumer {
+            return Response::error(Status::Forbidden, "consumers only");
+        }
+        let Some(ctx) = self.consumer_ctx(&principal.name) else {
+            return Response::error(Status::Forbidden, "consumer not registered");
+        };
+        let query = match Self::parse_search_query(body, ctx) {
+            Ok(q) => q,
+            Err(e) => return bad_request(&e),
+        };
+        let hits = self.rules.lock().search(&query);
+        Response::json(&json!({
+            "contributors": (Value::Array(
+                hits.iter().map(|c| Value::from(c.as_str())).collect()
+            )),
+        }))
+    }
+
+    /// Auto-registers `consumer` at `contributor`'s store and escrows the
+    /// returned key.
+    fn escrow_registration(
+        &self,
+        consumer: &str,
+        record: &ConsumerRecord,
+        contributor: &ContributorId,
+    ) -> Result<StoreAccess, String> {
+        let store = {
+            let registry = self.registry.read();
+            registry
+                .store_of(contributor)
+                .cloned()
+                .ok_or_else(|| format!("unknown contributor '{contributor}'"))?
+        };
+        let transport = (self.config.transports)(store.addr.as_str());
+        let payload = json!({
+            "key": (store.register_key.clone()),
+            "name": consumer,
+            "role": "consumer",
+            "groups": (Value::Array(
+                record.groups.iter().map(|g| Value::from(g.as_str())).collect()
+            )),
+            "studies": (Value::Array(
+                record.studies.iter().map(|s| Value::from(s.as_str())).collect()
+            )),
+        });
+        let resp = transport
+            .round_trip(&Request::post_json("/api/register", &payload))
+            .map_err(|e| format!("store unreachable: {e}"))?;
+        let key = match resp.status {
+            Status::Created => resp
+                .json_body()
+                .ok()
+                .and_then(|b| b["api_key"].as_str().map(str::to_string))
+                .ok_or("store returned no key")?,
+            // Already registered there (e.g. via another contributor on
+            // the same store): the escrowed key we hold stays valid; the
+            // caller handles reuse.
+            Status::Conflict => String::new(),
+            other => return Err(format!("store refused registration: {}", other.code())),
+        };
+        Ok(StoreAccess {
+            contributor: contributor.clone(),
+            addr: store.addr,
+            api_key: key,
+        })
+    }
+
+    fn handle_consumers_add(&self, body: &Value) -> Response {
+        let Some(principal) = self.authenticate(body) else {
+            return unauthorized();
+        };
+        if principal.role != Role::Consumer {
+            return Response::error(Status::Forbidden, "consumers only");
+        }
+        let Some(names) = body.get("contributors").and_then(Value::as_string_list) else {
+            return bad_request("missing 'contributors'");
+        };
+        let record = {
+            let registry = self.registry.read();
+            match registry.consumers.get(&ConsumerId::new(&principal.name)) {
+                Some(r) => r.clone(),
+                None => return Response::error(Status::Forbidden, "consumer not registered"),
+            }
+        };
+        let mut added = Vec::new();
+        let mut errors = Vec::new();
+        // Reuse one escrowed key per store when the consumer is already
+        // registered there.
+        let mut key_by_store: BTreeMap<String, String> = record
+            .access
+            .values()
+            .map(|a| (a.addr.as_str().to_string(), a.api_key.clone()))
+            .collect();
+        for name in names {
+            let contributor = ContributorId::new(&name);
+            if record.access.contains_key(&contributor) {
+                added.push(name);
+                continue;
+            }
+            match self.escrow_registration(&principal.name, &record, &contributor) {
+                Ok(mut access) => {
+                    if access.api_key.is_empty() {
+                        match key_by_store.get(access.addr.as_str()) {
+                            Some(existing) => access.api_key = existing.clone(),
+                            None => {
+                                errors.push(format!(
+                                    "{name}: already registered at store but no escrowed key"
+                                ));
+                                continue;
+                            }
+                        }
+                    } else {
+                        key_by_store
+                            .insert(access.addr.as_str().to_string(), access.api_key.clone());
+                    }
+                    let mut registry = self.registry.write();
+                    let rec = registry
+                        .consumers
+                        .get_mut(&ConsumerId::new(&principal.name))
+                        .expect("checked above");
+                    rec.access.insert(contributor.clone(), access);
+                    if !rec.contributor_list.contains(&contributor) {
+                        rec.contributor_list.push(contributor);
+                    }
+                    added.push(name);
+                }
+                Err(e) => errors.push(format!("{name}: {e}")),
+            }
+        }
+        Response::json(&json!({
+            "added": (Value::Array(added.iter().map(Value::from).collect())),
+            "errors": (Value::Array(errors.iter().map(Value::from).collect())),
+        }))
+    }
+
+    fn handle_consumers_access(&self, body: &Value) -> Response {
+        let Some(principal) = self.authenticate(body) else {
+            return unauthorized();
+        };
+        if principal.role != Role::Consumer {
+            return Response::error(Status::Forbidden, "consumers only");
+        }
+        let registry = self.registry.read();
+        let Some(record) = registry.consumers.get(&ConsumerId::new(&principal.name)) else {
+            return Response::error(Status::Forbidden, "consumer not registered");
+        };
+        let access: Vec<Value> = record
+            .contributor_list
+            .iter()
+            .filter_map(|c| record.access.get(c))
+            .map(|a| {
+                json!({
+                    "contributor": (a.contributor.as_str()),
+                    "store_addr": (a.addr.as_str()),
+                    "api_key": (a.api_key.clone()),
+                })
+            })
+            .collect();
+        Response::json(&json!({ "access": (Value::Array(access)) }))
+    }
+}
+
+impl BrokerService {
+    /// Builds a broker. Returns the service plus its admin key.
+    pub fn new(config: BrokerConfig) -> (BrokerService, ApiKey) {
+        let inner = Arc::new(Inner {
+            config,
+            registry: RwLock::new(BrokerRegistry::new()),
+            rules: Mutex::new(RuleIndex::new()),
+            keys: KeyRing::new(),
+            passwords: PasswordStore::new(),
+            sessions: SessionManager::new(),
+        });
+        let admin_key = inner.keys.register(Principal {
+            name: "admin".to_string(),
+            role: Role::Server,
+        });
+        let mut router = Router::new();
+        {
+            let inner = inner.clone();
+            router.get("/health", move |_, _| inner.handle_health());
+        }
+        macro_rules! post_json_route {
+            ($path:literal, $method:ident) => {{
+                let inner = inner.clone();
+                router.post($path, move |req: &Request, _: &sensorsafe_net::Params| {
+                    match req.json() {
+                        Ok(body) => inner.$method(&body),
+                        Err(e) => bad_request(&format!("invalid JSON body: {e}")),
+                    }
+                });
+            }};
+        }
+        post_json_route!("/api/register", handle_register);
+        post_json_route!("/api/stores/register", handle_store_register);
+        post_json_route!("/api/contributors/register", handle_contributor_register);
+        post_json_route!("/api/sync", handle_sync);
+        post_json_route!("/api/search", handle_search);
+        post_json_route!("/api/consumers/add", handle_consumers_add);
+        post_json_route!("/api/consumers/access", handle_consumers_access);
+        crate::web::mount(&mut router, inner.clone());
+        (
+            BrokerService {
+                inner,
+                router: Arc::new(router),
+            },
+            admin_key,
+        )
+    }
+
+    /// Creates a web-UI login.
+    pub fn create_web_user(&self, username: &str, password: &str) -> bool {
+        self.inner.passwords.create_user(username, password)
+    }
+
+    /// Registered contributor count (tests/benches).
+    pub fn contributor_count(&self) -> usize {
+        self.inner.registry.read().contributor_count()
+    }
+}
+
+impl Service for BrokerService {
+    fn handle(&self, request: &Request) -> Response {
+        self.router.handle(request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensorsafe_datastore::{DataStoreConfig, DataStoreService};
+    use sensorsafe_net::LocalTransport;
+
+    /// A broker wired to one in-process data store.
+    struct Rig {
+        broker: BrokerService,
+        broker_admin: String,
+        store: DataStoreService,
+        store_admin: String,
+        store_key: String,
+    }
+
+    fn rig() -> Rig {
+        let (store, store_admin) = DataStoreService::new(DataStoreConfig::default());
+        let store_for_factory = store.clone();
+        let transports: TransportFactory = Arc::new(move |_addr: &str| {
+            Arc::new(LocalTransport::new(Arc::new(store_for_factory.clone())))
+                as Arc<dyn Transport>
+        });
+        let (broker, broker_admin) = BrokerService::new(BrokerConfig {
+            name: "test-broker".into(),
+            transports,
+        });
+        // Pair the store.
+        let resp = broker.handle(&Request::post_json(
+            "/api/stores/register",
+            &json!({
+                "key": (broker_admin.to_hex()),
+                "addr": "store-1",
+                "register_key": (store_admin.to_hex()),
+            }),
+        ));
+        assert_eq!(resp.status, Status::Created);
+        let store_key = resp.json_body().unwrap()["store_key"]
+            .as_str()
+            .unwrap()
+            .to_string();
+        Rig {
+            broker,
+            broker_admin: broker_admin.to_hex(),
+            store,
+            store_admin: store_admin.to_hex(),
+            store_key,
+        }
+    }
+
+    fn register_contributor(rig: &Rig, name: &str) -> String {
+        // On the store...
+        let resp = rig.store.handle(&Request::post_json(
+            "/api/register",
+            &json!({"key": (rig.store_admin.clone()), "name": name, "role": "contributor"}),
+        ));
+        assert_eq!(resp.status, Status::Created);
+        let key = resp.json_body().unwrap()["api_key"]
+            .as_str()
+            .unwrap()
+            .to_string();
+        // ...and on the broker (the store would push this automatically;
+        // here the rig does it explicitly).
+        let resp = rig.broker.handle(&Request::post_json(
+            "/api/contributors/register",
+            &json!({"key": (rig.store_key.clone()), "contributor": name, "store_addr": "store-1"}),
+        ));
+        assert_eq!(resp.status, Status::Ok);
+        key
+    }
+
+    fn register_consumer(rig: &Rig, name: &str) -> String {
+        let resp = rig.broker.handle(&Request::post_json(
+            "/api/register",
+            &json!({"key": (rig.broker_admin.clone()), "name": name, "role": "consumer"}),
+        ));
+        assert_eq!(resp.status, Status::Created);
+        resp.json_body().unwrap()["api_key"]
+            .as_str()
+            .unwrap()
+            .to_string()
+    }
+
+    fn sync_rules(rig: &Rig, contributor: &str, epoch: u64, rules: Value) {
+        let resp = rig.broker.handle(&Request::post_json(
+            "/api/sync",
+            &json!({
+                "key": (rig.store_key.clone()),
+                "contributor": contributor,
+                "store_addr": "store-1",
+                "epoch": epoch,
+                "rules": (rules),
+            }),
+        ));
+        assert_eq!(resp.status, Status::Ok);
+    }
+
+    #[test]
+    fn health_reports_registry() {
+        let rig = rig();
+        register_contributor(&rig, "alice");
+        let resp = rig.broker.handle(&Request::get("/health"));
+        let body = resp.json_body().unwrap();
+        assert_eq!(body["stores"].as_i64(), Some(1));
+        assert_eq!(body["contributors"].as_i64(), Some(1));
+    }
+
+    #[test]
+    fn search_over_mirrored_rules() {
+        let rig = rig();
+        register_contributor(&rig, "alice");
+        register_contributor(&rig, "carol");
+        let bob = register_consumer(&rig, "bob");
+        // Alice denies stress sources while driving; Carol shares all.
+        sync_rules(
+            &rig,
+            "alice",
+            1,
+            json!([
+                {"Action": "Allow"},
+                {"Context": ["Drive"], "Sensor": ["ecg", "respiration"], "Action": "Deny"},
+            ]),
+        );
+        sync_rules(&rig, "carol", 1, json!([{"Action": "Allow"}]));
+        // Bob's §6 search: stress data while driving.
+        let resp = rig.broker.handle(&Request::post_json(
+            "/api/search",
+            &json!({
+                "key": bob,
+                "query": {
+                    "channels": ["ecg", "respiration"],
+                    "active_contexts": ["Drive"],
+                },
+            }),
+        ));
+        let hits = resp.json_body().unwrap();
+        let names: Vec<&str> = hits["contributors"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_str().unwrap())
+            .collect();
+        assert_eq!(names, ["carol"]);
+    }
+
+    #[test]
+    fn stale_sync_rejected() {
+        let rig = rig();
+        register_contributor(&rig, "alice");
+        sync_rules(&rig, "alice", 2, json!([{"Action": "Allow"}]));
+        // Stale epoch: accepted=false, rules unchanged.
+        let resp = rig.broker.handle(&Request::post_json(
+            "/api/sync",
+            &json!({
+                "key": (rig.store_key.clone()),
+                "contributor": "alice",
+                "epoch": 1,
+                "rules": [],
+            }),
+        ));
+        assert_eq!(
+            resp.json_body().unwrap()["accepted"].as_bool(),
+            Some(false)
+        );
+        let bob = register_consumer(&rig, "bob");
+        let resp = rig.broker.handle(&Request::post_json(
+            "/api/search",
+            &json!({"key": bob, "query": {"channels": ["ecg"]}}),
+        ));
+        assert_eq!(
+            resp.json_body().unwrap()["contributors"]
+                .as_array()
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn consumer_add_escrows_store_keys() {
+        let rig = rig();
+        let alice_key = register_contributor(&rig, "alice");
+        let bob = register_consumer(&rig, "bob");
+        sync_rules(&rig, "alice", 1, json!([{"Action": "Allow"}]));
+        // Bob adds Alice: the broker registers him at her store.
+        let resp = rig.broker.handle(&Request::post_json(
+            "/api/consumers/add",
+            &json!({"key": (bob.clone()), "contributors": ["alice"]}),
+        ));
+        let body = resp.json_body().unwrap();
+        assert_eq!(body["added"].as_array().unwrap().len(), 1, "{body}");
+        assert!(body["errors"].as_array().unwrap().is_empty());
+        // Fetch access and use the escrowed key directly at the store.
+        let resp = rig.broker.handle(&Request::post_json(
+            "/api/consumers/access",
+            &json!({"key": bob}),
+        ));
+        let access = resp.json_body().unwrap();
+        let entry = &access["access"][0];
+        assert_eq!(entry["contributor"].as_str(), Some("alice"));
+        let store_api_key = entry["api_key"].as_str().unwrap().to_string();
+        assert_eq!(store_api_key.len(), 64);
+        // Upload something as Alice, then query as Bob with the escrowed
+        // key.
+        let scenario = sensorsafe_sim::Scenario::alice_day(
+            sensorsafe_types::Timestamp::from_millis(0),
+            3,
+            1,
+        );
+        let rendered = scenario.render();
+        let segments: Vec<Value> = rendered
+            .chest_segments
+            .iter()
+            .take(10)
+            .map(sensorsafe_types::WaveSegment::to_json)
+            .collect();
+        rig.store.handle(&Request::post_json(
+            "/api/upload",
+            &json!({"key": alice_key, "segments": (Value::Array(segments))}),
+        ));
+        rig.store.handle(&Request::post_json(
+            "/api/rules/set",
+            &json!({"key": "ignored", "rules": []}),
+        ));
+        // Set allow-all via the store as Alice would.
+        // (rules/set requires Alice's key; reuse registration key above.)
+        let resp = rig.store.handle(&Request::post_json(
+            "/api/query",
+            &json!({"key": store_api_key, "contributor": "alice"}),
+        ));
+        assert_eq!(resp.status, Status::Ok);
+    }
+
+    #[test]
+    fn add_unknown_contributor_reports_error() {
+        let rig = rig();
+        let bob = register_consumer(&rig, "bob");
+        let resp = rig.broker.handle(&Request::post_json(
+            "/api/consumers/add",
+            &json!({"key": bob, "contributors": ["ghost"]}),
+        ));
+        let body = resp.json_body().unwrap();
+        assert!(body["added"].as_array().unwrap().is_empty());
+        assert_eq!(body["errors"].as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn adding_same_contributor_twice_is_idempotent() {
+        let rig = rig();
+        register_contributor(&rig, "alice");
+        let bob = register_consumer(&rig, "bob");
+        for _ in 0..2 {
+            let resp = rig.broker.handle(&Request::post_json(
+                "/api/consumers/add",
+                &json!({"key": (bob.clone()), "contributors": ["alice"]}),
+            ));
+            assert_eq!(
+                resp.json_body().unwrap()["added"].as_array().unwrap().len(),
+                1
+            );
+        }
+        let resp = rig.broker.handle(&Request::post_json(
+            "/api/consumers/access",
+            &json!({"key": bob}),
+        ));
+        assert_eq!(
+            resp.json_body().unwrap()["access"].as_array().unwrap().len(),
+            1
+        );
+    }
+
+    #[test]
+    fn two_contributors_same_store_reuse_escrowed_key() {
+        let rig = rig();
+        register_contributor(&rig, "alice");
+        register_contributor(&rig, "carol");
+        let bob = register_consumer(&rig, "bob");
+        let resp = rig.broker.handle(&Request::post_json(
+            "/api/consumers/add",
+            &json!({"key": (bob.clone()), "contributors": ["alice", "carol"]}),
+        ));
+        let body = resp.json_body().unwrap();
+        assert_eq!(body["added"].as_array().unwrap().len(), 2, "{body}");
+        let resp = rig.broker.handle(&Request::post_json(
+            "/api/consumers/access",
+            &json!({"key": bob}),
+        ));
+        let access = resp.json_body().unwrap();
+        let entries = access["access"].as_array().unwrap();
+        assert_eq!(entries.len(), 2);
+        // Same store → same escrowed key.
+        assert_eq!(
+            entries[0]["api_key"].as_str(),
+            entries[1]["api_key"].as_str()
+        );
+    }
+
+    #[test]
+    fn role_separation() {
+        let rig = rig();
+        let bob = register_consumer(&rig, "bob");
+        // A consumer key cannot sync rules or register contributors.
+        let resp = rig.broker.handle(&Request::post_json(
+            "/api/sync",
+            &json!({"key": (bob.clone()), "contributor": "x", "epoch": 1, "rules": []}),
+        ));
+        assert_eq!(resp.status, Status::Forbidden);
+        // A store key cannot search.
+        let resp = rig.broker.handle(&Request::post_json(
+            "/api/search",
+            &json!({"key": (rig.store_key.clone()), "query": {}}),
+        ));
+        assert_eq!(resp.status, Status::Forbidden);
+    }
+
+    #[test]
+    fn malformed_search_queries_rejected() {
+        let rig = rig();
+        let bob = register_consumer(&rig, "bob");
+        for bad in [
+            json!({"key": (bob.clone()), "query": {"label_contexts": ["Flying"]}}),
+            json!({"key": (bob.clone()), "query": {"repeat": {"from": "9am"}}}),
+            json!({"key": (bob.clone()), "query": {"range": {"start": 10, "end": 5}}}),
+        ] {
+            let resp = rig
+                .broker
+                .handle(&Request::post_json("/api/search", &bad));
+            assert_eq!(resp.status, Status::BadRequest, "{bad}");
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! The broker's web user interface (§5.2): login, contributor search
+//! form, and registry overview.
+
+use crate::service::Inner;
+use sensorsafe_json::Value;
+use sensorsafe_net::{Params, Request, Response, Router, Status};
+use sensorsafe_policy::{ConsumerCtx, SearchQuery};
+use sensorsafe_types::{ChannelId, ConsumerId, ContextKind, RepeatTime, TimeOfDay, Weekday};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn page(title: &str, body: &str) -> Response {
+    Response::html(format!(
+        "<!DOCTYPE html><html><head><title>{t} — SensorSafe Broker</title></head>\
+         <body><h1>{t}</h1>{body}</body></html>",
+        t = escape(title)
+    ))
+}
+
+fn parse_form(body: &[u8]) -> BTreeMap<String, String> {
+    let text = String::from_utf8_lossy(body);
+    let mut map = BTreeMap::new();
+    for pair in text.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        map.insert(
+            k.replace('+', " "),
+            v.replace('+', " ").replace("%3A", ":").replace("%2C", ","),
+        );
+    }
+    map
+}
+
+fn require_session(inner: &Inner, req: &Request) -> Result<String, Response> {
+    req.query
+        .get("session")
+        .and_then(|token| inner.sessions.validate(token))
+        .ok_or_else(|| Response::error(Status::Unauthorized, "not logged in (see /ui/login)"))
+}
+
+fn handle_login_page() -> Response {
+    page(
+        "Broker Login",
+        r#"<form method="post" action="/ui/login">
+            <label>Username <input type="text" name="username"></label>
+            <label>Password <input type="password" name="password"></label>
+            <button type="submit">Log in</button>
+        </form>"#,
+    )
+}
+
+fn handle_login(inner: &Inner, req: &Request) -> Response {
+    let form = parse_form(&req.body);
+    let (Some(username), Some(password)) = (form.get("username"), form.get("password")) else {
+        return Response::error(Status::BadRequest, "missing username or password");
+    };
+    if !inner.passwords.verify(username, password) {
+        return Response::error(Status::Unauthorized, "bad credentials");
+    }
+    let token = inner.sessions.login(username);
+    page(
+        "Logged in",
+        &format!(
+            r#"<ul><li><a href="/ui/search?session={t}">Search contributors</a></li></ul>
+            <p data-session-token="{t}"></p>"#,
+            t = token
+        ),
+    )
+}
+
+fn search_form(session: &str) -> String {
+    let day_boxes: String = Weekday::ALL
+        .iter()
+        .map(|d| {
+            format!(
+                r#"<label><input type="checkbox" name="day" value="{d}">{d}</label>"#,
+                d = d.as_str()
+            )
+        })
+        .collect();
+    let context_boxes: String = ContextKind::ALL
+        .iter()
+        .map(|k| {
+            format!(
+                r#"<label><input type="checkbox" name="active" value="{k}">{k}</label>"#,
+                k = k.as_str()
+            )
+        })
+        .collect();
+    format!(
+        r#"<form method="post" action="/ui/search?session={session}">
+        <label>Raw channels (comma-separated) <input type="text" name="channels"></label>
+        <label>Location label <input type="text" name="location_label"></label>
+        <fieldset><legend>Days</legend>{day_boxes}</fieldset>
+        <label>From <input type="time" name="from"></label>
+        <label>To <input type="time" name="to"></label>
+        <fieldset><legend>Active contexts</legend>{context_boxes}</fieldset>
+        <button type="submit">Search</button>
+        </form>"#
+    )
+}
+
+fn handle_search_page(inner: &Inner, req: &Request) -> Response {
+    let _username = match require_session(inner, req) {
+        Ok(u) => u,
+        Err(resp) => return resp,
+    };
+    let session = req.query.get("session").cloned().unwrap_or_default();
+    let registry = inner.registry.read();
+    let all: String = registry
+        .contributors
+        .keys()
+        .map(|c| format!("<li>{}</li>", escape(c.as_str())))
+        .collect();
+    page(
+        "Contributor Search",
+        &format!(
+            "<h2>All contributors</h2><ul id=\"contributors\">{all}</ul>{}",
+            search_form(&session)
+        ),
+    )
+}
+
+fn form_all(body: &[u8], key: &str) -> Vec<String> {
+    let text = String::from_utf8_lossy(body);
+    text.split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .filter(|(k, _)| *k == key)
+        .map(|(_, v)| v.replace('+', " ").replace("%3A", ":"))
+        .filter(|v| !v.is_empty())
+        .collect()
+}
+
+fn handle_search_post(inner: &Inner, req: &Request) -> Response {
+    let username = match require_session(inner, req) {
+        Ok(u) => u,
+        Err(resp) => return resp,
+    };
+    let form = parse_form(&req.body);
+    let get = |k: &str| form.get(k).filter(|v| !v.is_empty());
+    let consumer = {
+        let registry = inner.registry.read();
+        match registry.consumers.get(&ConsumerId::new(&username)) {
+            Some(record) => ConsumerCtx {
+                id: Some(ConsumerId::new(&username)),
+                groups: record.groups.clone(),
+                studies: record.studies.clone(),
+            },
+            None => ConsumerCtx::user(&username),
+        }
+    };
+    let mut query = SearchQuery {
+        consumer,
+        ..Default::default()
+    };
+    if let Some(channels) = get("channels") {
+        query.raw_channels = channels
+            .split(',')
+            .map(str::trim)
+            .filter(|c| !c.is_empty())
+            .map(ChannelId::new)
+            .collect();
+    }
+    if let Some(label) = get("location_label") {
+        query.location_labels.push(label.clone());
+    }
+    let days: Vec<Weekday> = form_all(&req.body, "day")
+        .iter()
+        .filter_map(|d| Weekday::parse(d))
+        .collect();
+    if let (Some(from), Some(to)) = (
+        get("from").and_then(|v| TimeOfDay::parse(v)),
+        get("to").and_then(|v| TimeOfDay::parse(v)),
+    ) {
+        query.repeat = Some(RepeatTime::new(days, from, to));
+    }
+    query.active_contexts = form_all(&req.body, "active")
+        .iter()
+        .filter_map(|c| ContextKind::parse(c))
+        .collect();
+    let hits = inner.rules.lock().search(&query);
+    let items: String = hits
+        .iter()
+        .map(|c| format!("<li>{}</li>", escape(c.as_str())))
+        .collect();
+    page(
+        "Search Results",
+        &format!(
+            "<p>{} contributor(s) share enough data.</p><ol id=\"results\">{items}</ol>",
+            hits.len()
+        ),
+    )
+}
+
+/// Mounts the broker web UI.
+pub(crate) fn mount(router: &mut Router, inner: Arc<Inner>) {
+    router.get("/ui/login", move |_: &Request, _: &Params| {
+        handle_login_page()
+    });
+    {
+        let inner = inner.clone();
+        router.post("/ui/login", move |req: &Request, _: &Params| {
+            handle_login(&inner, req)
+        });
+    }
+    {
+        let inner = inner.clone();
+        router.get("/ui/search", move |req: &Request, _: &Params| {
+            handle_search_page(&inner, req)
+        });
+    }
+    {
+        let inner = inner.clone();
+        router.post("/ui/search", move |req: &Request, _: &Params| {
+            handle_search_post(&inner, req)
+        });
+    }
+    // Quiet the unused-field lint for Value: web handlers only need a
+    // subset of what the API handlers use.
+    let _ = Value::Null;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{BrokerConfig, BrokerService};
+    use sensorsafe_json::json;
+    use sensorsafe_net::{Method, Service};
+    use sensorsafe_types::ContributorId;
+
+    fn logged_in_broker() -> (BrokerService, String, String) {
+        let (broker, admin) = BrokerService::new(BrokerConfig::default());
+        // Bob needs a consumer account (for ConsumerCtx) and a web login.
+        let resp = broker.handle(&Request::post_json(
+            "/api/register",
+            &json!({"key": (admin.to_hex()), "name": "bob", "role": "consumer"}),
+        ));
+        assert_eq!(resp.status, Status::Created);
+        broker.create_web_user("bob", "pw");
+        let mut login = Request::get("/ui/login");
+        login.method = Method::Post;
+        login.body = b"username=bob&password=pw".to_vec();
+        let resp = broker.handle(&login);
+        let html = String::from_utf8(resp.body).unwrap();
+        let token = html
+            .split("data-session-token=\"")
+            .nth(1)
+            .unwrap()
+            .split('"')
+            .next()
+            .unwrap()
+            .to_string();
+        (broker, admin.to_hex(), token)
+    }
+
+    fn mirror_rules(broker: &BrokerService, admin: &str, contributor: &str, rules: Value) {
+        // Pair a fake store then sync through the API.
+        let resp = broker.handle(&Request::post_json(
+            "/api/stores/register",
+            &json!({"key": admin, "addr": "store-x", "register_key": "k"}),
+        ));
+        let store_key = resp.json_body().unwrap()["store_key"]
+            .as_str()
+            .unwrap()
+            .to_string();
+        let resp = broker.handle(&Request::post_json(
+            "/api/sync",
+            &json!({
+                "key": store_key,
+                "contributor": contributor,
+                "store_addr": "store-x",
+                "epoch": 1,
+                "rules": rules,
+            }),
+        ));
+        assert_eq!(resp.status, Status::Ok);
+    }
+
+    #[test]
+    fn search_page_lists_contributors_and_form() {
+        let (broker, admin, token) = logged_in_broker();
+        mirror_rules(&broker, &admin, "alice", json!([{"Action": "Allow"}]));
+        let resp = broker.handle(&Request::get("/ui/search").with_query("session", token));
+        assert_eq!(resp.status, Status::Ok);
+        let html = String::from_utf8(resp.body).unwrap();
+        assert!(html.contains("alice"));
+        assert!(html.contains("type=\"checkbox\""));
+        assert!(html.contains("name=\"channels\""));
+    }
+
+    #[test]
+    fn search_post_returns_matches() {
+        let (broker, admin, token) = logged_in_broker();
+        mirror_rules(&broker, &admin, "carol", json!([{"Action": "Allow"}]));
+        let mut req = Request::get("/ui/search").with_query("session", token);
+        req.method = Method::Post;
+        req.body = b"channels=ecg,respiration".to_vec();
+        let resp = broker.handle(&req);
+        assert_eq!(resp.status, Status::Ok);
+        let html = String::from_utf8(resp.body).unwrap();
+        assert!(html.contains("<li>carol</li>"), "{html}");
+        assert!(html.contains("1 contributor(s)"));
+        // Registry upserted the contributor from the sync.
+        assert_eq!(
+            broker.contributor_count(),
+            1,
+            "sync should register {:?}",
+            ContributorId::new("carol")
+        );
+    }
+
+    #[test]
+    fn search_requires_session() {
+        let (broker, _, _) = logged_in_broker();
+        let resp = broker.handle(&Request::get("/ui/search"));
+        assert_eq!(resp.status, Status::Unauthorized);
+    }
+}

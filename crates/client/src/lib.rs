@@ -1,0 +1,21 @@
+//! Client-side components: the contributor's phone and the consumer's
+//! application.
+//!
+//! * [`ContributorDevice`] — simulates the §6 smartphone + chest band:
+//!   renders a [`sensorsafe_sim::Scenario`], annotates it with the
+//!   inference pipeline, and uploads wave segments to the contributor's
+//!   remote data store. With **privacy-rule-aware data collection**
+//!   (§5.3) enabled, the device first downloads the owner's rules and
+//!   skips collecting (or discards after temporary collection) data that
+//!   no rule would ever share; [`DeviceMetrics`] quantifies the savings
+//!   (bench A3).
+//! * [`ConsumerApp`] — Bob's workflow from §6: search the broker for
+//!   suitable contributors, add them (the broker escrows per-store API
+//!   keys), then download each contributor's data **directly from their
+//!   store** with the escrowed keys.
+
+mod consumer;
+mod device;
+
+pub use consumer::{ConsumerApp, ContributorAccess, StoreTransports};
+pub use device::{CollectionDecision, ContributorDevice, DeviceMetrics};

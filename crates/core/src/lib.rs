@@ -1,0 +1,87 @@
+//! SensorSafe: privacy-preserving management of personal sensory
+//! information.
+//!
+//! This is the facade crate: it re-exports the full public API of the
+//! SensorSafe workspace and provides [`Deployment`], a high-level builder
+//! that wires a broker and any number of remote data stores together —
+//! in-process (tests, benches) or over real TCP (examples, production).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sensorsafe_core::{Deployment, json};
+//! use sensorsafe_core::sim::Scenario;
+//! use sensorsafe_core::types::Timestamp;
+//! use sensorsafe_core::store::Query;
+//!
+//! // One broker + one data store, wired in-process.
+//! let mut deployment = Deployment::in_process();
+//! let store = deployment.add_store("store-1");
+//!
+//! // Alice registers, uploads a (simulated) day, and writes rules.
+//! let alice = deployment.register_contributor("store-1", "alice").unwrap();
+//! let scenario = Scenario::alice_day(Timestamp::from_millis(0), 7, 1);
+//! alice.upload_scenario(&scenario).unwrap();
+//! alice
+//!     .set_rules(&json!([{"Consumer": ["bob"], "Action": "Allow"}]))
+//!     .unwrap();
+//! let _ = store; // stores stay accessible for inspection
+//!
+//! // Bob searches, adds Alice, downloads through her rules.
+//! let bob = deployment.register_consumer("bob").unwrap();
+//! let hits = bob.search(&json!({"channels": ["ecg"]})).unwrap();
+//! assert_eq!(hits, ["alice"]);
+//! bob.add_contributors(&["alice"]).unwrap();
+//! let results = bob.download_all(&Query::all()).unwrap();
+//! assert!(results[0].1.raw_samples() > 0);
+//! ```
+
+mod deployment;
+
+pub use deployment::{ContributorHandle, Deployment, DeploymentError};
+
+pub use sensorsafe_client::{
+    CollectionDecision, ConsumerApp, ContributorAccess, ContributorDevice, DeviceMetrics,
+};
+pub use sensorsafe_json::{json, Value};
+
+/// Authentication substrate (§5.4).
+pub mod auth {
+    pub use sensorsafe_auth::*;
+}
+/// The broker (§5.2).
+pub mod broker {
+    pub use sensorsafe_broker::*;
+}
+/// Remote data stores (Fig. 2).
+pub mod datastore {
+    pub use sensorsafe_datastore::*;
+}
+/// Context inference.
+pub mod inference {
+    pub use sensorsafe_inference::*;
+}
+/// JSON substrate.
+pub mod jsonlib {
+    pub use sensorsafe_json::*;
+}
+/// HTTP networking substrate.
+pub mod net {
+    pub use sensorsafe_net::*;
+}
+/// Privacy rules and enforcement (§5.1, Table 1).
+pub mod policy {
+    pub use sensorsafe_policy::*;
+}
+/// Sensor simulation.
+pub mod sim {
+    pub use sensorsafe_sim::*;
+}
+/// Wave-segment storage engine.
+pub mod store {
+    pub use sensorsafe_store::*;
+}
+/// Core data model.
+pub mod types {
+    pub use sensorsafe_types::*;
+}

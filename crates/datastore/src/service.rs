@@ -1,0 +1,864 @@
+//! The remote data store's HTTP API surface.
+//!
+//! Every endpoint follows the paper's §5.4 convention: the caller's API
+//! key travels in the body of a POST request (never in the URL, where it
+//! would land in logs). The service implements [`sensorsafe_net::Service`]
+//! so it can be served over TCP ([`sensorsafe_net::Server`]) or called
+//! in-process by the benches.
+//!
+//! | Endpoint | Who | Purpose |
+//! |---|---|---|
+//! | `GET /health` | anyone | liveness + stats |
+//! | `POST /api/register` | admin key | create contributor/consumer accounts (consumer registration is how the broker escrows keys) |
+//! | `POST /api/upload` | contributor | upload wave segments + annotations |
+//! | `POST /api/query` | consumer or owner | query a contributor's data through the privacy pipeline |
+//! | `POST /api/rules/set` | contributor | replace privacy rules (pushes a sync to the broker) |
+//! | `POST /api/rules/get` | contributor | read own rules |
+//! | `POST /api/places/set` | contributor | define labeled places |
+//! | `GET /ui/*`, `POST /ui/*` | browser | web user interface (see [`crate::web`]) |
+
+use crate::pipeline::{shared_view, shared_view_to_json};
+use crate::state::{ConsumerAccount, ContributorAccount, DataStoreState};
+use parking_lot::Mutex;
+use sensorsafe_auth::{ApiKey, KeyRing, PasswordStore, Principal, Role, SessionManager};
+use sensorsafe_json::{json, Value};
+use sensorsafe_net::{Request, Response, Router, Service, Status, Transport};
+use sensorsafe_policy::{DependencyGraph, PrivacyRule};
+use sensorsafe_store::{MergePolicy, Query};
+use sensorsafe_types::{
+    ConsumerId, ContextAnnotation, ContributorId, GroupId, Region, StudyId, WaveSegment,
+};
+use std::sync::Arc;
+
+/// Construction-time configuration.
+#[derive(Debug, Clone)]
+pub struct DataStoreConfig {
+    /// Human-readable server name (shown in the web UI).
+    pub name: String,
+    /// Merge policy for hosted contributors' stores.
+    pub merge: MergePolicy,
+    /// Directory for per-contributor write-ahead logs. `None` keeps all
+    /// data in memory (tests, benches); with a directory set, each
+    /// contributor account replays `<dir>/<name>.wal` on registration,
+    /// so a restarted server recovers its data.
+    pub data_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for DataStoreConfig {
+    fn default() -> Self {
+        DataStoreConfig {
+            name: "sensorsafe-datastore".to_string(),
+            merge: MergePolicy::default(),
+            data_dir: None,
+        }
+    }
+}
+
+/// Link to the broker for rule synchronization (§5.2).
+pub struct BrokerLink {
+    /// Transport to the broker.
+    pub transport: Arc<dyn Transport>,
+    /// This store's API key on the broker (`Role::Server` there).
+    pub store_key: String,
+    /// Address consumers should use to reach this store.
+    pub store_addr: String,
+}
+
+pub(crate) struct Inner {
+    pub(crate) config: DataStoreConfig,
+    pub(crate) state: DataStoreState,
+    pub(crate) keys: KeyRing,
+    pub(crate) graph: DependencyGraph,
+    pub(crate) broker: Mutex<Option<BrokerLink>>,
+    pub(crate) passwords: PasswordStore,
+    pub(crate) sessions: SessionManager,
+}
+
+/// The data store service. Cheap to clone (shared state).
+#[derive(Clone)]
+pub struct DataStoreService {
+    inner: Arc<Inner>,
+    router: Arc<Router>,
+}
+
+fn bad_request(msg: &str) -> Response {
+    Response::error(Status::BadRequest, msg)
+}
+
+fn unauthorized() -> Response {
+    Response::error(Status::Unauthorized, "invalid API key")
+}
+
+impl Inner {
+    /// Authenticates the `key` field of a request body.
+    pub(crate) fn authenticate(&self, body: &Value) -> Option<Principal> {
+        let key = body.get("key").and_then(Value::as_str)?;
+        self.keys.authenticate(key)
+    }
+
+    fn handle_register(&self, body: &Value) -> Response {
+        let Some(principal) = self.authenticate(body) else {
+            return unauthorized();
+        };
+        if principal.role != Role::Server {
+            return Response::error(
+                Status::Forbidden,
+                "registration requires the admin or broker key",
+            );
+        }
+        let Some(name) = body.get("name").and_then(Value::as_str) else {
+            return bad_request("missing 'name'");
+        };
+        if name.is_empty() {
+            return bad_request("empty 'name'");
+        }
+        let Some(role) = body
+            .get("role")
+            .and_then(Value::as_str)
+            .and_then(Role::parse)
+        else {
+            return bad_request("missing or invalid 'role'");
+        };
+        let created = match role {
+            Role::Contributor => {
+                let account = match &self.config.data_dir {
+                    None => ContributorAccount::new(ContributorId::new(name), self.config.merge),
+                    Some(dir) => {
+                        let path = dir.join(format!("{name}.wal"));
+                        match ContributorAccount::open(ContributorId::new(name), path, self.config.merge)
+                        {
+                            Ok(account) => account,
+                            Err(e) => {
+                                return Response::error(
+                                    Status::InternalError,
+                                    &format!("failed to open contributor store: {e}"),
+                                )
+                            }
+                        }
+                    }
+                };
+                self.state.add_contributor(account)
+            }
+            Role::Consumer => {
+                let groups = body
+                    .get("groups")
+                    .and_then(Value::as_string_list)
+                    .unwrap_or_default()
+                    .into_iter()
+                    .map(GroupId::new)
+                    .collect();
+                let studies = body
+                    .get("studies")
+                    .and_then(Value::as_string_list)
+                    .unwrap_or_default()
+                    .into_iter()
+                    .map(StudyId::new)
+                    .collect();
+                self.state.add_consumer(ConsumerAccount {
+                    id: ConsumerId::new(name),
+                    groups,
+                    studies,
+                })
+            }
+            Role::Server => false,
+        };
+        if !created {
+            return Response::error(Status::Conflict, "account already exists");
+        }
+        let key = self.keys.register(Principal {
+            name: name.to_string(),
+            role,
+        });
+        Response::json_with_status(Status::Created, &json!({ "api_key": (key.to_hex()) }))
+    }
+
+    fn handle_upload(&self, body: &Value) -> Response {
+        let Some(principal) = self.authenticate(body) else {
+            return unauthorized();
+        };
+        if principal.role != Role::Contributor {
+            return Response::error(Status::Forbidden, "only contributors upload data");
+        }
+        let id = ContributorId::new(principal.name);
+        let mut segments = Vec::new();
+        if let Some(items) = body.get("segments").and_then(Value::as_array) {
+            for item in items {
+                match WaveSegment::from_json(item) {
+                    Ok(seg) => segments.push(seg),
+                    Err(e) => return bad_request(&format!("bad segment: {e}")),
+                }
+            }
+        }
+        let mut annotations = Vec::new();
+        if let Some(items) = body.get("annotations").and_then(Value::as_array) {
+            for item in items {
+                match annotation_from_json(item) {
+                    Ok(ann) => annotations.push(ann),
+                    Err(e) => return bad_request(&format!("bad annotation: {e}")),
+                }
+            }
+        }
+        let counts = self.state.with_contributor_mut(&id, |account| {
+            let mut stored = 0usize;
+            for seg in segments {
+                if account.store.insert_segment(seg).is_ok() {
+                    stored += 1;
+                }
+            }
+            let mut annotated = 0usize;
+            for ann in annotations {
+                if account.store.insert_annotation(ann).is_ok() {
+                    annotated += 1;
+                }
+            }
+            // Durable mode: make the batch crash-safe before acking.
+            let _ = account.store.sync();
+            (stored, annotated)
+        });
+        match counts {
+            Some((stored, annotated)) => Response::json(&json!({
+                "stored_segments": stored,
+                "stored_annotations": annotated,
+            })),
+            None => Response::error(Status::NotFound, "no such contributor account"),
+        }
+    }
+
+    fn handle_query(&self, body: &Value) -> Response {
+        let Some(principal) = self.authenticate(body) else {
+            return unauthorized();
+        };
+        let Some(contributor) = body.get("contributor").and_then(Value::as_str) else {
+            return bad_request("missing 'contributor'");
+        };
+        let contributor = ContributorId::new(contributor);
+        let query = match body.get("query") {
+            None => Query::all(),
+            Some(q) => match Query::from_json(q) {
+                Ok(q) => q,
+                Err(e) => return bad_request(&format!("bad query: {e}")),
+            },
+        };
+        // Owners see their own data raw ("view their own data using the
+        // web-based interface"); everyone else goes through enforcement.
+        let owner =
+            principal.role == Role::Contributor && principal.name == contributor.as_str();
+        if owner {
+            let result = self.state.with_contributor(&contributor, |account| {
+                let segments: Vec<Value> = account
+                    .store
+                    .query(&query)
+                    .iter()
+                    .map(WaveSegment::to_json)
+                    .collect();
+                json!({ "segments": (Value::Array(segments)) })
+            });
+            return match result {
+                Some(payload) => Response::json(&payload),
+                None => Response::error(Status::NotFound, "no such contributor"),
+            };
+        }
+        if principal.role != Role::Consumer {
+            return Response::error(Status::Forbidden, "consumers only");
+        }
+        let Some(consumer) = self.state.consumer(&ConsumerId::new(principal.name)) else {
+            return Response::error(Status::Forbidden, "consumer not registered here");
+        };
+        let ctx = consumer.to_ctx();
+        let result = self.state.with_contributor(&contributor, |account| {
+            shared_view_to_json(&shared_view(account, &ctx, &query, &self.graph))
+        });
+        match result {
+            Some(payload) => Response::json(&payload),
+            None => Response::error(Status::NotFound, "no such contributor"),
+        }
+    }
+
+    fn handle_rules_set(&self, body: &Value) -> Response {
+        let Some(principal) = self.authenticate(body) else {
+            return unauthorized();
+        };
+        if principal.role != Role::Contributor {
+            return Response::error(Status::Forbidden, "only contributors edit their rules");
+        }
+        let Some(rules_json) = body.get("rules") else {
+            return bad_request("missing 'rules'");
+        };
+        let rules = match PrivacyRule::parse_rules(&rules_json.to_string()) {
+            Ok(r) => r,
+            Err(e) => return bad_request(&e.to_string()),
+        };
+        let id = ContributorId::new(principal.name.clone());
+        let Some(epoch) = self
+            .state
+            .with_contributor_mut(&id, |account| account.set_rules(rules.clone()))
+        else {
+            return Response::error(Status::NotFound, "no such contributor account");
+        };
+        let synced = self.push_rules_to_broker(&id, epoch, &rules);
+        Response::json(&json!({ "epoch": epoch, "broker_synced": synced }))
+    }
+
+    /// Pushes one contributor's rules to the broker. Returns whether the
+    /// broker acknowledged ("remote data stores automatically communicate
+    /// with the broker to synchronize the privacy rules", §5.2).
+    pub(crate) fn push_rules_to_broker(
+        &self,
+        contributor: &ContributorId,
+        epoch: u64,
+        rules: &[PrivacyRule],
+    ) -> bool {
+        let guard = self.broker.lock();
+        let Some(link) = guard.as_ref() else {
+            return false;
+        };
+        let payload = json!({
+            "key": (link.store_key.clone()),
+            "contributor": (contributor.as_str()),
+            "store_addr": (link.store_addr.clone()),
+            "epoch": epoch,
+            "rules": (PrivacyRule::rules_to_json(rules)),
+        });
+        link.transport
+            .round_trip(&Request::post_json("/api/sync", &payload))
+            .map(|resp| resp.status.is_success())
+            .unwrap_or(false)
+    }
+
+    fn handle_rules_get(&self, body: &Value) -> Response {
+        let Some(principal) = self.authenticate(body) else {
+            return unauthorized();
+        };
+        if principal.role != Role::Contributor {
+            return Response::error(Status::Forbidden, "only contributors read their rules");
+        }
+        let id = ContributorId::new(principal.name);
+        let result = self.state.with_contributor(&id, |account| {
+            json!({
+                "rules": (PrivacyRule::rules_to_json(&account.rules)),
+                "epoch": (account.rule_epoch),
+            })
+        });
+        match result {
+            Some(payload) => Response::json(&payload),
+            None => Response::error(Status::NotFound, "no such contributor account"),
+        }
+    }
+
+    fn handle_places_set(&self, body: &Value) -> Response {
+        let Some(principal) = self.authenticate(body) else {
+            return unauthorized();
+        };
+        if principal.role != Role::Contributor {
+            return Response::error(Status::Forbidden, "only contributors edit their places");
+        }
+        let Some(items) = body.get("places").and_then(Value::as_array) else {
+            return bad_request("missing 'places'");
+        };
+        let mut places = Vec::with_capacity(items.len());
+        for item in items {
+            let Some(label) = item.get("label").and_then(Value::as_str) else {
+                return bad_request("place missing 'label'");
+            };
+            let get = |k: &str| item.path(&format!("region.{k}")).and_then(Value::as_f64);
+            let (Some(south), Some(north), Some(west), Some(east)) =
+                (get("south"), get("north"), get("west"), get("east"))
+            else {
+                return bad_request("place missing region bounds");
+            };
+            if south > north {
+                return bad_request("place region south above north");
+            }
+            places.push((label.to_string(), Region::new(south, north, west, east)));
+        }
+        let id = ContributorId::new(principal.name);
+        match self
+            .state
+            .with_contributor_mut(&id, |account| account.places = places)
+        {
+            Some(()) => Response::json(&json!({ "ok": true })),
+            None => Response::error(Status::NotFound, "no such contributor account"),
+        }
+    }
+
+    fn handle_health(&self) -> Response {
+        Response::json(&json!({
+            "ok": true,
+            "server": (self.config.name.clone()),
+            "contributors": (self.state.contributor_count()),
+        }))
+    }
+}
+
+fn annotation_from_json(value: &Value) -> Result<ContextAnnotation, String> {
+    let start = value
+        .path("window.start")
+        .and_then(Value::as_i64)
+        .ok_or("annotation missing window.start")?;
+    let end = value
+        .path("window.end")
+        .and_then(Value::as_i64)
+        .ok_or("annotation missing window.end")?;
+    if end < start {
+        return Err("annotation window end before start".into());
+    }
+    let states_json = value
+        .get("states")
+        .and_then(Value::as_array)
+        .ok_or("annotation missing states")?;
+    let mut states = Vec::with_capacity(states_json.len());
+    for s in states_json {
+        let kind = s
+            .get("kind")
+            .and_then(Value::as_str)
+            .and_then(sensorsafe_types::ContextKind::parse)
+            .ok_or("bad state kind")?;
+        let active = s
+            .get("active")
+            .and_then(Value::as_bool)
+            .ok_or("bad state active flag")?;
+        states.push(sensorsafe_types::ContextState { kind, active });
+    }
+    Ok(ContextAnnotation::new(
+        sensorsafe_types::TimeRange::new(
+            sensorsafe_types::Timestamp::from_millis(start),
+            sensorsafe_types::Timestamp::from_millis(end),
+        ),
+        states,
+    ))
+}
+
+/// Serializes an annotation to the upload wire form (client side).
+pub fn annotation_to_json(ann: &ContextAnnotation) -> Value {
+    json!({
+        "window": {
+            "start": (ann.window.start.millis()),
+            "end": (ann.window.end.millis()),
+        },
+        "states": (Value::Array(
+            ann.states
+                .iter()
+                .map(|s| json!({"kind": (s.kind.as_str()), "active": (s.active)}))
+                .collect(),
+        )),
+    })
+}
+
+impl DataStoreService {
+    /// Builds a service. Returns the service plus the **admin key** (a
+    /// `Role::Server` credential the operator uses to create accounts
+    /// and that the broker uses for escrowed consumer registration).
+    pub fn new(config: DataStoreConfig) -> (DataStoreService, ApiKey) {
+        let inner = Arc::new(Inner {
+            config,
+            state: DataStoreState::new(),
+            keys: KeyRing::new(),
+            graph: DependencyGraph::paper(),
+            broker: Mutex::new(None),
+            passwords: PasswordStore::new(),
+            sessions: SessionManager::new(),
+        });
+        let admin_key = inner.keys.register(Principal {
+            name: "admin".to_string(),
+            role: Role::Server,
+        });
+        let mut router = Router::new();
+        {
+            let inner = inner.clone();
+            router.get("/health", move |_, _| inner.handle_health());
+        }
+        macro_rules! post_json_route {
+            ($path:literal, $method:ident) => {{
+                let inner = inner.clone();
+                router.post($path, move |req: &Request, _: &sensorsafe_net::Params| {
+                    match req.json() {
+                        Ok(body) => inner.$method(&body),
+                        Err(e) => bad_request(&format!("invalid JSON body: {e}")),
+                    }
+                });
+            }};
+        }
+        post_json_route!("/api/register", handle_register);
+        post_json_route!("/api/upload", handle_upload);
+        post_json_route!("/api/query", handle_query);
+        post_json_route!("/api/rules/set", handle_rules_set);
+        post_json_route!("/api/rules/get", handle_rules_get);
+        post_json_route!("/api/places/set", handle_places_set);
+        crate::web::mount(&mut router, inner.clone());
+        (
+            DataStoreService {
+                inner,
+                router: Arc::new(router),
+            },
+            admin_key,
+        )
+    }
+
+    /// Attaches the broker link used for automatic rule sync.
+    pub fn attach_broker(&self, link: BrokerLink) {
+        *self.inner.broker.lock() = Some(link);
+    }
+
+    /// Immediately pushes every hosted contributor's rules to the broker
+    /// (used right after pairing so the mirror starts complete).
+    pub fn sync_all_rules(&self) -> usize {
+        let mut synced = 0;
+        for id in self.inner.state.contributor_ids() {
+            let snapshot = self
+                .inner
+                .state
+                .with_contributor(&id, |a| (a.rule_epoch, a.rules.clone()));
+            if let Some((epoch, rules)) = snapshot {
+                if self.inner.push_rules_to_broker(&id, epoch, &rules) {
+                    synced += 1;
+                }
+            }
+        }
+        synced
+    }
+
+    /// Direct access to server state (in-process composition and tests).
+    pub fn state(&self) -> &DataStoreState {
+        &self.inner.state
+    }
+
+    /// The server's dependency graph.
+    pub fn graph(&self) -> &DependencyGraph {
+        &self.inner.graph
+    }
+
+    /// Creates a web-UI login (operator provisioning).
+    pub fn create_web_user(&self, username: &str, password: &str) -> bool {
+        self.inner.passwords.create_user(username, password)
+    }
+}
+
+impl Service for DataStoreService {
+    fn handle(&self, request: &Request) -> Response {
+        self.router.handle(request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensorsafe_sim::Scenario;
+    use sensorsafe_types::Timestamp;
+
+    fn service() -> (DataStoreService, String) {
+        let (svc, admin) = DataStoreService::new(DataStoreConfig::default());
+        (svc, admin.to_hex())
+    }
+
+    fn register(svc: &DataStoreService, admin: &str, name: &str, role: &str) -> String {
+        let resp = svc.handle(&Request::post_json(
+            "/api/register",
+            &json!({"key": admin, "name": name, "role": role}),
+        ));
+        assert_eq!(resp.status, Status::Created, "{:?}", resp.json_body());
+        resp.json_body().unwrap()["api_key"]
+            .as_str()
+            .unwrap()
+            .to_string()
+    }
+
+    fn upload_alice_day(svc: &DataStoreService, alice_key: &str) -> usize {
+        let scenario = Scenario::alice_day(Timestamp::from_millis(1_311_500_000_000), 9, 1);
+        let rendered = scenario.render();
+        let segments: Vec<Value> = rendered
+            .all_segments()
+            .iter()
+            .map(WaveSegment::to_json)
+            .collect();
+        let annotations: Vec<Value> = rendered
+            .annotations
+            .iter()
+            .map(annotation_to_json)
+            .collect();
+        let count = segments.len();
+        let resp = svc.handle(&Request::post_json(
+            "/api/upload",
+            &json!({
+                "key": alice_key,
+                "segments": (Value::Array(segments)),
+                "annotations": (Value::Array(annotations)),
+            }),
+        ));
+        assert_eq!(resp.status, Status::Ok, "{:?}", resp.json_body());
+        assert_eq!(
+            resp.json_body().unwrap()["stored_segments"].as_u64(),
+            Some(count as u64)
+        );
+        count
+    }
+
+    #[test]
+    fn health_endpoint() {
+        let (svc, _) = service();
+        let resp = svc.handle(&Request::get("/health"));
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.json_body().unwrap()["contributors"].as_i64(), Some(0));
+    }
+
+    #[test]
+    fn registration_requires_admin_key() {
+        let (svc, admin) = service();
+        // Random key: rejected.
+        let resp = svc.handle(&Request::post_json(
+            "/api/register",
+            &json!({"key": ("0".repeat(64)), "name": "x", "role": "contributor"}),
+        ));
+        assert_eq!(resp.status, Status::Unauthorized);
+        // Contributor key can't register others.
+        let alice = register(&svc, &admin, "alice", "contributor");
+        let resp = svc.handle(&Request::post_json(
+            "/api/register",
+            &json!({"key": alice, "name": "mallory", "role": "consumer"}),
+        ));
+        assert_eq!(resp.status, Status::Forbidden);
+        // Duplicate name conflicts.
+        let resp = svc.handle(&Request::post_json(
+            "/api/register",
+            &json!({"key": (admin.clone()), "name": "alice", "role": "contributor"}),
+        ));
+        assert_eq!(resp.status, Status::Conflict);
+    }
+
+    #[test]
+    fn upload_and_owner_query() {
+        let (svc, admin) = service();
+        let alice = register(&svc, &admin, "alice", "contributor");
+        upload_alice_day(&svc, &alice);
+        // Owner sees raw data.
+        let resp = svc.handle(&Request::post_json(
+            "/api/query",
+            &json!({"key": (alice.clone()), "contributor": "alice"}),
+        ));
+        assert_eq!(resp.status, Status::Ok);
+        let segments = resp.json_body().unwrap();
+        assert!(!segments["segments"].as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn consumer_query_is_enforced() {
+        let (svc, admin) = service();
+        let alice = register(&svc, &admin, "alice", "contributor");
+        let bob = register(&svc, &admin, "bob", "consumer");
+        upload_alice_day(&svc, &alice);
+        // No rules yet: Bob gets nothing (deny-by-default).
+        let resp = svc.handle(&Request::post_json(
+            "/api/query",
+            &json!({"key": (bob.clone()), "contributor": "alice"}),
+        ));
+        assert_eq!(resp.status, Status::Ok);
+        assert!(resp.json_body().unwrap()["windows"]
+            .as_array()
+            .unwrap()
+            .is_empty());
+        // Alice allows everything: Bob sees data.
+        let resp = svc.handle(&Request::post_json(
+            "/api/rules/set",
+            &json!({"key": (alice.clone()), "rules": [{"Action": "Allow"}]}),
+        ));
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.json_body().unwrap()["epoch"].as_i64(), Some(1));
+        let resp = svc.handle(&Request::post_json(
+            "/api/query",
+            &json!({"key": bob, "contributor": "alice"}),
+        ));
+        assert!(!resp.json_body().unwrap()["windows"]
+            .as_array()
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn cross_account_upload_forbidden() {
+        let (svc, admin) = service();
+        let _alice = register(&svc, &admin, "alice", "contributor");
+        let bob = register(&svc, &admin, "bob", "consumer");
+        let resp = svc.handle(&Request::post_json(
+            "/api/upload",
+            &json!({"key": bob, "segments": []}),
+        ));
+        assert_eq!(resp.status, Status::Forbidden);
+    }
+
+    #[test]
+    fn rules_roundtrip_and_validation() {
+        let (svc, admin) = service();
+        let alice = register(&svc, &admin, "alice", "contributor");
+        // Invalid rules rejected.
+        let resp = svc.handle(&Request::post_json(
+            "/api/rules/set",
+            &json!({"key": (alice.clone()), "rules": [{"Action": "Shrug"}]}),
+        ));
+        assert_eq!(resp.status, Status::BadRequest);
+        // Valid rules stored and readable.
+        let rules = json!([
+            {"Consumer": ["bob"], "Action": "Allow"},
+            {"Context": ["Drive"], "Action": "Deny"},
+        ]);
+        let resp = svc.handle(&Request::post_json(
+            "/api/rules/set",
+            &json!({"key": (alice.clone()), "rules": (rules.clone())}),
+        ));
+        assert_eq!(resp.status, Status::Ok);
+        let resp = svc.handle(&Request::post_json(
+            "/api/rules/get",
+            &json!({"key": alice}),
+        ));
+        let body = resp.json_body().unwrap();
+        assert_eq!(body["epoch"].as_i64(), Some(1));
+        assert_eq!(body["rules"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn places_set_validation() {
+        let (svc, admin) = service();
+        let alice = register(&svc, &admin, "alice", "contributor");
+        let resp = svc.handle(&Request::post_json(
+            "/api/places/set",
+            &json!({"key": (alice.clone()), "places": [
+                {"label": "UCLA", "region": {"south": 34.06, "north": 34.08, "west": (-118.46), "east": (-118.43)}}
+            ]}),
+        ));
+        assert_eq!(resp.status, Status::Ok);
+        // Missing bounds rejected.
+        let resp = svc.handle(&Request::post_json(
+            "/api/places/set",
+            &json!({"key": alice, "places": [{"label": "x", "region": {"south": 1.0}}]}),
+        ));
+        assert_eq!(resp.status, Status::BadRequest);
+    }
+
+    #[test]
+    fn group_membership_flows_into_enforcement() {
+        let (svc, admin) = service();
+        let alice = register(&svc, &admin, "alice", "contributor");
+        upload_alice_day(&svc, &alice);
+        // Carol is in the "researchers" group.
+        let resp = svc.handle(&Request::post_json(
+            "/api/register",
+            &json!({"key": (admin.clone()), "name": "carol", "role": "consumer",
+                    "groups": ["researchers"]}),
+        ));
+        let carol = resp.json_body().unwrap()["api_key"]
+            .as_str()
+            .unwrap()
+            .to_string();
+        // Alice shares with the group only.
+        svc.handle(&Request::post_json(
+            "/api/rules/set",
+            &json!({"key": (alice.clone()),
+                    "rules": [{"Group": ["researchers"], "Action": "Allow"}]}),
+        ));
+        let resp = svc.handle(&Request::post_json(
+            "/api/query",
+            &json!({"key": carol, "contributor": "alice"}),
+        ));
+        assert!(!resp.json_body().unwrap()["windows"]
+            .as_array()
+            .unwrap()
+            .is_empty());
+        // A consumer outside the group gets nothing.
+        let dave = register(&svc, &admin, "dave", "consumer");
+        let resp = svc.handle(&Request::post_json(
+            "/api/query",
+            &json!({"key": dave, "contributor": "alice"}),
+        ));
+        assert!(resp.json_body().unwrap()["windows"]
+            .as_array()
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn malformed_bodies_rejected() {
+        let (svc, _) = service();
+        let mut req = Request::post_json("/api/query", &json!({}));
+        req.body = b"not json".to_vec();
+        assert_eq!(svc.handle(&req).status, Status::BadRequest);
+        // Missing key field.
+        let resp =
+            svc.handle(&Request::post_json("/api/query", &json!({"contributor": "a"})));
+        assert_eq!(resp.status, Status::Unauthorized);
+    }
+
+    #[test]
+    fn query_unknown_contributor_404s() {
+        let (svc, admin) = service();
+        let bob = register(&svc, &admin, "bob", "consumer");
+        let resp = svc.handle(&Request::post_json(
+            "/api/query",
+            &json!({"key": bob, "contributor": "ghost"}),
+        ));
+        assert_eq!(resp.status, Status::NotFound);
+    }
+}
+
+#[cfg(test)]
+mod durability_tests {
+    use super::*;
+    use sensorsafe_json::json;
+
+    #[test]
+    fn durable_store_survives_restart() {
+        let dir = std::env::temp_dir().join(format!(
+            "sensorsafe-durable-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let config = DataStoreConfig {
+            name: "durable".into(),
+            merge: MergePolicy::default(),
+            data_dir: Some(dir.clone()),
+        };
+        let uploaded;
+        {
+            let (svc, admin) = DataStoreService::new(config.clone());
+            let resp = svc.handle(&Request::post_json(
+                "/api/register",
+                &json!({"key": (admin.to_hex()), "name": "alice", "role": "contributor"}),
+            ));
+            let key = resp.json_body().unwrap()["api_key"]
+                .as_str()
+                .unwrap()
+                .to_string();
+            let scenario = sensorsafe_sim::Scenario::alice_day(
+                sensorsafe_types::Timestamp::from_millis(0),
+                6,
+                1,
+            );
+            let rendered = scenario.render();
+            let segments: Vec<Value> = rendered
+                .chest_segments
+                .iter()
+                .take(32)
+                .map(WaveSegment::to_json)
+                .collect();
+            let resp = svc.handle(&Request::post_json(
+                "/api/upload",
+                &json!({"key": key, "segments": (Value::Array(segments))}),
+            ));
+            assert_eq!(resp.status, Status::Ok);
+            uploaded = 32 * 64;
+        }
+        // "Restart": a fresh service over the same data directory.
+        // Re-registration replays the WAL into the new account.
+        let (svc, admin) = DataStoreService::new(config);
+        let resp = svc.handle(&Request::post_json(
+            "/api/register",
+            &json!({"key": (admin.to_hex()), "name": "alice", "role": "contributor"}),
+        ));
+        assert_eq!(resp.status, Status::Created);
+        let id = ContributorId::new("alice");
+        let stats = svc
+            .state()
+            .with_contributor(&id, |a| a.store.stats())
+            .unwrap();
+        assert_eq!(stats.samples, uploaded, "WAL replay recovered the data");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,247 @@
+//! Server-side state: contributor and consumer accounts.
+
+use parking_lot::RwLock;
+use sensorsafe_policy::PrivacyRule;
+use sensorsafe_store::{MergePolicy, SegmentStore, StoreError};
+use sensorsafe_types::{ConsumerId, ContributorId, GeoPoint, GroupId, Region, StudyId};
+use std::collections::BTreeMap;
+
+/// One contributor hosted on this data store.
+pub struct ContributorAccount {
+    /// The contributor's unique name.
+    pub id: ContributorId,
+    /// Their sensor data.
+    pub store: SegmentStore,
+    /// Their privacy rules (order is irrelevant: evaluation is
+    /// most-restrictive-wins).
+    pub rules: Vec<PrivacyRule>,
+    /// Monotonic rule version, bumped on every change and carried in
+    /// broker sync messages.
+    pub rule_epoch: u64,
+    /// Labeled places ("home", "UCLA") drawn on the map UI; a window's
+    /// location labels are the labels whose region contains its point.
+    pub places: Vec<(String, Region)>,
+}
+
+impl ContributorAccount {
+    /// A fresh account with an in-memory store and no rules (deny-by-
+    /// default shares nothing until the contributor writes rules).
+    pub fn new(id: ContributorId, merge: MergePolicy) -> ContributorAccount {
+        ContributorAccount {
+            id,
+            store: SegmentStore::in_memory(merge),
+            rules: Vec::new(),
+            rule_epoch: 0,
+            places: Vec::new(),
+        }
+    }
+
+    /// A durable account whose store replays from `wal_path`.
+    pub fn open(
+        id: ContributorId,
+        wal_path: impl AsRef<std::path::Path>,
+        merge: MergePolicy,
+    ) -> Result<ContributorAccount, StoreError> {
+        Ok(ContributorAccount {
+            id,
+            store: SegmentStore::open(wal_path, merge)?,
+            rules: Vec::new(),
+            rule_epoch: 0,
+            places: Vec::new(),
+        })
+    }
+
+    /// Labels active at `point`.
+    pub fn labels_at(&self, point: &GeoPoint) -> Vec<String> {
+        self.places
+            .iter()
+            .filter(|(_, region)| region.contains(point))
+            .map(|(label, _)| label.clone())
+            .collect()
+    }
+
+    /// Replaces the rule set, bumping the epoch. Returns the new epoch.
+    pub fn set_rules(&mut self, rules: Vec<PrivacyRule>) -> u64 {
+        self.rules = rules;
+        self.rule_epoch += 1;
+        self.rule_epoch
+    }
+}
+
+/// A consumer registered on this data store (auto-registered by the
+/// broker, §5.4), with membership info used by group/study rule
+/// conditions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConsumerAccount {
+    /// The consumer's unique name.
+    pub id: ConsumerId,
+    /// Group memberships.
+    pub groups: Vec<GroupId>,
+    /// Study enrollments.
+    pub studies: Vec<StudyId>,
+}
+
+impl ConsumerAccount {
+    /// The evaluation-context form.
+    pub fn to_ctx(&self) -> sensorsafe_policy::ConsumerCtx {
+        sensorsafe_policy::ConsumerCtx {
+            id: Some(self.id.clone()),
+            groups: self.groups.clone(),
+            studies: self.studies.clone(),
+        }
+    }
+}
+
+/// All mutable server state behind one lock.
+///
+/// A single `RwLock` keeps the invariants simple (rules and data for a
+/// contributor can never be observed mid-update); queries take the read
+/// side, so concurrent consumers proceed in parallel.
+#[derive(Default)]
+pub struct DataStoreState {
+    inner: RwLock<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    contributors: BTreeMap<ContributorId, ContributorAccount>,
+    consumers: BTreeMap<ConsumerId, ConsumerAccount>,
+}
+
+impl DataStoreState {
+    /// Empty state.
+    pub fn new() -> DataStoreState {
+        DataStoreState::default()
+    }
+
+    /// Adds a contributor account; returns `false` if the name is taken.
+    pub fn add_contributor(&self, account: ContributorAccount) -> bool {
+        let mut inner = self.inner.write();
+        if inner.contributors.contains_key(&account.id) {
+            return false;
+        }
+        inner.contributors.insert(account.id.clone(), account);
+        true
+    }
+
+    /// Adds a consumer account; returns `false` if the name is taken.
+    pub fn add_consumer(&self, account: ConsumerAccount) -> bool {
+        let mut inner = self.inner.write();
+        if inner.consumers.contains_key(&account.id) {
+            return false;
+        }
+        inner.consumers.insert(account.id.clone(), account);
+        true
+    }
+
+    /// Runs `f` with shared access to a contributor.
+    pub fn with_contributor<R>(
+        &self,
+        id: &ContributorId,
+        f: impl FnOnce(&ContributorAccount) -> R,
+    ) -> Option<R> {
+        let inner = self.inner.read();
+        inner.contributors.get(id).map(f)
+    }
+
+    /// Runs `f` with exclusive access to a contributor.
+    pub fn with_contributor_mut<R>(
+        &self,
+        id: &ContributorId,
+        f: impl FnOnce(&mut ContributorAccount) -> R,
+    ) -> Option<R> {
+        let mut inner = self.inner.write();
+        inner.contributors.get_mut(id).map(f)
+    }
+
+    /// Looks up a consumer account.
+    pub fn consumer(&self, id: &ConsumerId) -> Option<ConsumerAccount> {
+        self.inner.read().consumers.get(id).cloned()
+    }
+
+    /// Contributor names hosted here.
+    pub fn contributor_ids(&self) -> Vec<ContributorId> {
+        self.inner.read().contributors.keys().cloned().collect()
+    }
+
+    /// Number of hosted contributors.
+    pub fn contributor_count(&self) -> usize {
+        self.inner.read().contributors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensorsafe_types::Region;
+
+    #[test]
+    fn contributor_lifecycle() {
+        let state = DataStoreState::new();
+        let alice = ContributorAccount::new(ContributorId::new("alice"), MergePolicy::default());
+        assert!(state.add_contributor(alice));
+        let dup = ContributorAccount::new(ContributorId::new("alice"), MergePolicy::default());
+        assert!(!state.add_contributor(dup));
+        assert_eq!(state.contributor_count(), 1);
+        assert_eq!(state.contributor_ids(), vec![ContributorId::new("alice")]);
+    }
+
+    #[test]
+    fn rule_epoch_bumps() {
+        let state = DataStoreState::new();
+        state.add_contributor(ContributorAccount::new(
+            ContributorId::new("alice"),
+            MergePolicy::default(),
+        ));
+        let id = ContributorId::new("alice");
+        let e1 = state
+            .with_contributor_mut(&id, |a| a.set_rules(vec![PrivacyRule::allow_all()]))
+            .unwrap();
+        let e2 = state
+            .with_contributor_mut(&id, |a| a.set_rules(vec![]))
+            .unwrap();
+        assert_eq!(e1, 1);
+        assert_eq!(e2, 2);
+        assert_eq!(
+            state.with_contributor(&id, |a| a.rules.len()).unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn labels_at_point() {
+        let mut account =
+            ContributorAccount::new(ContributorId::new("alice"), MergePolicy::default());
+        account.places = vec![
+            ("UCLA".to_string(), Region::around(GeoPoint::ucla(), 0.01)),
+            (
+                "LA".to_string(),
+                Region::new(33.5, 34.5, -119.0, -117.5),
+            ),
+        ];
+        let labels = account.labels_at(&GeoPoint::ucla());
+        assert_eq!(labels, vec!["UCLA".to_string(), "LA".to_string()]);
+        let downtown = GeoPoint::new(34.05, -118.25);
+        assert_eq!(account.labels_at(&downtown), vec!["LA".to_string()]);
+        let nyc = GeoPoint::new(40.7, -74.0);
+        assert!(account.labels_at(&nyc).is_empty());
+    }
+
+    #[test]
+    fn consumer_accounts() {
+        let state = DataStoreState::new();
+        let bob = ConsumerAccount {
+            id: ConsumerId::new("bob"),
+            groups: vec![GroupId::new("researchers")],
+            studies: vec![StudyId::new("stress-study")],
+        };
+        assert!(state.add_consumer(bob.clone()));
+        assert!(!state.add_consumer(bob.clone()));
+        let fetched = state.consumer(&ConsumerId::new("bob")).unwrap();
+        assert_eq!(fetched, bob);
+        let ctx = fetched.to_ctx();
+        assert_eq!(ctx.id, Some(ConsumerId::new("bob")));
+        assert_eq!(ctx.groups.len(), 1);
+        assert!(state.consumer(&ConsumerId::new("eve")).is_none());
+    }
+}

@@ -1,0 +1,599 @@
+//! The server-rendered web user interface (Fig. 3).
+//!
+//! The paper's UI is "Google Maps, calendars, dialog boxes, and common
+//! HTML UI components such as text boxes, check boxes and radio
+//! buttons"; offline, the map region picker becomes four numeric
+//! bounding-box fields (see DESIGN.md substitutions), everything else is
+//! the same form surface:
+//!
+//! * `GET /ui/login`, `POST /ui/login` — username/password login
+//!   producing a session token (§5.4's web login system).
+//! * `GET /ui/rules` — the rule-builder form plus the current rule list
+//!   rendered from their canonical JSON.
+//! * `POST /ui/rules` — creates a rule from the form fields and appends
+//!   it to the contributor's rule set (bumping the epoch and syncing the
+//!   broker, exactly like the API path).
+//! * `GET /ui/data` — the contributor's data viewer (per-series stats).
+//!
+//! Sessions travel in the `session` query parameter; the web username is
+//! the contributor id.
+
+use crate::service::Inner;
+use sensorsafe_net::{Params, Request, Response, Router, Status};
+use sensorsafe_policy::{
+    AbstractionSpec, Action, ActivityAbs, BinaryAbs, Conditions, ConsumerSelector, LocationAbs,
+    LocationCondition, PrivacyRule, TimeAbs, TimeCondition,
+};
+use sensorsafe_types::{ChannelId, ConsumerId, ContextKind, ContributorId, RepeatTime, Region, TimeOfDay, Weekday};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Escapes text for HTML interpolation.
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn page(title: &str, body: &str) -> Response {
+    Response::html(format!(
+        "<!DOCTYPE html><html><head><title>{t} — SensorSafe</title></head>\
+         <body><h1>{t}</h1>{body}</body></html>",
+        t = escape(title)
+    ))
+}
+
+/// Parses an `application/x-www-form-urlencoded` body.
+fn parse_form(body: &[u8]) -> BTreeMap<String, String> {
+    let text = String::from_utf8_lossy(body);
+    let mut map = BTreeMap::new();
+    for pair in text.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        map.insert(url_decode(k), url_decode(v));
+    }
+    map
+}
+
+fn url_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() + 1 => {
+                match bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| std::str::from_utf8(h).ok())
+                    .and_then(|h| u8::from_str_radix(h, 16).ok())
+                {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn require_session(inner: &Inner, req: &Request) -> Result<String, Response> {
+    req.query
+        .get("session")
+        .and_then(|token| inner.sessions.validate(token))
+        .ok_or_else(|| {
+            Response::error(Status::Unauthorized, "not logged in (see /ui/login)")
+        })
+}
+
+fn login_form() -> Response {
+    page(
+        "Login",
+        r#"<form method="post" action="/ui/login">
+            <label>Username <input type="text" name="username"></label>
+            <label>Password <input type="password" name="password"></label>
+            <button type="submit">Log in</button>
+        </form>"#,
+    )
+}
+
+fn handle_login(inner: &Inner, req: &Request) -> Response {
+    let form = parse_form(&req.body);
+    let (Some(username), Some(password)) = (form.get("username"), form.get("password")) else {
+        return Response::error(Status::BadRequest, "missing username or password");
+    };
+    if !inner.passwords.verify(username, password) {
+        return Response::error(Status::Unauthorized, "bad credentials");
+    }
+    let token = inner.sessions.login(username);
+    page(
+        "Logged in",
+        &format!(
+            r#"<p>Welcome, {u}.</p>
+            <ul>
+              <li><a href="/ui/rules?session={t}">Privacy rules</a></li>
+              <li><a href="/ui/data?session={t}">My data</a></li>
+            </ul>
+            <p data-session-token="{t}"></p>"#,
+            u = escape(username),
+            t = token,
+        ),
+    )
+}
+
+/// The rule-builder form: the same condition/action surface as Table 1.
+fn rules_form(session: &str) -> String {
+    let context_boxes: String = ContextKind::ALL
+        .iter()
+        .map(|k| {
+            format!(
+                r#"<label><input type="checkbox" name="context" value="{k}">{k}</label>"#,
+                k = k.as_str()
+            )
+        })
+        .collect();
+    let day_boxes: String = Weekday::ALL
+        .iter()
+        .map(|d| {
+            format!(
+                r#"<label><input type="checkbox" name="day" value="{d}">{d}</label>"#,
+                d = d.as_str()
+            )
+        })
+        .collect();
+    let ladder =
+        |name: &str, options: &[&str]| -> String {
+            let opts: String = std::iter::once(String::from(r#"<option value=""></option>"#))
+                .chain(options.iter().map(|o| {
+                    format!(r#"<option value="{o}">{o}</option>"#)
+                }))
+                .collect();
+            format!(r#"<label>{name} <select name="abs_{lower}">{opts}</select></label>"#,
+                lower = name.to_ascii_lowercase())
+        };
+    format!(
+        r#"<form method="post" action="/ui/rules?session={session}">
+        <fieldset><legend>Consumer</legend>
+          <label>User <input type="text" name="consumer"></label>
+          <label>Group <input type="text" name="group"></label>
+          <label>Study <input type="text" name="study"></label>
+        </fieldset>
+        <fieldset><legend>Location</legend>
+          <label>Label <input type="text" name="location_label"></label>
+          <label>South <input type="number" step="any" name="south"></label>
+          <label>North <input type="number" step="any" name="north"></label>
+          <label>West <input type="number" step="any" name="west"></label>
+          <label>East <input type="number" step="any" name="east"></label>
+        </fieldset>
+        <fieldset><legend>Time</legend>
+          {day_boxes}
+          <label>From <input type="time" name="from"></label>
+          <label>To <input type="time" name="to"></label>
+        </fieldset>
+        <fieldset><legend>Sensor</legend>
+          <label>Channels (comma-separated) <input type="text" name="sensors"></label>
+        </fieldset>
+        <fieldset><legend>Context</legend>{context_boxes}</fieldset>
+        <fieldset><legend>Action</legend>
+          <label><input type="radio" name="action" value="Allow" checked>Allow</label>
+          <label><input type="radio" name="action" value="Deny">Deny</label>
+          <label><input type="radio" name="action" value="Abstraction">Abstraction</label>
+          {loc_ladder}{time_ladder}{act_ladder}{stress_ladder}{smoke_ladder}{conv_ladder}
+        </fieldset>
+        <button type="submit">Add rule</button>
+        </form>"#,
+        loc_ladder = ladder(
+            "Location",
+            &["Coordinates", "StreetAddress", "Zipcode", "City", "State", "Country", "NotShared"]
+        ),
+        time_ladder = ladder("Time", &["Milliseconds", "Hour", "Day", "Month", "Year", "NotShared"]),
+        act_ladder = ladder("Activity", &["Raw", "TransportMode", "MoveNotMove", "NotShared"]),
+        stress_ladder = ladder("Stress", &["Raw", "Label", "NotShared"]),
+        smoke_ladder = ladder("Smoking", &["Raw", "Label", "NotShared"]),
+        conv_ladder = ladder("Conversation", &["Raw", "Label", "NotShared"]),
+    )
+}
+
+fn handle_rules_page(inner: &Inner, req: &Request) -> Response {
+    let username = match require_session(inner, req) {
+        Ok(u) => u,
+        Err(resp) => return resp,
+    };
+    let id = ContributorId::new(username.clone());
+    let rules_html = inner
+        .state
+        .with_contributor(&id, |account| {
+            let items: String = account
+                .rules
+                .iter()
+                .map(|r| {
+                    format!(
+                        "<li><code>{}</code></li>",
+                        escape(&sensorsafe_json::to_string_pretty(&r.to_json()))
+                    )
+                })
+                .collect();
+            format!(
+                "<p>Rule epoch: {}</p><ol id=\"rules\">{items}</ol>",
+                account.rule_epoch
+            )
+        })
+        .unwrap_or_else(|| "<p>No contributor account.</p>".to_string());
+    let session = req.query.get("session").cloned().unwrap_or_default();
+    page(
+        "Privacy Rules",
+        &format!("{rules_html}{}", rules_form(&session)),
+    )
+}
+
+/// Multi-valued form lookup (check-box groups repeat the key).
+fn form_all(body: &[u8], key: &str) -> Vec<String> {
+    let text = String::from_utf8_lossy(body);
+    text.split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .filter(|(k, _)| url_decode(k) == key)
+        .map(|(_, v)| url_decode(v))
+        .filter(|v| !v.is_empty())
+        .collect()
+}
+
+fn rule_from_form(body: &[u8]) -> Result<PrivacyRule, String> {
+    let form = parse_form(body);
+    let get = |k: &str| form.get(k).filter(|v| !v.is_empty());
+    let mut consumers = Vec::new();
+    if let Some(u) = get("consumer") {
+        consumers.push(ConsumerSelector::User(ConsumerId::new(u.clone())));
+    }
+    if let Some(g) = get("group") {
+        consumers.push(ConsumerSelector::Group(sensorsafe_types::GroupId::new(
+            g.clone(),
+        )));
+    }
+    if let Some(s) = get("study") {
+        consumers.push(ConsumerSelector::Study(sensorsafe_types::StudyId::new(
+            s.clone(),
+        )));
+    }
+    let mut location = LocationCondition::default();
+    if let Some(label) = get("location_label") {
+        location.labels.push(label.clone());
+    }
+    let bounds: Vec<Option<f64>> = ["south", "north", "west", "east"]
+        .iter()
+        .map(|k| get(k).and_then(|v| v.parse().ok()))
+        .collect();
+    if let [Some(south), Some(north), Some(west), Some(east)] = bounds[..] {
+        if south > north {
+            return Err("region south above north".into());
+        }
+        location.regions.push(Region::new(south, north, west, east));
+    }
+    let days: Vec<Weekday> = form_all(body, "day")
+        .iter()
+        .filter_map(|d| Weekday::parse(d))
+        .collect();
+    let mut time = TimeCondition::default();
+    if let (Some(from), Some(to)) = (get("from"), get("to")) {
+        let from = TimeOfDay::parse(from).ok_or("bad 'from' time")?;
+        let to = TimeOfDay::parse(to).ok_or("bad 'to' time")?;
+        time.repeats.push(RepeatTime::new(days, from, to));
+    }
+    let sensors: Vec<ChannelId> = get("sensors")
+        .map(|s| {
+            s.split(',')
+                .map(str::trim)
+                .filter(|c| !c.is_empty())
+                .map(ChannelId::new)
+                .collect()
+        })
+        .unwrap_or_default();
+    let contexts: Vec<ContextKind> = form_all(body, "context")
+        .iter()
+        .filter_map(|c| ContextKind::parse(c))
+        .collect();
+    let action = match get("action").map(String::as_str) {
+        Some("Allow") | None => Action::Allow,
+        Some("Deny") => Action::Deny,
+        Some("Abstraction") => {
+            let spec = AbstractionSpec {
+                location: get("abs_location").and_then(|v| LocationAbs::parse(v)),
+                time: get("abs_time").and_then(|v| TimeAbs::parse(v)),
+                activity: get("abs_activity").and_then(|v| ActivityAbs::parse(v)),
+                stress: get("abs_stress").and_then(|v| BinaryAbs::parse(v)),
+                smoking: get("abs_smoking").and_then(|v| BinaryAbs::parse(v)),
+                conversation: get("abs_conversation").and_then(|v| BinaryAbs::parse(v)),
+            };
+            if spec.is_empty() {
+                return Err("abstraction action needs at least one ladder level".into());
+            }
+            Action::Abstraction(spec)
+        }
+        Some(other) => return Err(format!("unknown action '{other}'")),
+    };
+    Ok(PrivacyRule {
+        conditions: Conditions {
+            consumers,
+            location: (!location.is_empty()).then_some(location),
+            time: (!time.is_empty()).then_some(time),
+            sensors,
+            contexts,
+        },
+        action,
+    })
+}
+
+fn handle_rules_post(inner: &Inner, req: &Request) -> Response {
+    let username = match require_session(inner, req) {
+        Ok(u) => u,
+        Err(resp) => return resp,
+    };
+    let rule = match rule_from_form(&req.body) {
+        Ok(r) => r,
+        Err(e) => return Response::error(Status::BadRequest, &e),
+    };
+    let id = ContributorId::new(username);
+    let result = inner.state.with_contributor_mut(&id, |account| {
+        let mut rules = account.rules.clone();
+        rules.push(rule);
+        (account.set_rules(rules.clone()), rules)
+    });
+    let Some((epoch, rules)) = result else {
+        return Response::error(Status::NotFound, "no contributor account");
+    };
+    inner.push_rules_to_broker(&id, epoch, &rules);
+    page(
+        "Rule added",
+        &format!(
+            r#"<p>Rule stored; epoch is now {epoch}.</p>
+            <a href="/ui/rules?session={s}">Back to rules</a>"#,
+            s = req.query.get("session").cloned().unwrap_or_default()
+        ),
+    )
+}
+
+fn handle_data_page(inner: &Inner, req: &Request) -> Response {
+    let username = match require_session(inner, req) {
+        Ok(u) => u,
+        Err(resp) => return resp,
+    };
+    let id = ContributorId::new(username.clone());
+    let body = inner
+        .state
+        .with_contributor(&id, |account| {
+            let stats = account.store.stats();
+            format!(
+                "<table id=\"stats\">\
+                 <tr><th>Segments</th><td>{}</td></tr>\
+                 <tr><th>Samples</th><td>{}</td></tr>\
+                 <tr><th>Approx. bytes</th><td>{}</td></tr>\
+                 <tr><th>Merges</th><td>{}</td></tr>\
+                 <tr><th>Annotations</th><td>{}</td></tr>\
+                 </table>",
+                stats.segments, stats.samples, stats.approx_bytes, stats.merges,
+                stats.annotations
+            )
+        })
+        .unwrap_or_else(|| "<p>No contributor account.</p>".to_string());
+    page(&format!("Data of {username}"), &body)
+}
+
+/// Mounts the web UI onto the service's router.
+pub(crate) fn mount(router: &mut Router, inner: Arc<Inner>) {
+    {
+        router.get("/ui/login", move |_: &Request, _: &Params| login_form());
+    }
+    {
+        let inner = inner.clone();
+        router.post("/ui/login", move |req: &Request, _: &Params| {
+            handle_login(&inner, req)
+        });
+    }
+    {
+        let inner = inner.clone();
+        router.get("/ui/rules", move |req: &Request, _: &Params| {
+            handle_rules_page(&inner, req)
+        });
+    }
+    {
+        let inner = inner.clone();
+        router.post("/ui/rules", move |req: &Request, _: &Params| {
+            handle_rules_post(&inner, req)
+        });
+    }
+    {
+        let inner = inner.clone();
+        router.get("/ui/data", move |req: &Request, _: &Params| {
+            handle_data_page(&inner, req)
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{DataStoreConfig, DataStoreService};
+    use sensorsafe_json::json;
+    use sensorsafe_net::Service;
+
+    fn logged_in_service() -> (DataStoreService, String) {
+        let (svc, admin) = DataStoreService::new(DataStoreConfig::default());
+        // Create Alice the contributor + her web login.
+        let resp = svc.handle(&Request::post_json(
+            "/api/register",
+            &json!({"key": (admin.to_hex()), "name": "alice", "role": "contributor"}),
+        ));
+        assert_eq!(resp.status, Status::Created);
+        assert!(svc.create_web_user("alice", "hunter2"));
+        // Log in through the form.
+        let mut login = Request {
+            method: sensorsafe_net::Method::Post,
+            path: "/ui/login".into(),
+            query: Default::default(),
+            headers: Default::default(),
+            body: b"username=alice&password=hunter2".to_vec(),
+        };
+        login
+            .headers
+            .insert("content-type".into(), "application/x-www-form-urlencoded".into());
+        let resp = svc.handle(&login);
+        assert_eq!(resp.status, Status::Ok);
+        let html = String::from_utf8(resp.body).unwrap();
+        let token = html
+            .split("data-session-token=\"")
+            .nth(1)
+            .unwrap()
+            .split('"')
+            .next()
+            .unwrap()
+            .to_string();
+        (svc, token)
+    }
+
+    #[test]
+    fn login_page_has_form_components() {
+        let (svc, _) = DataStoreService::new(DataStoreConfig::default());
+        let resp = svc.handle(&Request::get("/ui/login"));
+        let html = String::from_utf8(resp.body).unwrap();
+        assert!(html.contains("type=\"password\""));
+        assert!(html.contains("action=\"/ui/login\""));
+    }
+
+    #[test]
+    fn bad_credentials_rejected() {
+        let (svc, _) = DataStoreService::new(DataStoreConfig::default());
+        svc.create_web_user("alice", "right");
+        let mut login = Request::get("/ui/login");
+        login.method = sensorsafe_net::Method::Post;
+        login.body = b"username=alice&password=wrong".to_vec();
+        assert_eq!(svc.handle(&login).status, Status::Unauthorized);
+    }
+
+    #[test]
+    fn rules_page_requires_session() {
+        let (svc, _) = logged_in_service();
+        let resp = svc.handle(&Request::get("/ui/rules"));
+        assert_eq!(resp.status, Status::Unauthorized);
+        let resp = svc.handle(
+            &Request::get("/ui/rules").with_query("session", "forged-token"),
+        );
+        assert_eq!(resp.status, Status::Unauthorized);
+    }
+
+    #[test]
+    fn rules_page_shows_fig3_components() {
+        let (svc, token) = logged_in_service();
+        let resp = svc.handle(&Request::get("/ui/rules").with_query("session", token));
+        assert_eq!(resp.status, Status::Ok);
+        let html = String::from_utf8(resp.body).unwrap();
+        // The Fig. 3 form surface: check boxes, radio buttons, text
+        // boxes, the region fields, every context, every ladder.
+        assert!(html.contains("type=\"checkbox\""));
+        assert!(html.contains("type=\"radio\""));
+        assert!(html.contains("type=\"text\""));
+        assert!(html.contains("name=\"south\""));
+        for k in ContextKind::ALL {
+            assert!(html.contains(k.as_str()), "missing context {k}");
+        }
+        assert!(html.contains("abs_location"));
+        assert!(html.contains("NotShared"));
+    }
+
+    #[test]
+    fn posting_the_fig4_rule_through_the_form() {
+        let (svc, token) = logged_in_service();
+        // Rule 2 of Fig. 4: Bob @ UCLA, weekdays 9-6, conversation →
+        // stress NotShared.
+        let body = "consumer=Bob&location_label=UCLA\
+            &day=Mon&day=Tue&day=Wed&day=Thu&day=Fri\
+            &from=9%3A00am&to=6%3A00pm&context=Conversation\
+            &action=Abstraction&abs_stress=NotShared";
+        let mut req = Request::get("/ui/rules").with_query("session", token.clone());
+        req.method = sensorsafe_net::Method::Post;
+        req.body = body.as_bytes().to_vec();
+        let resp = svc.handle(&req);
+        assert_eq!(resp.status, Status::Ok, "{:?}", String::from_utf8(resp.body));
+        // The rule shows up on the rules page and in the API model.
+        let resp = svc.handle(&Request::get("/ui/rules").with_query("session", token));
+        let html = String::from_utf8(resp.body).unwrap();
+        assert!(html.contains("Conversation"));
+        let id = ContributorId::new("alice");
+        let (epoch, rules) = svc
+            .state()
+            .with_contributor(&id, |a| (a.rule_epoch, a.rules.clone()))
+            .unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(rules.len(), 1);
+        let rule = &rules[0];
+        assert_eq!(
+            rule.conditions.consumers,
+            vec![ConsumerSelector::User(ConsumerId::new("Bob"))]
+        );
+        assert_eq!(rule.conditions.contexts, vec![ContextKind::Conversation]);
+        let repeat = &rule.conditions.time.as_ref().unwrap().repeats[0];
+        assert_eq!(repeat.days.len(), 5);
+        assert_eq!(repeat.from, TimeOfDay::new(9, 0));
+        match &rule.action {
+            Action::Abstraction(spec) => {
+                assert_eq!(spec.stress, Some(BinaryAbs::NotShared))
+            }
+            other => panic!("wrong action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn form_validation_errors() {
+        let (svc, token) = logged_in_service();
+        for bad in [
+            "action=Abstraction", // no ladder level
+            "south=2.0&north=1.0&west=0&east=1&action=Deny",
+            "from=9%3A00am&to=nonsense&action=Deny",
+            "action=Teleport",
+        ] {
+            let mut req = Request::get("/ui/rules").with_query("session", token.clone());
+            req.method = sensorsafe_net::Method::Post;
+            req.body = bad.as_bytes().to_vec();
+            assert_eq!(
+                svc.handle(&req).status,
+                Status::BadRequest,
+                "should reject {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn data_page_shows_stats_table() {
+        let (svc, token) = logged_in_service();
+        let resp = svc.handle(&Request::get("/ui/data").with_query("session", token));
+        assert_eq!(resp.status, Status::Ok);
+        let html = String::from_utf8(resp.body).unwrap();
+        assert!(html.contains("id=\"stats\""));
+        assert!(html.contains("Segments"));
+    }
+
+    #[test]
+    fn html_escaping() {
+        assert_eq!(escape("<b>&\"x\""), "&lt;b&gt;&amp;&quot;x&quot;");
+    }
+
+    #[test]
+    fn form_parsing() {
+        let form = parse_form(b"a=1&b=hello+world&c=%E4%B8%96");
+        assert_eq!(form["a"], "1");
+        assert_eq!(form["b"], "hello world");
+        assert_eq!(form["c"], "世");
+        assert_eq!(form_all(b"x=1&x=2&y=3&x=", "x"), vec!["1", "2"]);
+    }
+}

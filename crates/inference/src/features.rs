@@ -1,0 +1,169 @@
+//! Windowed feature extraction.
+
+/// Mean of a sample window (0 for empty windows).
+pub fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+/// Population variance of a sample window (0 for empty windows).
+pub fn variance(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let m = mean(samples);
+    samples.iter().map(|s| (s - m).powi(2)).sum::<f64>() / samples.len() as f64
+}
+
+/// Rate (Hz) of threshold-crossing peaks in a window — the estimator for
+/// heart rate (ECG spikes) and breathing rate (respiration zero-ups).
+///
+/// A peak is counted at each upward crossing of `threshold`; the rate is
+/// peaks divided by the window duration.
+pub fn dominant_peak_rate_hz(samples: &[f64], rate_hz: f64, threshold: f64) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let mut peaks = 0usize;
+    let mut above = samples[0] > threshold;
+    for &s in &samples[1..] {
+        if s > threshold && !above {
+            peaks += 1;
+        }
+        above = s > threshold;
+    }
+    let duration_secs = samples.len() as f64 / rate_hz;
+    peaks as f64 / duration_secs
+}
+
+/// Mean ground speed from a window of GPS fixes (per-fix lat/lon pairs
+/// at `fix_interval_secs` spacing), in m/s.
+///
+/// Computed from displacements over a multi-fix stride rather than
+/// fix-to-fix deltas: per-fix GPS noise (~±3 m) would otherwise read as
+/// ~3 m/s of phantom speed on a stationary wearer. Over an 8-fix stride
+/// the same noise contributes <0.5 m/s while real motion accumulates
+/// linearly.
+pub fn speed_mps_from_fixes(fixes: &[(f64, f64)], fix_interval_secs: f64) -> f64 {
+    if fixes.len() < 2 || fix_interval_secs <= 0.0 {
+        return 0.0;
+    }
+    const M_PER_DEG_LAT: f64 = 111_320.0;
+    let stride = 8.min(fixes.len() - 1);
+    let mut total_mps = 0.0;
+    let mut count = 0usize;
+    for i in 0..fixes.len() - stride {
+        let (lat0, lon0) = fixes[i];
+        let (lat1, lon1) = fixes[i + stride];
+        let dlat = (lat1 - lat0) * M_PER_DEG_LAT;
+        let dlon = (lon1 - lon0) * M_PER_DEG_LAT * lat0.to_radians().cos();
+        let dist = (dlat * dlat + dlon * dlon).sqrt();
+        total_mps += dist / (stride as f64 * fix_interval_secs);
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total_mps / count as f64
+    }
+}
+
+/// The full feature vector extracted from one multi-sensor window.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WindowFeatures {
+    /// Heart rate estimate, beats/minute (from ECG peaks).
+    pub heart_rate_bpm: f64,
+    /// Breathing rate estimate, breaths/minute.
+    pub breath_rate_bpm: f64,
+    /// Respiration waveform variance (breath depth proxy).
+    pub breath_depth_var: f64,
+    /// Accelerometer magnitude variance.
+    pub accel_var: f64,
+    /// Mean microphone frame energy.
+    pub audio_mean: f64,
+    /// Microphone energy variance (speech burstiness).
+    pub audio_var: f64,
+    /// Mean GPS ground speed, m/s.
+    pub speed_mps: f64,
+}
+
+impl WindowFeatures {
+    /// Extracts features from raw windows. Any stream may be absent
+    /// (empty slice); its features default to 0.
+    #[allow(clippy::too_many_arguments)] // one argument pair per sensor stream
+    pub fn extract(
+        ecg: &[f64],
+        ecg_hz: f64,
+        resp: &[f64],
+        resp_hz: f64,
+        accel: &[f64],
+        audio: &[f64],
+        gps_fixes: &[(f64, f64)],
+        gps_interval_secs: f64,
+    ) -> WindowFeatures {
+        WindowFeatures {
+            heart_rate_bpm: dominant_peak_rate_hz(ecg, ecg_hz, 0.6) * 60.0,
+            breath_rate_bpm: dominant_peak_rate_hz(resp, resp_hz, 0.0) * 60.0,
+            breath_depth_var: variance(resp),
+            accel_var: variance(accel),
+            audio_mean: mean(audio),
+            audio_var: variance(audio),
+            speed_mps: speed_mps_from_fixes(gps_fixes, gps_interval_secs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[5.0, 5.0, 5.0]), 0.0);
+        assert_eq!(variance(&[1.0, -1.0]), 1.0);
+    }
+
+    #[test]
+    fn peak_rate_counts_crossings() {
+        // A 2 Hz square-ish wave sampled at 20 Hz for 5 s: 10 peaks.
+        let samples: Vec<f64> = (0..100)
+            .map(|i| if (i / 5) % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let rate = dominant_peak_rate_hz(&samples, 20.0, 0.0);
+        assert!((rate - 2.0).abs() < 0.25, "rate {rate}");
+    }
+
+    #[test]
+    fn peak_rate_edge_cases() {
+        assert_eq!(dominant_peak_rate_hz(&[], 10.0, 0.0), 0.0);
+        assert_eq!(dominant_peak_rate_hz(&[1.0], 10.0, 0.0), 0.0);
+        // Constant above threshold: no crossings.
+        assert_eq!(dominant_peak_rate_hz(&[1.0; 50], 10.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn speed_from_fixes() {
+        // Due-north motion: 0.0001° lat/fix ≈ 11.1 m/s at 1 fix/s.
+        let fixes: Vec<(f64, f64)> = (0..10)
+            .map(|i| (34.0 + i as f64 * 1e-4, -118.0))
+            .collect();
+        let v = speed_mps_from_fixes(&fixes, 1.0);
+        assert!((v - 11.13).abs() < 0.1, "speed {v}");
+        assert_eq!(speed_mps_from_fixes(&fixes[..1], 1.0), 0.0);
+        assert_eq!(speed_mps_from_fixes(&fixes, 0.0), 0.0);
+        // Stationary.
+        let still = vec![(34.0, -118.0); 10];
+        assert_eq!(speed_mps_from_fixes(&still, 1.0), 0.0);
+    }
+
+    #[test]
+    fn extract_with_missing_streams() {
+        let f = WindowFeatures::extract(&[], 50.0, &[], 25.0, &[], &[], &[], 1.0);
+        assert_eq!(f, WindowFeatures::default());
+    }
+}

@@ -1,0 +1,31 @@
+//! Context inference: recovering behavioral contexts from raw sensor
+//! windows.
+//!
+//! The paper relies on published inference pipelines — stress from
+//! ECG/respiration [31], transportation mode from accelerometer + GPS
+//! [33], conversation and smoking from respiration/microphone — to
+//! annotate uploaded data with context. Those models are not available
+//! offline, so this crate implements windowed feature extraction plus
+//! threshold classifiers calibrated against `sensorsafe-sim`'s signal
+//! parameterization (see DESIGN.md substitutions). What matters for the
+//! SensorSafe architecture is that *a* context stream with the right
+//! dependency structure exists and is accurate on the simulated data;
+//! the classifier internals are deliberately simple and fully tested.
+//!
+//! The classifiers mirror the paper's dependency graph exactly:
+//!
+//! * [`classify_stress`] ← ECG (+ respiration rate)
+//! * [`classify_smoking`] ← respiration
+//! * [`classify_conversation`] ← microphone energy (+ respiration)
+//! * [`classify_transport`] ← accelerometer magnitude + GPS speed
+
+mod features;
+mod pipeline;
+
+pub use features::{
+    dominant_peak_rate_hz, mean, speed_mps_from_fixes, variance, WindowFeatures,
+};
+pub use pipeline::{
+    classify_conversation, classify_smoking, classify_stress, classify_transport,
+    InferencePipeline, WINDOW_SECS,
+};

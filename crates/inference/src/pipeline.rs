@@ -1,0 +1,360 @@
+//! Threshold classifiers and the end-to-end annotation pipeline.
+//!
+//! Thresholds are calibrated against `sensorsafe-sim`'s signal tables
+//! (documented in that crate): resting heart rate 70 bpm with +30 under
+//! stress, breathing 15 br/min dropping to 7 deep breaths while smoking,
+//! speech bursts ≈62 dB over ≤48 dB ambients, and mode-specific GPS
+//! speeds (walk 1.4, run 3.5, bike 5.5, drive 15 m/s).
+
+use crate::features::WindowFeatures;
+use sensorsafe_types::{
+    ChannelId, ContextAnnotation, ContextKind, ContextState, TimeRange, Timestamp, WaveSegment,
+    CHAN_ACCEL_MAG, CHAN_AUDIO_ENERGY, CHAN_ECG, CHAN_GPS_LAT, CHAN_GPS_LON, CHAN_RESPIRATION,
+};
+
+/// Default inference window length.
+pub const WINDOW_SECS: u32 = 20;
+
+/// Transportation mode from GPS speed (primary) with an accelerometer
+/// fallback when no fix is available ([33]).
+pub fn classify_transport(f: &WindowFeatures) -> ContextKind {
+    if f.speed_mps > 8.0 {
+        ContextKind::Drive
+    } else if f.speed_mps > 4.0 {
+        ContextKind::Bike
+    } else if f.speed_mps > 2.2 {
+        ContextKind::Run
+    } else if f.speed_mps > 0.7 {
+        ContextKind::Walk
+    } else if f.accel_var > 0.05 {
+        ContextKind::Run
+    } else if f.accel_var > 0.008 {
+        ContextKind::Walk
+    } else {
+        ContextKind::Still
+    }
+}
+
+/// Expected resting heart rate for a mode (the simulator's table).
+fn baseline_hr(mode: ContextKind) -> f64 {
+    70.0 + match mode {
+        ContextKind::Walk => 10.0,
+        ContextKind::Run => 40.0,
+        ContextKind::Bike => 15.0,
+        ContextKind::Drive => 5.0,
+        _ => 0.0,
+    }
+}
+
+/// Stress from heart-rate elevation over the activity-adjusted baseline
+/// ([31] uses ECG+respiration; elevation is the dominant feature here).
+pub fn classify_stress(f: &WindowFeatures, mode: ContextKind) -> bool {
+    f.heart_rate_bpm > baseline_hr(mode) + 18.0
+}
+
+/// Smoking from deep (high-variance), slow respiration.
+pub fn classify_smoking(f: &WindowFeatures) -> bool {
+    f.breath_depth_var > 1.2 && f.breath_rate_bpm < 10.0
+}
+
+/// Conversation from loud *and bursty* microphone energy (steady road
+/// noise is loud but not bursty).
+pub fn classify_conversation(f: &WindowFeatures) -> bool {
+    f.audio_mean > 45.0 && f.audio_var > 40.0
+}
+
+/// The end-to-end pipeline: slices uploaded segments into fixed windows,
+/// extracts features, runs every classifier, and emits one annotation
+/// per window.
+#[derive(Debug, Clone, Copy)]
+pub struct InferencePipeline {
+    /// Window length in seconds.
+    pub window_secs: u32,
+}
+
+impl Default for InferencePipeline {
+    fn default() -> Self {
+        InferencePipeline {
+            window_secs: WINDOW_SECS,
+        }
+    }
+}
+
+impl InferencePipeline {
+    fn collect_channel(
+        segments: &[WaveSegment],
+        channel: &ChannelId,
+        window: &TimeRange,
+    ) -> (Vec<f64>, f64) {
+        let mut samples = Vec::new();
+        let mut rate = 0.0;
+        for seg in segments {
+            let Some(sliced) = seg.slice_time(window) else {
+                continue;
+            };
+            if let Some(values) = sliced.channel_values(channel) {
+                if let sensorsafe_types::Timing::Uniform { interval_secs, .. } =
+                    sliced.meta().timing
+                {
+                    rate = 1.0 / interval_secs;
+                }
+                samples.extend(values);
+            }
+        }
+        (samples, rate)
+    }
+
+    fn collect_fixes(segments: &[WaveSegment], window: &TimeRange) -> Vec<(f64, f64)> {
+        let lat_chan = ChannelId::new(CHAN_GPS_LAT);
+        let lon_chan = ChannelId::new(CHAN_GPS_LON);
+        let mut fixes = Vec::new();
+        for seg in segments {
+            let Some(sliced) = seg.slice_time(window) else {
+                continue;
+            };
+            let (Some(lats), Some(lons)) = (
+                sliced.channel_values(&lat_chan),
+                sliced.channel_values(&lon_chan),
+            ) else {
+                continue;
+            };
+            fixes.extend(lats.into_iter().zip(lons));
+        }
+        fixes
+    }
+
+    /// Extracts the feature vector for one window from the uploaded
+    /// segments.
+    pub fn features(&self, segments: &[WaveSegment], window: &TimeRange) -> WindowFeatures {
+        let (ecg, ecg_hz) = Self::collect_channel(segments, &ChannelId::new(CHAN_ECG), window);
+        let (resp, resp_hz) =
+            Self::collect_channel(segments, &ChannelId::new(CHAN_RESPIRATION), window);
+        let (accel, _) = Self::collect_channel(segments, &ChannelId::new(CHAN_ACCEL_MAG), window);
+        let (audio, _) =
+            Self::collect_channel(segments, &ChannelId::new(CHAN_AUDIO_ENERGY), window);
+        let fixes = Self::collect_fixes(segments, window);
+        WindowFeatures::extract(
+            &ecg,
+            if ecg_hz > 0.0 { ecg_hz } else { 50.0 },
+            &resp,
+            if resp_hz > 0.0 { resp_hz } else { 25.0 },
+            &accel,
+            &audio,
+            &fixes,
+            1.0,
+        )
+    }
+
+    /// Classifies one window into a full annotation.
+    pub fn classify_window(
+        &self,
+        segments: &[WaveSegment],
+        window: TimeRange,
+    ) -> ContextAnnotation {
+        let f = self.features(segments, &window);
+        let mode = classify_transport(&f);
+        let states = vec![
+            ContextState {
+                kind: mode,
+                active: true,
+            },
+            ContextState {
+                kind: ContextKind::Moving,
+                active: mode != ContextKind::Still,
+            },
+            ContextState {
+                kind: ContextKind::Stress,
+                active: classify_stress(&f, mode),
+            },
+            ContextState {
+                kind: ContextKind::Conversation,
+                active: classify_conversation(&f),
+            },
+            ContextState {
+                kind: ContextKind::Smoking,
+                active: classify_smoking(&f),
+            },
+        ];
+        ContextAnnotation::new(window, states)
+    }
+
+    /// Annotates a whole recording: tiles `[start, end)` with fixed
+    /// windows (the final partial window is included) and classifies
+    /// each.
+    pub fn annotate(
+        &self,
+        segments: &[WaveSegment],
+        start: Timestamp,
+        end: Timestamp,
+    ) -> Vec<ContextAnnotation> {
+        let window_ms = self.window_secs as i64 * 1000;
+        let mut out = Vec::new();
+        let mut cursor = start;
+        while cursor < end {
+            let window_end = Timestamp::from_millis((cursor.millis() + window_ms).min(end.millis()));
+            out.push(self.classify_window(segments, TimeRange::new(cursor, window_end)));
+            cursor = window_end;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensorsafe_sim::{Scenario, PACKET_SAMPLES};
+
+    fn alice() -> (Scenario, Vec<WaveSegment>) {
+        let scenario = Scenario::alice_day(Timestamp::from_millis(1_311_500_000_000), 11, 1);
+        let rendered = scenario.render();
+        (scenario, rendered.all_segments())
+    }
+
+    #[test]
+    fn classifier_units() {
+        let rest = WindowFeatures {
+            heart_rate_bpm: 72.0,
+            breath_rate_bpm: 15.0,
+            breath_depth_var: 0.5,
+            accel_var: 0.0001,
+            audio_mean: 32.0,
+            audio_var: 3.0,
+            speed_mps: 0.0,
+        };
+        assert_eq!(classify_transport(&rest), ContextKind::Still);
+        assert!(!classify_stress(&rest, ContextKind::Still));
+        assert!(!classify_smoking(&rest));
+        assert!(!classify_conversation(&rest));
+
+        let stressed_driver = WindowFeatures {
+            heart_rate_bpm: 104.0,
+            speed_mps: 14.0,
+            audio_mean: 48.0,
+            audio_var: 4.0,
+            ..rest
+        };
+        assert_eq!(classify_transport(&stressed_driver), ContextKind::Drive);
+        assert!(classify_stress(&stressed_driver, ContextKind::Drive));
+        // Loud road noise is not conversation (not bursty).
+        assert!(!classify_conversation(&stressed_driver));
+
+        let runner = WindowFeatures {
+            heart_rate_bpm: 112.0,
+            speed_mps: 3.4,
+            ..rest
+        };
+        assert_eq!(classify_transport(&runner), ContextKind::Run);
+        // Elevated HR explained by running: not stress.
+        assert!(!classify_stress(&runner, ContextKind::Run));
+
+        let smoker = WindowFeatures {
+            breath_rate_bpm: 7.0,
+            breath_depth_var: 2.3,
+            ..rest
+        };
+        assert!(classify_smoking(&smoker));
+
+        let talker = WindowFeatures {
+            audio_mean: 52.0,
+            audio_var: 160.0,
+            ..rest
+        };
+        assert!(classify_conversation(&talker));
+    }
+
+    #[test]
+    fn accel_fallback_without_gps() {
+        let no_gps = WindowFeatures {
+            accel_var: 0.07,
+            ..Default::default()
+        };
+        assert_eq!(classify_transport(&no_gps), ContextKind::Run);
+        let walk = WindowFeatures {
+            accel_var: 0.012,
+            ..Default::default()
+        };
+        assert_eq!(classify_transport(&walk), ContextKind::Walk);
+    }
+
+    #[test]
+    fn pipeline_recovers_alice_ground_truth() {
+        let (scenario, segments) = alice();
+        let pipeline = InferencePipeline::default();
+        let end = scenario
+            .start
+            .plus_millis(scenario.duration_secs() as i64 * 1000);
+        let annotations = pipeline.annotate(&segments, scenario.start, end);
+        assert_eq!(annotations.len(), (600 / WINDOW_SECS) as usize);
+
+        let truth = scenario.ground_truth();
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for ann in &annotations {
+            // Compare only windows fully inside one episode (boundary
+            // windows legitimately mix conditions).
+            let Some(episode_truth) = truth.iter().find(|t| {
+                t.window.start <= ann.window.start && ann.window.end <= t.window.end
+            }) else {
+                continue;
+            };
+            for kind in [
+                ContextKind::Moving,
+                ContextKind::Stress,
+                ContextKind::Conversation,
+                ContextKind::Smoking,
+            ] {
+                total += 1;
+                if ann.state_of(kind) == episode_truth.state_of(kind) {
+                    correct += 1;
+                }
+            }
+            // Transport mode: compare the active mode.
+            total += 1;
+            if ann.transport_mode() == episode_truth.transport_mode() {
+                correct += 1;
+            }
+        }
+        let accuracy = correct as f64 / total as f64;
+        assert!(
+            accuracy >= 0.9,
+            "inference accuracy {accuracy:.3} ({correct}/{total})"
+        );
+    }
+
+    #[test]
+    fn annotate_handles_partial_final_window() {
+        let (scenario, segments) = alice();
+        let pipeline = InferencePipeline { window_secs: 45 };
+        let end = scenario.start.plus_millis(100_000); // 100 s
+        let annotations = pipeline.annotate(&segments, scenario.start, end);
+        assert_eq!(annotations.len(), 3); // 45 + 45 + 10
+        assert_eq!(annotations[2].window.duration_millis(), 10_000);
+    }
+
+    #[test]
+    fn empty_segments_yield_still_quiet() {
+        let pipeline = InferencePipeline::default();
+        let window = TimeRange::new(Timestamp::from_millis(0), Timestamp::from_millis(20_000));
+        let ann = pipeline.classify_window(&[], window);
+        assert_eq!(ann.transport_mode(), Some(ContextKind::Still));
+        assert_eq!(ann.state_of(ContextKind::Stress), Some(false));
+        assert_eq!(ann.state_of(ContextKind::Conversation), Some(false));
+    }
+
+    #[test]
+    fn features_see_packetized_data() {
+        // PACKET_SAMPLES-sized chunks must reassemble into full windows.
+        let (scenario, segments) = alice();
+        let pipeline = InferencePipeline::default();
+        let window = TimeRange::new(
+            scenario.start,
+            scenario.start.plus_millis(WINDOW_SECS as i64 * 1000),
+        );
+        let f = pipeline.features(&segments, &window);
+        // 20 s of 50 Hz chest data = 1000 samples spread over ≥15 packets.
+        assert!(segments.len() > 15);
+        let _ = PACKET_SAMPLES;
+        assert!(f.heart_rate_bpm > 50.0, "hr {}", f.heart_rate_bpm);
+        assert!(f.breath_rate_bpm > 8.0, "br {}", f.breath_rate_bpm);
+    }
+}

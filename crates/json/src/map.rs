@@ -1,0 +1,263 @@
+//! Insertion-ordered string-keyed map used for JSON objects.
+//!
+//! JSON object member order is not semantically significant per RFC 8259,
+//! but preserving it keeps serialized privacy rules and wave segments
+//! byte-stable across a parse/serialize round trip, which matters for the
+//! broker's rule-mirror consistency checks (rules are compared by their
+//! canonical serialized form).
+
+use crate::Value;
+use std::collections::HashMap;
+
+/// An insertion-ordered map from `String` keys to [`Value`]s.
+///
+/// Lookup is O(1) via a side index; iteration follows insertion order.
+/// Re-inserting an existing key overwrites the value in place and keeps
+/// the key's original position.
+#[derive(Clone, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+    /// Key -> index into `entries`. Only built once the map is large enough
+    /// that linear scans would dominate; small objects (the common case for
+    /// privacy rules) stay index-free.
+    index: Option<HashMap<String, usize>>,
+}
+
+/// Linear scans beat hashing for objects this small.
+const INDEX_THRESHOLD: usize = 12;
+
+impl Map {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty map with room for `cap` entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        Map {
+            entries: Vec::with_capacity(cap),
+            index: None,
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the object has no members.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn position(&self, key: &str) -> Option<usize> {
+        if let Some(idx) = &self.index {
+            idx.get(key).copied()
+        } else {
+            self.entries.iter().position(|(k, _)| k == key)
+        }
+    }
+
+    fn build_index_if_needed(&mut self) {
+        if self.index.is_none() && self.entries.len() >= INDEX_THRESHOLD {
+            self.index = Some(
+                self.entries
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (k, _))| (k.clone(), i))
+                    .collect(),
+            );
+        }
+    }
+
+    /// Inserts `value` under `key`, returning the previous value if the key
+    /// was already present. The key keeps its original position on
+    /// overwrite.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        match self.position(&key) {
+            Some(i) => Some(std::mem::replace(&mut self.entries[i].1, value)),
+            None => {
+                if let Some(idx) = &mut self.index {
+                    idx.insert(key.clone(), self.entries.len());
+                }
+                self.entries.push((key, value));
+                self.build_index_if_needed();
+                None
+            }
+        }
+    }
+
+    /// Returns the value for `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.position(key).map(|i| &self.entries[i].1)
+    }
+
+    /// Returns a mutable reference to the value for `key`, if present.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.position(key).map(|i| &mut self.entries[i].1)
+    }
+
+    /// True if `key` is a member.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.position(key).is_some()
+    }
+
+    /// Removes `key`, returning its value. Shifts later entries left, so
+    /// relative order of the remaining members is preserved.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let i = self.position(key)?;
+        let (_, v) = self.entries.remove(i);
+        // Index positions after `i` are stale; rebuild lazily.
+        if let Some(idx) = &mut self.index {
+            idx.clear();
+            for (j, (k, _)) in self.entries.iter().enumerate() {
+                idx.insert(k.clone(), j);
+            }
+        }
+        Some(v)
+    }
+
+    /// Iterates members in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterates members mutably in insertion order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&String, &mut Value)> {
+        self.entries.iter_mut().map(|(k, v)| (&*k, v))
+    }
+
+    /// Iterates keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+}
+
+impl PartialEq for Map {
+    /// Order-insensitive equality: two objects are equal iff they contain
+    /// the same key/value pairs, matching JSON semantics.
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len()
+            && self
+                .iter()
+                .all(|(k, v)| other.get(k).is_some_and(|ov| ov == v))
+    }
+}
+
+impl std::fmt::Debug for Map {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Self {
+        let mut map = Map::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+impl IntoIterator for Map {
+    type Item = (String, Value);
+    type IntoIter = std::vec::IntoIter<(String, Value)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_overwrite() {
+        let mut m = Map::new();
+        assert!(m.insert("a".into(), Value::from(1)).is_none());
+        assert_eq!(m.insert("a".into(), Value::from(2)), Some(Value::from(1)));
+        assert_eq!(m.get("a"), Some(&Value::from(2)));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn preserves_insertion_order() {
+        let mut m = Map::new();
+        for k in ["z", "a", "m"] {
+            m.insert(k.into(), Value::Null);
+        }
+        let keys: Vec<_> = m.keys().map(String::as_str).collect();
+        assert_eq!(keys, ["z", "a", "m"]);
+    }
+
+    #[test]
+    fn overwrite_keeps_position() {
+        let mut m = Map::new();
+        m.insert("x".into(), Value::from(1));
+        m.insert("y".into(), Value::from(2));
+        m.insert("x".into(), Value::from(3));
+        let keys: Vec<_> = m.keys().map(String::as_str).collect();
+        assert_eq!(keys, ["x", "y"]);
+    }
+
+    #[test]
+    fn remove_preserves_relative_order() {
+        let mut m = Map::new();
+        for (i, k) in ["a", "b", "c", "d"].iter().enumerate() {
+            m.insert((*k).into(), Value::from(i as i64));
+        }
+        assert_eq!(m.remove("b"), Some(Value::from(1)));
+        assert!(m.remove("b").is_none());
+        let keys: Vec<_> = m.keys().map(String::as_str).collect();
+        assert_eq!(keys, ["a", "c", "d"]);
+    }
+
+    #[test]
+    fn large_map_uses_index_correctly() {
+        let mut m = Map::new();
+        for i in 0..100 {
+            m.insert(format!("k{i}"), Value::from(i));
+        }
+        for i in 0..100 {
+            assert_eq!(m.get(&format!("k{i}")), Some(&Value::from(i)));
+        }
+        assert_eq!(m.remove("k50"), Some(Value::from(50)));
+        assert!(m.get("k50").is_none());
+        assert_eq!(m.get("k99"), Some(&Value::from(99)));
+        // Inserting after a remove keeps the index consistent.
+        m.insert("k50".into(), Value::from(-1));
+        assert_eq!(m.get("k50"), Some(&Value::from(-1)));
+    }
+
+    #[test]
+    fn equality_is_order_insensitive() {
+        let mut a = Map::new();
+        a.insert("x".into(), Value::from(1));
+        a.insert("y".into(), Value::from(2));
+        let mut b = Map::new();
+        b.insert("y".into(), Value::from(2));
+        b.insert("x".into(), Value::from(1));
+        assert_eq!(a, b);
+        b.insert("z".into(), Value::Null);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn from_iterator_and_into_iterator() {
+        let m: Map = vec![
+            ("a".to_string(), Value::from(1)),
+            ("b".to_string(), Value::from(2)),
+        ]
+        .into_iter()
+        .collect();
+        let pairs: Vec<_> = m.into_iter().collect();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].0, "a");
+    }
+}

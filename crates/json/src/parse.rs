@@ -1,0 +1,524 @@
+//! A strict, recursive-descent RFC 8259 parser.
+//!
+//! Rejects trailing garbage, trailing commas, unquoted keys, single quotes
+//! (with one documented exception below), control characters in strings,
+//! and nesting deeper than [`Parser::MAX_DEPTH`]. Reports errors with
+//! 1-based line and column.
+//!
+//! **Paper-compat note:** Fig. 4 of the SensorSafe paper writes privacy
+//! rules with single-quoted strings (`'Consumer': ['Bob']`), which is not
+//! valid JSON. [`Parser::lenient`] accepts single-quoted strings so the
+//! paper's figures parse verbatim; the default [`parse`] entry point stays
+//! strict.
+
+use crate::{Map, Number, Value};
+
+/// A parse failure with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// 1-based line of the offending byte.
+    pub line: usize,
+    /// 1-based column (in bytes) of the offending byte.
+    pub column: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JSON parse error at line {}, column {}: {}",
+            self.line, self.column, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a complete JSON document, strictly.
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    Parser::new(input).parse_document()
+}
+
+/// Streaming state for a single document parse.
+pub struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+    allow_single_quotes: bool,
+}
+
+impl<'a> Parser<'a> {
+    /// Maximum container nesting depth; prevents stack overflow on
+    /// adversarial inputs (the query API accepts JSON from the network).
+    pub const MAX_DEPTH: usize = 128;
+
+    /// A strict parser.
+    pub fn new(input: &'a str) -> Self {
+        Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+            depth: 0,
+            allow_single_quotes: false,
+        }
+    }
+
+    /// A parser that additionally accepts single-quoted strings, as used
+    /// in the paper's Fig. 4 rule listing.
+    pub fn lenient(input: &'a str) -> Self {
+        Parser {
+            allow_single_quotes: true,
+            ..Parser::new(input)
+        }
+    }
+
+    /// Parses exactly one value followed by optional whitespace and EOF.
+    pub fn parse_document(mut self) -> Result<Value, ParseError> {
+        let value = self.parse_value()?;
+        self.skip_whitespace();
+        if self.pos != self.bytes.len() {
+            return Err(self.error("trailing characters after document"));
+        }
+        Ok(value)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let mut line = 1;
+        let mut col = 1;
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        ParseError {
+            message: message.into(),
+            line,
+            column: col,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected '{}', found {}",
+                byte as char,
+                self.describe_current()
+            )))
+        }
+    }
+
+    fn describe_current(&self) -> String {
+        match self.peek() {
+            Some(b) if b.is_ascii_graphic() => format!("'{}'", b as char),
+            Some(b) => format!("byte 0x{b:02x}"),
+            None => "end of input".to_string(),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ParseError> {
+        self.skip_whitespace();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'\'') if self.allow_single_quotes => Ok(Value::String(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.error(format!("expected a value, found {}", self.describe_current()))),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("invalid literal, expected '{word}'")))
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > Self::MAX_DEPTH {
+            Err(self.error("maximum nesting depth exceeded"))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, ParseError> {
+        self.enter()?;
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_whitespace();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.error(format!(
+                        "expected ',' or '}}' in object, found {}",
+                        self.describe_current()
+                    )));
+                }
+            }
+        }
+        self.depth -= 1;
+        Ok(Value::Object(map))
+    }
+
+    fn parse_array(&mut self) -> Result<Value, ParseError> {
+        self.enter()?;
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => break,
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.error(format!(
+                        "expected ',' or ']' in array, found {}",
+                        self.describe_current()
+                    )));
+                }
+            }
+        }
+        self.depth -= 1;
+        Ok(Value::Array(items))
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        let quote = match self.peek() {
+            Some(b'"') => b'"',
+            Some(b'\'') if self.allow_single_quotes => b'\'',
+            _ => {
+                return Err(self.error(format!(
+                    "expected a string, found {}",
+                    self.describe_current()
+                )))
+            }
+        };
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated string")),
+                Some(b) if b == quote => break,
+                Some(b'\\') => self.parse_escape(&mut out)?,
+                Some(b) if b < 0x20 => {
+                    self.pos -= 1;
+                    return Err(self.error("raw control character in string"));
+                }
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(first) => {
+                    // Multi-byte UTF-8: the input is a &str so the bytes
+                    // are valid; copy the remaining continuation bytes.
+                    let len = utf8_len(first);
+                    let start = self.pos - 1;
+                    self.pos = start + len;
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect(
+                        "input is a &str, so multi-byte sequences are valid UTF-8",
+                    ));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn parse_escape(&mut self, out: &mut String) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(b'"') => out.push('"'),
+            Some(b'\'') if self.allow_single_quotes => out.push('\''),
+            Some(b'\\') => out.push('\\'),
+            Some(b'/') => out.push('/'),
+            Some(b'b') => out.push('\u{0008}'),
+            Some(b'f') => out.push('\u{000C}'),
+            Some(b'n') => out.push('\n'),
+            Some(b'r') => out.push('\r'),
+            Some(b't') => out.push('\t'),
+            Some(b'u') => {
+                let hi = self.parse_hex4()?;
+                let ch = if (0xD800..0xDC00).contains(&hi) {
+                    // High surrogate: require a following \uXXXX low
+                    // surrogate and combine.
+                    if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                        return Err(self.error("unpaired high surrogate"));
+                    }
+                    let lo = self.parse_hex4()?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err(self.error("invalid low surrogate"));
+                    }
+                    let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    char::from_u32(code).ok_or_else(|| self.error("invalid surrogate pair"))?
+                } else if (0xDC00..0xE000).contains(&hi) {
+                    return Err(self.error("unpaired low surrogate"));
+                } else {
+                    char::from_u32(hi).ok_or_else(|| self.error("invalid unicode escape"))?
+                };
+                out.push(ch);
+            }
+            _ => return Err(self.error("invalid escape sequence")),
+        }
+        Ok(())
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, ParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .bump()
+                .ok_or_else(|| self.error("truncated \\u escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.error("invalid hex digit in \\u escape"))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: a single 0, or [1-9][0-9]*.
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'0'..=b'9')) {
+                    return Err(self.error("leading zeros are not allowed"));
+                }
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.error("invalid number: missing digits")),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("invalid number: missing fraction digits"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("invalid number: missing exponent digits"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number chars are ASCII");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::Int(i)));
+            }
+            // Integer overflowing i64: fall through to float.
+        }
+        let f: f64 = text
+            .parse()
+            .map_err(|_| self.error("number out of range"))?;
+        if f.is_infinite() {
+            return Err(self.error("number out of range"));
+        }
+        Ok(Value::Number(Number::Float(f)))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn ok(s: &str) -> Value {
+        parse(s).unwrap_or_else(|e| panic!("{s:?} should parse: {e}"))
+    }
+
+    fn err(s: &str) -> ParseError {
+        match parse(s) {
+            Ok(v) => panic!("{s:?} should fail, parsed {v:?}"),
+            Err(e) => e,
+        }
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(ok("null"), Value::Null);
+        assert_eq!(ok("true"), Value::Bool(true));
+        assert_eq!(ok("false"), Value::Bool(false));
+        assert_eq!(ok("0"), Value::from(0));
+        assert_eq!(ok("-1"), Value::from(-1));
+        assert_eq!(ok("3.5"), Value::from(3.5));
+        assert_eq!(ok("1e3"), Value::from(1000.0));
+        assert_eq!(ok("2.5e-2"), Value::from(0.025));
+        assert_eq!(ok("\"hi\""), Value::from("hi"));
+    }
+
+    #[test]
+    fn containers_and_whitespace() {
+        assert_eq!(ok(" [ 1 , 2 ] "), json!([1, 2]));
+        assert_eq!(ok("{\n\t\"a\": [true]\r}"), json!({"a": [true]}));
+        assert_eq!(ok("[]"), json!([]));
+        assert_eq!(ok("{}"), json!({}));
+        assert_eq!(ok("[[[]]]"), json!([[[]]]));
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(ok(r#""\"\\\/\b\f\n\r\t""#), Value::from("\"\\/\u{8}\u{c}\n\r\t"));
+        assert_eq!(ok(r#""A""#), Value::from("A"));
+        assert_eq!(ok(r#""é""#), Value::from("é"));
+        // Surrogate pair: U+1F600.
+        assert_eq!(ok(r#""😀""#), Value::from("😀"));
+    }
+
+    #[test]
+    fn raw_utf8_passthrough() {
+        assert_eq!(ok("\"héllo 世界\""), Value::from("héllo 世界"));
+    }
+
+    #[test]
+    fn integer_precision() {
+        assert_eq!(ok("9007199254740993").as_i64(), Some(9007199254740993));
+        assert_eq!(ok("-9223372036854775808").as_i64(), Some(i64::MIN));
+    }
+
+    #[test]
+    fn huge_integer_degrades_to_float() {
+        let v = ok("92233720368547758080");
+        assert!(v.as_f64().unwrap() > 9.2e19);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        err("");
+        err("tru");
+        err("nulll");
+        err("[1,]");
+        err("{\"a\":1,}");
+        err("{'a':1}"); // single quotes rejected in strict mode
+        err("{a:1}");
+        err("[1 2]");
+        err("\"unterminated");
+        err("01");
+        err("1.");
+        err(".5");
+        err("1e");
+        err("+1");
+        err("[1]]");
+        err("{} {}");
+        err("\"\x01\"");
+        err(r#""\q""#);
+        err(r#""\u12"#);
+        err(r#""\ud800""#); // unpaired high surrogate
+        err(r#""\udc00""#); // unpaired low surrogate
+        err("1e99999"); // infinite
+    }
+
+    #[test]
+    fn error_positions() {
+        let e = err("{\n  \"a\": @\n}");
+        assert_eq!(e.line, 2);
+        assert_eq!(e.column, 8);
+        let shown = e.to_string();
+        assert!(shown.contains("line 2"), "got: {shown}");
+    }
+
+    #[test]
+    fn depth_limit() {
+        let deep = "[".repeat(Parser::MAX_DEPTH + 1) + &"]".repeat(Parser::MAX_DEPTH + 1);
+        let e = parse(&deep).unwrap_err();
+        assert!(e.message.contains("depth"));
+        let ok_depth = "[".repeat(Parser::MAX_DEPTH) + &"]".repeat(Parser::MAX_DEPTH);
+        assert!(parse(&ok_depth).is_ok());
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins() {
+        assert_eq!(ok(r#"{"a":1,"a":2}"#), json!({"a": 2}));
+    }
+
+    #[test]
+    fn lenient_mode_parses_paper_fig4_style() {
+        let text = "{ 'Consumer': ['Bob'], 'Action': 'Allow' }";
+        let v = Parser::lenient(text).parse_document().unwrap();
+        assert_eq!(v["Consumer"][0].as_str(), Some("Bob"));
+        assert_eq!(v["Action"].as_str(), Some("Allow"));
+        // Strict mode still refuses it.
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn lenient_single_quote_escape() {
+        let v = Parser::lenient(r"'it\'s'").parse_document().unwrap();
+        assert_eq!(v.as_str(), Some("it's"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Compact and pretty JSON serializers.
+//!
+//! Output is valid RFC 8259: strings are escaped, non-finite floats cannot
+//! occur (rejected at [`crate::Value`] construction), and integers print
+//! exactly. Floats use Rust's shortest-roundtrip formatting, with a
+//! trailing `.0` added to integral floats so the float/integer distinction
+//! survives a round trip of the *serialized text* (`5.0` stays a float).
+
+use crate::{Number, Value};
+
+/// Serializes compactly (no whitespace).
+pub fn to_string(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, None, 0);
+    out
+}
+
+/// Serializes with 2-space indentation, for web-UI display and logs.
+pub fn to_string_pretty(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, Some(2), 0);
+    out
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: Number) {
+    use std::fmt::Write as _;
+    match n {
+        Number::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Number::Float(f) => {
+            debug_assert!(f.is_finite(), "non-finite floats are unrepresentable");
+            if f == f.trunc() && f.abs() < 1e15 {
+                let _ = write!(out, "{f:.1}");
+            } else {
+                let _ = write!(out, "{f}");
+            }
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{json, parse, Value};
+
+    #[test]
+    fn compact_output() {
+        let v = json!({"a": [1, 2.5, "x"], "b": null});
+        assert_eq!(to_string(&v), r#"{"a":[1,2.5,"x"],"b":null}"#);
+    }
+
+    #[test]
+    fn pretty_output() {
+        let v = json!({"a": [1], "b": {}});
+        let pretty = to_string_pretty(&v);
+        assert_eq!(pretty, "{\n  \"a\": [\n    1\n  ],\n  \"b\": {}\n}");
+    }
+
+    #[test]
+    fn escaping() {
+        let v = Value::from("line1\nline2\t\"quoted\" \\ \u{1}");
+        let s = to_string(&v);
+        assert_eq!(s, "\"line1\\nline2\\t\\\"quoted\\\" \\\\ \\u0001\"");
+        assert_eq!(parse(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn integral_float_keeps_float_form() {
+        let v = Value::from(5.0);
+        assert_eq!(to_string(&v), "5.0");
+        // ...and round-trips numerically equal to the integer 5.
+        assert_eq!(parse("5.0").unwrap(), Value::from(5));
+    }
+
+    #[test]
+    fn integer_exactness() {
+        let v = Value::from(i64::MAX);
+        assert_eq!(to_string(&v), "9223372036854775807");
+        assert_eq!(parse(&to_string(&v)).unwrap().as_i64(), Some(i64::MAX));
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        let v = Value::from("héllo 世界 😀");
+        assert_eq!(parse(&to_string(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn empty_containers_stay_compact_even_pretty() {
+        assert_eq!(to_string_pretty(&json!([])), "[]");
+        assert_eq!(to_string_pretty(&json!({})), "{}");
+    }
+
+    #[test]
+    fn display_matches_compact() {
+        let v = json!({"k": [true, false]});
+        assert_eq!(v.to_string(), to_string(&v));
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based round-trip tests for the JSON substrate.
+
+use proptest::prelude::*;
+use sensorsafe_json::{parse, to_string, to_string_pretty, Map, Value};
+
+/// Strategy for arbitrary JSON values with bounded depth and size.
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::from),
+        any::<i64>().prop_map(Value::from),
+        // Finite floats only; NaN is unrepresentable in JSON.
+        prop::num::f64::NORMAL.prop_map(Value::from),
+        "\\PC{0,20}".prop_map(Value::from),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..8).prop_map(Value::Array),
+            prop::collection::vec(("\\PC{0,12}", inner), 0..8).prop_map(|pairs| {
+                Value::Object(pairs.into_iter().collect::<Map>())
+            }),
+        ]
+    })
+}
+
+proptest! {
+    /// Serialize → parse returns an equal value.
+    #[test]
+    fn compact_roundtrip(v in arb_value()) {
+        let text = to_string(&v);
+        let back = parse(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    /// Pretty serialization parses back to the same value.
+    #[test]
+    fn pretty_roundtrip(v in arb_value()) {
+        let text = to_string_pretty(&v);
+        let back = parse(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    /// Serialization is deterministic: two serializations of the same value
+    /// are byte-identical (needed by the broker's rule-mirror comparison).
+    #[test]
+    fn serialization_deterministic(v in arb_value()) {
+        prop_assert_eq!(to_string(&v), to_string(&v));
+    }
+
+    /// Parse of serialized text re-serializes to the identical bytes
+    /// (canonical-form stability).
+    #[test]
+    fn reserialization_stable(v in arb_value()) {
+        let once = to_string(&v);
+        let twice = to_string(&parse(&once).unwrap());
+        prop_assert_eq!(once, twice);
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_total_on_garbage(s in "\\PC{0,256}") {
+        let _ = parse(&s);
+    }
+
+    /// Any error reported on structured-ish garbage carries a plausible
+    /// position (within the input plus one line).
+    #[test]
+    fn errors_have_positions(s in "[\\[\\]{}:,\"0-9a-z ]{0,64}") {
+        if let Err(e) = parse(&s) {
+            prop_assert!(e.line >= 1);
+            prop_assert!(e.column >= 1);
+        }
+    }
+}
+
+#[test]
+fn fig5_wave_segment_shape_parses() {
+    // Structure of the paper's Fig. 5 wave segment (values representative).
+    let text = r#"{
+        "location": {"latitude": 34.0722, "longitude": -118.4441},
+        "sampling_interval": 0.02,
+        "start_time": 1311535598327,
+        "format": ["ecg", "respiration"],
+        "data": [[512, 301], [518, 300], [530, 298]]
+    }"#;
+    let v = parse(text).unwrap();
+    assert_eq!(v["start_time"].as_i64(), Some(1311535598327));
+    assert_eq!(v["format"].as_string_list().unwrap(), ["ecg", "respiration"]);
+    assert_eq!(v["data"][2][0].as_i64(), Some(530));
+}

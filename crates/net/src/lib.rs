@@ -1,0 +1,56 @@
+//! Minimal HTTP/1.1 networking for SensorSafe.
+//!
+//! The paper's servers expose HTTP APIs ("it is included in the body of a
+//! HTTPS POST request", §5.4) and web user interfaces. No async runtime
+//! or HTTP crate is in the permitted dependency set, so this crate
+//! implements the needed subset from scratch over `std::net`:
+//!
+//! * [`http`] — request/response model, parser, and serializer
+//!   (`Content-Length` framing; GET/POST/PUT/DELETE; keep-alive).
+//! * [`Router`] — path-pattern routing (`/api/data/:user`) dispatching to
+//!   handler closures; implements [`Service`].
+//! * [`Server`] — a blocking TCP acceptor with a crossbeam-channel thread
+//!   pool and clean shutdown.
+//! * [`HttpClient`] — a blocking client for consumer apps, contributor
+//!   phones, and server-to-server calls (rule sync, key escrow).
+//! * [`Transport`] — an abstraction over "talk to a service": either real
+//!   TCP ([`TcpTransport`]) or an in-process call ([`LocalTransport`]),
+//!   so benches can measure architecture costs without kernel noise and
+//!   examples/tests can exercise real sockets.
+//!
+//! TLS is intentionally absent (see DESIGN.md substitutions): in the
+//! paper HTTPS wraps this byte stream transparently.
+
+pub mod http;
+mod router;
+mod server;
+mod transport;
+
+pub use http::{Method, Request, Response, Status};
+pub use router::{Params, Router};
+pub use server::Server;
+pub use transport::{HttpClient, LocalTransport, TcpTransport, Transport, TransportError};
+
+use std::sync::Arc;
+
+/// Anything that turns a request into a response. Routers, whole servers
+/// (data store, broker), and test doubles implement this.
+pub trait Service: Send + Sync {
+    /// Handles one request.
+    fn handle(&self, request: &Request) -> Response;
+}
+
+impl<F> Service for F
+where
+    F: Fn(&Request) -> Response + Send + Sync,
+{
+    fn handle(&self, request: &Request) -> Response {
+        self(request)
+    }
+}
+
+impl Service for Arc<dyn Service> {
+    fn handle(&self, request: &Request) -> Response {
+        (**self).handle(request)
+    }
+}

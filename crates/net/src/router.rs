@@ -1,0 +1,248 @@
+//! Path-pattern routing.
+//!
+//! Patterns are `/`-separated literals and `:name` captures:
+//! `/api/data/:user` matches `/api/data/alice` with `user = "alice"`.
+//! Dispatch picks the first registered route whose method and pattern
+//! match; a path that matches some pattern with a different method yields
+//! 405, otherwise 404.
+
+use crate::http::{Method, Request, Response, Status};
+use crate::Service;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Captured path parameters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Params(BTreeMap<String, String>);
+
+impl Params {
+    /// The captured value of `:name`.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.0.get(name).map(String::as_str)
+    }
+
+    /// The captured value, or a 400 response for the caller to return.
+    pub fn require(&self, name: &str) -> Result<&str, Response> {
+        self.get(name)
+            .ok_or_else(|| Response::error(Status::BadRequest, &format!("missing '{name}'")))
+    }
+}
+
+type Handler = Arc<dyn Fn(&Request, &Params) -> Response + Send + Sync>;
+
+struct Route {
+    method: Method,
+    pattern: Vec<Pattern>,
+    handler: Handler,
+}
+
+enum Pattern {
+    Literal(String),
+    Capture(String),
+}
+
+fn compile(pattern: &str) -> Vec<Pattern> {
+    pattern
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .map(|seg| match seg.strip_prefix(':') {
+            Some(name) => Pattern::Capture(name.to_string()),
+            None => Pattern::Literal(seg.to_string()),
+        })
+        .collect()
+}
+
+fn match_path(pattern: &[Pattern], path: &str) -> Option<Params> {
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    if segments.len() != pattern.len() {
+        return None;
+    }
+    let mut params = Params::default();
+    for (pat, seg) in pattern.iter().zip(&segments) {
+        match pat {
+            Pattern::Literal(lit) if lit == seg => {}
+            Pattern::Literal(_) => return None,
+            Pattern::Capture(name) => {
+                params.0.insert(name.clone(), (*seg).to_string());
+            }
+        }
+    }
+    Some(params)
+}
+
+/// A method+pattern dispatcher.
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<Route>,
+}
+
+impl Router {
+    /// An empty router.
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Registers a route.
+    pub fn route(
+        &mut self,
+        method: Method,
+        pattern: &str,
+        handler: impl Fn(&Request, &Params) -> Response + Send + Sync + 'static,
+    ) -> &mut Router {
+        self.routes.push(Route {
+            method,
+            pattern: compile(pattern),
+            handler: Arc::new(handler),
+        });
+        self
+    }
+
+    /// Registers a GET route.
+    pub fn get(
+        &mut self,
+        pattern: &str,
+        handler: impl Fn(&Request, &Params) -> Response + Send + Sync + 'static,
+    ) -> &mut Router {
+        self.route(Method::Get, pattern, handler)
+    }
+
+    /// Registers a POST route.
+    pub fn post(
+        &mut self,
+        pattern: &str,
+        handler: impl Fn(&Request, &Params) -> Response + Send + Sync + 'static,
+    ) -> &mut Router {
+        self.route(Method::Post, pattern, handler)
+    }
+
+    /// Registers a PUT route.
+    pub fn put(
+        &mut self,
+        pattern: &str,
+        handler: impl Fn(&Request, &Params) -> Response + Send + Sync + 'static,
+    ) -> &mut Router {
+        self.route(Method::Put, pattern, handler)
+    }
+
+    /// Registers a DELETE route.
+    pub fn delete(
+        &mut self,
+        pattern: &str,
+        handler: impl Fn(&Request, &Params) -> Response + Send + Sync + 'static,
+    ) -> &mut Router {
+        self.route(Method::Delete, pattern, handler)
+    }
+}
+
+impl Service for Router {
+    fn handle(&self, request: &Request) -> Response {
+        let mut path_matched = false;
+        for route in &self.routes {
+            if let Some(params) = match_path(&route.pattern, &request.path) {
+                if route.method == request.method {
+                    return (route.handler)(request, &params);
+                }
+                path_matched = true;
+            }
+        }
+        if path_matched {
+            Response::error(Status::MethodNotAllowed, "method not allowed")
+        } else {
+            Response::error(Status::NotFound, "no such route")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensorsafe_json::json;
+
+    fn router() -> Router {
+        let mut r = Router::new();
+        r.get("/health", |_, _| Response::json(&json!({"ok": true})));
+        r.get("/api/data/:user", |_, params| {
+            Response::json(&json!({"user": (params.get("user").unwrap())}))
+        });
+        r.post("/api/data/:user", |req, params| {
+            Response::json(&json!({
+                "user": (params.get("user").unwrap()),
+                "bytes": (req.body.len()),
+            }))
+        });
+        r.get("/api/:a/:b", |_, params| {
+            Response::json(&json!({
+                "a": (params.get("a").unwrap()),
+                "b": (params.get("b").unwrap()),
+            }))
+        });
+        r
+    }
+
+    #[test]
+    fn literal_route() {
+        let resp = router().handle(&Request::get("/health"));
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.json_body().unwrap()["ok"].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn capture_route() {
+        let resp = router().handle(&Request::get("/api/data/alice"));
+        assert_eq!(resp.json_body().unwrap()["user"].as_str(), Some("alice"));
+    }
+
+    #[test]
+    fn method_dispatch() {
+        let req = Request::post_json("/api/data/alice", &json!({"x": 1}));
+        let resp = router().handle(&req);
+        assert_eq!(resp.json_body().unwrap()["bytes"].as_i64(), Some(7));
+    }
+
+    #[test]
+    fn first_match_wins() {
+        // `/api/data/:user` is registered before `/api/:a/:b`.
+        let resp = router().handle(&Request::get("/api/data/alice"));
+        assert!(resp.json_body().unwrap().get("user").is_some());
+        // A non-"data" middle segment falls through to the generic route.
+        let resp2 = router().handle(&Request::get("/api/users/bob"));
+        assert_eq!(resp2.json_body().unwrap()["a"].as_str(), Some("users"));
+    }
+
+    #[test]
+    fn not_found_vs_method_not_allowed() {
+        let missing = router().handle(&Request::get("/nope"));
+        assert_eq!(missing.status, Status::NotFound);
+        let wrong_method = router().handle(&Request {
+            method: Method::Delete,
+            ..Request::get("/health")
+        });
+        assert_eq!(wrong_method.status, Status::MethodNotAllowed);
+    }
+
+    #[test]
+    fn trailing_slash_equivalence() {
+        let resp = router().handle(&Request::get("/health/"));
+        assert_eq!(resp.status, Status::Ok);
+    }
+
+    #[test]
+    fn segment_count_must_match() {
+        assert_eq!(
+            router().handle(&Request::get("/api/data")).status,
+            Status::NotFound
+        );
+        assert_eq!(
+            router()
+                .handle(&Request::get("/api/data/alice/extra"))
+                .status,
+            Status::NotFound
+        );
+    }
+
+    #[test]
+    fn params_require() {
+        let p = Params::default();
+        assert!(p.require("user").is_err());
+    }
+}

@@ -1,0 +1,292 @@
+//! A blocking TCP server with a thread pool.
+//!
+//! Connections are accepted on a dedicated thread and dispatched to a
+//! fixed pool of workers over a crossbeam channel. Each worker speaks
+//! keep-alive HTTP/1.1: it serves requests on its connection until the
+//! peer closes, sends `Connection: close`, or errors.
+
+use crate::http::{read_request, write_response, Response, Status};
+use crate::Service;
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running HTTP server. Dropping it (or calling [`Server::shutdown`])
+/// stops the acceptor and joins the workers.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conn_tx: Option<Sender<TcpStream>>,
+    /// Live keep-alive connections; shut down eagerly so workers parked
+    /// in blocking reads unblock immediately at server shutdown.
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl Server {
+    /// Binds `service` on `addr` (use port 0 for an ephemeral port) with
+    /// `workers` pool threads.
+    pub fn bind(
+        addr: &str,
+        workers: usize,
+        service: Arc<dyn Service>,
+    ) -> std::io::Result<Server> {
+        assert!(workers > 0, "need at least one worker");
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = bounded::<TcpStream>(1024);
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut worker_handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let rx = rx.clone();
+            let service = service.clone();
+            let conns = conns.clone();
+            let stop = stop.clone();
+            worker_handles.push(std::thread::spawn(move || {
+                while let Ok(stream) = rx.recv() {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Ok(clone) = stream.try_clone() {
+                        let mut live = conns.lock();
+                        // Opportunistically drop closed entries so the
+                        // registry doesn't grow unboundedly.
+                        live.retain(|s| s.peer_addr().is_ok());
+                        live.push(clone);
+                    }
+                    serve_connection(stream, service.as_ref());
+                }
+            }));
+        }
+        let acceptor_stop = stop.clone();
+        let acceptor_tx = tx.clone();
+        // Non-blocking accept loop with a short poll so shutdown is
+        // prompt without needing a self-connection.
+        listener.set_nonblocking(true)?;
+        let acceptor = std::thread::spawn(move || {
+            while !acceptor_stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nodelay(true);
+                        if acceptor_tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(Server {
+            addr: local,
+            stop,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+            conn_tx: Some(tx),
+            conns,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The bound address as a `host:port` string.
+    pub fn addr_string(&self) -> String {
+        self.addr.to_string()
+    }
+
+    /// Stops accepting, drains the pool, and joins all threads. Live
+    /// keep-alive connections are closed immediately.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        // Closing the channel lets idle workers exit; shutting the live
+        // sockets unblocks workers parked in keep-alive reads.
+        self.conn_tx.take();
+        for stream in self.conns.lock().drain(..) {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(stream: TcpStream, service: &dyn Service) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    serve_loop(&mut reader, &mut writer, service);
+    // The shutdown registry holds another clone of this socket's fd, so
+    // dropping our handles would NOT close the TCP connection — shut it
+    // down explicitly or clients waiting for EOF hang.
+    let _ = writer.shutdown(std::net::Shutdown::Both);
+}
+
+fn serve_loop(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, service: &dyn Service) {
+    loop {
+        match read_request(reader) {
+            Ok(Some(request)) => {
+                let close = request
+                    .header("connection")
+                    .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+                let response = service.handle(&request);
+                if write_response(writer, &response).is_err() {
+                    return;
+                }
+                if close {
+                    return;
+                }
+            }
+            Ok(None) => return, // clean close
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                // Malformed request: answer 400 and close.
+                let _ = write_response(
+                    writer,
+                    &Response::error(Status::BadRequest, &e.to_string()),
+                );
+                return;
+            }
+            Err(_) => return, // timeout / reset
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{Method, Request};
+    use crate::transport::HttpClient;
+    use crate::Router;
+    use sensorsafe_json::json;
+
+    fn echo_service() -> Arc<dyn Service> {
+        let mut router = Router::new();
+        router.get("/ping", |_, _| Response::json(&json!("pong")));
+        router.post("/echo", |req: &Request, _: &crate::Params| {
+            let mut resp = Response::status(Status::Ok);
+            resp.body = req.body.clone();
+            resp
+        });
+        Arc::new(router)
+    }
+
+    #[test]
+    fn serves_over_real_tcp() {
+        let server = Server::bind("127.0.0.1:0", 2, echo_service()).unwrap();
+        let client = HttpClient::new(server.addr_string());
+        let resp = client.send(&Request::get("/ping")).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.json_body().unwrap(), json!("pong"));
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = Server::bind("127.0.0.1:0", 4, echo_service()).unwrap();
+        let addr = server.addr_string();
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let addr = addr.clone();
+            handles.push(std::thread::spawn(move || {
+                let client = HttpClient::new(addr);
+                for j in 0..10 {
+                    let body = json!({"worker": i, "iter": j});
+                    let resp = client
+                        .send(&Request::post_json("/echo", &body))
+                        .unwrap();
+                    assert_eq!(resp.json_body().unwrap(), body);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn keep_alive_reuses_connection() {
+        let server = Server::bind("127.0.0.1:0", 1, echo_service()).unwrap();
+        let client = HttpClient::new(server.addr_string());
+        // Same client object reuses its pooled connection.
+        for _ in 0..5 {
+            assert_eq!(client.send(&Request::get("/ping")).unwrap().status, Status::Ok);
+        }
+    }
+
+    #[test]
+    fn unknown_route_404s() {
+        let server = Server::bind("127.0.0.1:0", 1, echo_service()).unwrap();
+        let client = HttpClient::new(server.addr_string());
+        let resp = client.send(&Request::get("/nope")).unwrap();
+        assert_eq!(resp.status, Status::NotFound);
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        use std::io::{Read, Write};
+        let server = Server::bind("127.0.0.1:0", 1, echo_service()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"BOGUS REQUEST LINE\r\n\r\n").unwrap();
+        let mut buf = Vec::new();
+        stream.read_to_end(&mut buf).unwrap();
+        let text = String::from_utf8_lossy(&buf);
+        assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+    }
+
+    #[test]
+    fn shutdown_is_clean_and_idempotent() {
+        let mut server = Server::bind("127.0.0.1:0", 2, echo_service()).unwrap();
+        let addr = server.addr();
+        server.shutdown();
+        server.shutdown();
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+    }
+
+    #[test]
+    fn connection_close_honored() {
+        let server = Server::bind("127.0.0.1:0", 1, echo_service()).unwrap();
+        let client = HttpClient::new(server.addr_string());
+        let mut req = Request::get("/ping");
+        req.headers.insert("connection".into(), "close".into());
+        let resp = client.send(&req).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        // Next request transparently opens a fresh connection.
+        assert_eq!(client.send(&Request::get("/ping")).unwrap().status, Status::Ok);
+    }
+
+    #[test]
+    fn method_not_allowed_over_tcp() {
+        let server = Server::bind("127.0.0.1:0", 1, echo_service()).unwrap();
+        let client = HttpClient::new(server.addr_string());
+        let req = Request {
+            method: Method::Delete,
+            ..Request::get("/ping")
+        };
+        assert_eq!(
+            client.send(&req).unwrap().status,
+            Status::MethodNotAllowed
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! Transports: how a client reaches a service.
+//!
+//! [`TcpTransport`]/[`HttpClient`] speak real HTTP over sockets (used by
+//! examples, integration tests, and the §6 walkthrough). A
+//! [`LocalTransport`] calls the service in-process — byte-for-byte the
+//! same requests and responses, without kernel overhead — which is what
+//! the F1/F2 benches use to measure *architecture* costs.
+
+use crate::http::{read_response, write_request, Request, Response};
+use crate::Service;
+use parking_lot::Mutex;
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Errors reaching a service.
+#[derive(Debug)]
+pub enum TransportError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+/// Anything that can round-trip a request to a service.
+pub trait Transport: Send + Sync {
+    /// Sends a request and waits for the response.
+    fn round_trip(&self, request: &Request) -> Result<Response, TransportError>;
+}
+
+/// In-process transport: calls the service directly.
+pub struct LocalTransport {
+    service: Arc<dyn Service>,
+}
+
+impl LocalTransport {
+    /// Wraps a service.
+    pub fn new(service: Arc<dyn Service>) -> LocalTransport {
+        LocalTransport { service }
+    }
+}
+
+impl Transport for LocalTransport {
+    fn round_trip(&self, request: &Request) -> Result<Response, TransportError> {
+        Ok(self.service.handle(request))
+    }
+}
+
+/// A blocking HTTP client with one pooled keep-alive connection.
+///
+/// Thread-safe: concurrent callers serialize on the connection (spawn
+/// one client per thread for parallel load, as the benches do).
+pub struct HttpClient {
+    addr: String,
+    connection: Mutex<Option<TcpStream>>,
+    timeout: Duration,
+}
+
+impl HttpClient {
+    /// A client for `host:port`.
+    pub fn new(addr: impl Into<String>) -> HttpClient {
+        HttpClient {
+            addr: addr.into(),
+            connection: Mutex::new(None),
+            timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// Overrides the per-operation socket timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> HttpClient {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The server address this client targets.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn connect(&self) -> std::io::Result<TcpStream> {
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        Ok(stream)
+    }
+
+    fn try_once(&self, stream: &mut TcpStream, request: &Request) -> std::io::Result<Response> {
+        write_request(stream, request)?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        read_response(&mut reader)
+    }
+
+    /// Sends a request, transparently reconnecting once if the pooled
+    /// connection has gone stale.
+    pub fn send(&self, request: &Request) -> Result<Response, TransportError> {
+        let mut slot = self.connection.lock();
+        if let Some(stream) = slot.as_mut() {
+            match self.try_once(stream, request) {
+                Ok(resp) => {
+                    if request
+                        .header("connection")
+                        .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+                    {
+                        *slot = None;
+                    }
+                    return Ok(resp);
+                }
+                Err(_) => {
+                    *slot = None; // stale; fall through to reconnect
+                }
+            }
+        }
+        let mut fresh = self.connect()?;
+        let resp = self.try_once(&mut fresh, request)?;
+        let close = request
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+        if !close {
+            *slot = Some(fresh);
+        }
+        Ok(resp)
+    }
+}
+
+/// TCP transport backed by an [`HttpClient`].
+pub struct TcpTransport {
+    client: HttpClient,
+}
+
+impl TcpTransport {
+    /// A transport for `host:port`.
+    pub fn new(addr: impl Into<String>) -> TcpTransport {
+        TcpTransport {
+            client: HttpClient::new(addr),
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn round_trip(&self, request: &Request) -> Result<Response, TransportError> {
+        self.client.send(request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Status;
+    use crate::{Router, Server};
+    use sensorsafe_json::json;
+
+    fn service() -> Arc<dyn Service> {
+        let mut router = Router::new();
+        router.get("/whoami", |_, _| Response::json(&json!("service")));
+        Arc::new(router)
+    }
+
+    #[test]
+    fn local_transport_round_trips() {
+        let t = LocalTransport::new(service());
+        let resp = t.round_trip(&Request::get("/whoami")).unwrap();
+        assert_eq!(resp.json_body().unwrap(), json!("service"));
+    }
+
+    #[test]
+    fn tcp_transport_round_trips() {
+        let server = Server::bind("127.0.0.1:0", 1, service()).unwrap();
+        let t = TcpTransport::new(server.addr_string());
+        let resp = t.round_trip(&Request::get("/whoami")).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+    }
+
+    #[test]
+    fn local_and_tcp_agree() {
+        let server = Server::bind("127.0.0.1:0", 1, service()).unwrap();
+        let tcp = TcpTransport::new(server.addr_string());
+        let local = LocalTransport::new(service());
+        let req = Request::get("/whoami");
+        let a = tcp.round_trip(&req).unwrap();
+        let b = local.round_trip(&req).unwrap();
+        assert_eq!(a.status, b.status);
+        assert_eq!(a.body, b.body);
+    }
+
+    #[test]
+    fn client_reconnects_after_server_restart() {
+        let service = service();
+        let server = Server::bind("127.0.0.1:0", 1, service.clone()).unwrap();
+        let addr = server.addr_string();
+        let client = HttpClient::new(addr.clone());
+        assert!(client.send(&Request::get("/whoami")).is_ok());
+        drop(server); // connection goes stale
+        let server2 = Server::bind(&addr, 1, service).unwrap();
+        // One transparent retry re-establishes the connection.
+        let resp = client.send(&Request::get("/whoami")).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        drop(server2);
+    }
+
+    #[test]
+    fn connect_to_nothing_errors() {
+        let client = HttpClient::new("127.0.0.1:1").with_timeout(Duration::from_millis(200));
+        assert!(client.send(&Request::get("/x")).is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the HTTP codec: anything the client writes,
+//! the server parses back identically (and vice versa).
+
+use proptest::prelude::*;
+use sensorsafe_net::http::{
+    read_request, read_response, write_request, write_response, Method, Request, Response,
+    Status,
+};
+use std::collections::BTreeMap;
+use std::io::BufReader;
+
+fn arb_method() -> impl Strategy<Value = Method> {
+    prop::sample::select(vec![Method::Get, Method::Post, Method::Put, Method::Delete])
+}
+
+fn arb_path() -> impl Strategy<Value = String> {
+    prop::collection::vec("[a-zA-Z0-9._~ -]{1,12}", 0..4)
+        .prop_map(|segments| format!("/{}", segments.join("/")))
+}
+
+fn arb_kv() -> impl Strategy<Value = BTreeMap<String, String>> {
+    prop::collection::btree_map("[a-z0-9_]{1,8}", "[a-zA-Z0-9 =&?%+-]{0,16}", 0..4)
+}
+
+fn arb_headers() -> impl Strategy<Value = BTreeMap<String, String>> {
+    // Header values are trimmed on parse (RFC 9110 optional whitespace),
+    // so generate values without edge whitespace.
+    prop::collection::btree_map(
+        "[a-z][a-z0-9-]{0,10}",
+        "([a-zA-Z0-9;=/.-]([a-zA-Z0-9 ;=/.-]{0,22}[a-zA-Z0-9;=/.-])?)?",
+        0..4,
+    )
+    .prop_map(|mut h| {
+        // content-length is computed by the writer.
+        h.remove("content-length");
+        h
+    })
+}
+
+fn arb_status() -> impl Strategy<Value = Status> {
+    prop::sample::select(vec![
+        Status::Ok,
+        Status::Created,
+        Status::BadRequest,
+        Status::Unauthorized,
+        Status::Forbidden,
+        Status::NotFound,
+        Status::MethodNotAllowed,
+        Status::Conflict,
+        Status::PayloadTooLarge,
+        Status::InternalError,
+    ])
+}
+
+proptest! {
+    /// Requests round-trip the wire exactly.
+    #[test]
+    fn request_roundtrip(
+        method in arb_method(),
+        path in arb_path(),
+        query in arb_kv(),
+        headers in arb_headers(),
+        body in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let req = Request { method, path, query, headers, body };
+        let mut wire = Vec::new();
+        write_request(&mut wire, &req).unwrap();
+        let mut reader = BufReader::new(wire.as_slice());
+        let back = read_request(&mut reader).unwrap().unwrap();
+        prop_assert_eq!(back.method, req.method);
+        prop_assert_eq!(back.path, req.path);
+        prop_assert_eq!(back.query, req.query);
+        prop_assert_eq!(back.body, req.body);
+        for (k, v) in &req.headers {
+            prop_assert_eq!(back.headers.get(k), Some(v));
+        }
+        // And the stream is cleanly consumed (keep-alive ready).
+        prop_assert!(read_request(&mut reader).unwrap().is_none());
+    }
+
+    /// Responses round-trip the wire exactly.
+    #[test]
+    fn response_roundtrip(
+        status in arb_status(),
+        headers in arb_headers(),
+        body in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let resp = Response { status, headers, body };
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp).unwrap();
+        let mut reader = BufReader::new(wire.as_slice());
+        let back = read_response(&mut reader).unwrap();
+        prop_assert_eq!(back.status, resp.status);
+        prop_assert_eq!(back.body, resp.body);
+    }
+
+    /// The request parser never panics on arbitrary bytes.
+    #[test]
+    fn parser_total_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let mut reader = BufReader::new(bytes.as_slice());
+        let _ = read_request(&mut reader);
+        let mut reader = BufReader::new(bytes.as_slice());
+        let _ = read_response(&mut reader);
+    }
+
+    /// Pipelined requests all parse back in order.
+    #[test]
+    fn pipelining(paths in prop::collection::vec(arb_path(), 1..5)) {
+        let mut wire = Vec::new();
+        for p in &paths {
+            write_request(&mut wire, &Request::get(p.clone())).unwrap();
+        }
+        let mut reader = BufReader::new(wire.as_slice());
+        for p in &paths {
+            let got = read_request(&mut reader).unwrap().unwrap();
+            prop_assert_eq!(&got.path, p);
+        }
+        prop_assert!(read_request(&mut reader).unwrap().is_none());
+    }
+}

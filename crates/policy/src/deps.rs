@@ -1,0 +1,234 @@
+//! The sensor↔context dependency graph (§5.1).
+//!
+//! "Note that a sensor can be used to infer multiple context information
+//! (e.g., a respiration sensor is used for stress, conversation, and
+//! smoking). Therefore, if a contributor chooses not to share such a
+//! sensor or a related context, the raw sensor data will not be shared
+//! even though other relevant contexts are chosen to be shared in raw
+//! data form. ... The privacy rule processing module contains this
+//! sensor/context dependency information and performs access control
+//! accordingly."
+//!
+//! [`DependencyGraph`] records which raw channels each context is
+//! inferable from; [`DependencyGraph::blocked_channels`] computes the set
+//! of channels whose raw form must be suppressed given the resolved
+//! per-context sharing levels.
+
+use crate::abstraction::{ActivityAbs, BinaryAbs};
+use sensorsafe_types::{
+    ChannelId, ContextKind, CHAN_ACCEL_MAG, CHAN_AUDIO_ENERGY, CHAN_ECG, CHAN_GPS_LAT,
+    CHAN_GPS_LON, CHAN_RESPIRATION,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Maps each context to the raw sensor channels it can be inferred from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DependencyGraph {
+    sources: BTreeMap<ContextKind, BTreeSet<ChannelId>>,
+}
+
+impl Default for DependencyGraph {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl DependencyGraph {
+    /// The paper's dependency structure:
+    ///
+    /// * stress ← {ecg, respiration} ([31])
+    /// * conversation ← {audio_energy, respiration}
+    /// * smoking ← {respiration}
+    /// * transportation modes & moving ← {accel_mag, gps_lat, gps_lon} ([33])
+    pub fn paper() -> DependencyGraph {
+        let mut g = DependencyGraph {
+            sources: BTreeMap::new(),
+        };
+        g.declare(ContextKind::Stress, &[CHAN_ECG, CHAN_RESPIRATION]);
+        g.declare(
+            ContextKind::Conversation,
+            &[CHAN_AUDIO_ENERGY, CHAN_RESPIRATION],
+        );
+        g.declare(ContextKind::Smoking, &[CHAN_RESPIRATION]);
+        let movement = [CHAN_ACCEL_MAG, CHAN_GPS_LAT, CHAN_GPS_LON];
+        for kind in ContextKind::TRANSPORT_MODES {
+            g.declare(kind, &movement);
+        }
+        g.declare(ContextKind::Moving, &movement);
+        g
+    }
+
+    /// An empty graph (no context depends on any sensor).
+    pub fn empty() -> DependencyGraph {
+        DependencyGraph {
+            sources: BTreeMap::new(),
+        }
+    }
+
+    /// Declares (or extends) the source channels of a context.
+    pub fn declare(&mut self, context: ContextKind, channels: &[&str]) {
+        let entry = self.sources.entry(context).or_default();
+        for c in channels {
+            entry.insert(ChannelId::new(*c));
+        }
+    }
+
+    /// The source channels of a context (empty if undeclared).
+    pub fn sources_of(&self, context: ContextKind) -> impl Iterator<Item = &ChannelId> {
+        self.sources.get(&context).into_iter().flatten()
+    }
+
+    /// Contexts inferable from the given channel.
+    pub fn contexts_from(&self, channel: &ChannelId) -> Vec<ContextKind> {
+        self.sources
+            .iter()
+            .filter(|(_, chans)| chans.contains(channel))
+            .map(|(k, _)| *k)
+            .collect()
+    }
+
+    /// Computes the channels whose **raw** data must be suppressed:
+    /// a channel is blocked iff any context inferable from it is not
+    /// shared at raw level. `activity` covers the whole transportation
+    /// family plus `Moving`; the three binary levels cover their
+    /// respective contexts.
+    pub fn blocked_channels(
+        &self,
+        activity: ActivityAbs,
+        stress: BinaryAbs,
+        smoking: BinaryAbs,
+        conversation: BinaryAbs,
+    ) -> BTreeSet<ChannelId> {
+        let mut blocked = BTreeSet::new();
+        let mut block_context = |kind: ContextKind| {
+            for c in self.sources_of(kind) {
+                blocked.insert(c.clone());
+            }
+        };
+        if activity != ActivityAbs::Raw {
+            for kind in ContextKind::TRANSPORT_MODES {
+                block_context(kind);
+            }
+            block_context(ContextKind::Moving);
+        }
+        if stress != BinaryAbs::Raw {
+            block_context(ContextKind::Stress);
+        }
+        if smoking != BinaryAbs::Raw {
+            block_context(ContextKind::Smoking);
+        }
+        if conversation != BinaryAbs::Raw {
+            block_context(ContextKind::Conversation);
+        }
+        blocked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chan(name: &str) -> ChannelId {
+        ChannelId::new(name)
+    }
+
+    #[test]
+    fn paper_graph_structure() {
+        let g = DependencyGraph::paper();
+        let stress: Vec<&str> = g.sources_of(ContextKind::Stress).map(|c| c.as_str()).collect();
+        assert_eq!(stress, ["ecg", "respiration"]);
+        let from_rip = g.contexts_from(&chan(CHAN_RESPIRATION));
+        assert!(from_rip.contains(&ContextKind::Stress));
+        assert!(from_rip.contains(&ContextKind::Smoking));
+        assert!(from_rip.contains(&ContextKind::Conversation));
+        assert!(!from_rip.contains(&ContextKind::Drive));
+    }
+
+    #[test]
+    fn paper_example_smoking_blocks_respiration() {
+        // "if the smoking context is not shared, respiration sensor data
+        // will not be shared even though stress and conversation are
+        // shared in raw data form."
+        let g = DependencyGraph::paper();
+        let blocked = g.blocked_channels(
+            ActivityAbs::Raw,
+            BinaryAbs::Raw,       // stress raw
+            BinaryAbs::NotShared, // smoking withheld
+            BinaryAbs::Raw,       // conversation raw
+        );
+        assert!(blocked.contains(&chan(CHAN_RESPIRATION)));
+        // ECG is only a stress source; stress is raw, so ECG stays.
+        assert!(!blocked.contains(&chan(CHAN_ECG)));
+        assert!(!blocked.contains(&chan(CHAN_AUDIO_ENERGY)));
+    }
+
+    #[test]
+    fn stress_label_blocks_both_sources() {
+        let g = DependencyGraph::paper();
+        let blocked = g.blocked_channels(
+            ActivityAbs::Raw,
+            BinaryAbs::Label,
+            BinaryAbs::Raw,
+            BinaryAbs::Raw,
+        );
+        assert!(blocked.contains(&chan(CHAN_ECG)));
+        assert!(blocked.contains(&chan(CHAN_RESPIRATION)));
+    }
+
+    #[test]
+    fn activity_abstraction_blocks_movement_channels() {
+        let g = DependencyGraph::paper();
+        let blocked = g.blocked_channels(
+            ActivityAbs::TransportMode,
+            BinaryAbs::Raw,
+            BinaryAbs::Raw,
+            BinaryAbs::Raw,
+        );
+        assert!(blocked.contains(&chan(CHAN_ACCEL_MAG)));
+        assert!(blocked.contains(&chan(CHAN_GPS_LAT)));
+        assert!(blocked.contains(&chan(CHAN_GPS_LON)));
+        assert!(!blocked.contains(&chan(CHAN_ECG)));
+    }
+
+    #[test]
+    fn everything_raw_blocks_nothing() {
+        let g = DependencyGraph::paper();
+        assert!(g
+            .blocked_channels(
+                ActivityAbs::Raw,
+                BinaryAbs::Raw,
+                BinaryAbs::Raw,
+                BinaryAbs::Raw
+            )
+            .is_empty());
+    }
+
+    #[test]
+    fn empty_graph_blocks_nothing_even_when_withheld() {
+        let g = DependencyGraph::empty();
+        assert!(g
+            .blocked_channels(
+                ActivityAbs::NotShared,
+                BinaryAbs::NotShared,
+                BinaryAbs::NotShared,
+                BinaryAbs::NotShared
+            )
+            .is_empty());
+    }
+
+    #[test]
+    fn custom_graph_extension() {
+        let mut g = DependencyGraph::empty();
+        g.declare(ContextKind::Stress, &["skin_temp"]);
+        g.declare(ContextKind::Stress, &["ecg"]);
+        let blocked = g.blocked_channels(
+            ActivityAbs::Raw,
+            BinaryAbs::NotShared,
+            BinaryAbs::Raw,
+            BinaryAbs::Raw,
+        );
+        assert_eq!(blocked.len(), 2);
+        assert!(blocked.contains(&chan("skin_temp")));
+        assert!(blocked.contains(&chan("ecg")));
+    }
+}

@@ -1,0 +1,543 @@
+//! Enforcement: rewriting wave segments according to a [`Decision`].
+//!
+//! Given the resolved decision for a window, enforcement produces the
+//! consumer-visible [`SharedSegment`]:
+//!
+//! * **Channels** — only raw-shareable channels survive
+//!   ([`Decision::raw_channels`]); dependency-suppressed channels are
+//!   replaced by context labels at the granted ladder level.
+//! * **Time** — the segment's *absolute* start time is truncated to the
+//!   granted bucket (hour/day/month/year); relative sample timing within
+//!   the segment is preserved (waveforms stay useful, but the consumer
+//!   only learns which bucket the data came from). `NotShared` rebases
+//!   the segment to epoch 0, leaving only relative order.
+//! * **Location** — rendered through the location ladder (coordinates →
+//!   street → zip → city → state → country → withheld) and stripped from
+//!   the segment metadata whenever the level is coarser than
+//!   `Coordinates`.
+//! * **Context labels** — for ladders resolved to a label level, the
+//!   window's annotations are rendered as Table 1(b) label strings
+//!   ("Stressed"/"Not Stressed", transport mode names, "Move"/"Not
+//!   Move"), with label windows time-abstracted consistently.
+
+use crate::abstraction::{ActivityAbs, BinaryAbs, LocationAbs, TimeAbs};
+use crate::eval::Decision;
+use sensorsafe_types::{
+    ChannelId, ContextAnnotation, ContextKind, SegmentMeta, TimeRange, Timestamp, Timing,
+    WaveSegment,
+};
+
+/// Location as shared with a consumer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SharedLocation {
+    /// Withheld (`NotShared`, or the segment had no location).
+    None,
+    /// Rendered at some ladder level, e.g. `"City-4711"`.
+    Text(String),
+}
+
+/// A context label shared in place of (or alongside) raw data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContextLabel {
+    /// Which context family the label describes.
+    pub kind: ContextKind,
+    /// Table 1(b) label text.
+    pub label: String,
+    /// The (time-abstracted) window the label covers.
+    pub window: TimeRange,
+}
+
+/// The consumer-visible view of one enforced window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedSegment {
+    /// Raw channels that survived, with abstracted timing/location
+    /// metadata. `None` when no raw channel is shareable.
+    pub segment: Option<WaveSegment>,
+    /// Context labels at the granted levels.
+    pub labels: Vec<ContextLabel>,
+    /// Abstracted location of the window.
+    pub location: SharedLocation,
+    /// The time ladder level that was applied.
+    pub time_level: TimeAbs,
+}
+
+impl SharedSegment {
+    /// True if the view carries no information at all.
+    pub fn is_empty(&self) -> bool {
+        self.segment.is_none() && self.labels.is_empty()
+    }
+}
+
+fn abstract_timing(timing: &Timing, level: TimeAbs) -> Timing {
+    match level {
+        TimeAbs::Milliseconds => timing.clone(),
+        TimeAbs::NotShared => match timing {
+            // Rebase to epoch 0: relative order survives, absolute time
+            // does not.
+            Timing::Uniform { interval_secs, .. } => Timing::Uniform {
+                start: Timestamp::from_millis(0),
+                interval_secs: *interval_secs,
+            },
+            Timing::PerSample(stamps) => {
+                let base = stamps.first().map_or(0, |t| t.millis());
+                Timing::PerSample(
+                    stamps
+                        .iter()
+                        .map(|t| Timestamp::from_millis(t.millis() - base))
+                        .collect(),
+                )
+            }
+        },
+        bucketed => match timing {
+            Timing::Uniform {
+                start,
+                interval_secs,
+            } => Timing::Uniform {
+                start: bucketed.apply(*start),
+                interval_secs: *interval_secs,
+            },
+            Timing::PerSample(stamps) => {
+                // Shift the whole series so its first sample lands on the
+                // bucket boundary — preserves intra-segment deltas.
+                let shift = stamps
+                    .first()
+                    .map_or(0, |t| t.millis() - bucketed.apply(*t).millis());
+                Timing::PerSample(
+                    stamps
+                        .iter()
+                        .map(|t| Timestamp::from_millis(t.millis() - shift))
+                        .collect(),
+                )
+            }
+        },
+    }
+}
+
+fn binary_label(kind: ContextKind, active: bool) -> String {
+    let (on, off) = match kind {
+        ContextKind::Stress => ("Stressed", "Not Stressed"),
+        ContextKind::Smoking => ("Smoking", "Not Smoking"),
+        ContextKind::Conversation => ("Conversation", "Not Conversation"),
+        ContextKind::Moving => ("Move", "Not Move"),
+        other => return other.as_str().to_string(),
+    };
+    (if active { on } else { off }).to_string()
+}
+
+fn abstract_window(window: TimeRange, level: TimeAbs) -> TimeRange {
+    match level {
+        TimeAbs::Milliseconds => window,
+        TimeAbs::NotShared => TimeRange::new(
+            Timestamp::from_millis(0),
+            Timestamp::from_millis(window.duration_millis()),
+        ),
+        bucketed => {
+            let start = bucketed.apply(window.start);
+            let shift = window.start.millis() - start.millis();
+            TimeRange::new(start, Timestamp::from_millis(window.end.millis() - shift))
+        }
+    }
+}
+
+/// Applies `decision` to one `segment` and the annotations overlapping
+/// it. Returns `None` when nothing is shared.
+pub fn enforce(
+    decision: &Decision,
+    segment: &WaveSegment,
+    annotations: &[ContextAnnotation],
+) -> Option<SharedSegment> {
+    if decision.shares_nothing() {
+        return None;
+    }
+    let raw: Vec<ChannelId> = decision.raw_channels().cloned().collect();
+    let projected = if raw.is_empty() {
+        None
+    } else {
+        segment.select_channels(&raw)
+    };
+
+    // Apply time + location abstraction to the surviving segment's
+    // metadata.
+    let shared_segment = projected.map(|seg| {
+        let meta = seg.meta();
+        let new_meta = SegmentMeta {
+            timing: abstract_timing(&meta.timing, decision.time),
+            location: if decision.location == LocationAbs::Coordinates {
+                meta.location
+            } else {
+                None
+            },
+            format: meta.format.clone(),
+        };
+        WaveSegment::from_blob(new_meta, seg.blob().clone())
+            .expect("metadata rewrite preserves blob invariants")
+    });
+
+    let location = match segment.meta().location {
+        None => SharedLocation::None,
+        Some(point) => match decision.location.apply(&point) {
+            None => SharedLocation::None,
+            Some(text) => SharedLocation::Text(text),
+        },
+    };
+
+    // Emit context labels for ladders resolved to a label level.
+    let mut labels = Vec::new();
+    let seg_range = segment.time_range();
+    for ann in annotations {
+        let overlaps = seg_range
+            .as_ref()
+            .is_some_and(|r| r.overlaps(&ann.window));
+        if !overlaps {
+            continue;
+        }
+        let window = abstract_window(ann.window, decision.time);
+        for state in &ann.states {
+            let emitted = match state.kind {
+                ContextKind::Stress => decision.stress == BinaryAbs::Label,
+                ContextKind::Smoking => decision.smoking == BinaryAbs::Label,
+                ContextKind::Conversation => decision.conversation == BinaryAbs::Label,
+                ContextKind::Moving => decision.activity == ActivityAbs::MoveNotMove,
+                kind if kind.is_transport_mode() => {
+                    // Transport modes are emitted only for the active
+                    // mode at TransportMode level; at MoveNotMove level
+                    // they collapse into the Moving label below.
+                    decision.activity == ActivityAbs::TransportMode && state.active
+                }
+                _ => false,
+            };
+            if !emitted {
+                continue;
+            }
+            let label = if state.kind.is_transport_mode() {
+                state.kind.as_str().to_string()
+            } else {
+                binary_label(state.kind, state.active)
+            };
+            labels.push(ContextLabel {
+                kind: state.kind,
+                label,
+                window,
+            });
+        }
+        // MoveNotMove: derive the coarse label from the transport mode if
+        // Moving itself wasn't annotated.
+        if decision.activity == ActivityAbs::MoveNotMove
+            && ann.state_of(ContextKind::Moving).is_none()
+        {
+            if let Some(mode) = ann.transport_mode() {
+                let moving = mode != ContextKind::Still;
+                labels.push(ContextLabel {
+                    kind: ContextKind::Moving,
+                    label: binary_label(ContextKind::Moving, moving),
+                    window,
+                });
+            }
+        }
+    }
+
+    let shared = SharedSegment {
+        segment: shared_segment,
+        labels,
+        location,
+        time_level: decision.time,
+    };
+    (!shared.is_empty()).then_some(shared)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deps::DependencyGraph;
+    use crate::eval::{evaluate, ConsumerCtx, WindowCtx};
+    use crate::rule::{AbstractionSpec, Action, Conditions, PrivacyRule};
+    use sensorsafe_types::{
+        ChannelSpec, ContextState, GeoPoint, SegmentMeta, CHAN_ACCEL_MAG, CHAN_ECG,
+        CHAN_RESPIRATION,
+    };
+
+    fn segment() -> WaveSegment {
+        let meta = SegmentMeta {
+            timing: Timing::Uniform {
+                start: Timestamp::from_millis(1_311_535_598_327),
+                interval_secs: 0.02,
+            },
+            location: Some(GeoPoint::ucla()),
+            format: vec![
+                ChannelSpec::f32(CHAN_ECG),
+                ChannelSpec::f32(CHAN_RESPIRATION),
+                ChannelSpec::f32(CHAN_ACCEL_MAG),
+            ],
+        };
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![i as f64, 300.0 - i as f64, 1.0])
+            .collect();
+        WaveSegment::from_rows(meta, &rows).unwrap()
+    }
+
+    fn annotation(stressed: bool) -> ContextAnnotation {
+        ContextAnnotation::new(
+            TimeRange::new(
+                Timestamp::from_millis(1_311_535_598_000),
+                Timestamp::from_millis(1_311_535_610_000),
+            ),
+            vec![
+                ContextState {
+                    kind: ContextKind::Stress,
+                    active: stressed,
+                },
+                ContextState::on(ContextKind::Drive),
+            ],
+        )
+    }
+
+    fn decide(rules: &[PrivacyRule]) -> Decision {
+        let window = WindowCtx {
+            time: Timestamp::from_millis(1_311_535_598_327),
+            location: Some(GeoPoint::ucla()),
+            location_labels: vec!["UCLA".into()],
+            contexts: vec![ContextState::on(ContextKind::Drive)],
+        };
+        let channels = vec![
+            ChannelId::new(CHAN_ECG),
+            ChannelId::new(CHAN_RESPIRATION),
+            ChannelId::new(CHAN_ACCEL_MAG),
+        ];
+        evaluate(
+            rules,
+            &ConsumerCtx::user("Bob"),
+            &window,
+            &channels,
+            &DependencyGraph::paper(),
+        )
+    }
+
+    fn allow_all() -> PrivacyRule {
+        PrivacyRule::allow_all()
+    }
+
+    fn abstraction(spec: AbstractionSpec) -> PrivacyRule {
+        PrivacyRule {
+            conditions: Conditions::default(),
+            action: Action::Abstraction(spec),
+        }
+    }
+
+    #[test]
+    fn allow_all_passes_everything_through() {
+        let d = decide(&[allow_all()]);
+        let shared = enforce(&d, &segment(), &[annotation(true)]).unwrap();
+        let seg = shared.segment.unwrap();
+        assert_eq!(seg.len(), 100);
+        assert_eq!(seg.meta().format.len(), 3);
+        assert_eq!(
+            seg.meta().timing,
+            segment().meta().timing,
+            "raw timing preserved"
+        );
+        assert!(matches!(shared.location, SharedLocation::Text(ref t) if t.contains("34.07")));
+        assert!(shared.labels.is_empty(), "raw sharing emits no labels");
+    }
+
+    #[test]
+    fn deny_everything_yields_none() {
+        let d = decide(&[]);
+        assert!(enforce(&d, &segment(), &[annotation(true)]).is_none());
+    }
+
+    #[test]
+    fn stress_label_replaces_raw_sources() {
+        let d = decide(&[
+            allow_all(),
+            abstraction(AbstractionSpec {
+                stress: Some(BinaryAbs::Label),
+                ..Default::default()
+            }),
+        ]);
+        let shared = enforce(&d, &segment(), &[annotation(true)]).unwrap();
+        let seg = shared.segment.unwrap();
+        // ECG and respiration suppressed; accel survives.
+        let names: Vec<&str> = seg.channels().map(|c| c.as_str()).collect();
+        assert_eq!(names, [CHAN_ACCEL_MAG]);
+        assert_eq!(shared.labels.len(), 1);
+        assert_eq!(shared.labels[0].kind, ContextKind::Stress);
+        assert_eq!(shared.labels[0].label, "Stressed");
+    }
+
+    #[test]
+    fn not_stressed_label_text() {
+        let d = decide(&[
+            allow_all(),
+            abstraction(AbstractionSpec {
+                stress: Some(BinaryAbs::Label),
+                ..Default::default()
+            }),
+        ]);
+        let shared = enforce(&d, &segment(), &[annotation(false)]).unwrap();
+        assert_eq!(shared.labels[0].label, "Not Stressed");
+    }
+
+    #[test]
+    fn transport_mode_labels() {
+        let d = decide(&[
+            allow_all(),
+            abstraction(AbstractionSpec {
+                activity: Some(ActivityAbs::TransportMode),
+                ..Default::default()
+            }),
+        ]);
+        let shared = enforce(&d, &segment(), &[annotation(true)]).unwrap();
+        // accel suppressed, replaced by the active mode label.
+        let seg = shared.segment.unwrap();
+        assert!(seg.channels().all(|c| c.as_str() != CHAN_ACCEL_MAG));
+        let drive = shared
+            .labels
+            .iter()
+            .find(|l| l.kind == ContextKind::Drive)
+            .unwrap();
+        assert_eq!(drive.label, "Drive");
+    }
+
+    #[test]
+    fn move_not_move_derived_from_mode() {
+        let d = decide(&[
+            allow_all(),
+            abstraction(AbstractionSpec {
+                activity: Some(ActivityAbs::MoveNotMove),
+                ..Default::default()
+            }),
+        ]);
+        let shared = enforce(&d, &segment(), &[annotation(true)]).unwrap();
+        let moving = shared
+            .labels
+            .iter()
+            .find(|l| l.kind == ContextKind::Moving)
+            .unwrap();
+        assert_eq!(moving.label, "Move"); // Drive is a moving mode
+        assert!(shared.labels.iter().all(|l| l.kind != ContextKind::Drive));
+    }
+
+    #[test]
+    fn time_abstraction_truncates_start_keeps_relative() {
+        let d = decide(&[
+            allow_all(),
+            abstraction(AbstractionSpec {
+                time: Some(TimeAbs::Hour),
+                ..Default::default()
+            }),
+        ]);
+        let shared = enforce(&d, &segment(), &[]).unwrap();
+        let seg = shared.segment.unwrap();
+        let start = seg.start_time().unwrap();
+        assert_eq!(start.time_of_day().minute, 0);
+        assert_eq!(start.millis() % 3_600_000, 0);
+        // Relative spacing preserved.
+        assert_eq!(seg.time_at(1).delta_millis(seg.time_at(0)), 20);
+    }
+
+    #[test]
+    fn time_not_shared_rebases_to_epoch() {
+        let d = decide(&[
+            allow_all(),
+            abstraction(AbstractionSpec {
+                time: Some(TimeAbs::NotShared),
+                ..Default::default()
+            }),
+        ]);
+        let shared = enforce(&d, &segment(), &[]).unwrap();
+        let seg = shared.segment.unwrap();
+        assert_eq!(seg.start_time().unwrap().millis(), 0);
+        assert_eq!(seg.time_at(5).millis(), 100);
+    }
+
+    #[test]
+    fn location_abstraction_strips_coordinates() {
+        let d = decide(&[
+            allow_all(),
+            abstraction(AbstractionSpec {
+                location: Some(LocationAbs::City),
+                ..Default::default()
+            }),
+        ]);
+        let shared = enforce(&d, &segment(), &[]).unwrap();
+        assert!(matches!(shared.location, SharedLocation::Text(ref t) if t.starts_with("City-")));
+        // Segment metadata no longer carries the precise point.
+        assert!(shared.segment.unwrap().meta().location.is_none());
+    }
+
+    #[test]
+    fn location_not_shared() {
+        let d = decide(&[
+            allow_all(),
+            abstraction(AbstractionSpec {
+                location: Some(LocationAbs::NotShared),
+                ..Default::default()
+            }),
+        ]);
+        let shared = enforce(&d, &segment(), &[]).unwrap();
+        assert_eq!(shared.location, SharedLocation::None);
+    }
+
+    #[test]
+    fn label_windows_get_time_abstraction() {
+        let d = decide(&[
+            allow_all(),
+            abstraction(AbstractionSpec {
+                stress: Some(BinaryAbs::Label),
+                time: Some(TimeAbs::Day),
+                ..Default::default()
+            }),
+        ]);
+        let shared = enforce(&d, &segment(), &[annotation(true)]).unwrap();
+        let label = &shared.labels[0];
+        // Window start truncated to midnight; duration preserved.
+        assert_eq!(label.window.start.millis() % 86_400_000, 0);
+        assert_eq!(label.window.duration_millis(), 12_000);
+    }
+
+    #[test]
+    fn non_overlapping_annotations_ignored() {
+        let d = decide(&[
+            allow_all(),
+            abstraction(AbstractionSpec {
+                stress: Some(BinaryAbs::Label),
+                ..Default::default()
+            }),
+        ]);
+        let far_away = ContextAnnotation::new(
+            TimeRange::new(Timestamp::from_millis(0), Timestamp::from_millis(1000)),
+            vec![ContextState::on(ContextKind::Stress)],
+        );
+        let shared = enforce(&d, &segment(), &[far_away]).unwrap();
+        assert!(shared.labels.is_empty());
+    }
+
+    #[test]
+    fn label_only_view_when_all_raw_suppressed() {
+        // Segment carries only ECG; stress at Label level suppresses it,
+        // leaving a label-only view.
+        let meta = SegmentMeta {
+            timing: Timing::Uniform {
+                start: Timestamp::from_millis(1_311_535_598_327),
+                interval_secs: 0.02,
+            },
+            location: None,
+            format: vec![ChannelSpec::f32(CHAN_ECG)],
+        };
+        let seg = WaveSegment::from_rows(meta, &[vec![1.0], vec![2.0]]).unwrap();
+        let d = decide(&[
+            allow_all(),
+            abstraction(AbstractionSpec {
+                stress: Some(BinaryAbs::Label),
+                smoking: Some(BinaryAbs::NotShared),
+                conversation: Some(BinaryAbs::NotShared),
+                activity: Some(ActivityAbs::NotShared),
+                ..Default::default()
+            }),
+        ]);
+        let shared = enforce(&d, &seg, &[annotation(true)]).unwrap();
+        assert!(shared.segment.is_none());
+        assert_eq!(shared.labels.len(), 1);
+        assert_eq!(shared.labels[0].label, "Stressed");
+    }
+}

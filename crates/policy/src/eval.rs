@@ -1,0 +1,825 @@
+//! Privacy-rule evaluation: condition matching and decision resolution.
+//!
+//! The paper leaves rule conflicts unspecified; SensorSafe fixes these
+//! semantics (also documented in DESIGN.md §6):
+//!
+//! * **Deny-by-default** — a channel is shared only if some matching
+//!   `Allow` rule covers it.
+//! * **Most-restrictive-wins** — among matching rules, `Deny` beats
+//!   `Allow` per channel, and abstraction levels from multiple rules
+//!   combine by taking the most restrictive level on each ladder.
+//!   Abstraction rules *modulate* what an Allow shares (Fig. 4's second
+//!   rule relies on the first rule's Allow); they never grant access by
+//!   themselves. Evaluation is therefore order-independent.
+//! * **Conservative matching for restrictions** — if a window's location
+//!   or context is *unknown* (no GPS fix / not annotated), `Deny` and
+//!   `Abstraction` rules conditioned on location or context still match
+//!   (the restriction may apply, so assume it does), while `Allow` rules
+//!   require positive evidence. This keeps Alice's "deny accelerometer at
+//!   home" effective even when her phone loses GPS.
+//!
+//! Evaluation operates on *windows*: spans of data over which location
+//! and context are constant (the data store splits segments along
+//! annotation boundaries before evaluating).
+
+use crate::abstraction::{ActivityAbs, BinaryAbs, LocationAbs, TimeAbs};
+use crate::deps::DependencyGraph;
+use crate::rule::{Action, Conditions, ConsumerSelector, PrivacyRule};
+use sensorsafe_types::{
+    ChannelId, ConsumerId, ContextKind, ContextState, GeoPoint, GroupId, StudyId, Timestamp,
+};
+use std::collections::BTreeSet;
+
+/// The identity of the consumer making a request, with group and study
+/// memberships resolved (the broker knows these; Table 1's consumer
+/// condition can select any of the three).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConsumerCtx {
+    /// Unique user name.
+    pub id: Option<ConsumerId>,
+    /// Groups the consumer belongs to.
+    pub groups: Vec<GroupId>,
+    /// Studies the consumer is enrolled in.
+    pub studies: Vec<StudyId>,
+}
+
+impl ConsumerCtx {
+    /// A plain consumer with no memberships.
+    pub fn user(id: impl Into<String>) -> ConsumerCtx {
+        ConsumerCtx {
+            id: Some(ConsumerId::new(id.into())),
+            groups: Vec::new(),
+            studies: Vec::new(),
+        }
+    }
+
+    fn matches(&self, sel: &ConsumerSelector) -> bool {
+        match sel {
+            ConsumerSelector::User(u) => self.id.as_ref() == Some(u),
+            ConsumerSelector::Group(g) => self.groups.contains(g),
+            ConsumerSelector::Study(s) => self.studies.contains(s),
+        }
+    }
+}
+
+/// One evaluation window: a span with constant location and context.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WindowCtx {
+    /// Representative instant (window start) for time conditions.
+    pub time: Timestamp,
+    /// GPS fix, if any.
+    pub location: Option<GeoPoint>,
+    /// Contributor-defined labels active at this place ("UCLA", "home").
+    pub location_labels: Vec<String>,
+    /// Annotated context states; kinds absent from the list are unknown.
+    pub contexts: Vec<ContextState>,
+}
+
+impl WindowCtx {
+    /// Whether `kind` is known-active / known-inactive / unknown.
+    ///
+    /// Transportation modes are mutually exclusive, so a window annotated
+    /// with an active mode implicitly knows every *other* mode to be
+    /// inactive — without this, a "deny while driving" rule would
+    /// conservatively fire during annotated walking windows too.
+    fn context_state(&self, kind: ContextKind) -> Option<bool> {
+        if let Some(state) = self.contexts.iter().find(|s| s.kind == kind) {
+            return Some(state.active);
+        }
+        if kind.is_transport_mode()
+            && self
+                .contexts
+                .iter()
+                .any(|s| s.active && s.kind.is_transport_mode())
+        {
+            return Some(false);
+        }
+        None
+    }
+}
+
+/// How strictly a condition must be proven for a rule to match.
+#[derive(Clone, Copy, PartialEq)]
+enum Evidence {
+    /// Allow rules: unknown facts do NOT match.
+    Positive,
+    /// Deny/Abstraction rules: unknown facts DO match (conservative).
+    Conservative,
+}
+
+fn location_matches(cond: &Conditions, window: &WindowCtx, evidence: Evidence) -> bool {
+    let Some(loc) = &cond.location else {
+        return true;
+    };
+    let label_hit = loc
+        .labels
+        .iter()
+        .any(|l| window.location_labels.iter().any(|w| w == l));
+    if label_hit {
+        return true;
+    }
+    match window.location {
+        Some(point) => loc.regions.iter().any(|r| r.contains(&point)),
+        // No fix: region membership is unknown.
+        None => evidence == Evidence::Conservative && !loc.regions.is_empty(),
+    }
+}
+
+fn time_matches(cond: &Conditions, window: &WindowCtx) -> bool {
+    match &cond.time {
+        None => true,
+        Some(t) => t.contains(window.time),
+    }
+}
+
+fn context_matches(cond: &Conditions, window: &WindowCtx, evidence: Evidence) -> bool {
+    if cond.contexts.is_empty() {
+        return true;
+    }
+    cond.contexts.iter().any(|k| match window.context_state(*k) {
+        Some(active) => active,
+        None => evidence == Evidence::Conservative,
+    })
+}
+
+fn consumer_matches(cond: &Conditions, consumer: &ConsumerCtx) -> bool {
+    cond.consumers.is_empty() || cond.consumers.iter().any(|sel| consumer.matches(sel))
+}
+
+fn rule_matches(rule: &PrivacyRule, consumer: &ConsumerCtx, window: &WindowCtx) -> bool {
+    let evidence = match rule.action {
+        Action::Allow => Evidence::Positive,
+        Action::Deny | Action::Abstraction(_) => Evidence::Conservative,
+    };
+    consumer_matches(&rule.conditions, consumer)
+        && time_matches(&rule.conditions, window)
+        && location_matches(&rule.conditions, window, evidence)
+        && context_matches(&rule.conditions, window, evidence)
+}
+
+/// The resolved sharing decision for one window and one consumer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// Channels shareable (possibly only in abstracted form — check
+    /// [`Decision::suppressed`]).
+    pub allowed: BTreeSet<ChannelId>,
+    /// Channels explicitly or implicitly denied.
+    pub denied: BTreeSet<ChannelId>,
+    /// Location ladder level for this window.
+    pub location: LocationAbs,
+    /// Time ladder level for this window.
+    pub time: TimeAbs,
+    /// Activity ladder level.
+    pub activity: ActivityAbs,
+    /// Stress ladder level.
+    pub stress: BinaryAbs,
+    /// Smoking ladder level.
+    pub smoking: BinaryAbs,
+    /// Conversation ladder level.
+    pub conversation: BinaryAbs,
+    /// Allowed channels whose **raw** form the dependency closure
+    /// suppressed; consumers get context labels instead.
+    pub suppressed: BTreeSet<ChannelId>,
+}
+
+impl Decision {
+    /// True if nothing at all is shared for this window.
+    pub fn shares_nothing(&self) -> bool {
+        // A window shares something if any channel survives raw, or a
+        // suppressed channel still yields context labels.
+        let raw_any = self.allowed.difference(&self.suppressed).next().is_some();
+        let labels_any = !self.suppressed.is_empty()
+            && (self.activity == ActivityAbs::TransportMode
+                || self.activity == ActivityAbs::MoveNotMove
+                || self.stress == BinaryAbs::Label
+                || self.smoking == BinaryAbs::Label
+                || self.conversation == BinaryAbs::Label);
+        !raw_any && !labels_any
+    }
+
+    /// Channels shared in raw form (allowed minus dependency-suppressed).
+    pub fn raw_channels(&self) -> impl Iterator<Item = &ChannelId> {
+        self.allowed.difference(&self.suppressed)
+    }
+}
+
+/// Evaluates `rules` for `consumer` over one `window`, deciding the fate
+/// of each channel in `channels` (the channels present in the data being
+/// requested). `graph` supplies the sensor/context dependencies for the
+/// closure step.
+pub fn evaluate(
+    rules: &[PrivacyRule],
+    consumer: &ConsumerCtx,
+    window: &WindowCtx,
+    channels: &[ChannelId],
+    graph: &DependencyGraph,
+) -> Decision {
+    let mut allowed: BTreeSet<ChannelId> = BTreeSet::new();
+    let mut force_denied: BTreeSet<ChannelId> = BTreeSet::new();
+    let mut location = LocationAbs::Coordinates;
+    let mut time = TimeAbs::Milliseconds;
+    let mut activity = ActivityAbs::Raw;
+    let mut stress = BinaryAbs::Raw;
+    let mut smoking = BinaryAbs::Raw;
+    let mut conversation = BinaryAbs::Raw;
+
+    let rule_channels = |cond: &Conditions| -> Vec<ChannelId> {
+        if cond.sensors.is_empty() {
+            channels.to_vec()
+        } else {
+            cond.sensors
+                .iter()
+                .filter(|s| channels.contains(s))
+                .cloned()
+                .collect()
+        }
+    };
+
+    for rule in rules {
+        if !rule_matches(rule, consumer, window) {
+            continue;
+        }
+        match &rule.action {
+            Action::Allow => {
+                for c in rule_channels(&rule.conditions) {
+                    allowed.insert(c);
+                }
+            }
+            Action::Deny => {
+                for c in rule_channels(&rule.conditions) {
+                    force_denied.insert(c);
+                }
+            }
+            Action::Abstraction(spec) => {
+                // Abstraction only *modulates* sharing — access itself
+                // still needs an Allow rule (Fig. 4's rule 2 relies on
+                // rule 1's Allow). Ladder levels ratchet up, most
+                // restrictive winning across rules.
+                if let Some(l) = spec.location {
+                    location = location.max_restrictive(l);
+                }
+                if let Some(t) = spec.time {
+                    time = time.max_restrictive(t);
+                }
+                if let Some(a) = spec.activity {
+                    activity = activity.max_restrictive(a);
+                }
+                if let Some(s) = spec.stress {
+                    stress = stress.max_restrictive(s);
+                }
+                if let Some(s) = spec.smoking {
+                    smoking = smoking.max_restrictive(s);
+                }
+                if let Some(s) = spec.conversation {
+                    conversation = conversation.max_restrictive(s);
+                }
+            }
+        }
+    }
+
+    // Deny beats allow, and anything never allowed defaults to denied.
+    for c in &force_denied {
+        allowed.remove(c);
+    }
+    let denied: BTreeSet<ChannelId> = channels
+        .iter()
+        .filter(|c| !allowed.contains(*c))
+        .cloned()
+        .collect();
+
+    // Dependency closure: suppress raw channels whose inferable contexts
+    // are not fully raw.
+    let blocked = graph.blocked_channels(activity, stress, smoking, conversation);
+    let suppressed: BTreeSet<ChannelId> =
+        allowed.intersection(&blocked).cloned().collect();
+
+    Decision {
+        allowed,
+        denied,
+        location,
+        time,
+        activity,
+        stress,
+        smoking,
+        conversation,
+        suppressed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::{AbstractionSpec, LocationCondition, TimeCondition};
+    use sensorsafe_types::{
+        Region, CHAN_ACCEL_MAG, CHAN_ECG, CHAN_RESPIRATION,
+    };
+
+    fn chans(names: &[&str]) -> Vec<ChannelId> {
+        names.iter().map(|n| ChannelId::new(*n)).collect()
+    }
+
+    fn graph() -> DependencyGraph {
+        DependencyGraph::paper()
+    }
+
+    fn bob() -> ConsumerCtx {
+        ConsumerCtx::user("Bob")
+    }
+
+    fn window_at_ucla() -> WindowCtx {
+        WindowCtx {
+            time: Timestamp::from_millis(1_311_535_598_327),
+            location: Some(GeoPoint::ucla()),
+            location_labels: vec!["UCLA".into()],
+            contexts: vec![],
+        }
+    }
+
+    fn allow_rule(consumer: &str) -> PrivacyRule {
+        PrivacyRule {
+            conditions: Conditions {
+                consumers: vec![ConsumerSelector::User(ConsumerId::new(consumer))],
+                ..Default::default()
+            },
+            action: Action::Allow,
+        }
+    }
+
+    #[test]
+    fn deny_by_default() {
+        let d = evaluate(&[], &bob(), &window_at_ucla(), &chans(&["ecg"]), &graph());
+        assert!(d.allowed.is_empty());
+        assert_eq!(d.denied, chans(&["ecg"]).into_iter().collect());
+        assert!(d.shares_nothing());
+    }
+
+    #[test]
+    fn allow_all_shares_raw() {
+        let d = evaluate(
+            &[allow_rule("Bob")],
+            &bob(),
+            &window_at_ucla(),
+            &chans(&["ecg", "respiration"]),
+            &graph(),
+        );
+        assert_eq!(d.allowed.len(), 2);
+        assert!(d.denied.is_empty());
+        assert!(d.suppressed.is_empty());
+        assert!(!d.shares_nothing());
+    }
+
+    #[test]
+    fn allow_does_not_leak_to_other_consumers() {
+        let eve = ConsumerCtx::user("Eve");
+        let d = evaluate(
+            &[allow_rule("Bob")],
+            &eve,
+            &window_at_ucla(),
+            &chans(&["ecg"]),
+            &graph(),
+        );
+        assert!(d.allowed.is_empty());
+    }
+
+    #[test]
+    fn group_and_study_selectors() {
+        let mut consumer = ConsumerCtx::user("carol");
+        consumer.groups.push(GroupId::new("researchers"));
+        consumer.studies.push(StudyId::new("stress-study"));
+        let group_rule = PrivacyRule {
+            conditions: Conditions {
+                consumers: vec![ConsumerSelector::Group(GroupId::new("researchers"))],
+                ..Default::default()
+            },
+            action: Action::Allow,
+        };
+        let d = evaluate(
+            &[group_rule],
+            &consumer,
+            &window_at_ucla(),
+            &chans(&["ecg"]),
+            &graph(),
+        );
+        assert_eq!(d.allowed.len(), 1);
+        let study_rule = PrivacyRule {
+            conditions: Conditions {
+                consumers: vec![ConsumerSelector::Study(StudyId::new("other-study"))],
+                ..Default::default()
+            },
+            action: Action::Allow,
+        };
+        let d2 = evaluate(
+            &[study_rule],
+            &consumer,
+            &window_at_ucla(),
+            &chans(&["ecg"]),
+            &graph(),
+        );
+        assert!(d2.allowed.is_empty());
+    }
+
+    #[test]
+    fn deny_beats_allow_regardless_of_order() {
+        let deny_ecg = PrivacyRule {
+            conditions: Conditions {
+                sensors: chans(&["ecg"]),
+                ..Default::default()
+            },
+            action: Action::Deny,
+        };
+        for rules in [
+            vec![allow_rule("Bob"), deny_ecg.clone()],
+            vec![deny_ecg.clone(), allow_rule("Bob")],
+        ] {
+            let d = evaluate(
+                &rules,
+                &bob(),
+                &window_at_ucla(),
+                &chans(&["ecg", "respiration"]),
+                &graph(),
+            );
+            assert!(!d.allowed.contains(&ChannelId::new("ecg")));
+            assert!(d.allowed.contains(&ChannelId::new("respiration")));
+            assert!(d.denied.contains(&ChannelId::new("ecg")));
+        }
+    }
+
+    #[test]
+    fn sensor_condition_scopes_rule() {
+        let allow_ecg_only = PrivacyRule {
+            conditions: Conditions {
+                sensors: chans(&["ecg"]),
+                ..Default::default()
+            },
+            action: Action::Allow,
+        };
+        let d = evaluate(
+            &[allow_ecg_only],
+            &bob(),
+            &window_at_ucla(),
+            &chans(&["ecg", "accel_mag"]),
+            &graph(),
+        );
+        assert!(d.allowed.contains(&ChannelId::new("ecg")));
+        assert!(d.denied.contains(&ChannelId::new("accel_mag")));
+    }
+
+    #[test]
+    fn location_label_condition() {
+        let allow_at_ucla = PrivacyRule {
+            conditions: Conditions {
+                location: Some(LocationCondition {
+                    labels: vec!["UCLA".into()],
+                    regions: vec![],
+                }),
+                ..Default::default()
+            },
+            action: Action::Allow,
+        };
+        let d_here = evaluate(
+            std::slice::from_ref(&allow_at_ucla),
+            &bob(),
+            &window_at_ucla(),
+            &chans(&["ecg"]),
+            &graph(),
+        );
+        assert_eq!(d_here.allowed.len(), 1);
+        let mut elsewhere = window_at_ucla();
+        elsewhere.location_labels = vec!["home".into()];
+        let d_away = evaluate(
+            &[allow_at_ucla],
+            &bob(),
+            &elsewhere,
+            &chans(&["ecg"]),
+            &graph(),
+        );
+        assert!(d_away.allowed.is_empty());
+    }
+
+    #[test]
+    fn region_condition_uses_gps() {
+        let region = Region::around(GeoPoint::ucla(), 0.01);
+        let deny_in_region = PrivacyRule {
+            conditions: Conditions {
+                location: Some(LocationCondition {
+                    labels: vec![],
+                    regions: vec![region],
+                }),
+                ..Default::default()
+            },
+            action: Action::Deny,
+        };
+        let rules = [allow_rule("Bob"), deny_in_region];
+        let inside = window_at_ucla();
+        let d_in = evaluate(&rules, &bob(), &inside, &chans(&["ecg"]), &graph());
+        assert!(d_in.allowed.is_empty());
+        let mut outside = window_at_ucla();
+        outside.location = Some(GeoPoint::new(40.0, -100.0));
+        outside.location_labels.clear();
+        let d_out = evaluate(&rules, &bob(), &outside, &chans(&["ecg"]), &graph());
+        assert_eq!(d_out.allowed.len(), 1);
+    }
+
+    #[test]
+    fn unknown_location_is_conservative_for_deny_only() {
+        let region = Region::around(GeoPoint::ucla(), 0.01);
+        let deny_in_region = PrivacyRule {
+            conditions: Conditions {
+                location: Some(LocationCondition {
+                    labels: vec![],
+                    regions: vec![region],
+                }),
+                ..Default::default()
+            },
+            action: Action::Deny,
+        };
+        let allow_in_region = PrivacyRule {
+            conditions: Conditions {
+                location: Some(LocationCondition {
+                    labels: vec![],
+                    regions: vec![region],
+                }),
+                ..Default::default()
+            },
+            action: Action::Allow,
+        };
+        let mut no_fix = window_at_ucla();
+        no_fix.location = None;
+        no_fix.location_labels.clear();
+        // The deny rule conservatively applies without a fix.
+        let d = evaluate(
+            &[allow_rule("Bob"), deny_in_region],
+            &bob(),
+            &no_fix,
+            &chans(&["ecg"]),
+            &graph(),
+        );
+        assert!(d.allowed.is_empty());
+        // The allow rule needs positive evidence, so nothing is shared.
+        let d2 = evaluate(&[allow_in_region], &bob(), &no_fix, &chans(&["ecg"]), &graph());
+        assert!(d2.allowed.is_empty());
+    }
+
+    #[test]
+    fn time_conditions() {
+        let jan_2011 = TimeRange::new(
+            Timestamp::from_civil(2011, 1, 1),
+            Timestamp::from_civil(2011, 2, 1),
+        );
+        let allow_in_jan = PrivacyRule {
+            conditions: Conditions {
+                time: Some(TimeCondition {
+                    ranges: vec![jan_2011],
+                    repeats: vec![],
+                }),
+                ..Default::default()
+            },
+            action: Action::Allow,
+        };
+        let mut in_jan = window_at_ucla();
+        in_jan.time = Timestamp::from_civil(2011, 1, 15);
+        let d = evaluate(std::slice::from_ref(&allow_in_jan), &bob(), &in_jan, &chans(&["ecg"]), &graph());
+        assert_eq!(d.allowed.len(), 1);
+        let mut in_july = window_at_ucla();
+        in_july.time = Timestamp::from_civil(2011, 7, 15);
+        let d2 = evaluate(&[allow_in_jan], &bob(), &in_july, &chans(&["ecg"]), &graph());
+        assert!(d2.allowed.is_empty());
+    }
+
+    use sensorsafe_types::TimeRange;
+
+    #[test]
+    fn context_condition_active() {
+        // "don't share any data while I am driving"
+        let deny_driving = PrivacyRule {
+            conditions: Conditions {
+                contexts: vec![ContextKind::Drive],
+                ..Default::default()
+            },
+            action: Action::Deny,
+        };
+        let rules = [allow_rule("Bob"), deny_driving];
+        let mut driving = window_at_ucla();
+        driving.contexts = vec![ContextState::on(ContextKind::Drive)];
+        let d = evaluate(&rules, &bob(), &driving, &chans(&["ecg"]), &graph());
+        assert!(d.allowed.is_empty());
+        let mut walking = window_at_ucla();
+        walking.contexts = vec![
+            ContextState::off(ContextKind::Drive),
+            ContextState::on(ContextKind::Walk),
+        ];
+        let d2 = evaluate(&rules, &bob(), &walking, &chans(&["ecg"]), &graph());
+        assert_eq!(d2.allowed.len(), 1);
+    }
+
+    #[test]
+    fn active_mode_implies_other_modes_inactive() {
+        // "deny while driving" must not fire during a window annotated
+        // only with Walk (transport modes are mutually exclusive).
+        let deny_driving = PrivacyRule {
+            conditions: Conditions {
+                contexts: vec![ContextKind::Drive],
+                ..Default::default()
+            },
+            action: Action::Deny,
+        };
+        let mut walking = window_at_ucla();
+        walking.contexts = vec![ContextState::on(ContextKind::Walk)];
+        let d = evaluate(
+            &[allow_rule("Bob"), deny_driving.clone()],
+            &bob(),
+            &walking,
+            &chans(&["ecg"]),
+            &graph(),
+        );
+        assert_eq!(d.allowed.len(), 1);
+        // But a non-mode context (Stress) stays unknown and conservative.
+        let deny_stressed = PrivacyRule {
+            conditions: Conditions {
+                contexts: vec![ContextKind::Stress],
+                ..Default::default()
+            },
+            action: Action::Deny,
+        };
+        let d2 = evaluate(
+            &[allow_rule("Bob"), deny_stressed],
+            &bob(),
+            &walking,
+            &chans(&["ecg"]),
+            &graph(),
+        );
+        assert!(d2.allowed.is_empty());
+    }
+
+    #[test]
+    fn unknown_context_is_conservative_for_deny() {
+        let deny_driving = PrivacyRule {
+            conditions: Conditions {
+                contexts: vec![ContextKind::Drive],
+                ..Default::default()
+            },
+            action: Action::Deny,
+        };
+        let mut unannotated = window_at_ucla();
+        unannotated.contexts.clear();
+        let d = evaluate(
+            &[allow_rule("Bob"), deny_driving],
+            &bob(),
+            &unannotated,
+            &chans(&["ecg"]),
+            &graph(),
+        );
+        assert!(d.allowed.is_empty());
+    }
+
+    #[test]
+    fn abstraction_levels_combine_most_restrictive() {
+        let abs1 = PrivacyRule {
+            conditions: Conditions::default(),
+            action: Action::Abstraction(AbstractionSpec {
+                location: Some(LocationAbs::Zipcode),
+                time: Some(TimeAbs::Day),
+                ..Default::default()
+            }),
+        };
+        let abs2 = PrivacyRule {
+            conditions: Conditions::default(),
+            action: Action::Abstraction(AbstractionSpec {
+                location: Some(LocationAbs::State),
+                time: Some(TimeAbs::Hour),
+                ..Default::default()
+            }),
+        };
+        let d = evaluate(
+            &[allow_rule("Bob"), abs1, abs2],
+            &bob(),
+            &window_at_ucla(),
+            &chans(&["skin_temp"]),
+            &graph(),
+        );
+        assert_eq!(d.location, LocationAbs::State);
+        assert_eq!(d.time, TimeAbs::Day);
+        assert!(d.allowed.contains(&ChannelId::new("skin_temp")));
+        // Abstraction alone grants nothing (access needs an Allow).
+        let abs_only = evaluate(
+            &[PrivacyRule {
+                conditions: Conditions::default(),
+                action: Action::Abstraction(AbstractionSpec {
+                    location: Some(LocationAbs::City),
+                    ..Default::default()
+                }),
+            }],
+            &bob(),
+            &window_at_ucla(),
+            &chans(&["skin_temp"]),
+            &graph(),
+        );
+        assert!(abs_only.allowed.is_empty());
+    }
+
+    #[test]
+    fn dependency_closure_suppresses_raw_respiration() {
+        // Share everything, but smoking only as a label: raw respiration
+        // must be suppressed even though stress is raw.
+        let rules = [
+            allow_rule("Bob"),
+            PrivacyRule {
+                conditions: Conditions::default(),
+                action: Action::Abstraction(AbstractionSpec {
+                    smoking: Some(BinaryAbs::Label),
+                    ..Default::default()
+                }),
+            },
+        ];
+        let d = evaluate(
+            &rules,
+            &bob(),
+            &window_at_ucla(),
+            &chans(&[CHAN_ECG, CHAN_RESPIRATION, CHAN_ACCEL_MAG]),
+            &graph(),
+        );
+        assert!(d.suppressed.contains(&ChannelId::new(CHAN_RESPIRATION)));
+        assert!(!d.suppressed.contains(&ChannelId::new(CHAN_ECG)));
+        let raw: Vec<&str> = d.raw_channels().map(|c| c.as_str()).collect();
+        assert_eq!(raw, ["accel_mag", "ecg"]);
+        assert!(!d.shares_nothing());
+    }
+
+    #[test]
+    fn fully_withheld_contexts_share_nothing_from_sources() {
+        let rules = [
+            allow_rule("Bob"),
+            PrivacyRule {
+                conditions: Conditions::default(),
+                action: Action::Abstraction(AbstractionSpec {
+                    stress: Some(BinaryAbs::NotShared),
+                    smoking: Some(BinaryAbs::NotShared),
+                    conversation: Some(BinaryAbs::NotShared),
+                    activity: Some(ActivityAbs::NotShared),
+                    ..Default::default()
+                }),
+            },
+        ];
+        let d = evaluate(
+            &rules,
+            &bob(),
+            &window_at_ucla(),
+            &chans(&[CHAN_ECG, CHAN_RESPIRATION, CHAN_ACCEL_MAG]),
+            &graph(),
+        );
+        // Every channel is a source of some withheld context.
+        assert_eq!(d.suppressed.len(), 3);
+        assert!(d.shares_nothing());
+    }
+
+    #[test]
+    fn label_sharing_is_not_nothing() {
+        let rules = [
+            allow_rule("Bob"),
+            PrivacyRule {
+                conditions: Conditions::default(),
+                action: Action::Abstraction(AbstractionSpec {
+                    stress: Some(BinaryAbs::Label),
+                    ..Default::default()
+                }),
+            },
+        ];
+        let d = evaluate(
+            &rules,
+            &bob(),
+            &window_at_ucla(),
+            &chans(&[CHAN_ECG]),
+            &graph(),
+        );
+        // ECG raw is suppressed, but the stress label is shared.
+        assert!(d.suppressed.contains(&ChannelId::new(CHAN_ECG)));
+        assert!(!d.shares_nothing());
+    }
+
+    #[test]
+    fn evaluation_is_order_independent() {
+        let rules_a = [
+            allow_rule("Bob"),
+            PrivacyRule {
+                conditions: Conditions {
+                    sensors: chans(&["ecg"]),
+                    ..Default::default()
+                },
+                action: Action::Deny,
+            },
+            PrivacyRule {
+                conditions: Conditions::default(),
+                action: Action::Abstraction(AbstractionSpec {
+                    time: Some(TimeAbs::Hour),
+                    ..Default::default()
+                }),
+            },
+        ];
+        let mut rules_b = rules_a.clone();
+        rules_b.reverse();
+        let all = chans(&["ecg", "respiration", "skin_temp"]);
+        let d_a = evaluate(&rules_a, &bob(), &window_at_ucla(), &all, &graph());
+        let d_b = evaluate(&rules_b, &bob(), &window_at_ucla(), &all, &graph());
+        assert_eq!(d_a, d_b);
+    }
+}

@@ -1,0 +1,434 @@
+//! Broker-side rule mirror and contributor search (§5.2).
+//!
+//! "The broker locally stores all privacy rules of every user on remote
+//! data stores to search through them. Whenever data contributors change
+//! their privacy rules, remote data stores automatically communicate with
+//! the broker to synchronize the privacy rules."
+//!
+//! [`RuleIndex`] is that mirror: per-contributor rule lists with a
+//! monotonically increasing *epoch* (stale sync messages are rejected),
+//! plus [`RuleIndex::search`] implementing the paper's example query —
+//! "finding data contributors who share ECG and respiration sensor data
+//! at the location labeled 'work' from 9am to 6pm on weekdays".
+//!
+//! Search evaluates each contributor's rule set against *representative
+//! probe windows* drawn from the query (one per requested weekday, at the
+//! midpoint of the daily window, with the required contexts active). A
+//! contributor matches when every probe window yields a decision that
+//! shares every required channel raw and meets every required context
+//! level.
+
+use crate::abstraction::{ActivityAbs, BinaryAbs};
+use crate::deps::DependencyGraph;
+use crate::eval::{evaluate, ConsumerCtx, WindowCtx};
+use crate::rule::PrivacyRule;
+use sensorsafe_types::{
+    ChannelId, ContextKind, ContextState, ContributorId, RepeatTime, TimeRange, Timestamp,
+    Weekday,
+};
+use std::collections::BTreeMap;
+
+/// A contributor-search query.
+#[derive(Debug, Clone, Default)]
+pub struct SearchQuery {
+    /// The searching consumer (rules are consumer-specific).
+    pub consumer: ConsumerCtx,
+    /// Channels that must be shared **raw**.
+    pub raw_channels: Vec<ChannelId>,
+    /// Contexts for which at least label-level information must be
+    /// shared (e.g. a stress study needs Stress at `Label` or better).
+    pub label_contexts: Vec<ContextKind>,
+    /// Location labels the data must cover (probe windows carry them).
+    pub location_labels: Vec<String>,
+    /// Daily window the data must cover.
+    pub repeat: Option<RepeatTime>,
+    /// Continuous range the data must cover.
+    pub range: Option<TimeRange>,
+    /// Contexts assumed active in the probe windows (e.g. `Drive` for
+    /// Bob's driving-stress study) — restriction rules conditioned on
+    /// these will fire during search exactly as they would at query time.
+    pub active_contexts: Vec<ContextKind>,
+}
+
+/// Deterministic reference week for probe instants: Monday 2011-07-04
+/// 00:00 UTC (the paper's publication summer).
+fn reference_week_start() -> Timestamp {
+    let t = Timestamp::from_civil(2011, 7, 4);
+    debug_assert_eq!(t.weekday(), Weekday::Mon);
+    t
+}
+
+impl SearchQuery {
+    /// The probe instants search evaluates at (documented above).
+    pub fn probe_instants(&self) -> Vec<Timestamp> {
+        let mut probes = Vec::new();
+        match (&self.repeat, &self.range) {
+            (Some(rep), _) => {
+                let days = if rep.days.is_empty() {
+                    Weekday::ALL.to_vec()
+                } else {
+                    rep.days.clone()
+                };
+                let mid_minutes =
+                    (rep.from.minutes() as i64 + rep.to.minutes() as i64) / 2;
+                let week = reference_week_start();
+                for day in days {
+                    let day_idx = Weekday::ALL.iter().position(|d| *d == day).unwrap() as i64;
+                    probes.push(
+                        week.plus_millis(day_idx * 86_400_000 + mid_minutes * 60_000),
+                    );
+                }
+            }
+            (None, Some(range)) => {
+                // Probe the midpoint and both ends (just inside).
+                let mid = Timestamp::from_millis(
+                    (range.start.millis() + range.end.millis()) / 2,
+                );
+                probes.push(range.start);
+                probes.push(mid);
+                probes.push(Timestamp::from_millis(range.end.millis() - 1));
+            }
+            (None, None) => probes.push(reference_week_start().plus_millis(12 * 3_600_000)),
+        }
+        // Range additionally constrains repeat-derived probes: shift the
+        // reference week into the range when possible.
+        if let (Some(_), Some(range)) = (&self.repeat, &self.range) {
+            let week_ms = 7 * 86_400_000i64;
+            let shift = ((range.start.millis() - reference_week_start().millis())
+                .div_euclid(week_ms)
+                + 1)
+                * week_ms;
+            for p in &mut probes {
+                let moved = p.plus_millis(shift);
+                if range.contains(moved) {
+                    *p = moved;
+                }
+            }
+        }
+        probes
+    }
+
+    fn probe_window(&self, instant: Timestamp) -> WindowCtx {
+        WindowCtx {
+            time: instant,
+            location: None,
+            location_labels: self.location_labels.clone(),
+            contexts: self
+                .active_contexts
+                .iter()
+                .map(|k| ContextState::on(*k))
+                .collect(),
+        }
+    }
+
+    fn context_level_ok(&self, decision: &crate::eval::Decision) -> bool {
+        self.label_contexts.iter().all(|k| match k {
+            ContextKind::Stress => decision.stress != BinaryAbs::NotShared,
+            ContextKind::Smoking => decision.smoking != BinaryAbs::NotShared,
+            ContextKind::Conversation => decision.conversation != BinaryAbs::NotShared,
+            ContextKind::Moving => decision.activity != ActivityAbs::NotShared,
+            mode if mode.is_transport_mode() => {
+                decision.activity == ActivityAbs::Raw
+                    || decision.activity == ActivityAbs::TransportMode
+            }
+            _ => true,
+        })
+    }
+
+    /// Whether one contributor's rule set satisfies the query.
+    pub fn matches(&self, rules: &[PrivacyRule], graph: &DependencyGraph) -> bool {
+        // Channels whose decisions matter: the required raw channels plus
+        // the sources of required contexts (their suppression is fine —
+        // labels survive — but they must not be *denied*).
+        let channels: Vec<ChannelId> = self.raw_channels.clone();
+        self.probe_instants().iter().all(|instant| {
+            let window = self.probe_window(*instant);
+            let decision = evaluate(rules, &self.consumer, &window, &channels, graph);
+            let raw_ok = self
+                .raw_channels
+                .iter()
+                .all(|c| decision.raw_channels().any(|r| r == c));
+            raw_ok && self.context_level_ok(&decision)
+        })
+    }
+}
+
+/// The broker's mirror of every contributor's privacy rules.
+#[derive(Debug, Default)]
+pub struct RuleIndex {
+    entries: BTreeMap<ContributorId, (u64, Vec<PrivacyRule>)>,
+    graph: DependencyGraph,
+}
+
+impl RuleIndex {
+    /// An empty index using the paper's dependency graph.
+    pub fn new() -> RuleIndex {
+        RuleIndex {
+            entries: BTreeMap::new(),
+            graph: DependencyGraph::paper(),
+        }
+    }
+
+    /// Applies a rule-sync message from a data store. Returns `false`
+    /// (and ignores the message) when `epoch` is not newer than the
+    /// mirrored one — out-of-order syncs cannot roll rules back.
+    pub fn sync(
+        &mut self,
+        contributor: ContributorId,
+        epoch: u64,
+        rules: Vec<PrivacyRule>,
+    ) -> bool {
+        match self.entries.get(&contributor) {
+            Some((current, _)) if *current >= epoch => false,
+            _ => {
+                self.entries.insert(contributor, (epoch, rules));
+                true
+            }
+        }
+    }
+
+    /// Removes a contributor (account deletion).
+    pub fn remove(&mut self, contributor: &ContributorId) -> bool {
+        self.entries.remove(contributor).is_some()
+    }
+
+    /// The mirrored rules of one contributor.
+    pub fn rules_of(&self, contributor: &ContributorId) -> Option<(u64, &[PrivacyRule])> {
+        self.entries
+            .get(contributor)
+            .map(|(e, r)| (*e, r.as_slice()))
+    }
+
+    /// Number of mirrored contributors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no contributor is mirrored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All contributors whose rule sets satisfy `query`, in name order.
+    pub fn search(&self, query: &SearchQuery) -> Vec<ContributorId> {
+        self.entries
+            .iter()
+            .filter(|(_, (_, rules))| query.matches(rules, &self.graph))
+            .map(|(id, _)| id.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::{Action, Conditions, ConsumerSelector, LocationCondition};
+    use sensorsafe_types::{ConsumerId, TimeOfDay};
+
+    fn bob_query() -> SearchQuery {
+        // The paper's §5.2 example: ECG + respiration at "work",
+        // 9am-6pm weekdays.
+        SearchQuery {
+            consumer: ConsumerCtx::user("Bob"),
+            raw_channels: vec![ChannelId::new("ecg"), ChannelId::new("respiration")],
+            location_labels: vec!["work".into()],
+            repeat: Some(RepeatTime::weekdays_nine_to_six()),
+            ..Default::default()
+        }
+    }
+
+    fn sharing_rules() -> Vec<PrivacyRule> {
+        vec![PrivacyRule::allow_all()]
+    }
+
+    fn denying_rules() -> Vec<PrivacyRule> {
+        // Shares everything except at "work".
+        vec![
+            PrivacyRule::allow_all(),
+            PrivacyRule {
+                conditions: Conditions {
+                    location: Some(LocationCondition {
+                        labels: vec!["work".into()],
+                        regions: vec![],
+                    }),
+                    ..Default::default()
+                },
+                action: Action::Deny,
+            },
+        ]
+    }
+
+    #[test]
+    fn probe_instants_cover_each_weekday() {
+        let q = bob_query();
+        let probes = q.probe_instants();
+        assert_eq!(probes.len(), 5);
+        for p in &probes {
+            assert!(Weekday::WORKDAYS.contains(&p.weekday()));
+            // Midpoint of 9:00–18:00 is 13:30.
+            assert_eq!(p.time_of_day(), TimeOfDay::new(13, 30));
+        }
+    }
+
+    #[test]
+    fn search_separates_sharers_from_deniers() {
+        let mut index = RuleIndex::new();
+        index.sync(ContributorId::new("alice"), 1, denying_rules());
+        index.sync(ContributorId::new("carol"), 1, sharing_rules());
+        let hits = index.search(&bob_query());
+        assert_eq!(hits, vec![ContributorId::new("carol")]);
+    }
+
+    #[test]
+    fn search_respects_consumer_condition() {
+        let only_for_eve = vec![PrivacyRule {
+            conditions: Conditions {
+                consumers: vec![ConsumerSelector::User(ConsumerId::new("Eve"))],
+                ..Default::default()
+            },
+            action: Action::Allow,
+        }];
+        let mut index = RuleIndex::new();
+        index.sync(ContributorId::new("dave"), 1, only_for_eve);
+        assert!(index.search(&bob_query()).is_empty());
+        let mut eve_query = bob_query();
+        eve_query.consumer = ConsumerCtx::user("Eve");
+        assert_eq!(index.search(&eve_query).len(), 1);
+    }
+
+    #[test]
+    fn search_with_active_context_restriction() {
+        // Bob studies stress *while driving*; Alice denies stress data
+        // while driving (§6). Alice must not match.
+        let alice_rules = vec![
+            PrivacyRule::allow_all(),
+            PrivacyRule {
+                conditions: Conditions {
+                    contexts: vec![ContextKind::Drive],
+                    sensors: vec![ChannelId::new("ecg"), ChannelId::new("respiration")],
+                    ..Default::default()
+                },
+                action: Action::Deny,
+            },
+        ];
+        let mut index = RuleIndex::new();
+        index.sync(ContributorId::new("alice"), 1, alice_rules);
+        index.sync(ContributorId::new("carol"), 1, sharing_rules());
+        let query = SearchQuery {
+            consumer: ConsumerCtx::user("Bob"),
+            raw_channels: vec![ChannelId::new("ecg"), ChannelId::new("respiration")],
+            active_contexts: vec![ContextKind::Drive],
+            ..Default::default()
+        };
+        let hits = index.search(&query);
+        assert_eq!(hits, vec![ContributorId::new("carol")]);
+    }
+
+    #[test]
+    fn label_context_requirement() {
+        use crate::rule::AbstractionSpec;
+        // Contributor shares stress only as a label.
+        let label_only = vec![
+            PrivacyRule::allow_all(),
+            PrivacyRule {
+                conditions: Conditions::default(),
+                action: Action::Abstraction(AbstractionSpec {
+                    stress: Some(BinaryAbs::Label),
+                    ..Default::default()
+                }),
+            },
+        ];
+        let mut index = RuleIndex::new();
+        index.sync(ContributorId::new("erin"), 1, label_only);
+        // A query needing stress labels matches...
+        let label_query = SearchQuery {
+            consumer: ConsumerCtx::user("Bob"),
+            label_contexts: vec![ContextKind::Stress],
+            ..Default::default()
+        };
+        assert_eq!(index.search(&label_query).len(), 1);
+        // ...but a query needing raw ECG does not (dependency closure
+        // suppresses it).
+        let raw_query = SearchQuery {
+            consumer: ConsumerCtx::user("Bob"),
+            raw_channels: vec![ChannelId::new("ecg")],
+            ..Default::default()
+        };
+        assert!(index.search(&raw_query).is_empty());
+    }
+
+    #[test]
+    fn sync_epochs_are_monotonic() {
+        let mut index = RuleIndex::new();
+        let alice = ContributorId::new("alice");
+        assert!(index.sync(alice.clone(), 2, sharing_rules()));
+        // Stale epoch rejected.
+        assert!(!index.sync(alice.clone(), 1, denying_rules()));
+        assert!(!index.sync(alice.clone(), 2, denying_rules()));
+        let (epoch, rules) = index.rules_of(&alice).unwrap();
+        assert_eq!(epoch, 2);
+        assert_eq!(rules.len(), 1);
+        // Newer epoch accepted.
+        assert!(index.sync(alice.clone(), 3, denying_rules()));
+        assert_eq!(index.rules_of(&alice).unwrap().0, 3);
+    }
+
+    #[test]
+    fn remove_contributor() {
+        let mut index = RuleIndex::new();
+        let alice = ContributorId::new("alice");
+        index.sync(alice.clone(), 1, sharing_rules());
+        assert_eq!(index.len(), 1);
+        assert!(index.remove(&alice));
+        assert!(!index.remove(&alice));
+        assert!(index.is_empty());
+    }
+
+    #[test]
+    fn range_only_query_probes_endpoints() {
+        let q = SearchQuery {
+            consumer: ConsumerCtx::user("Bob"),
+            range: Some(TimeRange::new(
+                Timestamp::from_millis(1_000_000),
+                Timestamp::from_millis(2_000_000),
+            )),
+            ..Default::default()
+        };
+        let probes = q.probe_instants();
+        assert_eq!(probes.len(), 3);
+        assert!(probes.iter().all(|p| q.range.unwrap().contains(*p)));
+    }
+
+    #[test]
+    fn time_scoped_sharing_must_cover_probes() {
+        use crate::rule::TimeCondition;
+        // Contributor only shares on Mondays 9-6; Bob needs all weekdays.
+        let monday_only = vec![PrivacyRule {
+            conditions: Conditions {
+                time: Some(TimeCondition {
+                    ranges: vec![],
+                    repeats: vec![RepeatTime::new(
+                        vec![Weekday::Mon],
+                        TimeOfDay::new(9, 0),
+                        TimeOfDay::new(18, 0),
+                    )],
+                }),
+                ..Default::default()
+            },
+            action: Action::Allow,
+        }];
+        let mut index = RuleIndex::new();
+        index.sync(ContributorId::new("frank"), 1, monday_only);
+        assert!(index.search(&bob_query()).is_empty());
+        // A Monday-only query matches.
+        let monday_query = SearchQuery {
+            repeat: Some(RepeatTime::new(
+                vec![Weekday::Mon],
+                TimeOfDay::new(10, 0),
+                TimeOfDay::new(11, 0),
+            )),
+            ..bob_query()
+        };
+        assert_eq!(index.search(&monday_query).len(), 1);
+    }
+}

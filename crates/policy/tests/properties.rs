@@ -1,0 +1,262 @@
+//! Property-based tests for the access-control engine's invariants.
+
+use proptest::prelude::*;
+use sensorsafe_policy::{
+    evaluate, AbstractionSpec, Action, ActivityAbs, BinaryAbs, Conditions, ConsumerCtx,
+    ConsumerSelector, DependencyGraph, LocationAbs, LocationCondition, PrivacyRule, TimeAbs,
+    TimeCondition,
+};
+use sensorsafe_policy::WindowCtx;
+use sensorsafe_types::{
+    ChannelId, ContextKind, ContextState, GeoPoint, GroupId, RepeatTime, Region, StudyId,
+    TimeOfDay, TimeRange, Timestamp, Weekday,
+};
+
+fn arb_channel() -> impl Strategy<Value = ChannelId> {
+    prop_oneof![
+        Just(ChannelId::new("ecg")),
+        Just(ChannelId::new("respiration")),
+        Just(ChannelId::new("accel_mag")),
+        Just(ChannelId::new("audio_energy")),
+        Just(ChannelId::new("skin_temp")),
+    ]
+}
+
+fn arb_context() -> impl Strategy<Value = ContextKind> {
+    prop::sample::select(ContextKind::ALL.to_vec())
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    let level = prop_oneof![
+        Just(BinaryAbs::Raw),
+        Just(BinaryAbs::Label),
+        Just(BinaryAbs::NotShared)
+    ];
+    prop_oneof![
+        Just(Action::Allow),
+        Just(Action::Deny),
+        (
+            prop::option::of(prop::sample::select(vec![
+                LocationAbs::Coordinates,
+                LocationAbs::Zipcode,
+                LocationAbs::City,
+                LocationAbs::NotShared,
+            ])),
+            prop::option::of(prop::sample::select(vec![
+                TimeAbs::Milliseconds,
+                TimeAbs::Hour,
+                TimeAbs::Day,
+                TimeAbs::NotShared,
+            ])),
+            prop::option::of(prop::sample::select(vec![
+                ActivityAbs::Raw,
+                ActivityAbs::TransportMode,
+                ActivityAbs::NotShared,
+            ])),
+            prop::option::of(level.clone()),
+            prop::option::of(level.clone()),
+            prop::option::of(level),
+        )
+            .prop_filter_map("abstraction must set a level", |(l, t, a, s1, s2, s3)| {
+                let spec = AbstractionSpec {
+                    location: l,
+                    time: t,
+                    activity: a,
+                    stress: s1,
+                    smoking: s2,
+                    conversation: s3,
+                };
+                (!spec.is_empty()).then_some(Action::Abstraction(spec))
+            }),
+    ]
+}
+
+fn arb_conditions() -> impl Strategy<Value = Conditions> {
+    (
+        prop::collection::vec(
+            prop_oneof![
+                "[a-z]{1,6}".prop_map(|u| ConsumerSelector::User(u.as_str().into())),
+                "[a-z]{1,6}".prop_map(|g| ConsumerSelector::Group(GroupId::new(g))),
+                "[a-z]{1,6}".prop_map(|s| ConsumerSelector::Study(StudyId::new(s))),
+            ],
+            0..3,
+        ),
+        prop::option::of(("[a-z]{1,6}", any::<bool>()).prop_map(|(label, with_region)| {
+            LocationCondition {
+                labels: vec![label],
+                regions: if with_region {
+                    vec![Region::around(GeoPoint::ucla(), 0.05)]
+                } else {
+                    vec![]
+                },
+            }
+        })),
+        prop::option::of((0u8..23, 1u16..300).prop_map(|(h, len)| {
+            let from = TimeOfDay::new(h, 0);
+            let to_min = (from.minutes() + len).min(24 * 60 - 1);
+            TimeCondition {
+                ranges: vec![],
+                repeats: vec![RepeatTime::new(
+                    Weekday::WORKDAYS.to_vec(),
+                    from,
+                    TimeOfDay::new((to_min / 60) as u8, (to_min % 60) as u8),
+                )],
+            }
+        })),
+        prop::collection::vec(arb_channel(), 0..3),
+        prop::collection::vec(arb_context(), 0..2),
+    )
+        .prop_map(|(consumers, location, time, sensors, contexts)| Conditions {
+            consumers,
+            location,
+            time,
+            sensors,
+            contexts,
+        })
+}
+
+fn arb_rules() -> impl Strategy<Value = Vec<PrivacyRule>> {
+    prop::collection::vec(
+        (arb_conditions(), arb_action()).prop_map(|(conditions, action)| PrivacyRule {
+            conditions,
+            action,
+        }),
+        0..8,
+    )
+}
+
+fn arb_window() -> impl Strategy<Value = WindowCtx> {
+    (
+        0i64..2_000_000_000_000,
+        prop::option::of(Just(GeoPoint::ucla())),
+        prop::collection::vec("[a-z]{1,6}", 0..2),
+        prop::collection::vec((arb_context(), any::<bool>()), 0..4),
+    )
+        .prop_map(|(ms, location, labels, contexts)| WindowCtx {
+            time: Timestamp::from_millis(ms),
+            location,
+            location_labels: labels,
+            contexts: contexts
+                .into_iter()
+                .map(|(kind, active)| ContextState { kind, active })
+                .collect(),
+        })
+}
+
+fn channels() -> Vec<ChannelId> {
+    ["ecg", "respiration", "accel_mag", "audio_energy", "skin_temp"]
+        .iter()
+        .map(|c| ChannelId::new(*c))
+        .collect()
+}
+
+proptest! {
+    /// Rule JSON round-trips semantically: the canonical serialization
+    /// is a fixpoint (one parse/serialize cycle may regroup consumer
+    /// selectors by type, which does not change any-of matching), and
+    /// round-tripped rules evaluate identically.
+    #[test]
+    fn rule_json_roundtrip(rules in arb_rules(), window in arb_window()) {
+        let once = PrivacyRule::rules_to_json(&rules).to_string();
+        let parsed = PrivacyRule::parse_rules(&once).unwrap();
+        let twice = PrivacyRule::rules_to_json(&parsed).to_string();
+        prop_assert_eq!(&once, &twice, "canonical form must be a fixpoint");
+        let graph = DependencyGraph::paper();
+        let consumer = ConsumerCtx::user("bob");
+        prop_assert_eq!(
+            evaluate(&rules, &consumer, &window, &channels(), &graph),
+            evaluate(&parsed, &consumer, &window, &channels(), &graph),
+        );
+    }
+
+    /// Evaluation is order-independent: shuffling the rule list never
+    /// changes the decision.
+    #[test]
+    fn evaluation_order_independent(rules in arb_rules(), window in arb_window()) {
+        let graph = DependencyGraph::paper();
+        let consumer = ConsumerCtx::user("bob");
+        let forward = evaluate(&rules, &consumer, &window, &channels(), &graph);
+        let mut reversed = rules.clone();
+        reversed.reverse();
+        let backward = evaluate(&reversed, &consumer, &window, &channels(), &graph);
+        prop_assert_eq!(forward, backward);
+    }
+
+    /// No allow rules ⇒ nothing is ever shared (deny-by-default), no
+    /// matter what restriction rules exist.
+    #[test]
+    fn without_allow_nothing_shared(rules in arb_rules(), window in arb_window()) {
+        let restrictions: Vec<PrivacyRule> = rules
+            .into_iter()
+            .filter(|r| r.action != Action::Allow)
+            .collect();
+        let d = evaluate(
+            &restrictions,
+            &ConsumerCtx::user("bob"),
+            &window,
+            &channels(),
+            &DependencyGraph::paper(),
+        );
+        prop_assert!(d.allowed.is_empty());
+        prop_assert!(d.shares_nothing());
+    }
+
+    /// Adding a restriction rule never increases what is shared
+    /// (monotonicity of restrictions).
+    #[test]
+    fn restrictions_are_monotone(
+        rules in arb_rules(),
+        extra_cond in arb_conditions(),
+        window in arb_window(),
+    ) {
+        let graph = DependencyGraph::paper();
+        let consumer = ConsumerCtx::user("bob");
+        let before = evaluate(&rules, &consumer, &window, &channels(), &graph);
+        let mut with_deny = rules.clone();
+        with_deny.push(PrivacyRule {
+            conditions: extra_cond,
+            action: Action::Deny,
+        });
+        let after = evaluate(&with_deny, &consumer, &window, &channels(), &graph);
+        // Raw-shared channels can only shrink.
+        let before_raw: Vec<_> = before.raw_channels().collect();
+        for c in after.raw_channels() {
+            prop_assert!(before_raw.contains(&c), "{c} appeared after adding a deny");
+        }
+    }
+
+    /// The dependency-closure invariant holds for every decision: no raw
+    /// channel that a non-raw context can be inferred from survives.
+    #[test]
+    fn closure_invariant(rules in arb_rules(), window in arb_window()) {
+        let graph = DependencyGraph::paper();
+        let d = evaluate(
+            &rules,
+            &ConsumerCtx::user("bob"),
+            &window,
+            &channels(),
+            &graph,
+        );
+        let blocked = graph.blocked_channels(d.activity, d.stress, d.smoking, d.conversation);
+        for c in d.raw_channels() {
+            prop_assert!(!blocked.contains(c), "closure violated for {c}");
+        }
+    }
+
+    /// Denied + allowed always partitions the requested channel set.
+    #[test]
+    fn decision_partitions_channels(rules in arb_rules(), window in arb_window()) {
+        let d = evaluate(
+            &rules,
+            &ConsumerCtx::user("bob"),
+            &window,
+            &channels(),
+            &DependencyGraph::paper(),
+        );
+        for c in channels() {
+            let in_allowed = d.allowed.contains(&c);
+            let in_denied = d.denied.contains(&c);
+            prop_assert!(in_allowed != in_denied, "{c} must be in exactly one set");
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Synthetic body-sensor signals and a daily-life scenario engine.
+//!
+//! The paper's data comes from a Zephyr BioHarness chest band (ECG,
+//! respiration, skin temperature) and a smartphone (accelerometer, GPS,
+//! microphone) worn by contributors "as they live their daily lives".
+//! Neither hardware nor human subjects are available offline, so this
+//! crate simulates both (see DESIGN.md substitutions):
+//!
+//! * [`signals`] — per-sensor waveform generators whose parameters are
+//!   driven by the wearer's current [`Condition`] (activity, stress,
+//!   conversation, smoking). The parameterization is chosen so that the
+//!   `sensorsafe-inference` classifiers can recover the ground truth:
+//!   e.g. stress raises heart and breathing rate, smoking produces deep
+//!   slow breaths, conversation raises microphone energy.
+//! * [`scenario`] — a timeline of [`Episode`]s (where the wearer is,
+//!   what they are doing) that renders to wave segments in Zephyr-style
+//!   64-sample packets plus ground-truth [`ContextAnnotation`]s. The
+//!   canonical [`Scenario::alice_day`] reproduces §6's Alice: stressed
+//!   driving commute, conversations at UCLA, evening at home.
+
+pub mod scenario;
+pub mod signals;
+
+pub use scenario::{Episode, Place, RenderOutput, Scenario, PACKET_SAMPLES};
+pub use signals::{
+    AccelSynth, AudioSynth, Condition, EcgSynth, GpsSynth, RespSynth, SignalClock,
+};

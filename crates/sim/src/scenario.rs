@@ -1,0 +1,514 @@
+//! The daily-life scenario engine.
+//!
+//! A [`Scenario`] is a timeline of [`Episode`]s — where the wearer is and
+//! what they're doing. Rendering a scenario produces exactly what a
+//! contributor's phone would upload: wave segments in Zephyr-style
+//! 64-sample packets per sensor group, plus the ground-truth
+//! [`ContextAnnotation`]s that the (or an oracle) inference pipeline
+//! attaches.
+
+use crate::signals::{AccelSynth, AudioSynth, Condition, EcgSynth, GpsSynth, RespSynth};
+use sensorsafe_types::{
+    ChannelSpec, ContextAnnotation, ContextKind, ContextState, GeoPoint, SegmentMeta, TimeRange,
+    Timestamp, Timing, WaveSegment, CHAN_ACCEL_MAG, CHAN_AUDIO_ENERGY, CHAN_ECG, CHAN_GPS_LAT,
+    CHAN_GPS_LON, CHAN_RESPIRATION,
+};
+
+/// Samples per uploaded packet — the Zephyr chest band "transmits 64 ECG
+/// samples in a single packet" (§5.1).
+pub const PACKET_SAMPLES: usize = 64;
+
+/// Chest-band sampling rate (ECG + respiration), Hz.
+pub const CHEST_HZ: f64 = 50.0;
+/// Phone sensor rate (accelerometer magnitude + audio energy), Hz.
+pub const PHONE_HZ: f64 = 10.0;
+/// GPS fix rate, Hz.
+pub const GPS_HZ: f64 = 1.0;
+
+/// A named place with coordinates and the contributor's label for it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Place {
+    /// The contributor's label ("home", "UCLA", "road").
+    pub label: String,
+    /// Representative coordinates.
+    pub point: GeoPoint,
+}
+
+impl Place {
+    /// A place.
+    pub fn new(label: impl Into<String>, lat: f64, lon: f64) -> Place {
+        Place {
+            label: label.into(),
+            point: GeoPoint::new(lat, lon),
+        }
+    }
+
+    /// Alice's home in the §6 walkthrough.
+    pub fn home() -> Place {
+        Place::new("home", 34.0430, -118.4806)
+    }
+
+    /// UCLA, the paper's running example.
+    pub fn ucla() -> Place {
+        Place::new("UCLA", 34.0722, -118.4441)
+    }
+
+    /// On the road (commuting).
+    pub fn road() -> Place {
+        Place::new("road", 34.0550, -118.4600)
+    }
+}
+
+/// One scenario episode: a condition held at a place for a duration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Episode {
+    /// Where.
+    pub place: Place,
+    /// Doing what.
+    pub condition: Condition,
+    /// For how long, in seconds.
+    pub duration_secs: u32,
+}
+
+impl Episode {
+    /// An episode.
+    pub fn new(place: Place, condition: Condition, duration_secs: u32) -> Episode {
+        assert!(duration_secs > 0, "episode must have positive duration");
+        Episode {
+            place,
+            condition,
+            duration_secs,
+        }
+    }
+}
+
+/// Everything a rendered scenario uploads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenderOutput {
+    /// Chest-band packets (ECG + respiration), 64 samples each.
+    pub chest_segments: Vec<WaveSegment>,
+    /// Phone packets (accel magnitude + audio energy).
+    pub phone_segments: Vec<WaveSegment>,
+    /// GPS packets (lat + lon channels, per-sample timing).
+    pub gps_segments: Vec<WaveSegment>,
+    /// Ground-truth context annotations, one per episode.
+    pub annotations: Vec<ContextAnnotation>,
+}
+
+impl RenderOutput {
+    /// All segments in one list (chest, phone, then GPS).
+    pub fn all_segments(&self) -> Vec<WaveSegment> {
+        let mut out = self.chest_segments.clone();
+        out.extend(self.phone_segments.clone());
+        out.extend(self.gps_segments.clone());
+        out
+    }
+
+    /// Total sample count across all streams.
+    pub fn total_samples(&self) -> usize {
+        self.all_segments().iter().map(WaveSegment::len).sum()
+    }
+}
+
+/// A timeline of episodes starting at a fixed instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// First episode's start.
+    pub start: Timestamp,
+    /// Episodes, played back to back.
+    pub episodes: Vec<Episode>,
+    /// RNG seed for all generators.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// An empty scenario starting at `start`.
+    pub fn new(start: Timestamp, seed: u64) -> Scenario {
+        Scenario {
+            start,
+            episodes: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Appends an episode.
+    pub fn then(mut self, episode: Episode) -> Scenario {
+        self.episodes.push(episode);
+        self
+    }
+
+    /// Total duration in seconds.
+    pub fn duration_secs(&self) -> u32 {
+        self.episodes.iter().map(|e| e.duration_secs).sum()
+    }
+
+    /// The §6 Alice walkthrough, compressed so tests stay fast: a morning
+    /// at home, a stressed drive to UCLA, a conversation-heavy workday
+    /// with a smoke break, a stressed drive home, and an evening at home.
+    /// `minutes_scale` stretches each phase (1 → ~10 minute day).
+    pub fn alice_day(start: Timestamp, seed: u64, minutes_scale: u32) -> Scenario {
+        let m = 60 * minutes_scale;
+        let still = Condition::default();
+        let stressed_drive = Condition {
+            mode: ContextKind::Drive,
+            stressed: true,
+            ..Default::default()
+        };
+        let working = Condition::default();
+        let talking = Condition {
+            conversing: true,
+            ..Default::default()
+        };
+        let talking_stressed = Condition {
+            conversing: true,
+            stressed: true,
+            ..Default::default()
+        };
+        let smoke_break = Condition {
+            smoking: true,
+            ..Default::default()
+        };
+        let walking = Condition {
+            mode: ContextKind::Walk,
+            ..Default::default()
+        };
+        Scenario::new(start, seed)
+            .then(Episode::new(Place::home(), still, m)) // breakfast
+            .then(Episode::new(Place::road(), stressed_drive, m)) // commute
+            .then(Episode::new(Place::ucla(), working, 2 * m)) // desk work
+            .then(Episode::new(Place::ucla(), talking, m)) // meeting
+            .then(Episode::new(Place::ucla(), talking_stressed, m)) // hard meeting
+            .then(Episode::new(Place::ucla(), smoke_break, m)) // smoke break
+            .then(Episode::new(Place::ucla(), walking, m)) // walk to car
+            .then(Episode::new(Place::road(), stressed_drive, m)) // commute home
+            .then(Episode::new(Place::home(), still, m)) // evening
+    }
+
+    /// The episode active at `t`, with its window.
+    pub fn episode_at(&self, t: Timestamp) -> Option<(&Episode, TimeRange)> {
+        let mut cursor = self.start;
+        for ep in &self.episodes {
+            let end = cursor.plus_millis(ep.duration_secs as i64 * 1000);
+            if t >= cursor && t < end {
+                return Some((ep, TimeRange::new(cursor, end)));
+            }
+            cursor = end;
+        }
+        None
+    }
+
+    /// Ground-truth annotations, one per episode: the active transport
+    /// mode plus explicit states for the binary contexts.
+    pub fn ground_truth(&self) -> Vec<ContextAnnotation> {
+        let mut out = Vec::with_capacity(self.episodes.len());
+        let mut cursor = self.start;
+        for ep in &self.episodes {
+            let end = cursor.plus_millis(ep.duration_secs as i64 * 1000);
+            let mut states = vec![ContextState {
+                kind: ep.condition.mode,
+                active: true,
+            }];
+            states.push(ContextState {
+                kind: ContextKind::Moving,
+                active: ep.condition.mode != ContextKind::Still,
+            });
+            states.push(ContextState {
+                kind: ContextKind::Stress,
+                active: ep.condition.stressed,
+            });
+            states.push(ContextState {
+                kind: ContextKind::Conversation,
+                active: ep.condition.conversing,
+            });
+            states.push(ContextState {
+                kind: ContextKind::Smoking,
+                active: ep.condition.smoking,
+            });
+            out.push(ContextAnnotation::new(TimeRange::new(cursor, end), states));
+            cursor = end;
+        }
+        out
+    }
+
+    /// Renders the whole scenario to packets and ground truth.
+    pub fn render(&self) -> RenderOutput {
+        let mut ecg = EcgSynth::new(self.seed, CHEST_HZ);
+        let mut resp = RespSynth::new(self.seed, CHEST_HZ);
+        let mut accel = AccelSynth::new(self.seed, PHONE_HZ);
+        let mut audio = AudioSynth::new(self.seed);
+        let first_place = self
+            .episodes
+            .first()
+            .map(|e| e.place.point)
+            .unwrap_or(GeoPoint::ucla());
+        let mut gps = GpsSynth::new(
+            self.seed,
+            first_place.latitude,
+            first_place.longitude,
+            GPS_HZ,
+        );
+
+        let chest_format = vec![
+            ChannelSpec::f32(CHAN_ECG),
+            ChannelSpec::f32(CHAN_RESPIRATION),
+        ];
+        let phone_format = vec![
+            ChannelSpec::f32(CHAN_ACCEL_MAG),
+            ChannelSpec::f32(CHAN_AUDIO_ENERGY),
+        ];
+        let gps_format = vec![
+            ChannelSpec::f64(CHAN_GPS_LAT),
+            ChannelSpec::f64(CHAN_GPS_LON),
+        ];
+
+        let mut out = RenderOutput {
+            chest_segments: Vec::new(),
+            phone_segments: Vec::new(),
+            gps_segments: Vec::new(),
+            annotations: self.ground_truth(),
+        };
+
+        let mut cursor = self.start;
+        let mut prev_place: Option<&Place> = None;
+        for ep in &self.episodes {
+            if prev_place.is_some_and(|p| p.label != ep.place.label) {
+                gps.jump_to(ep.place.point.latitude, ep.place.point.longitude);
+            }
+            prev_place = Some(&ep.place);
+            let cond = &ep.condition;
+            let secs = ep.duration_secs as usize;
+
+            // Chest band: CHEST_HZ × secs samples, packetized.
+            let chest_rows: Vec<Vec<f64>> = (0..secs * CHEST_HZ as usize)
+                .map(|_| vec![ecg.next_sample(cond), resp.next_sample(cond)])
+                .collect();
+            packetize(
+                &chest_rows,
+                cursor,
+                CHEST_HZ,
+                &chest_format,
+                ep.place.point,
+                &mut out.chest_segments,
+            );
+
+            // Phone: PHONE_HZ × secs samples.
+            let phone_rows: Vec<Vec<f64>> = (0..secs * PHONE_HZ as usize)
+                .map(|_| vec![accel.next_sample(cond), audio.next_sample(cond)])
+                .collect();
+            packetize(
+                &phone_rows,
+                cursor,
+                PHONE_HZ,
+                &phone_format,
+                ep.place.point,
+                &mut out.phone_segments,
+            );
+
+            // GPS: one fix per second, per-sample timing (fix intervals
+            // jitter in real receivers; this exercises the PerSample
+            // path).
+            let mut gps_rows = Vec::with_capacity(secs);
+            let mut stamps = Vec::with_capacity(secs);
+            for s in 0..secs {
+                let (lat, lon) = gps.next_fix(cond);
+                gps_rows.push(vec![lat, lon]);
+                stamps.push(cursor.plus_millis(s as i64 * 1000));
+            }
+            for (chunk_rows, chunk_stamps) in gps_rows
+                .chunks(PACKET_SAMPLES)
+                .zip(stamps.chunks(PACKET_SAMPLES))
+            {
+                let meta = SegmentMeta {
+                    timing: Timing::PerSample(chunk_stamps.to_vec()),
+                    location: Some(ep.place.point),
+                    format: gps_format.clone(),
+                };
+                out.gps_segments.push(
+                    WaveSegment::from_rows(meta, chunk_rows)
+                        .expect("generated rows match format"),
+                );
+            }
+
+            cursor = cursor.plus_millis(ep.duration_secs as i64 * 1000);
+        }
+        out
+    }
+}
+
+fn packetize(
+    rows: &[Vec<f64>],
+    start: Timestamp,
+    rate_hz: f64,
+    format: &[ChannelSpec],
+    location: GeoPoint,
+    out: &mut Vec<WaveSegment>,
+) {
+    for (i, chunk) in rows.chunks(PACKET_SAMPLES).enumerate() {
+        let chunk_start = start.plus_secs_f64(i as f64 * PACKET_SAMPLES as f64 / rate_hz);
+        let meta = SegmentMeta {
+            timing: Timing::Uniform {
+                start: chunk_start,
+                interval_secs: 1.0 / rate_hz,
+            },
+            location: Some(location),
+            format: format.to_vec(),
+        };
+        out.push(WaveSegment::from_rows(meta, chunk).expect("generated rows match format"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short_scenario() -> Scenario {
+        Scenario::alice_day(Timestamp::from_millis(1_311_500_000_000), 42, 1)
+    }
+
+    #[test]
+    fn alice_day_structure() {
+        let s = short_scenario();
+        assert_eq!(s.episodes.len(), 9);
+        assert_eq!(s.duration_secs(), 600); // 10 minutes at scale 1
+    }
+
+    #[test]
+    fn episode_lookup() {
+        let s = short_scenario();
+        let (first, window) = s.episode_at(s.start).unwrap();
+        assert_eq!(first.place.label, "home");
+        assert_eq!(window.start, s.start);
+        // During the commute (minute 1..2): driving.
+        let commute_t = s.start.plus_millis(90 * 1000);
+        let (ep, _) = s.episode_at(commute_t).unwrap();
+        assert_eq!(ep.condition.mode, ContextKind::Drive);
+        assert!(ep.condition.stressed);
+        // After the end: none.
+        assert!(s.episode_at(s.start.plus_millis(601 * 1000)).is_none());
+        // Before the start: none.
+        assert!(s.episode_at(s.start.plus_millis(-1)).is_none());
+    }
+
+    #[test]
+    fn ground_truth_matches_episodes() {
+        let s = short_scenario();
+        let truth = s.ground_truth();
+        assert_eq!(truth.len(), 9);
+        // Episode 2 (index 1) is the stressed commute.
+        let commute = &truth[1];
+        assert_eq!(commute.state_of(ContextKind::Drive), Some(true));
+        assert_eq!(commute.state_of(ContextKind::Stress), Some(true));
+        assert_eq!(commute.state_of(ContextKind::Moving), Some(true));
+        assert_eq!(commute.state_of(ContextKind::Smoking), Some(false));
+        // Smoke break (index 5).
+        let smoke = &truth[5];
+        assert_eq!(smoke.state_of(ContextKind::Smoking), Some(true));
+        assert_eq!(smoke.state_of(ContextKind::Still), Some(true));
+        // Windows tile the scenario exactly.
+        for pair in truth.windows(2) {
+            assert_eq!(pair[0].window.end, pair[1].window.start);
+        }
+    }
+
+    #[test]
+    fn render_produces_expected_volumes() {
+        let s = short_scenario();
+        let out = s.render();
+        let total_secs = s.duration_secs() as usize;
+        // Chest: 50 Hz × 600 s = 30_000 samples in 64-sample packets.
+        let chest_samples: usize = out.chest_segments.iter().map(WaveSegment::len).sum();
+        assert_eq!(chest_samples, total_secs * 50);
+        assert!(out
+            .chest_segments
+            .iter()
+            .all(|s| s.len() <= PACKET_SAMPLES));
+        // Phone: 10 Hz.
+        let phone_samples: usize = out.phone_segments.iter().map(WaveSegment::len).sum();
+        assert_eq!(phone_samples, total_secs * 10);
+        // GPS: 1 Hz.
+        let gps_samples: usize = out.gps_segments.iter().map(WaveSegment::len).sum();
+        assert_eq!(gps_samples, total_secs);
+        assert_eq!(out.annotations.len(), 9);
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let a = short_scenario().render();
+        let b = short_scenario().render();
+        assert_eq!(a, b);
+        let c = Scenario::alice_day(Timestamp::from_millis(1_311_500_000_000), 43, 1).render();
+        assert_ne!(a.chest_segments, c.chest_segments);
+    }
+
+    #[test]
+    fn packets_are_time_contiguous_within_episode() {
+        let s = short_scenario();
+        let out = s.render();
+        // First episode is 60 s → 46.875 packets of chest data… packets
+        // split at episode boundaries, so check the first few are
+        // contiguous at 20 ms.
+        let first = &out.chest_segments[0];
+        let second = &out.chest_segments[1];
+        let gap = second.start_time().unwrap().millis()
+            - first.time_range().unwrap().end.millis();
+        assert!(gap.abs() <= 1, "gap {gap}ms");
+        assert!(first.can_merge(second));
+    }
+
+    #[test]
+    fn segment_locations_follow_places() {
+        let s = short_scenario();
+        let out = s.render();
+        let first = &out.chest_segments[0];
+        let home = Place::home().point;
+        assert_eq!(first.meta().location, Some(home));
+        // Somewhere in the middle (UCLA work block).
+        let mid = &out.chest_segments[out.chest_segments.len() / 2];
+        assert_eq!(mid.meta().location, Some(Place::ucla().point));
+    }
+
+    #[test]
+    fn gps_uses_per_sample_timing() {
+        let out = short_scenario().render();
+        assert!(matches!(
+            out.gps_segments[0].meta().timing,
+            Timing::PerSample(_)
+        ));
+        // Fixes drift during the commute: positions within a drive
+        // segment should span more than GPS noise.
+        let drive_seg = out
+            .gps_segments
+            .iter()
+            .find(|s| {
+                s.start_time().unwrap()
+                    >= short_scenario().start.plus_millis(60_000)
+                    && s.len() > 10
+            })
+            .unwrap();
+        let lats = drive_seg
+            .channel_values(&sensorsafe_types::ChannelId::new(CHAN_GPS_LAT))
+            .unwrap();
+        let spread = lats.iter().cloned().fold(f64::MIN, f64::max)
+            - lats.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 0.0005, "drive should move: spread {spread}");
+    }
+
+    #[test]
+    fn total_samples_accounting() {
+        let out = short_scenario().render();
+        assert_eq!(
+            out.total_samples(),
+            600 * 50 + 600 * 10 + 600
+        );
+        assert_eq!(
+            out.all_segments().len(),
+            out.chest_segments.len() + out.phone_segments.len() + out.gps_segments.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive duration")]
+    fn zero_duration_episode_rejected() {
+        let _ = Episode::new(Place::home(), Condition::default(), 0);
+    }
+}

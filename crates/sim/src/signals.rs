@@ -1,0 +1,513 @@
+//! Per-sensor waveform generators.
+//!
+//! Each generator is a deterministic function of (seeded RNG, time,
+//! [`Condition`]). Parameter choices encode the physiology the paper's
+//! inference pipeline relies on ([31], [33]):
+//!
+//! | Condition      | ECG               | Respiration            | Accel            | Audio      | GPS          |
+//! |----------------|-------------------|------------------------|------------------|------------|--------------|
+//! | baseline       | 70 bpm            | 15 br/min, amp 1.0     | ~0 g variance    | quiet      | stationary   |
+//! | stress         | 95–110 bpm        | 22 br/min              | —                | —          | —            |
+//! | smoking        | —                 | 7 br/min, amp 2.2      | —                | —          | —            |
+//! | conversation   | —                 | slightly irregular     | —                | loud bursts| —            |
+//! | walk/run       | +10 / +40 bpm     | +4 / +10 br/min        | 2 Hz / 3 Hz bounce | —        | 1.4 / 3.5 m/s |
+//! | bike / drive   | +15 / +5 bpm      | +5 / +0 br/min         | vibration        | —          | 5.5 / 15 m/s |
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sensorsafe_types::ContextKind;
+use std::f64::consts::TAU;
+
+/// The wearer's instantaneous condition, set by the scenario engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Condition {
+    /// Active transportation mode (one of
+    /// [`ContextKind::TRANSPORT_MODES`]).
+    pub mode: ContextKind,
+    /// Psychologically stressed.
+    pub stressed: bool,
+    /// In conversation.
+    pub conversing: bool,
+    /// Smoking.
+    pub smoking: bool,
+}
+
+impl Default for Condition {
+    fn default() -> Self {
+        Condition {
+            mode: ContextKind::Still,
+            stressed: false,
+            conversing: false,
+            smoking: false,
+        }
+    }
+}
+
+impl Condition {
+    /// Heart rate in beats/minute for this condition.
+    pub fn heart_rate_bpm(&self) -> f64 {
+        let base = 70.0;
+        let activity = match self.mode {
+            ContextKind::Still => 0.0,
+            ContextKind::Walk => 10.0,
+            ContextKind::Run => 40.0,
+            ContextKind::Bike => 15.0,
+            ContextKind::Drive => 5.0,
+            _ => 0.0,
+        };
+        let stress = if self.stressed { 30.0 } else { 0.0 };
+        base + activity + stress
+    }
+
+    /// Breathing rate in breaths/minute.
+    pub fn breath_rate_bpm(&self) -> f64 {
+        if self.smoking {
+            return 7.0; // deep, slow puffs dominate
+        }
+        let base = 15.0;
+        let activity = match self.mode {
+            ContextKind::Still => 0.0,
+            ContextKind::Walk => 4.0,
+            ContextKind::Run => 10.0,
+            ContextKind::Bike => 5.0,
+            ContextKind::Drive => 0.0,
+            _ => 0.0,
+        };
+        let stress = if self.stressed { 7.0 } else { 0.0 };
+        base + activity + stress
+    }
+
+    /// Respiration waveform amplitude (arbitrary units).
+    pub fn breath_amplitude(&self) -> f64 {
+        if self.smoking {
+            2.2
+        } else {
+            1.0
+        }
+    }
+
+    /// Ground speed in m/s.
+    pub fn speed_mps(&self) -> f64 {
+        match self.mode {
+            ContextKind::Still => 0.0,
+            ContextKind::Walk => 1.4,
+            ContextKind::Run => 3.5,
+            ContextKind::Bike => 5.5,
+            ContextKind::Drive => 15.0,
+            _ => 0.0,
+        }
+    }
+}
+
+/// A deterministic clock shared by the generators: sample index → seconds.
+#[derive(Debug, Clone, Copy)]
+pub struct SignalClock {
+    /// Samples per second.
+    pub rate_hz: f64,
+}
+
+impl SignalClock {
+    /// Time in seconds of sample `i`.
+    pub fn t(&self, i: u64) -> f64 {
+        i as f64 / self.rate_hz
+    }
+}
+
+fn rng_for(seed: u64, stream: u64) -> StdRng {
+    StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(stream))
+}
+
+/// ECG generator: baseline wander + a sharp QRS-like spike each beat.
+pub struct EcgSynth {
+    rng: StdRng,
+    clock: SignalClock,
+    phase: f64,
+}
+
+impl EcgSynth {
+    /// A generator sampling at `rate_hz`.
+    pub fn new(seed: u64, rate_hz: f64) -> EcgSynth {
+        EcgSynth {
+            rng: rng_for(seed, 1),
+            clock: SignalClock { rate_hz },
+            phase: 0.0,
+        }
+    }
+
+    /// Next sample (millivolt-ish scale, mean ~0).
+    pub fn next_sample(&mut self, condition: &Condition) -> f64 {
+        let beat_hz = condition.heart_rate_bpm() / 60.0;
+        // Advance beat phase with slight heart-rate variability.
+        let hrv = 1.0 + self.rng.gen_range(-0.03..0.03);
+        self.phase += beat_hz * hrv / self.clock.rate_hz;
+        if self.phase >= 1.0 {
+            self.phase -= 1.0;
+        }
+        // QRS complex: a narrow spike near phase 0; T-wave: a soft bump.
+        let qrs = if self.phase < 0.06 {
+            let x = self.phase / 0.06;
+            (1.0 - (2.0 * x - 1.0).powi(2)) * 1.2
+        } else {
+            0.0
+        };
+        let t_wave = if (0.25..0.40).contains(&self.phase) {
+            let x = (self.phase - 0.25) / 0.15;
+            (x * TAU / 2.0).sin() * 0.25
+        } else {
+            0.0
+        };
+        let noise = self.rng.gen_range(-0.02..0.02);
+        qrs + t_wave + noise
+    }
+
+    /// Generates `n` samples.
+    pub fn samples(&mut self, condition: &Condition, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.next_sample(condition)).collect()
+    }
+}
+
+/// Respiration generator: a sinusoid at the breathing rate whose
+/// amplitude reflects breath depth; conversation adds irregularity.
+pub struct RespSynth {
+    rng: StdRng,
+    clock: SignalClock,
+    phase: f64,
+}
+
+impl RespSynth {
+    /// A generator sampling at `rate_hz`.
+    pub fn new(seed: u64, rate_hz: f64) -> RespSynth {
+        RespSynth {
+            rng: rng_for(seed, 2),
+            clock: SignalClock { rate_hz },
+            phase: 0.0,
+        }
+    }
+
+    /// Next sample (rib-cage expansion, arbitrary units, mean ~0).
+    pub fn next_sample(&mut self, condition: &Condition) -> f64 {
+        let breath_hz = condition.breath_rate_bpm() / 60.0;
+        let jitter = if condition.conversing {
+            // Speech chops breathing into irregular phrases.
+            self.rng.gen_range(-0.35..0.35)
+        } else {
+            self.rng.gen_range(-0.05..0.05)
+        };
+        self.phase += breath_hz * (1.0 + jitter) / self.clock.rate_hz;
+        if self.phase >= 1.0 {
+            self.phase -= 1.0;
+        }
+        let amp = condition.breath_amplitude();
+        (self.phase * TAU).sin() * amp + self.rng.gen_range(-0.03..0.03)
+    }
+
+    /// Generates `n` samples.
+    pub fn samples(&mut self, condition: &Condition, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.next_sample(condition)).collect()
+    }
+}
+
+/// Accelerometer-magnitude generator (gravity-subtracted, in g).
+pub struct AccelSynth {
+    rng: StdRng,
+    clock: SignalClock,
+    i: u64,
+}
+
+impl AccelSynth {
+    /// A generator sampling at `rate_hz`.
+    pub fn new(seed: u64, rate_hz: f64) -> AccelSynth {
+        AccelSynth {
+            rng: rng_for(seed, 3),
+            clock: SignalClock { rate_hz },
+            i: 0,
+        }
+    }
+
+    /// Next sample.
+    pub fn next_sample(&mut self, condition: &Condition) -> f64 {
+        let t = self.clock.t(self.i);
+        self.i += 1;
+        let (bounce_hz, bounce_amp, vib_amp) = match condition.mode {
+            ContextKind::Still => (0.0, 0.0, 0.005),
+            ContextKind::Walk => (2.0, 0.35, 0.02),
+            ContextKind::Run => (3.0, 0.9, 0.05),
+            ContextKind::Bike => (1.2, 0.15, 0.12),
+            ContextKind::Drive => (0.0, 0.0, 0.06),
+            _ => (0.0, 0.0, 0.005),
+        };
+        let bounce = if bounce_hz > 0.0 {
+            (t * bounce_hz * TAU).sin().abs() * bounce_amp
+        } else {
+            0.0
+        };
+        bounce + self.rng.gen_range(-1.0..1.0) * vib_amp
+    }
+
+    /// Generates `n` samples.
+    pub fn samples(&mut self, condition: &Condition, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.next_sample(condition)).collect()
+    }
+}
+
+/// Microphone frame-energy generator (dB-ish, ambient ≈ 30).
+pub struct AudioSynth {
+    rng: StdRng,
+    i: u64,
+}
+
+impl AudioSynth {
+    /// A generator (rate is carried by the caller's packetization).
+    pub fn new(seed: u64) -> AudioSynth {
+        AudioSynth {
+            rng: rng_for(seed, 4),
+            i: 0,
+        }
+    }
+
+    /// Next frame energy.
+    pub fn next_sample(&mut self, condition: &Condition) -> f64 {
+        self.i += 1;
+        let ambient = match condition.mode {
+            ContextKind::Drive => 48.0, // road noise
+            ContextKind::Bike => 42.0,
+            _ => 32.0,
+        };
+        if condition.conversing {
+            // Speech: loud bursts alternating with pauses.
+            let speaking = self.i % 7 < 4;
+            let level: f64 = if speaking { 62.0 } else { ambient + 4.0 };
+            level + self.rng.gen_range(-3.0..3.0)
+        } else {
+            ambient + self.rng.gen_range(-2.0..2.0)
+        }
+    }
+
+    /// Generates `n` samples.
+    pub fn samples(&mut self, condition: &Condition, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.next_sample(condition)).collect()
+    }
+}
+
+/// GPS generator: a position integrating the condition's ground speed
+/// along a heading that drifts slowly.
+pub struct GpsSynth {
+    rng: StdRng,
+    lat: f64,
+    lon: f64,
+    heading_rad: f64,
+    rate_hz: f64,
+}
+
+/// Meters per degree of latitude.
+const M_PER_DEG_LAT: f64 = 111_320.0;
+
+impl GpsSynth {
+    /// A generator starting at (`lat`, `lon`), sampling at `rate_hz`.
+    pub fn new(seed: u64, lat: f64, lon: f64, rate_hz: f64) -> GpsSynth {
+        let mut rng = rng_for(seed, 5);
+        let heading_rad = rng.gen_range(0.0..TAU);
+        GpsSynth {
+            rng,
+            lat,
+            lon,
+            heading_rad,
+            rate_hz,
+        }
+    }
+
+    /// Teleports the wearer (scenario transitions between places).
+    pub fn jump_to(&mut self, lat: f64, lon: f64) {
+        self.lat = lat;
+        self.lon = lon;
+    }
+
+    /// Next fix `(lat, lon)`.
+    pub fn next_fix(&mut self, condition: &Condition) -> (f64, f64) {
+        let speed = condition.speed_mps();
+        if speed > 0.0 {
+            self.heading_rad += self.rng.gen_range(-0.1..0.1);
+            let dist = speed / self.rate_hz;
+            let dlat = dist * self.heading_rad.cos() / M_PER_DEG_LAT;
+            let dlon = dist * self.heading_rad.sin()
+                / (M_PER_DEG_LAT * self.lat.to_radians().cos().max(0.01));
+            self.lat += dlat;
+            self.lon += dlon;
+        }
+        // GPS noise ≈ ±3 m.
+        let noise = 3.0 / M_PER_DEG_LAT;
+        (
+            self.lat + self.rng.gen_range(-noise..noise),
+            self.lon + self.rng.gen_range(-noise..noise),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(samples: &[f64]) -> (f64, f64) {
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
+            / samples.len() as f64;
+        (mean, var)
+    }
+
+    fn count_peaks(samples: &[f64], threshold: f64) -> usize {
+        let mut peaks = 0;
+        let mut above = false;
+        for &s in samples {
+            if s > threshold && !above {
+                peaks += 1;
+                above = true;
+            } else if s <= threshold {
+                above = false;
+            }
+        }
+        peaks
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let cond = Condition::default();
+        let mut a = EcgSynth::new(7, 50.0);
+        let mut b = EcgSynth::new(7, 50.0);
+        assert_eq!(a.samples(&cond, 100), b.samples(&cond, 100));
+        let mut c = EcgSynth::new(8, 50.0);
+        assert_ne!(a.samples(&cond, 100), c.samples(&cond, 100));
+    }
+
+    #[test]
+    fn ecg_beat_rate_tracks_condition() {
+        // 60 s at 50 Hz: expect ≈70 beats at rest, ≈100 under stress.
+        let rest = Condition::default();
+        let stressed = Condition {
+            stressed: true,
+            ..rest
+        };
+        let mut synth = EcgSynth::new(1, 50.0);
+        let rest_beats = count_peaks(&synth.samples(&rest, 3000), 0.6);
+        let mut synth = EcgSynth::new(1, 50.0);
+        let stress_beats = count_peaks(&synth.samples(&stressed, 3000), 0.6);
+        assert!((60..=80).contains(&rest_beats), "rest {rest_beats}");
+        assert!((88..=115).contains(&stress_beats), "stress {stress_beats}");
+    }
+
+    #[test]
+    fn respiration_amplitude_marks_smoking() {
+        let normal = Condition::default();
+        let smoking = Condition {
+            smoking: true,
+            ..normal
+        };
+        let mut synth = RespSynth::new(2, 25.0);
+        let (_, normal_var) = stats(&synth.samples(&normal, 1500));
+        let mut synth = RespSynth::new(2, 25.0);
+        let (_, smoking_var) = stats(&synth.samples(&smoking, 1500));
+        assert!(
+            smoking_var > normal_var * 3.0,
+            "smoking variance {smoking_var} vs normal {normal_var}"
+        );
+    }
+
+    #[test]
+    fn accel_variance_separates_activities() {
+        let mut variances = Vec::new();
+        for mode in [
+            ContextKind::Still,
+            ContextKind::Drive,
+            ContextKind::Walk,
+            ContextKind::Run,
+        ] {
+            let cond = Condition {
+                mode,
+                ..Default::default()
+            };
+            let mut synth = AccelSynth::new(3, 10.0);
+            let (_, var) = stats(&synth.samples(&cond, 600));
+            variances.push((mode, var));
+        }
+        // Still < Drive < Walk < Run in accel energy.
+        for pair in variances.windows(2) {
+            assert!(
+                pair[0].1 < pair[1].1,
+                "{:?} ({}) should be quieter than {:?} ({})",
+                pair[0].0,
+                pair[0].1,
+                pair[1].0,
+                pair[1].1
+            );
+        }
+    }
+
+    #[test]
+    fn audio_energy_marks_conversation() {
+        let quiet = Condition::default();
+        let talking = Condition {
+            conversing: true,
+            ..quiet
+        };
+        let mut synth = AudioSynth::new(4);
+        let (quiet_mean, _) = stats(&synth.samples(&quiet, 500));
+        let mut synth = AudioSynth::new(4);
+        let (talk_mean, talk_var) = stats(&synth.samples(&talking, 500));
+        assert!(talk_mean > quiet_mean + 10.0);
+        assert!(talk_var > 50.0, "speech is bursty: {talk_var}");
+    }
+
+    #[test]
+    fn gps_speed_tracks_mode() {
+        let speed_of = |mode: ContextKind| -> f64 {
+            let cond = Condition {
+                mode,
+                ..Default::default()
+            };
+            let mut gps = GpsSynth::new(5, 34.0722, -118.4441, 1.0);
+            let fixes: Vec<(f64, f64)> = (0..120).map(|_| gps.next_fix(&cond)).collect();
+            // Mean speed from first to last fix (straight-line lower
+            // bound; headings drift slowly so it's close).
+            let (lat0, lon0) = fixes[0];
+            let (lat1, lon1) = fixes[fixes.len() - 1];
+            let dlat = (lat1 - lat0) * M_PER_DEG_LAT;
+            let dlon = (lon1 - lon0) * M_PER_DEG_LAT * lat0.to_radians().cos();
+            (dlat * dlat + dlon * dlon).sqrt() / 120.0
+        };
+        assert!(speed_of(ContextKind::Still) < 0.5);
+        let walk = speed_of(ContextKind::Walk);
+        assert!((0.5..3.0).contains(&walk), "walk {walk}");
+        let drive = speed_of(ContextKind::Drive);
+        assert!(drive > 8.0, "drive {drive}");
+    }
+
+    #[test]
+    fn gps_jump_relocates() {
+        let cond = Condition::default();
+        let mut gps = GpsSynth::new(6, 0.0, 0.0, 1.0);
+        gps.jump_to(34.0, -118.0);
+        let (lat, lon) = gps.next_fix(&cond);
+        assert!((lat - 34.0).abs() < 0.001);
+        assert!((lon + 118.0).abs() < 0.001);
+    }
+
+    #[test]
+    fn condition_tables() {
+        let base = Condition::default();
+        assert_eq!(base.heart_rate_bpm(), 70.0);
+        assert_eq!(base.breath_rate_bpm(), 15.0);
+        assert_eq!(base.speed_mps(), 0.0);
+        let stressed_driver = Condition {
+            mode: ContextKind::Drive,
+            stressed: true,
+            ..base
+        };
+        assert_eq!(stressed_driver.heart_rate_bpm(), 105.0);
+        assert_eq!(stressed_driver.speed_mps(), 15.0);
+        let smoker = Condition {
+            smoking: true,
+            ..base
+        };
+        assert_eq!(smoker.breath_rate_bpm(), 7.0);
+        assert!(smoker.breath_amplitude() > 2.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! The per-tuple baseline store.
+//!
+//! §5.1: "Storing the time series of sensor data as individual tuples is
+//! inefficient both in terms of storage size and querying time." This
+//! module implements that strawman faithfully — one record per sample,
+//! each carrying its own timestamp, location, and per-channel values —
+//! so the F5 benches can measure the wave-segment representation against
+//! it on identical workloads.
+
+use crate::query::Query;
+use sensorsafe_types::{ChannelId, GeoPoint, Timestamp, WaveSegment};
+use std::collections::BTreeMap;
+
+/// One stored sample: the "individual tuple" of the paper's comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TupleRow {
+    /// Sample instant.
+    pub time: Timestamp,
+    /// Sample location (duplicated per row, as a naive schema would).
+    pub location: Option<GeoPoint>,
+    /// Channel name/value pairs (duplicating channel names per row).
+    pub values: Vec<(ChannelId, f64)>,
+}
+
+impl TupleRow {
+    /// Approximate resident bytes of this row.
+    pub fn approx_bytes(&self) -> usize {
+        let names: usize = self
+            .values
+            .iter()
+            .map(|(c, _)| c.as_str().len() + std::mem::size_of::<ChannelId>() + 8)
+            .sum();
+        8 + 17 + names + std::mem::size_of::<Self>()
+    }
+}
+
+/// A row-per-sample store over a time-ordered index.
+#[derive(Debug, Default)]
+pub struct TupleStore {
+    rows: BTreeMap<(i64, u64), TupleRow>,
+    seq: u64,
+}
+
+impl TupleStore {
+    /// An empty store.
+    pub fn new() -> TupleStore {
+        TupleStore::default()
+    }
+
+    /// Inserts one row.
+    pub fn insert_row(&mut self, row: TupleRow) {
+        self.seq += 1;
+        self.rows.insert((row.time.millis(), self.seq), row);
+    }
+
+    /// Explodes a wave segment into individual rows (the ingest path a
+    /// tuple-schema system would use).
+    pub fn insert_segment(&mut self, segment: &WaveSegment) {
+        let channels: Vec<ChannelId> = segment.channels().cloned().collect();
+        for i in 0..segment.len() {
+            let values = channels
+                .iter()
+                .cloned()
+                .zip(segment.row(i))
+                .collect();
+            self.insert_row(TupleRow {
+                time: segment.time_at(i),
+                location: segment.meta().location,
+                values,
+            });
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Approximate resident bytes (rows plus index overhead).
+    pub fn approx_bytes(&self) -> usize {
+        self.rows.values().map(TupleRow::approx_bytes).sum::<usize>()
+            + self.rows.len() * 16 // key overhead
+    }
+
+    /// Runs the same query shape as [`crate::SegmentStore::query`],
+    /// returning matching rows.
+    pub fn query(&self, query: &Query) -> Vec<&TupleRow> {
+        let iter: Box<dyn Iterator<Item = &TupleRow>> = match &query.time {
+            None => Box::new(self.rows.values()),
+            // Sequence numbers start at 1, so (end, 0) excludes every row
+            // stamped exactly at the (exclusive) range end.
+            Some(range) => Box::new(
+                self.rows
+                    .range((range.start.millis(), 0)..(range.end.millis(), 0))
+                    .map(|(_, r)| r),
+            ),
+        };
+        let mut out = Vec::new();
+        for row in iter {
+            if let Some(region) = &query.region {
+                match row.location {
+                    Some(p) if region.contains(&p) => {}
+                    _ => continue,
+                }
+            }
+            if !query.channels.is_empty()
+                && !row
+                    .values
+                    .iter()
+                    .any(|(c, _)| query.channels.contains(c))
+            {
+                continue;
+            }
+            out.push(row);
+            if query.limit.is_some_and(|l| out.len() >= l) {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{MergePolicy, SegmentStore};
+    use sensorsafe_types::{ChannelSpec, SegmentMeta, TimeRange, Timing};
+
+    fn segment(start_ms: i64, rows: usize) -> WaveSegment {
+        let meta = SegmentMeta {
+            timing: Timing::Uniform {
+                start: Timestamp::from_millis(start_ms),
+                interval_secs: 0.02,
+            },
+            location: Some(GeoPoint::ucla()),
+            format: vec![ChannelSpec::i16("ecg"), ChannelSpec::f32("respiration")],
+        };
+        let data: Vec<Vec<f64>> = (0..rows).map(|i| vec![i as f64, 300.0]).collect();
+        WaveSegment::from_rows(meta, &data).unwrap()
+    }
+
+    #[test]
+    fn explodes_segments_into_rows() {
+        let mut store = TupleStore::new();
+        store.insert_segment(&segment(0, 64));
+        assert_eq!(store.len(), 64);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn query_results_match_segment_store_sample_counts() {
+        let mut tuples = TupleStore::new();
+        let mut segments = SegmentStore::in_memory(MergePolicy::default());
+        for packet in 0..20 {
+            let seg = segment(packet * 64 * 20, 64);
+            tuples.insert_segment(&seg);
+            segments.insert_segment(seg).unwrap();
+        }
+        let q = Query::all().in_time(TimeRange::new(
+            Timestamp::from_millis(3_000),
+            Timestamp::from_millis(9_000),
+        ));
+        let tuple_hits = tuples.query(&q).len();
+        let segment_hits: usize = segments.query(&q).iter().map(WaveSegment::len).sum();
+        assert_eq!(tuple_hits, segment_hits);
+        assert_eq!(tuple_hits, 300); // 6 s at 50 Hz
+    }
+
+    #[test]
+    fn storage_is_larger_than_wave_segments() {
+        let mut tuples = TupleStore::new();
+        let mut segments = SegmentStore::in_memory(MergePolicy::default());
+        for packet in 0..50 {
+            let seg = segment(packet * 64 * 20, 64);
+            tuples.insert_segment(&seg);
+            segments.insert_segment(seg).unwrap();
+        }
+        let tuple_bytes = tuples.approx_bytes();
+        let segment_bytes = segments.stats().approx_bytes;
+        assert!(
+            tuple_bytes > segment_bytes * 5,
+            "tuples {tuple_bytes} vs segments {segment_bytes}"
+        );
+    }
+
+    #[test]
+    fn channel_filter_and_limit() {
+        let mut store = TupleStore::new();
+        store.insert_segment(&segment(0, 64));
+        let q = Query::all()
+            .with_channels([ChannelId::new("ecg")])
+            .with_limit(5);
+        assert_eq!(store.query(&q).len(), 5);
+        let none = Query::all().with_channels([ChannelId::new("gps_lat")]);
+        assert!(store.query(&none).is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! Embedded wave-segment storage engine (paper §5.1 "Data Storage").
+//!
+//! A remote data store "needs to handle large volumes of data generated
+//! by continuous sensing"; the paper's answer is the wave-segment
+//! representation plus a merge optimization. This crate is that storage
+//! layer, built from scratch:
+//!
+//! * [`codec`] — compact binary encoding of segments and annotations for
+//!   the log (the JSON form of Fig. 5 is the *wire* format; the log uses
+//!   binary framing with CRC32 checksums).
+//! * [`wal`] — an append-only write-ahead log giving durability; a store
+//!   reopened from its log replays to identical state.
+//! * [`SegmentStore`] — the in-memory engine: a time-ordered segment
+//!   index per series, context-annotation index, the §5.1 **merge
+//!   optimizer** ("remote data stores perform a wave segment optimization
+//!   by merging them as much as possible"), and the query engine.
+//! * [`TupleStore`] — the paper's strawman baseline ("storing the time
+//!   series of sensor data as individual tuples is inefficient both in
+//!   terms of storage size and querying time"), used by the F5 benches.
+
+pub mod baseline;
+pub mod codec;
+pub mod query;
+pub mod store;
+pub mod wal;
+
+pub use baseline::TupleStore;
+pub use codec::{decode_annotation, decode_segment, encode_annotation, encode_segment, CodecError};
+pub use query::Query;
+pub use store::{MergePolicy, SegmentStore, StoreError, StoreStats};
+pub use wal::{Wal, WalError, WalRecord};

@@ -1,0 +1,185 @@
+//! The query model for remote data stores.
+//!
+//! The paper's design consideration: "a data retrieval mechanism should
+//! not limit kinds of queries that applications can issue", and the
+//! broker's web UI "provides query options such as location, time, and
+//! data channels". A [`Query`] combines those filters; the JSON codec is
+//! the wire form of the query API.
+
+use sensorsafe_json::{Map, Value};
+use sensorsafe_types::{ChannelId, Region, TimeRange, Timestamp};
+
+/// A data query: all filters are optional and conjunctive.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Query {
+    /// Restrict to samples inside this range.
+    pub time: Option<TimeRange>,
+    /// Restrict to these channels (empty = all channels).
+    pub channels: Vec<ChannelId>,
+    /// Restrict to segments whose location lies in this region.
+    pub region: Option<Region>,
+    /// Cap on the number of returned segments.
+    pub limit: Option<usize>,
+}
+
+impl Query {
+    /// A query matching everything.
+    pub fn all() -> Query {
+        Query::default()
+    }
+
+    /// Restricts to a time range.
+    pub fn in_time(mut self, range: TimeRange) -> Query {
+        self.time = Some(range);
+        self
+    }
+
+    /// Restricts to specific channels.
+    pub fn with_channels(mut self, channels: impl IntoIterator<Item = ChannelId>) -> Query {
+        self.channels = channels.into_iter().collect();
+        self
+    }
+
+    /// Restricts to a region.
+    pub fn in_region(mut self, region: Region) -> Query {
+        self.region = Some(region);
+        self
+    }
+
+    /// Caps result count.
+    pub fn with_limit(mut self, limit: usize) -> Query {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// Serializes to the wire form.
+    pub fn to_json(&self) -> Value {
+        let mut obj = Map::new();
+        if let Some(t) = &self.time {
+            let mut m = Map::new();
+            m.insert("start".into(), Value::from(t.start.millis()));
+            m.insert("end".into(), Value::from(t.end.millis()));
+            obj.insert("time".into(), Value::Object(m));
+        }
+        if !self.channels.is_empty() {
+            obj.insert(
+                "channels".into(),
+                Value::Array(self.channels.iter().map(|c| Value::from(c.as_str())).collect()),
+            );
+        }
+        if let Some(r) = &self.region {
+            let mut m = Map::new();
+            m.insert("south".into(), Value::from(r.south));
+            m.insert("north".into(), Value::from(r.north));
+            m.insert("west".into(), Value::from(r.west));
+            m.insert("east".into(), Value::from(r.east));
+            obj.insert("region".into(), Value::Object(m));
+        }
+        if let Some(l) = self.limit {
+            obj.insert("limit".into(), Value::from(l));
+        }
+        Value::Object(obj)
+    }
+
+    /// Parses the wire form; unknown keys are rejected.
+    pub fn from_json(value: &Value) -> Result<Query, String> {
+        let obj = value.as_object().ok_or("query must be an object")?;
+        for key in obj.keys() {
+            if !["time", "channels", "region", "limit"].contains(&key.as_str()) {
+                return Err(format!("unknown query key '{key}'"));
+            }
+        }
+        let mut q = Query::default();
+        if let Some(t) = obj.get("time") {
+            let start = t
+                .get("start")
+                .and_then(Value::as_i64)
+                .ok_or("time missing 'start'")?;
+            let end = t
+                .get("end")
+                .and_then(Value::as_i64)
+                .ok_or("time missing 'end'")?;
+            if end < start {
+                return Err("time end before start".into());
+            }
+            q.time = Some(TimeRange::new(
+                Timestamp::from_millis(start),
+                Timestamp::from_millis(end),
+            ));
+        }
+        if let Some(c) = obj.get("channels") {
+            let names = c
+                .as_string_list()
+                .ok_or("channels must be a string array")?;
+            q.channels = names
+                .into_iter()
+                .map(|n| ChannelId::try_new(n).ok_or("invalid channel name".to_string()))
+                .collect::<Result<_, _>>()?;
+        }
+        if let Some(r) = obj.get("region") {
+            let get = |k: &str| {
+                r.get(k)
+                    .and_then(Value::as_f64)
+                    .ok_or(format!("region missing '{k}'"))
+            };
+            let south = get("south")?;
+            let north = get("north")?;
+            if south > north {
+                return Err("region south above north".into());
+            }
+            q.region = Some(Region::new(south, north, get("west")?, get("east")?));
+        }
+        if let Some(l) = obj.get("limit") {
+            q.limit = Some(
+                l.as_u64()
+                    .ok_or("limit must be a non-negative integer")? as usize,
+            );
+        }
+        Ok(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensorsafe_types::GeoPoint;
+
+    #[test]
+    fn builder_and_roundtrip() {
+        let q = Query::all()
+            .in_time(TimeRange::new(
+                Timestamp::from_millis(100),
+                Timestamp::from_millis(200),
+            ))
+            .with_channels([ChannelId::new("ecg")])
+            .in_region(Region::around(GeoPoint::ucla(), 0.1))
+            .with_limit(10);
+        let back = Query::from_json(&q.to_json()).unwrap();
+        assert_eq!(back, q);
+    }
+
+    #[test]
+    fn empty_query_roundtrip() {
+        let q = Query::all();
+        assert_eq!(q.to_json().to_string(), "{}");
+        assert_eq!(Query::from_json(&q.to_json()).unwrap(), q);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            r#"{"tmie": {}}"#,
+            r#"{"time": {"start": 5}}"#,
+            r#"{"time": {"start": 10, "end": 5}}"#,
+            r#"{"channels": [7]}"#,
+            r#"{"region": {"south": 1}}"#,
+            r#"{"region": {"south": 2.0, "north": 1.0, "west": 0.0, "east": 1.0}}"#,
+            r#"{"limit": -3}"#,
+            r#"{"limit": "many"}"#,
+            r#"[1]"#,
+        ] {
+            let v = sensorsafe_json::parse(bad).unwrap();
+            assert!(Query::from_json(&v).is_err(), "should reject {bad}");
+        }
+    }
+}

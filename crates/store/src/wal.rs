@@ -1,0 +1,297 @@
+//! Append-only write-ahead log.
+//!
+//! Record framing:
+//!
+//! ```text
+//! u8  record tag (1 = segment, 2 = annotation)
+//! u32 payload length
+//! u32 crc32(payload)
+//! payload bytes
+//! ```
+//!
+//! Replay stops at the first torn or corrupt record (a crash mid-append
+//! leaves a valid prefix), reporting how many bytes were salvaged so the
+//! caller can truncate.
+
+use crate::codec::{self, crc32, CodecError};
+use sensorsafe_types::{ContextAnnotation, WaveSegment};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// A record recovered from (or appended to) the log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A stored wave segment.
+    Segment(WaveSegment),
+    /// A context annotation.
+    Annotation(ContextAnnotation),
+}
+
+/// Errors touching the log.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// A record failed to decode after passing its checksum — indicates
+    /// a codec version mismatch rather than corruption.
+    Codec(CodecError),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "WAL I/O error: {e}"),
+            WalError::Codec(e) => write!(f, "WAL codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+const TAG_SEGMENT: u8 = 1;
+const TAG_ANNOTATION: u8 = 2;
+
+/// An open, appendable write-ahead log.
+pub struct Wal {
+    path: PathBuf,
+    writer: BufWriter<File>,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log at `path` for appending.
+    pub fn open(path: impl AsRef<Path>) -> Result<Wal, WalError> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Wal {
+            path,
+            writer: BufWriter::new(file),
+        })
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record (buffered; call [`Wal::sync`] for durability).
+    pub fn append(&mut self, record: &WalRecord) -> Result<(), WalError> {
+        let (tag, payload) = match record {
+            WalRecord::Segment(seg) => (TAG_SEGMENT, codec::encode_segment(seg)),
+            WalRecord::Annotation(ann) => (TAG_ANNOTATION, codec::encode_annotation(ann)),
+        };
+        self.writer.write_all(&[tag])?;
+        self.writer
+            .write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.writer.write_all(&crc32(&payload).to_le_bytes())?;
+        self.writer.write_all(&payload)?;
+        Ok(())
+    }
+
+    /// Flushes buffers and fsyncs.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_data()?;
+        Ok(())
+    }
+
+    /// Replays the log at `path`, returning the valid records plus the
+    /// byte offset of the valid prefix (everything after it is torn or
+    /// corrupt and should be truncated before further appends).
+    pub fn replay(path: impl AsRef<Path>) -> Result<(Vec<WalRecord>, u64), WalError> {
+        let path = path.as_ref();
+        if !path.exists() {
+            return Ok((Vec::new(), 0));
+        }
+        let mut data = Vec::new();
+        File::open(path)?.read_to_end(&mut data)?;
+        let mut records = Vec::new();
+        let mut pos = 0usize;
+        loop {
+            let header_end = pos + 1 + 4 + 4;
+            if header_end > data.len() {
+                break; // torn header
+            }
+            let tag = data[pos];
+            let len =
+                u32::from_le_bytes(data[pos + 1..pos + 5].try_into().unwrap()) as usize;
+            let expected_crc = u32::from_le_bytes(data[pos + 5..pos + 9].try_into().unwrap());
+            let payload_end = header_end + len;
+            if payload_end > data.len() {
+                break; // torn payload
+            }
+            let payload = &data[header_end..payload_end];
+            if crc32(payload) != expected_crc {
+                break; // corrupt record: stop at the valid prefix
+            }
+            let record = match tag {
+                TAG_SEGMENT => WalRecord::Segment(
+                    codec::decode_segment(payload).map_err(WalError::Codec)?,
+                ),
+                TAG_ANNOTATION => WalRecord::Annotation(
+                    codec::decode_annotation(payload).map_err(WalError::Codec)?,
+                ),
+                _ => break, // unknown tag: treat as corruption
+            };
+            records.push(record);
+            pos = payload_end;
+        }
+        Ok((records, pos as u64))
+    }
+
+    /// Truncates the log to `len` bytes (dropping a torn suffix found by
+    /// [`Wal::replay`]).
+    pub fn truncate(path: impl AsRef<Path>, len: u64) -> Result<(), WalError> {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(len)?;
+        file.sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensorsafe_types::{
+        ChannelSpec, ContextKind, ContextState, SegmentMeta, TimeRange, Timestamp, Timing,
+    };
+
+    fn tempdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sensorsafe-wal-{name}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn seg(start: i64) -> WaveSegment {
+        let meta = SegmentMeta {
+            timing: Timing::Uniform {
+                start: Timestamp::from_millis(start),
+                interval_secs: 0.02,
+            },
+            location: None,
+            format: vec![ChannelSpec::f32("ecg")],
+        };
+        let rows: Vec<Vec<f64>> = (0..16).map(|i| vec![i as f64]).collect();
+        WaveSegment::from_rows(meta, &rows).unwrap()
+    }
+
+    fn ann(start: i64) -> ContextAnnotation {
+        ContextAnnotation::new(
+            TimeRange::new(
+                Timestamp::from_millis(start),
+                Timestamp::from_millis(start + 1000),
+            ),
+            vec![ContextState::on(ContextKind::Walk)],
+        )
+    }
+
+    #[test]
+    fn append_replay_roundtrip() {
+        let dir = tempdir("roundtrip");
+        let path = dir.join("wal.log");
+        let records = vec![
+            WalRecord::Segment(seg(0)),
+            WalRecord::Annotation(ann(0)),
+            WalRecord::Segment(seg(320)),
+        ];
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            for r in &records {
+                wal.append(r).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        let (replayed, offset) = Wal::replay(&path).unwrap();
+        assert_eq!(replayed, records);
+        assert_eq!(offset, std::fs::metadata(&path).unwrap().len());
+    }
+
+    #[test]
+    fn replay_missing_file_is_empty() {
+        let dir = tempdir("missing");
+        let (records, offset) = Wal::replay(dir.join("nope.log")).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(offset, 0);
+    }
+
+    #[test]
+    fn replay_stops_at_torn_record() {
+        let dir = tempdir("torn");
+        let path = dir.join("wal.log");
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(&WalRecord::Segment(seg(0))).unwrap();
+            wal.append(&WalRecord::Segment(seg(320))).unwrap();
+            wal.sync().unwrap();
+        }
+        // Tear the last record.
+        let full = std::fs::metadata(&path).unwrap().len();
+        Wal::truncate(&path, full - 5).unwrap();
+        let (records, offset) = Wal::replay(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(offset < full - 5);
+        // Truncate to the valid prefix and keep appending.
+        Wal::truncate(&path, offset).unwrap();
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(&WalRecord::Annotation(ann(99))).unwrap();
+            wal.sync().unwrap();
+        }
+        let (records, _) = Wal::replay(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1], WalRecord::Annotation(ann(99)));
+    }
+
+    #[test]
+    fn replay_stops_at_corrupt_crc() {
+        let dir = tempdir("corrupt");
+        let path = dir.join("wal.log");
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(&WalRecord::Segment(seg(0))).unwrap();
+            wal.append(&WalRecord::Segment(seg(320))).unwrap();
+            wal.sync().unwrap();
+        }
+        // Flip a payload byte in the second record.
+        let mut data = std::fs::read(&path).unwrap();
+        let len = data.len();
+        data[len - 3] ^= 0xff;
+        std::fs::write(&path, &data).unwrap();
+        let (records, offset) = Wal::replay(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(offset > 0);
+    }
+
+    #[test]
+    fn empty_log_replays_empty() {
+        let dir = tempdir("empty");
+        let path = dir.join("wal.log");
+        Wal::open(&path).unwrap().sync().unwrap();
+        let (records, offset) = Wal::replay(&path).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(offset, 0);
+    }
+
+    #[test]
+    fn interleaved_reopen_appends() {
+        let dir = tempdir("reopen");
+        let path = dir.join("wal.log");
+        for i in 0..5 {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(&WalRecord::Segment(seg(i * 320))).unwrap();
+            wal.sync().unwrap();
+        }
+        let (records, _) = Wal::replay(&path).unwrap();
+        assert_eq!(records.len(), 5);
+    }
+}

@@ -1,0 +1,195 @@
+//! Sensor channels.
+//!
+//! Table 1's sensor condition selects "Sensor Channel Name (e.g.
+//! Accelerometer, ECG)". Channels are open-ended strings (the paper's
+//! design consideration: "data storage should be able to store various
+//! types of data"), with well-known constants for the sensors the paper
+//! uses: ECG, respiration, skin temperature (BioHarness BT), accelerometer
+//! magnitude, GPS latitude/longitude, and microphone energy.
+
+/// A sensor channel name. Case-sensitive, non-empty.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChannelId(String);
+
+/// ECG waveform samples (BioHarness chest band).
+pub const CHAN_ECG: &str = "ecg";
+/// Respiration (rib-cage expansion) waveform.
+pub const CHAN_RESPIRATION: &str = "respiration";
+/// Skin temperature, °C.
+pub const CHAN_SKIN_TEMP: &str = "skin_temp";
+/// Accelerometer magnitude, g.
+pub const CHAN_ACCEL_MAG: &str = "accel_mag";
+/// GPS latitude, degrees.
+pub const CHAN_GPS_LAT: &str = "gps_lat";
+/// GPS longitude, degrees.
+pub const CHAN_GPS_LON: &str = "gps_lon";
+/// Microphone frame energy (not raw audio), dB-ish scale.
+pub const CHAN_AUDIO_ENERGY: &str = "audio_energy";
+
+impl ChannelId {
+    /// Creates a channel id; panics on empty names (catching config bugs
+    /// early — channel names come from trusted code, not the network; the
+    /// network-facing codec uses [`ChannelId::try_new`]).
+    pub fn new(name: impl Into<String>) -> ChannelId {
+        ChannelId::try_new(name).expect("channel name must be non-empty")
+    }
+
+    /// Fallible construction for network-facing decoders.
+    pub fn try_new(name: impl Into<String>) -> Option<ChannelId> {
+        let name = name.into();
+        if name.is_empty() || name.len() > 128 {
+            None
+        } else {
+            Some(ChannelId(name))
+        }
+    }
+
+    /// The channel name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ChannelId {
+    fn from(s: &str) -> Self {
+        ChannelId::new(s)
+    }
+}
+
+/// How a channel's values are encoded inside a wave-segment blob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueKind {
+    /// 64-bit float (default; GPS coordinates need the precision).
+    F64,
+    /// 32-bit float (waveforms: ECG, respiration, accel).
+    F32,
+    /// 16-bit signed integer (raw ADC counts, the Zephyr wire format).
+    I16,
+}
+
+impl ValueKind {
+    /// Bytes per sample value.
+    pub fn width(self) -> usize {
+        match self {
+            ValueKind::F64 => 8,
+            ValueKind::F32 => 4,
+            ValueKind::I16 => 2,
+        }
+    }
+
+    /// Wire name used in the wave-segment JSON `format` metadata.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ValueKind::F64 => "f64",
+            ValueKind::F32 => "f32",
+            ValueKind::I16 => "i16",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<ValueKind> {
+        match s {
+            "f64" => Some(ValueKind::F64),
+            "f32" => Some(ValueKind::F32),
+            "i16" => Some(ValueKind::I16),
+            _ => None,
+        }
+    }
+}
+
+/// One column of a wave segment's tuple format: a channel and its
+/// encoding.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ChannelSpec {
+    /// Which channel this column carries.
+    pub channel: ChannelId,
+    /// Value encoding in the blob.
+    pub kind: ValueKind,
+}
+
+impl ChannelSpec {
+    /// An `f32` column (the common waveform case).
+    pub fn f32(channel: impl Into<ChannelId>) -> ChannelSpec {
+        ChannelSpec {
+            channel: channel.into(),
+            kind: ValueKind::F32,
+        }
+    }
+
+    /// An `f64` column.
+    pub fn f64(channel: impl Into<ChannelId>) -> ChannelSpec {
+        ChannelSpec {
+            channel: channel.into(),
+            kind: ValueKind::F64,
+        }
+    }
+
+    /// An `i16` column.
+    pub fn i16(channel: impl Into<ChannelId>) -> ChannelSpec {
+        ChannelSpec {
+            channel: channel.into(),
+            kind: ValueKind::I16,
+        }
+    }
+}
+
+impl From<&str> for ChannelSpec {
+    /// Bare channel names default to `f32`.
+    fn from(s: &str) -> Self {
+        ChannelSpec::f32(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_id_construction() {
+        let c = ChannelId::new(CHAN_ECG);
+        assert_eq!(c.as_str(), "ecg");
+        assert_eq!(c.to_string(), "ecg");
+        assert!(ChannelId::try_new("").is_none());
+        assert!(ChannelId::try_new("x".repeat(129)).is_none());
+        assert!(ChannelId::try_new("x".repeat(128)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_channel_panics() {
+        let _ = ChannelId::new("");
+    }
+
+    #[test]
+    fn value_kind_widths_and_names() {
+        for kind in [ValueKind::F64, ValueKind::F32, ValueKind::I16] {
+            assert_eq!(ValueKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(ValueKind::F64.width(), 8);
+        assert_eq!(ValueKind::F32.width(), 4);
+        assert_eq!(ValueKind::I16.width(), 2);
+        assert_eq!(ValueKind::parse("u8"), None);
+    }
+
+    #[test]
+    fn spec_constructors() {
+        let s = ChannelSpec::i16(CHAN_ECG);
+        assert_eq!(s.kind, ValueKind::I16);
+        assert_eq!(s.channel.as_str(), "ecg");
+        let from_str: ChannelSpec = "respiration".into();
+        assert_eq!(from_str.kind, ValueKind::F32);
+    }
+
+    #[test]
+    fn channel_ordering_is_stable() {
+        let mut v = [ChannelId::new("b"), ChannelId::new("a")];
+        v.sort();
+        assert_eq!(v[0].as_str(), "a");
+    }
+}

@@ -1,0 +1,213 @@
+//! Behavioral contexts (Table 1).
+//!
+//! The paper's context condition draws on "available context from sensors
+//! (e.g., Moving, Not Moving, Still, Walk, Run, Bike, Drive, Stress,
+//! Conversation, Smoke)". Contexts are *inferences* over raw sensor data;
+//! the sensor↔context dependency information lives in
+//! `sensorsafe-policy::deps`, while this module defines the vocabulary and
+//! the annotation records that the inference pipeline attaches to uploaded
+//! data.
+
+use crate::time::TimeRange;
+
+/// A kind of behavioral context the paper's applications infer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ContextKind {
+    /// Transportation-mode family (accelerometer + GPS, [33]).
+    Still,
+    /// Walking.
+    Walk,
+    /// Running.
+    Run,
+    /// Biking.
+    Bike,
+    /// Driving — Alice's sensitive context in §6.
+    Drive,
+    /// Coarse activity: any movement at all.
+    Moving,
+    /// Psychological stress (ECG + respiration, [31]).
+    Stress,
+    /// In-conversation (microphone + respiration).
+    Conversation,
+    /// Smoking (respiration).
+    Smoking,
+}
+
+impl ContextKind {
+    /// Every context kind, in a stable order.
+    pub const ALL: [ContextKind; 9] = [
+        ContextKind::Still,
+        ContextKind::Walk,
+        ContextKind::Run,
+        ContextKind::Bike,
+        ContextKind::Drive,
+        ContextKind::Moving,
+        ContextKind::Stress,
+        ContextKind::Conversation,
+        ContextKind::Smoking,
+    ];
+
+    /// The transportation modes (the paper's activity ladder level
+    /// "Still/Walk/Run/Bike/Drive").
+    pub const TRANSPORT_MODES: [ContextKind; 5] = [
+        ContextKind::Still,
+        ContextKind::Walk,
+        ContextKind::Run,
+        ContextKind::Bike,
+        ContextKind::Drive,
+    ];
+
+    /// Wire name used in rule JSON and annotations (matches Table 1's
+    /// spelling, e.g. `"Drive"`, `"Conversation"`, `"Smoke"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ContextKind::Still => "Still",
+            ContextKind::Walk => "Walk",
+            ContextKind::Run => "Run",
+            ContextKind::Bike => "Bike",
+            ContextKind::Drive => "Drive",
+            ContextKind::Moving => "Moving",
+            ContextKind::Stress => "Stress",
+            ContextKind::Conversation => "Conversation",
+            ContextKind::Smoking => "Smoke",
+        }
+    }
+
+    /// Parses a wire name; accepts both `"Smoke"` (Table 1's context
+    /// condition list) and `"Smoking"` (Table 1's abstraction table).
+    pub fn parse(s: &str) -> Option<ContextKind> {
+        match s {
+            "Still" => Some(ContextKind::Still),
+            "Walk" => Some(ContextKind::Walk),
+            "Run" => Some(ContextKind::Run),
+            "Bike" => Some(ContextKind::Bike),
+            "Drive" => Some(ContextKind::Drive),
+            "Moving" => Some(ContextKind::Moving),
+            "Stress" => Some(ContextKind::Stress),
+            "Conversation" => Some(ContextKind::Conversation),
+            "Smoke" | "Smoking" => Some(ContextKind::Smoking),
+            _ => None,
+        }
+    }
+
+    /// True for the mutually exclusive transportation modes.
+    pub fn is_transport_mode(self) -> bool {
+        ContextKind::TRANSPORT_MODES.contains(&self)
+    }
+}
+
+impl std::fmt::Display for ContextKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A context kind together with whether it is active.
+///
+/// Transportation modes are exclusive (exactly one is active at a time);
+/// binary contexts (Stress, Conversation, Smoking, Moving) are independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ContextState {
+    /// Which context.
+    pub kind: ContextKind,
+    /// Whether the contributor is currently in this context.
+    pub active: bool,
+}
+
+impl ContextState {
+    /// An active context.
+    pub fn on(kind: ContextKind) -> ContextState {
+        ContextState { kind, active: true }
+    }
+
+    /// An inactive context.
+    pub fn off(kind: ContextKind) -> ContextState {
+        ContextState {
+            kind,
+            active: false,
+        }
+    }
+}
+
+/// A time window labeled with inferred context states.
+///
+/// The behavioral-study pipeline (§6) annotates uploaded sensor data with
+/// context; a `ContextAnnotation` is the storage form of one inference
+/// window. Windows for the same contributor may overlap (different
+/// classifiers use different window lengths).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContextAnnotation {
+    /// The window the inference covers.
+    pub window: TimeRange,
+    /// Inferred states; kinds not listed are "unknown" for this window.
+    pub states: Vec<ContextState>,
+}
+
+impl ContextAnnotation {
+    /// Creates an annotation.
+    pub fn new(window: TimeRange, states: Vec<ContextState>) -> ContextAnnotation {
+        ContextAnnotation { window, states }
+    }
+
+    /// Whether `kind` is active in this window; `None` if not annotated.
+    pub fn state_of(&self, kind: ContextKind) -> Option<bool> {
+        self.states
+            .iter()
+            .find(|s| s.kind == kind)
+            .map(|s| s.active)
+    }
+
+    /// The active transportation mode, if one is annotated.
+    pub fn transport_mode(&self) -> Option<ContextKind> {
+        self.states
+            .iter()
+            .find(|s| s.active && s.kind.is_transport_mode())
+            .map(|s| s.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{TimeRange, Timestamp};
+
+    #[test]
+    fn wire_names_roundtrip() {
+        for k in ContextKind::ALL {
+            assert_eq!(ContextKind::parse(k.as_str()), Some(k), "{k}");
+        }
+        assert_eq!(ContextKind::parse("Smoking"), Some(ContextKind::Smoking));
+        assert_eq!(ContextKind::parse("Sleeping"), None);
+    }
+
+    #[test]
+    fn transport_mode_classification() {
+        assert!(ContextKind::Drive.is_transport_mode());
+        assert!(!ContextKind::Stress.is_transport_mode());
+        assert_eq!(ContextKind::TRANSPORT_MODES.len(), 5);
+    }
+
+    #[test]
+    fn annotation_lookup() {
+        let window = TimeRange::new(Timestamp(0), Timestamp(60_000));
+        let ann = ContextAnnotation::new(
+            window,
+            vec![
+                ContextState::on(ContextKind::Drive),
+                ContextState::on(ContextKind::Stress),
+                ContextState::off(ContextKind::Conversation),
+            ],
+        );
+        assert_eq!(ann.state_of(ContextKind::Drive), Some(true));
+        assert_eq!(ann.state_of(ContextKind::Conversation), Some(false));
+        assert_eq!(ann.state_of(ContextKind::Smoking), None);
+        assert_eq!(ann.transport_mode(), Some(ContextKind::Drive));
+    }
+
+    #[test]
+    fn transport_mode_absent_when_inactive() {
+        let window = TimeRange::new(Timestamp(0), Timestamp(1));
+        let ann = ContextAnnotation::new(window, vec![ContextState::off(ContextKind::Walk)]);
+        assert_eq!(ann.transport_mode(), None);
+    }
+}

@@ -1,0 +1,36 @@
+//! Core data model for SensorSafe.
+//!
+//! This crate defines the vocabulary shared by every other SensorSafe
+//! crate:
+//!
+//! * [`Timestamp`], [`TimeRange`], [`RepeatTime`] — millisecond-epoch time,
+//!   half-open ranges, and the paper's "repeated time" (3–6pm every
+//!   Wednesday) conditions, including a from-scratch civil-time
+//!   (weekday / hour-of-day) conversion.
+//! * [`GeoPoint`], [`Region`] — WGS-84 coordinates and the bounding-box
+//!   regions contributors draw on the map UI.
+//! * [`ChannelId`], [`ChannelSpec`], well-known channels — sensor channel
+//!   naming ("Sensor Channel Name (e.g. Accelerometer, ECG)", Table 1).
+//! * [`ContextKind`], [`ContextState`], [`ContextAnnotation`] — the
+//!   behavioral contexts of Table 1 (Still/Walk/Run/Bike/Drive, Moving,
+//!   Stress, Conversation, Smoking) and their attachment to time windows.
+//! * [`WaveSegment`] — the paper's compact time-series representation
+//!   (Fig. 5): metadata plus a binary value blob, with uniform-interval
+//!   and per-sample-timestamp modes, JSON codec, and merge support.
+
+mod channel;
+mod context;
+mod ids;
+mod location;
+mod time;
+mod wave;
+
+pub use channel::{
+    ChannelId, ChannelSpec, ValueKind, CHAN_ACCEL_MAG, CHAN_AUDIO_ENERGY, CHAN_ECG, CHAN_GPS_LAT,
+    CHAN_GPS_LON, CHAN_RESPIRATION, CHAN_SKIN_TEMP,
+};
+pub use context::{ContextAnnotation, ContextKind, ContextState};
+pub use ids::{ConsumerId, ContributorId, GroupId, StoreAddr, StudyId};
+pub use location::{GeoPoint, Region};
+pub use time::{RepeatTime, TimeOfDay, TimeRange, Timestamp, Weekday};
+pub use wave::{SegmentMeta, Timing, WaveError, WaveSegment};

@@ -1,0 +1,194 @@
+//! Locations: WGS-84 points and the map-drawn bounding-box regions used in
+//! privacy-rule location conditions (Table 1: "Pre-defined Label, Region
+//! Coordinates").
+
+/// A WGS-84 coordinate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoPoint {
+    /// Degrees north, −90..=90.
+    pub latitude: f64,
+    /// Degrees east, −180..=180.
+    pub longitude: f64,
+}
+
+impl GeoPoint {
+    /// Constructs a point, clamping to valid WGS-84 bounds.
+    pub fn new(latitude: f64, longitude: f64) -> GeoPoint {
+        GeoPoint {
+            latitude: latitude.clamp(-90.0, 90.0),
+            longitude: longitude.clamp(-180.0, 180.0),
+        }
+    }
+
+    /// UCLA's campus coordinates, the paper's running example location.
+    pub fn ucla() -> GeoPoint {
+        GeoPoint::new(34.0722, -118.4441)
+    }
+
+    /// Great-circle distance in meters (haversine).
+    pub fn distance_meters(&self, other: &GeoPoint) -> f64 {
+        const EARTH_RADIUS_M: f64 = 6_371_000.0;
+        let lat1 = self.latitude.to_radians();
+        let lat2 = other.latitude.to_radians();
+        let dlat = (other.latitude - self.latitude).to_radians();
+        let dlon = (other.longitude - self.longitude).to_radians();
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_M * a.sqrt().asin()
+    }
+
+    /// Rounds both coordinates to `decimals` places — used by the location
+    /// abstraction ladder to coarsen coordinates.
+    pub fn rounded(&self, decimals: u32) -> GeoPoint {
+        let factor = 10f64.powi(decimals as i32);
+        GeoPoint {
+            latitude: (self.latitude * factor).round() / factor,
+            longitude: (self.longitude * factor).round() / factor,
+        }
+    }
+}
+
+/// An axis-aligned bounding box drawn on the map UI.
+///
+/// Longitude ranges that cross the antimeridian (west > east) are
+/// supported: the box wraps around ±180°.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Region {
+    /// Southern edge (min latitude).
+    pub south: f64,
+    /// Northern edge (max latitude).
+    pub north: f64,
+    /// Western edge.
+    pub west: f64,
+    /// Eastern edge.
+    pub east: f64,
+}
+
+impl Region {
+    /// Constructs a region; panics if `south > north` (use the wrapped
+    /// west/east order for antimeridian crossing, not swapped latitudes).
+    pub fn new(south: f64, north: f64, west: f64, east: f64) -> Region {
+        assert!(south <= north, "region south edge above north edge");
+        Region {
+            south,
+            north,
+            west,
+            east,
+        }
+    }
+
+    /// A box of `half_size_deg` degrees around a center point.
+    pub fn around(center: GeoPoint, half_size_deg: f64) -> Region {
+        Region::new(
+            center.latitude - half_size_deg,
+            center.latitude + half_size_deg,
+            center.longitude - half_size_deg,
+            center.longitude + half_size_deg,
+        )
+    }
+
+    /// True if the point lies inside (edges inclusive).
+    pub fn contains(&self, p: &GeoPoint) -> bool {
+        if p.latitude < self.south || p.latitude > self.north {
+            return false;
+        }
+        if self.west <= self.east {
+            p.longitude >= self.west && p.longitude <= self.east
+        } else {
+            // Wraps the antimeridian.
+            p.longitude >= self.west || p.longitude <= self.east
+        }
+    }
+
+    /// True if the two regions share any area (ignoring antimeridian wrap
+    /// for the *other* region; used by the broker's search prefilter which
+    /// only needs a conservative answer).
+    pub fn intersects(&self, other: &Region) -> bool {
+        if self.north < other.south || other.north < self.south {
+            return false;
+        }
+        if self.west <= self.east && other.west <= other.east {
+            self.west <= other.east && other.west <= self.east
+        } else {
+            // At least one wraps; be conservative.
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_clamping() {
+        let p = GeoPoint::new(100.0, -200.0);
+        assert_eq!(p.latitude, 90.0);
+        assert_eq!(p.longitude, -180.0);
+    }
+
+    #[test]
+    fn distance_known_pair() {
+        // UCLA to USC is roughly 16–17 km.
+        let ucla = GeoPoint::ucla();
+        let usc = GeoPoint::new(34.0224, -118.2851);
+        let d = ucla.distance_meters(&usc);
+        assert!((14_000.0..19_000.0).contains(&d), "distance {d}");
+        assert_eq!(ucla.distance_meters(&ucla), 0.0);
+    }
+
+    #[test]
+    fn distance_symmetry() {
+        let a = GeoPoint::new(10.0, 20.0);
+        let b = GeoPoint::new(-5.0, 140.0);
+        let ab = a.distance_meters(&b);
+        let ba = b.distance_meters(&a);
+        assert!((ab - ba).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rounding() {
+        let p = GeoPoint::new(34.07223456, -118.44416789);
+        let r = p.rounded(2);
+        assert_eq!(r.latitude, 34.07);
+        assert_eq!(r.longitude, -118.44);
+        let r0 = p.rounded(0);
+        assert_eq!(r0.latitude, 34.0);
+        assert_eq!(r0.longitude, -118.0);
+    }
+
+    #[test]
+    fn region_contains() {
+        let r = Region::around(GeoPoint::ucla(), 0.01);
+        assert!(r.contains(&GeoPoint::ucla()));
+        assert!(!r.contains(&GeoPoint::new(34.2, -118.4441)));
+        // Edges are inclusive.
+        assert!(r.contains(&GeoPoint::new(r.north, -118.4441)));
+    }
+
+    #[test]
+    fn region_antimeridian_wrap() {
+        let fiji = Region::new(-20.0, -15.0, 177.0, -178.0);
+        assert!(fiji.contains(&GeoPoint::new(-17.0, 179.0)));
+        assert!(fiji.contains(&GeoPoint::new(-17.0, -179.0)));
+        assert!(!fiji.contains(&GeoPoint::new(-17.0, 0.0)));
+    }
+
+    #[test]
+    fn region_intersects() {
+        let a = Region::new(0.0, 10.0, 0.0, 10.0);
+        let b = Region::new(5.0, 15.0, 5.0, 15.0);
+        let c = Region::new(11.0, 20.0, 0.0, 10.0);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        // Touching edges count as intersecting (conservative prefilter).
+        let d = Region::new(10.0, 20.0, 10.0, 20.0);
+        assert!(a.intersects(&d));
+    }
+
+    #[test]
+    #[should_panic(expected = "south edge")]
+    fn region_rejects_inverted_latitude() {
+        let _ = Region::new(10.0, 0.0, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,935 @@
+//! Wave segments: the paper's compact time-series representation (Fig. 5).
+//!
+//! "A continuous stream of sensor data is divided into many segments,
+//! called wave segments ... A wave segment consists of a sensor value blob
+//! and additional metadata describing the value blob. The metadata
+//! includes a start time, a sampling interval, a location, and a format of
+//! tuples in the value blob."
+//!
+//! A [`WaveSegment`] stores its samples row-major in a [`bytes::Bytes`]
+//! blob: one tuple per sample, one column per [`ChannelSpec`]. Two timing
+//! modes mirror the paper:
+//!
+//! * [`Timing::Uniform`] — a start time and a sampling interval, the
+//!   common case for periodically sampled sensors;
+//! * [`Timing::PerSample`] — an explicit timestamp per sample, "necessary
+//!   to represent sampling schemes such as adaptive, compressive, and
+//!   episodic".
+
+use crate::channel::{ChannelId, ChannelSpec, ValueKind};
+use crate::location::GeoPoint;
+use crate::time::{TimeRange, Timestamp};
+use bytes::{Bytes, BytesMut};
+use sensorsafe_json::{json, Map, Value};
+
+/// Errors constructing or decoding wave segments.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WaveError {
+    /// A row had the wrong number of columns.
+    RowWidth {
+        /// Expected column count (the format width).
+        expected: usize,
+        /// Actual column count supplied.
+        actual: usize,
+    },
+    /// Per-sample timestamp count didn't match the row count.
+    TimestampCount,
+    /// Per-sample timestamps went backwards.
+    TimestampsNotMonotonic,
+    /// The blob length is not a multiple of the tuple width.
+    BlobMisaligned,
+    /// A JSON document was missing or mistyped a field.
+    Json(String),
+    /// Sampling interval must be positive and finite.
+    BadInterval,
+    /// The format (channel list) was empty.
+    EmptyFormat,
+}
+
+impl std::fmt::Display for WaveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaveError::RowWidth { expected, actual } => {
+                write!(f, "row has {actual} values, format has {expected} channels")
+            }
+            WaveError::TimestampCount => write!(f, "timestamp count differs from row count"),
+            WaveError::TimestampsNotMonotonic => write!(f, "timestamps must be non-decreasing"),
+            WaveError::BlobMisaligned => write!(f, "blob length not a multiple of tuple width"),
+            WaveError::Json(msg) => write!(f, "invalid wave-segment JSON: {msg}"),
+            WaveError::BadInterval => write!(f, "sampling interval must be positive and finite"),
+            WaveError::EmptyFormat => write!(f, "wave segment needs at least one channel"),
+        }
+    }
+}
+
+impl std::error::Error for WaveError {}
+
+/// How sample instants are represented.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Timing {
+    /// Samples at `start + i * interval`.
+    Uniform {
+        /// Time of sample 0.
+        start: Timestamp,
+        /// Seconds between samples (e.g. `0.02` for 50 Hz).
+        interval_secs: f64,
+    },
+    /// An explicit, non-decreasing timestamp per sample.
+    PerSample(Vec<Timestamp>),
+}
+
+/// Metadata describing a wave segment's blob (Fig. 5's header).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentMeta {
+    /// Sample timing.
+    pub timing: Timing,
+    /// Where the samples were taken, if known. Mobile traces with a moving
+    /// location carry GPS as data channels instead (paper: "for mobile
+    /// sensors, time and location stamps are stored in the value blob as
+    /// additional sensor channels").
+    pub location: Option<GeoPoint>,
+    /// Tuple format: one column per channel.
+    pub format: Vec<ChannelSpec>,
+}
+
+/// A compact, immutable segment of multi-channel time-series data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaveSegment {
+    meta: SegmentMeta,
+    /// Row-major encoded tuples; cheap to clone and slice (ref-counted).
+    blob: Bytes,
+    rows: usize,
+}
+
+impl WaveSegment {
+    /// Builds a segment from `rows` of `f64` values (one inner slice per
+    /// sample, one value per format column). Values are narrowed to each
+    /// column's [`ValueKind`].
+    pub fn from_rows(meta: SegmentMeta, rows: &[Vec<f64>]) -> Result<WaveSegment, WaveError> {
+        if meta.format.is_empty() {
+            return Err(WaveError::EmptyFormat);
+        }
+        if let Timing::Uniform { interval_secs, .. } = meta.timing {
+            if !(interval_secs.is_finite() && interval_secs > 0.0) {
+                return Err(WaveError::BadInterval);
+            }
+        }
+        if let Timing::PerSample(stamps) = &meta.timing {
+            if stamps.len() != rows.len() {
+                return Err(WaveError::TimestampCount);
+            }
+            if stamps.windows(2).any(|w| w[1] < w[0]) {
+                return Err(WaveError::TimestampsNotMonotonic);
+            }
+        }
+        let width = tuple_width(&meta.format);
+        let mut blob = BytesMut::with_capacity(width * rows.len());
+        for row in rows {
+            if row.len() != meta.format.len() {
+                return Err(WaveError::RowWidth {
+                    expected: meta.format.len(),
+                    actual: row.len(),
+                });
+            }
+            for (value, spec) in row.iter().zip(&meta.format) {
+                encode_value(&mut blob, *value, spec.kind);
+            }
+        }
+        Ok(WaveSegment {
+            meta,
+            blob: blob.freeze(),
+            rows: rows.len(),
+        })
+    }
+
+    /// Reassembles a segment from an already-encoded blob (the storage
+    /// engine's read path). Validates alignment and timing invariants.
+    pub fn from_blob(meta: SegmentMeta, blob: Bytes) -> Result<WaveSegment, WaveError> {
+        if meta.format.is_empty() {
+            return Err(WaveError::EmptyFormat);
+        }
+        let width = tuple_width(&meta.format);
+        if !blob.len().is_multiple_of(width) {
+            return Err(WaveError::BlobMisaligned);
+        }
+        let rows = blob.len() / width;
+        if let Timing::PerSample(stamps) = &meta.timing {
+            if stamps.len() != rows {
+                return Err(WaveError::TimestampCount);
+            }
+            if stamps.windows(2).any(|w| w[1] < w[0]) {
+                return Err(WaveError::TimestampsNotMonotonic);
+            }
+        }
+        if let Timing::Uniform { interval_secs, .. } = meta.timing {
+            if !(interval_secs.is_finite() && interval_secs > 0.0) {
+                return Err(WaveError::BadInterval);
+            }
+        }
+        Ok(WaveSegment { meta, blob, rows })
+    }
+
+    /// The segment metadata.
+    pub fn meta(&self) -> &SegmentMeta {
+        &self.meta
+    }
+
+    /// The raw encoded blob.
+    pub fn blob(&self) -> &Bytes {
+        &self.blob
+    }
+
+    /// Number of samples (tuples).
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True if there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Bytes per tuple.
+    pub fn tuple_width(&self) -> usize {
+        tuple_width(&self.meta.format)
+    }
+
+    /// Approximate in-memory footprint in bytes (blob + timestamps).
+    pub fn approx_bytes(&self) -> usize {
+        let stamps = match &self.meta.timing {
+            Timing::Uniform { .. } => 16,
+            Timing::PerSample(v) => v.len() * 8,
+        };
+        self.blob.len() + stamps + std::mem::size_of::<SegmentMeta>()
+    }
+
+    /// The instant of sample `i`.
+    pub fn time_at(&self, i: usize) -> Timestamp {
+        assert!(i < self.rows, "sample index out of range");
+        match &self.meta.timing {
+            Timing::Uniform {
+                start,
+                interval_secs,
+            } => start.plus_secs_f64(*interval_secs * i as f64),
+            Timing::PerSample(stamps) => stamps[i],
+        }
+    }
+
+    /// The instant of the first sample; `None` for empty segments.
+    pub fn start_time(&self) -> Option<Timestamp> {
+        (self.rows > 0).then(|| self.time_at(0))
+    }
+
+    /// The half-open time extent `[first, last + interval)`; per-sample
+    /// segments use `last + 1ms` as the exclusive end.
+    pub fn time_range(&self) -> Option<TimeRange> {
+        if self.rows == 0 {
+            return None;
+        }
+        let start = self.time_at(0);
+        let end = match &self.meta.timing {
+            Timing::Uniform {
+                start,
+                interval_secs,
+            } => start.plus_secs_f64(*interval_secs * self.rows as f64),
+            Timing::PerSample(stamps) => stamps[self.rows - 1].plus_millis(1),
+        };
+        Some(TimeRange::new(start, end))
+    }
+
+    /// Reads the value at `(row, col)` as `f64`.
+    pub fn value(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows, "row out of range");
+        assert!(col < self.meta.format.len(), "column out of range");
+        let width = self.tuple_width();
+        let mut offset = row * width;
+        for spec in &self.meta.format[..col] {
+            offset += spec.kind.width();
+        }
+        decode_value(&self.blob[offset..], self.meta.format[col].kind)
+    }
+
+    /// One sample as a `Vec<f64>`.
+    pub fn row(&self, row: usize) -> Vec<f64> {
+        (0..self.meta.format.len())
+            .map(|c| self.value(row, c))
+            .collect()
+    }
+
+    /// Column index of `channel`, if present.
+    pub fn column_of(&self, channel: &ChannelId) -> Option<usize> {
+        self.meta.format.iter().position(|s| &s.channel == channel)
+    }
+
+    /// All values of one channel.
+    pub fn channel_values(&self, channel: &ChannelId) -> Option<Vec<f64>> {
+        let col = self.column_of(channel)?;
+        Some((0..self.rows).map(|r| self.value(r, col)).collect())
+    }
+
+    /// The channels carried by this segment, in column order.
+    pub fn channels(&self) -> impl Iterator<Item = &ChannelId> {
+        self.meta.format.iter().map(|s| &s.channel)
+    }
+
+    /// Projects the segment onto a subset of channels (used by rule
+    /// enforcement to suppress columns). Returns `None` if no requested
+    /// channel is present.
+    pub fn select_channels(&self, keep: &[ChannelId]) -> Option<WaveSegment> {
+        let cols: Vec<usize> = self
+            .meta
+            .format
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| keep.contains(&s.channel))
+            .map(|(i, _)| i)
+            .collect();
+        if cols.is_empty() {
+            return None;
+        }
+        if cols.len() == self.meta.format.len() {
+            return Some(self.clone());
+        }
+        let format: Vec<ChannelSpec> = cols.iter().map(|&i| self.meta.format[i].clone()).collect();
+        let rows: Vec<Vec<f64>> = (0..self.rows)
+            .map(|r| cols.iter().map(|&c| self.value(r, c)).collect())
+            .collect();
+        let meta = SegmentMeta {
+            timing: self.meta.timing.clone(),
+            location: self.meta.location,
+            format,
+        };
+        Some(WaveSegment::from_rows(meta, &rows).expect("projection preserves invariants"))
+    }
+
+    /// Restricts the segment to samples inside `range`. Returns `None` if
+    /// no sample falls inside. Uniform timing is preserved (the slice
+    /// start shifts); per-sample timestamps are subset.
+    pub fn slice_time(&self, range: &TimeRange) -> Option<WaveSegment> {
+        if self.rows == 0 {
+            return None;
+        }
+        match &self.meta.timing {
+            Timing::Uniform {
+                start,
+                interval_secs,
+            } => {
+                let interval_ms = interval_secs * 1_000.0;
+                // Saturating arithmetic: `TimeRange::all()` uses i64 extremes.
+                // First index with time >= range.start.
+                let lo_f = range.start.millis().saturating_sub(start.millis()) as f64 / interval_ms;
+                let lo = lo_f.ceil().max(0.0) as usize;
+                // First index with time >= range.end (exclusive bound).
+                let hi_f = range.end.millis().saturating_sub(start.millis()) as f64 / interval_ms;
+                let hi = (hi_f.ceil().max(0.0).min(self.rows as f64)) as usize;
+                if lo >= hi {
+                    return None;
+                }
+                let width = self.tuple_width();
+                let meta = SegmentMeta {
+                    timing: Timing::Uniform {
+                        start: start.plus_secs_f64(interval_secs * lo as f64),
+                        interval_secs: *interval_secs,
+                    },
+                    location: self.meta.location,
+                    format: self.meta.format.clone(),
+                };
+                let blob = self.blob.slice(lo * width..hi * width);
+                Some(WaveSegment {
+                    meta,
+                    blob,
+                    rows: hi - lo,
+                })
+            }
+            Timing::PerSample(stamps) => {
+                let lo = stamps.partition_point(|t| *t < range.start);
+                let hi = stamps.partition_point(|t| *t < range.end);
+                if lo >= hi {
+                    return None;
+                }
+                let width = self.tuple_width();
+                let meta = SegmentMeta {
+                    timing: Timing::PerSample(stamps[lo..hi].to_vec()),
+                    location: self.meta.location,
+                    format: self.meta.format.clone(),
+                };
+                let blob = self.blob.slice(lo * width..hi * width);
+                Some(WaveSegment {
+                    meta,
+                    blob,
+                    rows: hi - lo,
+                })
+            }
+        }
+    }
+
+    /// Whether `next` can be appended to `self` to form one segment
+    /// (§5.1's merge optimization): both uniform, same interval, same
+    /// format, same location, and `next` starts within half an interval of
+    /// where `self`'s sampling would place its next sample.
+    pub fn can_merge(&self, next: &WaveSegment) -> bool {
+        let (
+            Timing::Uniform {
+                start: s1,
+                interval_secs: i1,
+            },
+            Timing::Uniform {
+                start: s2,
+                interval_secs: i2,
+            },
+        ) = (&self.meta.timing, &next.meta.timing)
+        else {
+            return false;
+        };
+        if self.rows == 0 || next.rows == 0 {
+            return false;
+        }
+        if (i1 - i2).abs() > f64::EPSILON * i1.abs() {
+            return false;
+        }
+        if self.meta.format != next.meta.format {
+            return false;
+        }
+        if !location_eq(self.meta.location, next.meta.location) {
+            return false;
+        }
+        let expected_next = s1.plus_secs_f64(i1 * self.rows as f64);
+        let tolerance_ms = (i1 * 500.0).max(1.0); // half an interval
+        (s2.millis() - expected_next.millis()).abs() as f64 <= tolerance_ms
+    }
+
+    /// Concatenates `next` onto `self`. Call [`WaveSegment::can_merge`]
+    /// first; panics if the segments are incompatible.
+    pub fn merge(&self, next: &WaveSegment) -> WaveSegment {
+        assert!(self.can_merge(next), "segments are not mergeable");
+        let mut blob = BytesMut::with_capacity(self.blob.len() + next.blob.len());
+        blob.extend_from_slice(&self.blob);
+        blob.extend_from_slice(&next.blob);
+        WaveSegment {
+            meta: self.meta.clone(),
+            blob: blob.freeze(),
+            rows: self.rows + next.rows,
+        }
+    }
+
+    /// Serializes to the Fig. 5 JSON form.
+    pub fn to_json(&self) -> Value {
+        let mut obj = Map::new();
+        if let Some(loc) = self.meta.location {
+            obj.insert(
+                "location".into(),
+                json!({"latitude": (loc.latitude), "longitude": (loc.longitude)}),
+            );
+        }
+        match &self.meta.timing {
+            Timing::Uniform {
+                start,
+                interval_secs,
+            } => {
+                obj.insert("start_time".into(), Value::from(start.millis()));
+                obj.insert("sampling_interval".into(), Value::from(*interval_secs));
+            }
+            Timing::PerSample(stamps) => {
+                obj.insert(
+                    "timestamps".into(),
+                    Value::Array(stamps.iter().map(|t| Value::from(t.millis())).collect()),
+                );
+            }
+        }
+        obj.insert(
+            "format".into(),
+            Value::Array(
+                self.meta
+                    .format
+                    .iter()
+                    .map(|s| {
+                        json!({
+                            "channel": (s.channel.as_str()),
+                            "kind": (s.kind.as_str()),
+                        })
+                    })
+                    .collect(),
+            ),
+        );
+        let data: Vec<Value> = (0..self.rows)
+            .map(|r| Value::Array(self.row(r).into_iter().map(Value::from).collect()))
+            .collect();
+        obj.insert("data".into(), Value::Array(data));
+        Value::Object(obj)
+    }
+
+    /// Parses the Fig. 5 JSON form. Accepts `format` entries as either
+    /// `{"channel": ..., "kind": ...}` objects or bare channel-name
+    /// strings (defaulting to `f32`, matching the paper's figure which
+    /// lists only names).
+    pub fn from_json(value: &Value) -> Result<WaveSegment, WaveError> {
+        let err = |msg: &str| WaveError::Json(msg.to_string());
+        let obj = value.as_object().ok_or_else(|| err("expected object"))?;
+        let format_json = obj
+            .get("format")
+            .and_then(Value::as_array)
+            .ok_or_else(|| err("missing format array"))?;
+        let mut format = Vec::with_capacity(format_json.len());
+        for entry in format_json {
+            let spec = match entry {
+                Value::String(name) => ChannelSpec::f32(
+                    ChannelId::try_new(name.clone()).ok_or_else(|| err("bad channel name"))?,
+                ),
+                Value::Object(_) => {
+                    let name = entry
+                        .get("channel")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| err("format entry missing channel"))?;
+                    let kind = entry
+                        .get("kind")
+                        .and_then(Value::as_str)
+                        .and_then(ValueKind::parse)
+                        .unwrap_or(ValueKind::F32);
+                    ChannelSpec {
+                        channel: ChannelId::try_new(name).ok_or_else(|| err("bad channel name"))?,
+                        kind,
+                    }
+                }
+                _ => return Err(err("format entry must be string or object")),
+            };
+            format.push(spec);
+        }
+        let timing = if let Some(stamps) = obj.get("timestamps").and_then(Value::as_array) {
+            let parsed: Option<Vec<Timestamp>> = stamps
+                .iter()
+                .map(|v| v.as_i64().map(Timestamp::from_millis))
+                .collect();
+            Timing::PerSample(parsed.ok_or_else(|| err("non-integer timestamp"))?)
+        } else {
+            let start = obj
+                .get("start_time")
+                .and_then(Value::as_i64)
+                .ok_or_else(|| err("missing start_time"))?;
+            let interval = obj
+                .get("sampling_interval")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| err("missing sampling_interval"))?;
+            Timing::Uniform {
+                start: Timestamp::from_millis(start),
+                interval_secs: interval,
+            }
+        };
+        let location = match obj.get("location") {
+            Some(loc) => {
+                let lat = loc
+                    .get("latitude")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| err("location missing latitude"))?;
+                let lon = loc
+                    .get("longitude")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| err("location missing longitude"))?;
+                Some(GeoPoint::new(lat, lon))
+            }
+            None => None,
+        };
+        let data = obj
+            .get("data")
+            .and_then(Value::as_array)
+            .ok_or_else(|| err("missing data array"))?;
+        let mut rows = Vec::with_capacity(data.len());
+        for row in data {
+            let cells = row.as_array().ok_or_else(|| err("data row not an array"))?;
+            let parsed: Option<Vec<f64>> = cells.iter().map(Value::as_f64).collect();
+            rows.push(parsed.ok_or_else(|| err("non-numeric sample value"))?);
+        }
+        WaveSegment::from_rows(
+            SegmentMeta {
+                timing,
+                location,
+                format,
+            },
+            &rows,
+        )
+    }
+}
+
+fn tuple_width(format: &[ChannelSpec]) -> usize {
+    format.iter().map(|s| s.kind.width()).sum()
+}
+
+fn location_eq(a: Option<GeoPoint>, b: Option<GeoPoint>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(a), Some(b)) => a == b,
+        _ => false,
+    }
+}
+
+fn encode_value(out: &mut BytesMut, value: f64, kind: ValueKind) {
+    match kind {
+        ValueKind::F64 => out.extend_from_slice(&value.to_le_bytes()),
+        ValueKind::F32 => out.extend_from_slice(&(value as f32).to_le_bytes()),
+        ValueKind::I16 => {
+            let clamped = value.round().clamp(i16::MIN as f64, i16::MAX as f64) as i16;
+            out.extend_from_slice(&clamped.to_le_bytes());
+        }
+    }
+}
+
+fn decode_value(bytes: &[u8], kind: ValueKind) -> f64 {
+    match kind {
+        ValueKind::F64 => f64::from_le_bytes(bytes[..8].try_into().expect("blob aligned")),
+        ValueKind::F32 => f32::from_le_bytes(bytes[..4].try_into().expect("blob aligned")) as f64,
+        ValueKind::I16 => i16::from_le_bytes(bytes[..2].try_into().expect("blob aligned")) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{CHAN_ECG, CHAN_RESPIRATION};
+
+    fn ecg_rip_meta(start_ms: i64, hz: f64) -> SegmentMeta {
+        SegmentMeta {
+            timing: Timing::Uniform {
+                start: Timestamp::from_millis(start_ms),
+                interval_secs: 1.0 / hz,
+            },
+            location: Some(GeoPoint::ucla()),
+            format: vec![ChannelSpec::i16(CHAN_ECG), ChannelSpec::f32(CHAN_RESPIRATION)],
+        }
+    }
+
+    fn sample_segment() -> WaveSegment {
+        let rows = vec![
+            vec![512.0, 301.5],
+            vec![518.0, 300.25],
+            vec![530.0, 298.0],
+        ];
+        WaveSegment::from_rows(ecg_rip_meta(1_311_535_598_327, 50.0), &rows).unwrap()
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let seg = sample_segment();
+        assert_eq!(seg.len(), 3);
+        assert!(!seg.is_empty());
+        assert_eq!(seg.tuple_width(), 2 + 4);
+        assert_eq!(seg.value(0, 0), 512.0);
+        assert_eq!(seg.value(1, 1), 300.25);
+        assert_eq!(seg.row(2), vec![530.0, 298.0]);
+    }
+
+    #[test]
+    fn i16_rounding_and_clamping() {
+        let meta = SegmentMeta {
+            timing: Timing::Uniform {
+                start: Timestamp(0),
+                interval_secs: 1.0,
+            },
+            location: None,
+            format: vec![ChannelSpec::i16(CHAN_ECG)],
+        };
+        let seg =
+            WaveSegment::from_rows(meta, &[vec![1.6], vec![-1.6], vec![1e9], vec![-1e9]]).unwrap();
+        assert_eq!(seg.value(0, 0), 2.0);
+        assert_eq!(seg.value(1, 0), -2.0);
+        assert_eq!(seg.value(2, 0), i16::MAX as f64);
+        assert_eq!(seg.value(3, 0), i16::MIN as f64);
+    }
+
+    #[test]
+    fn timing_uniform() {
+        let seg = sample_segment();
+        assert_eq!(seg.time_at(0), Timestamp(1_311_535_598_327));
+        assert_eq!(seg.time_at(1), Timestamp(1_311_535_598_347));
+        assert_eq!(seg.time_at(2), Timestamp(1_311_535_598_367));
+        let range = seg.time_range().unwrap();
+        assert_eq!(range.start, Timestamp(1_311_535_598_327));
+        assert_eq!(range.end, Timestamp(1_311_535_598_387));
+    }
+
+    #[test]
+    fn timing_per_sample() {
+        let meta = SegmentMeta {
+            timing: Timing::PerSample(vec![Timestamp(10), Timestamp(15), Timestamp(100)]),
+            location: None,
+            format: vec![ChannelSpec::f32("x")],
+        };
+        let seg = WaveSegment::from_rows(meta, &[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        assert_eq!(seg.time_at(2), Timestamp(100));
+        assert_eq!(
+            seg.time_range().unwrap(),
+            TimeRange::new(Timestamp(10), Timestamp(101))
+        );
+    }
+
+    #[test]
+    fn invariant_violations() {
+        let meta = ecg_rip_meta(0, 50.0);
+        assert_eq!(
+            WaveSegment::from_rows(meta.clone(), &[vec![1.0]]),
+            Err(WaveError::RowWidth {
+                expected: 2,
+                actual: 1
+            })
+        );
+        let bad_stamp_meta = SegmentMeta {
+            timing: Timing::PerSample(vec![Timestamp(5), Timestamp(3)]),
+            location: None,
+            format: vec![ChannelSpec::f32("x")],
+        };
+        assert_eq!(
+            WaveSegment::from_rows(bad_stamp_meta, &[vec![1.0], vec![2.0]]),
+            Err(WaveError::TimestampsNotMonotonic)
+        );
+        let count_meta = SegmentMeta {
+            timing: Timing::PerSample(vec![Timestamp(5)]),
+            location: None,
+            format: vec![ChannelSpec::f32("x")],
+        };
+        assert_eq!(
+            WaveSegment::from_rows(count_meta, &[vec![1.0], vec![2.0]]),
+            Err(WaveError::TimestampCount)
+        );
+        let zero_interval = SegmentMeta {
+            timing: Timing::Uniform {
+                start: Timestamp(0),
+                interval_secs: 0.0,
+            },
+            location: None,
+            format: vec![ChannelSpec::f32("x")],
+        };
+        assert_eq!(
+            WaveSegment::from_rows(zero_interval, &[vec![1.0]]),
+            Err(WaveError::BadInterval)
+        );
+        let empty_format = SegmentMeta {
+            timing: Timing::Uniform {
+                start: Timestamp(0),
+                interval_secs: 1.0,
+            },
+            location: None,
+            format: vec![],
+        };
+        assert_eq!(
+            WaveSegment::from_rows(empty_format, &[]),
+            Err(WaveError::EmptyFormat)
+        );
+    }
+
+    #[test]
+    fn from_blob_alignment_check() {
+        let meta = ecg_rip_meta(0, 50.0);
+        let blob = Bytes::from(vec![0u8; 7]); // width is 6
+        assert_eq!(
+            WaveSegment::from_blob(meta.clone(), blob),
+            Err(WaveError::BlobMisaligned)
+        );
+        let good = WaveSegment::from_blob(meta, Bytes::from(vec![0u8; 12])).unwrap();
+        assert_eq!(good.len(), 2);
+    }
+
+    #[test]
+    fn channel_selection() {
+        let seg = sample_segment();
+        let only_ecg = seg.select_channels(&[ChannelId::new(CHAN_ECG)]).unwrap();
+        assert_eq!(only_ecg.meta().format.len(), 1);
+        assert_eq!(only_ecg.len(), 3);
+        assert_eq!(only_ecg.value(2, 0), 530.0);
+        // Selecting everything returns an identical segment.
+        let both = seg
+            .select_channels(&[ChannelId::new(CHAN_ECG), ChannelId::new(CHAN_RESPIRATION)])
+            .unwrap();
+        assert_eq!(both, seg);
+        // Selecting nothing present returns None.
+        assert!(seg.select_channels(&[ChannelId::new("gps_lat")]).is_none());
+    }
+
+    #[test]
+    fn channel_values_lookup() {
+        let seg = sample_segment();
+        assert_eq!(
+            seg.channel_values(&ChannelId::new(CHAN_ECG)).unwrap(),
+            vec![512.0, 518.0, 530.0]
+        );
+        assert!(seg.channel_values(&ChannelId::new("missing")).is_none());
+        let names: Vec<&str> = seg.channels().map(|c| c.as_str()).collect();
+        assert_eq!(names, ["ecg", "respiration"]);
+    }
+
+    #[test]
+    fn slice_time_uniform() {
+        let seg = sample_segment(); // samples at 327, 347, 367 (+1311535598000)
+        let base = 1_311_535_598_000;
+        // Window covering only the middle sample.
+        let mid = seg
+            .slice_time(&TimeRange::new(
+                Timestamp(base + 340),
+                Timestamp(base + 360),
+            ))
+            .unwrap();
+        assert_eq!(mid.len(), 1);
+        assert_eq!(mid.value(0, 0), 518.0);
+        assert_eq!(mid.time_at(0), Timestamp(base + 347));
+        // Window covering everything.
+        let all = seg.slice_time(&TimeRange::all()).unwrap();
+        assert_eq!(all.len(), 3);
+        // Window before the data.
+        assert!(seg
+            .slice_time(&TimeRange::new(Timestamp(0), Timestamp(base)))
+            .is_none());
+        // Exclusive end: window ending exactly at a sample's time excludes it.
+        let upto = seg
+            .slice_time(&TimeRange::new(Timestamp(base), Timestamp(base + 347)))
+            .unwrap();
+        assert_eq!(upto.len(), 1);
+    }
+
+    #[test]
+    fn slice_time_per_sample() {
+        let meta = SegmentMeta {
+            timing: Timing::PerSample(vec![Timestamp(10), Timestamp(20), Timestamp(30)]),
+            location: None,
+            format: vec![ChannelSpec::f64("x")],
+        };
+        let seg = WaveSegment::from_rows(meta, &[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let mid = seg
+            .slice_time(&TimeRange::new(Timestamp(15), Timestamp(30)))
+            .unwrap();
+        assert_eq!(mid.len(), 1);
+        assert_eq!(mid.value(0, 0), 2.0);
+        assert_eq!(mid.time_at(0), Timestamp(20));
+    }
+
+    #[test]
+    fn merge_consecutive_segments() {
+        // The Zephyr case: two 64-sample packets back to back.
+        let hz = 50.0;
+        let rows_a: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64, 0.0]).collect();
+        let rows_b: Vec<Vec<f64>> = (64..128).map(|i| vec![i as f64, 0.0]).collect();
+        let a = WaveSegment::from_rows(ecg_rip_meta(0, hz), &rows_a).unwrap();
+        let b = WaveSegment::from_rows(ecg_rip_meta(64 * 20, hz), &rows_b).unwrap();
+        assert!(a.can_merge(&b));
+        let merged = a.merge(&b);
+        assert_eq!(merged.len(), 128);
+        assert_eq!(merged.value(127, 0), 127.0);
+        assert_eq!(merged.time_at(127), Timestamp(127 * 20));
+    }
+
+    #[test]
+    fn merge_tolerates_jitter_within_half_interval() {
+        let hz = 50.0; // 20ms interval
+        let a = WaveSegment::from_rows(ecg_rip_meta(0, hz), &[vec![1.0, 0.0]]).unwrap();
+        let on_time = WaveSegment::from_rows(ecg_rip_meta(20, hz), &[vec![2.0, 0.0]]).unwrap();
+        let jittered = WaveSegment::from_rows(ecg_rip_meta(28, hz), &[vec![2.0, 0.0]]).unwrap();
+        let late = WaveSegment::from_rows(ecg_rip_meta(45, hz), &[vec![2.0, 0.0]]).unwrap();
+        assert!(a.can_merge(&on_time));
+        assert!(a.can_merge(&jittered));
+        assert!(!a.can_merge(&late));
+    }
+
+    #[test]
+    fn merge_rejects_mismatches() {
+        let a = WaveSegment::from_rows(ecg_rip_meta(0, 50.0), &[vec![1.0, 0.0]]).unwrap();
+        // Different interval.
+        let slow = WaveSegment::from_rows(ecg_rip_meta(20, 25.0), &[vec![2.0, 0.0]]).unwrap();
+        assert!(!a.can_merge(&slow));
+        // Different location.
+        let mut meta = ecg_rip_meta(20, 50.0);
+        meta.location = None;
+        let elsewhere = WaveSegment::from_rows(meta, &[vec![2.0, 0.0]]).unwrap();
+        assert!(!a.can_merge(&elsewhere));
+        // Different format.
+        let mut meta = ecg_rip_meta(20, 50.0);
+        meta.format = vec![ChannelSpec::f32(CHAN_ECG), ChannelSpec::f32(CHAN_RESPIRATION)];
+        let other_fmt = WaveSegment::from_rows(meta, &[vec![2.0, 0.0]]).unwrap();
+        assert!(!a.can_merge(&other_fmt));
+        // Gap (not consecutive).
+        let gap = WaveSegment::from_rows(ecg_rip_meta(500, 50.0), &[vec![2.0, 0.0]]).unwrap();
+        assert!(!a.can_merge(&gap));
+        // Overlap going backwards.
+        let overlap = WaveSegment::from_rows(ecg_rip_meta(-40, 50.0), &[vec![2.0, 0.0]]).unwrap();
+        assert!(!a.can_merge(&overlap));
+    }
+
+    #[test]
+    #[should_panic(expected = "not mergeable")]
+    fn merge_panics_on_incompatible() {
+        let a = WaveSegment::from_rows(ecg_rip_meta(0, 50.0), &[vec![1.0, 0.0]]).unwrap();
+        let b = WaveSegment::from_rows(ecg_rip_meta(900, 50.0), &[vec![2.0, 0.0]]).unwrap();
+        let _ = a.merge(&b);
+    }
+
+    #[test]
+    fn json_roundtrip_uniform() {
+        let seg = sample_segment();
+        let v = seg.to_json();
+        assert_eq!(v["start_time"].as_i64(), Some(1_311_535_598_327));
+        assert_eq!(v["sampling_interval"].as_f64(), Some(0.02));
+        assert_eq!(v["format"][0]["channel"].as_str(), Some("ecg"));
+        let back = WaveSegment::from_json(&v).unwrap();
+        assert_eq!(back, seg);
+    }
+
+    #[test]
+    fn json_roundtrip_per_sample() {
+        let meta = SegmentMeta {
+            timing: Timing::PerSample(vec![Timestamp(1), Timestamp(5)]),
+            location: None,
+            format: vec![ChannelSpec::f64("x")],
+        };
+        let seg = WaveSegment::from_rows(meta, &[vec![0.5], vec![-0.5]]).unwrap();
+        let back = WaveSegment::from_json(&seg.to_json()).unwrap();
+        assert_eq!(back, seg);
+    }
+
+    #[test]
+    fn json_accepts_bare_channel_names() {
+        let v = sensorsafe_json::parse(
+            r#"{
+                "start_time": 0,
+                "sampling_interval": 0.5,
+                "format": ["ecg", "respiration"],
+                "data": [[1, 2], [3, 4]]
+            }"#,
+        )
+        .unwrap();
+        let seg = WaveSegment::from_json(&v).unwrap();
+        assert_eq!(seg.len(), 2);
+        assert_eq!(seg.meta().format[0].kind, ValueKind::F32);
+        assert_eq!(seg.value(1, 1), 4.0);
+    }
+
+    #[test]
+    fn json_rejects_malformed() {
+        for bad in [
+            r#"{"sampling_interval": 0.5, "format": ["x"], "data": []}"#, // no start_time
+            r#"{"start_time": 0, "sampling_interval": 0.5, "data": []}"#, // no format
+            r#"{"start_time": 0, "sampling_interval": 0.5, "format": ["x"]}"#, // no data
+            r#"{"start_time": 0, "sampling_interval": 0.5, "format": ["x"], "data": [["a"]]}"#,
+            r#"{"start_time": 0, "sampling_interval": 0.5, "format": [7], "data": []}"#,
+            r#"{"start_time": 0, "sampling_interval": 0.5, "format": ["x"], "data": [[1, 2]]}"#,
+            r#"{"start_time": 0, "sampling_interval": 0.5, "format": ["x"], "data": [[1]], "location": {"latitude": 1}}"#,
+            r#"[1, 2]"#,
+        ] {
+            let v = sensorsafe_json::parse(bad).unwrap();
+            assert!(WaveSegment::from_json(&v).is_err(), "should reject {bad}");
+        }
+    }
+
+    #[test]
+    fn approx_bytes_scales_with_rows() {
+        let small = sample_segment();
+        let rows: Vec<Vec<f64>> = (0..1000).map(|i| vec![i as f64, 0.0]).collect();
+        let big = WaveSegment::from_rows(ecg_rip_meta(0, 50.0), &rows).unwrap();
+        // 1000 rows × 6-byte tuples dominate the fixed metadata overhead.
+        assert!(big.approx_bytes() >= 6_000);
+        assert!(big.approx_bytes() > small.approx_bytes() * 20);
+    }
+
+    #[test]
+    fn empty_segment() {
+        let seg = WaveSegment::from_rows(ecg_rip_meta(0, 50.0), &[]).unwrap();
+        assert!(seg.is_empty());
+        assert!(seg.start_time().is_none());
+        assert!(seg.time_range().is_none());
+        assert!(seg.slice_time(&TimeRange::all()).is_none());
+    }
+}

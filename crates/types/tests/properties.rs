@@ -1,0 +1,170 @@
+//! Property-based tests for the core data model invariants.
+
+use proptest::prelude::*;
+use sensorsafe_types::{
+    ChannelSpec, GeoPoint, RepeatTime, SegmentMeta, TimeOfDay, TimeRange, Timestamp, Timing,
+    WaveSegment, Weekday,
+};
+
+fn arb_rows(cols: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        prop::collection::vec(-1e4..1e4f64, cols..=cols),
+        0..64,
+    )
+}
+
+fn uniform_meta(start: i64, interval_ms: u16) -> SegmentMeta {
+    SegmentMeta {
+        timing: Timing::Uniform {
+            start: Timestamp::from_millis(start),
+            interval_secs: (interval_ms.max(1)) as f64 / 1_000.0,
+        },
+        location: Some(GeoPoint::ucla()),
+        format: vec![ChannelSpec::f64("a"), ChannelSpec::f64("b")],
+    }
+}
+
+proptest! {
+    /// Fig. 5 JSON codec round-trips exactly for f64 columns.
+    #[test]
+    fn wave_json_roundtrip(
+        rows in arb_rows(2),
+        start in -1_000_000_000i64..2_000_000_000_000,
+        interval in 1u16..2_000,
+    ) {
+        let seg = WaveSegment::from_rows(uniform_meta(start, interval), &rows).unwrap();
+        let back = WaveSegment::from_json(&seg.to_json()).unwrap();
+        prop_assert_eq!(back, seg);
+    }
+
+    /// Slicing never invents samples and preserves per-sample values.
+    #[test]
+    fn wave_slice_subset(
+        rows in arb_rows(2),
+        start in 0i64..1_000_000,
+        interval in 1u16..500,
+        w_start in -1_000_000i64..2_000_000,
+        w_len in 0i64..2_000_000,
+    ) {
+        let seg = WaveSegment::from_rows(uniform_meta(start, interval), &rows).unwrap();
+        let window = TimeRange::new(
+            Timestamp::from_millis(w_start),
+            Timestamp::from_millis(w_start + w_len),
+        );
+        if let Some(sliced) = seg.slice_time(&window) {
+            prop_assert!(sliced.len() <= seg.len());
+            prop_assert!(!sliced.is_empty());
+            for i in 0..sliced.len() {
+                let t = sliced.time_at(i);
+                prop_assert!(window.contains(t), "sample at {t:?} outside {window:?}");
+                // The value must exist at the same instant in the source.
+                let src_idx = (0..seg.len()).find(|&j| seg.time_at(j) == t);
+                prop_assert!(src_idx.is_some());
+                prop_assert_eq!(sliced.row(i), seg.row(src_idx.unwrap()));
+            }
+        } else {
+            // No sample of the original lies in the window.
+            for j in 0..seg.len() {
+                prop_assert!(!window.contains(seg.time_at(j)));
+            }
+        }
+    }
+
+    /// Merging two consecutive segments preserves every sample and instant.
+    #[test]
+    fn wave_merge_preserves_samples(
+        rows_a in prop::collection::vec(prop::collection::vec(-1e3..1e3f64, 2..=2), 1..32),
+        rows_b in prop::collection::vec(prop::collection::vec(-1e3..1e3f64, 2..=2), 1..32),
+        interval in 1u16..200,
+    ) {
+        let a = WaveSegment::from_rows(uniform_meta(0, interval), &rows_a).unwrap();
+        let b_start = interval as i64 * rows_a.len() as i64;
+        let b = WaveSegment::from_rows(uniform_meta(b_start, interval), &rows_b).unwrap();
+        prop_assert!(a.can_merge(&b));
+        let merged = a.merge(&b);
+        prop_assert_eq!(merged.len(), a.len() + b.len());
+        for i in 0..a.len() {
+            prop_assert_eq!(merged.row(i), a.row(i));
+            prop_assert_eq!(merged.time_at(i), a.time_at(i));
+        }
+        for i in 0..b.len() {
+            prop_assert_eq!(merged.row(a.len() + i), b.row(i));
+        }
+    }
+
+    /// Channel projection keeps row count and per-channel values.
+    #[test]
+    fn wave_projection(rows in arb_rows(2)) {
+        let seg = WaveSegment::from_rows(uniform_meta(0, 10), &rows).unwrap();
+        let only_a = seg.select_channels(&["a".into()]);
+        if rows.is_empty() {
+            // Projection of an empty segment still succeeds with 0 rows.
+            prop_assert_eq!(only_a.as_ref().map(|s| s.len()), Some(0));
+        } else {
+            let only_a = only_a.unwrap();
+            prop_assert_eq!(only_a.len(), seg.len());
+            for i in 0..seg.len() {
+                prop_assert_eq!(only_a.value(i, 0), seg.value(i, 0));
+            }
+        }
+    }
+
+    /// Weekday/time-of-day math is consistent with adding whole days.
+    #[test]
+    fn weekday_advances_daily(ms in -2_000_000_000_000i64..2_000_000_000_000) {
+        let t = Timestamp::from_millis(ms);
+        let tomorrow = t.plus_millis(24 * 3600 * 1000);
+        let today_idx = Weekday::ALL.iter().position(|d| *d == t.weekday()).unwrap();
+        let tomorrow_idx = Weekday::ALL.iter().position(|d| *d == tomorrow.weekday()).unwrap();
+        prop_assert_eq!((today_idx + 1) % 7, tomorrow_idx);
+        prop_assert_eq!(t.time_of_day(), tomorrow.time_of_day());
+    }
+
+    /// A repeat-time window contains an instant iff the instant's civil
+    /// time is inside the window on a listed day (non-wrapping windows).
+    #[test]
+    fn repeat_time_model(
+        ms in 0i64..2_000_000_000_000,
+        from_h in 0u8..23,
+        len_min in 1u16..600,
+        day_mask in 1u8..127,
+    ) {
+        let days: Vec<Weekday> = Weekday::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| day_mask & (1 << i) != 0)
+            .map(|(_, d)| *d)
+            .collect();
+        let from = TimeOfDay::new(from_h, 0);
+        let to_minutes = (from.minutes() + len_min).min(24 * 60 - 1);
+        let to = TimeOfDay::new((to_minutes / 60) as u8, (to_minutes % 60) as u8);
+        prop_assume!(to > from);
+        let rule = RepeatTime::new(days.clone(), from, to);
+        let t = Timestamp::from_millis(ms);
+        let expected = days.contains(&t.weekday())
+            && t.time_of_day().minutes() >= from.minutes()
+            && t.time_of_day().minutes() < to.minutes();
+        prop_assert_eq!(rule.contains(t), expected);
+    }
+
+    /// TimeRange intersection is commutative and contained in both.
+    #[test]
+    fn range_intersection_properties(
+        a_start in -1000i64..1000, a_len in 0i64..1000,
+        b_start in -1000i64..1000, b_len in 0i64..1000,
+    ) {
+        let a = TimeRange::new(Timestamp(a_start), Timestamp(a_start + a_len));
+        let b = TimeRange::new(Timestamp(b_start), Timestamp(b_start + b_len));
+        let ab = a.intersect(&b);
+        let ba = b.intersect(&a);
+        prop_assert_eq!(ab, ba);
+        if let Some(i) = ab {
+            prop_assert!(i.start >= a.start && i.end <= a.end);
+            prop_assert!(i.start >= b.start && i.end <= b.end);
+            prop_assert!(!i.is_empty());
+            prop_assert!(a.overlaps(&b));
+        } else {
+            prop_assert!(!a.overlaps(&b));
+        }
+    }
+}

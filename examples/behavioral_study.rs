@@ -1,0 +1,91 @@
+//! The §6 medical behavioral study, end to end.
+//!
+//! Bob the researcher recruits 20 contributors (including Alice) across
+//! two institutional data stores — the IRB requirement of §1 means the
+//! UCLA store holds UCLA participants and the Memphis store holds the
+//! rest. Alice denies stress data while driving, so Bob's contributor
+//! search for driving-stress data returns everyone *except* Alice,
+//! matching the paper's walkthrough.
+//!
+//! ```text
+//! cargo run --example behavioral_study
+//! ```
+
+use sensorsafe::sim::Scenario;
+use sensorsafe::store::Query;
+use sensorsafe::types::Timestamp;
+use sensorsafe::{json, Deployment};
+
+fn main() {
+    let mut deployment = Deployment::in_process();
+    deployment.add_store("ucla-store");
+    deployment.add_store("memphis-store");
+
+    // Recruit 20 contributors; even indexes at UCLA, odd at Memphis.
+    let mut names = Vec::new();
+    for i in 0..20 {
+        let name = if i == 0 {
+            "alice".to_string()
+        } else {
+            format!("participant-{i:02}")
+        };
+        let store = if i % 2 == 0 { "ucla-store" } else { "memphis-store" };
+        let handle = deployment
+            .register_contributor(store, &name)
+            .expect("register contributor");
+        let scenario =
+            Scenario::alice_day(Timestamp::from_millis(1_311_500_000_000), 100 + i, 1);
+        handle.upload_scenario(&scenario).expect("upload");
+        // Everyone shares with the study...
+        let rules = if name == "alice" {
+            // ...but Alice denies stress-related data while driving (§6).
+            json!([
+                {"Study": ["driving-stress"], "Action": "Allow"},
+                {"Context": ["Drive"], "Sensor": ["ecg", "respiration"], "Action": "Deny"},
+            ])
+        } else {
+            json!([{"Study": ["driving-stress"], "Action": "Allow"}])
+        };
+        handle.set_rules(&rules).expect("rules");
+        names.push(name);
+    }
+    println!("recruited {} contributors across 2 institutional stores", names.len());
+
+    // Bob runs the study.
+    let bob = deployment
+        .register_consumer_with("bob", &[], &["driving-stress"])
+        .expect("register bob");
+
+    // Contributor search: who shares ECG+respiration *while driving*?
+    let hits = bob
+        .search(&json!({
+            "channels": ["ecg", "respiration"],
+            "active_contexts": ["Drive"],
+        }))
+        .expect("search");
+    println!("suitable contributors: {}", hits.len());
+    assert_eq!(hits.len(), 19, "everyone but Alice");
+    assert!(!hits.contains(&"alice".to_string()));
+
+    // Add them and download the driving-stress data directly from the
+    // stores.
+    let hit_refs: Vec<&str> = hits.iter().map(String::as_str).collect();
+    let (added, errors) = bob.add_contributors(&hit_refs).expect("add");
+    assert!(errors.is_empty(), "{errors:?}");
+    println!("escrowed keys for {} contributors", added.len());
+
+    let results = bob
+        .download_all(&Query::all().with_channels(["ecg".into(), "respiration".into()]))
+        .expect("download");
+    let mut total_samples = 0usize;
+    for (name, view) in &results {
+        total_samples += view.raw_samples();
+        assert!(view.raw_samples() > 0, "{name} shared nothing");
+    }
+    println!(
+        "downloaded {} raw chest-band samples from {} contributors",
+        total_samples,
+        results.len()
+    );
+    println!("behavioral study OK");
+}

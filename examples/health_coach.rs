@@ -1,0 +1,84 @@
+//! The §6 health-coach scenario: abstraction ladders in action.
+//!
+//! Alice shares with two consumers at different fidelities:
+//! * her **researchers** group gets everything raw;
+//! * her **health coach** gets activity information only — and only as
+//!   transport-mode labels, not raw accelerometer data (Table 1b's
+//!   activity ladder).
+//!
+//! ```text
+//! cargo run --example health_coach
+//! ```
+
+use sensorsafe::sim::Scenario;
+use sensorsafe::store::Query;
+use sensorsafe::types::Timestamp;
+use sensorsafe::{json, Deployment};
+
+fn main() {
+    let mut deployment = Deployment::in_process();
+    deployment.add_store("store-1");
+
+    let alice = deployment
+        .register_contributor("store-1", "alice")
+        .expect("register alice");
+    let scenario = Scenario::alice_day(Timestamp::from_millis(1_311_500_000_000), 7, 1);
+    alice.upload_scenario(&scenario).expect("upload");
+
+    // Alice's two-tier rules.
+    alice
+        .set_rules(&json!([
+            // Researchers: everything raw.
+            {"Group": ["researchers"], "Action": "Allow"},
+            // Coach: only the accelerometer channel...
+            {"Consumer": ["coach"], "Sensor": ["accel_mag"], "Action": "Allow"},
+            // ...and only as transport-mode labels.
+            {"Consumer": ["coach"],
+             "Action": {"Abstraction": {"Activity": "TransportMode"}}},
+        ]))
+        .expect("rules");
+
+    // The researcher gets raw multichannel data.
+    let researcher = deployment
+        .register_consumer_with("rhea", &["researchers"], &[])
+        .expect("register researcher");
+    researcher.add_contributors(&["alice"]).expect("add");
+    let raw = researcher.download_all(&Query::all()).expect("download");
+    let raw_view = &raw[0].1;
+    println!(
+        "researcher: {} raw samples, {} labels",
+        raw_view.raw_samples(),
+        raw_view.label_count()
+    );
+    assert!(raw_view.raw_samples() > 0);
+
+    // The coach gets no raw waveforms — only activity labels.
+    let coach = deployment.register_consumer("coach").expect("register coach");
+    coach.add_contributors(&["alice"]).expect("add");
+    let coached = coach.download_all(&Query::all()).expect("download");
+    let coach_view = &coached[0].1;
+    println!(
+        "coach: {} raw samples, {} labels",
+        coach_view.raw_samples(),
+        coach_view.label_count()
+    );
+    // The activity abstraction suppresses raw accel (dependency closure),
+    // leaving label-only windows.
+    assert_eq!(coach_view.raw_samples(), 0);
+    assert!(coach_view.label_count() > 0);
+    let modes: Vec<&str> = coach_view
+        .windows
+        .iter()
+        .flat_map(|w| &w.labels)
+        .map(|l| l.label.as_str())
+        .collect();
+    println!("coach sees transport modes: {modes:?}");
+    assert!(modes.contains(&"Drive") || modes.contains(&"Walk") || modes.contains(&"Still"));
+
+    // A stranger gets nothing at all.
+    let stranger = deployment.register_consumer("eve").expect("register eve");
+    stranger.add_contributors(&["alice"]).expect("add");
+    let nothing = stranger.download_all(&Query::all()).expect("download");
+    assert!(nothing[0].1.is_empty());
+    println!("stranger sees nothing. health coach example OK");
+}

@@ -1,0 +1,55 @@
+//! Quickstart: the smallest end-to-end SensorSafe flow.
+//!
+//! One in-process broker + data store; Alice uploads a simulated day and
+//! writes one rule; Bob searches, registers, and downloads her data
+//! through that rule.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use sensorsafe::sim::Scenario;
+use sensorsafe::store::Query;
+use sensorsafe::types::Timestamp;
+use sensorsafe::{json, Deployment};
+
+fn main() {
+    // 1. Wire a deployment: a broker plus one remote data store.
+    let mut deployment = Deployment::in_process();
+    deployment.add_store("store-1");
+
+    // 2. Alice registers on her store (auto-registered at the broker),
+    //    uploads a simulated day of body-sensor data, and shares
+    //    everything with Bob.
+    let alice = deployment
+        .register_contributor("store-1", "alice")
+        .expect("register alice");
+    let scenario = Scenario::alice_day(Timestamp::from_millis(1_311_500_000_000), 42, 1);
+    alice.upload_scenario(&scenario).expect("upload");
+    alice
+        .set_rules(&json!([{ "Consumer": ["bob"], "Action": "Allow" }]))
+        .expect("set rules");
+    println!("alice uploaded {} seconds of sensor data", scenario.duration_secs());
+
+    // 3. Bob searches the broker for contributors sharing ECG data.
+    let bob = deployment.register_consumer("bob").expect("register bob");
+    let hits = bob
+        .search(&json!({"channels": ["ecg", "respiration"]}))
+        .expect("search");
+    println!("search hits: {hits:?}");
+
+    // 4. Bob adds Alice (the broker escrows his store key) and downloads
+    //    directly from her store.
+    bob.add_contributors(&["alice"]).expect("add");
+    let results = bob.download_all(&Query::all()).expect("download");
+    for (name, view) in &results {
+        println!(
+            "{name}: {} raw samples in {} windows, {} context labels",
+            view.raw_samples(),
+            view.windows.len(),
+            view.label_count(),
+        );
+    }
+    assert!(results[0].1.raw_samples() > 0);
+    println!("quickstart OK");
+}

@@ -1,0 +1,68 @@
+//! Privacy-rule-aware data collection (§5.3).
+//!
+//! Alice turns the option on; her phone downloads her rules and decides,
+//! episode by episode, whether to keep sensors off, collect temporarily
+//! and discard, or upload. The example compares the data volume against
+//! a plain always-upload phone.
+//!
+//! ```text
+//! cargo run --example rule_aware_collection
+//! ```
+
+use sensorsafe::sim::Scenario;
+use sensorsafe::types::Timestamp;
+use sensorsafe::{json, CollectionDecision, Deployment};
+
+fn main() {
+    let mut deployment = Deployment::in_process();
+    deployment.add_store("store-1");
+    let alice = deployment
+        .register_contributor("store-1", "alice")
+        .expect("register");
+
+    // Alice's §6 rules: share everything, but never while driving, and
+    // never accelerometer data at home.
+    alice
+        .set_rules(&json!([
+            {"Action": "Allow"},
+            {"Context": ["Drive"], "Action": "Deny"},
+        ]))
+        .expect("rules");
+
+    let scenario = Scenario::alice_day(Timestamp::from_millis(1_311_500_000_000), 5, 1);
+
+    // Plain phone: uploads everything.
+    let plain = alice.device();
+    let (plain_metrics, _) = plain.run_scenario(&scenario).expect("plain run");
+
+    // Rule-aware phone.
+    let aware = alice.device().with_rule_aware(true);
+    let (aware_metrics, decisions) = aware.run_scenario(&scenario).expect("aware run");
+
+    println!("episode decisions: {decisions:?}");
+    println!(
+        "plain phone:      collected {:7} samples, uploaded {:7} samples ({} bytes)",
+        plain_metrics.collected_samples,
+        plain_metrics.uploaded_samples,
+        plain_metrics.uploaded_bytes
+    );
+    println!(
+        "rule-aware phone: collected {:7} samples, uploaded {:7} samples ({} bytes), discarded {}",
+        aware_metrics.collected_samples,
+        aware_metrics.uploaded_samples,
+        aware_metrics.uploaded_bytes,
+        aware_metrics.discarded_samples,
+    );
+    let saved = 100.0
+        * (plain_metrics.uploaded_bytes - aware_metrics.uploaded_bytes) as f64
+        / plain_metrics.uploaded_bytes as f64;
+    println!("upload bytes saved: {saved:.1}%");
+
+    let discarded = decisions
+        .iter()
+        .filter(|d| **d == CollectionDecision::Discarded)
+        .count();
+    assert_eq!(discarded, 2, "the two commutes are discarded on-device");
+    assert!(aware_metrics.uploaded_samples < plain_metrics.uploaded_samples);
+    println!("rule-aware collection example OK");
+}

@@ -1,0 +1,4 @@
+//! SensorSafe — privacy-preserving management of personal sensory information.
+//!
+//! Umbrella crate re-exporting the full public API from [`sensorsafe_core`].
+pub use sensorsafe_core::*;

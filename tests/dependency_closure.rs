@@ -1,0 +1,193 @@
+//! A4 — the sensor/context dependency closure, including the paper's
+//! worked example and randomized graphs (property-based).
+
+use proptest::prelude::*;
+use sensorsafe::policy::{
+    evaluate, AbstractionSpec, Action, ActivityAbs, BinaryAbs, Conditions, ConsumerCtx,
+    DependencyGraph, PrivacyRule, WindowCtx,
+};
+use sensorsafe::types::{ChannelId, ContextKind, ContextState, GeoPoint, Timestamp};
+
+fn window() -> WindowCtx {
+    WindowCtx {
+        time: Timestamp::from_millis(0),
+        location: Some(GeoPoint::ucla()),
+        location_labels: vec![],
+        contexts: vec![
+            ContextState::on(ContextKind::Still),
+            ContextState::off(ContextKind::Stress),
+            ContextState::off(ContextKind::Conversation),
+            ContextState::off(ContextKind::Smoking),
+        ],
+    }
+}
+
+fn rules_with_spec(spec: AbstractionSpec) -> Vec<PrivacyRule> {
+    vec![
+        PrivacyRule::allow_all(),
+        PrivacyRule {
+            conditions: Conditions::default(),
+            action: Action::Abstraction(spec),
+        },
+    ]
+}
+
+#[test]
+fn paper_worked_example() {
+    // "if the smoking context is not shared, respiration sensor data
+    // will not be shared even though stress and conversation are shared
+    // in raw data form."
+    let rules = rules_with_spec(AbstractionSpec {
+        smoking: Some(BinaryAbs::NotShared),
+        stress: Some(BinaryAbs::Raw),
+        conversation: Some(BinaryAbs::Raw),
+        ..Default::default()
+    });
+    let channels = vec![
+        ChannelId::new("ecg"),
+        ChannelId::new("respiration"),
+        ChannelId::new("audio_energy"),
+    ];
+    let d = evaluate(
+        &rules,
+        &ConsumerCtx::user("bob"),
+        &window(),
+        &channels,
+        &DependencyGraph::paper(),
+    );
+    assert!(d.suppressed.contains(&ChannelId::new("respiration")));
+    assert!(!d.suppressed.contains(&ChannelId::new("ecg")));
+    assert!(!d.suppressed.contains(&ChannelId::new("audio_energy")));
+}
+
+#[test]
+fn closure_is_monotone_in_restrictiveness() {
+    // Making any ladder more restrictive can only grow the suppressed
+    // set.
+    let channels: Vec<ChannelId> = ["ecg", "respiration", "accel_mag", "audio_energy"]
+        .iter()
+        .map(|c| ChannelId::new(*c))
+        .collect();
+    let graph = DependencyGraph::paper();
+    let levels = [BinaryAbs::Raw, BinaryAbs::Label, BinaryAbs::NotShared];
+    let mut prev_len = 0;
+    for level in levels {
+        let d = evaluate(
+            &rules_with_spec(AbstractionSpec {
+                stress: Some(level),
+                ..Default::default()
+            }),
+            &ConsumerCtx::user("bob"),
+            &window(),
+            &channels,
+            &graph,
+        );
+        assert!(d.suppressed.len() >= prev_len, "level {level:?}");
+        prev_len = d.suppressed.len();
+    }
+}
+
+/// Random dependency graphs: contexts 0..n map to random channel
+/// subsets.
+fn arb_graph() -> impl Strategy<Value = (DependencyGraph, Vec<(ContextKind, Vec<String>)>)> {
+    let kinds = [
+        ContextKind::Stress,
+        ContextKind::Conversation,
+        ContextKind::Smoking,
+    ];
+    prop::collection::vec(
+        prop::collection::vec(0usize..5, 1..4),
+        kinds.len()..=kinds.len(),
+    )
+    .prop_map(move |channel_sets| {
+        let channel_names = ["c0", "c1", "c2", "c3", "c4"];
+        let mut graph = DependencyGraph::empty();
+        let mut spec = Vec::new();
+        for (kind, set) in kinds.iter().zip(channel_sets) {
+            let names: Vec<String> = set
+                .into_iter()
+                .map(|i| channel_names[i].to_string())
+                .collect();
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            graph.declare(*kind, &refs);
+            spec.push((*kind, names));
+        }
+        (graph, spec)
+    })
+}
+
+proptest! {
+    /// For any random graph and any per-context levels, a channel is
+    /// suppressed iff some context using it is non-raw.
+    #[test]
+    fn closure_matches_definition(
+        (graph, spec) in arb_graph(),
+        stress_lvl in 0u8..3,
+        conv_lvl in 0u8..3,
+        smoke_lvl in 0u8..3,
+    ) {
+        let to_level = |v: u8| match v {
+            0 => BinaryAbs::Raw,
+            1 => BinaryAbs::Label,
+            _ => BinaryAbs::NotShared,
+        };
+        let stress = to_level(stress_lvl);
+        let conversation = to_level(conv_lvl);
+        let smoking = to_level(smoke_lvl);
+        let blocked = graph.blocked_channels(ActivityAbs::Raw, stress, smoking, conversation);
+        // Reference model: union of sources of non-raw contexts.
+        let mut expected = std::collections::BTreeSet::new();
+        for (kind, channels) in &spec {
+            let level = match kind {
+                ContextKind::Stress => stress,
+                ContextKind::Conversation => conversation,
+                ContextKind::Smoking => smoking,
+                _ => unreachable!(),
+            };
+            if level != BinaryAbs::Raw {
+                for c in channels {
+                    expected.insert(ChannelId::new(c.clone()));
+                }
+            }
+        }
+        prop_assert_eq!(blocked, expected);
+    }
+
+    /// End-to-end: with a random graph, no raw channel that any non-raw
+    /// context depends on ever appears in the decision's raw set.
+    #[test]
+    fn no_inference_bypass(
+        (graph, spec) in arb_graph(),
+        withheld_idx in 0usize..3,
+    ) {
+        let kinds = [ContextKind::Stress, ContextKind::Conversation, ContextKind::Smoking];
+        let withheld = kinds[withheld_idx];
+        let mut abstraction = AbstractionSpec::default();
+        match withheld {
+            ContextKind::Stress => abstraction.stress = Some(BinaryAbs::Label),
+            ContextKind::Conversation => abstraction.conversation = Some(BinaryAbs::Label),
+            _ => abstraction.smoking = Some(BinaryAbs::Label),
+        }
+        let channels: Vec<ChannelId> =
+            (0..5).map(|i| ChannelId::new(format!("c{i}"))).collect();
+        let d = evaluate(
+            &rules_with_spec(abstraction),
+            &ConsumerCtx::user("bob"),
+            &window(),
+            &channels,
+            &graph,
+        );
+        let withheld_sources = spec
+            .iter()
+            .find(|(k, _)| *k == withheld)
+            .map(|(_, c)| c.clone())
+            .unwrap_or_default();
+        for source in withheld_sources {
+            let id = ChannelId::new(source);
+            prop_assert!(
+                !d.raw_channels().any(|c| *c == id),
+                "raw {id} would let the consumer re-infer {withheld}"
+            );
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! F4 — the paper's Fig. 4 privacy rule, verbatim, end to end.
+//!
+//! "Share all data collected at UCLA with Bob but do not share stress
+//! information while I am in conversation at UCLA on Weekdays from 9am
+//! to 6pm."
+
+use sensorsafe::policy::{
+    enforce, evaluate, Action, BinaryAbs, ConsumerCtx, DependencyGraph, PrivacyRule, WindowCtx,
+};
+use sensorsafe::types::{
+    ChannelId, ChannelSpec, ContextAnnotation, ContextKind, ContextState, GeoPoint, SegmentMeta,
+    TimeRange, Timestamp, Timing, WaveSegment, Weekday,
+};
+
+/// The figure's exact text (single quotes and all).
+const FIG4: &str = r#"[{ 'Consumer': ['Bob'],
+ 'LocationLabel': ['UCLA'],
+ 'Action': 'Allow'
+},
+{ 'Consumer': ['Bob'],
+ 'LocationLabel': ['UCLA'],
+ 'RepeatTime': { 'Day': ['Mon', 'Tue', 'Wed', 'Thu', 'Fri'],
+ 'HourMin': ['9:00am', '6:00pm']},
+ 'Context': ['Conversation'],
+ 'Action': { 'Abstraction': { 'Stress': 'NotShared' } }
+}]"#;
+
+fn monday_10am_2011() -> Timestamp {
+    // 2011-07-04 was a Monday.
+    let t = Timestamp::from_civil(2011, 7, 4).plus_millis(10 * 3600 * 1000);
+    assert_eq!(t.weekday(), Weekday::Mon);
+    t
+}
+
+fn chest_segment(start: Timestamp) -> WaveSegment {
+    let meta = SegmentMeta {
+        timing: Timing::Uniform {
+            start,
+            interval_secs: 0.02,
+        },
+        location: Some(GeoPoint::ucla()),
+        format: vec![ChannelSpec::f32("ecg"), ChannelSpec::f32("respiration")],
+    };
+    let rows: Vec<Vec<f64>> = (0..500).map(|i| vec![i as f64, 300.0]).collect();
+    WaveSegment::from_rows(meta, &rows).unwrap()
+}
+
+fn window(start: Timestamp, conversing: bool) -> WindowCtx {
+    WindowCtx {
+        time: start,
+        location: Some(GeoPoint::ucla()),
+        location_labels: vec!["UCLA".into()],
+        contexts: vec![
+            ContextState {
+                kind: ContextKind::Conversation,
+                active: conversing,
+            },
+            ContextState::on(ContextKind::Still),
+            ContextState::off(ContextKind::Stress),
+        ],
+    }
+}
+
+fn channels() -> Vec<ChannelId> {
+    vec![ChannelId::new("ecg"), ChannelId::new("respiration")]
+}
+
+#[test]
+fn parses_verbatim() {
+    let rules = PrivacyRule::parse_rules(FIG4).unwrap();
+    assert_eq!(rules.len(), 2);
+    assert_eq!(rules[0].action, Action::Allow);
+}
+
+#[test]
+fn bob_gets_raw_data_outside_conversation() {
+    let rules = PrivacyRule::parse_rules(FIG4).unwrap();
+    let graph = DependencyGraph::paper();
+    let d = evaluate(
+        &rules,
+        &ConsumerCtx::user("Bob"),
+        &window(monday_10am_2011(), false),
+        &channels(),
+        &graph,
+    );
+    assert_eq!(d.allowed.len(), 2);
+    assert_eq!(d.stress, BinaryAbs::Raw);
+    assert!(d.suppressed.is_empty());
+}
+
+#[test]
+fn stress_withheld_during_weekday_conversation() {
+    let rules = PrivacyRule::parse_rules(FIG4).unwrap();
+    let graph = DependencyGraph::paper();
+    let start = monday_10am_2011();
+    let d = evaluate(
+        &rules,
+        &ConsumerCtx::user("Bob"),
+        &window(start, true),
+        &channels(),
+        &graph,
+    );
+    assert_eq!(d.stress, BinaryAbs::NotShared);
+    // Dependency closure: stress sources (ecg, respiration) cannot be
+    // shared raw, or Bob could re-infer stress.
+    assert!(d.suppressed.contains(&ChannelId::new("ecg")));
+    assert!(d.suppressed.contains(&ChannelId::new("respiration")));
+    // Enforcement yields nothing (both channels suppressed, no label
+    // level granted).
+    let seg = chest_segment(start);
+    let ann = ContextAnnotation::new(
+        TimeRange::new(start, start.plus_millis(60_000)),
+        vec![
+            ContextState::on(ContextKind::Conversation),
+            ContextState::on(ContextKind::Stress),
+        ],
+    );
+    assert!(enforce(&d, &seg, &[ann]).is_none());
+}
+
+#[test]
+fn weekend_conversation_is_unrestricted() {
+    let rules = PrivacyRule::parse_rules(FIG4).unwrap();
+    let graph = DependencyGraph::paper();
+    // Saturday 2011-07-09, 10:00.
+    let saturday = Timestamp::from_civil(2011, 7, 9).plus_millis(10 * 3600 * 1000);
+    assert_eq!(saturday.weekday(), Weekday::Sat);
+    let d = evaluate(
+        &rules,
+        &ConsumerCtx::user("Bob"),
+        &window(saturday, true),
+        &channels(),
+        &graph,
+    );
+    // The repeat-time condition fails on Saturday: stress stays raw.
+    assert_eq!(d.stress, BinaryAbs::Raw);
+    assert!(d.suppressed.is_empty());
+}
+
+#[test]
+fn evening_conversation_is_unrestricted() {
+    let rules = PrivacyRule::parse_rules(FIG4).unwrap();
+    let graph = DependencyGraph::paper();
+    // Monday 19:00 — after the 6pm window end.
+    let evening = Timestamp::from_civil(2011, 7, 4).plus_millis(19 * 3600 * 1000);
+    let d = evaluate(
+        &rules,
+        &ConsumerCtx::user("Bob"),
+        &window(evening, true),
+        &channels(),
+        &graph,
+    );
+    assert_eq!(d.stress, BinaryAbs::Raw);
+}
+
+#[test]
+fn other_consumers_get_nothing() {
+    let rules = PrivacyRule::parse_rules(FIG4).unwrap();
+    let graph = DependencyGraph::paper();
+    let d = evaluate(
+        &rules,
+        &ConsumerCtx::user("Eve"),
+        &window(monday_10am_2011(), false),
+        &channels(),
+        &graph,
+    );
+    assert!(d.allowed.is_empty());
+    assert!(d.shares_nothing());
+}
+
+#[test]
+fn away_from_ucla_nothing_is_shared_with_bob() {
+    let rules = PrivacyRule::parse_rules(FIG4).unwrap();
+    let graph = DependencyGraph::paper();
+    let mut ctx = window(monday_10am_2011(), false);
+    ctx.location_labels = vec!["home".into()];
+    ctx.location = Some(GeoPoint::new(34.0430, -118.4806));
+    let d = evaluate(&rules, &ConsumerCtx::user("Bob"), &ctx, &channels(), &graph);
+    assert!(d.allowed.is_empty(), "Fig. 4 only shares UCLA data");
+}
+
+#[test]
+fn roundtrip_preserves_semantics() {
+    let rules = PrivacyRule::parse_rules(FIG4).unwrap();
+    let json = PrivacyRule::rules_to_json(&rules);
+    let back = PrivacyRule::parse_rules(&json.to_string()).unwrap();
+    assert_eq!(back, rules);
+    // Re-serialized rules evaluate identically.
+    let graph = DependencyGraph::paper();
+    let ctx = window(monday_10am_2011(), true);
+    let d1 = evaluate(&rules, &ConsumerCtx::user("Bob"), &ctx, &channels(), &graph);
+    let d2 = evaluate(&back, &ConsumerCtx::user("Bob"), &ctx, &channels(), &graph);
+    assert_eq!(d1, d2);
+}

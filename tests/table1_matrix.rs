@@ -1,0 +1,431 @@
+//! T1 — Table 1's full condition × action matrix.
+//!
+//! Every condition type (consumer user/group/study, location
+//! label/region, time range/repeat, sensor channel, each context) is
+//! crossed with every action type (allow, deny, each abstraction
+//! ladder). Each combination must gate sharing exactly as Table 1
+//! describes.
+
+use sensorsafe::policy::{
+    evaluate, AbstractionSpec, Action, ActivityAbs, BinaryAbs, Conditions, ConsumerCtx,
+    ConsumerSelector, DependencyGraph, LocationAbs, LocationCondition, PrivacyRule, TimeAbs,
+    TimeCondition, WindowCtx,
+};
+use sensorsafe::types::{
+    ChannelId, ContextKind, ContextState, GeoPoint, GroupId, RepeatTime, Region, StudyId,
+    TimeOfDay, TimeRange, Timestamp, Weekday,
+};
+
+fn graph() -> DependencyGraph {
+    DependencyGraph::paper()
+}
+
+fn channels() -> Vec<ChannelId> {
+    vec![
+        ChannelId::new("ecg"),
+        ChannelId::new("respiration"),
+        ChannelId::new("accel_mag"),
+        ChannelId::new("audio_energy"),
+        ChannelId::new("skin_temp"),
+    ]
+}
+
+/// A fully specified window (no unknowns → no conservative matching).
+fn base_window() -> WindowCtx {
+    WindowCtx {
+        time: Timestamp::from_civil(2011, 7, 4).plus_millis(10 * 3600 * 1000), // Mon 10:00
+        location: Some(GeoPoint::ucla()),
+        location_labels: vec!["UCLA".into()],
+        contexts: vec![
+            ContextState::on(ContextKind::Still),
+            ContextState::off(ContextKind::Stress),
+            ContextState::off(ContextKind::Conversation),
+            ContextState::off(ContextKind::Smoking),
+            ContextState::off(ContextKind::Moving),
+        ],
+    }
+}
+
+fn bob() -> ConsumerCtx {
+    ConsumerCtx {
+        id: Some("bob".into()),
+        groups: vec![GroupId::new("researchers")],
+        studies: vec![StudyId::new("stress-study")],
+    }
+}
+
+fn rule(conditions: Conditions, action: Action) -> PrivacyRule {
+    PrivacyRule { conditions, action }
+}
+
+/// (name, matching-conditions, non-matching-window-mutator).
+type ConditionCase = (&'static str, Conditions, Box<dyn Fn(&mut WindowCtx)>);
+
+/// All condition variants.
+fn condition_cases() -> Vec<ConditionCase> {
+    let mut cases: Vec<ConditionCase> = Vec::new();
+    cases.push((
+        "consumer-user",
+        Conditions {
+            consumers: vec![ConsumerSelector::User("bob".into())],
+            ..Default::default()
+        },
+        Box::new(|_w| {}), // consumer mismatch tested separately
+    ));
+    cases.push((
+        "consumer-group",
+        Conditions {
+            consumers: vec![ConsumerSelector::Group(GroupId::new("researchers"))],
+            ..Default::default()
+        },
+        Box::new(|_w| {}),
+    ));
+    cases.push((
+        "consumer-study",
+        Conditions {
+            consumers: vec![ConsumerSelector::Study(StudyId::new("stress-study"))],
+            ..Default::default()
+        },
+        Box::new(|_w| {}),
+    ));
+    cases.push((
+        "location-label",
+        Conditions {
+            location: Some(LocationCondition {
+                labels: vec!["UCLA".into()],
+                regions: vec![],
+            }),
+            ..Default::default()
+        },
+        Box::new(|w: &mut WindowCtx| {
+            w.location_labels = vec!["elsewhere".into()];
+        }),
+    ));
+    cases.push((
+        "location-region",
+        Conditions {
+            location: Some(LocationCondition {
+                labels: vec![],
+                regions: vec![Region::around(GeoPoint::ucla(), 0.01)],
+            }),
+            ..Default::default()
+        },
+        Box::new(|w: &mut WindowCtx| {
+            w.location = Some(GeoPoint::new(40.0, -100.0));
+            w.location_labels.clear();
+        }),
+    ));
+    cases.push((
+        "time-range",
+        Conditions {
+            time: Some(TimeCondition {
+                ranges: vec![TimeRange::new(
+                    Timestamp::from_civil(2011, 7, 1),
+                    Timestamp::from_civil(2011, 8, 1),
+                )],
+                repeats: vec![],
+            }),
+            ..Default::default()
+        },
+        Box::new(|w: &mut WindowCtx| {
+            w.time = Timestamp::from_civil(2012, 1, 1);
+        }),
+    ));
+    cases.push((
+        "time-repeat",
+        Conditions {
+            time: Some(TimeCondition {
+                ranges: vec![],
+                repeats: vec![RepeatTime::new(
+                    Weekday::WORKDAYS.to_vec(),
+                    TimeOfDay::new(9, 0),
+                    TimeOfDay::new(18, 0),
+                )],
+            }),
+            ..Default::default()
+        },
+        Box::new(|w: &mut WindowCtx| {
+            // Sunday.
+            w.time = Timestamp::from_civil(2011, 7, 3).plus_millis(10 * 3600 * 1000);
+        }),
+    ));
+    cases.push((
+        "sensor",
+        Conditions {
+            sensors: vec![ChannelId::new("ecg")],
+            ..Default::default()
+        },
+        Box::new(|_w| {}), // scoping tested by per-channel assertions
+    ));
+    for kind in ContextKind::ALL {
+        cases.push((
+            // Leak a 'static str via Box; fine for tests.
+            Box::leak(format!("context-{kind}").into_boxed_str()),
+            Conditions {
+                contexts: vec![kind],
+                ..Default::default()
+            },
+            Box::new(move |w: &mut WindowCtx| {
+                // Make the context known-inactive.
+                w.contexts = vec![
+                    ContextState::off(kind),
+                    // Keep a mode annotated so exclusivity info exists.
+                    if kind == ContextKind::Still {
+                        ContextState::on(ContextKind::Walk)
+                    } else {
+                        ContextState::on(ContextKind::Still)
+                    },
+                ];
+            }),
+        ));
+    }
+    cases
+}
+
+/// Windows matching context conditions need the context active.
+fn activate_contexts(cond: &Conditions, window: &mut WindowCtx) {
+    for kind in &cond.contexts {
+        window.contexts.retain(|s| s.kind != *kind);
+        window.contexts.push(ContextState::on(*kind));
+        // Mode exclusivity: if we activated a transport mode, drop the
+        // conflicting Still annotation.
+        if kind.is_transport_mode() {
+            window
+                .contexts
+                .retain(|s| !(s.kind.is_transport_mode() && s.kind != *kind && s.active));
+        }
+    }
+}
+
+#[test]
+fn deny_action_blocks_for_every_condition_kind() {
+    for (name, cond, unmatch) in condition_cases() {
+        let rules = [
+            PrivacyRule::allow_all(),
+            rule(cond.clone(), Action::Deny),
+        ];
+        let mut matching = base_window();
+        activate_contexts(&cond, &mut matching);
+        let d = evaluate(&rules, &bob(), &matching, &channels(), &graph());
+        if cond.sensors.is_empty() {
+            assert!(d.allowed.is_empty(), "case {name}: deny should block all");
+        } else {
+            for s in &cond.sensors {
+                assert!(d.denied.contains(s), "case {name}: {s} should be denied");
+            }
+            assert!(
+                d.allowed.len() == channels().len() - cond.sensors.len(),
+                "case {name}: other channels unaffected"
+            );
+        }
+        // A non-matching window leaves the allow in force. Consumer and
+        // sensor cases have no window mutator (their mismatch dimension
+        // is the consumer identity / channel set, asserted above).
+        if !name.starts_with("consumer") && name != "sensor" {
+            let mut non_matching = base_window();
+            unmatch(&mut non_matching);
+            let d = evaluate(&rules, &bob(), &non_matching, &channels(), &graph());
+            assert_eq!(
+                d.allowed.len(),
+                channels().len(),
+                "case {name}: deny should not fire on a non-matching window"
+            );
+        }
+    }
+}
+
+#[test]
+fn allow_action_grants_for_every_condition_kind() {
+    for (name, cond, _) in condition_cases() {
+        let rules = [rule(cond.clone(), Action::Allow)];
+        let mut matching = base_window();
+        activate_contexts(&cond, &mut matching);
+        let d = evaluate(&rules, &bob(), &matching, &channels(), &graph());
+        let expected = if cond.sensors.is_empty() {
+            channels().len()
+        } else {
+            cond.sensors.len()
+        };
+        assert_eq!(d.allowed.len(), expected, "case {name}");
+        // The wrong consumer never gets anything from consumer-scoped
+        // rules.
+        if !cond.consumers.is_empty() {
+            let eve = ConsumerCtx::user("eve");
+            let d = evaluate(&rules, &eve, &matching, &channels(), &graph());
+            assert!(d.allowed.is_empty(), "case {name}: leaked to eve");
+        }
+    }
+}
+
+#[test]
+fn every_abstraction_ladder_level_applies() {
+    // For each ladder, walk every level and confirm the decision carries
+    // it (combined with allow-all).
+    let location_levels = [
+        LocationAbs::Coordinates,
+        LocationAbs::StreetAddress,
+        LocationAbs::Zipcode,
+        LocationAbs::City,
+        LocationAbs::State,
+        LocationAbs::Country,
+        LocationAbs::NotShared,
+    ];
+    for level in location_levels {
+        let rules = [
+            PrivacyRule::allow_all(),
+            rule(
+                Conditions::default(),
+                Action::Abstraction(AbstractionSpec {
+                    location: Some(level),
+                    ..Default::default()
+                }),
+            ),
+        ];
+        let d = evaluate(&rules, &bob(), &base_window(), &channels(), &graph());
+        assert_eq!(d.location, level);
+    }
+    let time_levels = [
+        TimeAbs::Milliseconds,
+        TimeAbs::Hour,
+        TimeAbs::Day,
+        TimeAbs::Month,
+        TimeAbs::Year,
+        TimeAbs::NotShared,
+    ];
+    for level in time_levels {
+        let rules = [
+            PrivacyRule::allow_all(),
+            rule(
+                Conditions::default(),
+                Action::Abstraction(AbstractionSpec {
+                    time: Some(level),
+                    ..Default::default()
+                }),
+            ),
+        ];
+        let d = evaluate(&rules, &bob(), &base_window(), &channels(), &graph());
+        assert_eq!(d.time, level);
+    }
+    for level in [
+        ActivityAbs::Raw,
+        ActivityAbs::TransportMode,
+        ActivityAbs::MoveNotMove,
+        ActivityAbs::NotShared,
+    ] {
+        let rules = [
+            PrivacyRule::allow_all(),
+            rule(
+                Conditions::default(),
+                Action::Abstraction(AbstractionSpec {
+                    activity: Some(level),
+                    ..Default::default()
+                }),
+            ),
+        ];
+        let d = evaluate(&rules, &bob(), &base_window(), &channels(), &graph());
+        assert_eq!(d.activity, level);
+        // Non-raw activity suppresses the movement channel.
+        assert_eq!(
+            d.suppressed.contains(&ChannelId::new("accel_mag")),
+            level != ActivityAbs::Raw,
+            "level {level:?}"
+        );
+    }
+    for level in [BinaryAbs::Raw, BinaryAbs::Label, BinaryAbs::NotShared] {
+        for target in ["stress", "smoking", "conversation"] {
+            let spec = match target {
+                "stress" => AbstractionSpec {
+                    stress: Some(level),
+                    ..Default::default()
+                },
+                "smoking" => AbstractionSpec {
+                    smoking: Some(level),
+                    ..Default::default()
+                },
+                _ => AbstractionSpec {
+                    conversation: Some(level),
+                    ..Default::default()
+                },
+            };
+            let rules = [
+                PrivacyRule::allow_all(),
+                rule(Conditions::default(), Action::Abstraction(spec)),
+            ];
+            let d = evaluate(&rules, &bob(), &base_window(), &channels(), &graph());
+            let got = match target {
+                "stress" => d.stress,
+                "smoking" => d.smoking,
+                _ => d.conversation,
+            };
+            assert_eq!(got, level, "{target}");
+            // Table 1's dependency rule: respiration is a source of all
+            // three, so any non-raw level suppresses it.
+            assert_eq!(
+                d.suppressed.contains(&ChannelId::new("respiration")),
+                level != BinaryAbs::Raw,
+                "{target} at {level:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn conditions_compose_conjunctively() {
+    // A rule with consumer + location + time + context conditions only
+    // fires when ALL hold.
+    let cond = Conditions {
+        consumers: vec![ConsumerSelector::User("bob".into())],
+        location: Some(LocationCondition {
+            labels: vec!["UCLA".into()],
+            regions: vec![],
+        }),
+        time: Some(TimeCondition {
+            ranges: vec![],
+            repeats: vec![RepeatTime::weekdays_nine_to_six()],
+        }),
+        sensors: vec![],
+        contexts: vec![ContextKind::Conversation],
+    };
+    let rules = [
+        PrivacyRule::allow_all(),
+        rule(cond.clone(), Action::Deny),
+    ];
+    // All conditions hold → denied.
+    let mut all_hold = base_window();
+    activate_contexts(&cond, &mut all_hold);
+    let d = evaluate(&rules, &bob(), &all_hold, &channels(), &graph());
+    assert!(d.allowed.is_empty());
+    // Break each condition one at a time → allowed again.
+    {
+        let d = evaluate(
+            &rules,
+            &ConsumerCtx::user("eve"),
+            &all_hold,
+            &channels(),
+            &graph(),
+        );
+        assert_eq!(d.allowed.len(), channels().len(), "consumer broken");
+    }
+    {
+        let mut w = all_hold.clone();
+        w.location_labels = vec!["home".into()];
+        w.location = Some(GeoPoint::new(0.0, 0.0));
+        let d = evaluate(&rules, &bob(), &w, &channels(), &graph());
+        assert_eq!(d.allowed.len(), channels().len(), "location broken");
+    }
+    {
+        let mut w = all_hold.clone();
+        w.time = Timestamp::from_civil(2011, 7, 3).plus_millis(10 * 3600 * 1000); // Sunday
+        let d = evaluate(&rules, &bob(), &w, &channels(), &graph());
+        assert_eq!(d.allowed.len(), channels().len(), "time broken");
+    }
+    {
+        let mut w = all_hold.clone();
+        w.contexts = vec![
+            ContextState::off(ContextKind::Conversation),
+            ContextState::on(ContextKind::Still),
+        ];
+        let d = evaluate(&rules, &bob(), &w, &channels(), &graph());
+        assert_eq!(d.allowed.len(), channels().len(), "context broken");
+    }
+}
