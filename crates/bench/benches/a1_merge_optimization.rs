@@ -33,9 +33,21 @@ fn point_query() -> Query {
 fn policies() -> Vec<(&'static str, MergePolicy)> {
     vec![
         ("disabled_64_per_segment", MergePolicy::disabled()),
-        ("cap_512", MergePolicy { enabled: true, max_rows: 512 }),
+        (
+            "cap_512",
+            MergePolicy {
+                enabled: true,
+                max_rows: 512,
+            },
+        ),
         ("cap_8192_default", MergePolicy::default()),
-        ("cap_unbounded", MergePolicy { enabled: true, max_rows: usize::MAX }),
+        (
+            "cap_unbounded",
+            MergePolicy {
+                enabled: true,
+                max_rows: usize::MAX,
+            },
+        ),
     ]
 }
 
@@ -68,16 +80,16 @@ fn bench_ingest_cost_of_merging(c: &mut Criterion) {
     let mut group = c.benchmark_group("a1_ingest_512_packets");
     group.sample_size(20);
     for (name, policy) in policies() {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(name),
-            &policy,
-            |b, policy| {
-                b.iter(|| black_box(segment_store_with(&packets, *policy).stats().segments))
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, policy| {
+            b.iter(|| black_box(segment_store_with(&packets, *policy).stats().segments))
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_query_vs_merge_policy, bench_ingest_cost_of_merging);
+criterion_group!(
+    benches,
+    bench_query_vs_merge_policy,
+    bench_ingest_cost_of_merging
+);
 criterion_main!(benches);

@@ -47,10 +47,7 @@ impl Service for RelayBroker {
         // a data-relaying broker would do.
         match self.store.round_trip(request) {
             Ok(resp) => resp,
-            Err(_) => Response::error(
-                sensorsafe_core::net::Status::InternalError,
-                "relay failed",
-            ),
+            Err(_) => Response::error(sensorsafe_core::net::Status::InternalError, "relay failed"),
         }
     }
 }
@@ -111,5 +108,9 @@ fn bench_broker_metadata_path_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_direct_vs_relayed, bench_broker_metadata_path_scaling);
+criterion_group!(
+    benches,
+    bench_direct_vs_relayed,
+    bench_broker_metadata_path_scaling
+);
 criterion_main!(benches);

@@ -62,10 +62,7 @@ fn bench_request_with_and_without_auth(c: &mut Criterion) {
         b.iter(|| black_box(svc.handle(black_box(&rules_get)).status))
     });
     // Rejected request (bad key): the auth layer's failure path.
-    let bad = Request::post_json(
-        "/api/rules/get",
-        &json!({"key": ("0".repeat(64))}),
-    );
+    let bad = Request::post_json("/api/rules/get", &json!({"key": ("0".repeat(64))}));
     group.bench_function("rules_get_rejected", |b| {
         b.iter(|| black_box(svc.handle(black_box(&bad)).status))
     });

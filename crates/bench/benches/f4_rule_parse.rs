@@ -26,7 +26,13 @@ fn bench_fig4(c: &mut Criterion) {
     });
     let rules = PrivacyRule::parse_rules(FIG4).unwrap();
     group.bench_function("serialize", |b| {
-        b.iter(|| black_box(PrivacyRule::rules_to_json(black_box(&rules)).to_string().len()))
+        b.iter(|| {
+            black_box(
+                PrivacyRule::rules_to_json(black_box(&rules))
+                    .to_string()
+                    .len(),
+            )
+        })
     });
     group.finish();
 }
@@ -34,10 +40,7 @@ fn bench_fig4(c: &mut Criterion) {
 fn bench_rule_set_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("f4_parse_vs_rule_count");
     for n in [2usize, 16, 128] {
-        let rules: Vec<PrivacyRule> = (0..n)
-            .flat_map(|i| synthetic_rules(i, 2))
-            .take(n)
-            .collect();
+        let rules: Vec<PrivacyRule> = (0..n).flat_map(|i| synthetic_rules(i, 2)).take(n).collect();
         let text = PrivacyRule::rules_to_json(&rules).to_string();
         group.throughput(Throughput::Bytes(text.len() as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &text, |b, text| {

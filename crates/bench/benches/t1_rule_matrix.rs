@@ -11,7 +11,7 @@ use sensorsafe_core::policy::{
     LocationCondition, PrivacyRule, TimeCondition, WindowCtx,
 };
 use sensorsafe_core::types::{
-    ChannelId, ContextKind, ContextState, GeoPoint, RepeatTime, Region, Timestamp,
+    ChannelId, ContextKind, ContextState, GeoPoint, Region, RepeatTime, Timestamp,
 };
 use std::hint::black_box;
 
@@ -29,65 +29,90 @@ fn window() -> WindowCtx {
 }
 
 fn channels() -> Vec<ChannelId> {
-    ["ecg", "respiration", "accel_mag", "audio_energy", "gps_lat", "gps_lon"]
-        .iter()
-        .map(|c| ChannelId::new(*c))
-        .collect()
+    [
+        "ecg",
+        "respiration",
+        "accel_mag",
+        "audio_energy",
+        "gps_lat",
+        "gps_lon",
+    ]
+    .iter()
+    .map(|c| ChannelId::new(*c))
+    .collect()
 }
 
 fn per_condition_rules() -> Vec<(&'static str, PrivacyRule)> {
     vec![
-        ("consumer", PrivacyRule {
-            conditions: Conditions {
-                consumers: vec![ConsumerSelector::User("bob".into())],
-                ..Default::default()
+        (
+            "consumer",
+            PrivacyRule {
+                conditions: Conditions {
+                    consumers: vec![ConsumerSelector::User("bob".into())],
+                    ..Default::default()
+                },
+                action: Action::Allow,
             },
-            action: Action::Allow,
-        }),
-        ("location-label", PrivacyRule {
-            conditions: Conditions {
-                location: Some(LocationCondition {
-                    labels: vec!["UCLA".into()],
-                    regions: vec![],
-                }),
-                ..Default::default()
+        ),
+        (
+            "location-label",
+            PrivacyRule {
+                conditions: Conditions {
+                    location: Some(LocationCondition {
+                        labels: vec!["UCLA".into()],
+                        regions: vec![],
+                    }),
+                    ..Default::default()
+                },
+                action: Action::Allow,
             },
-            action: Action::Allow,
-        }),
-        ("location-region", PrivacyRule {
-            conditions: Conditions {
-                location: Some(LocationCondition {
-                    labels: vec![],
-                    regions: vec![Region::around(GeoPoint::ucla(), 0.01)],
-                }),
-                ..Default::default()
+        ),
+        (
+            "location-region",
+            PrivacyRule {
+                conditions: Conditions {
+                    location: Some(LocationCondition {
+                        labels: vec![],
+                        regions: vec![Region::around(GeoPoint::ucla(), 0.01)],
+                    }),
+                    ..Default::default()
+                },
+                action: Action::Allow,
             },
-            action: Action::Allow,
-        }),
-        ("time-repeat", PrivacyRule {
-            conditions: Conditions {
-                time: Some(TimeCondition {
-                    ranges: vec![],
-                    repeats: vec![RepeatTime::weekdays_nine_to_six()],
-                }),
-                ..Default::default()
+        ),
+        (
+            "time-repeat",
+            PrivacyRule {
+                conditions: Conditions {
+                    time: Some(TimeCondition {
+                        ranges: vec![],
+                        repeats: vec![RepeatTime::weekdays_nine_to_six()],
+                    }),
+                    ..Default::default()
+                },
+                action: Action::Allow,
             },
-            action: Action::Allow,
-        }),
-        ("sensor", PrivacyRule {
-            conditions: Conditions {
-                sensors: vec!["ecg".into()],
-                ..Default::default()
+        ),
+        (
+            "sensor",
+            PrivacyRule {
+                conditions: Conditions {
+                    sensors: vec!["ecg".into()],
+                    ..Default::default()
+                },
+                action: Action::Allow,
             },
-            action: Action::Allow,
-        }),
-        ("context", PrivacyRule {
-            conditions: Conditions {
-                contexts: vec![ContextKind::Drive],
-                ..Default::default()
+        ),
+        (
+            "context",
+            PrivacyRule {
+                conditions: Conditions {
+                    contexts: vec![ContextKind::Drive],
+                    ..Default::default()
+                },
+                action: Action::Deny,
             },
-            action: Action::Deny,
-        }),
+        ),
     ]
 }
 
@@ -100,15 +125,7 @@ fn bench_condition_types(c: &mut Criterion) {
     for (name, rule) in per_condition_rules() {
         let rules = vec![rule];
         group.bench_function(name, |b| {
-            b.iter(|| {
-                black_box(evaluate(
-                    black_box(&rules),
-                    &bob,
-                    &w,
-                    &chans,
-                    &graph,
-                ))
-            })
+            b.iter(|| black_box(evaluate(black_box(&rules), &bob, &w, &chans, &graph)))
         });
     }
     group.finish();

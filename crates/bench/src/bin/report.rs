@@ -23,10 +23,7 @@ fn f5_storage_table() {
     println!("workload: 1 hour of 50 Hz ECG+respiration (180,000 samples)");
     let packets = chest_packets(2812);
     let tuples = tuple_store_with(&packets);
-    println!(
-        "{:<36} {:>12} {:>10}",
-        "representation", "bytes", "records"
-    );
+    println!("{:<36} {:>12} {:>10}", "representation", "bytes", "records");
     println!(
         "{:<36} {:>12} {:>10}",
         "per-sample tuples (baseline)",
@@ -62,9 +59,21 @@ fn a1_merge_table() {
     println!("{:<28} {:>10} {:>8}", "merge policy", "segments", "merges");
     for (name, policy) in [
         ("disabled", MergePolicy::disabled()),
-        ("cap 512", MergePolicy { enabled: true, max_rows: 512 }),
+        (
+            "cap 512",
+            MergePolicy {
+                enabled: true,
+                max_rows: 512,
+            },
+        ),
         ("cap 8192 (default)", MergePolicy::default()),
-        ("unbounded", MergePolicy { enabled: true, max_rows: usize::MAX }),
+        (
+            "unbounded",
+            MergePolicy {
+                enabled: true,
+                max_rows: usize::MAX,
+            },
+        ),
     ] {
         let store = segment_store_with(&packets, policy);
         let stats = store.stats();
@@ -113,19 +122,31 @@ fn a3_savings_table() {
     println!("== A3: privacy-rule-aware collection savings ==");
     let scenario = alice_scenario(9);
     let runs: Vec<(&str, bool, sensorsafe_core::Value)> = vec![
-        ("plain (upload everything)", false, json!([
-            {"Action": "Allow"},
-            {"Context": ["Drive"], "Action": "Deny"},
-        ])),
-        ("rule-aware, deny-while-driving", true, json!([
-            {"Action": "Allow"},
-            {"Context": ["Drive"], "Action": "Deny"},
-        ])),
-        ("rule-aware, deny drive+conversation", true, json!([
-            {"Action": "Allow"},
-            {"Context": ["Drive"], "Action": "Deny"},
-            {"Context": ["Conversation"], "Action": "Deny"},
-        ])),
+        (
+            "plain (upload everything)",
+            false,
+            json!([
+                {"Action": "Allow"},
+                {"Context": ["Drive"], "Action": "Deny"},
+            ]),
+        ),
+        (
+            "rule-aware, deny-while-driving",
+            true,
+            json!([
+                {"Action": "Allow"},
+                {"Context": ["Drive"], "Action": "Deny"},
+            ]),
+        ),
+        (
+            "rule-aware, deny drive+conversation",
+            true,
+            json!([
+                {"Action": "Allow"},
+                {"Context": ["Drive"], "Action": "Deny"},
+                {"Context": ["Conversation"], "Action": "Deny"},
+            ]),
+        ),
         ("rule-aware, nothing shared", true, json!([])),
     ];
     println!(
@@ -137,8 +158,7 @@ fn a3_savings_table() {
         let store = deployment.add_store("s1");
         let alice = deployment.register_contributor("s1", "alice").unwrap();
         alice.set_rules(&rules).unwrap();
-        let transport: Arc<dyn Transport> =
-            Arc::new(LocalTransport::new(Arc::new(store)));
+        let transport: Arc<dyn Transport> = Arc::new(LocalTransport::new(Arc::new(store)));
         let device =
             ContributorDevice::new(transport, alice.api_key.clone()).with_rule_aware(aware);
         let (m, _) = device.run_scenario(&scenario).unwrap();
@@ -179,9 +199,52 @@ fn f1_byte_accounting() {
     // A raw f32 sample is 4 bytes before JSON framing; JSON inflates ~5x.
     println!("broker-served access metadata: ~{access_bytes} bytes");
     println!("store-served sensor payload:   {data_samples} samples");
-    println!(
-        "--> data path bypasses the broker; broker bytes stay O(contributors), not O(data)\n"
-    );
+    println!("--> data path bypasses the broker; broker bytes stay O(contributors), not O(data)\n");
+}
+
+fn obsv_overhead_table() {
+    println!("== OBSV: metrics overhead on the query hot path ==");
+    let mut deployment = Deployment::in_process();
+    let store = deployment.add_store("s1");
+    let alice = deployment.register_contributor("s1", "alice").unwrap();
+    alice.upload_scenario(&alice_scenario(3)).unwrap();
+    alice.set_rules(&json!([{"Action": "Allow"}])).unwrap();
+    let bob = deployment.register_consumer("bob").unwrap();
+    bob.add_contributors(&["alice"]).unwrap();
+
+    let iterations = 150;
+    let timed = |label: &str, enabled: bool| -> f64 {
+        sensorsafe_core::obsv::global().set_enabled(enabled);
+        store.registry().set_enabled(enabled);
+        // Warm up caches and lazily-registered series before timing.
+        for _ in 0..10 {
+            let _ = bob.download_all(&Query::all()).unwrap();
+        }
+        let started = std::time::Instant::now();
+        for _ in 0..iterations {
+            let results = bob.download_all(&Query::all()).unwrap();
+            assert!(results[0].1.raw_samples() > 0);
+        }
+        let mean_ms = started.elapsed().as_secs_f64() * 1e3 / iterations as f64;
+        println!("{label:<38} {mean_ms:>9.3} ms/query");
+        mean_ms
+    };
+    let disabled = timed("registry disabled (kill switch)", false);
+    let enabled = timed("registry enabled", true);
+    let overhead = (enabled - disabled) / disabled * 100.0;
+    println!("--> metrics overhead: {overhead:+.2}% (budget: <5%)\n");
+}
+
+fn obsv_metrics_snapshot(store: &sensorsafe_core::datastore::DataStoreService) {
+    println!("== OBSV: metrics snapshot after the runs above ==");
+    // Per-instance (datastore) families first, then the process-wide
+    // registry — the same concatenation `GET /metrics` serves.
+    let mut exposition = store.registry().encode();
+    exposition.push_str(&sensorsafe_core::obsv::global().encode());
+    for line in exposition.lines().filter(|l| !l.starts_with('#')) {
+        println!("{line}");
+    }
+    println!();
 }
 
 fn main() {
@@ -190,4 +253,16 @@ fn main() {
     a2_search_table();
     a3_savings_table();
     f1_byte_accounting();
+    obsv_overhead_table();
+
+    // Re-run one instrumented flow so the snapshot shows every family.
+    let mut deployment = Deployment::in_process();
+    let store = deployment.add_store("s1");
+    let alice = deployment.register_contributor("s1", "alice").unwrap();
+    alice.upload_scenario(&alice_scenario(5)).unwrap();
+    alice.set_rules(&json!([{"Action": "Allow"}])).unwrap();
+    let bob = deployment.register_consumer("bob").unwrap();
+    bob.add_contributors(&["alice"]).unwrap();
+    let _ = bob.download_all(&Query::all()).unwrap();
+    obsv_metrics_snapshot(&store);
 }

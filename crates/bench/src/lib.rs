@@ -11,7 +11,7 @@ use sensorsafe_core::policy::{
 use sensorsafe_core::sim::Scenario;
 use sensorsafe_core::store::{MergePolicy, SegmentStore, TupleStore};
 use sensorsafe_core::types::{
-    ChannelSpec, ContextKind, GeoPoint, RepeatTime, Region, SegmentMeta, Timestamp, Timing,
+    ChannelSpec, ContextKind, GeoPoint, Region, RepeatTime, SegmentMeta, Timestamp, Timing,
     WaveSegment,
 };
 

@@ -16,6 +16,7 @@ use parking_lot::{Mutex, RwLock};
 use sensorsafe_auth::{ApiKey, KeyRing, PasswordStore, Principal, Role, SessionManager};
 use sensorsafe_json::{json, Value};
 use sensorsafe_net::{Request, Response, Router, Service, Status, TcpTransport, Transport};
+use sensorsafe_obsv::{Registry, TraceRecorder};
 use sensorsafe_policy::{ConsumerCtx, PrivacyRule, RuleIndex, SearchQuery};
 use sensorsafe_types::{
     ChannelId, ConsumerId, ContextKind, ContributorId, GroupId, RepeatTime, StoreAddr, StudyId,
@@ -56,6 +57,9 @@ pub(crate) struct Inner {
     pub(crate) keys: KeyRing,
     pub(crate) passwords: PasswordStore,
     pub(crate) sessions: SessionManager,
+    pub(crate) metrics: Registry,
+    pub(crate) traces: Arc<TraceRecorder>,
+    pub(crate) started: std::time::Instant,
 }
 
 /// The broker service. Cheap to clone (shared state).
@@ -217,11 +221,60 @@ impl Inner {
                 .write()
                 .upsert_contributor(ContributorId::new(contributor), StoreAddr::new(addr));
         }
-        let accepted = self
+        let id = ContributorId::new(contributor);
+        let accepted = {
+            let mut index = self.rules.lock();
+            let accepted = index.sync(id.clone(), epoch, rules);
+            let mirrored = index.rules_of(&id).map(|(e, _)| e).unwrap_or(0);
+            self.metrics
+                .counter(
+                    "sensorsafe_broker_rule_syncs_total",
+                    "Rule-sync messages from data stores, by outcome.",
+                    &[("result", if accepted { "accepted" } else { "stale" })],
+                )
+                .inc();
+            self.metrics
+                .gauge(
+                    "sensorsafe_broker_rule_epoch",
+                    "Mirrored rule epoch per contributor.",
+                    &[("contributor", contributor)],
+                )
+                .set(mirrored as i64);
+            // 0 when the mirror just caught up; positive when a stale
+            // message arrived (how many epochs behind it was).
+            self.metrics
+                .gauge(
+                    "sensorsafe_broker_rule_sync_lag",
+                    "Mirrored epoch minus the epoch of the last sync message per contributor.",
+                    &[("contributor", contributor)],
+                )
+                .set(mirrored as i64 - epoch as i64);
+            accepted
+        };
+        Response::json(&json!({ "accepted": accepted }))
+    }
+
+    fn handle_healthz(&self) -> Response {
+        let rule_sync_epoch = self
             .rules
             .lock()
-            .sync(ContributorId::new(contributor), epoch, rules);
-        Response::json(&json!({ "accepted": accepted }))
+            .epochs()
+            .map(|(_, e)| e)
+            .max()
+            .unwrap_or(0);
+        Response::json(&json!({
+            "status": "ok",
+            "version": (env!("CARGO_PKG_VERSION")),
+            "uptime_secs": (self.started.elapsed().as_secs()),
+            "rule_sync_epoch": rule_sync_epoch,
+        }))
+    }
+
+    /// Instance metrics plus the process-wide registry, one scrape body.
+    fn handle_metrics(&self) -> Response {
+        let mut body = self.metrics.encode();
+        body.push_str(&sensorsafe_obsv::global().encode());
+        Response::text(body)
     }
 
     fn parse_search_query(body: &Value, consumer: ConsumerCtx) -> Result<SearchQuery, String> {
@@ -477,6 +530,9 @@ impl BrokerService {
             keys: KeyRing::new(),
             passwords: PasswordStore::new(),
             sessions: SessionManager::new(),
+            metrics: Registry::new(),
+            traces: TraceRecorder::new(256),
+            started: std::time::Instant::now(),
         });
         let admin_key = inner.keys.register(Principal {
             name: "admin".to_string(),
@@ -487,15 +543,24 @@ impl BrokerService {
             let inner = inner.clone();
             router.get("/health", move |_, _| inner.handle_health());
         }
+        {
+            let inner = inner.clone();
+            router.get("/healthz", move |_, _| inner.handle_healthz());
+        }
+        {
+            let inner = inner.clone();
+            router.get("/metrics", move |_, _| inner.handle_metrics());
+        }
         macro_rules! post_json_route {
             ($path:literal, $method:ident) => {{
                 let inner = inner.clone();
-                router.post($path, move |req: &Request, _: &sensorsafe_net::Params| {
-                    match req.json() {
+                router.post(
+                    $path,
+                    move |req: &Request, _: &sensorsafe_net::Params| match req.json() {
                         Ok(body) => inner.$method(&body),
                         Err(e) => bad_request(&format!("invalid JSON body: {e}")),
-                    }
-                });
+                    },
+                );
             }};
         }
         post_json_route!("/api/register", handle_register);
@@ -524,11 +589,52 @@ impl BrokerService {
     pub fn contributor_count(&self) -> usize {
         self.inner.registry.read().contributor_count()
     }
+
+    /// This instance's metrics registry (scraped via `GET /metrics`).
+    pub fn registry(&self) -> &Registry {
+        &self.inner.metrics
+    }
+
+    /// Recent request traces, oldest first.
+    pub fn recent_traces(&self) -> Vec<sensorsafe_obsv::Trace> {
+        self.inner.traces.recent_traces()
+    }
 }
 
 impl Service for BrokerService {
     fn handle(&self, request: &Request) -> Response {
-        self.router.handle(request)
+        let endpoint = self
+            .router
+            .match_pattern(request.method, &request.path)
+            .unwrap_or("unmatched")
+            .to_string();
+        let _span = self
+            .inner
+            .traces
+            .begin(format!("{} {endpoint}", request.method.as_str()));
+        let started = std::time::Instant::now();
+        let response = self.router.handle(request);
+        self.inner
+            .metrics
+            .histogram(
+                "sensorsafe_broker_request_seconds",
+                "Broker request latency by endpoint.",
+                &[("endpoint", &endpoint)],
+                None,
+            )
+            .observe(started.elapsed());
+        self.inner
+            .metrics
+            .counter(
+                "sensorsafe_broker_requests_total",
+                "Broker requests by endpoint and status code.",
+                &[
+                    ("endpoint", &endpoint),
+                    ("code", &response.status.code().to_string()),
+                ],
+            )
+            .inc();
+        response
     }
 }
 
@@ -551,8 +657,7 @@ mod tests {
         let (store, store_admin) = DataStoreService::new(DataStoreConfig::default());
         let store_for_factory = store.clone();
         let transports: TransportFactory = Arc::new(move |_addr: &str| {
-            Arc::new(LocalTransport::new(Arc::new(store_for_factory.clone())))
-                as Arc<dyn Transport>
+            Arc::new(LocalTransport::new(Arc::new(store_for_factory.clone()))) as Arc<dyn Transport>
         });
         let (broker, broker_admin) = BrokerService::new(BrokerConfig {
             name: "test-broker".into(),
@@ -691,10 +796,7 @@ mod tests {
                 "rules": [],
             }),
         ));
-        assert_eq!(
-            resp.json_body().unwrap()["accepted"].as_bool(),
-            Some(false)
-        );
+        assert_eq!(resp.json_body().unwrap()["accepted"].as_bool(), Some(false));
         let bob = register_consumer(&rig, "bob");
         let resp = rig.broker.handle(&Request::post_json(
             "/api/search",
@@ -735,11 +837,8 @@ mod tests {
         assert_eq!(store_api_key.len(), 64);
         // Upload something as Alice, then query as Bob with the escrowed
         // key.
-        let scenario = sensorsafe_sim::Scenario::alice_day(
-            sensorsafe_types::Timestamp::from_millis(0),
-            3,
-            1,
-        );
+        let scenario =
+            sensorsafe_sim::Scenario::alice_day(sensorsafe_types::Timestamp::from_millis(0), 3, 1);
         let rendered = scenario.render();
         let segments: Vec<Value> = rendered
             .chest_segments
@@ -797,7 +896,10 @@ mod tests {
             &json!({"key": bob}),
         ));
         assert_eq!(
-            resp.json_body().unwrap()["access"].as_array().unwrap().len(),
+            resp.json_body().unwrap()["access"]
+                .as_array()
+                .unwrap()
+                .len(),
             1
         );
     }
@@ -855,9 +957,7 @@ mod tests {
             json!({"key": (bob.clone()), "query": {"repeat": {"from": "9am"}}}),
             json!({"key": (bob.clone()), "query": {"range": {"start": 10, "end": 5}}}),
         ] {
-            let resp = rig
-                .broker
-                .handle(&Request::post_json("/api/search", &bad));
+            let resp = rig.broker.handle(&Request::post_json("/api/search", &bad));
             assert_eq!(resp.status, Status::BadRequest, "{bad}");
         }
     }

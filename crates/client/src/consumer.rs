@@ -74,10 +74,7 @@ impl ConsumerApp {
     /// Adds contributors to the account; the broker auto-registers this
     /// consumer at their stores and escrows the keys. Returns
     /// (added, errors).
-    pub fn add_contributors(
-        &self,
-        names: &[&str],
-    ) -> Result<(Vec<String>, Vec<String>), String> {
+    pub fn add_contributors(&self, names: &[&str]) -> Result<(Vec<String>, Vec<String>), String> {
         let body = json!({
             "key": (self.broker_key.clone()),
             "contributors": (Value::Array(names.iter().map(|n| Value::from(*n)).collect())),
@@ -170,8 +167,7 @@ mod tests {
         let (store, store_admin) = DataStoreService::new(DataStoreConfig::default());
         let store_for_factory = store.clone();
         let factory: TransportFactory = Arc::new(move |_addr: &str| {
-            Arc::new(LocalTransport::new(Arc::new(store_for_factory.clone())))
-                as Arc<dyn Transport>
+            Arc::new(LocalTransport::new(Arc::new(store_for_factory.clone()))) as Arc<dyn Transport>
         });
         let (broker, broker_admin) = BrokerService::new(BrokerConfig {
             name: "broker".into(),
@@ -294,9 +290,7 @@ mod tests {
                 a.store
                     .annotations()
                     .iter()
-                    .filter(|an| {
-                        an.state_of(sensorsafe_types::ContextKind::Drive) == Some(true)
-                    })
+                    .filter(|an| an.state_of(sensorsafe_types::ContextKind::Drive) == Some(true))
                     .map(|an| an.window)
                     .collect()
             })
@@ -306,10 +300,7 @@ mod tests {
             if let Some(seg) = &w.segment {
                 if seg.channels().any(|c| c.as_str() == "ecg") {
                     let r = seg.time_range().unwrap();
-                    assert!(
-                        !drives.iter().any(|d| d.overlaps(&r)),
-                        "commute ECG leaked"
-                    );
+                    assert!(!drives.iter().any(|d| d.overlaps(&r)), "commute ECG leaked");
                 }
             }
         }
@@ -341,11 +332,7 @@ mod tests {
         let world = world(json!([{"Action": "Allow"}]));
         let broker_transport: Arc<dyn Transport> =
             Arc::new(LocalTransport::new(Arc::new(world.broker.clone())));
-        let evil = ConsumerApp::new(
-            broker_transport,
-            "0".repeat(64),
-            world.transports.clone(),
-        );
+        let evil = ConsumerApp::new(broker_transport, "0".repeat(64), world.transports.clone());
         assert!(evil.search(&json!({})).is_err());
         assert!(evil.access_list().is_err());
     }

@@ -4,7 +4,9 @@
 use sensorsafe_inference::InferencePipeline;
 use sensorsafe_json::{json, Value};
 use sensorsafe_net::{Request, Transport};
-use sensorsafe_policy::{evaluate, ConsumerCtx, ConsumerSelector, DependencyGraph, PrivacyRule, WindowCtx};
+use sensorsafe_policy::{
+    evaluate, ConsumerCtx, ConsumerSelector, DependencyGraph, PrivacyRule, WindowCtx,
+};
 use sensorsafe_sim::Scenario;
 use sensorsafe_types::{ChannelId, ContextAnnotation, TimeRange, WaveSegment};
 use std::sync::Arc;
@@ -115,9 +117,9 @@ impl ContributorDevice {
                 probes.push(ctx);
             }
         }
-        probes.iter().any(|probe| {
-            !evaluate(rules, probe, window, channels, &self.graph).shares_nothing()
-        })
+        probes
+            .iter()
+            .any(|probe| !evaluate(rules, probe, window, channels, &self.graph).shares_nothing())
     }
 
     /// Runs a full scenario: renders sensor data, infers context,
@@ -152,9 +154,7 @@ impl ContributorDevice {
                 .iter()
                 .flat_map(|s| s.channels().cloned())
                 .collect();
-            let location = episode_segments
-                .iter()
-                .find_map(|s| s.meta().location);
+            let location = episode_segments.iter().find_map(|s| s.meta().location);
 
             let decision = if self.rule_aware {
                 // Pass 1 — could data be shared under *some* context at
@@ -179,9 +179,7 @@ impl ContributorDevice {
                 // Pass 2 — collect temporarily, infer context, re-check.
                 metrics.collected_samples += episode_samples;
                 metrics.sensor_on_secs += secs;
-                let inferred = self
-                    .pipeline
-                    .classify_window(&episode_segments, window);
+                let inferred = self.pipeline.classify_window(&episode_segments, window);
                 let ctx = WindowCtx {
                     time: window.start,
                     location,
@@ -220,13 +218,8 @@ impl ContributorDevice {
     }
 
     /// Runs the inference pipeline over one episode's segments.
-    fn annotate(
-        &self,
-        segments: &[WaveSegment],
-        window: &TimeRange,
-    ) -> Vec<ContextAnnotation> {
-        self.pipeline
-            .annotate(segments, window.start, window.end)
+    fn annotate(&self, segments: &[WaveSegment], window: &TimeRange) -> Vec<ContextAnnotation> {
+        self.pipeline.annotate(segments, window.start, window.end)
     }
 }
 
@@ -302,8 +295,7 @@ mod tests {
             .as_str()
             .unwrap()
             .to_string();
-        let transport: Arc<dyn Transport> =
-            Arc::new(LocalTransport::new(Arc::new(svc.clone())));
+        let transport: Arc<dyn Transport> = Arc::new(LocalTransport::new(Arc::new(svc.clone())));
         (svc, transport, alice_key)
     }
 
@@ -327,9 +319,7 @@ mod tests {
         assert_eq!(metrics.collected_samples, metrics.uploaded_samples);
         assert_eq!(metrics.discarded_samples, 0);
         assert_eq!(metrics.sensor_off_secs, 0);
-        assert!(decisions
-            .iter()
-            .all(|d| *d == CollectionDecision::Uploaded));
+        assert!(decisions.iter().all(|d| *d == CollectionDecision::Uploaded));
         // Data landed in the store.
         let id = sensorsafe_types::ContributorId::new("alice");
         let stats = svc
@@ -430,8 +420,7 @@ mod tests {
     #[test]
     fn bad_key_fails_cleanly() {
         let (_svc, transport, _key) = store_with_alice();
-        let device =
-            ContributorDevice::new(transport, "0".repeat(64)).with_rule_aware(true);
+        let device = ContributorDevice::new(transport, "0".repeat(64)).with_rule_aware(true);
         assert!(device.run_scenario(&scenario()).is_err());
     }
 }

@@ -76,9 +76,8 @@ impl Deployment {
     /// and stores must be added with their bound addresses. (Used by the
     /// `serve` example; tests prefer [`Deployment::in_process`].)
     pub fn over_tcp(broker_addr: &str) -> Deployment {
-        let transports: TransportFactory = Arc::new(|addr: &str| {
-            Arc::new(TcpTransport::new(addr)) as Arc<dyn Transport>
-        });
+        let transports: TransportFactory =
+            Arc::new(|addr: &str| Arc::new(TcpTransport::new(addr)) as Arc<dyn Transport>);
         let (broker, broker_admin) = BrokerService::new(BrokerConfig {
             name: "broker".into(),
             transports: transports.clone(),
@@ -313,14 +312,10 @@ mod tests {
     fn in_process_deployment_end_to_end() {
         let mut deployment = Deployment::in_process();
         deployment.add_store("store-1");
-        let alice = deployment
-            .register_contributor("store-1", "alice")
-            .unwrap();
+        let alice = deployment.register_contributor("store-1", "alice").unwrap();
         let scenario = Scenario::alice_day(Timestamp::from_millis(0), 13, 1);
         alice.upload_scenario(&scenario).unwrap();
-        alice
-            .set_rules(&json!([{"Action": "Allow"}]))
-            .unwrap();
+        alice.set_rules(&json!([{"Action": "Allow"}])).unwrap();
         let bob = deployment.register_consumer("bob").unwrap();
         let hits = bob.search(&json!({"channels": ["ecg"]})).unwrap();
         assert_eq!(hits, ["alice"]);

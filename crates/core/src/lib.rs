@@ -69,6 +69,10 @@ pub mod jsonlib {
 pub mod net {
     pub use sensorsafe_net::*;
 }
+/// Observability: metrics registry, request tracing, audit counters.
+pub mod obsv {
+    pub use sensorsafe_obsv::*;
+}
 /// Privacy rules and enforcement (§5.1, Table 1).
 pub mod policy {
     pub use sensorsafe_policy::*;

@@ -77,7 +77,9 @@ pub fn shared_view(
     graph: &DependencyGraph,
 ) -> SharedView {
     let mut windows = Vec::new();
-    for segment in account.store.query(query) {
+    let segments = account.store.query(query);
+    sensorsafe_obsv::trace::phase("store_query");
+    for segment in segments {
         let Some(seg_range) = segment.time_range() else {
             continue;
         };
@@ -99,19 +101,17 @@ pub fn shared_view(
             let ctx = sensorsafe_policy::WindowCtx {
                 time: window.start,
                 location,
-                location_labels: location
-                    .map(|p| account.labels_at(&p))
-                    .unwrap_or_default(),
+                location_labels: location.map(|p| account.labels_at(&p)).unwrap_or_default(),
                 contexts,
             };
-            let channels: Vec<sensorsafe_types::ChannelId> =
-                piece.channels().cloned().collect();
+            let channels: Vec<sensorsafe_types::ChannelId> = piece.channels().cloned().collect();
             let decision = evaluate(&account.rules, consumer, &ctx, &channels, graph);
             if let Some(shared) = enforce(&decision, &piece, &window_annotations) {
                 windows.push(shared);
             }
         }
     }
+    sensorsafe_obsv::trace::phase("policy_eval");
     SharedView { windows }
 }
 
@@ -465,12 +465,7 @@ mod tests {
                 }),
             },
         ]);
-        let view = shared_view(
-            &account,
-            &bob(),
-            &Query::all().with_limit(20),
-            &graph(),
-        );
+        let view = shared_view(&account, &bob(), &Query::all().with_limit(20), &graph());
         let wire = shared_view_to_json(&view);
         let back = shared_view_from_json(&wire).unwrap();
         assert_eq!(back, view);

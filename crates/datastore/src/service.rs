@@ -23,6 +23,7 @@ use parking_lot::Mutex;
 use sensorsafe_auth::{ApiKey, KeyRing, PasswordStore, Principal, Role, SessionManager};
 use sensorsafe_json::{json, Value};
 use sensorsafe_net::{Request, Response, Router, Service, Status, Transport};
+use sensorsafe_obsv::{audit, trace, Registry, TraceRecorder};
 use sensorsafe_policy::{DependencyGraph, PrivacyRule};
 use sensorsafe_store::{MergePolicy, Query};
 use sensorsafe_types::{
@@ -72,6 +73,9 @@ pub(crate) struct Inner {
     pub(crate) broker: Mutex<Option<BrokerLink>>,
     pub(crate) passwords: PasswordStore,
     pub(crate) sessions: SessionManager,
+    pub(crate) registry: Registry,
+    pub(crate) traces: Arc<TraceRecorder>,
+    pub(crate) started: std::time::Instant,
 }
 
 /// The data store service. Cheap to clone (shared state).
@@ -125,8 +129,11 @@ impl Inner {
                     None => ContributorAccount::new(ContributorId::new(name), self.config.merge),
                     Some(dir) => {
                         let path = dir.join(format!("{name}.wal"));
-                        match ContributorAccount::open(ContributorId::new(name), path, self.config.merge)
-                        {
+                        match ContributorAccount::open(
+                            ContributorId::new(name),
+                            path,
+                            self.config.merge,
+                        ) {
                             Ok(account) => account,
                             Err(e) => {
                                 return Response::error(
@@ -228,6 +235,7 @@ impl Inner {
         let Some(principal) = self.authenticate(body) else {
             return unauthorized();
         };
+        trace::phase("auth");
         let Some(contributor) = body.get("contributor").and_then(Value::as_str) else {
             return bad_request("missing 'contributor'");
         };
@@ -241,8 +249,7 @@ impl Inner {
         };
         // Owners see their own data raw ("view their own data using the
         // web-based interface"); everyone else goes through enforcement.
-        let owner =
-            principal.role == Role::Contributor && principal.name == contributor.as_str();
+        let owner = principal.role == Role::Contributor && principal.name == contributor.as_str();
         if owner {
             let result = self.state.with_contributor(&contributor, |account| {
                 let segments: Vec<Value> = account
@@ -261,12 +268,28 @@ impl Inner {
         if principal.role != Role::Consumer {
             return Response::error(Status::Forbidden, "consumers only");
         }
-        let Some(consumer) = self.state.consumer(&ConsumerId::new(principal.name)) else {
+        let Some(consumer) = self
+            .state
+            .consumer(&ConsumerId::new(principal.name.clone()))
+        else {
             return Response::error(Status::Forbidden, "consumer not registered here");
         };
+        // Tag this thread with the consumer so `policy::enforce` deep in the
+        // pipeline attributes its per-decision audit counters correctly.
+        let _audit = audit::consumer_scope(principal.name.clone());
+        sensorsafe_obsv::global()
+            .counter(
+                "sensorsafe_audit_requests_total",
+                "Consumer data queries entering the enforcement pipeline.",
+                &[("consumer", &principal.name)],
+            )
+            .inc();
         let ctx = consumer.to_ctx();
         let result = self.state.with_contributor(&contributor, |account| {
-            shared_view_to_json(&shared_view(account, &ctx, &query, &self.graph))
+            let view = shared_view(account, &ctx, &query, &self.graph);
+            let payload = shared_view_to_json(&view);
+            trace::phase("serialize");
+            payload
         });
         match result {
             Some(payload) => Response::json(&payload),
@@ -388,6 +411,34 @@ impl Inner {
             "contributors": (self.state.contributor_count()),
         }))
     }
+
+    /// The newest rule epoch across hosted contributors — the epoch the
+    /// broker's mirror should have caught up to.
+    fn latest_rule_epoch(&self) -> u64 {
+        self.state
+            .contributor_ids()
+            .into_iter()
+            .filter_map(|id| self.state.with_contributor(&id, |a| a.rule_epoch))
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn handle_healthz(&self) -> Response {
+        Response::json(&json!({
+            "status": "ok",
+            "version": (env!("CARGO_PKG_VERSION")),
+            "uptime_secs": (self.started.elapsed().as_secs()),
+            "rule_sync_epoch": (self.latest_rule_epoch()),
+        }))
+    }
+
+    /// Instance metrics first, then the process-wide registry (net/store/
+    /// policy counters), in one scrape body.
+    fn handle_metrics(&self) -> Response {
+        let mut body = self.registry.encode();
+        body.push_str(&sensorsafe_obsv::global().encode());
+        Response::text(body)
+    }
 }
 
 fn annotation_from_json(value: &Value) -> Result<ContextAnnotation, String> {
@@ -457,6 +508,9 @@ impl DataStoreService {
             broker: Mutex::new(None),
             passwords: PasswordStore::new(),
             sessions: SessionManager::new(),
+            registry: Registry::new(),
+            traces: TraceRecorder::new(256),
+            started: std::time::Instant::now(),
         });
         let admin_key = inner.keys.register(Principal {
             name: "admin".to_string(),
@@ -467,15 +521,24 @@ impl DataStoreService {
             let inner = inner.clone();
             router.get("/health", move |_, _| inner.handle_health());
         }
+        {
+            let inner = inner.clone();
+            router.get("/healthz", move |_, _| inner.handle_healthz());
+        }
+        {
+            let inner = inner.clone();
+            router.get("/metrics", move |_, _| inner.handle_metrics());
+        }
         macro_rules! post_json_route {
             ($path:literal, $method:ident) => {{
                 let inner = inner.clone();
-                router.post($path, move |req: &Request, _: &sensorsafe_net::Params| {
-                    match req.json() {
+                router.post(
+                    $path,
+                    move |req: &Request, _: &sensorsafe_net::Params| match req.json() {
                         Ok(body) => inner.$method(&body),
                         Err(e) => bad_request(&format!("invalid JSON body: {e}")),
-                    }
-                });
+                    },
+                );
             }};
         }
         post_json_route!("/api/register", handle_register);
@@ -531,11 +594,54 @@ impl DataStoreService {
     pub fn create_web_user(&self, username: &str, password: &str) -> bool {
         self.inner.passwords.create_user(username, password)
     }
+
+    /// This instance's metrics registry (scraped via `GET /metrics`).
+    pub fn registry(&self) -> &Registry {
+        &self.inner.registry
+    }
+
+    /// Recent request traces, oldest first.
+    pub fn recent_traces(&self) -> Vec<sensorsafe_obsv::Trace> {
+        self.inner.traces.recent_traces()
+    }
 }
 
 impl Service for DataStoreService {
     fn handle(&self, request: &Request) -> Response {
-        self.router.handle(request)
+        // Label by route pattern, not concrete path, so cardinality stays
+        // bounded by the route table.
+        let endpoint = self
+            .router
+            .match_pattern(request.method, &request.path)
+            .unwrap_or("unmatched")
+            .to_string();
+        let _span = self
+            .inner
+            .traces
+            .begin(format!("{} {endpoint}", request.method.as_str()));
+        let started = std::time::Instant::now();
+        let response = self.router.handle(request);
+        self.inner
+            .registry
+            .histogram(
+                "sensorsafe_datastore_request_seconds",
+                "Data store request latency by endpoint.",
+                &[("endpoint", &endpoint)],
+                None,
+            )
+            .observe(started.elapsed());
+        self.inner
+            .registry
+            .counter(
+                "sensorsafe_datastore_requests_total",
+                "Data store requests by endpoint and status code.",
+                &[
+                    ("endpoint", &endpoint),
+                    ("code", &response.status.code().to_string()),
+                ],
+            )
+            .inc();
+        response
     }
 }
 
@@ -780,8 +886,10 @@ mod tests {
         req.body = b"not json".to_vec();
         assert_eq!(svc.handle(&req).status, Status::BadRequest);
         // Missing key field.
-        let resp =
-            svc.handle(&Request::post_json("/api/query", &json!({"contributor": "a"})));
+        let resp = svc.handle(&Request::post_json(
+            "/api/query",
+            &json!({"contributor": "a"}),
+        ));
         assert_eq!(resp.status, Status::Unauthorized);
     }
 
@@ -804,10 +912,7 @@ mod durability_tests {
 
     #[test]
     fn durable_store_survives_restart() {
-        let dir = std::env::temp_dir().join(format!(
-            "sensorsafe-durable-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("sensorsafe-durable-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         let config = DataStoreConfig {

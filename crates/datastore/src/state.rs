@@ -202,10 +202,7 @@ mod tests {
             .unwrap();
         assert_eq!(e1, 1);
         assert_eq!(e2, 2);
-        assert_eq!(
-            state.with_contributor(&id, |a| a.rules.len()).unwrap(),
-            0
-        );
+        assert_eq!(state.with_contributor(&id, |a| a.rules.len()).unwrap(), 0);
     }
 
     #[test]
@@ -214,10 +211,7 @@ mod tests {
             ContributorAccount::new(ContributorId::new("alice"), MergePolicy::default());
         account.places = vec![
             ("UCLA".to_string(), Region::around(GeoPoint::ucla(), 0.01)),
-            (
-                "LA".to_string(),
-                Region::new(33.5, 34.5, -119.0, -117.5),
-            ),
+            ("LA".to_string(), Region::new(33.5, 34.5, -119.0, -117.5)),
         ];
         let labels = account.labels_at(&GeoPoint::ucla());
         assert_eq!(labels, vec!["UCLA".to_string(), "LA".to_string()]);

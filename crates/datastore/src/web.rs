@@ -24,7 +24,9 @@ use sensorsafe_policy::{
     AbstractionSpec, Action, ActivityAbs, BinaryAbs, Conditions, ConsumerSelector, LocationAbs,
     LocationCondition, PrivacyRule, TimeAbs, TimeCondition,
 };
-use sensorsafe_types::{ChannelId, ConsumerId, ContextKind, ContributorId, RepeatTime, Region, TimeOfDay, Weekday};
+use sensorsafe_types::{
+    ChannelId, ConsumerId, ContextKind, ContributorId, Region, RepeatTime, TimeOfDay, Weekday,
+};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -94,9 +96,7 @@ fn require_session(inner: &Inner, req: &Request) -> Result<String, Response> {
     req.query
         .get("session")
         .and_then(|token| inner.sessions.validate(token))
-        .ok_or_else(|| {
-            Response::error(Status::Unauthorized, "not logged in (see /ui/login)")
-        })
+        .ok_or_else(|| Response::error(Status::Unauthorized, "not logged in (see /ui/login)"))
 }
 
 fn login_form() -> Response {
@@ -154,16 +154,19 @@ fn rules_form(session: &str) -> String {
             )
         })
         .collect();
-    let ladder =
-        |name: &str, options: &[&str]| -> String {
-            let opts: String = std::iter::once(String::from(r#"<option value=""></option>"#))
-                .chain(options.iter().map(|o| {
-                    format!(r#"<option value="{o}">{o}</option>"#)
-                }))
-                .collect();
-            format!(r#"<label>{name} <select name="abs_{lower}">{opts}</select></label>"#,
-                lower = name.to_ascii_lowercase())
-        };
+    let ladder = |name: &str, options: &[&str]| -> String {
+        let opts: String = std::iter::once(String::from(r#"<option value=""></option>"#))
+            .chain(
+                options
+                    .iter()
+                    .map(|o| format!(r#"<option value="{o}">{o}</option>"#)),
+            )
+            .collect();
+        format!(
+            r#"<label>{name} <select name="abs_{lower}">{opts}</select></label>"#,
+            lower = name.to_ascii_lowercase()
+        )
+    };
     format!(
         r#"<form method="post" action="/ui/rules?session={session}">
         <fieldset><legend>Consumer</legend>
@@ -197,10 +200,24 @@ fn rules_form(session: &str) -> String {
         </form>"#,
         loc_ladder = ladder(
             "Location",
-            &["Coordinates", "StreetAddress", "Zipcode", "City", "State", "Country", "NotShared"]
+            &[
+                "Coordinates",
+                "StreetAddress",
+                "Zipcode",
+                "City",
+                "State",
+                "Country",
+                "NotShared"
+            ]
         ),
-        time_ladder = ladder("Time", &["Milliseconds", "Hour", "Day", "Month", "Year", "NotShared"]),
-        act_ladder = ladder("Activity", &["Raw", "TransportMode", "MoveNotMove", "NotShared"]),
+        time_ladder = ladder(
+            "Time",
+            &["Milliseconds", "Hour", "Day", "Month", "Year", "NotShared"]
+        ),
+        act_ladder = ladder(
+            "Activity",
+            &["Raw", "TransportMode", "MoveNotMove", "NotShared"]
+        ),
         stress_ladder = ladder("Stress", &["Raw", "Label", "NotShared"]),
         smoke_ladder = ladder("Smoking", &["Raw", "Label", "NotShared"]),
         conv_ladder = ladder("Conversation", &["Raw", "Label", "NotShared"]),
@@ -382,8 +399,7 @@ fn handle_data_page(inner: &Inner, req: &Request) -> Response {
                  <tr><th>Merges</th><td>{}</td></tr>\
                  <tr><th>Annotations</th><td>{}</td></tr>\
                  </table>",
-                stats.segments, stats.samples, stats.approx_bytes, stats.merges,
-                stats.annotations
+                stats.segments, stats.samples, stats.approx_bytes, stats.merges, stats.annotations
             )
         })
         .unwrap_or_else(|| "<p>No contributor account.</p>".to_string());
@@ -445,9 +461,10 @@ mod tests {
             headers: Default::default(),
             body: b"username=alice&password=hunter2".to_vec(),
         };
-        login
-            .headers
-            .insert("content-type".into(), "application/x-www-form-urlencoded".into());
+        login.headers.insert(
+            "content-type".into(),
+            "application/x-www-form-urlencoded".into(),
+        );
         let resp = svc.handle(&login);
         assert_eq!(resp.status, Status::Ok);
         let html = String::from_utf8(resp.body).unwrap();
@@ -486,9 +503,7 @@ mod tests {
         let (svc, _) = logged_in_service();
         let resp = svc.handle(&Request::get("/ui/rules"));
         assert_eq!(resp.status, Status::Unauthorized);
-        let resp = svc.handle(
-            &Request::get("/ui/rules").with_query("session", "forged-token"),
-        );
+        let resp = svc.handle(&Request::get("/ui/rules").with_query("session", "forged-token"));
         assert_eq!(resp.status, Status::Unauthorized);
     }
 
@@ -524,7 +539,12 @@ mod tests {
         req.method = sensorsafe_net::Method::Post;
         req.body = body.as_bytes().to_vec();
         let resp = svc.handle(&req);
-        assert_eq!(resp.status, Status::Ok, "{:?}", String::from_utf8(resp.body));
+        assert_eq!(
+            resp.status,
+            Status::Ok,
+            "{:?}",
+            String::from_utf8(resp.body)
+        );
         // The rule shows up on the rules page and in the API model.
         let resp = svc.handle(&Request::get("/ui/rules").with_query("session", token));
         let html = String::from_utf8(resp.body).unwrap();

@@ -149,9 +149,7 @@ mod tests {
     #[test]
     fn speed_from_fixes() {
         // Due-north motion: 0.0001° lat/fix ≈ 11.1 m/s at 1 fix/s.
-        let fixes: Vec<(f64, f64)> = (0..10)
-            .map(|i| (34.0 + i as f64 * 1e-4, -118.0))
-            .collect();
+        let fixes: Vec<(f64, f64)> = (0..10).map(|i| (34.0 + i as f64 * 1e-4, -118.0)).collect();
         let v = speed_mps_from_fixes(&fixes, 1.0);
         assert!((v - 11.13).abs() < 0.1, "speed {v}");
         assert_eq!(speed_mps_from_fixes(&fixes[..1], 1.0), 0.0);

@@ -22,9 +22,7 @@
 mod features;
 mod pipeline;
 
-pub use features::{
-    dominant_peak_rate_hz, mean, speed_mps_from_fixes, variance, WindowFeatures,
-};
+pub use features::{dominant_peak_rate_hz, mean, speed_mps_from_fixes, variance, WindowFeatures};
 pub use pipeline::{
     classify_conversation, classify_smoking, classify_stress, classify_transport,
     InferencePipeline, WINDOW_SECS,

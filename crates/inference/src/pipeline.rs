@@ -191,7 +191,8 @@ impl InferencePipeline {
         let mut out = Vec::new();
         let mut cursor = start;
         while cursor < end {
-            let window_end = Timestamp::from_millis((cursor.millis() + window_ms).min(end.millis()));
+            let window_end =
+                Timestamp::from_millis((cursor.millis() + window_ms).min(end.millis()));
             out.push(self.classify_window(segments, TimeRange::new(cursor, window_end)));
             cursor = window_end;
         }
@@ -292,9 +293,10 @@ mod tests {
         for ann in &annotations {
             // Compare only windows fully inside one episode (boundary
             // windows legitimately mix conditions).
-            let Some(episode_truth) = truth.iter().find(|t| {
-                t.window.start <= ann.window.start && ann.window.end <= t.window.end
-            }) else {
+            let Some(episode_truth) = truth
+                .iter()
+                .find(|t| t.window.start <= ann.window.start && ann.window.end <= t.window.end)
+            else {
                 continue;
             };
             for kind in [

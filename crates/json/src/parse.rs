@@ -149,7 +149,10 @@ impl<'a> Parser<'a> {
             Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
             Some(b'n') => self.parse_keyword("null", Value::Null),
             Some(b'-' | b'0'..=b'9') => self.parse_number(),
-            _ => Err(self.error(format!("expected a value, found {}", self.describe_current()))),
+            _ => Err(self.error(format!(
+                "expected a value, found {}",
+                self.describe_current()
+            ))),
         }
     }
 
@@ -263,9 +266,10 @@ impl<'a> Parser<'a> {
                     let len = utf8_len(first);
                     let start = self.pos - 1;
                     self.pos = start + len;
-                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect(
-                        "input is a &str, so multi-byte sequences are valid UTF-8",
-                    ));
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("input is a &str, so multi-byte sequences are valid UTF-8"),
+                    );
                 }
             }
         }
@@ -367,8 +371,8 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number chars are ASCII");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number chars are ASCII");
         if !is_float {
             if let Ok(i) = text.parse::<i64>() {
                 return Ok(Value::Number(Number::Int(i)));
@@ -433,7 +437,10 @@ mod tests {
 
     #[test]
     fn string_escapes() {
-        assert_eq!(ok(r#""\"\\\/\b\f\n\r\t""#), Value::from("\"\\/\u{8}\u{c}\n\r\t"));
+        assert_eq!(
+            ok(r#""\"\\\/\b\f\n\r\t""#),
+            Value::from("\"\\/\u{8}\u{c}\n\r\t")
+        );
         assert_eq!(ok(r#""A""#), Value::from("A"));
         assert_eq!(ok(r#""é""#), Value::from("é"));
         // Surrogate pair: U+1F600.

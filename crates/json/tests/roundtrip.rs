@@ -16,9 +16,8 @@ fn arb_value() -> impl Strategy<Value = Value> {
     leaf.prop_recursive(4, 64, 8, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 0..8).prop_map(Value::Array),
-            prop::collection::vec(("\\PC{0,12}", inner), 0..8).prop_map(|pairs| {
-                Value::Object(pairs.into_iter().collect::<Map>())
-            }),
+            prop::collection::vec(("\\PC{0,12}", inner), 0..8)
+                .prop_map(|pairs| { Value::Object(pairs.into_iter().collect::<Map>()) }),
         ]
     })
 }
@@ -85,6 +84,9 @@ fn fig5_wave_segment_shape_parses() {
     }"#;
     let v = parse(text).unwrap();
     assert_eq!(v["start_time"].as_i64(), Some(1311535598327));
-    assert_eq!(v["format"].as_string_list().unwrap(), ["ecg", "respiration"]);
+    assert_eq!(
+        v["format"].as_string_list().unwrap(),
+        ["ecg", "respiration"]
+    );
     assert_eq!(v["data"][2][0].as_i64(), Some(530));
 }

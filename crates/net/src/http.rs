@@ -178,7 +178,9 @@ impl Request {
 
     /// A header value (key is matched case-insensitively).
     pub fn header(&self, key: &str) -> Option<&str> {
-        self.headers.get(&key.to_ascii_lowercase()).map(String::as_str)
+        self.headers
+            .get(&key.to_ascii_lowercase())
+            .map(String::as_str)
     }
 
     /// Parses the body as JSON.
@@ -220,6 +222,17 @@ impl Response {
         resp.headers
             .insert("content-type".into(), "application/json".into());
         resp.body = value.to_string().into_bytes();
+        resp
+    }
+
+    /// A 200 with a plain-text body (metrics exposition).
+    pub fn text(body: impl Into<String>) -> Response {
+        let mut resp = Response::status(Status::Ok);
+        resp.headers.insert(
+            "content-type".into(),
+            "text/plain; version=0.0.4; charset=utf-8".into(),
+        );
+        resp.body = body.into().into_bytes();
         resp
     }
 
@@ -502,10 +515,7 @@ mod tests {
     fn error_response_shape() {
         let resp = Response::error(Status::Unauthorized, "bad key");
         assert_eq!(resp.status.code(), 401);
-        assert_eq!(
-            resp.json_body().unwrap()["error"].as_str(),
-            Some("bad key")
-        );
+        assert_eq!(resp.json_body().unwrap()["error"].as_str(), Some("bad key"));
         assert!(!resp.status.is_success());
     }
 
@@ -559,7 +569,10 @@ mod tests {
 
     #[test]
     fn oversized_body_rejected() {
-        let wire = format!("POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n", MAX_BODY + 1);
+        let wire = format!(
+            "POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
         let mut reader = BufReader::new(wire.as_bytes());
         assert!(read_request(&mut reader).is_err());
     }

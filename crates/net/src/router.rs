@@ -32,6 +32,7 @@ type Handler = Arc<dyn Fn(&Request, &Params) -> Response + Send + Sync>;
 
 struct Route {
     method: Method,
+    raw_pattern: String,
     pattern: Vec<Pattern>,
     handler: Handler,
 }
@@ -91,10 +92,22 @@ impl Router {
     ) -> &mut Router {
         self.routes.push(Route {
             method,
+            raw_pattern: pattern.to_string(),
             pattern: compile(pattern),
             handler: Arc::new(handler),
         });
         self
+    }
+
+    /// The registered pattern a request would dispatch to, e.g.
+    /// `"/api/data/:user"` for `GET /api/data/alice`. Metrics label
+    /// endpoints by pattern rather than by concrete path, keeping label
+    /// cardinality bounded by the route table.
+    pub fn match_pattern(&self, method: Method, path: &str) -> Option<&str> {
+        self.routes
+            .iter()
+            .find(|r| r.method == method && match_path(&r.pattern, path).is_some())
+            .map(|r| r.raw_pattern.as_str())
     }
 
     /// Registers a GET route.
@@ -244,5 +257,17 @@ mod tests {
     fn params_require() {
         let p = Params::default();
         assert!(p.require("user").is_err());
+    }
+
+    #[test]
+    fn match_pattern_returns_registered_pattern() {
+        let r = router();
+        assert_eq!(
+            r.match_pattern(Method::Get, "/api/data/alice"),
+            Some("/api/data/:user")
+        );
+        assert_eq!(r.match_pattern(Method::Get, "/health"), Some("/health"));
+        assert_eq!(r.match_pattern(Method::Delete, "/health"), None);
+        assert_eq!(r.match_pattern(Method::Get, "/nope"), None);
     }
 }

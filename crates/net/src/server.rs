@@ -32,11 +32,7 @@ pub struct Server {
 impl Server {
     /// Binds `service` on `addr` (use port 0 for an ephemeral port) with
     /// `workers` pool threads.
-    pub fn bind(
-        addr: &str,
-        workers: usize,
-        service: Arc<dyn Service>,
-    ) -> std::io::Result<Server> {
+    pub fn bind(addr: &str, workers: usize, service: Arc<dyn Service>) -> std::io::Result<Server> {
         assert!(workers > 0, "need at least one worker");
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
@@ -74,6 +70,13 @@ impl Server {
             while !acceptor_stop.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, _)) => {
+                        sensorsafe_obsv::global()
+                            .counter(
+                                "sensorsafe_net_connections_total",
+                                "TCP connections accepted across all servers in this process.",
+                                &[],
+                            )
+                            .inc();
                         let _ = stream.set_nodelay(true);
                         if acceptor_tx.send(stream).is_err() {
                             break;
@@ -131,6 +134,33 @@ impl Drop for Server {
     }
 }
 
+/// Server-level accounting: one latency observation plus a status-class
+/// counter per request, regardless of which service answered it.
+fn record_request(elapsed: Duration, status: Status) {
+    let registry = sensorsafe_obsv::global();
+    registry
+        .histogram(
+            "sensorsafe_net_request_seconds",
+            "Wall-clock request handling latency at the server layer.",
+            &[],
+            None,
+        )
+        .observe(elapsed);
+    let class = match status.code() {
+        200..=299 => "2xx",
+        300..=399 => "3xx",
+        400..=499 => "4xx",
+        _ => "5xx",
+    };
+    registry
+        .counter(
+            "sensorsafe_net_requests_total",
+            "Requests handled at the server layer, by status class.",
+            &[("class", class)],
+        )
+        .inc();
+}
+
 fn serve_connection(stream: TcpStream, service: &dyn Service) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
     let mut writer = match stream.try_clone() {
@@ -152,7 +182,9 @@ fn serve_loop(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, service
                 let close = request
                     .header("connection")
                     .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+                let started = std::time::Instant::now();
                 let response = service.handle(&request);
+                record_request(started.elapsed(), response.status);
                 if write_response(writer, &response).is_err() {
                     return;
                 }
@@ -163,10 +195,8 @@ fn serve_loop(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, service
             Ok(None) => return, // clean close
             Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
                 // Malformed request: answer 400 and close.
-                let _ = write_response(
-                    writer,
-                    &Response::error(Status::BadRequest, &e.to_string()),
-                );
+                let _ =
+                    write_response(writer, &Response::error(Status::BadRequest, &e.to_string()));
                 return;
             }
             Err(_) => return, // timeout / reset
@@ -213,9 +243,7 @@ mod tests {
                 let client = HttpClient::new(addr);
                 for j in 0..10 {
                     let body = json!({"worker": i, "iter": j});
-                    let resp = client
-                        .send(&Request::post_json("/echo", &body))
-                        .unwrap();
+                    let resp = client.send(&Request::post_json("/echo", &body)).unwrap();
                     assert_eq!(resp.json_body().unwrap(), body);
                 }
             }));
@@ -231,7 +259,10 @@ mod tests {
         let client = HttpClient::new(server.addr_string());
         // Same client object reuses its pooled connection.
         for _ in 0..5 {
-            assert_eq!(client.send(&Request::get("/ping")).unwrap().status, Status::Ok);
+            assert_eq!(
+                client.send(&Request::get("/ping")).unwrap().status,
+                Status::Ok
+            );
         }
     }
 
@@ -273,7 +304,10 @@ mod tests {
         let resp = client.send(&req).unwrap();
         assert_eq!(resp.status, Status::Ok);
         // Next request transparently opens a fresh connection.
-        assert_eq!(client.send(&Request::get("/ping")).unwrap().status, Status::Ok);
+        assert_eq!(
+            client.send(&Request::get("/ping")).unwrap().status,
+            Status::Ok
+        );
     }
 
     #[test]
@@ -284,9 +318,6 @@ mod tests {
             method: Method::Delete,
             ..Request::get("/ping")
         };
-        assert_eq!(
-            client.send(&req).unwrap().status,
-            Status::MethodNotAllowed
-        );
+        assert_eq!(client.send(&req).unwrap().status, Status::MethodNotAllowed);
     }
 }

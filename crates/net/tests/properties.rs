@@ -3,8 +3,7 @@
 
 use proptest::prelude::*;
 use sensorsafe_net::http::{
-    read_request, read_response, write_request, write_response, Method, Request, Response,
-    Status,
+    read_request, read_response, write_request, write_response, Method, Request, Response, Status,
 };
 use std::collections::BTreeMap;
 use std::io::BufReader;

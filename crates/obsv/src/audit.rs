@@ -1,0 +1,160 @@
+//! Privacy-audit counters.
+//!
+//! SensorSafe's accountability story needs more than logs: contributors
+//! should be able to see, per consumer, how many requests were served as-is,
+//! served abstracted, or denied, and how often the dependency-closure rule
+//! suppressed extra channels beyond what the consumer asked for. Those
+//! counts are emitted from `policy::enforce`, which has no idea which
+//! consumer triggered it — the datastore request handler knows. The bridge
+//! is a thread-local consumer scope: the handler wraps enforcement in
+//! [`consumer_scope`], and [`record_enforcement`] picks the name up from
+//! thread-local storage (requests are served start-to-finish on one worker
+//! thread, so this is sound).
+
+use crate::global;
+use std::cell::RefCell;
+
+thread_local! {
+    static CURRENT_CONSUMER: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The outcome of a single policy enforcement decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Data released at full fidelity.
+    Allowed,
+    /// Data released, but behavior-abstracted (inference label instead of
+    /// raw samples).
+    Abstracted,
+    /// Request refused outright.
+    Denied,
+}
+
+impl Outcome {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Outcome::Allowed => "allowed",
+            Outcome::Abstracted => "abstracted",
+            Outcome::Denied => "denied",
+        }
+    }
+}
+
+/// RAII guard restoring the previous consumer scope on drop.
+pub struct ConsumerScope {
+    _private: (),
+}
+
+impl Drop for ConsumerScope {
+    fn drop(&mut self) {
+        CURRENT_CONSUMER.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
+}
+
+/// Tags this thread with the consumer on whose behalf the enclosed work
+/// runs. Scopes nest; the innermost wins.
+pub fn consumer_scope(consumer: impl Into<String>) -> ConsumerScope {
+    CURRENT_CONSUMER.with(|stack| stack.borrow_mut().push(consumer.into()));
+    ConsumerScope { _private: () }
+}
+
+/// The consumer the current thread is serving, or `"unknown"` when
+/// enforcement runs outside a request scope (tests, offline tools).
+pub fn current_consumer() -> String {
+    CURRENT_CONSUMER.with(|stack| {
+        stack
+            .borrow()
+            .last()
+            .cloned()
+            .unwrap_or_else(|| "unknown".to_string())
+    })
+}
+
+/// Records one enforcement decision in the global registry:
+/// `sensorsafe_policy_decisions_total{consumer, decision}` plus, when the
+/// dependency-closure rule suppressed channels, the suppression counters.
+pub fn record_enforcement(outcome: Outcome, suppressed_channels: u64) {
+    let consumer = current_consumer();
+    global()
+        .counter(
+            "sensorsafe_policy_decisions_total",
+            "Policy enforcement decisions by consumer and decision.",
+            &[("consumer", &consumer), ("decision", outcome.as_str())],
+        )
+        .inc();
+    if suppressed_channels > 0 {
+        global()
+            .counter(
+                "sensorsafe_policy_closure_suppressions_total",
+                "Enforcement decisions in which the dependency-closure rule suppressed at least one channel.",
+                &[("consumer", &consumer)],
+            )
+            .inc();
+        global()
+            .counter(
+                "sensorsafe_policy_closure_suppressed_channels_total",
+                "Channels withheld by the dependency-closure rule.",
+                &[("consumer", &consumer)],
+            )
+            .add(suppressed_channels);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_nests_and_restores() {
+        assert_eq!(current_consumer(), "unknown");
+        {
+            let _outer = consumer_scope("alice-doctor");
+            assert_eq!(current_consumer(), "alice-doctor");
+            {
+                let _inner = consumer_scope("bob-insurer");
+                assert_eq!(current_consumer(), "bob-insurer");
+            }
+            assert_eq!(current_consumer(), "alice-doctor");
+        }
+        assert_eq!(current_consumer(), "unknown");
+    }
+
+    #[test]
+    fn record_enforcement_counts_by_consumer_and_decision() {
+        let _scope = consumer_scope("audit-test-consumer");
+        record_enforcement(Outcome::Allowed, 0);
+        record_enforcement(Outcome::Allowed, 0);
+        record_enforcement(Outcome::Abstracted, 0);
+        record_enforcement(Outcome::Denied, 3);
+
+        let get = |decision: &str| {
+            global()
+                .counter(
+                    "sensorsafe_policy_decisions_total",
+                    "Policy enforcement decisions by consumer and decision.",
+                    &[("consumer", "audit-test-consumer"), ("decision", decision)],
+                )
+                .get()
+        };
+        assert_eq!(get("allowed"), 2);
+        assert_eq!(get("abstracted"), 1);
+        assert_eq!(get("denied"), 1);
+        let suppressed = global()
+            .counter(
+                "sensorsafe_policy_closure_suppressed_channels_total",
+                "Channels withheld by the dependency-closure rule.",
+                &[("consumer", "audit-test-consumer")],
+            )
+            .get();
+        assert_eq!(suppressed, 3);
+    }
+
+    #[test]
+    fn outcome_strings() {
+        assert_eq!(Outcome::Allowed.as_str(), "allowed");
+        assert_eq!(Outcome::Abstracted.as_str(), "abstracted");
+        assert_eq!(Outcome::Denied.as_str(), "denied");
+    }
+}

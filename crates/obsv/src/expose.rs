@@ -1,0 +1,190 @@
+//! Prometheus text-format exposition (version 0.0.4).
+//!
+//! Families are emitted in name order, series in sorted-label order, so the
+//! output is deterministic — the broker's rule-mirror takes the same
+//! canonical-form stance and it makes scrape diffs trivial in tests.
+
+use crate::metrics::{LabelSet, Registry};
+use std::fmt::Write;
+
+/// Escapes a HELP string: backslash and newline.
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value: backslash, double-quote, newline.
+fn escape_label_value(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn write_labels(out: &mut String, labels: &LabelSet, extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    }
+    out.push('}');
+}
+
+/// Formats a bucket bound the way Prometheus clients conventionally do.
+fn format_bound(b: f64) -> String {
+    format!("{b}")
+}
+
+pub fn encode(registry: &Registry) -> String {
+    let inner = registry.inner.read();
+    let mut out = String::new();
+
+    for (name, family) in &inner.counters {
+        let _ = writeln!(out, "# HELP {name} {}", escape_help(&family.help));
+        let _ = writeln!(out, "# TYPE {name} counter");
+        for (labels, counter) in &family.series {
+            out.push_str(name);
+            write_labels(&mut out, labels, None);
+            let _ = writeln!(out, " {}", counter.get());
+        }
+    }
+
+    for (name, family) in &inner.gauges {
+        let _ = writeln!(out, "# HELP {name} {}", escape_help(&family.help));
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        for (labels, gauge) in &family.series {
+            out.push_str(name);
+            write_labels(&mut out, labels, None);
+            let _ = writeln!(out, " {}", gauge.get());
+        }
+    }
+
+    for (name, family) in &inner.histograms {
+        let _ = writeln!(out, "# HELP {name} {}", escape_help(&family.help));
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        for (labels, histogram) in &family.series {
+            let snap = histogram.snapshot();
+            let mut cumulative = 0u64;
+            for (i, bound) in snap.bounds.iter().enumerate() {
+                cumulative += snap.counts[i];
+                let _ = write!(out, "{name}_bucket");
+                write_labels(&mut out, labels, Some(("le", &format_bound(*bound))));
+                let _ = writeln!(out, " {cumulative}");
+            }
+            cumulative += snap.counts[snap.bounds.len()];
+            let _ = write!(out, "{name}_bucket");
+            write_labels(&mut out, labels, Some(("le", "+Inf")));
+            let _ = writeln!(out, " {cumulative}");
+            let _ = write!(out, "{name}_sum");
+            write_labels(&mut out, labels, None);
+            let _ = writeln!(out, " {}", snap.sum());
+            let _ = write!(out, "{name}_count");
+            write_labels(&mut out, labels, None);
+            let _ = writeln!(out, " {cumulative}");
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_exposition_shape() {
+        let registry = Registry::new();
+        registry
+            .counter("requests_total", "Requests served.", &[("code", "200")])
+            .add(3);
+        registry
+            .counter("requests_total", "Requests served.", &[("code", "404")])
+            .inc();
+        let text = registry.encode();
+        assert!(text.contains("# HELP requests_total Requests served.\n"));
+        assert!(text.contains("# TYPE requests_total counter\n"));
+        assert!(text.contains("requests_total{code=\"200\"} 3\n"));
+        assert!(text.contains("requests_total{code=\"404\"} 1\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let registry = Registry::new();
+        registry
+            .counter(
+                "odd_total",
+                "Help with \\ and\nnewline.",
+                &[("who", "a\"b\\c\nd")],
+            )
+            .inc();
+        let text = registry.encode();
+        assert!(
+            text.contains("# HELP odd_total Help with \\\\ and\\nnewline.\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("odd_total{who=\"a\\\"b\\\\c\\nd\"} 1\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn labels_are_sorted_by_key() {
+        let registry = Registry::new();
+        registry
+            .counter("s_total", "s", &[("zeta", "1"), ("alpha", "2")])
+            .inc();
+        let text = registry.encode();
+        assert!(
+            text.contains("s_total{alpha=\"2\",zeta=\"1\"} 1\n"),
+            "labels must be emitted in sorted key order: {text}"
+        );
+    }
+
+    #[test]
+    fn histogram_exposition_is_cumulative() {
+        let registry = Registry::new();
+        let hist = registry.histogram("lat_seconds", "Latency.", &[], Some(&[0.01, 0.1]));
+        hist.observe_secs(0.005);
+        hist.observe_secs(0.005);
+        hist.observe_secs(0.05);
+        hist.observe_secs(5.0);
+        let text = registry.encode();
+        assert!(text.contains("# TYPE lat_seconds histogram\n"));
+        assert!(
+            text.contains("lat_seconds_bucket{le=\"0.01\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lat_seconds_bucket{le=\"0.1\"} 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lat_seconds_bucket{le=\"+Inf\"} 4\n"),
+            "{text}"
+        );
+        assert!(text.contains("lat_seconds_count 4\n"), "{text}");
+    }
+
+    #[test]
+    fn families_emit_in_name_order() {
+        let registry = Registry::new();
+        registry.counter("zz_total", "z", &[]).inc();
+        registry.counter("aa_total", "a", &[]).inc();
+        let text = registry.encode();
+        let a = text.find("aa_total").unwrap();
+        let z = text.find("zz_total").unwrap();
+        assert!(a < z);
+    }
+}

@@ -1,0 +1,48 @@
+//! # sensorsafe-obsv — observability substrate
+//!
+//! Production serving needs measurement: this crate provides the metrics,
+//! tracing, and audit-accounting layer threaded through every SensorSafe
+//! server hot path.
+//!
+//! * [`metrics`] — a lock-minimal registry of monotonic counters, gauges,
+//!   and fixed-bucket latency histograms. Counter and histogram cells are
+//!   sharded across cache-padded atomics (one sticky shard per thread) and
+//!   merged only on scrape, so hot-path updates never contend on a lock.
+//! * [`expose`] — Prometheus-style text exposition for a [`Registry`],
+//!   served by the datastore and broker `GET /metrics` endpoints.
+//! * [`trace`] — per-request spans with timed phases (auth → policy eval →
+//!   store query → serialize) collected into a bounded ring buffer and read
+//!   back via [`trace::TraceRecorder::recent_traces`].
+//! * [`audit`] — privacy-audit counters: every enforcement decision
+//!   (allow / abstract / deny, dependency-closure suppressions) is counted
+//!   per consumer, giving the accountable-serving record that a privacy
+//!   platform owes its contributors.
+//!
+//! Two registry scopes exist: each server owns a per-instance [`Registry`]
+//! (so two servers in one process scrape independently), while low-level
+//! crates (`net`, `store`, `policy`) report into the process-wide
+//! [`global()`] registry. A server's `/metrics` endpoint concatenates its
+//! instance registry with the global one.
+//!
+//! Instrumentation can be disabled at runtime ([`Registry::set_enabled`]);
+//! disabled handles reduce to one relaxed atomic load and a branch, which
+//! is what the `f2_auth_layer` overhead bench compares against.
+
+pub mod audit;
+pub mod expose;
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Registry, DEFAULT_LATENCY_BUCKETS,
+};
+pub use trace::{Phase, SpanGuard, Trace, TraceRecorder};
+
+use std::sync::OnceLock;
+
+/// The process-wide registry used by crates that are not tied to a single
+/// server instance (`net::server`, `store`, `policy`).
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}

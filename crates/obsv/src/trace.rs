@@ -1,0 +1,225 @@
+//! Request tracing: spans with timed phases in a bounded ring buffer.
+//!
+//! A server begins a span per request ([`TraceRecorder::begin`]); code deeper
+//! in the stack marks phase boundaries with the free function [`phase`]
+//! without needing the span threaded through its signature (the active span
+//! stack lives in thread-local storage — correct here because a request is
+//! served start-to-finish on one worker thread). When the guard drops, the
+//! finished trace lands in the recorder's ring buffer, where
+//! [`TraceRecorder::recent_traces`] reads it back, newest last.
+
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// One timed phase inside a span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Phase {
+    pub name: &'static str,
+    pub elapsed: Duration,
+}
+
+/// A finished request trace.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    pub span_id: u64,
+    /// E.g. `"POST /api/query"`.
+    pub name: String,
+    pub phases: Vec<Phase>,
+    pub total: Duration,
+    /// Wall-clock completion time (ms since the Unix epoch).
+    pub completed_unix_ms: u64,
+}
+
+struct ActiveSpan {
+    phases: Vec<Phase>,
+    last_mark: Instant,
+}
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<ActiveSpan>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Marks the end of the current phase of the innermost active span. A no-op
+/// when no span is active (e.g. library code running outside a server).
+pub fn phase(name: &'static str) {
+    SPAN_STACK.with(|stack| {
+        if let Some(span) = stack.borrow_mut().last_mut() {
+            let now = Instant::now();
+            span.phases.push(Phase {
+                name,
+                elapsed: now - span.last_mark,
+            });
+            span.last_mark = now;
+        }
+    });
+}
+
+/// Bounded collector of finished traces.
+pub struct TraceRecorder {
+    ring: Mutex<VecDeque<Trace>>,
+    capacity: usize,
+    next_span_id: AtomicU64,
+    enabled: AtomicBool,
+}
+
+impl TraceRecorder {
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(TraceRecorder {
+            ring: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity: capacity.max(1),
+            next_span_id: AtomicU64::new(1),
+            enabled: AtomicBool::new(true),
+        })
+    }
+
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Starts a span; drop the guard to record the trace. While the guard is
+    /// alive, [`phase`] calls on this thread attribute time to it.
+    pub fn begin(self: &Arc<Self>, name: impl Into<String>) -> SpanGuard {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return SpanGuard { state: None };
+        }
+        let span_id = self.next_span_id.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().push(ActiveSpan {
+                phases: Vec::with_capacity(4),
+                last_mark: started,
+            })
+        });
+        SpanGuard {
+            state: Some(SpanState {
+                recorder: self.clone(),
+                name: name.into(),
+                span_id,
+                started,
+            }),
+        }
+    }
+
+    /// Finished traces, oldest first, newest last.
+    pub fn recent_traces(&self) -> Vec<Trace> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    fn record(&self, trace: Trace) {
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(trace);
+    }
+}
+
+struct SpanState {
+    recorder: Arc<TraceRecorder>,
+    name: String,
+    span_id: u64,
+    started: Instant,
+}
+
+/// RAII guard for an active span.
+pub struct SpanGuard {
+    state: Option<SpanState>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(state) = self.state.take() else {
+            return;
+        };
+        let active = SPAN_STACK.with(|stack| stack.borrow_mut().pop());
+        let Some(active) = active else { return };
+        let completed_unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        state.recorder.record(Trace {
+            span_id: state.span_id,
+            name: state.name,
+            phases: active.phases,
+            total: state.started.elapsed(),
+            completed_unix_ms,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_phases_in_order() {
+        let recorder = TraceRecorder::new(8);
+        {
+            let _span = recorder.begin("POST /api/query");
+            phase("auth");
+            phase("policy_eval");
+            phase("store_query");
+            phase("serialize");
+        }
+        let traces = recorder.recent_traces();
+        assert_eq!(traces.len(), 1);
+        let names: Vec<&str> = traces[0].phases.iter().map(|p| p.name).collect();
+        assert_eq!(names, ["auth", "policy_eval", "store_query", "serialize"]);
+        assert!(traces[0].total >= traces[0].phases.iter().map(|p| p.elapsed).sum());
+        assert_eq!(traces[0].name, "POST /api/query");
+    }
+
+    #[test]
+    fn ring_buffer_keeps_newest() {
+        let recorder = TraceRecorder::new(4);
+        for i in 0..10 {
+            let _span = recorder.begin(format!("req {i}"));
+        }
+        let traces = recorder.recent_traces();
+        assert_eq!(traces.len(), 4);
+        assert_eq!(traces[0].name, "req 6");
+        assert_eq!(traces[3].name, "req 9");
+        // Span ids keep increasing even as old traces fall off.
+        assert!(traces.windows(2).all(|w| w[0].span_id < w[1].span_id));
+    }
+
+    #[test]
+    fn nested_spans_attribute_phases_to_innermost() {
+        let recorder = TraceRecorder::new(8);
+        {
+            let _outer = recorder.begin("outer");
+            phase("outer_before");
+            {
+                let _inner = recorder.begin("inner");
+                phase("inner_work");
+            }
+            phase("outer_after");
+        }
+        let traces = recorder.recent_traces();
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0].name, "inner");
+        assert_eq!(traces[0].phases.len(), 1);
+        let outer_names: Vec<&str> = traces[1].phases.iter().map(|p| p.name).collect();
+        assert_eq!(outer_names, ["outer_before", "outer_after"]);
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let recorder = TraceRecorder::new(8);
+        recorder.set_enabled(false);
+        {
+            let _span = recorder.begin("dropped");
+            phase("ignored");
+        }
+        assert!(recorder.recent_traces().is_empty());
+    }
+
+    #[test]
+    fn orphan_phase_is_a_noop() {
+        phase("no active span");
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the histogram snapshot algebra.
+//!
+//! These pin down the two invariants the scrape path relies on: merging
+//! shard snapshots conserves observation counts, and quantile estimation is
+//! monotone in `q` regardless of how observations landed in buckets.
+
+use proptest::prelude::*;
+use sensorsafe_obsv::{Histogram, HistogramSnapshot, Registry};
+use std::sync::Arc;
+
+fn observations() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(1e-6f64..10.0f64, 0..200)
+}
+
+fn hist_with(values: &[f64]) -> Arc<Histogram> {
+    let registry = Registry::new();
+    let hist = registry.histogram("prop_seconds", "prop", &[], None);
+    for &v in values {
+        hist.observe_secs(v);
+    }
+    hist
+}
+
+proptest! {
+    #[test]
+    fn merged_count_is_sum_of_parts(a in observations(), b in observations()) {
+        let sa = hist_with(&a).snapshot();
+        let sb = hist_with(&b).snapshot();
+        let merged = sa.merge(&sb);
+        prop_assert_eq!(merged.count(), sa.count() + sb.count());
+        // Per-bucket conservation, not just the total.
+        for (i, c) in merged.counts.iter().enumerate() {
+            prop_assert_eq!(*c, sa.counts[i] + sb.counts[i]);
+        }
+        let sum_err = (merged.sum() - (sa.sum() + sb.sum())).abs();
+        prop_assert!(sum_err < 1e-6, "sum not conserved: {}", sum_err);
+    }
+
+    #[test]
+    fn merge_is_commutative(a in observations(), b in observations()) {
+        let sa = hist_with(&a).snapshot();
+        let sb = hist_with(&b).snapshot();
+        let ab = sa.merge(&sb);
+        let ba = sb.merge(&sa);
+        prop_assert_eq!(ab.counts, ba.counts);
+        prop_assert_eq!(ab.count(), ba.count());
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(values in observations()) {
+        let snap = hist_with(&values).snapshot();
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+        let estimates: Vec<f64> = qs.iter().map(|&q| snap.quantile(q)).collect();
+        for pair in estimates.windows(2) {
+            prop_assert!(
+                pair[0] <= pair[1] + 1e-12,
+                "quantile estimates must be non-decreasing: {:?}",
+                estimates
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_stays_within_bucket_bounds(values in observations()) {
+        // Non-empty histograms only: the empty snapshot reports 0.0.
+        prop_assume!(!values.is_empty());
+        let snap = hist_with(&values).snapshot();
+        let p99 = snap.quantile(0.99);
+        let last_finite = *snap.bounds.last().unwrap();
+        prop_assert!(p99 >= 0.0 && p99 <= last_finite);
+    }
+
+    #[test]
+    fn merging_preserves_quantile_monotonicity(a in observations(), b in observations()) {
+        let merged = hist_with(&a).snapshot().merge(&hist_with(&b).snapshot());
+        prop_assert!(merged.p50() <= merged.p90() + 1e-12);
+        prop_assert!(merged.p90() <= merged.p99() + 1e-12);
+    }
+}
+
+#[test]
+fn merge_identity_with_empty_snapshot() {
+    let snap = hist_with(&[0.001, 0.02, 0.3]).snapshot();
+    let empty = HistogramSnapshot {
+        bounds: snap.bounds.clone(),
+        counts: vec![0; snap.counts.len()],
+        sum: 0.0,
+    };
+    let merged = snap.merge(&empty);
+    assert_eq!(merged.counts, snap.counts);
+    assert_eq!(merged.count(), 3);
+}

@@ -194,9 +194,8 @@ pub fn synthetic_geocode(p: &GeoPoint) -> Address {
     let city_cell = (cell(p.latitude, 0.1), cell(p.longitude, 0.1));
     let state_cell = (cell(p.latitude, 1.0), cell(p.longitude, 1.0));
     let country_cell = (cell(p.latitude, 10.0), cell(p.longitude, 10.0));
-    let mix = |a: i64, b: i64, m: i64| -> i64 {
-        ((a * 73_856_093) ^ (b * 19_349_663)).rem_euclid(m)
-    };
+    let mix =
+        |a: i64, b: i64, m: i64| -> i64 { ((a * 73_856_093) ^ (b * 19_349_663)).rem_euclid(m) };
     Address {
         street: format!(
             "{} Grid Ave",

@@ -135,7 +135,10 @@ mod tests {
     #[test]
     fn paper_graph_structure() {
         let g = DependencyGraph::paper();
-        let stress: Vec<&str> = g.sources_of(ContextKind::Stress).map(|c| c.as_str()).collect();
+        let stress: Vec<&str> = g
+            .sources_of(ContextKind::Stress)
+            .map(|c| c.as_str())
+            .collect();
         assert_eq!(stress, ["ecg", "respiration"]);
         let from_rip = g.contexts_from(&chan(CHAN_RESPIRATION));
         assert!(from_rip.contains(&ContextKind::Stress));

@@ -22,6 +22,7 @@
 
 use crate::abstraction::{ActivityAbs, BinaryAbs, LocationAbs, TimeAbs};
 use crate::eval::Decision;
+use sensorsafe_obsv::audit;
 use sensorsafe_types::{
     ChannelId, ContextAnnotation, ContextKind, SegmentMeta, TimeRange, Timestamp, Timing,
     WaveSegment,
@@ -146,7 +147,9 @@ pub fn enforce(
     segment: &WaveSegment,
     annotations: &[ContextAnnotation],
 ) -> Option<SharedSegment> {
+    let suppressed = decision.suppressed.len() as u64;
     if decision.shares_nothing() {
+        audit::record_enforcement(audit::Outcome::Denied, suppressed);
         return None;
     }
     let raw: Vec<ChannelId> = decision.raw_channels().cloned().collect();
@@ -185,9 +188,7 @@ pub fn enforce(
     let mut labels = Vec::new();
     let seg_range = segment.time_range();
     for ann in annotations {
-        let overlaps = seg_range
-            .as_ref()
-            .is_some_and(|r| r.overlaps(&ann.window));
+        let overlaps = seg_range.as_ref().is_some_and(|r| r.overlaps(&ann.window));
         if !overlaps {
             continue;
         }
@@ -242,7 +243,24 @@ pub fn enforce(
         location,
         time_level: decision.time,
     };
-    (!shared.is_empty()).then_some(shared)
+    if shared.is_empty() {
+        audit::record_enforcement(audit::Outcome::Denied, suppressed);
+        return None;
+    }
+    // "Abstracted" means the consumer saw less than the raw window: a
+    // dependency-closure suppression, a label standing in for raw data, or
+    // time coarser than milliseconds.
+    let abstracted =
+        suppressed > 0 || !shared.labels.is_empty() || decision.time != TimeAbs::Milliseconds;
+    audit::record_enforcement(
+        if abstracted {
+            audit::Outcome::Abstracted
+        } else {
+            audit::Outcome::Allowed
+        },
+        suppressed,
+    );
+    Some(shared)
 }
 
 #[cfg(test)]

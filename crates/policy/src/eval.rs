@@ -136,10 +136,12 @@ fn context_matches(cond: &Conditions, window: &WindowCtx, evidence: Evidence) ->
     if cond.contexts.is_empty() {
         return true;
     }
-    cond.contexts.iter().any(|k| match window.context_state(*k) {
-        Some(active) => active,
-        None => evidence == Evidence::Conservative,
-    })
+    cond.contexts
+        .iter()
+        .any(|k| match window.context_state(*k) {
+            Some(active) => active,
+            None => evidence == Evidence::Conservative,
+        })
 }
 
 fn consumer_matches(cond: &Conditions, consumer: &ConsumerCtx) -> bool {
@@ -290,8 +292,7 @@ pub fn evaluate(
     // Dependency closure: suppress raw channels whose inferable contexts
     // are not fully raw.
     let blocked = graph.blocked_channels(activity, stress, smoking, conversation);
-    let suppressed: BTreeSet<ChannelId> =
-        allowed.intersection(&blocked).cloned().collect();
+    let suppressed: BTreeSet<ChannelId> = allowed.intersection(&blocked).cloned().collect();
 
     Decision {
         allowed,
@@ -310,9 +311,7 @@ pub fn evaluate(
 mod tests {
     use super::*;
     use crate::rule::{AbstractionSpec, LocationCondition, TimeCondition};
-    use sensorsafe_types::{
-        Region, CHAN_ACCEL_MAG, CHAN_ECG, CHAN_RESPIRATION,
-    };
+    use sensorsafe_types::{Region, CHAN_ACCEL_MAG, CHAN_ECG, CHAN_RESPIRATION};
 
     fn chans(names: &[&str]) -> Vec<ChannelId> {
         names.iter().map(|n| ChannelId::new(*n)).collect()
@@ -556,7 +555,13 @@ mod tests {
         );
         assert!(d.allowed.is_empty());
         // The allow rule needs positive evidence, so nothing is shared.
-        let d2 = evaluate(&[allow_in_region], &bob(), &no_fix, &chans(&["ecg"]), &graph());
+        let d2 = evaluate(
+            &[allow_in_region],
+            &bob(),
+            &no_fix,
+            &chans(&["ecg"]),
+            &graph(),
+        );
         assert!(d2.allowed.is_empty());
     }
 
@@ -578,11 +583,23 @@ mod tests {
         };
         let mut in_jan = window_at_ucla();
         in_jan.time = Timestamp::from_civil(2011, 1, 15);
-        let d = evaluate(std::slice::from_ref(&allow_in_jan), &bob(), &in_jan, &chans(&["ecg"]), &graph());
+        let d = evaluate(
+            std::slice::from_ref(&allow_in_jan),
+            &bob(),
+            &in_jan,
+            &chans(&["ecg"]),
+            &graph(),
+        );
         assert_eq!(d.allowed.len(), 1);
         let mut in_july = window_at_ucla();
         in_july.time = Timestamp::from_civil(2011, 7, 15);
-        let d2 = evaluate(&[allow_in_jan], &bob(), &in_july, &chans(&["ecg"]), &graph());
+        let d2 = evaluate(
+            &[allow_in_jan],
+            &bob(),
+            &in_july,
+            &chans(&["ecg"]),
+            &graph(),
+        );
         assert!(d2.allowed.is_empty());
     }
 

@@ -23,8 +23,7 @@ use crate::deps::DependencyGraph;
 use crate::eval::{evaluate, ConsumerCtx, WindowCtx};
 use crate::rule::PrivacyRule;
 use sensorsafe_types::{
-    ChannelId, ContextKind, ContextState, ContributorId, RepeatTime, TimeRange, Timestamp,
-    Weekday,
+    ChannelId, ContextKind, ContextState, ContributorId, RepeatTime, TimeRange, Timestamp, Weekday,
 };
 use std::collections::BTreeMap;
 
@@ -69,21 +68,16 @@ impl SearchQuery {
                 } else {
                     rep.days.clone()
                 };
-                let mid_minutes =
-                    (rep.from.minutes() as i64 + rep.to.minutes() as i64) / 2;
+                let mid_minutes = (rep.from.minutes() as i64 + rep.to.minutes() as i64) / 2;
                 let week = reference_week_start();
                 for day in days {
                     let day_idx = Weekday::ALL.iter().position(|d| *d == day).unwrap() as i64;
-                    probes.push(
-                        week.plus_millis(day_idx * 86_400_000 + mid_minutes * 60_000),
-                    );
+                    probes.push(week.plus_millis(day_idx * 86_400_000 + mid_minutes * 60_000));
                 }
             }
             (None, Some(range)) => {
                 // Probe the midpoint and both ends (just inside).
-                let mid = Timestamp::from_millis(
-                    (range.start.millis() + range.end.millis()) / 2,
-                );
+                let mid = Timestamp::from_millis((range.start.millis() + range.end.millis()) / 2);
                 probes.push(range.start);
                 probes.push(mid);
                 probes.push(Timestamp::from_millis(range.end.millis() - 1));
@@ -94,10 +88,9 @@ impl SearchQuery {
         // reference week into the range when possible.
         if let (Some(_), Some(range)) = (&self.repeat, &self.range) {
             let week_ms = 7 * 86_400_000i64;
-            let shift = ((range.start.millis() - reference_week_start().millis())
-                .div_euclid(week_ms)
-                + 1)
-                * week_ms;
+            let shift =
+                ((range.start.millis() - reference_week_start().millis()).div_euclid(week_ms) + 1)
+                    * week_ms;
             for p in &mut probes {
                 let moved = p.plus_millis(shift);
                 if range.contains(moved) {
@@ -197,6 +190,11 @@ impl RuleIndex {
         self.entries
             .get(contributor)
             .map(|(e, r)| (*e, r.as_slice()))
+    }
+
+    /// Mirrored `(contributor, epoch)` pairs, in name order.
+    pub fn epochs(&self) -> impl Iterator<Item = (&ContributorId, u64)> {
+        self.entries.iter().map(|(c, (e, _))| (c, *e))
     }
 
     /// Number of mirrored contributors.

@@ -9,8 +9,8 @@
 use crate::abstraction::{ActivityAbs, BinaryAbs, LocationAbs, TimeAbs};
 use sensorsafe_json::{Map, Parser, Value};
 use sensorsafe_types::{
-    ChannelId, ConsumerId, ContextKind, GroupId, RepeatTime, Region, StudyId, TimeOfDay,
-    TimeRange, Timestamp, Weekday,
+    ChannelId, ConsumerId, ContextKind, GroupId, Region, RepeatTime, StudyId, TimeOfDay, TimeRange,
+    Timestamp, Weekday,
 };
 
 /// Who a rule's consumer condition selects (Table 1: "User Name, Group
@@ -362,9 +362,7 @@ impl PrivacyRule {
                 .ok_or_else(|| err("LocationLabel must be a string or string array"))?;
         }
         if let Some(v) = obj.get("Region") {
-            let items = v
-                .as_array()
-                .ok_or_else(|| err("Region must be an array"))?;
+            let items = v.as_array().ok_or_else(|| err("Region must be an array"))?;
             for item in items {
                 let get = |k: &str| {
                     item.get(k)
@@ -375,12 +373,9 @@ impl PrivacyRule {
                 if south > north {
                     return Err(err("Region south edge above north edge"));
                 }
-                location.regions.push(Region::new(
-                    south,
-                    north,
-                    get("west")?,
-                    get("east")?,
-                ));
+                location
+                    .regions
+                    .push(Region::new(south, north, get("west")?, get("east")?));
             }
         }
         let mut time = TimeCondition::default();
@@ -495,7 +490,11 @@ fn parse_repeat(entry: &Value) -> Result<RepeatTime, RuleError> {
             .and_then(TimeOfDay::parse)
             .ok_or_else(|| err("invalid HourMin time"))
     };
-    Ok(RepeatTime::new(days, parse_tod(&hours[0])?, parse_tod(&hours[1])?))
+    Ok(RepeatTime::new(
+        days,
+        parse_tod(&hours[0])?,
+        parse_tod(&hours[1])?,
+    ))
 }
 
 fn parse_action(v: &Value) -> Result<Action, RuleError> {
@@ -556,8 +555,7 @@ fn parse_action(v: &Value) -> Result<Action, RuleError> {
 }
 
 fn parse_binary_level(name: &str, target: &str) -> Result<BinaryAbs, RuleError> {
-    BinaryAbs::parse(name)
-        .ok_or_else(|| err(format!("bad {target} level '{name}'")))
+    BinaryAbs::parse(name).ok_or_else(|| err(format!("bad {target} level '{name}'")))
 }
 
 #[cfg(test)]
@@ -674,8 +672,8 @@ mod tests {
 
     #[test]
     fn rejects_unknown_keys() {
-        let e = PrivacyRule::parse_rules(r#"{"Consmuer": ["Bob"], "Action": "Allow"}"#)
-            .unwrap_err();
+        let e =
+            PrivacyRule::parse_rules(r#"{"Consmuer": ["Bob"], "Action": "Allow"}"#).unwrap_err();
         assert!(e.0.contains("Consmuer"), "{e}");
     }
 
@@ -690,8 +688,7 @@ mod tests {
         assert!(PrivacyRule::parse_rules(r#"{"Action": {"Abstraction": {}}}"#).is_err());
         assert!(PrivacyRule::parse_rules(r#"{"Action": 42}"#).is_err());
         assert!(
-            PrivacyRule::parse_rules(r#"{"Action": {"Abstraction": {"Stress": "Loud"}}}"#)
-                .is_err()
+            PrivacyRule::parse_rules(r#"{"Action": {"Abstraction": {"Stress": "Loud"}}}"#).is_err()
         );
         assert!(
             PrivacyRule::parse_rules(r#"{"Action": {"Abstraction": {"Blood": "Raw"}}}"#).is_err()
@@ -722,10 +719,9 @@ mod tests {
 
     #[test]
     fn smoke_alias_for_smoking_target() {
-        let rules = PrivacyRule::parse_rules(
-            r#"{"Action": {"Abstraction": {"Smoke": "NotShared"}}}"#,
-        )
-        .unwrap();
+        let rules =
+            PrivacyRule::parse_rules(r#"{"Action": {"Abstraction": {"Smoke": "NotShared"}}}"#)
+                .unwrap();
         assert_eq!(
             rules[0].action,
             Action::Abstraction(AbstractionSpec {

@@ -1,15 +1,15 @@
 //! Property-based tests for the access-control engine's invariants.
 
 use proptest::prelude::*;
+use sensorsafe_policy::WindowCtx;
 use sensorsafe_policy::{
     evaluate, AbstractionSpec, Action, ActivityAbs, BinaryAbs, Conditions, ConsumerCtx,
     ConsumerSelector, DependencyGraph, LocationAbs, LocationCondition, PrivacyRule, TimeAbs,
     TimeCondition,
 };
-use sensorsafe_policy::WindowCtx;
 use sensorsafe_types::{
-    ChannelId, ContextKind, ContextState, GeoPoint, GroupId, RepeatTime, Region, StudyId,
-    TimeOfDay, TimeRange, Timestamp, Weekday,
+    ChannelId, ContextKind, ContextState, GeoPoint, GroupId, Region, RepeatTime, StudyId,
+    TimeOfDay, Timestamp, Weekday,
 };
 
 fn arb_channel() -> impl Strategy<Value = ChannelId> {
@@ -81,16 +81,16 @@ fn arb_conditions() -> impl Strategy<Value = Conditions> {
             ],
             0..3,
         ),
-        prop::option::of(("[a-z]{1,6}", any::<bool>()).prop_map(|(label, with_region)| {
-            LocationCondition {
+        prop::option::of(
+            ("[a-z]{1,6}", any::<bool>()).prop_map(|(label, with_region)| LocationCondition {
                 labels: vec![label],
                 regions: if with_region {
                     vec![Region::around(GeoPoint::ucla(), 0.05)]
                 } else {
                     vec![]
                 },
-            }
-        })),
+            }),
+        ),
         prop::option::of((0u8..23, 1u16..300).prop_map(|(h, len)| {
             let from = TimeOfDay::new(h, 0);
             let to_min = (from.minutes() + len).min(24 * 60 - 1);
@@ -106,21 +106,21 @@ fn arb_conditions() -> impl Strategy<Value = Conditions> {
         prop::collection::vec(arb_channel(), 0..3),
         prop::collection::vec(arb_context(), 0..2),
     )
-        .prop_map(|(consumers, location, time, sensors, contexts)| Conditions {
-            consumers,
-            location,
-            time,
-            sensors,
-            contexts,
-        })
+        .prop_map(
+            |(consumers, location, time, sensors, contexts)| Conditions {
+                consumers,
+                location,
+                time,
+                sensors,
+                contexts,
+            },
+        )
 }
 
 fn arb_rules() -> impl Strategy<Value = Vec<PrivacyRule>> {
     prop::collection::vec(
-        (arb_conditions(), arb_action()).prop_map(|(conditions, action)| PrivacyRule {
-            conditions,
-            action,
-        }),
+        (arb_conditions(), arb_action())
+            .prop_map(|(conditions, action)| PrivacyRule { conditions, action }),
         0..8,
     )
 }
@@ -144,10 +144,16 @@ fn arb_window() -> impl Strategy<Value = WindowCtx> {
 }
 
 fn channels() -> Vec<ChannelId> {
-    ["ecg", "respiration", "accel_mag", "audio_energy", "skin_temp"]
-        .iter()
-        .map(|c| ChannelId::new(*c))
-        .collect()
+    [
+        "ecg",
+        "respiration",
+        "accel_mag",
+        "audio_energy",
+        "skin_temp",
+    ]
+    .iter()
+    .map(|c| ChannelId::new(*c))
+    .collect()
 }
 
 proptest! {

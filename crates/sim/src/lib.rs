@@ -22,6 +22,4 @@ pub mod scenario;
 pub mod signals;
 
 pub use scenario::{Episode, Place, RenderOutput, Scenario, PACKET_SAMPLES};
-pub use signals::{
-    AccelSynth, AudioSynth, Condition, EcgSynth, GpsSynth, RespSynth, SignalClock,
-};
+pub use signals::{AccelSynth, AudioSynth, Condition, EcgSynth, GpsSynth, RespSynth, SignalClock};

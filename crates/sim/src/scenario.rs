@@ -324,8 +324,7 @@ impl Scenario {
                     format: gps_format.clone(),
                 };
                 out.gps_segments.push(
-                    WaveSegment::from_rows(meta, chunk_rows)
-                        .expect("generated rows match format"),
+                    WaveSegment::from_rows(meta, chunk_rows).expect("generated rows match format"),
                 );
             }
 
@@ -418,10 +417,7 @@ mod tests {
         // Chest: 50 Hz × 600 s = 30_000 samples in 64-sample packets.
         let chest_samples: usize = out.chest_segments.iter().map(WaveSegment::len).sum();
         assert_eq!(chest_samples, total_secs * 50);
-        assert!(out
-            .chest_segments
-            .iter()
-            .all(|s| s.len() <= PACKET_SAMPLES));
+        assert!(out.chest_segments.iter().all(|s| s.len() <= PACKET_SAMPLES));
         // Phone: 10 Hz.
         let phone_samples: usize = out.phone_segments.iter().map(WaveSegment::len).sum();
         assert_eq!(phone_samples, total_secs * 10);
@@ -449,8 +445,7 @@ mod tests {
         // contiguous at 20 ms.
         let first = &out.chest_segments[0];
         let second = &out.chest_segments[1];
-        let gap = second.start_time().unwrap().millis()
-            - first.time_range().unwrap().end.millis();
+        let gap = second.start_time().unwrap().millis() - first.time_range().unwrap().end.millis();
         assert!(gap.abs() <= 1, "gap {gap}ms");
         assert!(first.can_merge(second));
     }
@@ -480,8 +475,7 @@ mod tests {
             .gps_segments
             .iter()
             .find(|s| {
-                s.start_time().unwrap()
-                    >= short_scenario().start.plus_millis(60_000)
+                s.start_time().unwrap() >= short_scenario().start.plus_millis(60_000)
                     && s.len() > 10
             })
             .unwrap();
@@ -496,10 +490,7 @@ mod tests {
     #[test]
     fn total_samples_accounting() {
         let out = short_scenario().render();
-        assert_eq!(
-            out.total_samples(),
-            600 * 50 + 600 * 10 + 600
-        );
+        assert_eq!(out.total_samples(), 600 * 50 + 600 * 10 + 600);
         assert_eq!(
             out.all_segments().len(),
             out.chest_segments.len() + out.phone_segments.len() + out.gps_segments.len()

@@ -114,7 +114,10 @@ impl SignalClock {
 }
 
 fn rng_for(seed: u64, stream: u64) -> StdRng {
-    StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(stream))
+    StdRng::seed_from_u64(
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(stream),
+    )
 }
 
 /// ECG generator: baseline wander + a sharp QRS-like spike each beat.
@@ -349,8 +352,7 @@ mod tests {
 
     fn stats(samples: &[f64]) -> (f64, f64) {
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
-            / samples.len() as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         (mean, var)
     }
 

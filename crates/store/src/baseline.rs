@@ -58,11 +58,7 @@ impl TupleStore {
     pub fn insert_segment(&mut self, segment: &WaveSegment) {
         let channels: Vec<ChannelId> = segment.channels().cloned().collect();
         for i in 0..segment.len() {
-            let values = channels
-                .iter()
-                .cloned()
-                .zip(segment.row(i))
-                .collect();
+            let values = channels.iter().cloned().zip(segment.row(i)).collect();
             self.insert_row(TupleRow {
                 time: segment.time_at(i),
                 location: segment.meta().location,
@@ -83,7 +79,10 @@ impl TupleStore {
 
     /// Approximate resident bytes (rows plus index overhead).
     pub fn approx_bytes(&self) -> usize {
-        self.rows.values().map(TupleRow::approx_bytes).sum::<usize>()
+        self.rows
+            .values()
+            .map(TupleRow::approx_bytes)
+            .sum::<usize>()
             + self.rows.len() * 16 // key overhead
     }
 
@@ -109,10 +108,7 @@ impl TupleStore {
                 }
             }
             if !query.channels.is_empty()
-                && !row
-                    .values
-                    .iter()
-                    .any(|(c, _)| query.channels.contains(c))
+                && !row.values.iter().any(|(c, _)| query.channels.contains(c))
             {
                 continue;
             }

@@ -186,8 +186,8 @@ pub fn decode_segment(buf: &[u8]) -> Result<WaveSegment, CodecError> {
     for _ in 0..nchan {
         let kind = kind_from_tag(r.u8()?)?;
         let name_len = r.u16()? as usize;
-        let name = std::str::from_utf8(r.take(name_len)?)
-            .map_err(|_| err("channel name not UTF-8"))?;
+        let name =
+            std::str::from_utf8(r.take(name_len)?).map_err(|_| err("channel name not UTF-8"))?;
         format.push(ChannelSpec {
             channel: ChannelId::try_new(name).ok_or_else(|| err("empty channel name"))?,
             kind,
@@ -266,9 +266,22 @@ pub fn decode_annotation(buf: &[u8]) -> Result<ContextAnnotation, CodecError> {
 pub fn crc32(data: &[u8]) -> u32 {
     // Nibble-wise table: tiny and fast enough for log framing.
     const TABLE: [u32; 16] = [
-        0x0000_0000, 0x1db7_1064, 0x3b6e_20c8, 0x26d9_30ac, 0x76dc_4190, 0x6b6b_51f4,
-        0x4db2_6158, 0x5005_713c, 0xedb8_8320, 0xf00f_9344, 0xd6d6_a3e8, 0xcb61_b38c,
-        0x9b64_c2b0, 0x86d3_d2d4, 0xa00a_e278, 0xbdbd_f21c,
+        0x0000_0000,
+        0x1db7_1064,
+        0x3b6e_20c8,
+        0x26d9_30ac,
+        0x76dc_4190,
+        0x6b6b_51f4,
+        0x4db2_6158,
+        0x5005_713c,
+        0xedb8_8320,
+        0xf00f_9344,
+        0xd6d6_a3e8,
+        0xcb61_b38c,
+        0x9b64_c2b0,
+        0x86d3_d2d4,
+        0xa00a_e278,
+        0xbdbd_f21c,
     ];
     let mut crc = !0u32;
     for &b in data {
@@ -306,10 +319,7 @@ mod tests {
     #[test]
     fn segment_roundtrip_per_sample_no_location() {
         let meta = SegmentMeta {
-            timing: Timing::PerSample(vec![
-                Timestamp::from_millis(5),
-                Timestamp::from_millis(9),
-            ]),
+            timing: Timing::PerSample(vec![Timestamp::from_millis(5), Timestamp::from_millis(9)]),
             location: None,
             format: vec![ChannelSpec::f64("x")],
         };
@@ -394,7 +404,10 @@ mod tests {
     fn crc32_known_vectors() {
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]

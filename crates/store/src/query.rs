@@ -64,7 +64,12 @@ impl Query {
         if !self.channels.is_empty() {
             obj.insert(
                 "channels".into(),
-                Value::Array(self.channels.iter().map(|c| Value::from(c.as_str())).collect()),
+                Value::Array(
+                    self.channels
+                        .iter()
+                        .map(|c| Value::from(c.as_str()))
+                        .collect(),
+                ),
             );
         }
         if let Some(r) = &self.region {
@@ -130,10 +135,7 @@ impl Query {
             q.region = Some(Region::new(south, north, get("west")?, get("east")?));
         }
         if let Some(l) = obj.get("limit") {
-            q.limit = Some(
-                l.as_u64()
-                    .ok_or("limit must be a non-negative integer")? as usize,
-            );
+            q.limit = Some(l.as_u64().ok_or("limit must be a non-negative integer")? as usize);
         }
         Ok(q)
     }

@@ -164,16 +164,20 @@ impl SegmentStore {
             .millis();
         // Merge attempt: the predecessor segment in time order.
         if self.policy.enabled {
-            if let Some((&pred_key, pred)) =
-                series.segments.range(..(start, u64::MAX)).next_back()
+            if let Some((&pred_key, pred)) = series.segments.range(..(start, u64::MAX)).next_back()
             {
-                if pred.len() + segment.len() <= self.policy.max_rows
-                    && pred.can_merge(&segment)
-                {
+                if pred.len() + segment.len() <= self.policy.max_rows && pred.can_merge(&segment) {
                     let merged = pred.merge(&segment);
                     series.segments.remove(&pred_key);
                     series.segments.insert(pred_key, merged);
                     self.merges += 1;
+                    sensorsafe_obsv::global()
+                        .counter(
+                            "sensorsafe_store_segment_merges_total",
+                            "Adjacent-segment merges performed by the merge optimizer.",
+                            &[],
+                        )
+                        .inc();
                     return;
                 }
             }
@@ -238,6 +242,7 @@ impl SegmentStore {
     /// time order within each series.
     pub fn query(&self, query: &Query) -> Vec<WaveSegment> {
         let mut out = Vec::new();
+        let mut scanned = 0u64;
         'series: for series in self.series.values() {
             let candidates: Box<dyn Iterator<Item = &WaveSegment>> = match &query.time {
                 None => Box::new(series.segments.values()),
@@ -257,6 +262,7 @@ impl SegmentStore {
                 }
             };
             for seg in candidates {
+                scanned += 1;
                 if let Some(region) = &query.region {
                     match seg.meta().location {
                         Some(p) if region.contains(&p) => {}
@@ -281,6 +287,17 @@ impl SegmentStore {
                 }
             }
         }
+        // Scan width tracks how well the time index bounds each query:
+        // widths creeping up toward segment count means merges are not
+        // keeping pace with ingest.
+        sensorsafe_obsv::global()
+            .histogram(
+                "sensorsafe_store_query_scan_segments",
+                "Segments examined per store query.",
+                &[],
+                Some(&[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 1024.0]),
+            )
+            .observe_secs(scanned as f64);
         out
     }
 
@@ -324,8 +341,7 @@ impl SegmentStore {
 mod tests {
     use super::*;
     use sensorsafe_types::{
-        ChannelId, ChannelSpec, ContextKind, ContextState, GeoPoint, SegmentMeta, Timestamp,
-        Timing,
+        ChannelId, ChannelSpec, ContextKind, ContextState, GeoPoint, SegmentMeta, Timestamp, Timing,
     };
 
     fn seg_at(start_ms: i64, rows: usize) -> WaveSegment {
@@ -358,9 +374,7 @@ mod tests {
         // The Zephyr scenario: 64-sample packets arriving back to back.
         let mut store = SegmentStore::in_memory(MergePolicy::default());
         for packet in 0..100 {
-            store
-                .insert_segment(seg_at(packet * 64 * 20, 64))
-                .unwrap();
+            store.insert_segment(seg_at(packet * 64 * 20, 64)).unwrap();
         }
         let stats = store.stats();
         assert_eq!(stats.samples, 6400);
@@ -375,9 +389,7 @@ mod tests {
             max_rows: 128,
         });
         for packet in 0..10 {
-            store
-                .insert_segment(seg_at(packet * 64 * 20, 64))
-                .unwrap();
+            store.insert_segment(seg_at(packet * 64 * 20, 64)).unwrap();
         }
         let stats = store.stats();
         assert_eq!(stats.samples, 640);
@@ -388,9 +400,7 @@ mod tests {
     fn merge_disabled_keeps_packets() {
         let mut store = SegmentStore::in_memory(MergePolicy::disabled());
         for packet in 0..10 {
-            store
-                .insert_segment(seg_at(packet * 64 * 20, 64))
-                .unwrap();
+            store.insert_segment(seg_at(packet * 64 * 20, 64)).unwrap();
         }
         assert_eq!(store.stats().segments, 10);
         assert_eq!(store.stats().merges, 0);
@@ -408,9 +418,7 @@ mod tests {
     fn query_time_range() {
         let mut store = SegmentStore::in_memory(MergePolicy::disabled());
         for packet in 0..10 {
-            store
-                .insert_segment(seg_at(packet * 64 * 20, 64))
-                .unwrap();
+            store.insert_segment(seg_at(packet * 64 * 20, 64)).unwrap();
         }
         // 64 * 20 = 1280 ms per packet. Query the middle ~3 packets.
         let q = Query::all().in_time(TimeRange::new(
@@ -458,10 +466,8 @@ mod tests {
     fn query_region_filter() {
         let mut store = SegmentStore::in_memory(MergePolicy::default());
         store.insert_segment(seg_at(0, 64)).unwrap();
-        let at_ucla = Query::all().in_region(sensorsafe_types::Region::around(
-            GeoPoint::ucla(),
-            0.01,
-        ));
+        let at_ucla =
+            Query::all().in_region(sensorsafe_types::Region::around(GeoPoint::ucla(), 0.01));
         assert_eq!(store.query(&at_ucla).len(), 1);
         let elsewhere = Query::all().in_region(sensorsafe_types::Region::around(
             GeoPoint::new(40.0, -100.0),
@@ -474,9 +480,7 @@ mod tests {
     fn query_limit() {
         let mut store = SegmentStore::in_memory(MergePolicy::disabled());
         for packet in 0..10 {
-            store
-                .insert_segment(seg_at(packet * 64 * 20, 64))
-                .unwrap();
+            store.insert_segment(seg_at(packet * 64 * 20, 64)).unwrap();
         }
         assert_eq!(store.query(&Query::all().with_limit(3)).len(), 3);
     }
@@ -537,9 +541,7 @@ mod tests {
         {
             let mut store = SegmentStore::open(&path, MergePolicy::default()).unwrap();
             for packet in 0..20 {
-                store
-                    .insert_segment(seg_at(packet * 64 * 20, 64))
-                    .unwrap();
+                store.insert_segment(seg_at(packet * 64 * 20, 64)).unwrap();
             }
             store.insert_annotation(ann_at(0)).unwrap();
             store.sync().unwrap();
@@ -556,10 +558,8 @@ mod tests {
 
     #[test]
     fn compaction_shrinks_log_and_preserves_state() {
-        let dir = std::env::temp_dir().join(format!(
-            "sensorsafe-store-compact-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("sensorsafe-store-compact-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("store.wal");
@@ -567,9 +567,7 @@ mod tests {
         {
             let mut store = SegmentStore::open(&path, MergePolicy::default()).unwrap();
             for packet in 0..100 {
-                store
-                    .insert_segment(seg_at(packet * 64 * 20, 64))
-                    .unwrap();
+                store.insert_segment(seg_at(packet * 64 * 20, 64)).unwrap();
             }
             store.insert_annotation(ann_at(0)).unwrap();
             store.sync().unwrap();

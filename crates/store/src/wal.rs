@@ -91,6 +91,13 @@ impl Wal {
             .write_all(&(payload.len() as u32).to_le_bytes())?;
         self.writer.write_all(&crc32(&payload).to_le_bytes())?;
         self.writer.write_all(&payload)?;
+        sensorsafe_obsv::global()
+            .counter(
+                "sensorsafe_store_wal_appends_total",
+                "Records appended to write-ahead logs.",
+                &[],
+            )
+            .inc();
         Ok(())
     }
 
@@ -119,8 +126,7 @@ impl Wal {
                 break; // torn header
             }
             let tag = data[pos];
-            let len =
-                u32::from_le_bytes(data[pos + 1..pos + 5].try_into().unwrap()) as usize;
+            let len = u32::from_le_bytes(data[pos + 1..pos + 5].try_into().unwrap()) as usize;
             let expected_crc = u32::from_le_bytes(data[pos + 5..pos + 9].try_into().unwrap());
             let payload_end = header_end + len;
             if payload_end > data.len() {
@@ -131,9 +137,9 @@ impl Wal {
                 break; // corrupt record: stop at the valid prefix
             }
             let record = match tag {
-                TAG_SEGMENT => WalRecord::Segment(
-                    codec::decode_segment(payload).map_err(WalError::Codec)?,
-                ),
+                TAG_SEGMENT => {
+                    WalRecord::Segment(codec::decode_segment(payload).map_err(WalError::Codec)?)
+                }
                 TAG_ANNOTATION => WalRecord::Annotation(
                     codec::decode_annotation(payload).map_err(WalError::Codec)?,
                 ),
@@ -163,10 +169,8 @@ mod tests {
     };
 
     fn tempdir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "sensorsafe-wal-{name}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("sensorsafe-wal-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir

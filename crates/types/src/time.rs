@@ -95,10 +95,18 @@ impl Timestamp {
     pub fn from_civil(year: i32, month: u8, day: u8) -> Timestamp {
         assert!((1..=12).contains(&month), "month out of range");
         assert!((1..=31).contains(&day), "day out of range");
-        let y = if month <= 2 { year as i64 - 1 } else { year as i64 };
+        let y = if month <= 2 {
+            year as i64 - 1
+        } else {
+            year as i64
+        };
         let era = y.div_euclid(400);
         let yoe = y.rem_euclid(400);
-        let mp = if month > 2 { month as i64 - 3 } else { month as i64 + 9 };
+        let mp = if month > 2 {
+            month as i64 - 3
+        } else {
+            month as i64 + 9
+        };
         let doy = (153 * mp + 2) / 5 + day as i64 - 1;
         let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
         let days = era * 146_097 + doe - 719_468;
@@ -396,7 +404,10 @@ mod tests {
         let t = Timestamp(MS_PER_HOUR * 5 + 123_456);
         assert_eq!(t.truncate_to(MS_PER_HOUR), Timestamp(MS_PER_HOUR * 5));
         assert_eq!(t.truncate_to(MS_PER_DAY), Timestamp(0));
-        assert_eq!(Timestamp(-1).truncate_to(MS_PER_DAY), Timestamp(-MS_PER_DAY));
+        assert_eq!(
+            Timestamp(-1).truncate_to(MS_PER_DAY),
+            Timestamp(-MS_PER_DAY)
+        );
     }
 
     #[test]
@@ -431,7 +442,16 @@ mod tests {
 
     #[test]
     fn time_of_day_wire_roundtrip() {
-        for (h, m) in [(0, 0), (0, 5), (9, 0), (11, 59), (12, 0), (12, 1), (18, 0), (23, 59)] {
+        for (h, m) in [
+            (0, 0),
+            (0, 5),
+            (9, 0),
+            (11, 59),
+            (12, 0),
+            (12, 1),
+            (18, 0),
+            (23, 59),
+        ] {
             let tod = TimeOfDay::new(h, m);
             assert_eq!(TimeOfDay::parse(&tod.to_wire()), Some(tod), "{tod:?}");
         }
@@ -503,8 +523,8 @@ mod tests {
         assert!(r.contains(friday.plus_millis(24 * MS_PER_HOUR + 3 * MS_PER_HOUR))); // Sat 03:00
         assert!(!r.contains(friday.plus_millis(24 * MS_PER_HOUR + 7 * MS_PER_HOUR))); // Sat 07:00
         assert!(!r.contains(friday.plus_millis(12 * MS_PER_HOUR))); // Fri noon
-        // Thursday 23:00 — right day-of-week boundary: window starts
-        // Friday, so Thursday night is out.
+                                                                    // Thursday 23:00 — right day-of-week boundary: window starts
+                                                                    // Friday, so Thursday night is out.
         assert!(!r.contains(Timestamp(23 * MS_PER_HOUR)));
     }
 
@@ -525,7 +545,10 @@ mod tests {
         assert_eq!(leap.plus_millis(MS_PER_DAY).civil_date(), (2000, 3, 1));
         // 1900 is not a leap year.
         let feb28_1900 = Timestamp::from_civil(1900, 2, 28);
-        assert_eq!(feb28_1900.plus_millis(MS_PER_DAY).civil_date(), (1900, 3, 1));
+        assert_eq!(
+            feb28_1900.plus_millis(MS_PER_DAY).civil_date(),
+            (1900, 3, 1)
+        );
     }
 
     #[test]

@@ -592,16 +592,15 @@ mod tests {
                 interval_secs: 1.0 / hz,
             },
             location: Some(GeoPoint::ucla()),
-            format: vec![ChannelSpec::i16(CHAN_ECG), ChannelSpec::f32(CHAN_RESPIRATION)],
+            format: vec![
+                ChannelSpec::i16(CHAN_ECG),
+                ChannelSpec::f32(CHAN_RESPIRATION),
+            ],
         }
     }
 
     fn sample_segment() -> WaveSegment {
-        let rows = vec![
-            vec![512.0, 301.5],
-            vec![518.0, 300.25],
-            vec![530.0, 298.0],
-        ];
+        let rows = vec![vec![512.0, 301.5], vec![518.0, 300.25], vec![530.0, 298.0]];
         WaveSegment::from_rows(ecg_rip_meta(1_311_535_598_327, 50.0), &rows).unwrap()
     }
 
@@ -838,7 +837,10 @@ mod tests {
         assert!(!a.can_merge(&elsewhere));
         // Different format.
         let mut meta = ecg_rip_meta(20, 50.0);
-        meta.format = vec![ChannelSpec::f32(CHAN_ECG), ChannelSpec::f32(CHAN_RESPIRATION)];
+        meta.format = vec![
+            ChannelSpec::f32(CHAN_ECG),
+            ChannelSpec::f32(CHAN_RESPIRATION),
+        ];
         let other_fmt = WaveSegment::from_rows(meta, &[vec![2.0, 0.0]]).unwrap();
         assert!(!a.can_merge(&other_fmt));
         // Gap (not consecutive).

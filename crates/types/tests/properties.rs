@@ -7,10 +7,7 @@ use sensorsafe_types::{
 };
 
 fn arb_rows(cols: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(
-        prop::collection::vec(-1e4..1e4f64, cols..=cols),
-        0..64,
-    )
+    prop::collection::vec(prop::collection::vec(-1e4..1e4f64, cols..=cols), 0..64)
 }
 
 fn uniform_meta(start: i64, interval_ms: u16) -> SegmentMeta {

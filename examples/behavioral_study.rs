@@ -29,12 +29,15 @@ fn main() {
         } else {
             format!("participant-{i:02}")
         };
-        let store = if i % 2 == 0 { "ucla-store" } else { "memphis-store" };
+        let store = if i % 2 == 0 {
+            "ucla-store"
+        } else {
+            "memphis-store"
+        };
         let handle = deployment
             .register_contributor(store, &name)
             .expect("register contributor");
-        let scenario =
-            Scenario::alice_day(Timestamp::from_millis(1_311_500_000_000), 100 + i, 1);
+        let scenario = Scenario::alice_day(Timestamp::from_millis(1_311_500_000_000), 100 + i, 1);
         handle.upload_scenario(&scenario).expect("upload");
         // Everyone shares with the study...
         let rules = if name == "alice" {
@@ -49,7 +52,10 @@ fn main() {
         handle.set_rules(&rules).expect("rules");
         names.push(name);
     }
-    println!("recruited {} contributors across 2 institutional stores", names.len());
+    println!(
+        "recruited {} contributors across 2 institutional stores",
+        names.len()
+    );
 
     // Bob runs the study.
     let bob = deployment

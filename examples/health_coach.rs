@@ -53,7 +53,9 @@ fn main() {
     assert!(raw_view.raw_samples() > 0);
 
     // The coach gets no raw waveforms — only activity labels.
-    let coach = deployment.register_consumer("coach").expect("register coach");
+    let coach = deployment
+        .register_consumer("coach")
+        .expect("register coach");
     coach.add_contributors(&["alice"]).expect("add");
     let coached = coach.download_all(&Query::all()).expect("download");
     let coach_view = &coached[0].1;

@@ -29,7 +29,10 @@ fn main() {
     alice
         .set_rules(&json!([{ "Consumer": ["bob"], "Action": "Allow" }]))
         .expect("set rules");
-    println!("alice uploaded {} seconds of sensor data", scenario.duration_secs());
+    println!(
+        "alice uploaded {} seconds of sensor data",
+        scenario.duration_secs()
+    );
 
     // 3. Bob searches the broker for contributors sharing ECG data.
     let bob = deployment.register_consumer("bob").expect("register bob");

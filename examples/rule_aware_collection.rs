@@ -53,8 +53,7 @@ fn main() {
         aware_metrics.uploaded_bytes,
         aware_metrics.discarded_samples,
     );
-    let saved = 100.0
-        * (plain_metrics.uploaded_bytes - aware_metrics.uploaded_bytes) as f64
+    let saved = 100.0 * (plain_metrics.uploaded_bytes - aware_metrics.uploaded_bytes) as f64
         / plain_metrics.uploaded_bytes as f64;
     println!("upload bytes saved: {saved:.1}%");
 

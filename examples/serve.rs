@@ -28,8 +28,8 @@ fn main() {
     let store2_host = "127.0.0.1:7072";
 
     let mut deployment = Deployment::over_tcp(broker_host);
-    let broker_server = Server::bind(broker_host, 4, Arc::new(deployment.broker().clone()))
-        .expect("bind broker");
+    let broker_server =
+        Server::bind(broker_host, 4, Arc::new(deployment.broker().clone())).expect("bind broker");
     let store1 = deployment.add_store(store1_host);
     let store2 = deployment.add_store(store2_host);
     let store1_server =
@@ -80,7 +80,10 @@ fn main() {
     bob.add_contributors(&["alice", "carol"]).expect("add");
     let results = bob.download_all(&Query::all()).expect("download");
     let total: usize = results.iter().map(|(_, v)| v.raw_samples()).sum();
-    println!("downloaded {total} raw samples from {} stores", results.len());
+    println!(
+        "downloaded {total} raw samples from {} stores",
+        results.len()
+    );
     assert!(total > 0);
 
     // Health checks straight over HTTP.

@@ -92,12 +92,7 @@ fn time_ladder_reduces_distinguishable_instants() {
         counts.push((level, distinct_starts(&view).len()));
     }
     for pair in counts.windows(2) {
-        assert!(
-            pair[0].1 >= pair[1].1,
-            "{:?} then {:?}",
-            pair[0],
-            pair[1]
-        );
+        assert!(pair[0].1 >= pair[1].1, "{:?} then {:?}", pair[0], pair[1]);
     }
     // Hour level: all of a 10-minute day lands in at most 2 hour-buckets
     // worth of absolute starts... but relative offsets within a segment
@@ -156,9 +151,7 @@ fn activity_ladder_information_steps() {
         .flat_map(|w| &w.labels)
         .map(|l| l.label.clone())
         .collect();
-    assert!(coarse_labels.is_subset(
-        &["Move", "Not Move"].iter().map(|s| s.to_string()).collect()
-    ));
+    assert!(coarse_labels.is_subset(&["Move", "Not Move"].iter().map(|s| s.to_string()).collect()));
     assert!(!coarse_labels.is_empty());
 
     let nothing = view_for_rules(json!([

@@ -34,7 +34,9 @@ fn channel_probing_cannot_bypass_dependency_closure() {
         Query::all(),
         Query::all().with_channels(["respiration".into()]),
         Query::all().with_channels(["respiration".into(), "ecg".into()]),
-        Query::all().with_channels(["respiration".into()]).with_limit(1),
+        Query::all()
+            .with_channels(["respiration".into()])
+            .with_limit(1),
     ];
     for q in probes {
         let results = eve.download_all(&q).unwrap();

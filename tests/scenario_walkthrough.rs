@@ -112,11 +112,7 @@ fn alice_and_bob_walkthrough() {
     }
 
     // ---- Alice turns on rule-aware collection (§6 para 2, day 2). ----
-    let day2 = Scenario::alice_day(
-        Timestamp::from_millis(DAY_START + 24 * 3600 * 1000),
-        78,
-        1,
-    );
+    let day2 = Scenario::alice_day(Timestamp::from_millis(DAY_START + 24 * 3600 * 1000), 78, 1);
     let aware_device = alice.device().with_rule_aware(true);
     let (metrics, decisions) = aware_device.run_scenario(&day2).unwrap();
     // "Whenever the smartphone detects she is driving, it stops

@@ -12,7 +12,7 @@ use sensorsafe::policy::{
     TimeCondition, WindowCtx,
 };
 use sensorsafe::types::{
-    ChannelId, ContextKind, ContextState, GeoPoint, GroupId, RepeatTime, Region, StudyId,
+    ChannelId, ContextKind, ContextState, GeoPoint, GroupId, Region, RepeatTime, StudyId,
     TimeOfDay, TimeRange, Timestamp, Weekday,
 };
 
@@ -200,10 +200,7 @@ fn activate_contexts(cond: &Conditions, window: &mut WindowCtx) {
 #[test]
 fn deny_action_blocks_for_every_condition_kind() {
     for (name, cond, unmatch) in condition_cases() {
-        let rules = [
-            PrivacyRule::allow_all(),
-            rule(cond.clone(), Action::Deny),
-        ];
+        let rules = [PrivacyRule::allow_all(), rule(cond.clone(), Action::Deny)];
         let mut matching = base_window();
         activate_contexts(&cond, &mut matching);
         let d = evaluate(&rules, &bob(), &matching, &channels(), &graph());
@@ -386,10 +383,7 @@ fn conditions_compose_conjunctively() {
         sensors: vec![],
         contexts: vec![ContextKind::Conversation],
     };
-    let rules = [
-        PrivacyRule::allow_all(),
-        rule(cond.clone(), Action::Deny),
-    ];
+    let rules = [PrivacyRule::allow_all(), rule(cond.clone(), Action::Deny)];
     // All conditions hold → denied.
     let mut all_hold = base_window();
     activate_contexts(&cond, &mut all_hold);

@@ -120,6 +120,33 @@ fn broker_web_ui_search() {
 }
 
 #[test]
+fn healthz_reports_status_version_uptime_and_rule_epoch() {
+    use sensorsafe::net::Service as _;
+    let mut deployment = Deployment::in_process();
+    let store = deployment.add_store("s1");
+    let alice = deployment.register_contributor("s1", "alice").unwrap();
+    alice
+        .upload_scenario(&Scenario::alice_day(Timestamp::from_millis(0), 1, 1))
+        .unwrap();
+    alice.set_rules(&json!([{"Action": "Allow"}])).unwrap();
+
+    for service in [
+        store.handle(&Request::get("/healthz")),
+        deployment.broker().handle(&Request::get("/healthz")),
+    ] {
+        assert_eq!(service.status, Status::Ok);
+        let body = service.json_body().unwrap();
+        assert_eq!(body["status"].as_str(), Some("ok"));
+        let version = body["version"].as_str().expect("version string");
+        assert!(!version.is_empty());
+        assert!(body["uptime_secs"].as_i64().is_some(), "numeric uptime");
+        // Alice pushed one rule-set; both the store and the broker mirror
+        // must report that epoch.
+        assert_eq!(body["rule_sync_epoch"].as_i64(), Some(1));
+    }
+}
+
+#[test]
 fn sessions_do_not_cross_servers() {
     // A session token from the store's UI is meaningless at the broker.
     let mut deployment = Deployment::in_process();

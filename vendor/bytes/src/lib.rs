@@ -1,0 +1,234 @@
+//! Offline shim for the `bytes` crate.
+//!
+//! `Bytes` is an immutable, cheaply-cloneable view into a reference-counted
+//! byte buffer; `slice` produces sub-views without copying. `BytesMut` is a
+//! growable buffer that freezes into a `Bytes`. Only the API surface used by
+//! this workspace is provided.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Self::from(src.to_vec())
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Returns a sub-view sharing the same backing allocation.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(
+            begin <= end,
+            "slice index starts at {begin} but ends at {end}"
+        );
+        assert!(end <= len, "range end out of bounds: {end} > {len}");
+        Bytes {
+            data: self.data.clone(),
+            start: self.start + begin,
+            end: self.start + end,
+        }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Self::copy_from_slice(s)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    pub fn push(&mut self, byte: u8) {
+        self.buf.push(byte);
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freeze_and_slice_share_content() {
+        let mut m = BytesMut::with_capacity(8);
+        m.extend_from_slice(b"hello world");
+        let b = m.freeze();
+        assert_eq!(b.len(), 11);
+        let sub = b.slice(6..11);
+        assert_eq!(&sub[..], b"world");
+        assert_eq!(sub, Bytes::copy_from_slice(b"world"));
+    }
+
+    #[test]
+    fn nested_slices_stay_anchored() {
+        let b = Bytes::from((0u8..32).collect::<Vec<u8>>());
+        let mid = b.slice(8..24);
+        let inner = mid.slice(4..8);
+        assert_eq!(&inner[..], &[12, 13, 14, 15]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        Bytes::from(vec![1, 2, 3]).slice(0..4);
+    }
+}

@@ -1,0 +1,69 @@
+//! `any::<T>()` — default strategies for primitive types.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+use std::marker::PhantomData;
+
+pub trait Arbitrary: Sized + 'static {
+    fn arbitrary_with_rng(rng: &mut TestRng) -> Self;
+}
+
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for Any<T> {}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_with_rng(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_with_rng(rng: &mut TestRng) -> Self {
+                // Bias toward boundary values now and then; uniform bits
+                // otherwise.
+                if rng.ratio(1, 16) {
+                    match rng.below(4) {
+                        0 => 0,
+                        1 => 1,
+                        2 => <$t>::MAX,
+                        _ => <$t>::MIN,
+                    }
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_with_rng(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary_with_rng(rng: &mut TestRng) -> Self {
+        if rng.ratio(9, 10) {
+            (0x20u8 + rng.below(0x5f) as u8) as char
+        } else {
+            char::from_u32(rng.range_inclusive(0, 0xD7FF) as u32).unwrap_or('?')
+        }
+    }
+}

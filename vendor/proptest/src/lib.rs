@@ -1,0 +1,207 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment cannot reach a crates registry, so the workspace
+//! vendors a minimal property-testing harness exposing the subset of the
+//! proptest API its test suites use: the `proptest!`/`prop_assert*`/
+//! `prop_oneof!` macros, `Strategy` with `prop_map`/`prop_filter_map`/
+//! `prop_recursive`/`boxed`, ranges and `&str`-regex strategies, and the
+//! `prop::{collection, option, sample, num}` modules.
+//!
+//! There is no shrinking: a failing case reports its deterministic seed
+//! instead. Case count is controlled with `PROPTEST_CASES` (default 64).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod num;
+pub mod option;
+mod regex_str;
+pub mod rng;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// The `prop::` namespace, mirroring upstream's module layout.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::num;
+    pub use crate::option;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |prop_rng| {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), prop_rng);)+
+                    (|| -> ::std::result::Result<(), $crate::test_runner::CaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })()
+                });
+            }
+        )+
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::CaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::CaseError::Fail(format!(
+                "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+                left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::CaseError::Fail(format!(
+                "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n{}",
+                left,
+                right,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::test_runner::CaseError::Fail(format!(
+                "assertion failed: `left != right`\n  both: {:?}",
+                left
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::test_runner::CaseError::Fail(format!(
+                "assertion failed: `left != right`\n  both: {:?}\n{}",
+                left,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::CaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::uniform(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subsets_match_shape() {
+        let mut rng = crate::rng::TestRng::new(1);
+        for _ in 0..200 {
+            let s = "[a-z0-9_]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{s:?}"
+            );
+
+            let p = "\\PC{0,20}".generate(&mut rng);
+            assert!(p.chars().count() <= 20);
+            assert!(p.chars().all(|c| !c.is_control()), "{p:?}");
+
+            let h =
+                "([a-zA-Z0-9;=/.-]([a-zA-Z0-9 ;=/.-]{0,22}[a-zA-Z0-9;=/.-])?)?".generate(&mut rng);
+            assert!(!h.starts_with(' ') && !h.ends_with(' '), "{h:?}");
+
+            let cls = "[\\[\\]{}:,\"0-9a-z ]{0,64}".generate(&mut rng);
+            assert!(
+                cls.chars().all(|c| "[]{}:,\" ".contains(c)
+                    || c.is_ascii_digit()
+                    || c.is_ascii_lowercase()),
+                "{cls:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn union_and_recursive_terminate() {
+        #[derive(Clone, Debug, PartialEq)]
+        enum Tree {
+            Leaf(bool),
+            Node(Vec<Tree>),
+        }
+        let leaf = any::<bool>().prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(4, 64, 8, |inner| {
+            prop::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        let mut rng = crate::rng::TestRng::new(7);
+        let mut saw_node = false;
+        for _ in 0..100 {
+            if let Tree::Node(_) = strat.generate(&mut rng) {
+                saw_node = true;
+            }
+        }
+        assert!(saw_node);
+    }
+
+    proptest! {
+        /// The harness's own macro surface: patterns, assume, assert forms.
+        #[test]
+        fn macro_surface(
+            (a, b) in (0u8..10, 0u8..10),
+            v in prop::collection::vec(any::<u8>(), 0..5),
+        ) {
+            prop_assume!(a != 9);
+            prop_assert!(a < 10, "a was {}", a);
+            prop_assert_eq!(a as u16 + b as u16, b as u16 + a as u16);
+            prop_assert_ne!(v.len(), 6);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Numeric strategies beyond plain ranges.
+
+pub mod f64 {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    /// Generates normal (finite, non-subnormal, non-zero-exponent) `f64`
+    /// values across the full exponent range, like upstream's
+    /// `prop::num::f64::NORMAL`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct NormalF64;
+
+    pub const NORMAL: NormalF64 = NormalF64;
+
+    impl Strategy for NormalF64 {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            loop {
+                let candidate = f64::from_bits(rng.next_u64());
+                if candidate.is_normal() {
+                    return candidate;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! `prop::option::of` — optional values.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+#[derive(Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.ratio(1, 2) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}

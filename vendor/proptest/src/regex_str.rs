@@ -1,0 +1,269 @@
+//! `&'static str` as a strategy: the string is interpreted as a small regex
+//! subset and generated strings match it.
+//!
+//! Supported syntax (everything the workspace's property tests use):
+//! literals, `\`-escapes, `\PC` (printable / non-control), `.`, character
+//! classes `[a-z0-9_\[\]-]` with ranges, groups `( )`, alternation `|`, and
+//! the quantifiers `?`, `*`, `+`, `{n}`, `{m,n}`, `{m,}`.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Clone, Debug)]
+enum Node {
+    Char(char),
+    /// Inclusive char ranges.
+    Class(Vec<(char, char)>),
+    /// `\PC` / `.` — any printable character.
+    Printable,
+    /// Alternation of sequences.
+    Alt(Vec<Vec<Node>>),
+    Repeat(Box<Node>, u32, u32),
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+    pattern: &'static str,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn fail(&self, what: &str) -> ! {
+        panic!(
+            "unsupported regex {:?} at offset {}: {}",
+            self.pattern, self.pos, what
+        )
+    }
+
+    fn parse_alternation(&mut self) -> Vec<Vec<Node>> {
+        let mut alternatives = vec![self.parse_sequence()];
+        while self.peek() == Some('|') {
+            self.bump();
+            alternatives.push(self.parse_sequence());
+        }
+        alternatives
+    }
+
+    fn parse_sequence(&mut self) -> Vec<Node> {
+        let mut nodes = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == ')' || c == '|' {
+                break;
+            }
+            let atom = self.parse_atom();
+            nodes.push(self.parse_quantifier(atom));
+        }
+        nodes
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.bump().unwrap() {
+            '(' => {
+                let alternatives = self.parse_alternation();
+                if self.bump() != Some(')') {
+                    self.fail("unclosed group");
+                }
+                Node::Alt(alternatives)
+            }
+            '[' => self.parse_class(),
+            '\\' => self.parse_escape(),
+            '.' => Node::Printable,
+            c => Node::Char(c),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Node {
+        match self.bump().unwrap_or_else(|| self.fail("dangling escape")) {
+            'P' | 'p' => {
+                // Only the category used in this workspace: \PC (not-control).
+                match self.bump() {
+                    Some('C') => Node::Printable,
+                    other => self.fail(&format!("unsupported unicode category {other:?}")),
+                }
+            }
+            'd' => Node::Class(vec![('0', '9')]),
+            'w' => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+            'n' => Node::Char('\n'),
+            't' => Node::Char('\t'),
+            'r' => Node::Char('\r'),
+            c => Node::Char(c),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        let mut ranges = Vec::new();
+        loop {
+            let c = match self.bump() {
+                None => self.fail("unclosed character class"),
+                Some(']') => break,
+                Some('\\') => match self.parse_escape() {
+                    Node::Char(c) => c,
+                    Node::Class(mut r) => {
+                        ranges.append(&mut r);
+                        continue;
+                    }
+                    _ => self.fail("unsupported escape in class"),
+                },
+                Some(c) => c,
+            };
+            // A `-` forms a range unless it is the last char before `]`.
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.bump();
+                let hi = match self.bump() {
+                    Some('\\') => match self.parse_escape() {
+                        Node::Char(c) => c,
+                        _ => self.fail("unsupported escape in class range"),
+                    },
+                    Some(hi) => hi,
+                    None => self.fail("unclosed class range"),
+                };
+                if hi < c {
+                    self.fail("inverted class range");
+                }
+                ranges.push((c, hi));
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        if ranges.is_empty() {
+            self.fail("empty character class");
+        }
+        Node::Class(ranges)
+    }
+
+    fn parse_quantifier(&mut self, atom: Node) -> Node {
+        match self.peek() {
+            Some('?') => {
+                self.bump();
+                Node::Repeat(Box::new(atom), 0, 1)
+            }
+            Some('*') => {
+                self.bump();
+                Node::Repeat(Box::new(atom), 0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                self.bump();
+                Node::Repeat(Box::new(atom), 1, UNBOUNDED_CAP)
+            }
+            Some('{') => {
+                self.bump();
+                let lo = self.parse_number();
+                let hi = match self.peek() {
+                    Some(',') => {
+                        self.bump();
+                        if self.peek() == Some('}') {
+                            lo + UNBOUNDED_CAP
+                        } else {
+                            self.parse_number()
+                        }
+                    }
+                    _ => lo,
+                };
+                if self.bump() != Some('}') {
+                    self.fail("unclosed quantifier");
+                }
+                if hi < lo {
+                    self.fail("inverted quantifier");
+                }
+                Node::Repeat(Box::new(atom), lo, hi)
+            }
+            _ => atom,
+        }
+    }
+
+    fn parse_number(&mut self) -> u32 {
+        let mut n: u32 = 0;
+        let mut any = false;
+        while let Some(c) = self.peek() {
+            if let Some(d) = c.to_digit(10) {
+                n = n * 10 + d;
+                any = true;
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if !any {
+            self.fail("expected number in quantifier");
+        }
+        n
+    }
+}
+
+fn parse(pattern: &'static str) -> Vec<Node> {
+    let mut parser = Parser {
+        chars: pattern.chars().collect(),
+        pos: 0,
+        pattern,
+    };
+    let alternatives = parser.parse_alternation();
+    if parser.pos != parser.chars.len() {
+        parser.fail("trailing input");
+    }
+    if alternatives.len() == 1 {
+        alternatives.into_iter().next().unwrap()
+    } else {
+        vec![Node::Alt(alternatives)]
+    }
+}
+
+/// Mostly-ASCII printable characters with an occasional non-ASCII (but
+/// BMP) code point to exercise UTF-8 handling.
+const EXOTIC: &[char] = &['é', 'ß', 'λ', '中', '✓', '¤', 'Ω'];
+
+fn generate_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Char(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let (lo, hi) = ranges[rng.below(ranges.len())];
+            let span = hi as u32 - lo as u32;
+            let c = char::from_u32(lo as u32 + rng.range_inclusive(0, span as u64) as u32)
+                .unwrap_or(lo);
+            out.push(c);
+        }
+        Node::Printable => {
+            if rng.ratio(15, 16) {
+                out.push((0x20u8 + rng.below(0x5f) as u8) as char);
+            } else {
+                out.push(EXOTIC[rng.below(EXOTIC.len())]);
+            }
+        }
+        Node::Alt(alternatives) => {
+            for n in &alternatives[rng.below(alternatives.len())] {
+                generate_node(n, rng, out);
+            }
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let count = rng.range_inclusive(*lo as u64, *hi as u64);
+            for _ in 0..count {
+                generate_node(inner, rng, out);
+            }
+        }
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let nodes = parse(self);
+        let mut out = String::new();
+        for node in &nodes {
+            generate_node(node, rng, &mut out);
+        }
+        out
+    }
+}

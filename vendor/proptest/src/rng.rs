@@ -1,0 +1,49 @@
+//! Deterministic splitmix64 generator driving all strategies.
+
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x6A09_E667_F3BC_C908,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n`; `n` must be non-zero.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform in `lo..=hi`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        let width = hi - lo;
+        if width == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.next_u64() % (width + 1)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// True with probability `num / den`.
+    pub fn ratio(&mut self, num: u32, den: u32) -> bool {
+        debug_assert!(den > 0);
+        (self.next_u64() % den as u64) < num as u64
+    }
+}

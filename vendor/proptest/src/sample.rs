@@ -1,0 +1,44 @@
+//! Sampling strategies: `select` from a fixed list, and random `Index`.
+
+use crate::arbitrary::Arbitrary;
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+#[derive(Clone)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+pub fn select<T: Clone + 'static>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select() needs at least one option");
+    Select { options }
+}
+
+impl<T: Clone + 'static> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len())].clone()
+    }
+}
+
+/// An opaque random index, projected onto a concrete collection length with
+/// [`Index::index`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Index {
+    raw: usize,
+}
+
+impl Index {
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index(0)");
+        self.raw % len
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary_with_rng(rng: &mut TestRng) -> Self {
+        Index {
+            raw: rng.next_u64() as usize,
+        }
+    }
+}

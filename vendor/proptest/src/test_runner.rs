@@ -1,0 +1,52 @@
+//! Case runner behind the `proptest!` macro.
+
+use crate::rng::TestRng;
+
+/// How a single generated case ended, other than success.
+#[derive(Debug)]
+pub enum CaseError {
+    /// A `prop_assert*!` failed; carries the formatted message.
+    Fail(String),
+    /// A `prop_assume!` rejected the inputs; the case is regenerated.
+    Reject(String),
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// Runs `case` against `PROPTEST_CASES` (default 64) generated inputs.
+/// Seeding is deterministic per test name, so failures reproduce.
+pub fn run<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), CaseError>,
+{
+    let cases: u64 = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let base = fnv1a(name.as_bytes());
+    let mut passed = 0u64;
+    let mut attempts = 0u64;
+    while passed < cases {
+        attempts += 1;
+        if attempts > cases.saturating_mul(64) {
+            panic!(
+                "proptest '{name}': too many rejected cases ({} passed of {cases})",
+                passed
+            );
+        }
+        let mut rng = TestRng::new(base ^ attempts.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(CaseError::Reject(_)) => continue,
+            Err(CaseError::Fail(msg)) => panic!(
+                "proptest '{name}' failed on attempt {attempts} (base seed {base:#x}):\n{msg}"
+            ),
+        }
+    }
+}
