@@ -9,8 +9,10 @@
 //! ```
 
 use sensorsafe_bench::{
-    alice_scenario, chest_packets, segment_store_with, synthetic_rules, tuple_store_with,
+    alice_scenario, chest_packets, mixed_workload, run_mixed_traffic, segment_store_with,
+    synthetic_rules, tuple_store_with,
 };
+use sensorsafe_core::datastore::LockMode;
 use sensorsafe_core::net::{LocalTransport, Transport};
 use sensorsafe_core::policy::{ConsumerCtx, RuleIndex, SearchQuery};
 use sensorsafe_core::store::{MergePolicy, Query};
@@ -202,6 +204,70 @@ fn f1_byte_accounting() {
     println!("--> data path bypasses the broker; broker bytes stay O(contributors), not O(data)\n");
 }
 
+fn c1_concurrency_table() {
+    println!("== C1: sharded vs global-lock store, mixed upload/query traffic ==");
+    println!(
+        "environment: {} CPU(s) visible to this process",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    // The account lock-wait histogram accumulates process-wide; deltas
+    // around each timed run attribute waiting to that run alone.
+    let lock_wait_secs = || -> f64 {
+        ["read", "write"]
+            .iter()
+            .map(|mode| {
+                sensorsafe_core::obsv::global()
+                    .histogram(
+                        "sensorsafe_datastore_lock_wait_seconds",
+                        "Time spent waiting to acquire a contributor account lock.",
+                        &[("mode", mode)],
+                        None,
+                    )
+                    .snapshot()
+                    .sum()
+            })
+            .sum()
+    };
+    let ops = 300;
+    // Best-of-3 to damp scheduler noise; lock-wait from the best run.
+    let measure = |mode: LockMode, threads: usize, contributors: usize| -> (f64, f64) {
+        let workload = mixed_workload(mode, contributors);
+        run_mixed_traffic(&workload, threads, 40); // warm-up, discarded
+        let mut best_rate = 0.0f64;
+        let mut best_wait = 0.0f64;
+        for _ in 0..3 {
+            let wait_before = lock_wait_secs();
+            let elapsed = run_mixed_traffic(&workload, threads, ops);
+            let wait = lock_wait_secs() - wait_before;
+            let rate = (threads * ops) as f64 / elapsed.as_secs_f64();
+            if rate > best_rate {
+                best_rate = rate;
+                best_wait = wait;
+            }
+        }
+        (best_rate, best_wait)
+    };
+    println!(
+        "{:<22} {:>13} {:>13} {:>8} {:>12} {:>12}",
+        "threads x contribs", "global req/s", "shard req/s", "speedup", "g-wait ms", "s-wait ms"
+    );
+    for (threads, contributors) in [(1, 8), (2, 8), (4, 8), (8, 8), (8, 2), (8, 32)] {
+        let (global, global_wait) = measure(LockMode::GlobalLock, threads, contributors);
+        let (sharded, sharded_wait) = measure(LockMode::Sharded, threads, contributors);
+        println!(
+            "{:<22} {:>13.0} {:>13.0} {:>7.2}x {:>12.2} {:>12.2}",
+            format!("{threads} x {contributors}"),
+            global,
+            sharded,
+            sharded / global,
+            global_wait * 1e3,
+            sharded_wait * 1e3
+        );
+    }
+    println!("(wait columns: contributor-account lock acquisition wait per timed run)");
+    println!();
+}
+
 fn obsv_overhead_table() {
     println!("== OBSV: metrics overhead on the query hot path ==");
     let mut deployment = Deployment::in_process();
@@ -253,6 +319,7 @@ fn main() {
     a2_search_table();
     a3_savings_table();
     f1_byte_accounting();
+    c1_concurrency_table();
     obsv_overhead_table();
 
     // Re-run one instrumented flow so the snapshot shows every family.

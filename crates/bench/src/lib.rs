@@ -4,6 +4,8 @@
 //! and EXPERIMENTS.md); this crate holds the workload constructors they
 //! share so benches and the `report` binary measure identical inputs.
 
+use sensorsafe_core::datastore::{DataStoreConfig, DataStoreService, LockMode};
+use sensorsafe_core::net::{Request, Service, Status};
 use sensorsafe_core::policy::{
     AbstractionSpec, Action, BinaryAbs, Conditions, ConsumerSelector, LocationCondition,
     PrivacyRule, TimeCondition,
@@ -14,6 +16,9 @@ use sensorsafe_core::types::{
     ChannelSpec, ContextKind, GeoPoint, Region, RepeatTime, SegmentMeta, Timestamp, Timing,
     WaveSegment,
 };
+use sensorsafe_core::{json, Value};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
 /// Day-start timestamp used across all workloads.
 pub const DAY_START: i64 = 1_311_500_000_000;
@@ -171,6 +176,165 @@ pub fn alice_scenario(seed: u64) -> Scenario {
     Scenario::alice_day(Timestamp::from_millis(DAY_START), seed, 1)
 }
 
+/// A data store preloaded for the C1 concurrency workload: one server in
+/// the requested [`LockMode`], `n` registered contributors (each with
+/// data and a non-trivial rule set) and one consumer.
+pub struct MixedWorkload {
+    /// The in-process store all traffic targets.
+    pub store: DataStoreService,
+    /// `(name, api_key)` per contributor.
+    pub contributors: Vec<(String, String)>,
+    /// The consumer's API key.
+    pub consumer_key: String,
+}
+
+/// Builds the C1 workload: register `n_contributors` on a fresh store in
+/// `lock_mode`, give each a rule set that exercises real enforcement
+/// (allow-all plus a context-scoped deny) and `preload_packets` chest
+/// packets, and register one consumer.
+pub fn mixed_workload(lock_mode: LockMode, n_contributors: usize) -> MixedWorkload {
+    let (store, admin) = DataStoreService::new(DataStoreConfig {
+        lock_mode,
+        ..Default::default()
+    });
+    let admin = admin.to_hex();
+    let preload: Vec<Value> = chest_packets(8).iter().map(WaveSegment::to_json).collect();
+    let mut contributors = Vec::with_capacity(n_contributors);
+    for i in 0..n_contributors {
+        let name = format!("c{i}");
+        let resp = store.handle(&Request::post_json(
+            "/api/register",
+            &json!({"key": (admin.clone()), "name": (name.clone()), "role": "contributor"}),
+        ));
+        assert_eq!(resp.status, Status::Created, "contributor registration");
+        let key = resp.json_body().unwrap()["api_key"]
+            .as_str()
+            .unwrap()
+            .to_string();
+        let resp = store.handle(&Request::post_json(
+            "/api/rules/set",
+            &json!({"key": (key.clone()), "rules": [
+                {"Action": "Allow"},
+                {"Context": ["Drive"], "Sensor": ["ecg"], "Action": "Deny"},
+            ]}),
+        ));
+        assert_eq!(resp.status, Status::Ok, "rules/set");
+        let resp = store.handle(&Request::post_json(
+            "/api/upload",
+            &json!({"key": (key.clone()), "segments": (Value::Array(preload.clone()))}),
+        ));
+        assert_eq!(resp.status, Status::Ok, "preload upload");
+        contributors.push((name, key));
+    }
+    let resp = store.handle(&Request::post_json(
+        "/api/register",
+        &json!({"key": (admin.clone()), "name": "bob", "role": "consumer"}),
+    ));
+    assert_eq!(resp.status, Status::Created, "consumer registration");
+    let consumer_key = resp.json_body().unwrap()["api_key"]
+        .as_str()
+        .unwrap()
+        .to_string();
+    MixedWorkload {
+        store,
+        contributors,
+        consumer_key,
+    }
+}
+
+/// One 64-sample chest packet per contributor, a day past the preload
+/// region (so C1 traffic uploads never intersect the queried window).
+fn future_packet(i: usize) -> WaveSegment {
+    let start = DAY_START + 86_400_000 + (i * 64 * 20) as i64;
+    let meta = SegmentMeta {
+        timing: Timing::Uniform {
+            start: Timestamp::from_millis(start),
+            interval_secs: 1.0 / 50.0,
+        },
+        location: Some(GeoPoint::ucla()),
+        format: vec![ChannelSpec::i16("ecg"), ChannelSpec::f32("respiration")],
+    };
+    let rows: Vec<Vec<f64>> = (0..64)
+        .map(|r| vec![(r as f64 * 1.3).sin() * 400.0, 300.0])
+        .collect();
+    WaveSegment::from_rows(meta, &rows).expect("valid packet")
+}
+
+/// Drives `threads` workers, each issuing `ops_per_thread` alternating
+/// upload (as a fixed contributor) and consumer-query (round-robin over
+/// contributors) requests against `workload.store`. All request bodies
+/// are rendered before the clock starts; the returned duration covers
+/// only the traffic. Every response must be 200/OK.
+pub fn run_mixed_traffic(
+    workload: &MixedWorkload,
+    threads: usize,
+    ops_per_thread: usize,
+) -> Duration {
+    let n = workload.contributors.len();
+    assert!(n > 0 && threads > 0);
+    // One single-packet upload per contributor, placed far after the
+    // preload window so repeated uploads never land inside the queried
+    // range (per-query work stays constant as the run accumulates data).
+    let upload_reqs: Arc<Vec<Request>> = Arc::new(
+        workload
+            .contributors
+            .iter()
+            .enumerate()
+            .map(|(i, (_, key))| {
+                let packet = future_packet(i);
+                Request::post_json(
+                    "/api/upload",
+                    &json!({"key": (key.clone()), "segments": (Value::Array(vec![packet.to_json()]))}),
+                )
+            })
+            .collect(),
+    );
+    // Queries pin the preload window (8 packets x 64 samples x 20 ms).
+    let window_end = DAY_START + 8 * 64 * 20;
+    let query_reqs: Arc<Vec<Request>> = Arc::new(
+        workload
+            .contributors
+            .iter()
+            .map(|(name, _)| {
+                Request::post_json(
+                    "/api/query",
+                    &json!({
+                        "key": (workload.consumer_key.clone()),
+                        "contributor": (name.clone()),
+                        "query": {"time": {"start": DAY_START, "end": window_end}},
+                    }),
+                )
+            })
+            .collect(),
+    );
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let store = workload.store.clone();
+            let uploads = upload_reqs.clone();
+            let queries = query_reqs.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..ops_per_thread {
+                    let resp = if i % 2 == 0 {
+                        store.handle(&uploads[t % uploads.len()])
+                    } else {
+                        store.handle(&queries[(t + i) % queries.len()])
+                    };
+                    assert_eq!(resp.status, Status::Ok, "mixed-traffic op failed");
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let started = Instant::now();
+    for handle in handles {
+        handle.join().expect("traffic thread panicked");
+    }
+    started.elapsed()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,5 +355,15 @@ mod tests {
         assert_eq!(table1_rule_set().len(), 6);
         assert_eq!(synthetic_rules(0, 4).len(), 4);
         assert_eq!(synthetic_rules(5, 1).len(), 1);
+    }
+
+    #[test]
+    fn mixed_traffic_runs_in_both_lock_modes() {
+        for mode in [LockMode::Sharded, LockMode::GlobalLock] {
+            let workload = mixed_workload(mode, 3);
+            assert_eq!(workload.contributors.len(), 3);
+            let elapsed = run_mixed_traffic(&workload, 2, 6);
+            assert!(elapsed > Duration::ZERO);
+        }
     }
 }

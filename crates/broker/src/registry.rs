@@ -1,6 +1,16 @@
 //! Broker-side registries: stores, contributors, consumers, escrowed
 //! keys.
+//!
+//! [`BrokerRegistry`] owns one [`RwLock`] **per map** (stores,
+//! contributors, consumers) instead of callers wrapping the whole
+//! struct in a single lock. Contributor registration, store pairing,
+//! and consumer bookkeeping touch disjoint maps, so a rule sync
+//! upserting a contributor no longer serializes against a consumer
+//! fetching their escrowed keys. Methods take `&self` and never hold
+//! more than one map lock at a time (see DESIGN.md §7 for the
+//! broker-side lock order).
 
+use parking_lot::RwLock;
 use sensorsafe_types::{ConsumerId, ContributorId, GroupId, StoreAddr, StudyId};
 use std::collections::BTreeMap;
 
@@ -40,15 +50,15 @@ pub struct ConsumerRecord {
     pub access: BTreeMap<ContributorId, StoreAccess>,
 }
 
-/// All broker registries (callers wrap this in a lock).
+/// All broker registries, each behind its own lock.
 #[derive(Debug, Default)]
 pub struct BrokerRegistry {
     /// Paired stores by address.
-    pub stores: BTreeMap<String, StoreRecord>,
+    stores: RwLock<BTreeMap<String, StoreRecord>>,
     /// Which store hosts each contributor.
-    pub contributors: BTreeMap<ContributorId, StoreAddr>,
+    contributors: RwLock<BTreeMap<ContributorId, StoreAddr>>,
     /// Consumer accounts.
-    pub consumers: BTreeMap<ConsumerId, ConsumerRecord>,
+    consumers: RwLock<BTreeMap<ConsumerId, ConsumerRecord>>,
 }
 
 impl BrokerRegistry {
@@ -58,24 +68,73 @@ impl BrokerRegistry {
     }
 
     /// Records (or re-records) a paired store.
-    pub fn upsert_store(&mut self, record: StoreRecord) {
-        self.stores.insert(record.addr.as_str().to_string(), record);
+    pub fn upsert_store(&self, record: StoreRecord) {
+        self.stores
+            .write()
+            .insert(record.addr.as_str().to_string(), record);
+    }
+
+    /// Number of paired stores.
+    pub fn store_count(&self) -> usize {
+        self.stores.read().len()
     }
 
     /// Records which store hosts a contributor.
-    pub fn upsert_contributor(&mut self, contributor: ContributorId, addr: StoreAddr) {
-        self.contributors.insert(contributor, addr);
+    pub fn upsert_contributor(&self, contributor: ContributorId, addr: StoreAddr) {
+        self.contributors.write().insert(contributor, addr);
     }
 
     /// The store hosting a contributor, with its registration key.
-    pub fn store_of(&self, contributor: &ContributorId) -> Option<&StoreRecord> {
-        let addr = self.contributors.get(contributor)?;
-        self.stores.get(addr.as_str())
+    /// Returns a clone so no lock outlives the call.
+    pub fn store_of(&self, contributor: &ContributorId) -> Option<StoreRecord> {
+        let addr = self.contributors.read().get(contributor)?.clone();
+        self.stores.read().get(addr.as_str()).cloned()
     }
 
     /// Number of registered contributors.
     pub fn contributor_count(&self) -> usize {
-        self.contributors.len()
+        self.contributors.read().len()
+    }
+
+    /// All registered contributor ids, sorted.
+    pub fn contributor_ids(&self) -> Vec<ContributorId> {
+        self.contributors.read().keys().cloned().collect()
+    }
+
+    /// Creates a consumer account. Returns `false` (and leaves the
+    /// existing record untouched) when the id is already taken.
+    pub fn insert_consumer(&self, id: ConsumerId, record: ConsumerRecord) -> bool {
+        let mut consumers = self.consumers.write();
+        if consumers.contains_key(&id) {
+            return false;
+        }
+        consumers.insert(id, record);
+        true
+    }
+
+    /// A consumer's record, cloned out from under the lock.
+    pub fn consumer(&self, id: &ConsumerId) -> Option<ConsumerRecord> {
+        self.consumers.read().get(id).cloned()
+    }
+
+    /// Number of consumer accounts.
+    pub fn consumer_count(&self) -> usize {
+        self.consumers.read().len()
+    }
+
+    /// Escrows `access` for `consumer`, appending the contributor to the
+    /// saved list on first grant. Returns `false` for unknown consumers.
+    pub fn grant_access(&self, consumer: &ConsumerId, access: StoreAccess) -> bool {
+        let mut consumers = self.consumers.write();
+        let Some(record) = consumers.get_mut(consumer) else {
+            return false;
+        };
+        let contributor = access.contributor.clone();
+        record.access.insert(contributor.clone(), access);
+        if !record.contributor_list.contains(&contributor) {
+            record.contributor_list.push(contributor);
+        }
+        true
     }
 }
 
@@ -85,7 +144,7 @@ mod tests {
 
     #[test]
     fn store_and_contributor_registry() {
-        let mut reg = BrokerRegistry::new();
+        let reg = BrokerRegistry::new();
         reg.upsert_store(StoreRecord {
             addr: StoreAddr::new("10.0.0.1:7001"),
             register_key: "k1".into(),
@@ -101,7 +160,7 @@ mod tests {
 
     #[test]
     fn upsert_store_replaces() {
-        let mut reg = BrokerRegistry::new();
+        let reg = BrokerRegistry::new();
         reg.upsert_store(StoreRecord {
             addr: StoreAddr::new("a:1"),
             register_key: "old".into(),
@@ -110,8 +169,10 @@ mod tests {
             addr: StoreAddr::new("a:1"),
             register_key: "new".into(),
         });
-        assert_eq!(reg.stores.len(), 1);
-        assert_eq!(reg.stores["a:1"].register_key, "new");
+        assert_eq!(reg.store_count(), 1);
+        reg.upsert_contributor(ContributorId::new("c"), StoreAddr::new("a:1"));
+        let store = reg.store_of(&ContributorId::new("c")).unwrap();
+        assert_eq!(store.register_key, "new");
     }
 
     #[test]
@@ -120,5 +181,46 @@ mod tests {
         assert!(rec.groups.is_empty());
         assert!(rec.access.is_empty());
         assert!(rec.contributor_list.is_empty());
+    }
+
+    #[test]
+    fn insert_consumer_rejects_duplicates() {
+        let reg = BrokerRegistry::new();
+        let id = ConsumerId::new("bob");
+        assert!(reg.insert_consumer(id.clone(), ConsumerRecord::default()));
+        let taken = ConsumerRecord {
+            groups: vec![GroupId::new("late")],
+            ..Default::default()
+        };
+        assert!(!reg.insert_consumer(id.clone(), taken));
+        // The original (empty) record survives.
+        assert!(reg.consumer(&id).unwrap().groups.is_empty());
+        assert_eq!(reg.consumer_count(), 1);
+    }
+
+    #[test]
+    fn grant_access_appends_contributor_list_once() {
+        let reg = BrokerRegistry::new();
+        let bob = ConsumerId::new("bob");
+        reg.insert_consumer(bob.clone(), ConsumerRecord::default());
+        let access = StoreAccess {
+            contributor: ContributorId::new("alice"),
+            addr: StoreAddr::new("a:1"),
+            api_key: "k".into(),
+        };
+        assert!(reg.grant_access(&bob, access.clone()));
+        assert!(reg.grant_access(&bob, access));
+        let record = reg.consumer(&bob).unwrap();
+        assert_eq!(record.contributor_list.len(), 1);
+        assert_eq!(record.access.len(), 1);
+        // Unknown consumer: no-op, reported.
+        assert!(!reg.grant_access(
+            &ConsumerId::new("ghost"),
+            StoreAccess {
+                contributor: ContributorId::new("alice"),
+                addr: StoreAddr::new("a:1"),
+                api_key: "k".into(),
+            }
+        ));
     }
 }

@@ -12,7 +12,7 @@
 //! | `POST /api/consumers/access` | consumer | fetch the saved list with store addresses + escrowed keys |
 
 use crate::registry::{BrokerRegistry, ConsumerRecord, StoreAccess, StoreRecord};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 use sensorsafe_auth::{ApiKey, KeyRing, PasswordStore, Principal, Role, SessionManager};
 use sensorsafe_json::{json, Value};
 use sensorsafe_net::{Request, Response, Router, Service, Status, TcpTransport, Transport};
@@ -52,8 +52,8 @@ impl Default for BrokerConfig {
 
 pub(crate) struct Inner {
     pub(crate) config: BrokerConfig,
-    pub(crate) registry: RwLock<BrokerRegistry>,
-    pub(crate) rules: Mutex<RuleIndex>,
+    pub(crate) registry: BrokerRegistry,
+    pub(crate) rules: RwLock<RuleIndex>,
     pub(crate) keys: KeyRing,
     pub(crate) passwords: PasswordStore,
     pub(crate) sessions: SessionManager,
@@ -84,13 +84,12 @@ impl Inner {
     }
 
     fn handle_health(&self) -> Response {
-        let registry = self.registry.read();
         Response::json(&json!({
             "ok": true,
             "server": (self.config.name.clone()),
-            "stores": (registry.stores.len()),
-            "contributors": (registry.contributor_count()),
-            "consumers": (registry.consumers.len()),
+            "stores": (self.registry.store_count()),
+            "contributors": (self.registry.contributor_count()),
+            "consumers": (self.registry.consumer_count()),
         }))
     }
 
@@ -121,20 +120,13 @@ impl Inner {
             .into_iter()
             .map(StudyId::new)
             .collect();
-        {
-            let mut registry = self.registry.write();
-            let id = ConsumerId::new(name);
-            if registry.consumers.contains_key(&id) {
-                return Response::error(Status::Conflict, "consumer already exists");
-            }
-            registry.consumers.insert(
-                id,
-                ConsumerRecord {
-                    groups,
-                    studies,
-                    ..Default::default()
-                },
-            );
+        let record = ConsumerRecord {
+            groups,
+            studies,
+            ..Default::default()
+        };
+        if !self.registry.insert_consumer(ConsumerId::new(name), record) {
+            return Response::error(Status::Conflict, "consumer already exists");
         }
         let key = self.keys.register(Principal {
             name: name.to_string(),
@@ -159,7 +151,7 @@ impl Inner {
         if addr.is_empty() {
             return bad_request("empty 'addr'");
         }
-        self.registry.write().upsert_store(StoreRecord {
+        self.registry.upsert_store(StoreRecord {
             addr: StoreAddr::new(addr),
             register_key: register_key.to_string(),
         });
@@ -189,7 +181,6 @@ impl Inner {
             return bad_request("missing 'contributor' or 'store_addr'");
         };
         self.registry
-            .write()
             .upsert_contributor(ContributorId::new(contributor), StoreAddr::new(addr));
         Response::json(&json!({ "ok": true }))
     }
@@ -218,12 +209,11 @@ impl Inner {
         // store paired after its contributors registered still converges.
         if let Some(addr) = body.get("store_addr").and_then(Value::as_str) {
             self.registry
-                .write()
                 .upsert_contributor(ContributorId::new(contributor), StoreAddr::new(addr));
         }
         let id = ContributorId::new(contributor);
         let accepted = {
-            let mut index = self.rules.lock();
+            let mut index = self.rules.write();
             let accepted = index.sync(id.clone(), epoch, rules);
             let mirrored = index.rules_of(&id).map(|(e, _)| e).unwrap_or(0);
             self.metrics
@@ -257,7 +247,7 @@ impl Inner {
     fn handle_healthz(&self) -> Response {
         let rule_sync_epoch = self
             .rules
-            .lock()
+            .read()
             .epochs()
             .map(|(_, e)| e)
             .max()
@@ -345,12 +335,11 @@ impl Inner {
     }
 
     fn consumer_ctx(&self, name: &str) -> Option<ConsumerCtx> {
-        let registry = self.registry.read();
-        let record = registry.consumers.get(&ConsumerId::new(name))?;
+        let record = self.registry.consumer(&ConsumerId::new(name))?;
         Some(ConsumerCtx {
             id: Some(ConsumerId::new(name)),
-            groups: record.groups.clone(),
-            studies: record.studies.clone(),
+            groups: record.groups,
+            studies: record.studies,
         })
     }
 
@@ -368,7 +357,11 @@ impl Inner {
             Ok(q) => q,
             Err(e) => return bad_request(&e),
         };
-        let hits = self.rules.lock().search(&query);
+        // Snapshot under a brief read lock; the search itself (rule
+        // matching over every mirrored contributor) runs lock-free on
+        // copy-on-write `Arc`s, so concurrent syncs are never blocked.
+        let snapshot = self.rules.read().snapshot();
+        let hits = snapshot.search(&query);
         Response::json(&json!({
             "contributors": (Value::Array(
                 hits.iter().map(|c| Value::from(c.as_str())).collect()
@@ -384,13 +377,10 @@ impl Inner {
         record: &ConsumerRecord,
         contributor: &ContributorId,
     ) -> Result<StoreAccess, String> {
-        let store = {
-            let registry = self.registry.read();
-            registry
-                .store_of(contributor)
-                .cloned()
-                .ok_or_else(|| format!("unknown contributor '{contributor}'"))?
-        };
+        let store = self
+            .registry
+            .store_of(contributor)
+            .ok_or_else(|| format!("unknown contributor '{contributor}'"))?;
         let transport = (self.config.transports)(store.addr.as_str());
         let payload = json!({
             "key": (store.register_key.clone()),
@@ -435,12 +425,9 @@ impl Inner {
         let Some(names) = body.get("contributors").and_then(Value::as_string_list) else {
             return bad_request("missing 'contributors'");
         };
-        let record = {
-            let registry = self.registry.read();
-            match registry.consumers.get(&ConsumerId::new(&principal.name)) {
-                Some(r) => r.clone(),
-                None => return Response::error(Status::Forbidden, "consumer not registered"),
-            }
+        let consumer_id = ConsumerId::new(&principal.name);
+        let Some(record) = self.registry.consumer(&consumer_id) else {
+            return Response::error(Status::Forbidden, "consumer not registered");
         };
         let mut added = Vec::new();
         let mut errors = Vec::new();
@@ -473,15 +460,7 @@ impl Inner {
                         key_by_store
                             .insert(access.addr.as_str().to_string(), access.api_key.clone());
                     }
-                    let mut registry = self.registry.write();
-                    let rec = registry
-                        .consumers
-                        .get_mut(&ConsumerId::new(&principal.name))
-                        .expect("checked above");
-                    rec.access.insert(contributor.clone(), access);
-                    if !rec.contributor_list.contains(&contributor) {
-                        rec.contributor_list.push(contributor);
-                    }
+                    self.registry.grant_access(&consumer_id, access);
                     added.push(name);
                 }
                 Err(e) => errors.push(format!("{name}: {e}")),
@@ -500,8 +479,7 @@ impl Inner {
         if principal.role != Role::Consumer {
             return Response::error(Status::Forbidden, "consumers only");
         }
-        let registry = self.registry.read();
-        let Some(record) = registry.consumers.get(&ConsumerId::new(&principal.name)) else {
+        let Some(record) = self.registry.consumer(&ConsumerId::new(&principal.name)) else {
             return Response::error(Status::Forbidden, "consumer not registered");
         };
         let access: Vec<Value> = record
@@ -525,8 +503,8 @@ impl BrokerService {
     pub fn new(config: BrokerConfig) -> (BrokerService, ApiKey) {
         let inner = Arc::new(Inner {
             config,
-            registry: RwLock::new(BrokerRegistry::new()),
-            rules: Mutex::new(RuleIndex::new()),
+            registry: BrokerRegistry::new(),
+            rules: RwLock::new(RuleIndex::new()),
             keys: KeyRing::new(),
             passwords: PasswordStore::new(),
             sessions: SessionManager::new(),
@@ -587,7 +565,7 @@ impl BrokerService {
 
     /// Registered contributor count (tests/benches).
     pub fn contributor_count(&self) -> usize {
-        self.inner.registry.read().contributor_count()
+        self.inner.registry.contributor_count()
     }
 
     /// This instance's metrics registry (scraped via `GET /metrics`).

@@ -112,10 +112,10 @@ fn handle_search_page(inner: &Inner, req: &Request) -> Response {
         Err(resp) => return resp,
     };
     let session = req.query.get("session").cloned().unwrap_or_default();
-    let registry = inner.registry.read();
-    let all: String = registry
-        .contributors
-        .keys()
+    let all: String = inner
+        .registry
+        .contributor_ids()
+        .iter()
         .map(|c| format!("<li>{}</li>", escape(c.as_str())))
         .collect();
     page(
@@ -144,16 +144,13 @@ fn handle_search_post(inner: &Inner, req: &Request) -> Response {
     };
     let form = parse_form(&req.body);
     let get = |k: &str| form.get(k).filter(|v| !v.is_empty());
-    let consumer = {
-        let registry = inner.registry.read();
-        match registry.consumers.get(&ConsumerId::new(&username)) {
-            Some(record) => ConsumerCtx {
-                id: Some(ConsumerId::new(&username)),
-                groups: record.groups.clone(),
-                studies: record.studies.clone(),
-            },
-            None => ConsumerCtx::user(&username),
-        }
+    let consumer = match inner.registry.consumer(&ConsumerId::new(&username)) {
+        Some(record) => ConsumerCtx {
+            id: Some(ConsumerId::new(&username)),
+            groups: record.groups,
+            studies: record.studies,
+        },
+        None => ConsumerCtx::user(&username),
     };
     let mut query = SearchQuery {
         consumer,
@@ -184,7 +181,7 @@ fn handle_search_post(inner: &Inner, req: &Request) -> Response {
         .iter()
         .filter_map(|c| ContextKind::parse(c))
         .collect();
-    let hits = inner.rules.lock().search(&query);
+    let hits = inner.rules.read().snapshot().search(&query);
     let items: String = hits
         .iter()
         .map(|c| format!("<li>{}</li>", escape(c.as_str())))

@@ -26,4 +26,7 @@ pub mod web;
 
 pub use pipeline::{shared_view, shared_view_from_json, shared_view_to_json, SharedView};
 pub use service::{annotation_to_json, BrokerLink, DataStoreConfig, DataStoreService};
-pub use state::{ConsumerAccount, ContributorAccount, DataStoreState};
+pub use state::{
+    ConsumerAccount, ContributorAccount, ContributorReadGuard, ContributorWriteGuard,
+    DataStoreState, LockMode,
+};

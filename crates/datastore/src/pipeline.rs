@@ -11,7 +11,7 @@
 use crate::state::ContributorAccount;
 use sensorsafe_json::{json, Map, Value};
 use sensorsafe_policy::{
-    enforce, evaluate, ConsumerCtx, DependencyGraph, SharedLocation, SharedSegment, TimeAbs,
+    enforce, ConsumerCtx, DependencyGraph, SharedLocation, SharedSegment, TimeAbs,
 };
 use sensorsafe_store::Query;
 use sensorsafe_types::{ContextAnnotation, TimeRange, WaveSegment};
@@ -79,6 +79,9 @@ pub fn shared_view(
     let mut windows = Vec::new();
     let segments = account.store.query(query);
     sensorsafe_obsv::trace::phase("store_query");
+    // One cache hit per request (compiled at most once per epoch) instead
+    // of cloning and re-walking the raw rule list per window.
+    let compiled = account.compiled_rules();
     for segment in segments {
         let Some(seg_range) = segment.time_range() else {
             continue;
@@ -105,7 +108,7 @@ pub fn shared_view(
                 contexts,
             };
             let channels: Vec<sensorsafe_types::ChannelId> = piece.channels().cloned().collect();
-            let decision = evaluate(&account.rules, consumer, &ctx, &channels, graph);
+            let decision = compiled.evaluate(consumer, &ctx, &channels, graph);
             if let Some(shared) = enforce(&decision, &piece, &window_annotations) {
                 windows.push(shared);
             }

@@ -18,7 +18,7 @@
 //! | `GET /ui/*`, `POST /ui/*` | browser | web user interface (see [`crate::web`]) |
 
 use crate::pipeline::{shared_view, shared_view_to_json};
-use crate::state::{ConsumerAccount, ContributorAccount, DataStoreState};
+use crate::state::{ConsumerAccount, ContributorAccount, DataStoreState, LockMode};
 use parking_lot::Mutex;
 use sensorsafe_auth::{ApiKey, KeyRing, PasswordStore, Principal, Role, SessionManager};
 use sensorsafe_json::{json, Value};
@@ -43,6 +43,9 @@ pub struct DataStoreConfig {
     /// contributor account replays `<dir>/<name>.wal` on registration,
     /// so a restarted server recovers its data.
     pub data_dir: Option<std::path::PathBuf>,
+    /// Locking discipline for contributor state. `GlobalLock` reproduces
+    /// the pre-sharding coarse lock (bench baseline only).
+    pub lock_mode: LockMode,
 }
 
 impl Default for DataStoreConfig {
@@ -51,6 +54,7 @@ impl Default for DataStoreConfig {
             name: "sensorsafe-datastore".to_string(),
             merge: MergePolicy::default(),
             data_dir: None,
+            lock_mode: LockMode::Sharded,
         }
     }
 }
@@ -205,30 +209,27 @@ impl Inner {
                 }
             }
         }
-        let counts = self.state.with_contributor_mut(&id, |account| {
-            let mut stored = 0usize;
-            for seg in segments {
-                if account.store.insert_segment(seg).is_ok() {
-                    stored += 1;
-                }
+        let Some(mut account) = self.state.write_contributor(&id) else {
+            return Response::error(Status::NotFound, "no such contributor account");
+        };
+        let mut stored = 0usize;
+        for seg in segments {
+            if account.store.insert_segment(seg).is_ok() {
+                stored += 1;
             }
-            let mut annotated = 0usize;
-            for ann in annotations {
-                if account.store.insert_annotation(ann).is_ok() {
-                    annotated += 1;
-                }
-            }
-            // Durable mode: make the batch crash-safe before acking.
-            let _ = account.store.sync();
-            (stored, annotated)
-        });
-        match counts {
-            Some((stored, annotated)) => Response::json(&json!({
-                "stored_segments": stored,
-                "stored_annotations": annotated,
-            })),
-            None => Response::error(Status::NotFound, "no such contributor account"),
         }
+        let mut annotated = 0usize;
+        for ann in annotations {
+            if account.store.insert_annotation(ann).is_ok() {
+                annotated += 1;
+            }
+        }
+        // Durable mode: make the batch crash-safe before acking.
+        let _ = account.store.sync();
+        Response::json(&json!({
+            "stored_segments": stored,
+            "stored_annotations": annotated,
+        }))
     }
 
     fn handle_query(&self, body: &Value) -> Response {
@@ -251,19 +252,16 @@ impl Inner {
         // web-based interface"); everyone else goes through enforcement.
         let owner = principal.role == Role::Contributor && principal.name == contributor.as_str();
         if owner {
-            let result = self.state.with_contributor(&contributor, |account| {
-                let segments: Vec<Value> = account
-                    .store
-                    .query(&query)
-                    .iter()
-                    .map(WaveSegment::to_json)
-                    .collect();
-                json!({ "segments": (Value::Array(segments)) })
-            });
-            return match result {
-                Some(payload) => Response::json(&payload),
-                None => Response::error(Status::NotFound, "no such contributor"),
+            let Some(account) = self.state.read_contributor(&contributor) else {
+                return Response::error(Status::NotFound, "no such contributor");
             };
+            let segments: Vec<Value> = account
+                .store
+                .query(&query)
+                .iter()
+                .map(WaveSegment::to_json)
+                .collect();
+            return Response::json(&json!({ "segments": (Value::Array(segments)) }));
         }
         if principal.role != Role::Consumer {
             return Response::error(Status::Forbidden, "consumers only");
@@ -285,16 +283,14 @@ impl Inner {
             )
             .inc();
         let ctx = consumer.to_ctx();
-        let result = self.state.with_contributor(&contributor, |account| {
-            let view = shared_view(account, &ctx, &query, &self.graph);
-            let payload = shared_view_to_json(&view);
-            trace::phase("serialize");
-            payload
-        });
-        match result {
-            Some(payload) => Response::json(&payload),
-            None => Response::error(Status::NotFound, "no such contributor"),
-        }
+        let Some(account) = self.state.read_contributor(&contributor) else {
+            return Response::error(Status::NotFound, "no such contributor");
+        };
+        let view = shared_view(&account, &ctx, &query, &self.graph);
+        let payload = shared_view_to_json(&view);
+        trace::phase("serialize");
+        drop(account);
+        Response::json(&payload)
     }
 
     fn handle_rules_set(&self, body: &Value) -> Response {
@@ -312,11 +308,11 @@ impl Inner {
             Err(e) => return bad_request(&e.to_string()),
         };
         let id = ContributorId::new(principal.name.clone());
-        let Some(epoch) = self
-            .state
-            .with_contributor_mut(&id, |account| account.set_rules(rules.clone()))
-        else {
-            return Response::error(Status::NotFound, "no such contributor account");
+        let epoch = {
+            let Some(mut account) = self.state.write_contributor(&id) else {
+                return Response::error(Status::NotFound, "no such contributor account");
+            };
+            account.set_rules(rules.clone())
         };
         let synced = self.push_rules_to_broker(&id, epoch, &rules);
         Response::json(&json!({ "epoch": epoch, "broker_synced": synced }))
@@ -356,16 +352,13 @@ impl Inner {
             return Response::error(Status::Forbidden, "only contributors read their rules");
         }
         let id = ContributorId::new(principal.name);
-        let result = self.state.with_contributor(&id, |account| {
-            json!({
-                "rules": (PrivacyRule::rules_to_json(&account.rules)),
-                "epoch": (account.rule_epoch),
-            })
-        });
-        match result {
-            Some(payload) => Response::json(&payload),
-            None => Response::error(Status::NotFound, "no such contributor account"),
-        }
+        let Some(account) = self.state.read_contributor(&id) else {
+            return Response::error(Status::NotFound, "no such contributor account");
+        };
+        Response::json(&json!({
+            "rules": (PrivacyRule::rules_to_json(&account.rules)),
+            "epoch": (account.rule_epoch),
+        }))
     }
 
     fn handle_places_set(&self, body: &Value) -> Response {
@@ -395,11 +388,11 @@ impl Inner {
             places.push((label.to_string(), Region::new(south, north, west, east)));
         }
         let id = ContributorId::new(principal.name);
-        match self
-            .state
-            .with_contributor_mut(&id, |account| account.places = places)
-        {
-            Some(()) => Response::json(&json!({ "ok": true })),
+        match self.state.write_contributor(&id) {
+            Some(mut account) => {
+                account.places = places;
+                Response::json(&json!({ "ok": true }))
+            }
             None => Response::error(Status::NotFound, "no such contributor account"),
         }
     }
@@ -500,9 +493,10 @@ impl DataStoreService {
     /// `Role::Server` credential the operator uses to create accounts
     /// and that the broker uses for escrowed consumer registration).
     pub fn new(config: DataStoreConfig) -> (DataStoreService, ApiKey) {
+        let state = DataStoreState::with_mode(config.lock_mode);
         let inner = Arc::new(Inner {
             config,
-            state: DataStoreState::new(),
+            state,
             keys: KeyRing::new(),
             graph: DependencyGraph::paper(),
             broker: Mutex::new(None),
@@ -567,10 +561,13 @@ impl DataStoreService {
     pub fn sync_all_rules(&self) -> usize {
         let mut synced = 0;
         for id in self.inner.state.contributor_ids() {
+            // Copy the (epoch, rules) pair out under the account lock;
+            // the broker round-trip happens without holding it.
             let snapshot = self
                 .inner
                 .state
-                .with_contributor(&id, |a| (a.rule_epoch, a.rules.clone()));
+                .read_contributor(&id)
+                .map(|a| (a.rule_epoch, a.rules.clone()));
             if let Some((epoch, rules)) = snapshot {
                 if self.inner.push_rules_to_broker(&id, epoch, &rules) {
                     synced += 1;
@@ -919,6 +916,7 @@ mod durability_tests {
             name: "durable".into(),
             merge: MergePolicy::default(),
             data_dir: Some(dir.clone()),
+            lock_mode: LockMode::Sharded,
         };
         let uploaded;
         {

@@ -1,10 +1,41 @@
 //! Server-side state: contributor and consumer accounts.
+//!
+//! # Sharding and lock order
+//!
+//! Mutable state is sharded per contributor: a lock-striped *directory*
+//! maps contributor ids to `Arc<RwLock<ContributorAccount>>`, so uploads
+//! to one contributor never contend with queries against another. The
+//! lock hierarchy (also documented in DESIGN.md §7) is:
+//!
+//! 1. **Directory stripe** (`RwLock` over one stripe's id → account map)
+//!    — held only long enough to clone the account `Arc`, never while an
+//!    account lock is held.
+//! 2. **Account lock** (`RwLock<ContributorAccount>`) — held for the
+//!    duration of one request's work on that contributor. At most one
+//!    account lock per thread.
+//! 3. **Compiled-rule cache** (`Mutex` inside the account) — leaf lock,
+//!    held only to read or replace the cached `Arc<CompiledRules>`.
+//!
+//! Debug builds assert this order (`mod lock_order`): acquiring a stripe
+//! while holding an account lock, or a second account lock, panics.
+//!
+//! [`LockMode::GlobalLock`] layers the seed's coarse single-lock behavior
+//! on top (every access also takes one global `RwLock`), kept as the
+//! baseline the `c1_concurrency` bench compares against.
 
-use parking_lot::RwLock;
-use sensorsafe_policy::PrivacyRule;
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use sensorsafe_policy::{CompiledRules, PrivacyRule};
 use sensorsafe_store::{MergePolicy, SegmentStore, StoreError};
 use sensorsafe_types::{ConsumerId, ContributorId, GeoPoint, GroupId, Region, StudyId};
 use std::collections::BTreeMap;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Number of directory stripes. Contention on the directory itself is
+/// rare (registration only); 16 stripes keep even registration bursts
+/// spread out without meaningfully growing the state footprint.
+const STRIPES: usize = 16;
 
 /// One contributor hosted on this data store.
 pub struct ContributorAccount {
@@ -21,6 +52,10 @@ pub struct ContributorAccount {
     /// Labeled places ("home", "UCLA") drawn on the map UI; a window's
     /// location labels are the labels whose region contains its point.
     pub places: Vec<(String, Region)>,
+    /// Lazily compiled rules, keyed by the epoch they were compiled at.
+    /// An epoch bump invalidates the entry; the next enforcement pass
+    /// recompiles once and every request after that shares the `Arc`.
+    compiled: Mutex<Option<(u64, Arc<CompiledRules>)>>,
 }
 
 impl ContributorAccount {
@@ -33,6 +68,7 @@ impl ContributorAccount {
             rules: Vec::new(),
             rule_epoch: 0,
             places: Vec::new(),
+            compiled: Mutex::new(None),
         }
     }
 
@@ -48,6 +84,7 @@ impl ContributorAccount {
             rules: Vec::new(),
             rule_epoch: 0,
             places: Vec::new(),
+            compiled: Mutex::new(None),
         })
     }
 
@@ -65,6 +102,22 @@ impl ContributorAccount {
         self.rules = rules;
         self.rule_epoch += 1;
         self.rule_epoch
+    }
+
+    /// The current rules in compiled form, recompiled at most once per
+    /// epoch. Callers hold the account lock (shared is enough), so the
+    /// `(rules, rule_epoch)` pair is coherent; the inner mutex only
+    /// guards the cache slot itself.
+    pub fn compiled_rules(&self) -> Arc<CompiledRules> {
+        let mut cache = self.compiled.lock();
+        if let Some((epoch, compiled)) = cache.as_ref() {
+            if *epoch == self.rule_epoch {
+                return Arc::clone(compiled);
+            }
+        }
+        let compiled = Arc::new(CompiledRules::compile(&self.rules));
+        *cache = Some((self.rule_epoch, Arc::clone(&compiled)));
+        compiled
     }
 }
 
@@ -92,81 +145,329 @@ impl ConsumerAccount {
     }
 }
 
-/// All mutable server state behind one lock.
-///
-/// A single `RwLock` keeps the invariants simple (rules and data for a
-/// contributor can never be observed mid-update); queries take the read
-/// side, so concurrent consumers proceed in parallel.
-#[derive(Default)]
-pub struct DataStoreState {
-    inner: RwLock<Inner>,
+/// Which locking discipline [`DataStoreState`] runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LockMode {
+    /// Per-contributor account locks behind a striped directory
+    /// (production mode).
+    #[default]
+    Sharded,
+    /// The seed's coarse behavior: every contributor access additionally
+    /// serializes through one global `RwLock` (reads shared, writes
+    /// exclusive). Kept for same-run A/B comparison in benches.
+    GlobalLock,
 }
 
-#[derive(Default)]
-struct Inner {
-    contributors: BTreeMap<ContributorId, ContributorAccount>,
-    consumers: BTreeMap<ConsumerId, ConsumerAccount>,
+/// Debug-build lock-order assertions (see the module docs for the
+/// hierarchy). Zero code in release builds.
+#[cfg(debug_assertions)]
+mod lock_order {
+    use std::cell::Cell;
+
+    thread_local! {
+        static ACCOUNT_LOCKS_HELD: Cell<usize> = const { Cell::new(0) };
+    }
+
+    pub(super) fn acquire_account() {
+        ACCOUNT_LOCKS_HELD.with(|held| {
+            assert_eq!(
+                held.get(),
+                0,
+                "lock-order violation: acquiring a second contributor account \
+                 lock on this thread (deadlock risk — account locks never nest)"
+            );
+            held.set(held.get() + 1);
+        });
+    }
+
+    pub(super) fn release_account() {
+        ACCOUNT_LOCKS_HELD.with(|held| held.set(held.get().saturating_sub(1)));
+    }
+
+    pub(super) fn assert_no_account_lock() {
+        ACCOUNT_LOCKS_HELD.with(|held| {
+            assert_eq!(
+                held.get(),
+                0,
+                "lock-order violation: touching the contributor directory while \
+                 holding an account lock (directory locks come first)"
+            );
+        });
+    }
+}
+
+#[cfg(not(debug_assertions))]
+mod lock_order {
+    pub(super) fn acquire_account() {}
+    pub(super) fn release_account() {}
+    pub(super) fn assert_no_account_lock() {}
+}
+
+/// Shared (read) access to one contributor, held until dropped.
+///
+/// Returned by [`DataStoreState::read_contributor`]. The guard owns an
+/// `Arc` to the account's lock, so it stays valid even if the directory
+/// changes concurrently.
+pub struct ContributorReadGuard<'a> {
+    // SAFETY invariant: `guard` borrows the `RwLock` inside `_account`.
+    // Declared first so it drops before `_account` (fields drop in
+    // declaration order); `_account` pins the lock's heap allocation for
+    // the guard's whole life, making the lifetime transmute in
+    // `read_contributor` sound.
+    guard: RwLockReadGuard<'a, ContributorAccount>,
+    _account: Arc<RwLock<ContributorAccount>>,
+    _global: Option<RwLockReadGuard<'a, ()>>,
+}
+
+impl Deref for ContributorReadGuard<'_> {
+    type Target = ContributorAccount;
+    fn deref(&self) -> &ContributorAccount {
+        &self.guard
+    }
+}
+
+impl Drop for ContributorReadGuard<'_> {
+    fn drop(&mut self) {
+        lock_order::release_account();
+    }
+}
+
+/// Exclusive (write) access to one contributor, held until dropped.
+///
+/// Returned by [`DataStoreState::write_contributor`].
+pub struct ContributorWriteGuard<'a> {
+    // SAFETY invariant: same as `ContributorReadGuard`.
+    guard: RwLockWriteGuard<'a, ContributorAccount>,
+    _account: Arc<RwLock<ContributorAccount>>,
+    _global: Option<RwLockWriteGuard<'a, ()>>,
+}
+
+impl Deref for ContributorWriteGuard<'_> {
+    type Target = ContributorAccount;
+    fn deref(&self) -> &ContributorAccount {
+        &self.guard
+    }
+}
+
+impl DerefMut for ContributorWriteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut ContributorAccount {
+        &mut self.guard
+    }
+}
+
+impl Drop for ContributorWriteGuard<'_> {
+    fn drop(&mut self) {
+        lock_order::release_account();
+    }
+}
+
+type Stripe = RwLock<BTreeMap<ContributorId, Arc<RwLock<ContributorAccount>>>>;
+
+/// All mutable server state, sharded per contributor (module docs).
+pub struct DataStoreState {
+    stripes: Vec<Stripe>,
+    consumers: RwLock<BTreeMap<ConsumerId, Arc<ConsumerAccount>>>,
+    /// `Some` in [`LockMode::GlobalLock`]: the extra coarse lock every
+    /// contributor access takes, reproducing the seed's serialization.
+    global: Option<RwLock<()>>,
+}
+
+impl Default for DataStoreState {
+    fn default() -> DataStoreState {
+        DataStoreState::with_mode(LockMode::default())
+    }
+}
+
+/// FNV-1a over the contributor name; stable and dependency-free.
+fn stripe_of(id: &ContributorId) -> usize {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in id.as_str().bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (hash % STRIPES as u64) as usize
+}
+
+fn lock_wait_histogram(mode: &str) -> Arc<sensorsafe_obsv::Histogram> {
+    sensorsafe_obsv::global().histogram(
+        "sensorsafe_datastore_lock_wait_seconds",
+        "Time spent waiting to acquire a contributor account lock.",
+        &[("mode", mode)],
+        None,
+    )
 }
 
 impl DataStoreState {
-    /// Empty state.
+    /// Empty state in the default (sharded) mode.
     pub fn new() -> DataStoreState {
         DataStoreState::default()
     }
 
+    /// Empty state under an explicit locking discipline.
+    pub fn with_mode(mode: LockMode) -> DataStoreState {
+        sensorsafe_obsv::global()
+            .gauge(
+                "sensorsafe_datastore_shards",
+                "Lock stripes in the contributor directory.",
+                &[],
+            )
+            .set(STRIPES as i64);
+        DataStoreState {
+            stripes: (0..STRIPES).map(|_| Stripe::default()).collect(),
+            consumers: RwLock::default(),
+            global: match mode {
+                LockMode::Sharded => None,
+                LockMode::GlobalLock => Some(RwLock::new(())),
+            },
+        }
+    }
+
+    /// The locking discipline this state runs under.
+    pub fn lock_mode(&self) -> LockMode {
+        if self.global.is_some() {
+            LockMode::GlobalLock
+        } else {
+            LockMode::Sharded
+        }
+    }
+
+    fn update_account_gauge(&self) {
+        sensorsafe_obsv::global()
+            .gauge(
+                "sensorsafe_datastore_contributor_accounts",
+                "Contributor accounts hosted on this data store.",
+                &[],
+            )
+            .set(self.contributor_count() as i64);
+    }
+
     /// Adds a contributor account; returns `false` if the name is taken.
     pub fn add_contributor(&self, account: ContributorAccount) -> bool {
-        let mut inner = self.inner.write();
-        if inner.contributors.contains_key(&account.id) {
-            return false;
+        lock_order::assert_no_account_lock();
+        let added = {
+            let mut stripe = self.stripes[stripe_of(&account.id)].write();
+            if stripe.contains_key(&account.id) {
+                false
+            } else {
+                stripe.insert(account.id.clone(), Arc::new(RwLock::new(account)));
+                true
+            }
+        };
+        if added {
+            self.update_account_gauge();
         }
-        inner.contributors.insert(account.id.clone(), account);
-        true
+        added
     }
 
     /// Adds a consumer account; returns `false` if the name is taken.
     pub fn add_consumer(&self, account: ConsumerAccount) -> bool {
-        let mut inner = self.inner.write();
-        if inner.consumers.contains_key(&account.id) {
+        let mut consumers = self.consumers.write();
+        if consumers.contains_key(&account.id) {
             return false;
         }
-        inner.consumers.insert(account.id.clone(), account);
+        consumers.insert(account.id.clone(), Arc::new(account));
         true
     }
 
-    /// Runs `f` with shared access to a contributor.
+    /// Clones the account `Arc` out of the directory (brief stripe read).
+    fn lookup(&self, id: &ContributorId) -> Option<Arc<RwLock<ContributorAccount>>> {
+        lock_order::assert_no_account_lock();
+        self.stripes[stripe_of(id)].read().get(id).cloned()
+    }
+
+    /// Acquires shared access to a contributor's account. Concurrent
+    /// readers of the same account proceed in parallel; readers of
+    /// *different* accounts never contend at all (sharded mode).
+    pub fn read_contributor(&self, id: &ContributorId) -> Option<ContributorReadGuard<'_>> {
+        // The wait clock covers the whole acquisition path, so in
+        // `GlobalLock` mode time blocked on the global lock shows up in
+        // the histogram too (that is the contention the sharding kills).
+        let waited = Instant::now();
+        let _global = self.global.as_ref().map(|g| g.read());
+        let account = self.lookup(id)?;
+        lock_order::acquire_account();
+        let guard = account.read();
+        lock_wait_histogram("read").observe(waited.elapsed());
+        // SAFETY: the guard borrows the RwLock on the heap behind
+        // `account`; moving the Arc does not move the lock, and the
+        // guard field drops before `_account` keeps-alive drops.
+        let guard = unsafe {
+            std::mem::transmute::<
+                RwLockReadGuard<'_, ContributorAccount>,
+                RwLockReadGuard<'_, ContributorAccount>,
+            >(guard)
+        };
+        Some(ContributorReadGuard {
+            guard,
+            _account: account,
+            _global,
+        })
+    }
+
+    /// Acquires exclusive access to a contributor's account. Only writers
+    /// and readers of the *same* account are serialized (sharded mode).
+    pub fn write_contributor(&self, id: &ContributorId) -> Option<ContributorWriteGuard<'_>> {
+        let waited = Instant::now();
+        let _global = self.global.as_ref().map(|g| g.write());
+        let account = self.lookup(id)?;
+        lock_order::acquire_account();
+        let guard = account.write();
+        lock_wait_histogram("write").observe(waited.elapsed());
+        // SAFETY: as in `read_contributor`.
+        let guard = unsafe {
+            std::mem::transmute::<
+                RwLockWriteGuard<'_, ContributorAccount>,
+                RwLockWriteGuard<'_, ContributorAccount>,
+            >(guard)
+        };
+        Some(ContributorWriteGuard {
+            guard,
+            _account: account,
+            _global,
+        })
+    }
+
+    /// Runs `f` with shared access to a contributor (convenience wrapper
+    /// over [`DataStoreState::read_contributor`]).
     pub fn with_contributor<R>(
         &self,
         id: &ContributorId,
         f: impl FnOnce(&ContributorAccount) -> R,
     ) -> Option<R> {
-        let inner = self.inner.read();
-        inner.contributors.get(id).map(f)
+        self.read_contributor(id).map(|guard| f(&guard))
     }
 
-    /// Runs `f` with exclusive access to a contributor.
+    /// Runs `f` with exclusive access to a contributor (convenience
+    /// wrapper over [`DataStoreState::write_contributor`]).
     pub fn with_contributor_mut<R>(
         &self,
         id: &ContributorId,
         f: impl FnOnce(&mut ContributorAccount) -> R,
     ) -> Option<R> {
-        let mut inner = self.inner.write();
-        inner.contributors.get_mut(id).map(f)
+        self.write_contributor(id).map(|mut guard| f(&mut guard))
     }
 
-    /// Looks up a consumer account.
-    pub fn consumer(&self, id: &ConsumerId) -> Option<ConsumerAccount> {
-        self.inner.read().consumers.get(id).cloned()
+    /// Looks up a consumer account (cheap: shared `Arc`, no deep clone).
+    pub fn consumer(&self, id: &ConsumerId) -> Option<Arc<ConsumerAccount>> {
+        self.consumers.read().get(id).cloned()
     }
 
-    /// Contributor names hosted here.
+    /// Contributor names hosted here, in name order.
     pub fn contributor_ids(&self) -> Vec<ContributorId> {
-        self.inner.read().contributors.keys().cloned().collect()
+        lock_order::assert_no_account_lock();
+        let mut ids: Vec<ContributorId> = self
+            .stripes
+            .iter()
+            .flat_map(|stripe| stripe.read().keys().cloned().collect::<Vec<_>>())
+            .collect();
+        ids.sort();
+        ids
     }
 
     /// Number of hosted contributors.
     pub fn contributor_count(&self) -> usize {
-        self.inner.read().contributors.len()
+        lock_order::assert_no_account_lock();
+        self.stripes.iter().map(|s| s.read().len()).sum()
     }
 }
 
@@ -232,10 +533,123 @@ mod tests {
         assert!(state.add_consumer(bob.clone()));
         assert!(!state.add_consumer(bob.clone()));
         let fetched = state.consumer(&ConsumerId::new("bob")).unwrap();
-        assert_eq!(fetched, bob);
+        assert_eq!(*fetched, bob);
         let ctx = fetched.to_ctx();
         assert_eq!(ctx.id, Some(ConsumerId::new("bob")));
         assert_eq!(ctx.groups.len(), 1);
         assert!(state.consumer(&ConsumerId::new("eve")).is_none());
+    }
+
+    #[test]
+    fn guards_give_direct_access() {
+        let state = DataStoreState::new();
+        let id = ContributorId::new("alice");
+        state.add_contributor(ContributorAccount::new(id.clone(), MergePolicy::default()));
+        {
+            let mut guard = state.write_contributor(&id).unwrap();
+            guard.set_rules(vec![PrivacyRule::allow_all()]);
+        }
+        let guard = state.read_contributor(&id).unwrap();
+        assert_eq!(guard.rule_epoch, 1);
+        assert_eq!(guard.rules.len(), 1);
+        drop(guard);
+        assert!(state
+            .read_contributor(&ContributorId::new("ghost"))
+            .is_none());
+    }
+
+    #[test]
+    fn guard_outlives_concurrent_directory_growth() {
+        // A held guard stays valid while another thread mutates the
+        // directory around it (registration on the same stripes).
+        let state = Arc::new(DataStoreState::new());
+        let id = ContributorId::new("alice");
+        state.add_contributor(ContributorAccount::new(id.clone(), MergePolicy::default()));
+        let guard = state.read_contributor(&id).unwrap();
+        let registrar = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                for i in 0..32 {
+                    state.add_contributor(ContributorAccount::new(
+                        ContributorId::new(format!("other-{i}")),
+                        MergePolicy::default(),
+                    ));
+                }
+            })
+        };
+        registrar.join().unwrap();
+        assert_eq!(guard.id, id);
+        drop(guard);
+        assert_eq!(state.contributor_count(), 33);
+    }
+
+    #[test]
+    fn compiled_rules_cache_invalidated_by_epoch_bump() {
+        let mut account =
+            ContributorAccount::new(ContributorId::new("alice"), MergePolicy::default());
+        let empty = account.compiled_rules();
+        assert!(empty.is_empty());
+        // Same epoch: the same compiled object is shared.
+        assert!(Arc::ptr_eq(&empty, &account.compiled_rules()));
+        account.set_rules(vec![PrivacyRule::allow_all()]);
+        let compiled = account.compiled_rules();
+        assert_eq!(compiled.len(), 1);
+        assert!(!Arc::ptr_eq(&empty, &compiled));
+        assert!(Arc::ptr_eq(&compiled, &account.compiled_rules()));
+    }
+
+    #[test]
+    fn global_lock_mode_behaves_identically() {
+        let state = DataStoreState::with_mode(LockMode::GlobalLock);
+        assert_eq!(state.lock_mode(), LockMode::GlobalLock);
+        let id = ContributorId::new("alice");
+        state.add_contributor(ContributorAccount::new(id.clone(), MergePolicy::default()));
+        state
+            .with_contributor_mut(&id, |a| a.set_rules(vec![PrivacyRule::allow_all()]))
+            .unwrap();
+        assert_eq!(state.with_contributor(&id, |a| a.rule_epoch).unwrap(), 1);
+        assert_eq!(DataStoreState::new().lock_mode(), LockMode::Sharded);
+    }
+
+    #[test]
+    fn stripe_distribution_is_stable() {
+        // The FNV mapping must be deterministic (directory lookups would
+        // break otherwise) and spread names across stripes.
+        let a = stripe_of(&ContributorId::new("alice"));
+        assert_eq!(a, stripe_of(&ContributorId::new("alice")));
+        let used: std::collections::BTreeSet<usize> = (0..64)
+            .map(|i| stripe_of(&ContributorId::new(format!("contributor-{i}"))))
+            .collect();
+        assert!(used.len() > STRIPES / 2, "poor stripe spread: {used:?}");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "lock-order violation")]
+    fn directory_access_under_account_lock_panics() {
+        let state = DataStoreState::new();
+        let id = ContributorId::new("alice");
+        state.add_contributor(ContributorAccount::new(id.clone(), MergePolicy::default()));
+        let _guard = state.read_contributor(&id).unwrap();
+        // Touching the directory while holding an account lock violates
+        // the documented order.
+        let _ = state.contributor_count();
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "lock-order violation")]
+    fn nested_account_locks_panic() {
+        let state = DataStoreState::new();
+        for name in ["alice", "bob"] {
+            state.add_contributor(ContributorAccount::new(
+                ContributorId::new(name),
+                MergePolicy::default(),
+            ));
+        }
+        let _first = state
+            .read_contributor(&ContributorId::new("alice"))
+            .unwrap();
+        let _second = state.read_contributor(&ContributorId::new("bob"));
     }
 }

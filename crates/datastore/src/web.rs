@@ -230,9 +230,8 @@ fn handle_rules_page(inner: &Inner, req: &Request) -> Response {
         Err(resp) => return resp,
     };
     let id = ContributorId::new(username.clone());
-    let rules_html = inner
-        .state
-        .with_contributor(&id, |account| {
+    let rules_html = match inner.state.read_contributor(&id) {
+        Some(account) => {
             let items: String = account
                 .rules
                 .iter()
@@ -247,8 +246,9 @@ fn handle_rules_page(inner: &Inner, req: &Request) -> Response {
                 "<p>Rule epoch: {}</p><ol id=\"rules\">{items}</ol>",
                 account.rule_epoch
             )
-        })
-        .unwrap_or_else(|| "<p>No contributor account.</p>".to_string());
+        }
+        None => "<p>No contributor account.</p>".to_string(),
+    };
     let session = req.query.get("session").cloned().unwrap_or_default();
     page(
         "Privacy Rules",
@@ -362,13 +362,13 @@ fn handle_rules_post(inner: &Inner, req: &Request) -> Response {
         Err(e) => return Response::error(Status::BadRequest, &e),
     };
     let id = ContributorId::new(username);
-    let result = inner.state.with_contributor_mut(&id, |account| {
+    let (epoch, rules) = {
+        let Some(mut account) = inner.state.write_contributor(&id) else {
+            return Response::error(Status::NotFound, "no contributor account");
+        };
         let mut rules = account.rules.clone();
         rules.push(rule);
         (account.set_rules(rules.clone()), rules)
-    });
-    let Some((epoch, rules)) = result else {
-        return Response::error(Status::NotFound, "no contributor account");
     };
     inner.push_rules_to_broker(&id, epoch, &rules);
     page(
@@ -387,9 +387,8 @@ fn handle_data_page(inner: &Inner, req: &Request) -> Response {
         Err(resp) => return resp,
     };
     let id = ContributorId::new(username.clone());
-    let body = inner
-        .state
-        .with_contributor(&id, |account| {
+    let body = match inner.state.read_contributor(&id) {
+        Some(account) => {
             let stats = account.store.stats();
             format!(
                 "<table id=\"stats\">\
@@ -401,8 +400,9 @@ fn handle_data_page(inner: &Inner, req: &Request) -> Response {
                  </table>",
                 stats.segments, stats.samples, stats.approx_bytes, stats.merges, stats.annotations
             )
-        })
-        .unwrap_or_else(|| "<p>No contributor account.</p>".to_string());
+        }
+        None => "<p>No contributor account.</p>".to_string(),
+    };
     page(&format!("Data of {username}"), &body)
 }
 

@@ -63,13 +63,16 @@ impl Server {
         }
         let acceptor_stop = stop.clone();
         let acceptor_tx = tx.clone();
-        // Non-blocking accept loop with a short poll so shutdown is
-        // prompt without needing a self-connection.
-        listener.set_nonblocking(true)?;
+        // Blocking accept: zero CPU while idle. Shutdown wakes the
+        // acceptor with a loopback connection (see [`Server::shutdown`]),
+        // which it drops once it sees the stop flag.
         let acceptor = std::thread::spawn(move || {
             while !acceptor_stop.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, _)) => {
+                        if acceptor_stop.load(Ordering::Relaxed) {
+                            break; // the shutdown wake-up connection
+                        }
                         sensorsafe_obsv::global()
                             .counter(
                                 "sensorsafe_net_connections_total",
@@ -81,9 +84,6 @@ impl Server {
                         if acceptor_tx.send(stream).is_err() {
                             break;
                         }
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(2));
                     }
                     Err(_) => break,
                 }
@@ -104,6 +104,20 @@ impl Server {
         self.addr
     }
 
+    /// A connectable form of the bound address: wildcard binds
+    /// (`0.0.0.0` / `::`) are not routable as connect targets, so the
+    /// shutdown wake-up aims at loopback on the same port.
+    fn wake_addr(&self) -> SocketAddr {
+        let mut addr = self.addr;
+        if addr.ip().is_unspecified() {
+            match addr {
+                SocketAddr::V4(_) => addr.set_ip(std::net::Ipv4Addr::LOCALHOST.into()),
+                SocketAddr::V6(_) => addr.set_ip(std::net::Ipv6Addr::LOCALHOST.into()),
+            }
+        }
+        addr
+    }
+
     /// The bound address as a `host:port` string.
     pub fn addr_string(&self) -> String {
         self.addr.to_string()
@@ -114,6 +128,10 @@ impl Server {
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(handle) = self.acceptor.take() {
+            // Wake the acceptor parked in the blocking `accept()`: one
+            // throwaway loopback connection, immediately dropped on both
+            // sides once the stop flag is observed.
+            let _ = TcpStream::connect_timeout(&self.wake_addr(), Duration::from_millis(250));
             let _ = handle.join();
         }
         // Closing the channel lets idle workers exit; shutting the live
@@ -293,6 +311,20 @@ mod tests {
         server.shutdown();
         server.shutdown();
         assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+    }
+
+    #[test]
+    fn shutdown_wakes_idle_blocking_acceptor() {
+        // With a blocking accept and no traffic, shutdown must complete
+        // via the loopback wake-up rather than hanging in `accept()`.
+        let mut server = Server::bind("127.0.0.1:0", 1, echo_service()).unwrap();
+        let started = std::time::Instant::now();
+        server.shutdown();
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "shutdown took {:?}",
+            started.elapsed()
+        );
     }
 
     #[test]

@@ -1,0 +1,286 @@
+//! Compiled privacy-rule lists for the enforcement hot path.
+//!
+//! [`evaluate`](crate::evaluate) is the reference semantics, but calling
+//! it per request means cloning the contributor's rule list out of the
+//! account lock and allocating a fresh `Vec<ChannelId>` per matching rule
+//! per window. [`CompiledRules`] moves that work to rule-update time: the
+//! data store compiles a rule list once per `rule_epoch` bump, caches the
+//! `Arc<CompiledRules>` on the account, and enforcement evaluates against
+//! the shared compiled form without cloning rules or allocating per-rule
+//! channel vectors.
+//!
+//! The compiled evaluator must be decision-for-decision identical to
+//! [`evaluate`](crate::evaluate); the tests below assert equivalence
+//! across the semantic corners (deny-by-default, most-restrictive-wins,
+//! conservative matching, sensor scoping, dependency closure).
+
+use crate::deps::DependencyGraph;
+use crate::eval::{resolve_decision, rule_matches, ConsumerCtx, Decision, Ladders, WindowCtx};
+use crate::rule::{Action, PrivacyRule};
+use sensorsafe_types::ChannelId;
+use std::collections::BTreeSet;
+
+/// One rule with its sensor condition pre-resolved into a set.
+#[derive(Debug, Clone)]
+struct CompiledRule {
+    rule: PrivacyRule,
+    /// `None` means the rule covers every requested channel (empty sensor
+    /// condition); otherwise the sorted set of channels it scopes to.
+    sensors: Option<BTreeSet<ChannelId>>,
+}
+
+/// A contributor's rule list in evaluation-ready form.
+///
+/// Build one with [`CompiledRules::compile`] whenever the rule list
+/// changes (the data store keys its per-account cache by `rule_epoch`),
+/// then share it behind an `Arc` across concurrent requests.
+#[derive(Debug, Clone, Default)]
+pub struct CompiledRules {
+    rules: Vec<CompiledRule>,
+}
+
+impl CompiledRules {
+    /// Compiles `rules` (cloning them once, instead of once per request).
+    pub fn compile(rules: &[PrivacyRule]) -> CompiledRules {
+        let rules = rules
+            .iter()
+            .map(|rule| CompiledRule {
+                sensors: if rule.conditions.sensors.is_empty() {
+                    None
+                } else {
+                    Some(rule.conditions.sensors.iter().cloned().collect())
+                },
+                rule: rule.clone(),
+            })
+            .collect();
+        CompiledRules { rules }
+    }
+
+    /// Number of compiled rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when no rules are compiled (deny-by-default shares nothing).
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Decision-for-decision equivalent of [`crate::evaluate`] over the
+    /// compiled form. No per-rule allocation: channel membership is
+    /// checked against the precomputed sensor sets.
+    pub fn evaluate(
+        &self,
+        consumer: &ConsumerCtx,
+        window: &WindowCtx,
+        channels: &[ChannelId],
+        graph: &DependencyGraph,
+    ) -> Decision {
+        let mut allowed: BTreeSet<ChannelId> = BTreeSet::new();
+        let mut force_denied: BTreeSet<ChannelId> = BTreeSet::new();
+        let mut ladders = Ladders::raw();
+
+        for compiled in &self.rules {
+            if !rule_matches(&compiled.rule, consumer, window) {
+                continue;
+            }
+            match &compiled.rule.action {
+                Action::Allow => {
+                    insert_covered(&mut allowed, channels, &compiled.sensors);
+                }
+                Action::Deny => {
+                    insert_covered(&mut force_denied, channels, &compiled.sensors);
+                }
+                Action::Abstraction(spec) => ladders.apply(spec),
+            }
+        }
+
+        resolve_decision(allowed, force_denied, ladders, channels, graph)
+    }
+}
+
+/// Inserts the requested channels covered by `sensors` into `target`
+/// (`None` covers all of them), without building an intermediate `Vec`.
+fn insert_covered(
+    target: &mut BTreeSet<ChannelId>,
+    channels: &[ChannelId],
+    sensors: &Option<BTreeSet<ChannelId>>,
+) {
+    for c in channels {
+        let covered = match sensors {
+            None => true,
+            Some(set) => set.contains(c),
+        };
+        if covered && !target.contains(c) {
+            target.insert(c.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstraction::{BinaryAbs, LocationAbs, TimeAbs};
+    use crate::evaluate;
+    use crate::rule::{AbstractionSpec, Conditions, ConsumerSelector, LocationCondition};
+    use sensorsafe_types::{
+        ConsumerId, ContextKind, ContextState, GeoPoint, Region, Timestamp, CHAN_ACCEL_MAG,
+        CHAN_ECG, CHAN_RESPIRATION,
+    };
+
+    fn chans(names: &[&str]) -> Vec<ChannelId> {
+        names.iter().map(|n| ChannelId::new(*n)).collect()
+    }
+
+    fn allow_for(consumer: &str) -> PrivacyRule {
+        PrivacyRule {
+            conditions: Conditions {
+                consumers: vec![ConsumerSelector::User(ConsumerId::new(consumer))],
+                ..Default::default()
+            },
+            action: Action::Allow,
+        }
+    }
+
+    /// The equivalence corpus: rule sets exercising every action kind,
+    /// sensor scoping, conservative matching, and ladder merging.
+    fn corpus() -> Vec<Vec<PrivacyRule>> {
+        let region = Region::around(GeoPoint::ucla(), 0.01);
+        vec![
+            vec![],
+            vec![PrivacyRule::allow_all()],
+            vec![allow_for("Bob")],
+            vec![
+                allow_for("Bob"),
+                PrivacyRule {
+                    conditions: Conditions {
+                        sensors: chans(&[CHAN_ECG]),
+                        ..Default::default()
+                    },
+                    action: Action::Deny,
+                },
+            ],
+            vec![PrivacyRule {
+                conditions: Conditions {
+                    sensors: chans(&[CHAN_ECG, "skin_temp"]),
+                    ..Default::default()
+                },
+                action: Action::Allow,
+            }],
+            vec![
+                allow_for("Bob"),
+                PrivacyRule {
+                    conditions: Conditions {
+                        location: Some(LocationCondition {
+                            labels: vec!["home".into()],
+                            regions: vec![region],
+                        }),
+                        ..Default::default()
+                    },
+                    action: Action::Deny,
+                },
+            ],
+            vec![
+                allow_for("Bob"),
+                PrivacyRule {
+                    conditions: Conditions {
+                        contexts: vec![ContextKind::Drive],
+                        ..Default::default()
+                    },
+                    action: Action::Deny,
+                },
+            ],
+            vec![
+                PrivacyRule::allow_all(),
+                PrivacyRule {
+                    conditions: Conditions::default(),
+                    action: Action::Abstraction(AbstractionSpec {
+                        location: Some(LocationAbs::Zipcode),
+                        time: Some(TimeAbs::Day),
+                        smoking: Some(BinaryAbs::Label),
+                        ..Default::default()
+                    }),
+                },
+                PrivacyRule {
+                    conditions: Conditions::default(),
+                    action: Action::Abstraction(AbstractionSpec {
+                        location: Some(LocationAbs::State),
+                        time: Some(TimeAbs::Hour),
+                        stress: Some(BinaryAbs::NotShared),
+                        ..Default::default()
+                    }),
+                },
+            ],
+        ]
+    }
+
+    fn windows() -> Vec<WindowCtx> {
+        let at_ucla = WindowCtx {
+            time: Timestamp::from_millis(1_311_535_598_327),
+            location: Some(GeoPoint::ucla()),
+            location_labels: vec!["UCLA".into()],
+            contexts: vec![],
+        };
+        let mut no_fix = at_ucla.clone();
+        no_fix.location = None;
+        no_fix.location_labels.clear();
+        let mut driving = at_ucla.clone();
+        driving.contexts = vec![ContextState::on(ContextKind::Drive)];
+        let mut walking = at_ucla.clone();
+        walking.contexts = vec![ContextState::on(ContextKind::Walk)];
+        vec![at_ucla, no_fix, driving, walking]
+    }
+
+    #[test]
+    fn compiled_matches_reference_evaluator() {
+        let graph = DependencyGraph::paper();
+        let channels = chans(&[CHAN_ECG, CHAN_RESPIRATION, CHAN_ACCEL_MAG, "skin_temp"]);
+        let consumers = [ConsumerCtx::user("Bob"), ConsumerCtx::user("Eve")];
+        for rules in corpus() {
+            let compiled = CompiledRules::compile(&rules);
+            assert_eq!(compiled.len(), rules.len());
+            for window in windows() {
+                for consumer in &consumers {
+                    let reference = evaluate(&rules, consumer, &window, &channels, &graph);
+                    let fast = compiled.evaluate(consumer, &window, &channels, &graph);
+                    assert_eq!(fast, reference, "divergence for rules {rules:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_compiled_rules_deny_by_default() {
+        let compiled = CompiledRules::compile(&[]);
+        assert!(compiled.is_empty());
+        let d = compiled.evaluate(
+            &ConsumerCtx::user("Bob"),
+            &windows()[0],
+            &chans(&[CHAN_ECG]),
+            &DependencyGraph::paper(),
+        );
+        assert!(d.allowed.is_empty());
+        assert!(d.shares_nothing());
+    }
+
+    #[test]
+    fn sensor_scoping_only_covers_requested_channels() {
+        let rules = vec![PrivacyRule {
+            conditions: Conditions {
+                sensors: chans(&[CHAN_ECG, "gsr"]),
+                ..Default::default()
+            },
+            action: Action::Allow,
+        }];
+        let compiled = CompiledRules::compile(&rules);
+        let d = compiled.evaluate(
+            &ConsumerCtx::user("Bob"),
+            &windows()[0],
+            &chans(&[CHAN_ECG, CHAN_RESPIRATION]),
+            &DependencyGraph::paper(),
+        );
+        // "gsr" is scoped by the rule but was not requested.
+        assert_eq!(d.allowed, chans(&[CHAN_ECG]).into_iter().collect());
+        assert!(d.denied.contains(&ChannelId::new(CHAN_RESPIRATION)));
+    }
+}

@@ -148,7 +148,7 @@ fn consumer_matches(cond: &Conditions, consumer: &ConsumerCtx) -> bool {
     cond.consumers.is_empty() || cond.consumers.iter().any(|sel| consumer.matches(sel))
 }
 
-fn rule_matches(rule: &PrivacyRule, consumer: &ConsumerCtx, window: &WindowCtx) -> bool {
+pub(crate) fn rule_matches(rule: &PrivacyRule, consumer: &ConsumerCtx, window: &WindowCtx) -> bool {
     let evidence = match rule.action {
         Action::Allow => Evidence::Positive,
         Action::Deny | Action::Abstraction(_) => Evidence::Conservative,
@@ -205,10 +205,107 @@ impl Decision {
     }
 }
 
+/// The six abstraction ladders accumulated across matching rules
+/// (most-restrictive-wins). Shared by [`evaluate`] and the compiled
+/// evaluator in [`crate::compile`].
+#[derive(Clone, Copy)]
+pub(crate) struct Ladders {
+    pub(crate) location: LocationAbs,
+    pub(crate) time: TimeAbs,
+    pub(crate) activity: ActivityAbs,
+    pub(crate) stress: BinaryAbs,
+    pub(crate) smoking: BinaryAbs,
+    pub(crate) conversation: BinaryAbs,
+}
+
+impl Ladders {
+    /// The most permissive starting point (raw everything).
+    pub(crate) fn raw() -> Ladders {
+        Ladders {
+            location: LocationAbs::Coordinates,
+            time: TimeAbs::Milliseconds,
+            activity: ActivityAbs::Raw,
+            stress: BinaryAbs::Raw,
+            smoking: BinaryAbs::Raw,
+            conversation: BinaryAbs::Raw,
+        }
+    }
+
+    /// Ratchets each ladder to the more restrictive of the current level
+    /// and `spec`'s (abstraction rules combine most-restrictive-wins).
+    pub(crate) fn apply(&mut self, spec: &crate::rule::AbstractionSpec) {
+        if let Some(l) = spec.location {
+            self.location = self.location.max_restrictive(l);
+        }
+        if let Some(t) = spec.time {
+            self.time = self.time.max_restrictive(t);
+        }
+        if let Some(a) = spec.activity {
+            self.activity = self.activity.max_restrictive(a);
+        }
+        if let Some(s) = spec.stress {
+            self.stress = self.stress.max_restrictive(s);
+        }
+        if let Some(s) = spec.smoking {
+            self.smoking = self.smoking.max_restrictive(s);
+        }
+        if let Some(s) = spec.conversation {
+            self.conversation = self.conversation.max_restrictive(s);
+        }
+    }
+}
+
+/// Finishes a decision from the accumulated allow/deny sets and ladders:
+/// deny beats allow, deny-by-default, then the dependency closure.
+pub(crate) fn resolve_decision(
+    mut allowed: BTreeSet<ChannelId>,
+    force_denied: BTreeSet<ChannelId>,
+    ladders: Ladders,
+    channels: &[ChannelId],
+    graph: &DependencyGraph,
+) -> Decision {
+    // Deny beats allow, and anything never allowed defaults to denied.
+    for c in &force_denied {
+        allowed.remove(c);
+    }
+    let denied: BTreeSet<ChannelId> = channels
+        .iter()
+        .filter(|c| !allowed.contains(*c))
+        .cloned()
+        .collect();
+
+    // Dependency closure: suppress raw channels whose inferable contexts
+    // are not fully raw.
+    let blocked = graph.blocked_channels(
+        ladders.activity,
+        ladders.stress,
+        ladders.smoking,
+        ladders.conversation,
+    );
+    let suppressed: BTreeSet<ChannelId> = allowed.intersection(&blocked).cloned().collect();
+
+    Decision {
+        allowed,
+        denied,
+        location: ladders.location,
+        time: ladders.time,
+        activity: ladders.activity,
+        stress: ladders.stress,
+        smoking: ladders.smoking,
+        conversation: ladders.conversation,
+        suppressed,
+    }
+}
+
 /// Evaluates `rules` for `consumer` over one `window`, deciding the fate
 /// of each channel in `channels` (the channels present in the data being
 /// requested). `graph` supplies the sensor/context dependencies for the
 /// closure step.
+///
+/// The enforcement hot path uses the allocation-free compiled form
+/// instead ([`crate::CompiledRules`]); this function stays the reference
+/// semantics (and the convenient entry point for one-shot evaluation,
+/// e.g. broker search probes).
 pub fn evaluate(
     rules: &[PrivacyRule],
     consumer: &ConsumerCtx,
@@ -218,12 +315,7 @@ pub fn evaluate(
 ) -> Decision {
     let mut allowed: BTreeSet<ChannelId> = BTreeSet::new();
     let mut force_denied: BTreeSet<ChannelId> = BTreeSet::new();
-    let mut location = LocationAbs::Coordinates;
-    let mut time = TimeAbs::Milliseconds;
-    let mut activity = ActivityAbs::Raw;
-    let mut stress = BinaryAbs::Raw;
-    let mut smoking = BinaryAbs::Raw;
-    let mut conversation = BinaryAbs::Raw;
+    let mut ladders = Ladders::raw();
 
     let rule_channels = |cond: &Conditions| -> Vec<ChannelId> {
         if cond.sensors.is_empty() {
@@ -257,54 +349,12 @@ pub fn evaluate(
                 // still needs an Allow rule (Fig. 4's rule 2 relies on
                 // rule 1's Allow). Ladder levels ratchet up, most
                 // restrictive winning across rules.
-                if let Some(l) = spec.location {
-                    location = location.max_restrictive(l);
-                }
-                if let Some(t) = spec.time {
-                    time = time.max_restrictive(t);
-                }
-                if let Some(a) = spec.activity {
-                    activity = activity.max_restrictive(a);
-                }
-                if let Some(s) = spec.stress {
-                    stress = stress.max_restrictive(s);
-                }
-                if let Some(s) = spec.smoking {
-                    smoking = smoking.max_restrictive(s);
-                }
-                if let Some(s) = spec.conversation {
-                    conversation = conversation.max_restrictive(s);
-                }
+                ladders.apply(spec);
             }
         }
     }
 
-    // Deny beats allow, and anything never allowed defaults to denied.
-    for c in &force_denied {
-        allowed.remove(c);
-    }
-    let denied: BTreeSet<ChannelId> = channels
-        .iter()
-        .filter(|c| !allowed.contains(*c))
-        .cloned()
-        .collect();
-
-    // Dependency closure: suppress raw channels whose inferable contexts
-    // are not fully raw.
-    let blocked = graph.blocked_channels(activity, stress, smoking, conversation);
-    let suppressed: BTreeSet<ChannelId> = allowed.intersection(&blocked).cloned().collect();
-
-    Decision {
-        allowed,
-        denied,
-        location,
-        time,
-        activity,
-        stress,
-        smoking,
-        conversation,
-        suppressed,
-    }
+    resolve_decision(allowed, force_denied, ladders, channels, graph)
 }
 
 #[cfg(test)]

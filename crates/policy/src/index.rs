@@ -26,6 +26,7 @@ use sensorsafe_types::{
     ChannelId, ContextKind, ContextState, ContributorId, RepeatTime, TimeRange, Timestamp, Weekday,
 };
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A contributor-search query.
 #[derive(Debug, Clone, Default)]
@@ -147,10 +148,16 @@ impl SearchQuery {
 }
 
 /// The broker's mirror of every contributor's privacy rules.
+///
+/// Rule lists are stored behind `Arc` (copy-on-write: `sync` replaces the
+/// whole `Arc`, never mutates in place), so [`RuleIndex::snapshot`] can
+/// hand searches a cheap immutable view — the broker holds its `RwLock`
+/// only long enough to clone the `Arc`s, and the O(contributors × probes)
+/// evaluation runs entirely outside the lock, concurrent with syncs.
 #[derive(Debug, Default)]
 pub struct RuleIndex {
-    entries: BTreeMap<ContributorId, (u64, Vec<PrivacyRule>)>,
-    graph: DependencyGraph,
+    entries: BTreeMap<ContributorId, (u64, Arc<Vec<PrivacyRule>>)>,
+    graph: Arc<DependencyGraph>,
 }
 
 impl RuleIndex {
@@ -158,7 +165,7 @@ impl RuleIndex {
     pub fn new() -> RuleIndex {
         RuleIndex {
             entries: BTreeMap::new(),
-            graph: DependencyGraph::paper(),
+            graph: Arc::new(DependencyGraph::paper()),
         }
     }
 
@@ -174,7 +181,7 @@ impl RuleIndex {
         match self.entries.get(&contributor) {
             Some((current, _)) if *current >= epoch => false,
             _ => {
-                self.entries.insert(contributor, (epoch, rules));
+                self.entries.insert(contributor, (epoch, Arc::new(rules)));
                 true
             }
         }
@@ -207,11 +214,55 @@ impl RuleIndex {
         self.entries.is_empty()
     }
 
+    /// An immutable view of the current mirror: O(contributors) `Arc`
+    /// clones, no rule data copied. Searches over the snapshot see the
+    /// rule lists as of this instant, regardless of concurrent syncs.
+    pub fn snapshot(&self) -> RuleSnapshot {
+        RuleSnapshot {
+            entries: self
+                .entries
+                .iter()
+                .map(|(c, (_, rules))| (c.clone(), Arc::clone(rules)))
+                .collect(),
+            graph: Arc::clone(&self.graph),
+        }
+    }
+
     /// All contributors whose rule sets satisfy `query`, in name order.
     pub fn search(&self, query: &SearchQuery) -> Vec<ContributorId> {
         self.entries
             .iter()
             .filter(|(_, (_, rules))| query.matches(rules, &self.graph))
+            .map(|(id, _)| id.clone())
+            .collect()
+    }
+}
+
+/// A point-in-time view of the rule mirror, detached from the index's
+/// lock. Produced by [`RuleIndex::snapshot`].
+#[derive(Debug, Clone)]
+pub struct RuleSnapshot {
+    entries: Vec<(ContributorId, Arc<Vec<PrivacyRule>>)>,
+    graph: Arc<DependencyGraph>,
+}
+
+impl RuleSnapshot {
+    /// Number of mirrored contributors in the snapshot.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the snapshot mirrors no contributors.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All contributors whose rule sets satisfy `query`, in name order
+    /// (entries inherit the index's `BTreeMap` ordering).
+    pub fn search(&self, query: &SearchQuery) -> Vec<ContributorId> {
+        self.entries
+            .iter()
+            .filter(|(_, rules)| query.matches(rules, &self.graph))
             .map(|(id, _)| id.clone())
             .collect()
     }
@@ -380,6 +431,38 @@ mod tests {
         assert!(index.remove(&alice));
         assert!(!index.remove(&alice));
         assert!(index.is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_detached_from_later_syncs() {
+        let mut index = RuleIndex::new();
+        index.sync(ContributorId::new("alice"), 1, sharing_rules());
+        index.sync(ContributorId::new("carol"), 1, sharing_rules());
+        let snapshot = index.snapshot();
+        assert_eq!(snapshot.len(), 2);
+        // Alice stops sharing after the snapshot was taken.
+        index.sync(ContributorId::new("alice"), 2, denying_rules());
+        index.remove(&ContributorId::new("carol"));
+        // The snapshot still sees both as of its instant...
+        let hits = snapshot.search(&bob_query());
+        assert_eq!(
+            hits,
+            vec![ContributorId::new("alice"), ContributorId::new("carol")]
+        );
+        // ...while a fresh snapshot sees the new state.
+        assert!(index.snapshot().search(&bob_query()).is_empty());
+    }
+
+    #[test]
+    fn snapshot_and_index_search_agree() {
+        let mut index = RuleIndex::new();
+        index.sync(ContributorId::new("alice"), 1, denying_rules());
+        index.sync(ContributorId::new("carol"), 1, sharing_rules());
+        assert_eq!(
+            index.search(&bob_query()),
+            index.snapshot().search(&bob_query())
+        );
+        assert!(!index.snapshot().is_empty());
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //!   search (§5.2).
 
 pub mod abstraction;
+pub mod compile;
 pub mod deps;
 pub mod enforce;
 pub mod eval;
@@ -33,10 +34,11 @@ pub mod index;
 pub mod rule;
 
 pub use abstraction::{synthetic_geocode, ActivityAbs, Address, BinaryAbs, LocationAbs, TimeAbs};
+pub use compile::CompiledRules;
 pub use deps::DependencyGraph;
 pub use enforce::{enforce, ContextLabel, SharedLocation, SharedSegment};
 pub use eval::{evaluate, ConsumerCtx, Decision, WindowCtx};
-pub use index::{RuleIndex, SearchQuery};
+pub use index::{RuleIndex, RuleSnapshot, SearchQuery};
 pub use rule::{
     AbstractionSpec, Action, Conditions, ConsumerSelector, LocationCondition, PrivacyRule,
     RuleError, TimeCondition,

@@ -1,0 +1,218 @@
+//! Multi-threaded stress over the sharded datastore: contributors
+//! upload while their rules mutate and consumers query, all
+//! concurrently. Two invariants from the PR-2 concurrency model
+//! (DESIGN.md §7) are asserted through the public API alone:
+//!
+//! 1. **No lost rule-epoch bumps** — every `rules/set` bumps the
+//!    contributor's epoch by exactly one, even when uploads race it for
+//!    the same account's write lock.
+//! 2. **No torn rules/data pair** — enforcement compiles one rule set
+//!    per request under the account guard, so a response must be
+//!    explainable by a single rule set: with rules alternating between
+//!    allow-all and deny-ecg, every segment in one response carries the
+//!    same channel set, and ecg never appears without respiration.
+//!
+//! CI runs this in a debug build so the `cfg(debug_assertions)`
+//! lock-order assertions in `sensorsafe_datastore::state` are armed.
+
+use sensorsafe_core::datastore::{DataStoreConfig, DataStoreService};
+use sensorsafe_core::net::{Request, Service, Status};
+use sensorsafe_core::types::{ChannelSpec, GeoPoint, SegmentMeta, Timestamp, Timing, WaveSegment};
+use sensorsafe_core::{json, Value};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const CONTRIBUTORS: usize = 4;
+const UPLOADS_PER_CONTRIBUTOR: usize = 40;
+const RULE_SETS_PER_CONTRIBUTOR: usize = 40;
+const DAY_START: i64 = 1_311_500_000_000;
+
+fn packet(seq: usize) -> WaveSegment {
+    let meta = SegmentMeta {
+        timing: Timing::Uniform {
+            start: Timestamp::from_millis(DAY_START + (seq * 64 * 20) as i64),
+            interval_secs: 0.02,
+        },
+        location: Some(GeoPoint::ucla()),
+        format: vec![ChannelSpec::i16("ecg"), ChannelSpec::f32("respiration")],
+    };
+    let rows: Vec<Vec<f64>> = (0..64)
+        .map(|r| vec![(r as f64).sin() * 400.0, 300.0])
+        .collect();
+    WaveSegment::from_rows(meta, &rows).expect("valid packet")
+}
+
+fn post(store: &DataStoreService, path: &str, body: &Value) -> Value {
+    let resp = store.handle(&Request::post_json(path, body));
+    assert_eq!(resp.status, Status::Ok, "{path} failed: {:?}", resp.body);
+    resp.json_body().expect("JSON response")
+}
+
+/// Channel names of every non-null window segment in a query response.
+fn response_channel_sets(body: &Value) -> Vec<BTreeSet<String>> {
+    body["windows"]
+        .as_array()
+        .expect("windows array")
+        .iter()
+        .filter(|w| !matches!(w.get("segment"), None | Some(Value::Null)))
+        .map(|w| {
+            w["segment"]["format"]
+                .as_array()
+                .expect("format array")
+                .iter()
+                .map(|s| s["channel"].as_str().expect("channel name").to_string())
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn uploads_queries_and_rule_mutations_race_safely() {
+    let (store, admin) = DataStoreService::new(DataStoreConfig::default());
+    let admin = admin.to_hex();
+    let mut contributor_keys = Vec::new();
+    for i in 0..CONTRIBUTORS {
+        let resp = store.handle(&Request::post_json(
+            "/api/register",
+            &json!({"key": (admin.clone()), "name": (format!("c{i}")), "role": "contributor"}),
+        ));
+        assert_eq!(resp.status, Status::Created);
+        let key = resp.json_body().unwrap()["api_key"]
+            .as_str()
+            .unwrap()
+            .to_string();
+        // Epoch 1: the initial allow-all rule set.
+        let body = post(
+            &store,
+            "/api/rules/set",
+            &json!({"key": (key.clone()), "rules": [{"Action": "Allow"}]}),
+        );
+        assert_eq!(body["epoch"].as_u64(), Some(1));
+        post(
+            &store,
+            "/api/upload",
+            &json!({"key": (key.clone()), "segments": [(packet(0).to_json())]}),
+        );
+        contributor_keys.push(key);
+    }
+    let resp = store.handle(&Request::post_json(
+        "/api/register",
+        &json!({"key": (admin.clone()), "name": "bob", "role": "consumer"}),
+    ));
+    assert_eq!(resp.status, Status::Created);
+    let consumer_key = resp.json_body().unwrap()["api_key"]
+        .as_str()
+        .unwrap()
+        .to_string();
+
+    let done = Arc::new(AtomicBool::new(false));
+    let queries_run = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+
+    // Per contributor: an uploader thread and a rule-mutator thread
+    // race for the same account's write lock.
+    for key in &contributor_keys {
+        let store_clone = store.clone();
+        let key_clone = key.clone();
+        handles.push(std::thread::spawn(move || {
+            for seq in 1..=UPLOADS_PER_CONTRIBUTOR {
+                post(
+                    &store_clone,
+                    "/api/upload",
+                    &json!({"key": (key_clone.clone()), "segments": [(packet(seq).to_json())]}),
+                );
+            }
+        }));
+        let store_clone = store.clone();
+        let key_clone = key.clone();
+        handles.push(std::thread::spawn(move || {
+            for round in 0..RULE_SETS_PER_CONTRIBUTOR {
+                let rules = if round % 2 == 0 {
+                    json!([{"Action": "Allow"}, {"Sensor": ["ecg"], "Action": "Deny"}])
+                } else {
+                    json!([{"Action": "Allow"}])
+                };
+                let body = post(
+                    &store_clone,
+                    "/api/rules/set",
+                    &json!({"key": (key_clone.clone()), "rules": (rules)}),
+                );
+                // Each set must land exactly one epoch bump: the initial
+                // set was epoch 1, this is bump round+2 for this account.
+                assert_eq!(
+                    body["epoch"].as_u64(),
+                    Some(round as u64 + 2),
+                    "lost or duplicated rule-epoch bump"
+                );
+            }
+        }));
+    }
+
+    // Two consumer threads keep querying every contributor until the
+    // writers finish, checking every response for torn enforcement.
+    for t in 0..2usize {
+        let store_clone = store.clone();
+        let consumer = consumer_key.clone();
+        let done_flag = done.clone();
+        let counter = queries_run.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut i = t;
+            while !done_flag.load(Ordering::Relaxed) {
+                let body = post(
+                    &store_clone,
+                    "/api/query",
+                    &json!({"key": (consumer.clone()), "contributor": (format!("c{}", i % CONTRIBUTORS))}),
+                );
+                let sets = response_channel_sets(&body);
+                assert!(!sets.is_empty(), "query returned no data");
+                let both: BTreeSet<String> =
+                    ["ecg", "respiration"].iter().map(|s| s.to_string()).collect();
+                let resp_only: BTreeSet<String> =
+                    std::iter::once("respiration".to_string()).collect();
+                // Every segment is explained by one of the two rule
+                // sets, and one response never mixes them.
+                for set in &sets {
+                    assert!(
+                        *set == both || *set == resp_only,
+                        "channel set {set:?} matches neither rule set"
+                    );
+                }
+                assert!(
+                    sets.windows(2).all(|pair| pair[0] == pair[1]),
+                    "torn rules/data pair: one response mixed rule sets: {sets:?}"
+                );
+                counter.fetch_add(1, Ordering::Relaxed);
+                i += 1;
+            }
+        }));
+    }
+
+    // Writers run to completion; then consumers are released.
+    let (writers, readers): (Vec<_>, Vec<_>) = {
+        let mut iter = handles.into_iter();
+        let writers: Vec<_> = (&mut iter).take(CONTRIBUTORS * 2).collect();
+        (writers, iter.collect())
+    };
+    for handle in writers {
+        handle.join().expect("writer thread panicked");
+    }
+    done.store(true, Ordering::Relaxed);
+    for handle in readers {
+        handle.join().expect("consumer thread panicked");
+    }
+    assert!(
+        queries_run.load(Ordering::Relaxed) > 0,
+        "consumers never overlapped the writers"
+    );
+
+    // Final epochs: 1 initial set + RULE_SETS_PER_CONTRIBUTOR bumps,
+    // none lost to racing uploads.
+    for key in &contributor_keys {
+        let body = post(&store, "/api/rules/get", &json!({"key": (key.clone())}));
+        assert_eq!(
+            body["epoch"].as_u64(),
+            Some(1 + RULE_SETS_PER_CONTRIBUTOR as u64)
+        );
+    }
+}
