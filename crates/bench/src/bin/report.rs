@@ -9,13 +9,13 @@
 //! ```
 
 use sensorsafe_bench::{
-    alice_scenario, chest_packets, mixed_workload, run_mixed_traffic, segment_store_with,
-    synthetic_rules, tuple_store_with,
+    alice_scenario, chest_packets, durable_workload, mixed_workload, run_durable_uploads,
+    run_mixed_traffic, segment_store_with, synthetic_rules, tuple_store_with,
 };
 use sensorsafe_core::datastore::LockMode;
 use sensorsafe_core::net::{LocalTransport, Transport};
 use sensorsafe_core::policy::{ConsumerCtx, RuleIndex, SearchQuery};
-use sensorsafe_core::store::{MergePolicy, Query};
+use sensorsafe_core::store::{GroupCommitConfig, MergePolicy, Query};
 use sensorsafe_core::types::{ContextKind, ContributorId, RepeatTime};
 use sensorsafe_core::{json, ContributorDevice, Deployment};
 use std::sync::Arc;
@@ -268,6 +268,83 @@ fn c1_concurrency_table() {
     println!();
 }
 
+fn c2_durable_upload_table() {
+    println!("== C2: durable uploads, group commit vs per-record fsync ==");
+    println!(
+        "environment: {} CPU(s) visible to this process",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let registry = sensorsafe_core::obsv::global();
+    let fsyncs = registry.counter(
+        "sensorsafe_store_wal_fsyncs_total",
+        "fsync calls issued by write-ahead logs.",
+        &[],
+    );
+    let uploads = registry.counter(
+        "sensorsafe_datastore_durable_uploads_total",
+        "Upload requests acked after a durable WAL commit.",
+        &[],
+    );
+    let commit_latency = || {
+        registry
+            .histogram(
+                "sensorsafe_store_wal_commit_seconds",
+                "WAL group-commit batch latency (write + fsync).",
+                &[],
+                None,
+            )
+            .snapshot()
+    };
+    let ops = 100;
+    let contributors = 2;
+    println!(
+        "{:<16} {:>8} {:>10} {:>8} {:>8} {:>12} {:>12}",
+        "config", "threads", "req/s", "uploads", "fsyncs", "fsync/up", "commit mean"
+    );
+    for (label, config) in [
+        ("unbatched", GroupCommitConfig::unbatched()),
+        ("batch64_500us", GroupCommitConfig::default()),
+        (
+            "batch256_2ms",
+            GroupCommitConfig {
+                max_batch: 256,
+                max_delay: std::time::Duration::from_millis(2),
+            },
+        ),
+    ] {
+        for threads in [1usize, 4, 8] {
+            let workload = durable_workload(config, contributors);
+            run_durable_uploads(&workload, threads, 10); // warm-up, discarded
+            let (f0, u0, l0) = (fsyncs.get(), uploads.get(), commit_latency());
+            let elapsed = run_durable_uploads(&workload, threads, ops);
+            let df = fsyncs.get() - f0;
+            let du = uploads.get() - u0;
+            // The histogram is cumulative; mean over the delta of
+            // (sum, count) attributes latency to this run alone.
+            let l1 = commit_latency();
+            let commits = l1.count().saturating_sub(l0.count());
+            let mean_ms = if commits > 0 {
+                (l1.sum() - l0.sum()) / commits as f64 * 1e3
+            } else {
+                0.0
+            };
+            let rate = (threads * ops) as f64 / elapsed.as_secs_f64();
+            println!(
+                "{:<16} {:>8} {:>10.0} {:>8} {:>8} {:>12.3} {:>10.3}ms",
+                label,
+                threads,
+                rate,
+                du,
+                df,
+                df as f64 / du as f64,
+                mean_ms
+            );
+        }
+    }
+    println!("(fsync/up < 1 at threads >= 4 is group commit coalescing concurrent acks)");
+    println!();
+}
+
 fn obsv_overhead_table() {
     println!("== OBSV: metrics overhead on the query hot path ==");
     let mut deployment = Deployment::in_process();
@@ -320,6 +397,7 @@ fn main() {
     a3_savings_table();
     f1_byte_accounting();
     c1_concurrency_table();
+    c2_durable_upload_table();
     obsv_overhead_table();
 
     // Re-run one instrumented flow so the snapshot shows every family.

@@ -11,7 +11,7 @@ use sensorsafe_core::policy::{
     PrivacyRule, TimeCondition,
 };
 use sensorsafe_core::sim::Scenario;
-use sensorsafe_core::store::{MergePolicy, SegmentStore, TupleStore};
+use sensorsafe_core::store::{GroupCommitConfig, MergePolicy, SegmentStore, TupleStore};
 use sensorsafe_core::types::{
     ChannelSpec, ContextKind, GeoPoint, Region, RepeatTime, SegmentMeta, Timestamp, Timing,
     WaveSegment,
@@ -335,6 +335,112 @@ pub fn run_mixed_traffic(
     started.elapsed()
 }
 
+/// A data store in durable mode for the C2 group-commit workload: WAL
+/// files live in a fresh temp directory (removed on drop), contributor
+/// accounts are registered, and every upload is acked only after a
+/// durable commit.
+pub struct DurableWorkload {
+    /// The in-process durable store all traffic targets.
+    pub store: DataStoreService,
+    /// `(name, api_key)` per contributor.
+    pub contributors: Vec<(String, String)>,
+    dir: std::path::PathBuf,
+}
+
+impl Drop for DurableWorkload {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Builds the C2 workload: a durable store (per-contributor WALs on
+/// disk) under the given group-commit configuration, with
+/// `n_contributors` registered accounts.
+pub fn durable_workload(wal: GroupCommitConfig, n_contributors: usize) -> DurableWorkload {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "sensorsafe-c2-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed),
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+    let (store, admin) = DataStoreService::new(DataStoreConfig {
+        data_dir: Some(dir.clone()),
+        wal,
+        ..Default::default()
+    });
+    let admin = admin.to_hex();
+    let mut contributors = Vec::with_capacity(n_contributors);
+    for i in 0..n_contributors {
+        let name = format!("c{i}");
+        let resp = store.handle(&Request::post_json(
+            "/api/register",
+            &json!({"key": (admin.clone()), "name": (name.clone()), "role": "contributor"}),
+        ));
+        assert_eq!(resp.status, Status::Created, "contributor registration");
+        let key = resp.json_body().unwrap()["api_key"]
+            .as_str()
+            .unwrap()
+            .to_string();
+        contributors.push((name, key));
+    }
+    DurableWorkload {
+        store,
+        contributors,
+        dir,
+    }
+}
+
+/// Drives `threads` workers, each issuing `ops_per_thread` durable
+/// single-packet uploads (thread `t` targets contributor `t % n`, so
+/// with more threads than contributors concurrent uploads contend for
+/// the same account and its WAL — the group-commit case). Bodies are
+/// pre-rendered; the duration covers only the traffic. Every upload
+/// must ack 200/OK, i.e. durably committed.
+pub fn run_durable_uploads(
+    workload: &DurableWorkload,
+    threads: usize,
+    ops_per_thread: usize,
+) -> Duration {
+    let n = workload.contributors.len();
+    assert!(n > 0 && threads > 0);
+    let upload_reqs: Arc<Vec<Request>> = Arc::new(
+        (0..threads)
+            .map(|t| {
+                let (_, key) = &workload.contributors[t % n];
+                let packet = future_packet(t);
+                Request::post_json(
+                    "/api/upload",
+                    &json!({"key": (key.clone()), "segments": (Value::Array(vec![packet.to_json()]))}),
+                )
+            })
+            .collect(),
+    );
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let store = workload.store.clone();
+            let uploads = upload_reqs.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                for _ in 0..ops_per_thread {
+                    let resp = store.handle(&uploads[t]);
+                    assert_eq!(resp.status, Status::Ok, "durable upload failed");
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let started = Instant::now();
+    for handle in handles {
+        handle.join().expect("upload thread panicked");
+    }
+    started.elapsed()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,6 +461,24 @@ mod tests {
         assert_eq!(table1_rule_set().len(), 6);
         assert_eq!(synthetic_rules(0, 4).len(), 4);
         assert_eq!(synthetic_rules(5, 1).len(), 1);
+    }
+
+    #[test]
+    fn durable_uploads_coalesce_fsyncs() {
+        // The C2 acceptance shape in miniature: 4 threads hammering one
+        // contributor's WAL must ack every upload with fewer fsyncs than
+        // uploads (group commit), and the data must be on disk.
+        let fsyncs = sensorsafe_core::obsv::global().counter(
+            "sensorsafe_store_wal_fsyncs_total",
+            "fsync calls issued by write-ahead logs.",
+            &[],
+        );
+        let workload = durable_workload(GroupCommitConfig::default(), 1);
+        let before = fsyncs.get();
+        run_durable_uploads(&workload, 4, 8);
+        let spent = fsyncs.get() - before;
+        assert!(spent > 0, "durable uploads must fsync");
+        assert!(spent < 32, "no coalescing: {spent} fsyncs for 32 uploads");
     }
 
     #[test]

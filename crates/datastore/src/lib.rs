@@ -12,7 +12,7 @@
 //! * [`state`] — per-contributor accounts (segment store, rules, labeled
 //!   places) and registered consumers.
 //! * [`pipeline`] — the enforcement pipeline: query → window split →
-//!   rule evaluation → rewritten [`SharedSegment`]s, plus the JSON wire
+//!   rule evaluation → rewritten [`SharedSegment`](sensorsafe_policy::SharedSegment)s, plus the JSON wire
 //!   codec for shared views.
 //! * [`service`] — the HTTP API surface (register / upload / query /
 //!   rules / places) and broker rule-sync hooks (§5.2).

@@ -25,7 +25,7 @@ use sensorsafe_json::{json, Value};
 use sensorsafe_net::{Request, Response, Router, Service, Status, Transport};
 use sensorsafe_obsv::{audit, trace, Registry, TraceRecorder};
 use sensorsafe_policy::{DependencyGraph, PrivacyRule};
-use sensorsafe_store::{MergePolicy, Query};
+use sensorsafe_store::{GroupCommitConfig, MergePolicy, Query};
 use sensorsafe_types::{
     ConsumerId, ContextAnnotation, ContributorId, GroupId, Region, StudyId, WaveSegment,
 };
@@ -46,6 +46,10 @@ pub struct DataStoreConfig {
     /// Locking discipline for contributor state. `GlobalLock` reproduces
     /// the pre-sharding coarse lock (bench baseline only).
     pub lock_mode: LockMode,
+    /// WAL group-commit batching for durable contributor stores (ignored
+    /// when `data_dir` is `None`). See [`GroupCommitConfig`] and
+    /// `docs/OPERATIONS.md` for tuning.
+    pub wal: GroupCommitConfig,
 }
 
 impl Default for DataStoreConfig {
@@ -55,6 +59,7 @@ impl Default for DataStoreConfig {
             merge: MergePolicy::default(),
             data_dir: None,
             lock_mode: LockMode::Sharded,
+            wal: GroupCommitConfig::default(),
         }
     }
 }
@@ -133,10 +138,11 @@ impl Inner {
                     None => ContributorAccount::new(ContributorId::new(name), self.config.merge),
                     Some(dir) => {
                         let path = dir.join(format!("{name}.wal"));
-                        match ContributorAccount::open(
+                        match ContributorAccount::open_with(
                             ContributorId::new(name),
                             path,
                             self.config.merge,
+                            self.config.wal,
                         ) {
                             Ok(account) => account,
                             Err(e) => {
@@ -209,23 +215,49 @@ impl Inner {
                 }
             }
         }
-        let Some(mut account) = self.state.write_contributor(&id) else {
-            return Response::error(Status::NotFound, "no such contributor account");
+        // Stage-then-wait: the account write lock covers only the
+        // in-memory mutation and WAL *staging*; the fsync wait happens
+        // after the lock is released, so concurrent uploads (to this or
+        // other accounts) group-commit instead of serializing on disk
+        // latency (DESIGN.md §8).
+        let (stored, annotated, ticket) = {
+            let Some(mut account) = self.state.write_contributor(&id) else {
+                return Response::error(Status::NotFound, "no such contributor account");
+            };
+            let mut stored = 0usize;
+            for seg in segments {
+                if account.store.insert_segment(seg).is_ok() {
+                    stored += 1;
+                }
+            }
+            let mut annotated = 0usize;
+            for ann in annotations {
+                if account.store.insert_annotation(ann).is_ok() {
+                    annotated += 1;
+                }
+            }
+            (stored, annotated, account.store.commit_ticket())
         };
-        let mut stored = 0usize;
-        for seg in segments {
-            if account.store.insert_segment(seg).is_ok() {
-                stored += 1;
+        // Durable mode: make the batch crash-safe before acking. The ack
+        // is a durability promise, so a failed commit must be a 500.
+        if let Some(ticket) = ticket {
+            if let Err(e) = ticket.wait() {
+                return Response::error(
+                    Status::InternalError,
+                    &format!("durable commit failed: {e}"),
+                );
             }
+            // Process-wide (like the WAL fsync counter it pairs with):
+            // fsyncs_total / durable_uploads_total is the group-commit
+            // coalescing ratio the C2 bench asserts on.
+            sensorsafe_obsv::global()
+                .counter(
+                    "sensorsafe_datastore_durable_uploads_total",
+                    "Upload requests acked after a durable WAL commit.",
+                    &[],
+                )
+                .inc();
         }
-        let mut annotated = 0usize;
-        for ann in annotations {
-            if account.store.insert_annotation(ann).is_ok() {
-                annotated += 1;
-            }
-        }
-        // Durable mode: make the batch crash-safe before acking.
-        let _ = account.store.sync();
         Response::json(&json!({
             "stored_segments": stored,
             "stored_annotations": annotated,
@@ -914,9 +946,8 @@ mod durability_tests {
         std::fs::create_dir_all(&dir).unwrap();
         let config = DataStoreConfig {
             name: "durable".into(),
-            merge: MergePolicy::default(),
             data_dir: Some(dir.clone()),
-            lock_mode: LockMode::Sharded,
+            ..DataStoreConfig::default()
         };
         let uploaded;
         {

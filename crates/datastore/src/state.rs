@@ -22,10 +22,16 @@
 //! [`LockMode::GlobalLock`] layers the seed's coarse single-lock behavior
 //! on top (every access also takes one global `RwLock`), kept as the
 //! baseline the `c1_concurrency` bench compares against.
+//!
+//! WAL group commit (DESIGN.md §8) deliberately sits *outside* this
+//! hierarchy: durable uploads stage log records while holding the
+//! account write lock, but wait for the batch fsync only after every
+//! lock above has been released, so disk latency never extends an
+//! account-lock hold.
 
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use sensorsafe_policy::{CompiledRules, PrivacyRule};
-use sensorsafe_store::{MergePolicy, SegmentStore, StoreError};
+use sensorsafe_store::{GroupCommitConfig, MergePolicy, SegmentStore, StoreError};
 use sensorsafe_types::{ConsumerId, ContributorId, GeoPoint, GroupId, Region, StudyId};
 use std::collections::BTreeMap;
 use std::ops::{Deref, DerefMut};
@@ -72,15 +78,33 @@ impl ContributorAccount {
         }
     }
 
-    /// A durable account whose store replays from `wal_path`.
+    /// A durable account whose store replays from `wal_path`, using the
+    /// default group-commit batching.
     pub fn open(
         id: ContributorId,
         wal_path: impl AsRef<std::path::Path>,
         merge: MergePolicy,
     ) -> Result<ContributorAccount, StoreError> {
+        ContributorAccount::open_with(id, wal_path, merge, GroupCommitConfig::default())
+    }
+
+    /// [`ContributorAccount::open`] with explicit WAL group-commit
+    /// batching configuration.
+    ///
+    /// Durable uploads stage records under this account's write lock and
+    /// wait for the batch commit *after* releasing it (the stage-then-
+    /// wait path; DESIGN.md §8), so `wal_config` bounds how long an
+    /// acked upload can wait and how many concurrent uploads share one
+    /// fsync.
+    pub fn open_with(
+        id: ContributorId,
+        wal_path: impl AsRef<std::path::Path>,
+        merge: MergePolicy,
+        wal_config: GroupCommitConfig,
+    ) -> Result<ContributorAccount, StoreError> {
         Ok(ContributorAccount {
             id,
-            store: SegmentStore::open(wal_path, merge)?,
+            store: SegmentStore::open_with(wal_path, merge, wal_config)?,
             rules: Vec::new(),
             rule_epoch: 0,
             places: Vec::new(),

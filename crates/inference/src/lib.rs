@@ -2,8 +2,8 @@
 //! windows.
 //!
 //! The paper relies on published inference pipelines — stress from
-//! ECG/respiration [31], transportation mode from accelerometer + GPS
-//! [33], conversation and smoking from respiration/microphone — to
+//! ECG/respiration \[31\], transportation mode from accelerometer + GPS
+//! \[33\], conversation and smoking from respiration/microphone — to
 //! annotate uploaded data with context. Those models are not available
 //! offline, so this crate implements windowed feature extraction plus
 //! threshold classifiers calibrated against `sensorsafe-sim`'s signal

@@ -16,7 +16,7 @@ use sensorsafe_types::{
 pub const WINDOW_SECS: u32 = 20;
 
 /// Transportation mode from GPS speed (primary) with an accelerometer
-/// fallback when no fix is available ([33]).
+/// fallback when no fix is available (\[33\]).
 pub fn classify_transport(f: &WindowFeatures) -> ContextKind {
     if f.speed_mps > 8.0 {
         ContextKind::Drive
@@ -47,7 +47,7 @@ fn baseline_hr(mode: ContextKind) -> f64 {
 }
 
 /// Stress from heart-rate elevation over the activity-adjusted baseline
-/// ([31] uses ECG+respiration; elevation is the dominant feature here).
+/// (\[31\] uses ECG+respiration; elevation is the dominant feature here).
 pub fn classify_stress(f: &WindowFeatures, mode: ContextKind) -> bool {
     f.heart_rate_bpm > baseline_hr(mode) + 18.0
 }

@@ -36,10 +36,10 @@ impl Default for DependencyGraph {
 impl DependencyGraph {
     /// The paper's dependency structure:
     ///
-    /// * stress ← {ecg, respiration} ([31])
+    /// * stress ← {ecg, respiration} (\[31\])
     /// * conversation ← {audio_energy, respiration}
     /// * smoking ← {respiration}
-    /// * transportation modes & moving ← {accel_mag, gps_lat, gps_lon} ([33])
+    /// * transportation modes & moving ← {accel_mag, gps_lat, gps_lon} (\[33\])
     pub fn paper() -> DependencyGraph {
         let mut g = DependencyGraph {
             sources: BTreeMap::new(),

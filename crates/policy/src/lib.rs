@@ -21,7 +21,7 @@
 //! * [`rule`] — rule model plus the Fig. 4 JSON codec.
 //! * [`deps`] — the sensor↔context dependency graph and its closure.
 //! * [`eval`] — condition matching and decision resolution.
-//! * [`enforce`] — applying decisions to wave segments and annotations.
+//! * [`enforce`](mod@enforce) — applying decisions to wave segments and annotations.
 //! * [`index`] — searchable rule summaries for the broker's contributor
 //!   search (§5.2).
 

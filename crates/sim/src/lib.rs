@@ -14,7 +14,7 @@
 //!   slow breaths, conversation raises microphone energy.
 //! * [`scenario`] — a timeline of [`Episode`]s (where the wearer is,
 //!   what they are doing) that renders to wave segments in Zephyr-style
-//!   64-sample packets plus ground-truth [`ContextAnnotation`]s. The
+//!   64-sample packets plus ground-truth [`ContextAnnotation`](sensorsafe_types::ContextAnnotation)s. The
 //!   canonical [`Scenario::alice_day`] reproduces §6's Alice: stressed
 //!   driving commute, conversations at UCLA, evening at home.
 

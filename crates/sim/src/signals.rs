@@ -2,7 +2,7 @@
 //!
 //! Each generator is a deterministic function of (seeded RNG, time,
 //! [`Condition`]). Parameter choices encode the physiology the paper's
-//! inference pipeline relies on ([31], [33]):
+//! inference pipeline relies on (\[31\], \[33\]):
 //!
 //! | Condition      | ECG               | Respiration            | Accel            | Audio      | GPS          |
 //! |----------------|-------------------|------------------------|------------------|------------|--------------|

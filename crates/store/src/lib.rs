@@ -9,7 +9,9 @@
 //!   the log (the JSON form of Fig. 5 is the *wire* format; the log uses
 //!   binary framing with CRC32 checksums).
 //! * [`wal`] — an append-only write-ahead log giving durability; a store
-//!   reopened from its log replays to identical state.
+//!   reopened from its log replays to identical state. Concurrent
+//!   writers go through [`GroupCommitWal`], which coalesces appends into
+//!   batched `write`+`fsync` commits (DESIGN.md §8).
 //! * [`SegmentStore`] — the in-memory engine: a time-ordered segment
 //!   index per series, context-annotation index, the §5.1 **merge
 //!   optimizer** ("remote data stores perform a wave segment optimization
@@ -17,6 +19,8 @@
 //! * [`TupleStore`] — the paper's strawman baseline ("storing the time
 //!   series of sensor data as individual tuples is inefficient both in
 //!   terms of storage size and querying time"), used by the F5 benches.
+
+#![deny(missing_docs)]
 
 pub mod baseline;
 pub mod codec;
@@ -28,4 +32,4 @@ pub use baseline::TupleStore;
 pub use codec::{decode_annotation, decode_segment, encode_annotation, encode_segment, CodecError};
 pub use query::Query;
 pub use store::{MergePolicy, SegmentStore, StoreError, StoreStats};
-pub use wal::{Wal, WalError, WalRecord};
+pub use wal::{CommitTicket, GroupCommitConfig, GroupCommitWal, Wal, WalError, WalRecord};

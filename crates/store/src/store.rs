@@ -1,10 +1,11 @@
 //! The segment store: time-ordered series, merge optimizer, query engine.
 
 use crate::query::Query;
-use crate::wal::{Wal, WalError, WalRecord};
+use crate::wal::{CommitTicket, GroupCommitConfig, GroupCommitWal, Wal, WalError, WalRecord};
 use sensorsafe_types::{ChannelSpec, ContextAnnotation, TimeRange, WaveSegment};
 use std::collections::BTreeMap;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Configuration of the §5.1 merge optimization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,7 +102,7 @@ pub struct SegmentStore {
     series: BTreeMap<String, Series>,
     annotations: Vec<ContextAnnotation>,
     policy: MergePolicy,
-    wal: Option<Wal>,
+    wal: Option<Arc<GroupCommitWal>>,
     seq: u64,
     merges: usize,
 }
@@ -119,9 +120,20 @@ impl SegmentStore {
         }
     }
 
-    /// Opens a durable store backed by the WAL at `path`, replaying any
-    /// existing log (a torn tail is truncated away).
+    /// Opens a durable store backed by the WAL at `path` with default
+    /// group-commit batching, replaying any existing log (a torn tail is
+    /// truncated away).
     pub fn open(path: impl AsRef<Path>, policy: MergePolicy) -> Result<SegmentStore, StoreError> {
+        SegmentStore::open_with(path, policy, GroupCommitConfig::default())
+    }
+
+    /// [`SegmentStore::open`] with explicit group-commit batching
+    /// configuration for the WAL (see [`GroupCommitConfig`]).
+    pub fn open_with(
+        path: impl AsRef<Path>,
+        policy: MergePolicy,
+        wal_config: GroupCommitConfig,
+    ) -> Result<SegmentStore, StoreError> {
         let path = path.as_ref();
         let (records, valid_len) = Wal::replay(path)?;
         if path.exists() {
@@ -138,18 +150,21 @@ impl SegmentStore {
             }
         }
         store.annotations.sort_by_key(|a| a.window.start);
-        store.wal = Some(Wal::open(path)?);
+        store.wal = Some(Arc::new(GroupCommitWal::open(path, wal_config)?));
         Ok(store)
     }
 
-    /// Inserts a segment, logging it and running the merge optimizer.
-    /// Empty segments are ignored.
+    /// Inserts a segment, staging it on the WAL and running the merge
+    /// optimizer. Empty segments are ignored. Staged records become
+    /// durable on the next group commit — take a
+    /// [`SegmentStore::commit_ticket`] and wait on it (or call
+    /// [`SegmentStore::sync`]) before acking the write.
     pub fn insert_segment(&mut self, segment: WaveSegment) -> Result<(), StoreError> {
         if segment.is_empty() {
             return Ok(());
         }
-        if let Some(wal) = &mut self.wal {
-            wal.append(&WalRecord::Segment(segment.clone()))?;
+        if let Some(wal) = &self.wal {
+            wal.stage(&WalRecord::Segment(segment.clone()))?;
         }
         self.insert_segment_inner(segment);
         Ok(())
@@ -186,10 +201,11 @@ impl SegmentStore {
         series.segments.insert((start, self.seq), segment);
     }
 
-    /// Stores a context annotation.
+    /// Stores a context annotation (staged on the WAL like segments;
+    /// see [`SegmentStore::insert_segment`] for durability).
     pub fn insert_annotation(&mut self, annotation: ContextAnnotation) -> Result<(), StoreError> {
-        if let Some(wal) = &mut self.wal {
-            wal.append(&WalRecord::Annotation(annotation.clone()))?;
+        if let Some(wal) = &self.wal {
+            wal.stage(&WalRecord::Annotation(annotation.clone()))?;
         }
         // Keep sorted by window start (inserts are usually appends).
         let pos = self
@@ -199,12 +215,22 @@ impl SegmentStore {
         Ok(())
     }
 
-    /// Forces buffered log records to disk.
+    /// Forces every staged log record to disk (an immediate group
+    /// commit, skipping the gathering delay). When this returns `Ok`,
+    /// all prior inserts are durable.
     pub fn sync(&mut self) -> Result<(), StoreError> {
-        if let Some(wal) = &mut self.wal {
-            wal.sync()?;
+        if let Some(wal) = &self.wal {
+            wal.flush()?;
         }
         Ok(())
+    }
+
+    /// A ticket covering every record staged so far on this store's WAL,
+    /// or `None` for in-memory stores. The caller can release the store
+    /// lock and then [`CommitTicket::wait`] — this is the stage-then-wait
+    /// upload path that keeps fsync latency off the account lock.
+    pub fn commit_ticket(&self) -> Option<CommitTicket> {
+        self.wal.as_ref().map(GroupCommitWal::ticket)
     }
 
     /// Rewrites the WAL from the current (merged) in-memory state. The
@@ -213,12 +239,24 @@ impl SegmentStore {
     /// cost and disk use drop by the merge factor. Atomic: the new log
     /// is written to a sibling temp file, fsynced, then renamed over the
     /// old one. No-op for in-memory stores.
+    ///
+    /// Any in-flight group-commit batch is drained first, so commit
+    /// tickets taken before compaction remain honest: their records are
+    /// durable in the *old* log before it is replaced, and the records
+    /// survive into the new log via the in-memory state being rewritten.
     pub fn compact(&mut self) -> Result<(), StoreError> {
         let Some(wal) = self.wal.take() else {
             return Ok(());
         };
+        // Drain: every staged record (including batches being gathered
+        // by in-flight `CommitTicket::wait`ers) hits the old log before
+        // the rename. Outstanding tickets hold Arc clones, but their
+        // sequences are durable after this, so their waits return
+        // without touching the replaced file.
+        wal.flush()?;
         let path = wal.path().to_path_buf();
-        drop(wal); // close the append handle before the rename
+        let config = wal.config();
+        drop(wal); // release our append handle before the rename
         let tmp = path.with_extension("compact-tmp");
         let _ = std::fs::remove_file(&tmp);
         {
@@ -234,7 +272,7 @@ impl SegmentStore {
             fresh.sync()?;
         }
         std::fs::rename(&tmp, &path).map_err(|e| StoreError::Wal(e.into()))?;
-        self.wal = Some(Wal::open(&path)?);
+        self.wal = Some(Arc::new(GroupCommitWal::open(&path, config)?));
         Ok(())
     }
 
@@ -591,6 +629,50 @@ mod tests {
         assert_eq!(stats.samples, stats_before.samples + 64);
         assert_eq!(stats.segments, 1, "post-compaction appends still merge");
         assert_eq!(stats.annotations, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_drains_inflight_batch() {
+        // Regression: compact() used to swap the WAL without draining
+        // the group-commit pipeline, so a ticket taken just before
+        // compaction could wait on (or write to) the replaced log.
+        let dir =
+            std::env::temp_dir().join(format!("sensorsafe-store-drain-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.wal");
+        // A huge gathering delay: without the drain, the upload's leader
+        // would sit in its gathering window across the whole compaction.
+        let config = crate::wal::GroupCommitConfig {
+            max_batch: 1024,
+            max_delay: std::time::Duration::from_secs(5),
+        };
+        let mut store = SegmentStore::open_with(&path, MergePolicy::disabled(), config).unwrap();
+        store.insert_segment(seg_at(0, 64)).unwrap();
+        store.sync().unwrap();
+        // An in-flight durable upload: staged + ticket taken, waiter
+        // blocked in the gathering window on another thread.
+        store.insert_segment(seg_at(64 * 20, 64)).unwrap();
+        let ticket = store.commit_ticket().unwrap();
+        let waiter = std::thread::spawn(move || ticket.wait());
+        // Give the waiter time to become the gathering leader.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let started = std::time::Instant::now();
+        store.compact().unwrap();
+        waiter
+            .join()
+            .unwrap()
+            .expect("in-flight ticket must resolve durable across compact");
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(4),
+            "compact waited out the gathering window instead of cutting it"
+        );
+        // Post-compaction state is exactly the two segments, once each.
+        drop(store);
+        let reopened = SegmentStore::open(&path, MergePolicy::disabled()).unwrap();
+        assert_eq!(reopened.stats().segments, 2);
+        assert_eq!(reopened.stats().samples, 128);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -13,7 +13,7 @@ use crate::time::TimeRange;
 /// A kind of behavioral context the paper's applications infer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ContextKind {
-    /// Transportation-mode family (accelerometer + GPS, [33]).
+    /// Transportation-mode family (accelerometer + GPS, \[33\]).
     Still,
     /// Walking.
     Walk,
@@ -25,7 +25,7 @@ pub enum ContextKind {
     Drive,
     /// Coarse activity: any movement at all.
     Moving,
-    /// Psychological stress (ECG + respiration, [31]).
+    /// Psychological stress (ECG + respiration, \[31\]).
     Stress,
     /// In-conversation (microphone + respiration).
     Conversation,

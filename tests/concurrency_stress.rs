@@ -215,4 +215,40 @@ fn uploads_queries_and_rule_mutations_race_safely() {
             Some(1 + RULE_SETS_PER_CONTRIBUTOR as u64)
         );
     }
+
+    // Lock-wait SLO (ROADMAP): with per-contributor sharding, p99 time
+    // blocked on an account lock across this whole contended run must
+    // stay under budget. The budget is generous — debug build, CI-shared
+    // cores — but a coarse-lock regression (or WAL fsyncs creeping back
+    // under the account lock) blows past it by orders of magnitude.
+    const LOCK_WAIT_P99_BUDGET_SECS: f64 = 0.25;
+    let registry = sensorsafe_core::obsv::global();
+    let waits = ["read", "write"]
+        .map(|mode| {
+            registry
+                .histogram(
+                    "sensorsafe_datastore_lock_wait_seconds",
+                    "Time spent waiting to acquire a contributor account lock.",
+                    &[("mode", mode)],
+                    None,
+                )
+                .snapshot()
+        })
+        .into_iter()
+        .reduce(|a, b| a.merge(&b))
+        .expect("both lock-wait modes");
+    assert!(
+        waits.count() > 0,
+        "lock-wait histogram recorded nothing — instrumentation regressed"
+    );
+    let p99 = waits.p99();
+    println!(
+        "lock-wait p99 = {:.6}s over {} acquisitions (budget {LOCK_WAIT_P99_BUDGET_SECS}s)",
+        p99,
+        waits.count()
+    );
+    assert!(
+        p99 < LOCK_WAIT_P99_BUDGET_SECS,
+        "lock-wait SLO violated: p99 {p99:.6}s >= {LOCK_WAIT_P99_BUDGET_SECS}s"
+    );
 }
