@@ -346,36 +346,81 @@ fn c2_durable_upload_table() {
 }
 
 fn obsv_overhead_table() {
-    println!("== OBSV: metrics overhead on the query hot path ==");
-    let mut deployment = Deployment::in_process();
-    let store = deployment.add_store("s1");
-    let alice = deployment.register_contributor("s1", "alice").unwrap();
-    alice.upload_scenario(&alice_scenario(3)).unwrap();
-    alice.set_rules(&json!([{"Action": "Allow"}])).unwrap();
-    let bob = deployment.register_consumer("bob").unwrap();
-    bob.add_contributors(&["alice"]).unwrap();
+    println!("== O1: observability overhead on the query hot path ==");
+    // Each configuration gets its own deployment because the audit
+    // ledger is not behind the metrics kill switch (accountability is
+    // not telemetry): the baseline must avoid it structurally, via an
+    // in-memory store, rather than by flipping the registry off.
+    //
+    // Run-to-run noise on a ~30 ms query is larger than the 5% budget,
+    // so the harness interleaves the configurations over several rounds
+    // and reports each configuration's best round — the estimator least
+    // disturbed by scheduler and allocator interference.
+    let ledger_dir = std::env::temp_dir().join(format!("sensorsafe-o1-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ledger_dir);
+    std::fs::create_dir_all(&ledger_dir).expect("O1 ledger dir");
 
-    let iterations = 150;
-    let timed = |label: &str, enabled: bool| -> f64 {
-        sensorsafe_core::obsv::global().set_enabled(enabled);
-        store.registry().set_enabled(enabled);
-        // Warm up caches and lazily-registered series before timing.
-        for _ in 0..10 {
-            let _ = bob.download_all(&Query::all()).unwrap();
-        }
-        let started = std::time::Instant::now();
-        for _ in 0..iterations {
-            let results = bob.download_all(&Query::all()).unwrap();
-            assert!(results[0].1.raw_samples() > 0);
-        }
-        let mean_ms = started.elapsed().as_secs_f64() * 1e3 / iterations as f64;
-        println!("{label:<38} {mean_ms:>9.3} ms/query");
-        mean_ms
+    let wire = |config: sensorsafe_core::datastore::DataStoreConfig| {
+        let mut deployment = Deployment::in_process();
+        let store = deployment.add_store_with("s1", config);
+        let alice = deployment.register_contributor("s1", "alice").unwrap();
+        alice.upload_scenario(&alice_scenario(3)).unwrap();
+        alice.set_rules(&json!([{"Action": "Allow"}])).unwrap();
+        let bob = deployment.register_consumer("bob").unwrap();
+        bob.add_contributors(&["alice"]).unwrap();
+        (store, bob)
     };
-    let disabled = timed("registry disabled (kill switch)", false);
-    let enabled = timed("registry enabled", true);
-    let overhead = (enabled - disabled) / disabled * 100.0;
-    println!("--> metrics overhead: {overhead:+.2}% (budget: <5%)\n");
+    let rigs = [
+        (
+            "kill switch off, in-memory ledger",
+            false,
+            wire(Default::default()),
+        ),
+        (
+            "metrics+tracing, in-memory ledger",
+            true,
+            wire(Default::default()),
+        ),
+        (
+            "metrics+tracing+durable audit ledger",
+            true,
+            wire(sensorsafe_core::datastore::DataStoreConfig {
+                data_dir: Some(ledger_dir.clone()),
+                slow_request_threshold: Some(std::time::Duration::from_millis(250)),
+                ..Default::default()
+            }),
+        ),
+    ];
+
+    const ROUNDS: usize = 5;
+    const ITERATIONS: usize = 30;
+    let mut best = [f64::INFINITY; 3];
+    for round in 0..=ROUNDS {
+        for (i, (_, enabled, (store, bob))) in rigs.iter().enumerate() {
+            sensorsafe_core::obsv::global().set_enabled(*enabled);
+            store.registry().set_enabled(*enabled);
+            let started = std::time::Instant::now();
+            for _ in 0..ITERATIONS {
+                let results = bob.download_all(&Query::all()).unwrap();
+                assert!(results[0].1.raw_samples() > 0);
+            }
+            let mean_ms = started.elapsed().as_secs_f64() * 1e3 / ITERATIONS as f64;
+            // Round 0 is warm-up (caches, lazy series registration).
+            if round > 0 && mean_ms < best[i] {
+                best[i] = mean_ms;
+            }
+        }
+    }
+    sensorsafe_core::obsv::global().set_enabled(true);
+    let _ = std::fs::remove_dir_all(&ledger_dir);
+
+    for (i, (label, _, _)) in rigs.iter().enumerate() {
+        println!("{label:<44} {:>9.3} ms/query (best of {ROUNDS})", best[i]);
+    }
+    let metrics_overhead = (best[1] - best[0]) / best[0] * 100.0;
+    let full_overhead = (best[2] - best[0]) / best[0] * 100.0;
+    println!("--> metrics+tracing overhead:       {metrics_overhead:+.2}% (budget: <5%)");
+    println!("--> full stack incl. audit ledger:  {full_overhead:+.2}% (budget: <5%)\n");
 }
 
 fn obsv_metrics_snapshot(store: &sensorsafe_core::datastore::DataStoreService) {

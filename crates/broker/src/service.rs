@@ -36,6 +36,10 @@ pub struct BrokerConfig {
     pub name: String,
     /// How to reach data stores.
     pub transports: TransportFactory,
+    /// Requests slower than this are pinned in the slow-trace ring and
+    /// logged as one structured JSON line (`None` disables capture). See
+    /// docs/OPERATIONS.md for tuning guidance.
+    pub slow_request_threshold: Option<std::time::Duration>,
 }
 
 impl Default for BrokerConfig {
@@ -46,6 +50,7 @@ impl Default for BrokerConfig {
             transports: Arc::new(|addr: &str| {
                 Arc::new(TcpTransport::new(addr)) as Arc<dyn Transport>
             }),
+            slow_request_threshold: None,
         }
     }
 }
@@ -501,6 +506,8 @@ impl Inner {
 impl BrokerService {
     /// Builds a broker. Returns the service plus its admin key.
     pub fn new(config: BrokerConfig) -> (BrokerService, ApiKey) {
+        let traces = TraceRecorder::new(256);
+        traces.set_slow_threshold(config.slow_request_threshold);
         let inner = Arc::new(Inner {
             config,
             registry: BrokerRegistry::new(),
@@ -509,7 +516,7 @@ impl BrokerService {
             passwords: PasswordStore::new(),
             sessions: SessionManager::new(),
             metrics: Registry::new(),
-            traces: TraceRecorder::new(256),
+            traces,
             started: std::time::Instant::now(),
         });
         let admin_key = inner.keys.register(Principal {
@@ -528,6 +535,15 @@ impl BrokerService {
         {
             let inner = inner.clone();
             router.get("/metrics", move |_, _| inner.handle_metrics());
+        }
+        {
+            let inner = inner.clone();
+            router.get(
+                "/traces",
+                move |req: &Request, _: &sensorsafe_net::Params| {
+                    sensorsafe_net::traces_response(&inner.traces, req)
+                },
+            );
         }
         macro_rules! post_json_route {
             ($path:literal, $method:ident) => {{
@@ -586,10 +602,12 @@ impl Service for BrokerService {
             .match_pattern(request.method, &request.path)
             .unwrap_or("unmatched")
             .to_string();
-        let _span = self
-            .inner
-            .traces
-            .begin(format!("{} {endpoint}", request.method.as_str()));
+        // Join the caller's trace when an X-SensorSafe-Trace header is
+        // present; otherwise this span roots a fresh trace.
+        let _span = self.inner.traces.begin_ctx(
+            format!("{} {endpoint}", request.method.as_str()),
+            request.trace_context(),
+        );
         let started = std::time::Instant::now();
         let response = self.router.handle(request);
         self.inner
@@ -640,6 +658,7 @@ mod tests {
         let (broker, broker_admin) = BrokerService::new(BrokerConfig {
             name: "test-broker".into(),
             transports,
+            ..BrokerConfig::default()
         });
         // Pair the store.
         let resp = broker.handle(&Request::post_json(

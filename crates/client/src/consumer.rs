@@ -134,7 +134,19 @@ impl ConsumerApp {
 
     /// The §6 end-to-end loop: fetch the access list and download every
     /// contributor's data for `query`. Returns (contributor, view) pairs.
+    ///
+    /// The whole loop runs under one trace context (rooted here unless
+    /// the caller already established one), so the broker access-list
+    /// call and every store download carry the same `trace_id` in their
+    /// `X-SensorSafe-Trace` headers and can be correlated across the
+    /// servers' `GET /traces` endpoints.
     pub fn download_all(&self, query: &Query) -> Result<Vec<(String, SharedView)>, String> {
+        let _trace = match sensorsafe_obsv::trace::current_context() {
+            None => Some(sensorsafe_obsv::trace::context_scope(
+                sensorsafe_obsv::TraceContext::root(),
+            )),
+            Some(_) => None,
+        };
         let mut out = Vec::new();
         for access in self.access_list()? {
             let view = self.download(&access, query)?;
@@ -172,6 +184,7 @@ mod tests {
         let (broker, broker_admin) = BrokerService::new(BrokerConfig {
             name: "broker".into(),
             transports: factory.clone(),
+            ..BrokerConfig::default()
         });
         // Pair store.
         let resp = broker.handle(&Request::post_json(
@@ -325,6 +338,32 @@ mod tests {
         // Without the driving requirement she matches.
         let hits = bob.search(&json!({"channels": ["accel_mag"]})).unwrap();
         assert_eq!(hits, ["alice"]);
+    }
+
+    #[test]
+    fn download_all_spans_one_trace_across_broker_and_store() {
+        let world = world(json!([{"Action": "Allow"}]));
+        let bob = app(&world);
+        bob.add_contributors(&["alice"]).unwrap();
+        bob.download_all(&Query::all()).unwrap();
+        // The access-list call (broker) and the query (store) were served
+        // under the same ambient trace context.
+        let broker_trace = world
+            .broker
+            .recent_traces()
+            .into_iter()
+            .rev()
+            .find(|t| t.name == "POST /api/consumers/access")
+            .expect("broker served the access-list call");
+        let store_trace = world
+            .store
+            .recent_traces()
+            .into_iter()
+            .rev()
+            .find(|t| t.name == "POST /api/query")
+            .expect("store served the query");
+        assert_ne!(broker_trace.trace_id, 0);
+        assert_eq!(broker_trace.trace_id, store_trace.trace_id);
     }
 
     #[test]

@@ -59,6 +59,7 @@ impl Deployment {
         let (broker, broker_admin) = BrokerService::new(BrokerConfig {
             name: "broker".into(),
             transports: transports.clone(),
+            ..BrokerConfig::default()
         });
         let broker_transport: Arc<dyn Transport> =
             Arc::new(LocalTransport::new(Arc::new(broker.clone())));
@@ -81,6 +82,7 @@ impl Deployment {
         let (broker, broker_admin) = BrokerService::new(BrokerConfig {
             name: "broker".into(),
             transports: transports.clone(),
+            ..BrokerConfig::default()
         });
         let broker_transport: Arc<dyn Transport> = Arc::new(TcpTransport::new(broker_addr));
         Deployment {
@@ -116,9 +118,17 @@ impl Deployment {
     /// Creates a data store named/addressed `addr` and pairs it with the
     /// broker (address doubles as the in-process name).
     pub fn add_store(&mut self, addr: &str) -> DataStoreService {
+        self.add_store_with(addr, DataStoreConfig::default())
+    }
+
+    /// Like [`Deployment::add_store`], but with an explicit store
+    /// configuration (durable `data_dir`, slow-request threshold, lock
+    /// mode...). The config's `name` is overridden with `addr` so
+    /// in-process routing keeps working.
+    pub fn add_store_with(&mut self, addr: &str, config: DataStoreConfig) -> DataStoreService {
         let (store, store_admin) = DataStoreService::new(DataStoreConfig {
             name: addr.to_string(),
-            ..Default::default()
+            ..config
         });
         self.stores.write().insert(addr.to_string(), store.clone());
         // Pair with the broker.

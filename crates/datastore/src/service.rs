@@ -23,7 +23,7 @@ use parking_lot::Mutex;
 use sensorsafe_auth::{ApiKey, KeyRing, PasswordStore, Principal, Role, SessionManager};
 use sensorsafe_json::{json, Value};
 use sensorsafe_net::{Request, Response, Router, Service, Status, Transport};
-use sensorsafe_obsv::{audit, trace, Registry, TraceRecorder};
+use sensorsafe_obsv::{audit, trace, AuditLedger, MemoryLedger, Registry, TraceRecorder};
 use sensorsafe_policy::{DependencyGraph, PrivacyRule};
 use sensorsafe_store::{GroupCommitConfig, MergePolicy, Query};
 use sensorsafe_types::{
@@ -50,6 +50,10 @@ pub struct DataStoreConfig {
     /// when `data_dir` is `None`). See [`GroupCommitConfig`] and
     /// `docs/OPERATIONS.md` for tuning.
     pub wal: GroupCommitConfig,
+    /// Requests slower than this are pinned in the slow-trace ring and
+    /// logged as one structured JSON line (`None` disables capture). See
+    /// docs/OPERATIONS.md for tuning guidance.
+    pub slow_request_threshold: Option<std::time::Duration>,
 }
 
 impl Default for DataStoreConfig {
@@ -60,6 +64,7 @@ impl Default for DataStoreConfig {
             data_dir: None,
             lock_mode: LockMode::Sharded,
             wal: GroupCommitConfig::default(),
+            slow_request_threshold: None,
         }
     }
 }
@@ -84,6 +89,7 @@ pub(crate) struct Inner {
     pub(crate) sessions: SessionManager,
     pub(crate) registry: Registry,
     pub(crate) traces: Arc<TraceRecorder>,
+    pub(crate) ledger: Arc<dyn AuditLedger>,
     pub(crate) started: std::time::Instant,
 }
 
@@ -305,13 +311,19 @@ impl Inner {
             return Response::error(Status::Forbidden, "consumer not registered here");
         };
         // Tag this thread with the consumer so `policy::enforce` deep in the
-        // pipeline attributes its per-decision audit counters correctly.
+        // pipeline attributes its per-decision audit counters correctly,
+        // and with the ledger + contributor so every enforcement decision
+        // lands in the tamper-evident audit trail.
         let _audit = audit::consumer_scope(principal.name.clone());
+        let _ledger = audit::ledger_scope(self.ledger.clone(), contributor.as_str().to_string());
         sensorsafe_obsv::global()
             .counter(
                 "sensorsafe_audit_requests_total",
                 "Consumer data queries entering the enforcement pipeline.",
-                &[("consumer", &principal.name)],
+                &[(
+                    "consumer",
+                    &audit::consumer_label("sensorsafe_audit_requests_total", &principal.name),
+                )],
             )
             .inc();
         let ctx = consumer.to_ctx();
@@ -429,6 +441,74 @@ impl Inner {
         }
     }
 
+    /// `POST /api/audit` — the contributor-facing audit query (§3's
+    /// oversight requirement: owners can see exactly which consumers got
+    /// what). The key travels in the body per §5.4. Contributors see
+    /// their own enforcement history; the admin key may pass an explicit
+    /// `contributor` filter (or none, for the whole ledger).
+    fn handle_audit(&self, body: &Value) -> Response {
+        let Some(principal) = self.authenticate(body) else {
+            return unauthorized();
+        };
+        let contributor_filter = match principal.role {
+            Role::Contributor => Some(principal.name.clone()),
+            Role::Server => body
+                .get("contributor")
+                .and_then(Value::as_str)
+                .map(str::to_string),
+            Role::Consumer => {
+                return Response::error(
+                    Status::Forbidden,
+                    "the audit ledger is owner- and operator-facing",
+                )
+            }
+        };
+        let consumer = body.get("consumer").and_then(Value::as_str);
+        let from_ms = body.get("from_ms").and_then(Value::as_u64);
+        let to_ms = body.get("to_ms").and_then(Value::as_u64);
+        let limit = body
+            .get("limit")
+            .and_then(Value::as_u64)
+            .unwrap_or(100)
+            .min(1_000) as usize;
+        let matching: Vec<sensorsafe_obsv::DecisionRecord> = self
+            .ledger
+            .recent(usize::MAX)
+            .into_iter()
+            .filter(|r| {
+                contributor_filter
+                    .as_deref()
+                    .is_none_or(|c| r.contributor == c)
+                    && consumer.is_none_or(|c| r.consumer == c)
+                    && from_ms.is_none_or(|t| r.unix_ms >= t)
+                    && to_ms.is_none_or(|t| r.unix_ms <= t)
+            })
+            .collect();
+        let skip = matching.len().saturating_sub(limit);
+        let decisions: Vec<Value> = matching[skip..]
+            .iter()
+            .map(|r| {
+                json!({
+                    "seq": (r.seq),
+                    "unix_ms": (r.unix_ms),
+                    "trace_id": (format!("{:016x}", r.trace_id)),
+                    "contributor": (r.contributor.clone()),
+                    "consumer": (r.consumer.clone()),
+                    "outcome": (r.outcome.as_str()),
+                    "matched_rules": (Value::Array(
+                        r.matched_rules.iter().map(|&i| Value::from(i as u64)).collect(),
+                    )),
+                    "suppressed_channels": (r.suppressed_channels),
+                })
+            })
+            .collect();
+        Response::json(&json!({
+            "decisions": (Value::Array(decisions)),
+            "matched": (matching.len() as u64),
+            "ledger_len": (self.ledger.len()),
+        }))
+    }
+
     fn handle_health(&self) -> Response {
         Response::json(&json!({
             "ok": true,
@@ -526,6 +606,26 @@ impl DataStoreService {
     /// and that the broker uses for escrowed consumer registration).
     pub fn new(config: DataStoreConfig) -> (DataStoreService, ApiKey) {
         let state = DataStoreState::with_mode(config.lock_mode);
+        // The audit ledger is durable alongside the WALs when a data
+        // directory is configured. A ledger that fails verification is
+        // never silently adopted: the file is left untouched for offline
+        // forensics (docs/OPERATIONS.md) and decisions go to a fresh
+        // in-memory ledger so enforcement keeps being recorded.
+        let ledger: Arc<dyn AuditLedger> = match &config.data_dir {
+            None => Arc::new(MemoryLedger::new()),
+            Some(dir) => match sensorsafe_store::FileLedger::open(dir.join("audit.ledger")) {
+                Ok(ledger) => Arc::new(ledger),
+                Err(e) => {
+                    eprintln!(
+                        "{{\"event\":\"audit_ledger_rejected\",\"server\":\"{}\",\"error\":\"{e}\"}}",
+                        config.name
+                    );
+                    Arc::new(MemoryLedger::new())
+                }
+            },
+        };
+        let traces = TraceRecorder::new(256);
+        traces.set_slow_threshold(config.slow_request_threshold);
         let inner = Arc::new(Inner {
             config,
             state,
@@ -535,7 +635,8 @@ impl DataStoreService {
             passwords: PasswordStore::new(),
             sessions: SessionManager::new(),
             registry: Registry::new(),
-            traces: TraceRecorder::new(256),
+            traces,
+            ledger,
             started: std::time::Instant::now(),
         });
         let admin_key = inner.keys.register(Principal {
@@ -555,6 +656,15 @@ impl DataStoreService {
             let inner = inner.clone();
             router.get("/metrics", move |_, _| inner.handle_metrics());
         }
+        {
+            let inner = inner.clone();
+            router.get(
+                "/traces",
+                move |req: &Request, _: &sensorsafe_net::Params| {
+                    sensorsafe_net::traces_response(&inner.traces, req)
+                },
+            );
+        }
         macro_rules! post_json_route {
             ($path:literal, $method:ident) => {{
                 let inner = inner.clone();
@@ -573,6 +683,7 @@ impl DataStoreService {
         post_json_route!("/api/rules/set", handle_rules_set);
         post_json_route!("/api/rules/get", handle_rules_get);
         post_json_route!("/api/places/set", handle_places_set);
+        post_json_route!("/api/audit", handle_audit);
         crate::web::mount(&mut router, inner.clone());
         (
             DataStoreService {
@@ -633,6 +744,12 @@ impl DataStoreService {
     pub fn recent_traces(&self) -> Vec<sensorsafe_obsv::Trace> {
         self.inner.traces.recent_traces()
     }
+
+    /// The enforcement-decision audit ledger (file-backed when the store
+    /// has a data directory, in-memory otherwise).
+    pub fn audit_ledger(&self) -> Arc<dyn AuditLedger> {
+        self.inner.ledger.clone()
+    }
 }
 
 impl Service for DataStoreService {
@@ -644,10 +761,12 @@ impl Service for DataStoreService {
             .match_pattern(request.method, &request.path)
             .unwrap_or("unmatched")
             .to_string();
-        let _span = self
-            .inner
-            .traces
-            .begin(format!("{} {endpoint}", request.method.as_str()));
+        // Join the caller's trace when an X-SensorSafe-Trace header is
+        // present; otherwise this span roots a fresh trace.
+        let _span = self.inner.traces.begin_ctx(
+            format!("{} {endpoint}", request.method.as_str()),
+            request.trace_context(),
+        );
         let started = std::time::Instant::now();
         let response = self.router.handle(request);
         self.inner
@@ -920,6 +1039,74 @@ mod tests {
             &json!({"contributor": "a"}),
         ));
         assert_eq!(resp.status, Status::Unauthorized);
+    }
+
+    #[test]
+    fn audit_endpoint_shows_owner_their_enforcement_history() {
+        let (svc, admin) = service();
+        let alice = register(&svc, &admin, "alice", "contributor");
+        let bob = register(&svc, &admin, "bob", "consumer");
+        upload_alice_day(&svc, &alice);
+        // Two queries: one denied (no rules), one allowed.
+        svc.handle(&Request::post_json(
+            "/api/query",
+            &json!({"key": (bob.clone()), "contributor": "alice"}),
+        ));
+        svc.handle(&Request::post_json(
+            "/api/rules/set",
+            &json!({"key": (alice.clone()), "rules": [{"Action": "Allow"}]}),
+        ));
+        svc.handle(&Request::post_json(
+            "/api/query",
+            &json!({"key": (bob.clone()), "contributor": "alice"}),
+        ));
+        // The owner reads their ledger: the enforcement pipeline decides
+        // per query window, so the denied pass and the allowed pass each
+        // left a run of records — denied first, allowed last, in order.
+        let resp = svc.handle(&Request::post_json(
+            "/api/audit",
+            &json!({"key": (alice.clone()), "limit": 1000}),
+        ));
+        assert_eq!(resp.status, Status::Ok);
+        let body = resp.json_body().unwrap();
+        let decisions = body["decisions"].as_array().unwrap();
+        assert!(decisions.len() >= 2, "{body:?}");
+        let first = &decisions[0];
+        let last = &decisions[decisions.len() - 1];
+        assert_eq!(first["outcome"].as_str(), Some("denied"));
+        assert_eq!(last["outcome"].as_str(), Some("allowed"));
+        assert_eq!(last["consumer"].as_str(), Some("bob"));
+        assert_eq!(last["contributor"].as_str(), Some("alice"));
+        // The allowed decision records which rule matched (index 0).
+        assert_eq!(last["matched_rules"].as_array().unwrap().len(), 1);
+        // Every decision of one request shares that request's trace id.
+        assert_eq!(
+            first["trace_id"].as_str(),
+            decisions[1]["trace_id"].as_str()
+        );
+        assert_ne!(first["trace_id"].as_str(), last["trace_id"].as_str());
+        // Filters: a consumer name that never queried matches nothing.
+        let resp = svc.handle(&Request::post_json(
+            "/api/audit",
+            &json!({"key": (alice.clone()), "consumer": "carol"}),
+        ));
+        assert_eq!(resp.json_body().unwrap()["matched"].as_u64(), Some(0));
+        // Consumers cannot read the ledger.
+        let resp = svc.handle(&Request::post_json("/api/audit", &json!({"key": bob})));
+        assert_eq!(resp.status, Status::Forbidden);
+    }
+
+    #[test]
+    fn traces_endpoint_serves_request_spans() {
+        let (svc, _) = service();
+        svc.handle(&Request::get("/health"));
+        let resp = svc.handle(&Request::get("/traces"));
+        assert_eq!(resp.status, Status::Ok);
+        let body = resp.json_body().unwrap();
+        let traces = body["traces"].as_array().unwrap();
+        assert!(traces
+            .iter()
+            .any(|t| t["name"].as_str() == Some("GET /health")));
     }
 
     #[test]

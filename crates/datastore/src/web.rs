@@ -126,6 +126,7 @@ fn handle_login(inner: &Inner, req: &Request) -> Response {
             <ul>
               <li><a href="/ui/rules?session={t}">Privacy rules</a></li>
               <li><a href="/ui/data?session={t}">My data</a></li>
+              <li><a href="/ui/audit?session={t}">Audit trail</a></li>
             </ul>
             <p data-session-token="{t}"></p>"#,
             u = escape(username),
@@ -381,6 +382,53 @@ fn handle_rules_post(inner: &Inner, req: &Request) -> Response {
     )
 }
 
+/// `GET /ui/audit` — the contributor's view of the enforcement audit
+/// ledger: who asked for their data, what the policy engine decided,
+/// which rules matched, and the trace id to follow the request with.
+fn handle_audit_page(inner: &Inner, req: &Request) -> Response {
+    let username = match require_session(inner, req) {
+        Ok(u) => u,
+        Err(resp) => return resp,
+    };
+    let mine: Vec<_> = inner
+        .ledger
+        .recent(usize::MAX)
+        .into_iter()
+        .filter(|r| r.contributor == username)
+        .collect();
+    let skip = mine.len().saturating_sub(50);
+    let rows: String = mine[skip..]
+        .iter()
+        .rev() // newest first for the reader
+        .map(|r| {
+            let rules = r
+                .matched_rules
+                .iter()
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+                 <td><code>{:016x}</code></td></tr>",
+                r.seq,
+                r.unix_ms,
+                escape(&r.consumer),
+                r.outcome.as_str(),
+                escape(&rules),
+                r.trace_id,
+            )
+        })
+        .collect();
+    let body = format!(
+        "<p>{} decision(s) recorded for you; newest first (last 50 shown).</p>\
+         <table id=\"audit\">\
+         <tr><th>#</th><th>Time (unix ms)</th><th>Consumer</th>\
+         <th>Decision</th><th>Matched rules</th><th>Trace</th></tr>{rows}</table>",
+        mine.len()
+    );
+    page(&format!("Audit trail of {username}"), &body)
+}
+
 fn handle_data_page(inner: &Inner, req: &Request) -> Response {
     let username = match require_session(inner, req) {
         Ok(u) => u,
@@ -433,6 +481,12 @@ pub(crate) fn mount(router: &mut Router, inner: Arc<Inner>) {
         let inner = inner.clone();
         router.get("/ui/data", move |req: &Request, _: &Params| {
             handle_data_page(&inner, req)
+        });
+    }
+    {
+        let inner = inner.clone();
+        router.get("/ui/audit", move |req: &Request, _: &Params| {
+            handle_audit_page(&inner, req)
         });
     }
 }
@@ -601,6 +655,38 @@ mod tests {
         let html = String::from_utf8(resp.body).unwrap();
         assert!(html.contains("id=\"stats\""));
         assert!(html.contains("Segments"));
+    }
+
+    #[test]
+    fn audit_page_lists_enforcement_decisions() {
+        let (svc, token) = logged_in_service();
+        // Session required.
+        assert_eq!(
+            svc.handle(&Request::get("/ui/audit")).status,
+            Status::Unauthorized
+        );
+        // Empty ledger renders an empty table.
+        let resp = svc.handle(&Request::get("/ui/audit").with_query("session", token.clone()));
+        assert_eq!(resp.status, Status::Ok);
+        assert!(String::from_utf8(resp.body)
+            .unwrap()
+            .contains("id=\"audit\""));
+        // A consumer query leaves a visible decision row.
+        svc.audit_ledger().append(sensorsafe_obsv::DecisionRecord {
+            seq: 0,
+            unix_ms: 42,
+            trace_id: 0xabcd,
+            contributor: "alice".into(),
+            consumer: "bob".into(),
+            matched_rules: vec![1],
+            outcome: sensorsafe_obsv::audit::Outcome::Denied,
+            suppressed_channels: 0,
+        });
+        let resp = svc.handle(&Request::get("/ui/audit").with_query("session", token));
+        let html = String::from_utf8(resp.body).unwrap();
+        assert!(html.contains("bob"), "{html}");
+        assert!(html.contains("denied"));
+        assert!(html.contains("000000000000abcd"));
     }
 
     #[test]

@@ -7,6 +7,11 @@
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Read, Write};
 
+/// The cross-process trace propagation header (stored lower-cased like
+/// every other header). Value format: `<trace_id>-<parent_span_id>`, both
+/// 16-digit hex — see [`sensorsafe_obsv::TraceContext`].
+pub const TRACE_HEADER: &str = "x-sensorsafe-trace";
+
 /// Request methods.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Method {
@@ -187,6 +192,22 @@ impl Request {
     pub fn json(&self) -> Result<sensorsafe_json::Value, String> {
         let text = std::str::from_utf8(&self.body).map_err(|_| "body is not UTF-8".to_string())?;
         sensorsafe_json::parse(text).map_err(|e| e.to_string())
+    }
+
+    /// The trace context propagated by the caller, if the request carries
+    /// a well-formed [`TRACE_HEADER`]. Malformed values are ignored —
+    /// propagation is best-effort and must never fail a request.
+    pub fn trace_context(&self) -> Option<sensorsafe_obsv::TraceContext> {
+        self.header(TRACE_HEADER)
+            .and_then(sensorsafe_obsv::TraceContext::parse)
+    }
+
+    /// Stamps the request with an explicit trace context (tests and
+    /// clients that manage contexts by hand; the wire client injects the
+    /// ambient context automatically in [`write_request`]).
+    pub fn with_trace_context(mut self, ctx: sensorsafe_obsv::TraceContext) -> Request {
+        self.headers.insert(TRACE_HEADER.into(), ctx.header_value());
+        self
     }
 }
 
@@ -389,6 +410,15 @@ pub fn write_request<W: Write>(writer: &mut W, req: &Request) -> std::io::Result
             continue; // computed below
         }
         write!(writer, "{k}: {v}\r\n")?;
+    }
+    // Trace propagation: outbound requests inherit the thread's ambient
+    // trace context (the active server span, or a client's context scope)
+    // unless the caller already stamped one. Serialized here — not cloned
+    // into `req.headers` — so the hot path stays allocation-free.
+    if !req.headers.contains_key(TRACE_HEADER) {
+        if let Some(ctx) = sensorsafe_obsv::trace::current_context() {
+            write!(writer, "{TRACE_HEADER}: {}\r\n", ctx.header_value())?;
+        }
     }
     write!(writer, "content-length: {}\r\n\r\n", req.body.len())?;
     writer.write_all(&req.body)?;

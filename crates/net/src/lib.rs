@@ -24,11 +24,13 @@
 pub mod http;
 mod router;
 mod server;
+pub mod traces;
 mod transport;
 
-pub use http::{Method, Request, Response, Status};
+pub use http::{Method, Request, Response, Status, TRACE_HEADER};
 pub use router::{Params, Router};
 pub use server::Server;
+pub use traces::traces_response;
 pub use transport::{HttpClient, LocalTransport, TcpTransport, Transport, TransportError};
 
 use std::sync::Arc;

@@ -15,8 +15,17 @@
 //!   back via [`trace::TraceRecorder::recent_traces`].
 //! * [`audit`] — privacy-audit counters: every enforcement decision
 //!   (allow / abstract / deny, dependency-closure suppressions) is counted
-//!   per consumer, giving the accountable-serving record that a privacy
-//!   platform owes its contributors.
+//!   per consumer (labels bounded at [`audit::MAX_CONSUMER_LABELS`]),
+//!   giving the accountable-serving record that a privacy platform owes
+//!   its contributors.
+//! * [`ledger`] — the durable half of that record: a hash-chained,
+//!   append-only ledger of enforcement decisions whose `verify_frames`
+//!   detects any in-place tampering or truncation. File persistence lives
+//!   in the `store` crate (`FileLedger`).
+//! * [`trace::TraceContext`] — cross-process propagation: the net client
+//!   stamps outbound requests with `X-SensorSafe-Trace`, servers adopt it,
+//!   and `GET /traces` on each server lets one request be followed across
+//!   the fleet.
 //!
 //! Two registry scopes exist: each server owns a per-instance [`Registry`]
 //! (so two servers in one process scrape independently), while low-level
@@ -30,13 +39,15 @@
 
 pub mod audit;
 pub mod expose;
+pub mod ledger;
 pub mod metrics;
 pub mod trace;
 
+pub use ledger::{AuditLedger, ChainHead, DecisionRecord, LedgerError, MemoryLedger};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, Registry, DEFAULT_LATENCY_BUCKETS,
 };
-pub use trace::{Phase, SpanGuard, Trace, TraceRecorder};
+pub use trace::{Phase, SpanGuard, Trace, TraceContext, TraceRecorder};
 
 use std::sync::OnceLock;
 

@@ -1,0 +1,96 @@
+//! Lint: every metric family registered anywhere in the workspace's
+//! library code must be documented in README.md's metrics table.
+//!
+//! The scan is deliberately dumb — a grep for `"sensorsafe_..."` string
+//! literals under `crates/*/src` — so it never goes stale when a new
+//! crate registers a family. Test-only families use the reserved
+//! `sensorsafe_test_` prefix and are exempt; benches and integration
+//! tests live outside `src/` and are not scanned.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    // crates/obsv -> crates -> repo root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/obsv")
+        .to_path_buf()
+}
+
+fn rust_sources_under(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            rust_sources_under(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// All `"sensorsafe_..."` string literals in one source file.
+fn metric_literals(source: &str, out: &mut BTreeSet<String>) {
+    let mut rest = source;
+    while let Some(start) = rest.find("\"sensorsafe_") {
+        let body = &rest[start + 1..];
+        let end = body
+            .find(|c: char| !(c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'))
+            .unwrap_or(body.len());
+        // Only whole quoted literals count — `end` must land on the
+        // closing quote, not an interpolation or path segment.
+        if body[end..].starts_with('"') && end > "sensorsafe_".len() {
+            out.insert(body[..end].to_string());
+        }
+        rest = &rest[start + 1 + end..];
+    }
+}
+
+#[test]
+fn every_registered_metric_is_documented_in_readme() {
+    let root = repo_root();
+    let readme = fs::read_to_string(root.join("README.md")).expect("README.md at workspace root");
+
+    let crates_dir = root.join("crates");
+    let mut sources = Vec::new();
+    for entry in fs::read_dir(&crates_dir)
+        .expect("crates/ directory")
+        .flatten()
+    {
+        rust_sources_under(&entry.path().join("src"), &mut sources);
+    }
+    assert!(
+        sources.len() > 10,
+        "metric scan found only {} source files under {} — lint is miswired",
+        sources.len(),
+        crates_dir.display()
+    );
+
+    let mut families = BTreeSet::new();
+    for path in &sources {
+        let source = fs::read_to_string(path).expect("readable source file");
+        metric_literals(&source, &mut families);
+    }
+    // The scan must at least see the families this crate itself registers.
+    assert!(
+        families.contains("sensorsafe_slow_requests_total"),
+        "scan missed a family registered in sensorsafe-obsv itself: {families:?}"
+    );
+
+    let undocumented: Vec<&String> = families
+        .iter()
+        .filter(|name| !name.starts_with("sensorsafe_test_"))
+        .filter(|name| !readme.contains(&format!("`{name}`")))
+        .collect();
+    assert!(
+        undocumented.is_empty(),
+        "metric families registered in code but missing from README.md's \
+         metrics table: {undocumented:?}"
+    );
+}

@@ -79,11 +79,13 @@ impl CompiledRules {
         let mut allowed: BTreeSet<ChannelId> = BTreeSet::new();
         let mut force_denied: BTreeSet<ChannelId> = BTreeSet::new();
         let mut ladders = Ladders::raw();
+        let mut matched: Vec<u32> = Vec::new();
 
-        for compiled in &self.rules {
+        for (index, compiled) in self.rules.iter().enumerate() {
             if !rule_matches(&compiled.rule, consumer, window) {
                 continue;
             }
+            matched.push(index as u32);
             match &compiled.rule.action {
                 Action::Allow => {
                     insert_covered(&mut allowed, channels, &compiled.sensors);
@@ -95,7 +97,7 @@ impl CompiledRules {
             }
         }
 
-        resolve_decision(allowed, force_denied, ladders, channels, graph)
+        resolve_decision(allowed, force_denied, ladders, channels, graph, matched)
     }
 }
 

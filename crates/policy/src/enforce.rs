@@ -149,7 +149,7 @@ pub fn enforce(
 ) -> Option<SharedSegment> {
     let suppressed = decision.suppressed.len() as u64;
     if decision.shares_nothing() {
-        audit::record_enforcement(audit::Outcome::Denied, suppressed);
+        audit::record_decision(audit::Outcome::Denied, suppressed, &decision.matched);
         return None;
     }
     let raw: Vec<ChannelId> = decision.raw_channels().cloned().collect();
@@ -244,7 +244,7 @@ pub fn enforce(
         time_level: decision.time,
     };
     if shared.is_empty() {
-        audit::record_enforcement(audit::Outcome::Denied, suppressed);
+        audit::record_decision(audit::Outcome::Denied, suppressed, &decision.matched);
         return None;
     }
     // "Abstracted" means the consumer saw less than the raw window: a
@@ -252,13 +252,14 @@ pub fn enforce(
     // time coarser than milliseconds.
     let abstracted =
         suppressed > 0 || !shared.labels.is_empty() || decision.time != TimeAbs::Milliseconds;
-    audit::record_enforcement(
+    audit::record_decision(
         if abstracted {
             audit::Outcome::Abstracted
         } else {
             audit::Outcome::Allowed
         },
         suppressed,
+        &decision.matched,
     );
     Some(shared)
 }

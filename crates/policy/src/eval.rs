@@ -182,6 +182,10 @@ pub struct Decision {
     /// Allowed channels whose **raw** form the dependency closure
     /// suppressed; consumers get context labels instead.
     pub suppressed: BTreeSet<ChannelId>,
+    /// Indices (into the evaluated rule slice) of the rules that matched
+    /// this window, in evaluation order — the provenance the audit ledger
+    /// records so a contributor can see *which* rule produced an outcome.
+    pub matched: Vec<u32>,
 }
 
 impl Decision {
@@ -263,6 +267,7 @@ pub(crate) fn resolve_decision(
     ladders: Ladders,
     channels: &[ChannelId],
     graph: &DependencyGraph,
+    matched: Vec<u32>,
 ) -> Decision {
     // Deny beats allow, and anything never allowed defaults to denied.
     for c in &force_denied {
@@ -294,6 +299,7 @@ pub(crate) fn resolve_decision(
         smoking: ladders.smoking,
         conversation: ladders.conversation,
         suppressed,
+        matched,
     }
 }
 
@@ -316,6 +322,7 @@ pub fn evaluate(
     let mut allowed: BTreeSet<ChannelId> = BTreeSet::new();
     let mut force_denied: BTreeSet<ChannelId> = BTreeSet::new();
     let mut ladders = Ladders::raw();
+    let mut matched: Vec<u32> = Vec::new();
 
     let rule_channels = |cond: &Conditions| -> Vec<ChannelId> {
         if cond.sensors.is_empty() {
@@ -329,10 +336,11 @@ pub fn evaluate(
         }
     };
 
-    for rule in rules {
+    for (index, rule) in rules.iter().enumerate() {
         if !rule_matches(rule, consumer, window) {
             continue;
         }
+        matched.push(index as u32);
         match &rule.action {
             Action::Allow => {
                 for c in rule_channels(&rule.conditions) {
@@ -354,7 +362,7 @@ pub fn evaluate(
         }
     }
 
-    resolve_decision(allowed, force_denied, ladders, channels, graph)
+    resolve_decision(allowed, force_denied, ladders, channels, graph, matched)
 }
 
 #[cfg(test)]

@@ -181,10 +181,20 @@ proptest! {
     fn evaluation_order_independent(rules in arb_rules(), window in arb_window()) {
         let graph = DependencyGraph::paper();
         let consumer = ConsumerCtx::user("bob");
-        let forward = evaluate(&rules, &consumer, &window, &channels(), &graph);
+        let mut forward = evaluate(&rules, &consumer, &window, &channels(), &graph);
         let mut reversed = rules.clone();
         reversed.reverse();
-        let backward = evaluate(&reversed, &consumer, &window, &channels(), &graph);
+        let mut backward = evaluate(&reversed, &consumer, &window, &channels(), &graph);
+        // Matched-rule *provenance* is positional, so it maps through the
+        // reversal rather than staying equal: the same rules must have
+        // matched, at mirrored indices.
+        let n = rules.len() as u32;
+        let mut mirrored: Vec<u32> = backward.matched.iter().map(|i| n - 1 - i).collect();
+        mirrored.sort_unstable();
+        prop_assert_eq!(&forward.matched, &mirrored);
+        // Everything semantic is order-independent.
+        forward.matched.clear();
+        backward.matched.clear();
         prop_assert_eq!(forward, backward);
     }
 

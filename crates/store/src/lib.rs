@@ -12,6 +12,10 @@
 //!   reopened from its log replays to identical state. Concurrent
 //!   writers go through [`GroupCommitWal`], which coalesces appends into
 //!   batched `write`+`fsync` commits (DESIGN.md §8).
+//! * [`ledger`] — the file-backed, hash-chained privacy audit ledger
+//!   ([`FileLedger`]): `obsv::ledger`'s integrity model persisted with the
+//!   WAL's flush + `sync_data` discipline, so enforcement decisions are as
+//!   durable as the data they were made about.
 //! * [`SegmentStore`] — the in-memory engine: a time-ordered segment
 //!   index per series, context-annotation index, the §5.1 **merge
 //!   optimizer** ("remote data stores perform a wave segment optimization
@@ -24,12 +28,14 @@
 
 pub mod baseline;
 pub mod codec;
+pub mod ledger;
 pub mod query;
 pub mod store;
 pub mod wal;
 
 pub use baseline::TupleStore;
 pub use codec::{decode_annotation, decode_segment, encode_annotation, encode_segment, CodecError};
+pub use ledger::{verify_ledger_file, FileLedger};
 pub use query::Query;
 pub use store::{MergePolicy, SegmentStore, StoreError, StoreStats};
 pub use wal::{CommitTicket, GroupCommitConfig, GroupCommitWal, Wal, WalError, WalRecord};

@@ -188,6 +188,49 @@ fn uploads_queries_and_rule_mutations_race_safely() {
         }));
     }
 
+    // Two scraper threads hammer the observability endpoints while the
+    // writers and consumers contend: every `/metrics` scrape must be a
+    // whole, parseable exposition (never a torn interleaving of two
+    // encodes) with a stable content-type, and `/healthz` must stay Ok.
+    let scrapes_run = Arc::new(AtomicUsize::new(0));
+    for _ in 0..2usize {
+        let store_clone = store.clone();
+        let done_flag = done.clone();
+        let counter = scrapes_run.clone();
+        handles.push(std::thread::spawn(move || {
+            while !done_flag.load(Ordering::Relaxed) {
+                let resp = store_clone.handle(&Request::get("/metrics"));
+                assert_eq!(resp.status, Status::Ok);
+                assert_eq!(
+                    resp.headers["content-type"],
+                    "text/plain; version=0.0.4; charset=utf-8"
+                );
+                let body = String::from_utf8(resp.body).expect("metrics are UTF-8");
+                assert!(!body.is_empty());
+                for line in body.lines() {
+                    if line.is_empty() || line.starts_with('#') {
+                        continue;
+                    }
+                    let value = line.rsplit(' ').next().expect("sample line has a value");
+                    assert!(
+                        value.parse::<f64>().is_ok(),
+                        "torn exposition line: {line:?}"
+                    );
+                    assert!(
+                        line.starts_with("sensorsafe_"),
+                        "torn exposition line: {line:?}"
+                    );
+                }
+                let resp = store_clone.handle(&Request::get("/healthz"));
+                assert_eq!(resp.status, Status::Ok);
+                assert_eq!(resp.headers["content-type"], "application/json");
+                let health = resp.json_body().expect("healthz is whole JSON");
+                assert_eq!(health["status"].as_str(), Some("ok"));
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+
     // Writers run to completion; then consumers are released.
     let (writers, readers): (Vec<_>, Vec<_>) = {
         let mut iter = handles.into_iter();
@@ -204,6 +247,10 @@ fn uploads_queries_and_rule_mutations_race_safely() {
     assert!(
         queries_run.load(Ordering::Relaxed) > 0,
         "consumers never overlapped the writers"
+    );
+    assert!(
+        scrapes_run.load(Ordering::Relaxed) > 0,
+        "scrapers never overlapped the writers"
     );
 
     // Final epochs: 1 initial set + RULE_SETS_PER_CONTRIBUTOR bumps,

@@ -1,0 +1,91 @@
+//! Cross-service trace propagation over real TCP (ISSUE 4 acceptance):
+//! one consumer request loop carries a single trace id through the
+//! broker (access list) and the data store (query), and both servers'
+//! `GET /traces` endpoints agree on the trace id, link back to the
+//! client's span, and report their own per-phase breakdowns.
+
+use sensorsafe::net::{HttpClient, Request, Server, Status};
+use sensorsafe::obsv::{trace, TraceContext};
+use sensorsafe::sim::Scenario;
+use sensorsafe::store::Query;
+use sensorsafe::types::Timestamp;
+use sensorsafe::{json, Deployment, Value};
+use std::sync::Arc;
+
+fn traces_with_id(addr: &str, trace_id: u64) -> Vec<Value> {
+    let resp = HttpClient::new(addr)
+        .send(&Request::get("/traces").with_query("trace_id", format!("{trace_id:016x}")))
+        .unwrap();
+    assert_eq!(resp.status, Status::Ok);
+    let body = resp.json_body().unwrap();
+    body["traces"].as_array().unwrap().to_vec()
+}
+
+#[test]
+fn one_trace_id_spans_broker_and_store() {
+    let broker_addr = "127.0.0.1:7184";
+    let store_addr = "127.0.0.1:7185";
+    let mut deployment = Deployment::over_tcp(broker_addr);
+    let _broker_server =
+        Server::bind(broker_addr, 2, Arc::new(deployment.broker().clone())).expect("bind broker");
+    let store = deployment.add_store(store_addr);
+    let _store_server = Server::bind(store_addr, 2, Arc::new(store)).expect("bind store");
+
+    let alice = deployment
+        .register_contributor(store_addr, "alice")
+        .unwrap();
+    alice
+        .upload_scenario(&Scenario::alice_day(Timestamp::from_millis(0), 2, 1))
+        .unwrap();
+    alice.set_rules(&json!([{"Action": "Allow"}])).unwrap();
+    let bob = deployment.register_consumer("bob").unwrap();
+    bob.add_contributors(&["alice"]).unwrap();
+
+    // The client roots the trace explicitly; every outbound request in
+    // the download loop carries it in X-SensorSafe-Trace.
+    let ctx = TraceContext::root();
+    {
+        let _scope = trace::context_scope(ctx);
+        let results = bob.download_all(&Query::all()).unwrap();
+        assert!(results[0].1.raw_samples() > 0);
+    }
+
+    // Both servers saw the same trace id...
+    let broker_traces = traces_with_id(broker_addr, ctx.trace_id);
+    let store_traces = traces_with_id(store_addr, ctx.trace_id);
+    assert!(!broker_traces.is_empty(), "broker joined the trace");
+    assert!(!store_traces.is_empty(), "store joined the trace");
+
+    let hex_id = format!("{:016x}", ctx.trace_id);
+    let parent_hex = format!("{:016x}", ctx.parent_span_id);
+    for t in broker_traces.iter().chain(&store_traces) {
+        assert_eq!(t["trace_id"].as_str(), Some(hex_id.as_str()));
+        // Each server span links back to the client's span.
+        assert_eq!(t["parent_span_id"].as_str(), Some(parent_hex.as_str()));
+    }
+
+    // ...on their own endpoints, with per-server phase breakdowns.
+    let access = broker_traces
+        .iter()
+        .find(|t| t["name"].as_str() == Some("POST /api/consumers/access"))
+        .expect("broker served the access list inside the trace");
+    assert!(access["total_ms"].as_f64().unwrap() >= 0.0);
+    let query = store_traces
+        .iter()
+        .find(|t| t["name"].as_str() == Some("POST /api/query"))
+        .expect("store served the query inside the trace");
+    let phase_names: Vec<&str> = query["phases"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter_map(|p| p["name"].as_str())
+        .collect();
+    assert!(
+        phase_names.contains(&"auth") && phase_names.contains(&"serialize"),
+        "store query phases: {phase_names:?}"
+    );
+
+    // An unrelated filter matches nothing on either server.
+    assert!(traces_with_id(broker_addr, ctx.trace_id ^ 1).is_empty());
+    assert!(traces_with_id(store_addr, ctx.trace_id ^ 1).is_empty());
+}
