@@ -14,11 +14,17 @@
 //!   stores), `/api/register`, `/api/stores/register`,
 //!   `/api/consumers/*` (escrow + lists), `/api/search`.
 //! * [`web`] — the broker's web UI: contributor search form and result
-//!   lists.
+//!   lists, plus the `/ui/fleet` health table.
+//! * [`fleet`] — the fleet health plane: a background scraper over every
+//!   paired store's `/healthz` + `/metrics`, ring-buffer retention, a
+//!   per-store health state machine, and SLO burn-rate alerts, surfaced
+//!   at `GET /fleet` and re-exported as broker metrics.
 
+pub mod fleet;
 pub mod registry;
 pub mod service;
 pub mod web;
 
+pub use fleet::{FleetConfig, FleetScraper, StoreHealth};
 pub use registry::{BrokerRegistry, ConsumerRecord, StoreAccess, StoreRecord};
 pub use service::{BrokerConfig, BrokerService, TransportFactory};

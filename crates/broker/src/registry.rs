@@ -79,6 +79,19 @@ impl BrokerRegistry {
         self.stores.read().len()
     }
 
+    /// Addresses of every paired store, sorted. The fleet scraper walks
+    /// this list each sweep.
+    pub fn store_addrs(&self) -> Vec<String> {
+        self.stores.read().keys().cloned().collect()
+    }
+
+    /// The store address hosting `contributor`, if registered. Cheaper
+    /// than [`BrokerRegistry::store_of`] when the registration key is not
+    /// needed (e.g. annotating search results with store health).
+    pub fn store_addr_of(&self, contributor: &ContributorId) -> Option<StoreAddr> {
+        self.contributors.read().get(contributor).cloned()
+    }
+
     /// Records which store hosts a contributor.
     pub fn upsert_contributor(&self, contributor: ContributorId, addr: StoreAddr) {
         self.contributors.write().insert(contributor, addr);

@@ -40,6 +40,10 @@ pub struct BrokerConfig {
     /// logged as one structured JSON line (`None` disables capture). See
     /// docs/OPERATIONS.md for tuning guidance.
     pub slow_request_threshold: Option<std::time::Duration>,
+    /// Fleet health plane: scrape cadence, health-machine thresholds,
+    /// retention sizing, and SLO objectives. See docs/OPERATIONS.md
+    /// ("Fleet monitoring").
+    pub fleet: crate::fleet::FleetConfig,
 }
 
 impl Default for BrokerConfig {
@@ -51,6 +55,7 @@ impl Default for BrokerConfig {
                 Arc::new(TcpTransport::new(addr)) as Arc<dyn Transport>
             }),
             slow_request_threshold: None,
+            fleet: crate::fleet::FleetConfig::default(),
         }
     }
 }
@@ -64,6 +69,7 @@ pub(crate) struct Inner {
     pub(crate) sessions: SessionManager,
     pub(crate) metrics: Registry,
     pub(crate) traces: Arc<TraceRecorder>,
+    pub(crate) fleet: crate::fleet::FleetPlane,
     pub(crate) started: std::time::Instant,
 }
 
@@ -367,10 +373,25 @@ impl Inner {
         // copy-on-write `Arc`s, so concurrent syncs are never blocked.
         let snapshot = self.rules.read().snapshot();
         let hits = snapshot.search(&query);
+        // Annotate hits whose hosting store the fleet plane currently
+        // holds Unreachable: their data exists but cannot be fetched
+        // right now. The `contributors` list itself is untouched so
+        // existing clients keep working.
+        let unreachable: Vec<Value> = hits
+            .iter()
+            .filter(|c| {
+                self.registry
+                    .store_addr_of(c)
+                    .and_then(|addr| self.fleet.health_of(addr.as_str()))
+                    == Some(crate::fleet::StoreHealth::Unreachable)
+            })
+            .map(|c| Value::from(c.as_str()))
+            .collect();
         Response::json(&json!({
             "contributors": (Value::Array(
                 hits.iter().map(|c| Value::from(c.as_str())).collect()
             )),
+            "unreachable": (Value::Array(unreachable)),
         }))
     }
 
@@ -508,8 +529,10 @@ impl BrokerService {
     pub fn new(config: BrokerConfig) -> (BrokerService, ApiKey) {
         let traces = TraceRecorder::new(256);
         traces.set_slow_threshold(config.slow_request_threshold);
+        let fleet = crate::fleet::FleetPlane::new(config.fleet.clone());
         let inner = Arc::new(Inner {
             config,
+            fleet,
             registry: BrokerRegistry::new(),
             rules: RwLock::new(RuleIndex::new()),
             keys: KeyRing::new(),
@@ -535,6 +558,10 @@ impl BrokerService {
         {
             let inner = inner.clone();
             router.get("/metrics", move |_, _| inner.handle_metrics());
+        }
+        {
+            let inner = inner.clone();
+            router.get("/fleet", move |_, _| inner.handle_fleet());
         }
         {
             let inner = inner.clone();
@@ -592,6 +619,19 @@ impl BrokerService {
     /// Recent request traces, oldest first.
     pub fn recent_traces(&self) -> Vec<sensorsafe_obsv::Trace> {
         self.inner.traces.recent_traces()
+    }
+
+    /// Runs one synchronous fleet sweep on the calling thread. Tests and
+    /// in-process deployments use this for deterministic scheduling; TCP
+    /// deployments run [`BrokerService::spawn_fleet_scraper`] instead.
+    pub fn fleet_sweep_now(&self) {
+        self.inner.fleet_sweep();
+    }
+
+    /// Starts the background fleet scraper. The returned handle stops
+    /// and joins the thread when dropped.
+    pub fn spawn_fleet_scraper(&self) -> crate::fleet::FleetScraper {
+        crate::fleet::FleetScraper::spawn(self.inner.clone())
     }
 }
 
@@ -943,6 +983,270 @@ mod tests {
             &json!({"key": (rig.store_key.clone()), "query": {}}),
         ));
         assert_eq!(resp.status, Status::Forbidden);
+    }
+
+    /// Wraps a [`LocalTransport`] behind a kill switch so tests can make
+    /// a store unreachable without real sockets.
+    struct FlakyTransport {
+        inner: LocalTransport,
+        down: Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl Transport for FlakyTransport {
+        fn round_trip(
+            &self,
+            request: &Request,
+        ) -> Result<Response, sensorsafe_net::TransportError> {
+            if self.down.load(std::sync::atomic::Ordering::SeqCst) {
+                return Err(sensorsafe_net::TransportError::Io(std::io::Error::other(
+                    "store down",
+                )));
+            }
+            self.inner.round_trip(request)
+        }
+    }
+
+    /// A rig whose store can be taken down, with fast fleet thresholds.
+    fn flaky_rig() -> (Rig, Arc<std::sync::atomic::AtomicBool>) {
+        let (store, store_admin) = DataStoreService::new(DataStoreConfig::default());
+        let down = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let store_for_factory = store.clone();
+        let down_for_factory = down.clone();
+        let transports: TransportFactory = Arc::new(move |_addr: &str| {
+            Arc::new(FlakyTransport {
+                inner: LocalTransport::new(Arc::new(store_for_factory.clone())),
+                down: down_for_factory.clone(),
+            }) as Arc<dyn Transport>
+        });
+        let (broker, broker_admin) = BrokerService::new(BrokerConfig {
+            name: "flaky-broker".into(),
+            transports,
+            fleet: crate::fleet::FleetConfig {
+                unreachable_after: 2,
+                healthy_after: 1,
+                ..Default::default()
+            },
+            ..BrokerConfig::default()
+        });
+        let resp = broker.handle(&Request::post_json(
+            "/api/stores/register",
+            &json!({
+                "key": (broker_admin.to_hex()),
+                "addr": "store-1",
+                "register_key": (store_admin.to_hex()),
+            }),
+        ));
+        let store_key = resp.json_body().unwrap()["store_key"]
+            .as_str()
+            .unwrap()
+            .to_string();
+        (
+            Rig {
+                broker,
+                broker_admin: broker_admin.to_hex(),
+                store,
+                store_admin: store_admin.to_hex(),
+                store_key,
+            },
+            down,
+        )
+    }
+
+    #[test]
+    fn fleet_sweep_tracks_local_store() {
+        let rig = rig();
+        // Default hysteresis: two clean probes to reach Healthy.
+        rig.broker.fleet_sweep_now();
+        rig.broker.fleet_sweep_now();
+        let resp = rig.broker.handle(&Request::get("/fleet"));
+        let body = resp.json_body().unwrap();
+        assert_eq!(body["sweeps"].as_u64(), Some(2));
+        let stores = body["stores"].as_array().unwrap();
+        assert_eq!(stores.len(), 1);
+        assert_eq!(stores[0]["addr"].as_str(), Some("store-1"));
+        assert_eq!(stores[0]["health"].as_str(), Some("healthy"));
+        assert_eq!(stores[0]["healthz_status"].as_str(), Some("ok"));
+        assert_eq!(stores[0]["probes"].as_u64(), Some(2));
+        assert_eq!(stores[0]["failures"].as_u64(), Some(0));
+        assert!(body["series_retained"].as_u64().unwrap() >= 1);
+        // Fleet gauges are re-exported under the broker's own /metrics.
+        let metrics = rig.broker.handle(&Request::get("/metrics"));
+        let text = String::from_utf8(metrics.body).unwrap();
+        assert!(text.contains("sensorsafe_broker_fleet_store_health{store=\"store-1\"} 0"));
+        assert!(text.contains("sensorsafe_broker_fleet_store_up{store=\"store-1\"} 1"));
+        assert!(text.contains("sensorsafe_broker_fleet_stores{state=\"healthy\"} 1"));
+        assert!(text.contains("sensorsafe_broker_fleet_scrape_seconds_count"));
+    }
+
+    #[test]
+    fn fleet_marks_dead_store_unreachable_and_annotates_search() {
+        let (rig, down) = flaky_rig();
+        register_contributor(&rig, "alice");
+        sync_rules(&rig, "alice", 1, json!([{"Action": "Allow"}]));
+        let bob = register_consumer(&rig, "bob");
+        rig.broker.fleet_sweep_now();
+        assert_eq!(
+            rig.broker
+                .handle(&Request::get("/fleet"))
+                .json_body()
+                .unwrap()["stores"][0]["health"]
+                .as_str(),
+            Some("healthy")
+        );
+
+        // Kill the store: one failed probe degrades, the second
+        // (unreachable_after = 2) declares it Unreachable.
+        down.store(true, std::sync::atomic::Ordering::SeqCst);
+        rig.broker.fleet_sweep_now();
+        let body = rig
+            .broker
+            .handle(&Request::get("/fleet"))
+            .json_body()
+            .unwrap();
+        assert_eq!(body["stores"][0]["health"].as_str(), Some("degraded"));
+        rig.broker.fleet_sweep_now();
+        let body = rig
+            .broker
+            .handle(&Request::get("/fleet"))
+            .json_body()
+            .unwrap();
+        assert_eq!(body["stores"][0]["health"].as_str(), Some("unreachable"));
+        assert!(body["stores"][0]["last_error"].as_str().is_some());
+
+        // Search still returns the hit, but annotates it unreachable.
+        let resp = rig.broker.handle(&Request::post_json(
+            "/api/search",
+            &json!({"key": (bob.clone()), "query": {"channels": ["ecg"]}}),
+        ));
+        let hits = resp.json_body().unwrap();
+        assert_eq!(hits["contributors"].as_array().unwrap().len(), 1);
+        assert_eq!(
+            hits["unreachable"].as_array().unwrap()[0].as_str(),
+            Some("alice")
+        );
+
+        // Store comes back: healthy_after = 1, one clean probe recovers.
+        down.store(false, std::sync::atomic::Ordering::SeqCst);
+        rig.broker.fleet_sweep_now();
+        let body = rig
+            .broker
+            .handle(&Request::get("/fleet"))
+            .json_body()
+            .unwrap();
+        assert_eq!(body["stores"][0]["health"].as_str(), Some("healthy"));
+        let resp = rig.broker.handle(&Request::post_json(
+            "/api/search",
+            &json!({"key": bob, "query": {"channels": ["ecg"]}}),
+        ));
+        assert!(resp.json_body().unwrap()["unreachable"]
+            .as_array()
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn fleet_slo_burn_alerts_on_latency_breach() {
+        let (store, store_admin) = DataStoreService::new(DataStoreConfig::default());
+        let store_for_factory = store.clone();
+        let transports: TransportFactory = Arc::new(move |_addr: &str| {
+            Arc::new(LocalTransport::new(Arc::new(store_for_factory.clone()))) as Arc<dyn Transport>
+        });
+        // A latency threshold no real request can meet: every request in
+        // the window is a "bad event", so the burn rate saturates.
+        let (broker, broker_admin) = BrokerService::new(BrokerConfig {
+            name: "slo-broker".into(),
+            transports,
+            fleet: crate::fleet::FleetConfig {
+                healthy_after: 1,
+                latency_threshold_secs: 0.0,
+                ..Default::default()
+            },
+            ..BrokerConfig::default()
+        });
+        broker.handle(&Request::post_json(
+            "/api/stores/register",
+            &json!({
+                "key": (broker_admin.to_hex()),
+                "addr": "store-1",
+                "register_key": (store_admin.to_hex()),
+            }),
+        ));
+        // Drive some real store requests so the scraped histogram moves
+        // between sweeps (the burn engine works on windowed deltas).
+        broker.fleet_sweep_now();
+        for _ in 0..5 {
+            store.handle(&Request::get("/healthz"));
+        }
+        broker.fleet_sweep_now();
+        let body = broker.handle(&Request::get("/fleet")).json_body().unwrap();
+        let alerts = body["alerts"].as_array().unwrap();
+        assert!(
+            alerts.iter().any(|a| {
+                a["objective"].as_str() == Some("request_latency")
+                    && a["store"].as_str() == Some("store-1")
+            }),
+            "{body}"
+        );
+        let slo = body["stores"][0]["slo"].as_array().unwrap();
+        let latency = slo
+            .iter()
+            .find(|e| e["objective"].as_str() == Some("request_latency"))
+            .expect("latency objective evaluated");
+        assert_eq!(latency["alerting"].as_bool(), Some(true));
+        assert!(latency["burn_rate"].as_f64().unwrap() >= 1.0);
+        // The burn gauge surfaces on /metrics too.
+        let text = String::from_utf8(broker.handle(&Request::get("/metrics")).body).unwrap();
+        assert!(text.contains("sensorsafe_broker_fleet_slo_burn_rate"));
+    }
+
+    #[test]
+    fn fleet_reports_degraded_stores_distinctly() {
+        // A store whose healthz says "degraded" is reachable but never
+        // Healthy.
+        let (store, _store_admin) = DataStoreService::new(DataStoreConfig::default());
+        struct DegradedHealthz {
+            inner: LocalTransport,
+        }
+        impl Transport for DegradedHealthz {
+            fn round_trip(
+                &self,
+                request: &Request,
+            ) -> Result<Response, sensorsafe_net::TransportError> {
+                if request.path == "/healthz" {
+                    return Ok(Response::json(&json!({"status": "degraded"})));
+                }
+                self.inner.round_trip(request)
+            }
+        }
+        let store_for_factory = store.clone();
+        let transports: TransportFactory = Arc::new(move |_addr: &str| {
+            Arc::new(DegradedHealthz {
+                inner: LocalTransport::new(Arc::new(store_for_factory.clone())),
+            }) as Arc<dyn Transport>
+        });
+        let (broker, broker_admin) = BrokerService::new(BrokerConfig {
+            name: "degraded-broker".into(),
+            transports,
+            ..BrokerConfig::default()
+        });
+        broker.handle(&Request::post_json(
+            "/api/stores/register",
+            &json!({
+                "key": (broker_admin.to_hex()),
+                "addr": "store-1",
+                "register_key": "unused",
+            }),
+        ));
+        for _ in 0..3 {
+            broker.fleet_sweep_now();
+        }
+        let body = broker.handle(&Request::get("/fleet")).json_body().unwrap();
+        assert_eq!(body["stores"][0]["health"].as_str(), Some("degraded"));
+        assert_eq!(
+            body["stores"][0]["healthz_status"].as_str(),
+            Some("degraded")
+        );
+        assert_eq!(body["stores"][0]["failures"].as_u64(), Some(0));
     }
 
     #[test]

@@ -67,7 +67,8 @@ fn handle_login(inner: &Inner, req: &Request) -> Response {
     page(
         "Logged in",
         &format!(
-            r#"<ul><li><a href="/ui/search?session={t}">Search contributors</a></li></ul>
+            r#"<ul><li><a href="/ui/search?session={t}">Search contributors</a></li>
+            <li><a href="/ui/fleet?session={t}">Fleet health</a></li></ul>
             <p data-session-token="{t}"></p>"#,
             t = token
         ),
@@ -195,6 +196,98 @@ fn handle_search_post(inner: &Inner, req: &Request) -> Response {
     )
 }
 
+/// Renders one store's SLO cell: `objective burn×N` per line, alerting
+/// objectives flagged.
+fn slo_cell(slo: &Value) -> String {
+    let Some(entries) = slo.as_array() else {
+        return String::new();
+    };
+    entries
+        .iter()
+        .map(|e| {
+            let name = e["objective"].as_str().unwrap_or("?");
+            let burn = e["burn_rate"].as_f64().unwrap_or(0.0);
+            let flag = if e["alerting"].as_bool() == Some(true) {
+                " <strong>ALERT</strong>"
+            } else {
+                ""
+            };
+            format!("{} burn {:.2}{}<br>", escape(name), burn, flag)
+        })
+        .collect()
+}
+
+/// `GET /ui/fleet`: the fleet health plane as an HTML table — the same
+/// snapshot `GET /fleet` serves as JSON.
+fn handle_fleet_page(inner: &Inner, req: &Request) -> Response {
+    if let Err(resp) = require_session(inner, req) {
+        return resp;
+    }
+    let Ok(fleet) = inner.handle_fleet().json_body() else {
+        return Response::error(Status::InternalError, "fleet snapshot unavailable");
+    };
+    let rows: String = fleet["stores"]
+        .as_array()
+        .map(|stores| {
+            stores
+                .iter()
+                .map(|s| {
+                    let health = s["health"].as_str().unwrap_or("unknown");
+                    let p99 = s["request_p99_secs"]
+                        .as_f64()
+                        .map(|p| format!("{:.3}s", p))
+                        .unwrap_or_else(|| "—".to_string());
+                    let staleness = s["staleness_secs"]
+                        .as_f64()
+                        .map(|v| format!("{v:.0}s"))
+                        .unwrap_or_else(|| "never".to_string());
+                    format!(
+                        "<tr class=\"fleet-{health}\"><td>{addr}</td><td>{health}</td>\
+                         <td>{healthz}</td><td>{p99}</td><td>{failures}/{probes}</td>\
+                         <td>{staleness}</td><td>{slo}</td></tr>",
+                        addr = escape(s["addr"].as_str().unwrap_or("?")),
+                        healthz = escape(s["healthz_status"].as_str().unwrap_or("—")),
+                        failures = s["failures"].as_u64().unwrap_or(0),
+                        probes = s["probes"].as_u64().unwrap_or(0),
+                        slo = slo_cell(&s["slo"]),
+                    )
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let alerts: String = fleet["alerts"]
+        .as_array()
+        .map(|alerts| {
+            alerts
+                .iter()
+                .map(|a| {
+                    format!(
+                        "<li><strong>{}</strong>: {} burning at {:.2}</li>",
+                        escape(a["store"].as_str().unwrap_or("?")),
+                        escape(a["objective"].as_str().unwrap_or("?")),
+                        a["burn_rate"].as_f64().unwrap_or(0.0),
+                    )
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let alert_block = if alerts.is_empty() {
+        "<p id=\"no-alerts\">No SLO burn alerts.</p>".to_string()
+    } else {
+        format!("<h2>Burn alerts</h2><ul id=\"alerts\">{alerts}</ul>")
+    };
+    page(
+        "Fleet Health",
+        &format!(
+            "<p>{sweeps} sweep(s), {series} series retained.</p>{alert_block}\
+             <table id=\"fleet\"><tr><th>Store</th><th>Health</th><th>Healthz</th>\
+             <th>p99</th><th>Failures</th><th>Staleness</th><th>SLO</th></tr>{rows}</table>",
+            sweeps = fleet["sweeps"].as_u64().unwrap_or(0),
+            series = fleet["series_retained"].as_u64().unwrap_or(0),
+        ),
+    )
+}
+
 /// Mounts the broker web UI.
 pub(crate) fn mount(router: &mut Router, inner: Arc<Inner>) {
     router.get("/ui/login", move |_: &Request, _: &Params| {
@@ -216,6 +309,12 @@ pub(crate) fn mount(router: &mut Router, inner: Arc<Inner>) {
         let inner = inner.clone();
         router.post("/ui/search", move |req: &Request, _: &Params| {
             handle_search_post(&inner, req)
+        });
+    }
+    {
+        let inner = inner.clone();
+        router.get("/ui/fleet", move |req: &Request, _: &Params| {
+            handle_fleet_page(&inner, req)
         });
     }
     // Quiet the unused-field lint for Value: web handlers only need a
@@ -316,6 +415,31 @@ mod tests {
     fn search_requires_session() {
         let (broker, _, _) = logged_in_broker();
         let resp = broker.handle(&Request::get("/ui/search"));
+        assert_eq!(resp.status, Status::Unauthorized);
+    }
+
+    #[test]
+    fn fleet_page_renders_health_table() {
+        let (broker, admin, token) = logged_in_broker();
+        // Pair a store that will never answer probes (default TCP
+        // transport to a bogus name): after one sweep it shows up in the
+        // table with a failure recorded.
+        broker.handle(&Request::post_json(
+            "/api/stores/register",
+            &json!({"key": admin, "addr": "store-x", "register_key": "k"}),
+        ));
+        broker.fleet_sweep_now();
+        let resp = broker.handle(&Request::get("/ui/fleet").with_query("session", token));
+        assert_eq!(resp.status, Status::Ok);
+        let html = String::from_utf8(resp.body).unwrap();
+        assert!(html.contains("<table id=\"fleet\""), "{html}");
+        assert!(html.contains("store-x"));
+        assert!(
+            html.contains("degraded") || html.contains("unreachable"),
+            "{html}"
+        );
+        // Unauthenticated access is refused like the rest of the UI.
+        let resp = broker.handle(&Request::get("/ui/fleet"));
         assert_eq!(resp.status, Status::Unauthorized);
     }
 }

@@ -1,6 +1,6 @@
 //! High-level deployment wiring: broker + data stores + actors.
 
-use sensorsafe_broker::{BrokerConfig, BrokerService, TransportFactory};
+use sensorsafe_broker::{BrokerConfig, BrokerService, FleetConfig, FleetScraper, TransportFactory};
 use sensorsafe_client::{ConsumerApp, ContributorDevice};
 use sensorsafe_datastore::{BrokerLink, DataStoreConfig, DataStoreService};
 use sensorsafe_json::{json, Value};
@@ -39,6 +39,9 @@ pub struct Deployment {
     store_keys: BTreeMap<String, (String, String)>,
     transports: TransportFactory,
     broker_transport: Arc<dyn Transport>,
+    /// Background fleet scraper, once started; dropping the deployment
+    /// stops and joins it.
+    fleet_scraper: Option<FleetScraper>,
 }
 
 impl Deployment {
@@ -46,6 +49,12 @@ impl Deployment {
     /// (identical request/response bytes, no sockets). Store "addresses"
     /// are their names.
     pub fn in_process() -> Deployment {
+        Deployment::in_process_with_fleet(FleetConfig::default())
+    }
+
+    /// [`Deployment::in_process`] with explicit fleet health-plane
+    /// settings (scrape thresholds, SLO objectives).
+    pub fn in_process_with_fleet(fleet: FleetConfig) -> Deployment {
         let stores: Stores = Arc::new(RwLock::new(BTreeMap::new()));
         let stores_for_factory = stores.clone();
         let transports: TransportFactory = Arc::new(move |addr: &str| {
@@ -59,6 +68,7 @@ impl Deployment {
         let (broker, broker_admin) = BrokerService::new(BrokerConfig {
             name: "broker".into(),
             transports: transports.clone(),
+            fleet,
             ..BrokerConfig::default()
         });
         let broker_transport: Arc<dyn Transport> =
@@ -70,6 +80,7 @@ impl Deployment {
             store_keys: BTreeMap::new(),
             transports,
             broker_transport,
+            fleet_scraper: None,
         }
     }
 
@@ -77,11 +88,19 @@ impl Deployment {
     /// and stores must be added with their bound addresses. (Used by the
     /// `serve` example; tests prefer [`Deployment::in_process`].)
     pub fn over_tcp(broker_addr: &str) -> Deployment {
+        Deployment::over_tcp_with_fleet(broker_addr, FleetConfig::default())
+    }
+
+    /// [`Deployment::over_tcp`] with explicit fleet health-plane
+    /// settings. The e2e suite uses fast thresholds here so Unreachable
+    /// transitions happen in test time.
+    pub fn over_tcp_with_fleet(broker_addr: &str, fleet: FleetConfig) -> Deployment {
         let transports: TransportFactory =
             Arc::new(|addr: &str| Arc::new(TcpTransport::new(addr)) as Arc<dyn Transport>);
         let (broker, broker_admin) = BrokerService::new(BrokerConfig {
             name: "broker".into(),
             transports: transports.clone(),
+            fleet,
             ..BrokerConfig::default()
         });
         let broker_transport: Arc<dyn Transport> = Arc::new(TcpTransport::new(broker_addr));
@@ -92,7 +111,23 @@ impl Deployment {
             store_keys: BTreeMap::new(),
             transports,
             broker_transport,
+            fleet_scraper: None,
         }
+    }
+
+    /// Starts the broker's background fleet scraper. Idempotent; the
+    /// deployment holds the handle, and dropping the deployment (or
+    /// calling [`Deployment::stop_fleet_scraper`]) stops and joins the
+    /// thread.
+    pub fn start_fleet_scraper(&mut self) {
+        if self.fleet_scraper.is_none() {
+            self.fleet_scraper = Some(self.broker.spawn_fleet_scraper());
+        }
+    }
+
+    /// Stops the background fleet scraper, if running.
+    pub fn stop_fleet_scraper(&mut self) {
+        self.fleet_scraper = None;
     }
 
     /// The broker service (serve it over TCP, inspect it in tests).

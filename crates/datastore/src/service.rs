@@ -90,6 +90,10 @@ pub(crate) struct Inner {
     pub(crate) registry: Registry,
     pub(crate) traces: Arc<TraceRecorder>,
     pub(crate) ledger: Arc<dyn AuditLedger>,
+    /// True when the configured file ledger failed verification and
+    /// decisions are going to an in-memory fallback; `/healthz` reports
+    /// the component as degraded so the condition is visible fleet-wide.
+    pub(crate) ledger_fallback: bool,
     pub(crate) started: std::time::Instant,
 }
 
@@ -528,12 +532,38 @@ impl Inner {
             .unwrap_or(0)
     }
 
+    /// Liveness plus component health. Always HTTP 200 — liveness probes
+    /// must keep passing while the process can answer at all — but the
+    /// body's `status` drops to `degraded` when a component is impaired
+    /// (a sticky WAL commit failure, or the audit ledger running on its
+    /// in-memory fallback), which the broker's fleet health plane reads.
     fn handle_healthz(&self) -> Response {
+        let wal_errors = self.state.wal_sticky_errors();
+        let wal_status = match wal_errors.first() {
+            None => "ok".to_string(),
+            Some((contributor, err)) => {
+                format!(
+                    "error ({} accounts): {}: {err}",
+                    wal_errors.len(),
+                    contributor
+                )
+            }
+        };
+        let ledger_status = if self.ledger_fallback {
+            "fallback_memory"
+        } else {
+            "ok"
+        };
+        let degraded = wal_status != "ok" || ledger_status != "ok";
         Response::json(&json!({
-            "status": "ok",
+            "status": (if degraded { "degraded" } else { "ok" }),
             "version": (env!("CARGO_PKG_VERSION")),
             "uptime_secs": (self.started.elapsed().as_secs()),
             "rule_sync_epoch": (self.latest_rule_epoch()),
+            "components": {
+                "wal": (wal_status),
+                "audit_ledger": (ledger_status),
+            },
         }))
     }
 
@@ -611,6 +641,7 @@ impl DataStoreService {
         // never silently adopted: the file is left untouched for offline
         // forensics (docs/OPERATIONS.md) and decisions go to a fresh
         // in-memory ledger so enforcement keeps being recorded.
+        let mut ledger_fallback = false;
         let ledger: Arc<dyn AuditLedger> = match &config.data_dir {
             None => Arc::new(MemoryLedger::new()),
             Some(dir) => match sensorsafe_store::FileLedger::open(dir.join("audit.ledger")) {
@@ -620,6 +651,7 @@ impl DataStoreService {
                         "{{\"event\":\"audit_ledger_rejected\",\"server\":\"{}\",\"error\":\"{e}\"}}",
                         config.name
                     );
+                    ledger_fallback = true;
                     Arc::new(MemoryLedger::new())
                 }
             },
@@ -637,6 +669,7 @@ impl DataStoreService {
             registry: Registry::new(),
             traces,
             ledger,
+            ledger_fallback,
             started: std::time::Instant::now(),
         });
         let admin_key = inner.keys.register(Principal {

@@ -29,7 +29,9 @@
 //! lock above has been released, so disk latency never extends an
 //! account-lock hold.
 
-use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use parking_lot::{
+    ArcRwLockReadGuard, ArcRwLockWriteGuard, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
 use sensorsafe_policy::{CompiledRules, PrivacyRule};
 use sensorsafe_store::{GroupCommitConfig, MergePolicy, SegmentStore, StoreError};
 use sensorsafe_types::{ConsumerId, ContributorId, GeoPoint, GroupId, Region, StudyId};
@@ -233,13 +235,10 @@ mod lock_order {
 /// `Arc` to the account's lock, so it stays valid even if the directory
 /// changes concurrently.
 pub struct ContributorReadGuard<'a> {
-    // SAFETY invariant: `guard` borrows the `RwLock` inside `_account`.
-    // Declared first so it drops before `_account` (fields drop in
-    // declaration order); `_account` pins the lock's heap allocation for
-    // the guard's whole life, making the lifetime transmute in
-    // `read_contributor` sound.
-    guard: RwLockReadGuard<'a, ContributorAccount>,
-    _account: Arc<RwLock<ContributorAccount>>,
+    // The owned guard keeps the account's lock allocation alive itself
+    // (it holds an `Arc` of the lock), so the directory may rehash or the
+    // entry be replaced while this guard is out.
+    guard: ArcRwLockReadGuard<ContributorAccount>,
     _global: Option<RwLockReadGuard<'a, ()>>,
 }
 
@@ -260,9 +259,8 @@ impl Drop for ContributorReadGuard<'_> {
 ///
 /// Returned by [`DataStoreState::write_contributor`].
 pub struct ContributorWriteGuard<'a> {
-    // SAFETY invariant: same as `ContributorReadGuard`.
-    guard: RwLockWriteGuard<'a, ContributorAccount>,
-    _account: Arc<RwLock<ContributorAccount>>,
+    // Owned guard, as in `ContributorReadGuard`.
+    guard: ArcRwLockWriteGuard<ContributorAccount>,
     _global: Option<RwLockWriteGuard<'a, ()>>,
 }
 
@@ -410,22 +408,9 @@ impl DataStoreState {
         let _global = self.global.as_ref().map(|g| g.read());
         let account = self.lookup(id)?;
         lock_order::acquire_account();
-        let guard = account.read();
+        let guard = RwLock::read_arc(&account);
         lock_wait_histogram("read").observe(waited.elapsed());
-        // SAFETY: the guard borrows the RwLock on the heap behind
-        // `account`; moving the Arc does not move the lock, and the
-        // guard field drops before `_account` keeps-alive drops.
-        let guard = unsafe {
-            std::mem::transmute::<
-                RwLockReadGuard<'_, ContributorAccount>,
-                RwLockReadGuard<'_, ContributorAccount>,
-            >(guard)
-        };
-        Some(ContributorReadGuard {
-            guard,
-            _account: account,
-            _global,
-        })
+        Some(ContributorReadGuard { guard, _global })
     }
 
     /// Acquires exclusive access to a contributor's account. Only writers
@@ -435,20 +420,9 @@ impl DataStoreState {
         let _global = self.global.as_ref().map(|g| g.write());
         let account = self.lookup(id)?;
         lock_order::acquire_account();
-        let guard = account.write();
+        let guard = RwLock::write_arc(&account);
         lock_wait_histogram("write").observe(waited.elapsed());
-        // SAFETY: as in `read_contributor`.
-        let guard = unsafe {
-            std::mem::transmute::<
-                RwLockWriteGuard<'_, ContributorAccount>,
-                RwLockWriteGuard<'_, ContributorAccount>,
-            >(guard)
-        };
-        Some(ContributorWriteGuard {
-            guard,
-            _account: account,
-            _global,
-        })
+        Some(ContributorWriteGuard { guard, _global })
     }
 
     /// Runs `f` with shared access to a contributor (convenience wrapper
@@ -492,6 +466,22 @@ impl DataStoreState {
     pub fn contributor_count(&self) -> usize {
         lock_order::assert_no_account_lock();
         self.stripes.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Sticky WAL I/O failures across every hosted contributor, as
+    /// `(contributor, error)` pairs. Non-empty means this store has acked
+    /// its last durable write: `/healthz` reports it as `degraded`.
+    pub fn wal_sticky_errors(&self) -> Vec<(ContributorId, String)> {
+        let mut errors = Vec::new();
+        for id in self.contributor_ids() {
+            if let Some(err) = self
+                .with_contributor(&id, |a| a.store.wal_sticky_error())
+                .flatten()
+            {
+                errors.push((id, err));
+            }
+        }
+        errors
     }
 }
 

@@ -13,6 +13,9 @@
 //!   pool and clean shutdown.
 //! * [`HttpClient`] — a blocking client for consumer apps, contributor
 //!   phones, and server-to-server calls (rule sync, key escrow).
+//! * [`promtext`] — a tolerant Prometheus text-format parser, the inverse
+//!   of `sensorsafe-obsv`'s exposition, used by the broker's fleet
+//!   scraper to turn a store's `/metrics` body back into samples.
 //! * [`Transport`] — an abstraction over "talk to a service": either real
 //!   TCP ([`TcpTransport`]) or an in-process call ([`LocalTransport`]),
 //!   so benches can measure architecture costs without kernel noise and
@@ -22,12 +25,14 @@
 //! paper HTTPS wraps this byte stream transparently.
 
 pub mod http;
+pub mod promtext;
 mod router;
 mod server;
 pub mod traces;
 mod transport;
 
 pub use http::{Method, Request, Response, Status, TRACE_HEADER};
+pub use promtext::{ParsedScrape, TextSample};
 pub use router::{Params, Router};
 pub use server::Server;
 pub use traces::traces_response;

@@ -1,0 +1,301 @@
+//! Prometheus text-exposition (version 0.0.4) *parsing*.
+//!
+//! The broker's fleet scraper pulls `GET /metrics` from every registered
+//! data store and needs the samples back as numbers. This is the inverse
+//! of `sensorsafe-obsv`'s `expose` module and accepts the general text
+//! format: `# HELP` / `# TYPE` comment lines, optional label sets with
+//! escaped values (`\\`, `\"`, `\n`), histogram `_bucket`/`_sum`/`_count`
+//! series, `+Inf` bounds, and optional trailing timestamps.
+//!
+//! Parsing is tolerant by design: a scrape is operational telemetry, so a
+//! malformed line is skipped (and counted) rather than failing the whole
+//! sweep — one bad series must not blind the fleet plane to a store's
+//! remaining signal.
+
+/// One parsed sample: metric name, sorted-as-emitted labels, value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TextSample {
+    /// Metric (or series) name, e.g. `sensorsafe_net_requests_total`.
+    pub name: String,
+    /// Label pairs in the order they appeared on the line.
+    pub labels: Vec<(String, String)>,
+    /// The sample value; `+Inf`/`-Inf`/`NaN` parse to the IEEE values.
+    pub value: f64,
+}
+
+impl TextSample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Canonical `name{k="v",…}` series identifier (labels as-emitted;
+    /// the obsv exposition already sorts them by key).
+    pub fn series_id(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let mut out = self.name.clone();
+        out.push('{');
+        for (i, (k, v)) in self.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(v);
+            out.push('"');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// The outcome of parsing one exposition document.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ParsedScrape {
+    /// Every well-formed sample line, in document order.
+    pub samples: Vec<TextSample>,
+    /// Lines that were neither comments, blanks, nor parseable samples.
+    pub malformed_lines: usize,
+}
+
+impl ParsedScrape {
+    /// Sum of every sample of `name` whose labels all match `filters`
+    /// (other labels are ignored). `None` when no sample matched.
+    pub fn sum_where(&self, name: &str, filters: &[(&str, &str)]) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut hit = false;
+        for s in &self.samples {
+            if s.name == name && filters.iter().all(|(k, v)| s.label(k) == Some(v)) {
+                sum += s.value;
+                hit = true;
+            }
+        }
+        if hit {
+            Some(sum)
+        } else {
+            None
+        }
+    }
+
+    /// The first sample with this exact name, if any.
+    pub fn first(&self, name: &str) -> Option<&TextSample> {
+        self.samples.iter().find(|s| s.name == name)
+    }
+}
+
+/// Parses a Prometheus text-format (0.0.4) document.
+pub fn parse(text: &str) -> ParsedScrape {
+    let mut out = ParsedScrape::default();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match parse_sample_line(line) {
+            Some(sample) => out.samples.push(sample),
+            None => out.malformed_lines += 1,
+        }
+    }
+    out
+}
+
+/// Parses a bucket bound the way the exposition writes it (`+Inf` → ∞).
+pub fn parse_bound(raw: &str) -> Option<f64> {
+    raw.parse::<f64>().ok()
+}
+
+fn parse_sample_line(line: &str) -> Option<TextSample> {
+    let name_end = line.find(|c: char| c == '{' || c.is_whitespace())?;
+    let name = &line[..name_end];
+    if name.is_empty() || !name.chars().next().is_some_and(valid_name_start) {
+        return None;
+    }
+    if !name.chars().all(valid_name_char) {
+        return None;
+    }
+    let rest = &line[name_end..];
+    let (labels, rest) = if let Some(body) = rest.strip_prefix('{') {
+        parse_labels(body)?
+    } else {
+        (Vec::new(), rest)
+    };
+    let mut fields = rest.split_whitespace();
+    let value: f64 = fields.next()?.parse().ok()?;
+    // An optional trailing millisecond timestamp is legal; anything after
+    // that is not.
+    if let Some(ts) = fields.next() {
+        ts.parse::<i64>().ok()?;
+        if fields.next().is_some() {
+            return None;
+        }
+    }
+    Some(TextSample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+fn valid_name_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == ':'
+}
+
+fn valid_name_char(c: char) -> bool {
+    valid_name_start(c) || c.is_ascii_digit()
+}
+
+/// Parses `k="v",…}` (the body after `{`), returning labels and the rest
+/// of the line after the closing brace.
+fn parse_labels(mut body: &str) -> Option<(Vec<(String, String)>, &str)> {
+    let mut labels = Vec::new();
+    loop {
+        body = body.trim_start();
+        if let Some(rest) = body.strip_prefix('}') {
+            return Some((labels, rest));
+        }
+        let eq = body.find('=')?;
+        let key = body[..eq].trim();
+        if key.is_empty() || !key.chars().all(valid_name_char) {
+            return None;
+        }
+        body = body[eq + 1..].strip_prefix('"')?;
+        let (value, rest) = parse_quoted_value(body)?;
+        labels.push((key.to_string(), value));
+        body = rest.trim_start();
+        if let Some(rest) = body.strip_prefix(',') {
+            body = rest;
+        } else if !body.starts_with('}') {
+            return None;
+        }
+    }
+}
+
+/// Unescapes a quoted label value; returns the value and the text after
+/// the closing quote.
+fn parse_quoted_value(body: &str) -> Option<(String, &str)> {
+    let mut value = String::new();
+    let mut chars = body.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Some((value, &body[i + 1..])),
+            '\\' => match chars.next()?.1 {
+                '\\' => value.push('\\'),
+                '"' => value.push('"'),
+                'n' => value.push('\n'),
+                other => {
+                    // Unknown escape: keep both characters, like Prometheus.
+                    value.push('\\');
+                    value.push(other);
+                }
+            },
+            other => value.push(other),
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_counters_gauges_and_comments() {
+        let doc = "\
+# HELP requests_total Requests served.
+# TYPE requests_total counter
+requests_total{code=\"200\"} 3
+requests_total{code=\"404\"} 1
+up 1
+";
+        let parsed = parse(doc);
+        assert_eq!(parsed.malformed_lines, 0);
+        assert_eq!(parsed.samples.len(), 3);
+        assert_eq!(parsed.samples[0].label("code"), Some("200"));
+        assert_eq!(parsed.samples[0].value, 3.0);
+        assert_eq!(
+            parsed.samples[0].series_id(),
+            "requests_total{code=\"200\"}"
+        );
+        assert_eq!(parsed.first("up").unwrap().value, 1.0);
+        assert_eq!(parsed.sum_where("requests_total", &[]), Some(4.0));
+        assert_eq!(
+            parsed.sum_where("requests_total", &[("code", "200")]),
+            Some(3.0)
+        );
+        assert_eq!(parsed.sum_where("missing", &[]), None);
+    }
+
+    #[test]
+    fn unescapes_label_values() {
+        let parsed = parse("odd_total{who=\"a\\\"b\\\\c\\nd\"} 1\n");
+        assert_eq!(parsed.samples[0].label("who"), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn parses_inf_bounds_and_timestamps() {
+        let doc = "\
+lat_bucket{le=\"0.01\"} 2
+lat_bucket{le=\"+Inf\"} 4
+lat_sum 0.5 1712345678901
+lat_count 4
+";
+        let parsed = parse(doc);
+        assert_eq!(parsed.malformed_lines, 0);
+        assert_eq!(
+            parse_bound(parsed.samples[1].label("le").unwrap()),
+            Some(f64::INFINITY)
+        );
+        assert_eq!(parsed.first("lat_sum").unwrap().value, 0.5);
+    }
+
+    #[test]
+    fn malformed_lines_are_counted_not_fatal() {
+        let doc = "\
+good_total 1
+}{ not a metric
+bad_value_total abc
+unterminated{k=\"v 1
+trailing_garbage 1 123 junk
+also_good_total 2
+";
+        let parsed = parse(doc);
+        assert_eq!(parsed.samples.len(), 2);
+        assert_eq!(parsed.malformed_lines, 4);
+    }
+
+    #[test]
+    fn round_trips_obsv_exposition() {
+        let registry = sensorsafe_obsv::Registry::new();
+        registry
+            .counter(
+                "rt_requests_total",
+                "Requests.",
+                &[("code", "200"), ("q", "a\"b\\c\nd")],
+            )
+            .add(7);
+        registry.gauge("rt_depth", "Depth.", &[]).set(42);
+        let hist = registry.histogram("rt_lat_seconds", "Latency.", &[], Some(&[0.01, 0.1]));
+        hist.observe_secs(0.005);
+        hist.observe_secs(5.0);
+
+        let parsed = parse(&registry.encode());
+        assert_eq!(
+            parsed.malformed_lines, 0,
+            "exposition must round-trip cleanly"
+        );
+        let counter = parsed.first("rt_requests_total").unwrap();
+        assert_eq!(counter.value, 7.0);
+        assert_eq!(counter.label("q"), Some("a\"b\\c\nd"));
+        assert_eq!(parsed.first("rt_depth").unwrap().value, 42.0);
+        assert_eq!(
+            parsed.sum_where("rt_lat_seconds_bucket", &[("le", "+Inf")]),
+            Some(2.0)
+        );
+        assert_eq!(parsed.first("rt_lat_seconds_count").unwrap().value, 2.0);
+    }
+}

@@ -22,6 +22,13 @@
 //!   append-only ledger of enforcement decisions whose `verify_frames`
 //!   detects any in-place tampering or truncation. File persistence lives
 //!   in the `store` crate (`FileLedger`).
+//! * [`timeseries`] — fixed-capacity retention for scraped fleet metrics:
+//!   per-series ring buffers with counter-reset-aware delta/rate and
+//!   windowed-quantile helpers, allocation-free on the push path.
+//! * [`slo`] — service-level objectives and burn-rate math: pure
+//!   evaluation of windowed measurements against configurable
+//!   availability / latency / ratio objectives, feeding the broker's
+//!   fleet health plane.
 //! * [`trace::TraceContext`] — cross-process propagation: the net client
 //!   stamps outbound requests with `X-SensorSafe-Trace`, servers adopt it,
 //!   and `GET /traces` on each server lets one request be followed across
@@ -41,12 +48,16 @@ pub mod audit;
 pub mod expose;
 pub mod ledger;
 pub mod metrics;
+pub mod slo;
+pub mod timeseries;
 pub mod trace;
 
 pub use ledger::{AuditLedger, ChainHead, DecisionRecord, LedgerError, MemoryLedger};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, Registry, DEFAULT_LATENCY_BUCKETS,
 };
+pub use slo::{Evaluation, Measurement, Objective, ObjectiveKind};
+pub use timeseries::{Sample, SeriesRing, SeriesTable};
 pub use trace::{Phase, SpanGuard, Trace, TraceContext, TraceRecorder};
 
 use std::sync::OnceLock;

@@ -1,0 +1,201 @@
+//! Service-level objectives and burn-rate evaluation.
+//!
+//! An SLO says "over this window, at least `target` of events must be
+//! good" (or, for ratio objectives, "this ratio must stay under
+//! `target`"). The *burn rate* is how fast the error budget is being
+//! consumed: a burn rate of 1.0 spends exactly the budget the objective
+//! allows; 10.0 spends it ten times too fast. Alerting on burn rate
+//! rather than raw error counts makes one threshold meaningful across
+//! objectives with very different targets — the standard SRE framing.
+//!
+//! This module is deliberately pure: an [`Objective`] turns a windowed
+//! [`Measurement`] (produced elsewhere, e.g. from [`crate::timeseries`]
+//! deltas) into an [`Evaluation`]. No clocks, no storage — fully
+//! deterministic under test.
+
+/// How an objective interprets its measurement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObjectiveKind {
+    /// `good / total` must stay **at or above** `target` (e.g.
+    /// availability 0.999, or "99% of requests under 250 ms").
+    GoodFraction,
+    /// `good / total` must stay **at or below** `target` (e.g. the WAL
+    /// fsync-per-upload ratio staying under the coalescing budget).
+    MaxRatio,
+}
+
+/// One configurable service-level objective.
+#[derive(Clone, Debug)]
+pub struct Objective {
+    /// Short identifier surfaced in `/fleet` and metric labels.
+    pub name: String,
+    /// How the measurement is interpreted.
+    pub kind: ObjectiveKind,
+    /// The objective itself: minimum good fraction, or maximum ratio.
+    pub target: f64,
+    /// Rolling window the measurement must cover, in seconds.
+    pub window_secs: f64,
+    /// Burn rate at or above which the objective alerts.
+    pub alert_burn: f64,
+}
+
+impl Objective {
+    /// A good-events-over-total objective (availability-style).
+    pub fn good_fraction(name: &str, target: f64, window_secs: f64, alert_burn: f64) -> Objective {
+        assert!(
+            (0.0..1.0).contains(&target),
+            "good-fraction target must be in [0, 1): {target}"
+        );
+        Objective {
+            name: name.to_string(),
+            kind: ObjectiveKind::GoodFraction,
+            target,
+            window_secs,
+            alert_burn,
+        }
+    }
+
+    /// A bounded-ratio objective (numerator over denominator ≤ target).
+    pub fn max_ratio(name: &str, target: f64, window_secs: f64, alert_burn: f64) -> Objective {
+        assert!(target > 0.0, "max-ratio target must be positive: {target}");
+        Objective {
+            name: name.to_string(),
+            kind: ObjectiveKind::MaxRatio,
+            target,
+            window_secs,
+            alert_burn,
+        }
+    }
+
+    /// Evaluates the objective against a windowed measurement.
+    ///
+    /// An empty window (`total <= 0`) evaluates to burn rate 0 and never
+    /// alerts — no evidence is not bad evidence.
+    pub fn evaluate(&self, m: &Measurement) -> Evaluation {
+        let burn_rate = if m.total <= 0.0 {
+            0.0
+        } else {
+            match self.kind {
+                ObjectiveKind::GoodFraction => {
+                    let bad = (1.0 - m.good / m.total).max(0.0);
+                    let budget = 1.0 - self.target;
+                    bad / budget
+                }
+                ObjectiveKind::MaxRatio => (m.good / m.total) / self.target,
+            }
+        };
+        Evaluation {
+            objective: self.name.clone(),
+            burn_rate,
+            alerting: m.total > 0.0 && burn_rate >= self.alert_burn,
+            good: m.good,
+            total: m.total,
+        }
+    }
+}
+
+/// A windowed measurement feeding an objective.
+///
+/// For [`ObjectiveKind::GoodFraction`], `good` counts good events and
+/// `total` all events. For [`ObjectiveKind::MaxRatio`], `good` is the
+/// numerator and `total` the denominator of the bounded ratio.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Measurement {
+    /// Good events, or the ratio numerator.
+    pub good: f64,
+    /// Total events, or the ratio denominator.
+    pub total: f64,
+}
+
+/// The outcome of evaluating one objective over one window.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Evaluation {
+    /// Name of the evaluated objective.
+    pub objective: String,
+    /// Error-budget consumption rate (1.0 = exactly on budget).
+    pub burn_rate: f64,
+    /// True when the burn rate reached the objective's alert threshold.
+    pub alerting: bool,
+    /// The measurement's good-event count (or ratio numerator).
+    pub good: f64,
+    /// The measurement's total-event count (or ratio denominator).
+    pub total: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn availability_burn_rate() {
+        let slo = Objective::good_fraction("availability", 0.99, 300.0, 2.0);
+        // 1% bad on a 1% budget: burn exactly 1.0, below the 2.0 alert.
+        let eval = slo.evaluate(&Measurement {
+            good: 99.0,
+            total: 100.0,
+        });
+        assert!((eval.burn_rate - 1.0).abs() < 1e-9);
+        assert!(!eval.alerting);
+        // 10% bad: burn 10, alerting.
+        let eval = slo.evaluate(&Measurement {
+            good: 90.0,
+            total: 100.0,
+        });
+        assert!((eval.burn_rate - 10.0).abs() < 1e-9);
+        assert!(eval.alerting);
+    }
+
+    #[test]
+    fn perfect_service_has_zero_burn() {
+        let slo = Objective::good_fraction("availability", 0.999, 300.0, 1.0);
+        let eval = slo.evaluate(&Measurement {
+            good: 50.0,
+            total: 50.0,
+        });
+        assert_eq!(eval.burn_rate, 0.0);
+        assert!(!eval.alerting);
+    }
+
+    #[test]
+    fn empty_window_never_alerts() {
+        let slo = Objective::good_fraction("availability", 0.99, 300.0, 0.0);
+        let eval = slo.evaluate(&Measurement {
+            good: 0.0,
+            total: 0.0,
+        });
+        assert_eq!(eval.burn_rate, 0.0);
+        assert!(
+            !eval.alerting,
+            "alert_burn 0 must still not fire on an empty window"
+        );
+    }
+
+    #[test]
+    fn max_ratio_burn() {
+        let slo = Objective::max_ratio("wal_fsync_ratio", 0.5, 300.0, 1.5);
+        // ratio 0.25 on a 0.5 budget: burn 0.5
+        let eval = slo.evaluate(&Measurement {
+            good: 25.0,
+            total: 100.0,
+        });
+        assert!((eval.burn_rate - 0.5).abs() < 1e-9);
+        assert!(!eval.alerting);
+        // ratio 1.0: burn 2.0, alerting
+        let eval = slo.evaluate(&Measurement {
+            good: 100.0,
+            total: 100.0,
+        });
+        assert!((eval.burn_rate - 2.0).abs() < 1e-9);
+        assert!(eval.alerting);
+    }
+
+    #[test]
+    fn good_above_total_clamps_to_zero_bad() {
+        let slo = Objective::good_fraction("availability", 0.9, 60.0, 1.0);
+        let eval = slo.evaluate(&Measurement {
+            good: 101.0,
+            total: 100.0,
+        });
+        assert_eq!(eval.burn_rate, 0.0);
+    }
+}

@@ -379,6 +379,66 @@ mod tests {
     use super::*;
 
     #[test]
+    fn parse_round_trips_header_value() {
+        let ctx = TraceContext {
+            trace_id: 0xdead_beef_0042_0001,
+            parent_span_id: 0x0123_4567_89ab_cdef,
+        };
+        assert_eq!(TraceContext::parse(&ctx.header_value()), Some(ctx));
+        // Surrounding whitespace is tolerated (header values get trimmed
+        // unevenly by proxies).
+        assert_eq!(
+            TraceContext::parse(&format!("  {}\t", ctx.header_value())),
+            Some(ctx)
+        );
+        // Short hex is still valid hex — ids are not zero-padded on parse.
+        assert_eq!(
+            TraceContext::parse("a-b"),
+            Some(TraceContext {
+                trace_id: 0xa,
+                parent_span_id: 0xb,
+            })
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_headers() {
+        for bad in [
+            "",                                  // empty
+            "deadbeef",                          // wrong field count: no separator
+            "-",                                 // separator only
+            "-deadbeef",                         // empty trace id
+            "deadbeef-",                         // empty parent id
+            "a-b-c",                             // wrong field count: 3 fields
+            "xyz-0123456789abcdef",              // malformed hex (trace)
+            "0123456789abcdef-ghij",             // malformed hex (parent)
+            "0x12-0x34",                         // hex prefix is not hex
+            " 12 34-56",                         // embedded whitespace
+            "ffffffffffffffff1-0",               // oversized: 17 digits overflows u64
+            "0-fffffffffffffffff",               // oversized parent
+            "白鵬翔-0123456789abcdef",           // non-ASCII
+            "0123456789abcdef—0123456789abcdef", // em-dash, not a hyphen
+        ] {
+            assert_eq!(TraceContext::parse(bad), None, "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn span_with_unparseable_context_roots_fresh_trace() {
+        // The server path: Request::trace_context() yields None for a bad
+        // header, and begin_ctx(name, None) must root a brand-new trace
+        // rather than erroring or inheriting stale state.
+        let recorder = TraceRecorder::new(8);
+        {
+            let _span = recorder.begin_ctx("GET /healthz".to_string(), None);
+        }
+        let traces = recorder.recent_traces();
+        assert_eq!(traces.len(), 1);
+        assert_ne!(traces[0].trace_id, 0);
+        assert_eq!(traces[0].parent_span_id, 0, "root span has no parent");
+    }
+
+    #[test]
     fn span_records_phases_in_order() {
         let recorder = TraceRecorder::new(8);
         {

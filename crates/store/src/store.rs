@@ -233,6 +233,14 @@ impl SegmentStore {
         self.wal.as_ref().map(GroupCommitWal::ticket)
     }
 
+    /// The WAL's sticky I/O failure, if any batch commit has ever failed
+    /// (`None` for in-memory stores and healthy logs). Surfaced by the
+    /// data store's `/healthz` so fleet monitoring sees a store that can
+    /// no longer ack writes durably.
+    pub fn wal_sticky_error(&self) -> Option<String> {
+        self.wal.as_ref().and_then(|wal| wal.sticky_error())
+    }
+
     /// Rewrites the WAL from the current (merged) in-memory state. The
     /// log otherwise records one entry per *uploaded packet* forever;
     /// after compaction it holds one entry per live segment, so replay

@@ -445,6 +445,15 @@ impl GroupCommitWal {
         self.state.lock().expect("WAL state poisoned").durable_seq
     }
 
+    /// The sticky I/O failure, if a batch commit has ever failed.
+    ///
+    /// Once set, every subsequent stage/commit on this log reports the
+    /// same error; health endpoints surface it so operators learn about
+    /// a store that can no longer ack durably.
+    pub fn sticky_error(&self) -> Option<String> {
+        self.state.lock().expect("WAL state poisoned").error.clone()
+    }
+
     /// Waits until `seq` is durable. The first thread to find no commit
     /// in progress becomes the batch leader: it gathers (bounded by
     /// `max_batch` / `max_delay` / flush requests — and only when it has

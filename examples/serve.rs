@@ -27,7 +27,8 @@ fn main() {
     let store1_host = "127.0.0.1:7071";
     let store2_host = "127.0.0.1:7072";
 
-    let mut deployment = Deployment::over_tcp(broker_host);
+    let mut deployment =
+        Deployment::over_tcp_with_fleet(broker_host, sensorsafe::broker::FleetConfig::default());
     let broker_server =
         Server::bind(broker_host, 4, Arc::new(deployment.broker().clone())).expect("bind broker");
     let store1 = deployment.add_store(store1_host);
@@ -86,6 +87,32 @@ fn main() {
     );
     assert!(total > 0);
 
+    // Fleet health plane: one synchronous sweep proves both stores are
+    // probed, then the background scraper keeps the picture fresh while
+    // the example serves.
+    deployment.broker().fleet_sweep_now();
+    deployment.broker().fleet_sweep_now();
+    deployment.start_fleet_scraper();
+    let fleet = HttpClient::new(broker_host)
+        .send(&Request::get("/fleet"))
+        .expect("fleet")
+        .json_body()
+        .expect("fleet json");
+    let states: Vec<String> = fleet["stores"]
+        .as_array()
+        .expect("stores")
+        .iter()
+        .map(|s| {
+            format!(
+                "{}={}",
+                s["addr"].as_str().unwrap_or("?"),
+                s["health"].as_str().unwrap_or("?")
+            )
+        })
+        .collect();
+    println!("fleet health: {}", states.join(" "));
+    assert!(states.iter().all(|s| s.ends_with("=healthy")));
+
     // Health checks straight over HTTP.
     for (label, addr) in [
         ("broker", broker_host),
@@ -103,6 +130,7 @@ fn main() {
     }
     println!("Serving. Web UIs: http://{store1_host}/ui/login (alice/alice-password),");
     println!("                  http://{broker_host}/ui/login (bob/bob-password). Ctrl-C to stop.");
+    println!("Fleet dashboard:  http://{broker_host}/ui/fleet (after bob login) or GET /fleet.");
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
     }

@@ -89,3 +89,88 @@ fn one_trace_id_spans_broker_and_store() {
     assert!(traces_with_id(broker_addr, ctx.trace_id ^ 1).is_empty());
     assert!(traces_with_id(store_addr, ctx.trace_id ^ 1).is_empty());
 }
+
+/// Propagation is best-effort: a malformed `X-SensorSafe-Trace` header
+/// must never turn into a 4xx/5xx. Both servers ignore the value and
+/// root a fresh trace instead.
+#[test]
+fn malformed_trace_headers_never_fail_requests() {
+    let broker_addr = "127.0.0.1:7186";
+    let store_addr = "127.0.0.1:7187";
+    let mut deployment = Deployment::over_tcp(broker_addr);
+    let _broker_server =
+        Server::bind(broker_addr, 2, Arc::new(deployment.broker().clone())).expect("bind broker");
+    let store = deployment.add_store(store_addr);
+    let _store_server = Server::bind(store_addr, 2, Arc::new(store)).expect("bind store");
+    let alice = deployment
+        .register_contributor(store_addr, "alice")
+        .unwrap();
+
+    let garbage = [
+        "-",
+        "deadbeef",
+        "-deadbeef",
+        "deadbeef-",
+        "not-hex",
+        "a-b-c",
+        "0x10-0x20",
+        "ffffffffffffffff0-1",
+        "t\u{e4}g-1",
+        " ",
+    ];
+    for (addr, label) in [(store_addr, "store"), (broker_addr, "broker")] {
+        for bad in garbage {
+            // write_request only auto-stamps when the header is absent,
+            // so the garbage value goes over the wire verbatim.
+            let mut req = Request::get("/healthz");
+            req.headers
+                .insert("x-sensorsafe-trace".into(), bad.to_string());
+            let resp = HttpClient::new(addr).send(&req).unwrap();
+            assert_eq!(
+                resp.status,
+                Status::Ok,
+                "{label} rejected garbage trace header {bad:?}"
+            );
+        }
+    }
+    // A request with a body and a garbage header still does real work.
+    let mut req = Request::post_json(
+        "/api/rules/set",
+        &json!({
+            "key": (alice.api_key.clone()),
+            "rules": [{"Action": "Allow"}],
+        }),
+    );
+    req.headers
+        .insert("x-sensorsafe-trace".into(), "garbage-header".into());
+    let resp = HttpClient::new(store_addr).send(&req).unwrap();
+    assert!(
+        resp.status.is_success(),
+        "rules/set with garbage trace header: {:?}",
+        resp.status
+    );
+    assert!(resp.json_body().unwrap()["epoch"].as_u64().is_some());
+
+    // The servers rooted fresh traces rather than inheriting garbage:
+    // every recorded healthz span has a zero parent span id.
+    for addr in [store_addr, broker_addr] {
+        let resp = HttpClient::new(addr)
+            .send(&Request::get("/traces"))
+            .unwrap();
+        let body = resp.json_body().unwrap();
+        let spans: Vec<&Value> = body["traces"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|t| t["name"].as_str() == Some("GET /healthz"))
+            .collect();
+        assert!(!spans.is_empty(), "{addr} recorded the healthz requests");
+        for span in spans {
+            assert_eq!(
+                span["parent_span_id"].as_str(),
+                Some("0000000000000000"),
+                "garbage context must not be inherited: {span}"
+            );
+        }
+    }
+}

@@ -4,10 +4,13 @@
 //! workspace vendors a minimal std-backed implementation of the subset of the
 //! `parking_lot` API this repository uses: `Mutex`/`RwLock` with guards that
 //! are returned directly (no `Result`), recovering from poisoning instead of
-//! propagating it.
+//! propagating it, plus the `arc_lock`-feature owned guards
+//! (`ArcRwLockReadGuard`/`ArcRwLockWriteGuard`) whose lifetime is tied to an
+//! `Arc` of the lock rather than a borrow of it.
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
 
 pub struct Mutex<T: ?Sized> {
     inner: std::sync::Mutex<T>,
@@ -100,6 +103,43 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+impl<T: 'static> RwLock<T> {
+    /// Acquires a shared lock whose guard owns a clone of `this` instead
+    /// of borrowing it, mirroring `parking_lot`'s `arc_lock` API. The
+    /// guard can therefore outlive the binding the lock was read from —
+    /// e.g. be returned from a function that looked the `Arc` up in a map.
+    pub fn read_arc(this: &Arc<Self>) -> ArcRwLockReadGuard<T> {
+        let lock = Arc::clone(this);
+        let guard = lock.inner.read().unwrap_or_else(|e| e.into_inner());
+        // SAFETY: the guard points into `lock`'s heap allocation, which the
+        // returned struct keeps alive via its `Arc`; field order drops the
+        // guard before the `Arc`, so the 'static lifetime is never relied
+        // on past the allocation's life.
+        let inner = unsafe {
+            std::mem::transmute::<
+                std::sync::RwLockReadGuard<'_, T>,
+                std::sync::RwLockReadGuard<'static, T>,
+            >(guard)
+        };
+        ArcRwLockReadGuard { inner, lock }
+    }
+
+    /// Acquires an exclusive lock whose guard owns a clone of `this`; see
+    /// [`RwLock::read_arc`].
+    pub fn write_arc(this: &Arc<Self>) -> ArcRwLockWriteGuard<T> {
+        let lock = Arc::clone(this);
+        let guard = lock.inner.write().unwrap_or_else(|e| e.into_inner());
+        // SAFETY: as in `read_arc` — the `Arc` outlives the guard.
+        let inner = unsafe {
+            std::mem::transmute::<
+                std::sync::RwLockWriteGuard<'_, T>,
+                std::sync::RwLockWriteGuard<'static, T>,
+            >(guard)
+        };
+        ArcRwLockWriteGuard { inner, lock }
+    }
+}
+
 impl<T: Default> Default for RwLock<T> {
     fn default() -> Self {
         Self::new(T::default())
@@ -140,6 +180,59 @@ impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
     }
 }
 
+/// A shared-lock guard that owns an `Arc` of its [`RwLock`] instead of
+/// borrowing it. Created by [`RwLock::read_arc`].
+///
+/// Field order is load-bearing: `inner` is declared before `lock` so the
+/// std guard (whose `'static` lifetime is a private fiction) is dropped
+/// while the `Arc` still keeps the lock's allocation alive.
+pub struct ArcRwLockReadGuard<T: 'static> {
+    inner: std::sync::RwLockReadGuard<'static, T>,
+    lock: Arc<RwLock<T>>,
+}
+
+impl<T: 'static> ArcRwLockReadGuard<T> {
+    /// The lock this guard holds, as `parking_lot` exposes it.
+    pub fn rwlock(&self) -> &Arc<RwLock<T>> {
+        &self.lock
+    }
+}
+
+impl<T: 'static> Deref for ArcRwLockReadGuard<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+/// An exclusive-lock guard that owns an `Arc` of its [`RwLock`]. Created
+/// by [`RwLock::write_arc`]; see [`ArcRwLockReadGuard`] for the drop-order
+/// invariant.
+pub struct ArcRwLockWriteGuard<T: 'static> {
+    inner: std::sync::RwLockWriteGuard<'static, T>,
+    lock: Arc<RwLock<T>>,
+}
+
+impl<T: 'static> ArcRwLockWriteGuard<T> {
+    /// The lock this guard holds, as `parking_lot` exposes it.
+    pub fn rwlock(&self) -> &Arc<RwLock<T>> {
+        &self.lock
+    }
+}
+
+impl<T: 'static> Deref for ArcRwLockWriteGuard<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: 'static> DerefMut for ArcRwLockWriteGuard<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +250,37 @@ mod tests {
         let l = RwLock::new(vec![1]);
         l.write().push(2);
         assert_eq!(l.read().len(), 2);
+    }
+
+    #[test]
+    fn arc_guards_outlive_their_binding() {
+        // The whole point of the owned guards: the Arc binding the lock
+        // was read from can drop (or the function can return) while the
+        // guard stays valid.
+        let guard = {
+            let l = Arc::new(RwLock::new(String::from("alive")));
+            RwLock::read_arc(&l)
+        };
+        assert_eq!(&*guard, "alive");
+        assert_eq!(**guard.rwlock().read(), *"alive");
+        drop(guard);
+
+        let l = Arc::new(RwLock::new(0));
+        let mut w = RwLock::write_arc(&l);
+        *w += 41;
+        *w += 1;
+        drop(w);
+        assert_eq!(*l.read(), 42);
+    }
+
+    #[test]
+    fn arc_write_guard_excludes_readers() {
+        let l = Arc::new(RwLock::new(0));
+        let w = RwLock::write_arc(&l);
+        let l2 = Arc::clone(&l);
+        let reader = std::thread::spawn(move || *l2.read());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        drop(w);
+        assert_eq!(reader.join().unwrap(), 0);
     }
 }
