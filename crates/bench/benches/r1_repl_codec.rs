@@ -1,0 +1,62 @@
+//! R1 — replication segment wire codec throughput: encode and decode
+//! cost of shipping sealed WAL batches, swept over batch size. The
+//! `repl-shipper` thread pays encode on the primary and the replica
+//! pays decode (plus CRC verification) on every applied batch, so this
+//! bounds how much replication lag a single shipper pass can drain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sensorsafe_core::store::repl::{decode_batch, encode_batch};
+use sensorsafe_core::store::{SealedBatch, WalRecord};
+use sensorsafe_core::types::{ChannelSpec, GeoPoint, SegmentMeta, Timestamp, Timing, WaveSegment};
+use std::hint::black_box;
+use std::time::Duration;
+
+const ROWS_PER_SEGMENT: usize = 50;
+
+fn batch(records: usize) -> SealedBatch {
+    let segments = (0..records)
+        .map(|i| {
+            let meta = SegmentMeta {
+                timing: Timing::Uniform {
+                    start: Timestamp::from_millis(i as i64 * 1_000),
+                    interval_secs: 0.02,
+                },
+                location: Some(GeoPoint::ucla()),
+                format: vec![ChannelSpec::f32("ecg"), ChannelSpec::f32("respiration")],
+            };
+            let data: Vec<Vec<f64>> = (0..ROWS_PER_SEGMENT)
+                .map(|r| vec![(i * ROWS_PER_SEGMENT + r) as f64, 300.0])
+                .collect();
+            WalRecord::Segment(WaveSegment::from_rows(meta, &data).unwrap())
+        })
+        .collect();
+    SealedBatch {
+        seq: 1,
+        records: segments,
+    }
+}
+
+fn bench_repl_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("r1_repl_codec");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_millis(400));
+    for records in [1usize, 16, 256] {
+        let b = batch(records);
+        let encoded = encode_batch("alice", 1, &b);
+        group.throughput(Throughput::Bytes(encoded.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", records), &b, |bench, b| {
+            bench.iter(|| black_box(encode_batch(black_box("alice"), 1, b)));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("decode", records),
+            &encoded,
+            |bench, bytes| {
+                bench.iter(|| black_box(decode_batch(black_box(bytes)).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_repl_codec);
+criterion_main!(benches);

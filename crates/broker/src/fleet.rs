@@ -300,6 +300,9 @@ impl Inner {
             self.ingest_probe(addr, now, probe);
         }
         self.evaluate_fleet(now, &addrs);
+        // Failover rides the sweep: promotions act on the verdicts the
+        // health machines just reached.
+        self.failover_sweep();
         *self.fleet.sweeps.lock() += 1;
     }
 
@@ -603,6 +606,7 @@ impl Inner {
                 "slo": (Value::Array(slo)),
             }));
         }
+        let failovers: Vec<Value> = self.failovers.lock().iter().map(|e| e.to_json()).collect();
         Response::json(&json!({
             "scrape_interval_secs": (config.scrape_interval.as_secs_f64()),
             "unreachable_after": (config.unreachable_after),
@@ -611,6 +615,7 @@ impl Inner {
             "series_retained": (self.fleet.series.lock().series_count() as u64),
             "stores": (Value::Array(store_entries)),
             "alerts": (Value::Array(alerts)),
+            "failovers": (Value::Array(failovers)),
         }))
     }
 }

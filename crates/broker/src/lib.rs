@@ -19,12 +19,20 @@
 //!   paired store's `/healthz` + `/metrics`, ring-buffer retention, a
 //!   per-store health state machine, and SLO burn-rate alerts, surfaced
 //!   at `GET /fleet` and re-exported as broker metrics.
+//! * [`failover`] — the failover controller riding each fleet sweep:
+//!   when a primary store trips Unreachable and has a paired replica,
+//!   contributors are moved over via the registry's monotonic epoch
+//!   CAS, the replica is promoted, and the deposed primary is fenced.
 
+pub mod failover;
 pub mod fleet;
 pub mod registry;
 pub mod service;
 pub mod web;
 
+pub use failover::FailoverEvent;
 pub use fleet::{FleetConfig, FleetScraper, StoreHealth};
-pub use registry::{BrokerRegistry, ConsumerRecord, StoreAccess, StoreRecord};
+pub use registry::{
+    BrokerRegistry, ConsumerRecord, PromoteOutcome, StoreAccess, StoreAssignment, StoreRecord,
+};
 pub use service::{BrokerConfig, BrokerService, TransportFactory};

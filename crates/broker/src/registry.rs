@@ -25,6 +25,37 @@ pub struct StoreRecord {
     pub register_key: String,
 }
 
+/// Which store is a contributor's current primary, and at which
+/// assignment epoch. The epoch extends the `(epoch, rules)` discipline
+/// to store addresses: it only moves forward, and it only moves through
+/// [`BrokerRegistry::promote`]'s compare-and-swap — so two failover
+/// controllers racing on the same observation cannot double-promote,
+/// and a deposed primary can be fenced by epoch comparison alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreAssignment {
+    /// The contributor's current primary store.
+    pub addr: StoreAddr,
+    /// Monotonic assignment epoch (starts at 1; bumped on promotion).
+    pub epoch: u64,
+}
+
+/// Outcome of a [`BrokerRegistry::promote`] compare-and-swap.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PromoteOutcome {
+    /// The CAS won: the assignment now points at the new address at the
+    /// returned (bumped) epoch.
+    Promoted(u64),
+    /// The assignment already points at the new address (a concurrent
+    /// promotion won the race); returns the current epoch. Idempotent
+    /// success — the caller may re-send fence/promote notifications.
+    AlreadyPromoted(u64),
+    /// The expected epoch was stale; nothing changed. Returns the
+    /// current epoch so the caller can re-observe and retry.
+    Stale(u64),
+    /// No assignment exists for the contributor.
+    Unknown,
+}
+
 /// A consumer's escrowed access to one contributor's store.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StoreAccess {
@@ -55,8 +86,12 @@ pub struct ConsumerRecord {
 pub struct BrokerRegistry {
     /// Paired stores by address.
     stores: RwLock<BTreeMap<String, StoreRecord>>,
-    /// Which store hosts each contributor.
-    contributors: RwLock<BTreeMap<ContributorId, StoreAddr>>,
+    /// Which store hosts each contributor, with its assignment epoch.
+    contributors: RwLock<BTreeMap<ContributorId, StoreAssignment>>,
+    /// Replica pairings: primary address → replica address. The failover
+    /// controller promotes a primary's replica when the primary trips
+    /// the unreachable threshold.
+    replicas: RwLock<BTreeMap<String, StoreAddr>>,
     /// Consumer accounts.
     consumers: RwLock<BTreeMap<ConsumerId, ConsumerRecord>>,
 }
@@ -89,19 +124,78 @@ impl BrokerRegistry {
     /// than [`BrokerRegistry::store_of`] when the registration key is not
     /// needed (e.g. annotating search results with store health).
     pub fn store_addr_of(&self, contributor: &ContributorId) -> Option<StoreAddr> {
+        self.contributors
+            .read()
+            .get(contributor)
+            .map(|a| a.addr.clone())
+    }
+
+    /// A contributor's full assignment (address + epoch).
+    pub fn assignment_of(&self, contributor: &ContributorId) -> Option<StoreAssignment> {
         self.contributors.read().get(contributor).cloned()
     }
 
-    /// Records which store hosts a contributor.
+    /// Records which store hosts a contributor. First registration
+    /// creates the assignment at epoch 1; after that the call is a
+    /// no-op — the address only moves through the
+    /// [`BrokerRegistry::promote`] CAS, so a deposed primary re-syncing
+    /// rules cannot silently undo a failover.
     pub fn upsert_contributor(&self, contributor: ContributorId, addr: StoreAddr) {
-        self.contributors.write().insert(contributor, addr);
+        self.contributors
+            .write()
+            .entry(contributor)
+            .or_insert(StoreAssignment { addr, epoch: 1 });
+    }
+
+    /// Compare-and-swap promotion: move `contributor`'s assignment to
+    /// `new_addr`, but only if the caller observed the current epoch.
+    /// The winning swap bumps the epoch; see [`PromoteOutcome`] for the
+    /// race outcomes.
+    pub fn promote(
+        &self,
+        contributor: &ContributorId,
+        expected_epoch: u64,
+        new_addr: StoreAddr,
+    ) -> PromoteOutcome {
+        let mut contributors = self.contributors.write();
+        let Some(assignment) = contributors.get_mut(contributor) else {
+            return PromoteOutcome::Unknown;
+        };
+        if assignment.addr == new_addr {
+            return PromoteOutcome::AlreadyPromoted(assignment.epoch);
+        }
+        if assignment.epoch != expected_epoch {
+            return PromoteOutcome::Stale(assignment.epoch);
+        }
+        assignment.epoch += 1;
+        assignment.addr = new_addr;
+        PromoteOutcome::Promoted(assignment.epoch)
+    }
+
+    /// Pairs a replica with a primary (overwrites a previous pairing).
+    pub fn set_replica(&self, primary: &str, replica: StoreAddr) {
+        self.replicas.write().insert(primary.to_string(), replica);
+    }
+
+    /// The replica paired with `primary`, if any.
+    pub fn replica_of(&self, primary: &str) -> Option<StoreAddr> {
+        self.replicas.read().get(primary).cloned()
     }
 
     /// The store hosting a contributor, with its registration key.
     /// Returns a clone so no lock outlives the call.
     pub fn store_of(&self, contributor: &ContributorId) -> Option<StoreRecord> {
-        let addr = self.contributors.read().get(contributor)?.clone();
+        let addr = self
+            .contributors
+            .read()
+            .get(contributor)
+            .map(|a| a.addr.clone())?;
         self.stores.read().get(addr.as_str()).cloned()
+    }
+
+    /// The record of a paired store by address.
+    pub fn store_by_addr(&self, addr: &str) -> Option<StoreRecord> {
+        self.stores.read().get(addr).cloned()
     }
 
     /// Number of registered contributors.
@@ -186,6 +280,94 @@ mod tests {
         reg.upsert_contributor(ContributorId::new("c"), StoreAddr::new("a:1"));
         let store = reg.store_of(&ContributorId::new("c")).unwrap();
         assert_eq!(store.register_key, "new");
+    }
+
+    #[test]
+    fn assignments_start_at_epoch_one_and_resist_overwrite() {
+        let reg = BrokerRegistry::new();
+        let alice = ContributorId::new("alice");
+        reg.upsert_contributor(alice.clone(), StoreAddr::new("a:1"));
+        assert_eq!(
+            reg.assignment_of(&alice),
+            Some(StoreAssignment {
+                addr: StoreAddr::new("a:1"),
+                epoch: 1,
+            })
+        );
+        // A later upsert (e.g. a deposed primary re-syncing rules) does
+        // not move the address or reset the epoch.
+        reg.upsert_contributor(alice.clone(), StoreAddr::new("b:1"));
+        assert_eq!(reg.store_addr_of(&alice), Some(StoreAddr::new("a:1")));
+    }
+
+    #[test]
+    fn promote_cas_rejects_stale_epoch() {
+        let reg = BrokerRegistry::new();
+        let alice = ContributorId::new("alice");
+        reg.upsert_contributor(alice.clone(), StoreAddr::new("a:1"));
+        // CAS at the observed epoch wins and bumps it.
+        assert_eq!(
+            reg.promote(&alice, 1, StoreAddr::new("b:1")),
+            PromoteOutcome::Promoted(2)
+        );
+        assert_eq!(reg.store_addr_of(&alice), Some(StoreAddr::new("b:1")));
+        // A writer still holding the pre-promotion observation loses:
+        // the stale epoch is rejected and the assignment is untouched.
+        assert_eq!(
+            reg.promote(&alice, 1, StoreAddr::new("c:1")),
+            PromoteOutcome::Stale(2)
+        );
+        assert_eq!(reg.store_addr_of(&alice), Some(StoreAddr::new("b:1")));
+        // Unknown contributors cannot be promoted into existence.
+        assert_eq!(
+            reg.promote(&ContributorId::new("ghost"), 1, StoreAddr::new("b:1")),
+            PromoteOutcome::Unknown
+        );
+    }
+
+    #[test]
+    fn concurrent_promote_is_idempotent() {
+        let reg = std::sync::Arc::new(BrokerRegistry::new());
+        let alice = ContributorId::new("alice");
+        reg.upsert_contributor(alice.clone(), StoreAddr::new("a:1"));
+        // Two controllers race the same observation (epoch 1 → b:1).
+        let outcomes: Vec<PromoteOutcome> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let reg = std::sync::Arc::clone(&reg);
+                    let alice = alice.clone();
+                    s.spawn(move || reg.promote(&alice, 1, StoreAddr::new("b:1")))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Exactly one CAS wins; the loser sees AlreadyPromoted at the
+        // same epoch. Either way the epoch bumped exactly once.
+        assert!(outcomes.contains(&PromoteOutcome::Promoted(2)));
+        assert!(
+            outcomes.iter().all(|o| matches!(
+                o,
+                PromoteOutcome::Promoted(2) | PromoteOutcome::AlreadyPromoted(2)
+            )),
+            "{outcomes:?}"
+        );
+        assert_eq!(
+            reg.assignment_of(&alice),
+            Some(StoreAssignment {
+                addr: StoreAddr::new("b:1"),
+                epoch: 2,
+            })
+        );
+    }
+
+    #[test]
+    fn replica_pairings() {
+        let reg = BrokerRegistry::new();
+        assert_eq!(reg.replica_of("a:1"), None);
+        reg.set_replica("a:1", StoreAddr::new("b:1"));
+        assert_eq!(reg.replica_of("a:1"), Some(StoreAddr::new("b:1")));
+        reg.set_replica("a:1", StoreAddr::new("c:1"));
+        assert_eq!(reg.replica_of("a:1"), Some(StoreAddr::new("c:1")));
     }
 
     #[test]

@@ -70,6 +70,10 @@ pub(crate) struct Inner {
     pub(crate) metrics: Registry,
     pub(crate) traces: Arc<TraceRecorder>,
     pub(crate) fleet: crate::fleet::FleetPlane,
+    /// Completed failover promotions, oldest first (bounded ring; see
+    /// [`crate::failover`]).
+    pub(crate) failovers:
+        parking_lot::Mutex<std::collections::VecDeque<crate::failover::FailoverEvent>>,
     pub(crate) started: std::time::Instant,
 }
 
@@ -176,6 +180,49 @@ impl Inner {
             Status::Created,
             &json!({ "store_key": (store_key.to_hex()) }),
         )
+    }
+
+    /// `POST /api/stores/replica` — pairs a replica with a primary so
+    /// the failover controller knows where to promote. Both stores must
+    /// already be paired via `/api/stores/register` (the fleet plane
+    /// probes them, and promotion needs the replica's registration key).
+    fn handle_stores_replica(&self, body: &Value) -> Response {
+        let Some(principal) = self.authenticate(body) else {
+            return unauthorized();
+        };
+        if principal.role != Role::Server {
+            return Response::error(Status::Forbidden, "pairing requires the admin key");
+        }
+        let (Some(primary), Some(replica)) = (
+            body.get("primary").and_then(Value::as_str),
+            body.get("replica").and_then(Value::as_str),
+        ) else {
+            return bad_request("missing 'primary' or 'replica'");
+        };
+        if self.registry.store_by_addr(primary).is_none()
+            || self.registry.store_by_addr(replica).is_none()
+        {
+            return bad_request("both stores must be registered before replica pairing");
+        }
+        self.registry.set_replica(primary, StoreAddr::new(replica));
+        Response::json(&json!({ "ok": true }))
+    }
+
+    /// `POST /api/contributors/resolve` — the current store assignment
+    /// for a contributor. Clients call this after a fence rejection (or
+    /// a dead primary) to learn the promoted store and retry. Keyless,
+    /// like `GET /fleet`: it exposes infrastructure addresses, not data.
+    fn handle_contributor_resolve(&self, body: &Value) -> Response {
+        let Some(name) = body.get("name").and_then(Value::as_str) else {
+            return bad_request("missing 'name'");
+        };
+        match self.registry.assignment_of(&ContributorId::new(name)) {
+            Some(assignment) => Response::json(&json!({
+                "store_addr": (assignment.addr.as_str()),
+                "epoch": (assignment.epoch),
+            })),
+            None => Response::error(Status::NotFound, "unknown contributor"),
+        }
     }
 
     fn handle_contributor_register(&self, body: &Value) -> Response {
@@ -513,9 +560,18 @@ impl Inner {
             .iter()
             .filter_map(|c| record.access.get(c))
             .map(|a| {
+                // Serve the *current* registry assignment, not the
+                // address escrowed at grant time: after a failover the
+                // consumer must be redirected to the promoted replica
+                // (which adopted the same escrowed key).
+                let addr = self
+                    .registry
+                    .store_addr_of(&a.contributor)
+                    .map(|addr| addr.as_str().to_string())
+                    .unwrap_or_else(|| a.addr.as_str().to_string());
                 json!({
                     "contributor": (a.contributor.as_str()),
-                    "store_addr": (a.addr.as_str()),
+                    "store_addr": addr,
                     "api_key": (a.api_key.clone()),
                 })
             })
@@ -540,6 +596,7 @@ impl BrokerService {
             sessions: SessionManager::new(),
             metrics: Registry::new(),
             traces,
+            failovers: parking_lot::Mutex::new(std::collections::VecDeque::new()),
             started: std::time::Instant::now(),
         });
         let admin_key = inner.keys.register(Principal {
@@ -586,7 +643,9 @@ impl BrokerService {
         }
         post_json_route!("/api/register", handle_register);
         post_json_route!("/api/stores/register", handle_store_register);
+        post_json_route!("/api/stores/replica", handle_stores_replica);
         post_json_route!("/api/contributors/register", handle_contributor_register);
+        post_json_route!("/api/contributors/resolve", handle_contributor_resolve);
         post_json_route!("/api/sync", handle_sync);
         post_json_route!("/api/search", handle_search);
         post_json_route!("/api/consumers/add", handle_consumers_add);
@@ -632,6 +691,12 @@ impl BrokerService {
     /// and joins the thread when dropped.
     pub fn spawn_fleet_scraper(&self) -> crate::fleet::FleetScraper {
         crate::fleet::FleetScraper::spawn(self.inner.clone())
+    }
+
+    /// Completed failover promotions, oldest first (tests/operators; the
+    /// same events `GET /fleet` serves under `"failovers"`).
+    pub fn failover_events(&self) -> Vec<crate::failover::FailoverEvent> {
+        self.inner.failovers.lock().iter().cloned().collect()
     }
 }
 

@@ -276,10 +276,38 @@ fn handle_fleet_page(inner: &Inner, req: &Request) -> Response {
     } else {
         format!("<h2>Burn alerts</h2><ul id=\"alerts\">{alerts}</ul>")
     };
+    let failovers: String = fleet["failovers"]
+        .as_array()
+        .map(|events| {
+            events
+                .iter()
+                .map(|f| {
+                    format!(
+                        "<li><strong>{contributor}</strong>: {from} &rarr; {to} \
+                         (epoch {epoch}{fence})</li>",
+                        contributor = escape(f["contributor"].as_str().unwrap_or("?")),
+                        from = escape(f["from"].as_str().unwrap_or("?")),
+                        to = escape(f["to"].as_str().unwrap_or("?")),
+                        epoch = f["epoch"].as_u64().unwrap_or(0),
+                        fence = if f["fenced"].as_bool() == Some(true) {
+                            ""
+                        } else {
+                            ", fence pending"
+                        },
+                    )
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let failover_block = if failovers.is_empty() {
+        "<p id=\"no-failovers\">No failovers.</p>".to_string()
+    } else {
+        format!("<h2>Failovers</h2><ul id=\"failovers\">{failovers}</ul>")
+    };
     page(
         "Fleet Health",
         &format!(
-            "<p>{sweeps} sweep(s), {series} series retained.</p>{alert_block}\
+            "<p>{sweeps} sweep(s), {series} series retained.</p>{alert_block}{failover_block}\
              <table id=\"fleet\"><tr><th>Store</th><th>Health</th><th>Healthz</th>\
              <th>p99</th><th>Failures</th><th>Staleness</th><th>SLO</th></tr>{rows}</table>",
             sweeps = fleet["sweeps"].as_u64().unwrap_or(0),

@@ -20,6 +20,20 @@ pub struct ContributorAccess {
     pub api_key: String,
 }
 
+/// Retry budget for failover-aware downloads (150 × 200 ms ≈ 30 s,
+/// comfortably longer than the broker's detect-and-promote latency at
+/// default scrape settings).
+const DOWNLOAD_RETRIES: u32 = 150;
+const DOWNLOAD_RETRY_DELAY: std::time::Duration = std::time::Duration::from_millis(200);
+
+/// Why a single download attempt failed: retryable failures (transport
+/// error, epoch fence) refresh the access list and try again; anything
+/// the store actually answered (auth failure, bad query) is final.
+enum DownloadError {
+    Retryable(String),
+    Fatal(String),
+}
+
 /// A data consumer's client: talks to the broker for discovery and to
 /// data stores directly for data ("data consumers directly communicate
 /// with remote data stores to download pertinent data", §4).
@@ -112,24 +126,70 @@ impl ConsumerApp {
 
     /// Downloads one contributor's data **directly from their store**,
     /// through that contributor's privacy rules.
+    ///
+    /// Failover-aware: when the store is unreachable or answers with an
+    /// epoch-fence rejection, the app refetches the access list from the
+    /// broker (whose registry serves the *current* assignment — the
+    /// promoted replica after a failover, holding the same escrowed key)
+    /// and retries there. Other errors are returned immediately.
     pub fn download(
         &self,
         access: &ContributorAccess,
         query: &Query,
     ) -> Result<SharedView, String> {
+        let first = match self.try_download(access, query) {
+            Ok(view) => return Ok(view),
+            Err(DownloadError::Fatal(e)) => return Err(e),
+            Err(DownloadError::Retryable(e)) => e,
+        };
+        for attempt in 0..DOWNLOAD_RETRIES {
+            if attempt > 0 {
+                std::thread::sleep(DOWNLOAD_RETRY_DELAY);
+            }
+            let refreshed = self.access_list().ok().and_then(|list| {
+                list.into_iter()
+                    .find(|a| a.contributor == access.contributor)
+            });
+            let target = refreshed.as_ref().unwrap_or(access);
+            match self.try_download(target, query) {
+                Ok(view) => return Ok(view),
+                Err(DownloadError::Fatal(e)) => return Err(e),
+                Err(DownloadError::Retryable(_)) => {}
+            }
+        }
+        Err(format!(
+            "download from {} failed after retries: {first}",
+            access.store_addr
+        ))
+    }
+
+    fn try_download(
+        &self,
+        access: &ContributorAccess,
+        query: &Query,
+    ) -> Result<SharedView, DownloadError> {
         let transport = (self.transports)(&access.store_addr);
         let body = json!({
             "key": (access.api_key.clone()),
             "contributor": (access.contributor.clone()),
             "query": (query.to_json()),
         });
-        let resp = transport
-            .round_trip(&Request::post_json("/api/query", &body))
-            .map_err(|e| e.to_string())?;
-        if !resp.status.is_success() {
-            return Err(format!("query failed: {}", resp.status.code()));
+        let resp = match transport.round_trip(&Request::post_json("/api/query", &body)) {
+            Ok(resp) => resp,
+            Err(e) => return Err(DownloadError::Retryable(e.to_string())),
+        };
+        if sensorsafe_net::failover::is_fence_rejection(&resp) {
+            return Err(DownloadError::Retryable("store fenced".to_string()));
         }
-        shared_view_from_json(&resp.json_body()?)
+        if !resp.status.is_success() {
+            return Err(DownloadError::Fatal(format!(
+                "query failed: {}",
+                resp.status.code()
+            )));
+        }
+        resp.json_body()
+            .and_then(|b| shared_view_from_json(&b))
+            .map_err(DownloadError::Fatal)
     }
 
     /// The §6 end-to-end loop: fetch the access list and download every

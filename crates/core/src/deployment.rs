@@ -2,8 +2,11 @@
 
 use sensorsafe_broker::{BrokerConfig, BrokerService, FleetConfig, FleetScraper, TransportFactory};
 use sensorsafe_client::{ConsumerApp, ContributorDevice};
-use sensorsafe_datastore::{BrokerLink, DataStoreConfig, DataStoreService};
+use sensorsafe_datastore::{
+    BrokerLink, DataStoreConfig, DataStoreService, ReplShipper, ReplicaLink,
+};
 use sensorsafe_json::{json, Value};
+use sensorsafe_net::failover::{AddrResolver, FailoverTransport, TransportMaker};
 use sensorsafe_net::{LocalTransport, Request, Service, Status, TcpTransport, Transport};
 use sensorsafe_sim::Scenario;
 use std::collections::BTreeMap;
@@ -42,6 +45,9 @@ pub struct Deployment {
     /// Background fleet scraper, once started; dropping the deployment
     /// stops and joins it.
     fleet_scraper: Option<FleetScraper>,
+    /// Background replication shippers (one per paired primary);
+    /// dropping the deployment stops and joins them.
+    repl_shippers: Vec<ReplShipper>,
 }
 
 impl Deployment {
@@ -81,6 +87,7 @@ impl Deployment {
             transports,
             broker_transport,
             fleet_scraper: None,
+            repl_shippers: Vec::new(),
         }
     }
 
@@ -112,6 +119,7 @@ impl Deployment {
             transports,
             broker_transport,
             fleet_scraper: None,
+            repl_shippers: Vec::new(),
         }
     }
 
@@ -190,6 +198,56 @@ impl Deployment {
         store
     }
 
+    /// Pairs `replica_addr` as the replication target for
+    /// `primary_addr`: attaches the replica link on the primary store
+    /// (new contributors get replication enabled, keys and rules are
+    /// mirrored), records the pairing in the broker registry so the
+    /// failover controller can promote, and starts a background
+    /// `repl-shipper` pushing sealed WAL batches every `ship_interval`.
+    ///
+    /// Pair **before** registering contributors: keys are only
+    /// recoverable for mirroring at mint time.
+    pub fn pair_replica(
+        &mut self,
+        primary_addr: &str,
+        replica_addr: &str,
+        ship_interval: std::time::Duration,
+    ) -> Result<(), DeploymentError> {
+        let (replica_admin, _) = self
+            .store_keys
+            .get(replica_addr)
+            .ok_or_else(|| err(format!("unknown replica store '{replica_addr}'")))?
+            .clone();
+        let primary = self
+            .stores
+            .read()
+            .get(primary_addr)
+            .cloned()
+            .ok_or_else(|| err(format!("unknown primary store '{primary_addr}'")))?;
+        primary.attach_replica(ReplicaLink {
+            addr: replica_addr.to_string(),
+            transport: (self.transports)(replica_addr),
+            repl_key: replica_admin,
+        });
+        let resp = self.broker.handle(&Request::post_json(
+            "/api/stores/replica",
+            &json!({
+                "key": (self.broker_admin.clone()),
+                "primary": primary_addr,
+                "replica": replica_addr,
+            }),
+        ));
+        if !resp.status.is_success() {
+            return Err(err(format!(
+                "broker replica pairing failed: {}",
+                resp.status.code()
+            )));
+        }
+        self.repl_shippers
+            .push(primary.spawn_repl_shipper(ship_interval));
+        Ok(())
+    }
+
     /// Registers a contributor on a store; automatically registers them
     /// on the broker too (§4: "When the data contributors are first
     /// registered on their data store, they are automatically registered
@@ -235,10 +293,33 @@ impl Deployment {
         if !resp.status.is_success() {
             return Err(err("broker auto-registration failed"));
         }
+        // The handle talks to the store through a failover-aware
+        // transport: after a broker-coordinated promotion it re-resolves
+        // the contributor's assignment and retries transparently.
+        let broker_transport = self.broker_transport.clone();
+        let contributor = name.to_string();
+        let resolve: AddrResolver = Arc::new(move || {
+            broker_transport
+                .round_trip(&Request::post_json(
+                    "/api/contributors/resolve",
+                    &json!({"name": (contributor.clone())}),
+                ))
+                .ok()
+                .filter(|resp| resp.status.is_success())
+                .and_then(|resp| resp.json_body().ok())
+                .and_then(|b| {
+                    b.get("store_addr")
+                        .and_then(Value::as_str)
+                        .map(str::to_string)
+                })
+        });
+        let transports = self.transports.clone();
+        let make: TransportMaker = Arc::new(move |addr: &str| (transports)(addr));
+        let store: Arc<dyn Transport> = Arc::new(FailoverTransport::new(store_addr, make, resolve));
         Ok(ContributorHandle {
             name: name.to_string(),
             api_key,
-            store: store_transport,
+            store,
         })
     }
 

@@ -20,11 +20,13 @@
 //!   data viewer.
 
 pub mod pipeline;
+pub mod repl;
 pub mod service;
 pub mod state;
 pub mod web;
 
 pub use pipeline::{shared_view, shared_view_from_json, shared_view_to_json, SharedView};
+pub use repl::{ReplShipper, ReplicaLink};
 pub use service::{annotation_to_json, BrokerLink, DataStoreConfig, DataStoreService};
 pub use state::{
     ConsumerAccount, ContributorAccount, ContributorReadGuard, ContributorWriteGuard,

@@ -1,0 +1,226 @@
+//! Primary-side replication: the replica link and the `repl-shipper`
+//! background thread.
+//!
+//! A data store becomes a replicated **primary** when a
+//! [`ReplicaLink`] is attached ([`crate::DataStoreService::attach_replica`]):
+//! every hosted account's [`SegmentStore`](sensorsafe_store::SegmentStore)
+//! turns on its shipping buffer, and the shipper thread drains sealed
+//! batches to the replica over the ordinary HTTP surface (`POST
+//! /repl/segment`). Registrations and rule changes are mirrored too
+//! (`POST /repl/register`, `POST /repl/rules`) so a promoted replica can
+//! authenticate the same clients and enforce the same privacy rules.
+//!
+//! The shipper follows the crate's lock discipline: each pass takes one
+//! account write lock briefly — seal the open batch, clone the unacked
+//! tail, read the assignment epoch — then releases it before any network
+//! round trip. Acks re-take the lock for the duration of one
+//! [`repl_ack`](sensorsafe_store::SegmentStore::repl_ack) call. A fenced
+//! account (this store lost a failover CAS) is skipped entirely: a
+//! deposed primary must not keep writing at the new one.
+
+use crate::service::Inner;
+use sensorsafe_json::{json, Value};
+use sensorsafe_net::{Request, Transport};
+use sensorsafe_obsv::audit::consumer_label;
+use sensorsafe_store::repl;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Batches shipped per contributor per shipper pass — bounds how long
+/// one pass can monopolize the wire while a replica catches up.
+const MAX_BATCHES_PER_PASS: usize = 32;
+
+/// Connection details of this store's replica.
+pub struct ReplicaLink {
+    /// Address the replica is reachable at (registry/bookkeeping form).
+    pub addr: String,
+    /// Transport to the replica.
+    pub transport: Arc<dyn Transport>,
+    /// A `Role::Server` key **on the replica** authorizing `/repl/*`
+    /// calls.
+    pub repl_key: String,
+}
+
+impl Inner {
+    /// One shipping pass over every hosted contributor: seal the open
+    /// batch, push unacked batches in sequence order, ack what the
+    /// replica durably applied. Returns batches shipped. Runs on the
+    /// shipper thread, but callable directly for deterministic tests.
+    pub(crate) fn repl_ship_now(&self) -> usize {
+        let link = {
+            let guard = self.replica.lock();
+            match guard.as_ref() {
+                Some(l) => (Arc::clone(&l.transport), l.repl_key.clone()),
+                None => return 0,
+            }
+        };
+        let (transport, repl_key) = link;
+        let mut shipped = 0usize;
+        let registry = sensorsafe_obsv::global();
+        for id in self.state.contributor_ids() {
+            let Some((batches, epoch)) = self
+                .state
+                .with_contributor_mut(&id, |account| {
+                    if !account.store.repl_enabled() || account.fenced {
+                        return None;
+                    }
+                    account.store.repl_seal();
+                    Some((
+                        account.store.repl_peek(MAX_BATCHES_PER_PASS),
+                        account.assignment_epoch,
+                    ))
+                })
+                .flatten()
+            else {
+                continue;
+            };
+            for batch in batches {
+                let seq = batch.seq;
+                let frame = repl::encode_batch(id.as_str(), epoch, &batch);
+                let payload = json!({
+                    "key": (repl_key.clone()),
+                    "batch": (repl::to_hex(&frame)),
+                });
+                let outcome = transport.round_trip(&Request::post_json("/repl/segment", &payload));
+                match outcome {
+                    Ok(resp) if resp.status.is_success() => {
+                        self.state
+                            .with_contributor_mut(&id, |a| a.store.repl_ack(seq));
+                        shipped += 1;
+                        registry
+                            .counter(
+                                "sensorsafe_datastore_repl_shipped_batches_total",
+                                "Replication batches acked by the replica.",
+                                &[],
+                            )
+                            .inc();
+                    }
+                    _ => {
+                        // Transport error or rejection (including a fence
+                        // response): stop this account for the pass and
+                        // retry on the next one. A fence also flips
+                        // `account.fenced` via /repl/fence, which skips
+                        // the account entirely from then on.
+                        registry
+                            .counter(
+                                "sensorsafe_datastore_repl_ship_failures_total",
+                                "Replication batch pushes that failed or were rejected.",
+                                &[],
+                            )
+                            .inc();
+                        break;
+                    }
+                }
+            }
+            let pending = self
+                .state
+                .with_contributor(&id, |a| a.store.repl_pending())
+                .unwrap_or(0);
+            let label = consumer_label("sensorsafe_datastore_repl_pending_batches", id.as_str());
+            registry
+                .gauge(
+                    "sensorsafe_datastore_repl_pending_batches",
+                    "Replication lag: sealed batches not yet acked by the replica.",
+                    &[("contributor", &label)],
+                )
+                .set(pending as i64);
+        }
+        shipped
+    }
+
+    /// Mirrors a freshly minted registration to the replica (best
+    /// effort): the replica creates the same account and adopts the same
+    /// API key, so clients keep authenticating after a failover.
+    pub(crate) fn mirror_registration_to_replica(
+        &self,
+        name: &str,
+        role: &str,
+        key_hex: &str,
+        groups: &Value,
+        studies: &Value,
+    ) {
+        let guard = self.replica.lock();
+        let Some(link) = guard.as_ref() else {
+            return;
+        };
+        let payload = json!({
+            "key": (link.repl_key.clone()),
+            "name": name,
+            "role": role,
+            "mirrored_key": key_hex,
+            "groups": (groups.clone()),
+            "studies": (studies.clone()),
+        });
+        let _ = link
+            .transport
+            .round_trip(&Request::post_json("/repl/register", &payload));
+    }
+
+    /// Mirrors a rule change to the replica (best effort), carrying the
+    /// rule epoch so stale mirrors never regress the replica's copy.
+    pub(crate) fn mirror_rules_to_replica(&self, contributor: &str, epoch: u64, rules: &Value) {
+        let guard = self.replica.lock();
+        let Some(link) = guard.as_ref() else {
+            return;
+        };
+        let payload = json!({
+            "key": (link.repl_key.clone()),
+            "contributor": contributor,
+            "epoch": epoch,
+            "rules": (rules.clone()),
+        });
+        let _ = link
+            .transport
+            .round_trip(&Request::post_json("/repl/rules", &payload));
+    }
+}
+
+/// Handle to the `repl-shipper` background thread. Dropping it (or
+/// calling [`ReplShipper::stop`]) stops the thread and joins it — the
+/// same clean-shutdown contract as the broker's fleet scraper.
+pub struct ReplShipper {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ReplShipper {
+    pub(crate) fn spawn(inner: Arc<Inner>, interval: Duration) -> ReplShipper {
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("repl-shipper".to_string())
+            .spawn(move || {
+                while !thread_stop.load(Ordering::Acquire) {
+                    inner.repl_ship_now();
+                    // Sleep in short slices so stop() returns promptly.
+                    let mut remaining = interval;
+                    while remaining > Duration::ZERO && !thread_stop.load(Ordering::Acquire) {
+                        let slice = remaining.min(Duration::from_millis(20));
+                        std::thread::sleep(slice);
+                        remaining = remaining.saturating_sub(slice);
+                    }
+                }
+            })
+            .expect("spawn repl-shipper thread");
+        ReplShipper {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signals the shipper to stop and joins the thread.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ReplShipper {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

@@ -25,7 +25,7 @@ use sensorsafe_json::{json, Value};
 use sensorsafe_net::{Request, Response, Router, Service, Status, Transport};
 use sensorsafe_obsv::{audit, trace, AuditLedger, MemoryLedger, Registry, TraceRecorder};
 use sensorsafe_policy::{DependencyGraph, PrivacyRule};
-use sensorsafe_store::{GroupCommitConfig, MergePolicy, Query};
+use sensorsafe_store::{repl, GroupCommitConfig, MergePolicy, Query, ReplConfig, WalRecord};
 use sensorsafe_types::{
     ConsumerId, ContextAnnotation, ContributorId, GroupId, Region, StudyId, WaveSegment,
 };
@@ -85,6 +85,7 @@ pub(crate) struct Inner {
     pub(crate) keys: KeyRing,
     pub(crate) graph: DependencyGraph,
     pub(crate) broker: Mutex<Option<BrokerLink>>,
+    pub(crate) replica: Mutex<Option<crate::repl::ReplicaLink>>,
     pub(crate) passwords: PasswordStore,
     pub(crate) sessions: SessionManager,
     pub(crate) registry: Registry,
@@ -144,7 +145,7 @@ impl Inner {
         };
         let created = match role {
             Role::Contributor => {
-                let account = match &self.config.data_dir {
+                let mut account = match &self.config.data_dir {
                     None => ContributorAccount::new(ContributorId::new(name), self.config.merge),
                     Some(dir) => {
                         let path = dir.join(format!("{name}.wal"));
@@ -164,6 +165,10 @@ impl Inner {
                         }
                     }
                 };
+                // A replicated primary ships every account from birth.
+                if self.replica.lock().is_some() {
+                    account.store.enable_replication(ReplConfig::default());
+                }
                 self.state.add_contributor(account)
             }
             Role::Consumer => {
@@ -196,7 +201,293 @@ impl Inner {
             name: name.to_string(),
             role,
         });
+        // Mirror the account (and its exact key) to the replica so a
+        // promoted replica authenticates the same clients. The key is
+        // only recoverable here, at mint time — the ring keeps digests.
+        let empty = Value::Array(Vec::new());
+        self.mirror_registration_to_replica(
+            name,
+            role.as_str(),
+            &key.to_hex(),
+            body.get("groups").unwrap_or(&empty),
+            body.get("studies").unwrap_or(&empty),
+        );
         Response::json_with_status(Status::Created, &json!({ "api_key": (key.to_hex()) }))
+    }
+
+    /// Creates an empty contributor account if `name` has none yet (the
+    /// replica side of replication: accounts materialize on first
+    /// mirrored registration or shipped batch). Durable when the store
+    /// has a data directory. Returns `false` only on a WAL open failure.
+    fn ensure_contributor_account(&self, name: &str) -> bool {
+        let id = ContributorId::new(name);
+        if self.state.with_contributor(&id, |_| ()).is_some() {
+            return true;
+        }
+        let account = match &self.config.data_dir {
+            None => ContributorAccount::new(id, self.config.merge),
+            Some(dir) => {
+                let path = dir.join(format!("{name}.wal"));
+                match ContributorAccount::open_with(id, path, self.config.merge, self.config.wal) {
+                    Ok(account) => account,
+                    Err(_) => return false,
+                }
+            }
+        };
+        // A concurrent insert losing the race is fine: the account exists.
+        self.state.add_contributor(account);
+        true
+    }
+
+    /// `POST /repl/segment` — a primary pushes one sealed replication
+    /// batch. Idempotent by `(contributor, seq)`: the replica records the
+    /// highest applied sequence in its own WAL (crash-safe) and skips
+    /// anything at or below it, so the primary can re-send after a lost
+    /// ack. Frames carrying an epoch older than the account's assignment
+    /// epoch are rejected — a deposed primary cannot overwrite a promoted
+    /// replica.
+    fn handle_repl_segment(&self, body: &Value) -> Response {
+        let Some(principal) = self.authenticate(body) else {
+            return unauthorized();
+        };
+        if principal.role != Role::Server {
+            return Response::error(Status::Forbidden, "replication requires a server key");
+        }
+        let Some(hex) = body.get("batch").and_then(Value::as_str) else {
+            return bad_request("missing 'batch'");
+        };
+        let bytes = match repl::from_hex(hex) {
+            Ok(b) => b,
+            Err(e) => return bad_request(&format!("bad batch hex: {e}")),
+        };
+        let frame = match repl::decode_batch(&bytes) {
+            Ok(f) => f,
+            Err(e) => return bad_request(&format!("bad replication frame: {e}")),
+        };
+        if !self.ensure_contributor_account(&frame.contributor) {
+            return Response::error(Status::InternalError, "failed to open replica account");
+        }
+        let id = ContributorId::new(frame.contributor.as_str());
+        let (applied, ticket) = {
+            let Some(mut account) = self.state.write_contributor(&id) else {
+                return Response::error(Status::InternalError, "replica account vanished");
+            };
+            if frame.epoch < account.assignment_epoch {
+                let epoch = account.assignment_epoch;
+                return Response::json_with_status(
+                    Status::Conflict,
+                    &json!({ "error": "stale_epoch", "epoch": epoch }),
+                );
+            }
+            if frame.seq <= account.store.repl_applied() {
+                (false, None)
+            } else {
+                for record in &frame.records {
+                    let outcome = match record {
+                        WalRecord::Segment(seg) => account.store.insert_segment(seg.clone()),
+                        WalRecord::Annotation(ann) => account.store.insert_annotation(ann.clone()),
+                        // Never shipped (the codec rejects it); replayed
+                        // marks are local bookkeeping.
+                        WalRecord::ReplApplied(_) => Ok(()),
+                    };
+                    if let Err(e) = outcome {
+                        return Response::error(
+                            Status::InternalError,
+                            &format!("replica apply failed: {e}"),
+                        );
+                    }
+                }
+                if let Err(e) = account.store.note_repl_applied(frame.seq) {
+                    return Response::error(
+                        Status::InternalError,
+                        &format!("replica apply failed: {e}"),
+                    );
+                }
+                (true, account.store.commit_ticket())
+            }
+        };
+        // Same durability contract as /api/upload: the ack promises the
+        // batch survives a replica crash, so the fsync must land first.
+        if let Some(ticket) = ticket {
+            if let Err(e) = ticket.wait() {
+                return Response::error(
+                    Status::InternalError,
+                    &format!("durable commit failed: {e}"),
+                );
+            }
+        }
+        if applied {
+            sensorsafe_obsv::global()
+                .counter(
+                    "sensorsafe_datastore_repl_applied_batches_total",
+                    "Replication batches durably applied by this replica.",
+                    &[],
+                )
+                .inc();
+        }
+        Response::json(&json!({ "applied": applied, "seq": (frame.seq) }))
+    }
+
+    /// `POST /repl/register` — a primary mirrors a freshly minted
+    /// account. The replica adopts the *same* API key, so clients keep
+    /// authenticating after failover without re-registering.
+    fn handle_repl_register(&self, body: &Value) -> Response {
+        let Some(principal) = self.authenticate(body) else {
+            return unauthorized();
+        };
+        if principal.role != Role::Server {
+            return Response::error(Status::Forbidden, "replication requires a server key");
+        }
+        let Some(name) = body.get("name").and_then(Value::as_str) else {
+            return bad_request("missing 'name'");
+        };
+        let Some(role) = body
+            .get("role")
+            .and_then(Value::as_str)
+            .and_then(Role::parse)
+        else {
+            return bad_request("missing or invalid 'role'");
+        };
+        let Some(key) = body
+            .get("mirrored_key")
+            .and_then(Value::as_str)
+            .and_then(ApiKey::parse)
+        else {
+            return bad_request("missing or invalid 'mirrored_key'");
+        };
+        match role {
+            Role::Contributor => {
+                if !self.ensure_contributor_account(name) {
+                    return Response::error(
+                        Status::InternalError,
+                        "failed to open replica account",
+                    );
+                }
+            }
+            Role::Consumer => {
+                let groups = body
+                    .get("groups")
+                    .and_then(Value::as_string_list)
+                    .unwrap_or_default()
+                    .into_iter()
+                    .map(GroupId::new)
+                    .collect();
+                let studies = body
+                    .get("studies")
+                    .and_then(Value::as_string_list)
+                    .unwrap_or_default()
+                    .into_iter()
+                    .map(StudyId::new)
+                    .collect();
+                self.state.add_consumer(ConsumerAccount {
+                    id: ConsumerId::new(name),
+                    groups,
+                    studies,
+                });
+            }
+            Role::Server => return bad_request("server keys are never mirrored"),
+        }
+        self.keys.register_key(
+            &key,
+            Principal {
+                name: name.to_string(),
+                role,
+            },
+        );
+        Response::json(&json!({ "ok": true }))
+    }
+
+    /// `POST /repl/rules` — a primary mirrors a rule change so a promoted
+    /// replica enforces the same privacy rules. Epoch-guarded: a stale
+    /// mirror never regresses the replica's copy.
+    fn handle_repl_rules(&self, body: &Value) -> Response {
+        let Some(principal) = self.authenticate(body) else {
+            return unauthorized();
+        };
+        if principal.role != Role::Server {
+            return Response::error(Status::Forbidden, "replication requires a server key");
+        }
+        let Some(contributor) = body.get("contributor").and_then(Value::as_str) else {
+            return bad_request("missing 'contributor'");
+        };
+        let Some(epoch) = body.get("epoch").and_then(Value::as_u64) else {
+            return bad_request("missing 'epoch'");
+        };
+        let Some(rules_json) = body.get("rules") else {
+            return bad_request("missing 'rules'");
+        };
+        let rules = match PrivacyRule::parse_rules(&rules_json.to_string()) {
+            Ok(r) => r,
+            Err(e) => return bad_request(&e.to_string()),
+        };
+        if !self.ensure_contributor_account(contributor) {
+            return Response::error(Status::InternalError, "failed to open replica account");
+        }
+        let id = ContributorId::new(contributor);
+        let current = self
+            .state
+            .with_contributor_mut(&id, |account| {
+                if epoch > account.rule_epoch {
+                    account.rules = rules.clone();
+                    account.rule_epoch = epoch;
+                }
+                account.rule_epoch
+            })
+            .unwrap_or(0);
+        Response::json(&json!({ "epoch": current }))
+    }
+
+    /// Shared body of `/repl/fence` and `/repl/promote`: both CAS the
+    /// account's assignment epoch forward and set the fenced flag. An
+    /// epoch older than the current one is rejected as stale, making both
+    /// operations idempotent and safe to retry.
+    fn repl_set_epoch(&self, body: &Value, fenced: bool) -> Response {
+        let Some(principal) = self.authenticate(body) else {
+            return unauthorized();
+        };
+        if principal.role != Role::Server {
+            return Response::error(Status::Forbidden, "fencing requires a server key");
+        }
+        let Some(contributor) = body.get("contributor").and_then(Value::as_str) else {
+            return bad_request("missing 'contributor'");
+        };
+        let Some(epoch) = body.get("epoch").and_then(Value::as_u64) else {
+            return bad_request("missing 'epoch'");
+        };
+        if !self.ensure_contributor_account(contributor) {
+            return Response::error(Status::InternalError, "failed to open replica account");
+        }
+        let id = ContributorId::new(contributor);
+        let outcome = self.state.with_contributor_mut(&id, |account| {
+            if epoch < account.assignment_epoch {
+                Err(account.assignment_epoch)
+            } else {
+                account.assignment_epoch = epoch;
+                account.fenced = fenced;
+                Ok(())
+            }
+        });
+        match outcome {
+            Some(Ok(())) => Response::json(&json!({ "ok": true, "epoch": epoch })),
+            Some(Err(current)) => Response::json_with_status(
+                Status::Conflict,
+                &json!({ "error": "stale_epoch", "epoch": current }),
+            ),
+            None => Response::error(Status::InternalError, "replica account vanished"),
+        }
+    }
+
+    /// `POST /repl/fence` — the broker fences a deposed primary: the
+    /// account stops accepting contributor writes and the shipper stops
+    /// pushing its batches.
+    fn handle_repl_fence(&self, body: &Value) -> Response {
+        self.repl_set_epoch(body, true)
+    }
+
+    /// `POST /repl/promote` — the broker promotes this store to primary
+    /// for the contributor at the given epoch; writes are (re-)enabled.
+    fn handle_repl_promote(&self, body: &Value) -> Response {
+        self.repl_set_epoch(body, false)
     }
 
     fn handle_upload(&self, body: &Value) -> Response {
@@ -234,6 +525,16 @@ impl Inner {
             let Some(mut account) = self.state.write_contributor(&id) else {
                 return Response::error(Status::NotFound, "no such contributor account");
             };
+            // Epoch fence: after a failover this store is no longer the
+            // contributor's primary. Rejecting with the new epoch lets the
+            // client re-resolve the assignment at the broker and retry.
+            if account.fenced {
+                let epoch = account.assignment_epoch;
+                return Response::json_with_status(
+                    Status::Conflict,
+                    &json!({ "error": "fenced", "epoch": epoch }),
+                );
+            }
             let mut stored = 0usize;
             for seg in segments {
                 if account.store.insert_segment(seg).is_ok() {
@@ -360,9 +661,17 @@ impl Inner {
             let Some(mut account) = self.state.write_contributor(&id) else {
                 return Response::error(Status::NotFound, "no such contributor account");
             };
+            if account.fenced {
+                let epoch = account.assignment_epoch;
+                return Response::json_with_status(
+                    Status::Conflict,
+                    &json!({ "error": "fenced", "epoch": epoch }),
+                );
+            }
             account.set_rules(rules.clone())
         };
         let synced = self.push_rules_to_broker(&id, epoch, &rules);
+        self.mirror_rules_to_replica(id.as_str(), epoch, &PrivacyRule::rules_to_json(&rules));
         Response::json(&json!({ "epoch": epoch, "broker_synced": synced }))
     }
 
@@ -664,6 +973,7 @@ impl DataStoreService {
             keys: KeyRing::new(),
             graph: DependencyGraph::paper(),
             broker: Mutex::new(None),
+            replica: Mutex::new(None),
             passwords: PasswordStore::new(),
             sessions: SessionManager::new(),
             registry: Registry::new(),
@@ -717,6 +1027,11 @@ impl DataStoreService {
         post_json_route!("/api/rules/get", handle_rules_get);
         post_json_route!("/api/places/set", handle_places_set);
         post_json_route!("/api/audit", handle_audit);
+        post_json_route!("/repl/segment", handle_repl_segment);
+        post_json_route!("/repl/register", handle_repl_register);
+        post_json_route!("/repl/rules", handle_repl_rules);
+        post_json_route!("/repl/fence", handle_repl_fence);
+        post_json_route!("/repl/promote", handle_repl_promote);
         crate::web::mount(&mut router, inner.clone());
         (
             DataStoreService {
@@ -730,6 +1045,40 @@ impl DataStoreService {
     /// Attaches the broker link used for automatic rule sync.
     pub fn attach_broker(&self, link: BrokerLink) {
         *self.inner.broker.lock() = Some(link);
+    }
+
+    /// Attaches a replica link, turning this store into a replicated
+    /// primary: every hosted account starts buffering sealed batches for
+    /// the shipper (existing data is snapshotted into the first batches),
+    /// and new registrations/rule changes are mirrored as they happen.
+    /// Pair the replica **before** registering contributors if you need
+    /// their keys mirrored — keys are only recoverable at mint time.
+    pub fn attach_replica(&self, link: crate::repl::ReplicaLink) {
+        *self.inner.replica.lock() = Some(link);
+        for id in self.inner.state.contributor_ids() {
+            self.inner
+                .state
+                .with_contributor_mut(&id, |a| a.store.enable_replication(ReplConfig::default()));
+        }
+    }
+
+    /// The attached replica's address, if any.
+    pub fn replica_addr(&self) -> Option<String> {
+        self.inner.replica.lock().as_ref().map(|l| l.addr.clone())
+    }
+
+    /// Runs one synchronous shipping pass (deterministic tests; the
+    /// production path is [`DataStoreService::spawn_repl_shipper`]).
+    /// Returns the number of batches the replica acked.
+    pub fn repl_ship_now(&self) -> usize {
+        self.inner.repl_ship_now()
+    }
+
+    /// Spawns the `repl-shipper` background thread, which runs a shipping
+    /// pass every `interval`. The returned handle stops and joins the
+    /// thread on drop.
+    pub fn spawn_repl_shipper(&self, interval: std::time::Duration) -> crate::repl::ReplShipper {
+        crate::repl::ReplShipper::spawn(self.inner.clone(), interval)
     }
 
     /// Immediately pushes every hosted contributor's rules to the broker
@@ -877,6 +1226,95 @@ mod tests {
             Some(count as u64)
         );
         count
+    }
+
+    #[test]
+    fn replication_ships_applies_and_fences() {
+        let (primary, admin) = service();
+        let (replica, replica_admin) = DataStoreService::new(DataStoreConfig {
+            name: "replica".to_string(),
+            ..DataStoreConfig::default()
+        });
+        let replica_admin = replica_admin.to_hex();
+        primary.attach_replica(crate::repl::ReplicaLink {
+            addr: "replica:0".to_string(),
+            transport: Arc::new(sensorsafe_net::LocalTransport::new(Arc::new(
+                replica.clone(),
+            ))),
+            repl_key: replica_admin.clone(),
+        });
+        let alice = register(&primary, &admin, "alice", "contributor");
+        upload_alice_day(&primary, &alice);
+        assert!(primary.repl_ship_now() >= 1);
+        // The replica applied the data AND adopted alice's mirrored key:
+        // the same credential queries her data there.
+        let resp = replica.handle(&Request::post_json(
+            "/api/query",
+            &json!({"key": (alice.clone()), "contributor": "alice"}),
+        ));
+        assert_eq!(resp.status, Status::Ok, "{:?}", resp.json_body());
+        let body = resp.json_body().unwrap();
+        assert!(!body["segments"].as_array().unwrap().is_empty());
+        // Fully acked: a second pass ships nothing.
+        assert_eq!(primary.repl_ship_now(), 0);
+        // Fence the primary at epoch 2: contributor writes bounce with
+        // the new epoch so the client can re-resolve at the broker.
+        let resp = primary.handle(&Request::post_json(
+            "/repl/fence",
+            &json!({"key": (admin.clone()), "contributor": "alice", "epoch": 2}),
+        ));
+        assert_eq!(resp.status, Status::Ok);
+        let resp = primary.handle(&Request::post_json(
+            "/api/upload",
+            &json!({"key": (alice.clone()), "segments": []}),
+        ));
+        assert_eq!(resp.status, Status::Conflict);
+        let body = resp.json_body().unwrap();
+        assert_eq!(body["error"].as_str(), Some("fenced"));
+        assert_eq!(body["epoch"].as_u64(), Some(2));
+        // Promote the replica at epoch 2: it now takes contributor writes.
+        let resp = replica.handle(&Request::post_json(
+            "/repl/promote",
+            &json!({"key": (replica_admin.clone()), "contributor": "alice", "epoch": 2}),
+        ));
+        assert_eq!(resp.status, Status::Ok);
+        let resp = replica.handle(&Request::post_json(
+            "/api/upload",
+            &json!({"key": (alice.clone()), "segments": []}),
+        ));
+        assert_eq!(resp.status, Status::Ok, "{:?}", resp.json_body());
+        // A frame from the deposed primary (stale epoch 0) is rejected.
+        let stale = sensorsafe_store::SealedBatch {
+            seq: 999,
+            records: Vec::new(),
+        };
+        let stale_hex = repl::to_hex(&repl::encode_batch("alice", 0, &stale));
+        let resp = replica.handle(&Request::post_json(
+            "/repl/segment",
+            &json!({"key": (replica_admin.clone()), "batch": (stale_hex)}),
+        ));
+        assert_eq!(resp.status, Status::Conflict);
+        assert_eq!(
+            resp.json_body().unwrap()["error"].as_str(),
+            Some("stale_epoch")
+        );
+        // Idempotency: the same (contributor, seq) applies exactly once.
+        let dup = sensorsafe_store::SealedBatch {
+            seq: 1000,
+            records: Vec::new(),
+        };
+        let dup_hex = repl::to_hex(&repl::encode_batch("alice", 2, &dup));
+        for expected_applied in [true, false] {
+            let resp = replica.handle(&Request::post_json(
+                "/repl/segment",
+                &json!({"key": (replica_admin.clone()), "batch": (dup_hex.clone())}),
+            ));
+            assert_eq!(resp.status, Status::Ok);
+            assert_eq!(
+                resp.json_body().unwrap()["applied"].as_bool(),
+                Some(expected_applied)
+            );
+        }
     }
 
     #[test]

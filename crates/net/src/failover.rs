@@ -1,0 +1,226 @@
+//! Fence-aware client transport: refetch the store address and retry.
+//!
+//! After a broker-coordinated failover, a contributor's store assignment
+//! moves to the promoted replica and the deposed primary either stops
+//! answering or rejects writes with `409 {"error":"fenced"}`.
+//! [`FailoverTransport`] wraps an ordinary [`Transport`] with the client
+//! half of that protocol: on a transport error or a fence rejection it
+//! calls a resolver (typically `POST /api/contributors/resolve` at the
+//! broker) for the current address, swaps the underlying transport when
+//! the address moved, and retries on a fixed cadence until the request
+//! lands or the retry budget runs out.
+//!
+//! Any other response — success, 4xx, 5xx — is returned untouched on the
+//! first attempt: only "this store cannot serve you anymore" conditions
+//! trigger the redirect loop.
+
+use crate::{Request, Response, Status, Transport, TransportError};
+use parking_lot::RwLock;
+use sensorsafe_json::Value;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Returns the target's current address, or `None` when the resolver
+/// itself cannot answer (e.g. the broker is briefly unreachable).
+pub type AddrResolver = Arc<dyn Fn() -> Option<String> + Send + Sync>;
+
+/// Builds a transport for an address (TCP in production, in-process in
+/// tests — the same shape as the broker's `TransportFactory`).
+pub type TransportMaker = Arc<dyn Fn(&str) -> Arc<dyn Transport> + Send + Sync>;
+
+/// Whether a response is an epoch-fence rejection (the store is no
+/// longer the primary for this principal's data).
+pub fn is_fence_rejection(resp: &Response) -> bool {
+    resp.status == Status::Conflict
+        && resp
+            .json_body()
+            .map(|b| b.get("error").and_then(Value::as_str) == Some("fenced"))
+            .unwrap_or(false)
+}
+
+/// A [`Transport`] that survives store failover. See the module docs.
+pub struct FailoverTransport {
+    resolve: AddrResolver,
+    make: TransportMaker,
+    current: RwLock<(String, Arc<dyn Transport>)>,
+    attempts: u32,
+    delay: Duration,
+}
+
+impl FailoverTransport {
+    /// Wraps `addr` with the default retry budget (150 attempts, 200 ms
+    /// apart — a 30 s window, comfortably longer than the broker's
+    /// detect-and-promote latency at default scrape settings).
+    pub fn new(addr: impl Into<String>, make: TransportMaker, resolve: AddrResolver) -> Self {
+        let addr = addr.into();
+        let transport = make(&addr);
+        FailoverTransport {
+            resolve,
+            make,
+            current: RwLock::new((addr, transport)),
+            attempts: 150,
+            delay: Duration::from_millis(200),
+        }
+    }
+
+    /// Overrides the retry budget: `attempts` retries, `delay` apart.
+    pub fn with_retry(mut self, attempts: u32, delay: Duration) -> Self {
+        self.attempts = attempts;
+        self.delay = delay;
+        self
+    }
+
+    /// The address requests currently go to (moves after a failover).
+    pub fn current_addr(&self) -> String {
+        self.current.read().0.clone()
+    }
+
+    fn refresh(&self) {
+        if let Some(addr) = (self.resolve)() {
+            let mut current = self.current.write();
+            if current.0 != addr {
+                let transport = (self.make)(&addr);
+                *current = (addr, transport);
+            }
+        }
+    }
+}
+
+impl Transport for FailoverTransport {
+    fn round_trip(&self, request: &Request) -> Result<Response, TransportError> {
+        let mut last = {
+            let transport = self.current.read().1.clone();
+            transport.round_trip(request)
+        };
+        if matches!(&last, Ok(resp) if !is_fence_rejection(resp)) {
+            return last;
+        }
+        for attempt in 0..self.attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.delay);
+            }
+            self.refresh();
+            let transport = self.current.read().1.clone();
+            last = transport.round_trip(request);
+            if matches!(&last, Ok(resp) if !is_fence_rejection(resp)) {
+                return last;
+            }
+        }
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Service;
+    use parking_lot::Mutex;
+    use sensorsafe_json::json;
+
+    type Stores = Arc<Mutex<Vec<(String, Arc<dyn Service>)>>>;
+
+    struct Scripted {
+        name: &'static str,
+        fenced: bool,
+    }
+
+    impl Service for Scripted {
+        fn handle(&self, _req: &Request) -> Response {
+            if self.fenced {
+                Response::json_with_status(
+                    Status::Conflict,
+                    &json!({"error": "fenced", "epoch": 2}),
+                )
+            } else {
+                Response::json(&json!({"server": (self.name)}))
+            }
+        }
+    }
+
+    fn maker(stores: Stores) -> TransportMaker {
+        Arc::new(move |addr: &str| {
+            let stores = stores.lock();
+            let svc = stores
+                .iter()
+                .find(|(a, _)| a == addr)
+                .map(|(_, s)| s.clone())
+                .expect("unknown addr");
+            Arc::new(crate::LocalTransport::new(svc)) as Arc<dyn Transport>
+        })
+    }
+
+    #[test]
+    fn fence_rejection_redirects_to_resolved_addr() {
+        let stores: Stores = Arc::new(Mutex::new(vec![
+            (
+                "old".into(),
+                Arc::new(Scripted {
+                    name: "old",
+                    fenced: true,
+                }),
+            ),
+            (
+                "new".into(),
+                Arc::new(Scripted {
+                    name: "new",
+                    fenced: false,
+                }),
+            ),
+        ]));
+        let resolve: AddrResolver = Arc::new(|| Some("new".to_string()));
+        let transport = FailoverTransport::new("old", maker(stores), resolve)
+            .with_retry(3, Duration::from_millis(1));
+        let resp = transport
+            .round_trip(&Request::post_json("/api/upload", &json!({})))
+            .unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(
+            resp.json_body().unwrap()["server"].as_str(),
+            Some("new"),
+            "request must land on the promoted store"
+        );
+        assert_eq!(transport.current_addr(), "new");
+    }
+
+    #[test]
+    fn non_fence_conflict_is_not_retried() {
+        struct Conflicting(std::sync::atomic::AtomicU32);
+        impl Service for Conflicting {
+            fn handle(&self, _req: &Request) -> Response {
+                self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                Response::error(Status::Conflict, "account already exists")
+            }
+        }
+        let svc = Arc::new(Conflicting(std::sync::atomic::AtomicU32::new(0)));
+        let svc_for_stores = svc.clone();
+        let stores: Stores = Arc::new(Mutex::new(vec![(
+            "a".into(),
+            svc_for_stores as Arc<dyn Service>,
+        )]));
+        let resolve: AddrResolver = Arc::new(|| Some("a".to_string()));
+        let transport = FailoverTransport::new("a", maker(stores), resolve)
+            .with_retry(5, Duration::from_millis(1));
+        let resp = transport
+            .round_trip(&Request::post_json("/api/register", &json!({})))
+            .unwrap();
+        assert_eq!(resp.status, Status::Conflict);
+        assert_eq!(svc.0.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn resolver_none_keeps_retrying_current_addr() {
+        let stores: Stores = Arc::new(Mutex::new(vec![(
+            "only".into(),
+            Arc::new(Scripted {
+                name: "only",
+                fenced: false,
+            }) as Arc<dyn Service>,
+        )]));
+        let resolve: AddrResolver = Arc::new(|| None);
+        let transport = FailoverTransport::new("only", maker(stores), resolve)
+            .with_retry(2, Duration::from_millis(1));
+        let resp = transport.round_trip(&Request::get("/health")).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(transport.current_addr(), "only");
+    }
+}

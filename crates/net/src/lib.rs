@@ -20,10 +20,15 @@
 //!   TCP ([`TcpTransport`]) or an in-process call ([`LocalTransport`]),
 //!   so benches can measure architecture costs without kernel noise and
 //!   examples/tests can exercise real sockets.
+//! * [`failover`] — a fence-aware [`Transport`] wrapper
+//!   ([`FailoverTransport`]) that refetches a store's address from the
+//!   broker and retries when the store dies or rejects with a stale
+//!   epoch (the client half of broker-coordinated failover).
 //!
 //! TLS is intentionally absent (see DESIGN.md substitutions): in the
 //! paper HTTPS wraps this byte stream transparently.
 
+pub mod failover;
 pub mod http;
 pub mod promtext;
 mod router;
@@ -31,6 +36,7 @@ mod server;
 pub mod traces;
 mod transport;
 
+pub use failover::{AddrResolver, FailoverTransport, TransportMaker};
 pub use http::{Method, Request, Response, Status, TRACE_HEADER};
 pub use promtext::{ParsedScrape, TextSample};
 pub use router::{Params, Router};

@@ -16,6 +16,9 @@
 //!   ([`FileLedger`]): `obsv::ledger`'s integrity model persisted with the
 //!   WAL's flush + `sync_data` discipline, so enforcement decisions are as
 //!   durable as the data they were made about.
+//! * [`repl`] — replication shipping: sealed batches cut from the live
+//!   record stream plus the CRC-framed wire codec a primary uses to push
+//!   them to its replica (ISSUE 6's rotation-lite log shipping).
 //! * [`SegmentStore`] — the in-memory engine: a time-ordered segment
 //!   index per series, context-annotation index, the §5.1 **merge
 //!   optimizer** ("remote data stores perform a wave segment optimization
@@ -30,6 +33,7 @@ pub mod baseline;
 pub mod codec;
 pub mod ledger;
 pub mod query;
+pub mod repl;
 pub mod store;
 pub mod wal;
 
@@ -37,5 +41,6 @@ pub use baseline::TupleStore;
 pub use codec::{decode_annotation, decode_segment, encode_annotation, encode_segment, CodecError};
 pub use ledger::{verify_ledger_file, FileLedger};
 pub use query::Query;
+pub use repl::{ReplBuffer, ReplConfig, ReplFrame, SealedBatch};
 pub use store::{MergePolicy, SegmentStore, StoreError, StoreStats};
 pub use wal::{CommitTicket, GroupCommitConfig, GroupCommitWal, Wal, WalError, WalRecord};

@@ -1,6 +1,7 @@
 //! The segment store: time-ordered series, merge optimizer, query engine.
 
 use crate::query::Query;
+use crate::repl::{ReplBuffer, ReplConfig, SealedBatch};
 use crate::wal::{CommitTicket, GroupCommitConfig, GroupCommitWal, Wal, WalError, WalRecord};
 use sensorsafe_types::{ChannelSpec, ContextAnnotation, TimeRange, WaveSegment};
 use std::collections::BTreeMap;
@@ -45,12 +46,21 @@ impl MergePolicy {
 pub enum StoreError {
     /// Durability layer failed.
     Wal(WalError),
+    /// Compaction refused: this many replication batches are still
+    /// awaiting replica acks. Compaction renumbers the shipping stream,
+    /// so it must wait for the shipper to drain below the low-water
+    /// mark.
+    ReplicationLag(usize),
 }
 
 impl std::fmt::Display for StoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StoreError::Wal(e) => write!(f, "store WAL error: {e}"),
+            StoreError::ReplicationLag(pending) => write!(
+                f,
+                "compaction blocked: {pending} replication batches not yet acked by the replica"
+            ),
         }
     }
 }
@@ -105,6 +115,12 @@ pub struct SegmentStore {
     wal: Option<Arc<GroupCommitWal>>,
     seq: u64,
     merges: usize,
+    /// Shipping buffer when this store is a replicated primary.
+    repl: Option<ReplBuffer>,
+    /// Highest replication batch sequence durably applied when this
+    /// store is a replica (0 = none). Persisted via
+    /// [`WalRecord::ReplApplied`] so restarts keep shipping idempotent.
+    repl_applied: u64,
 }
 
 impl SegmentStore {
@@ -117,6 +133,8 @@ impl SegmentStore {
             wal: None,
             seq: 0,
             merges: 0,
+            repl: None,
+            repl_applied: 0,
         }
     }
 
@@ -147,6 +165,9 @@ impl SegmentStore {
             match record {
                 WalRecord::Segment(seg) => store.insert_segment_inner(seg),
                 WalRecord::Annotation(ann) => store.annotations.push(ann),
+                WalRecord::ReplApplied(seq) => {
+                    store.repl_applied = store.repl_applied.max(seq);
+                }
             }
         }
         store.annotations.sort_by_key(|a| a.window.start);
@@ -165,6 +186,9 @@ impl SegmentStore {
         }
         if let Some(wal) = &self.wal {
             wal.stage(&WalRecord::Segment(segment.clone()))?;
+        }
+        if let Some(repl) = &mut self.repl {
+            repl.observe(WalRecord::Segment(segment.clone()));
         }
         self.insert_segment_inner(segment);
         Ok(())
@@ -207,6 +231,9 @@ impl SegmentStore {
         if let Some(wal) = &self.wal {
             wal.stage(&WalRecord::Annotation(annotation.clone()))?;
         }
+        if let Some(repl) = &mut self.repl {
+            repl.observe(WalRecord::Annotation(annotation.clone()));
+        }
         // Keep sorted by window start (inserts are usually appends).
         let pos = self
             .annotations
@@ -241,6 +268,85 @@ impl SegmentStore {
         self.wal.as_ref().and_then(|wal| wal.sticky_error())
     }
 
+    /// Turns this store into a replicated primary: all current state is
+    /// snapshotted into the shipping buffer (so a fresh replica catches
+    /// up segment-by-segment) and every future insert is observed too
+    /// (tailing the live stream). Idempotent: enabling twice keeps the
+    /// existing buffer and its ack state.
+    pub fn enable_replication(&mut self, config: ReplConfig) {
+        if self.repl.is_some() {
+            return;
+        }
+        let mut buffer = ReplBuffer::new(config);
+        for series in self.series.values() {
+            for seg in series.segments.values() {
+                buffer.observe(WalRecord::Segment(seg.clone()));
+            }
+        }
+        for ann in &self.annotations {
+            buffer.observe(WalRecord::Annotation(ann.clone()));
+        }
+        buffer.seal_open();
+        self.repl = Some(buffer);
+    }
+
+    /// Whether [`SegmentStore::enable_replication`] has been called.
+    pub fn repl_enabled(&self) -> bool {
+        self.repl.is_some()
+    }
+
+    /// Seals the open replication batch so the live tail ships promptly
+    /// (the shipper calls this each pass). No-op without replication.
+    pub fn repl_seal(&mut self) {
+        if let Some(repl) = &mut self.repl {
+            repl.seal_open();
+        }
+    }
+
+    /// Up to `max` sealed-but-unacked replication batches, in sequence
+    /// order. Empty without replication.
+    pub fn repl_peek(&self, max: usize) -> Vec<SealedBatch> {
+        self.repl
+            .as_ref()
+            .map(|r| r.peek_unshipped(max))
+            .unwrap_or_default()
+    }
+
+    /// Records the replica's durable high-water mark, dropping every
+    /// sealed batch at or below `seq` (see [`ReplBuffer::ack`]).
+    pub fn repl_ack(&mut self, seq: u64) {
+        if let Some(repl) = &mut self.repl {
+            repl.ack(seq);
+        }
+    }
+
+    /// Replication batches not yet acked by the replica (0 without
+    /// replication — and the precondition for [`SegmentStore::compact`]).
+    pub fn repl_pending(&self) -> usize {
+        self.repl.as_ref().map(ReplBuffer::pending).unwrap_or(0)
+    }
+
+    /// Highest replication batch sequence this store has durably
+    /// applied as a replica (0 = none).
+    pub fn repl_applied(&self) -> u64 {
+        self.repl_applied
+    }
+
+    /// Records that a replication batch up to `seq` has been applied,
+    /// staging a [`WalRecord::ReplApplied`] mark so the high-water
+    /// survives restart. The mark becomes durable with the batch's
+    /// records on the next group commit (same ticket).
+    pub fn note_repl_applied(&mut self, seq: u64) -> Result<(), StoreError> {
+        if seq <= self.repl_applied {
+            return Ok(());
+        }
+        if let Some(wal) = &self.wal {
+            wal.stage(&WalRecord::ReplApplied(seq))?;
+        }
+        self.repl_applied = seq;
+        Ok(())
+    }
+
     /// Rewrites the WAL from the current (merged) in-memory state. The
     /// log otherwise records one entry per *uploaded packet* forever;
     /// after compaction it holds one entry per live segment, so replay
@@ -252,7 +358,19 @@ impl SegmentStore {
     /// tickets taken before compaction remain honest: their records are
     /// durable in the *old* log before it is replaced, and the records
     /// survive into the new log via the in-memory state being rewritten.
+    ///
+    /// On a replicated primary, compaction additionally refuses to run
+    /// while any shipping batch is unacked
+    /// ([`StoreError::ReplicationLag`]): the rewrite collapses merged
+    /// segments and would renumber the shipping stream past records the
+    /// replica has not confirmed, so the low-water mark (everything
+    /// acked) must first catch up to the buffer head. Retry after the
+    /// shipper drains.
     pub fn compact(&mut self) -> Result<(), StoreError> {
+        let pending = self.repl_pending();
+        if pending > 0 {
+            return Err(StoreError::ReplicationLag(pending));
+        }
         let Some(wal) = self.wal.take() else {
             return Ok(());
         };
@@ -276,6 +394,10 @@ impl SegmentStore {
             }
             for ann in &self.annotations {
                 fresh.append(&WalRecord::Annotation(ann.clone()))?;
+            }
+            if self.repl_applied > 0 {
+                // A replica's apply high-water mark survives compaction.
+                fresh.append(&WalRecord::ReplApplied(self.repl_applied))?;
             }
             fresh.sync()?;
         }
@@ -682,6 +804,100 @@ mod tests {
         assert_eq!(reopened.stats().segments, 2);
         assert_eq!(reopened.stats().samples, 128);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_refuses_while_replication_lags() {
+        // Regression (ISSUE 6): compaction used to run regardless of the
+        // shipper, renumbering the shipping stream past batches the
+        // replica never acked.
+        let dir =
+            std::env::temp_dir().join(format!("sensorsafe-store-repl-lw-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.wal");
+        let mut store = SegmentStore::open(&path, MergePolicy::default()).unwrap();
+        store.enable_replication(crate::repl::ReplConfig {
+            seal_records: 2,
+            seal_bytes: usize::MAX,
+        });
+        for packet in 0..6 {
+            store.insert_segment(seg_at(packet * 64 * 20, 64)).unwrap();
+        }
+        store.sync().unwrap();
+        assert_eq!(store.repl_pending(), 3);
+        match store.compact() {
+            Err(StoreError::ReplicationLag(pending)) => assert_eq!(pending, 3),
+            other => panic!("compact must refuse under replication lag, got {other:?}"),
+        }
+        // Partial acks keep the guard up.
+        store.repl_ack(2);
+        assert!(matches!(
+            store.compact(),
+            Err(StoreError::ReplicationLag(1))
+        ));
+        // Once the replica acks through the head, compaction proceeds.
+        store.repl_ack(3);
+        store.compact().unwrap();
+        let (records, _) = crate::wal::Wal::replay(&path).unwrap();
+        assert_eq!(records.len(), 1, "six packets merged into one segment");
+        // An unsealed open tail also blocks: it has not even shipped.
+        store.insert_segment(seg_at(6 * 64 * 20, 64)).unwrap();
+        assert!(matches!(
+            store.compact(),
+            Err(StoreError::ReplicationLag(1))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn repl_applied_mark_survives_restart_and_compaction() {
+        let dir =
+            std::env::temp_dir().join(format!("sensorsafe-store-repl-hw-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.wal");
+        {
+            let mut store = SegmentStore::open(&path, MergePolicy::default()).unwrap();
+            store.insert_segment(seg_at(0, 64)).unwrap();
+            store.note_repl_applied(4).unwrap();
+            // Stale marks are ignored; the high-water is monotonic.
+            store.note_repl_applied(2).unwrap();
+            store.sync().unwrap();
+            assert_eq!(store.repl_applied(), 4);
+        }
+        let mut reopened = SegmentStore::open(&path, MergePolicy::default()).unwrap();
+        assert_eq!(reopened.repl_applied(), 4, "mark replays from the log");
+        reopened.compact().unwrap();
+        drop(reopened);
+        let again = SegmentStore::open(&path, MergePolicy::default()).unwrap();
+        assert_eq!(again.repl_applied(), 4, "mark survives compaction");
+        assert_eq!(again.stats().samples, 64);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn enable_replication_snapshots_existing_state() {
+        let mut store = SegmentStore::in_memory(MergePolicy::default());
+        for packet in 0..3 {
+            store.insert_segment(seg_at(packet * 64 * 20, 64)).unwrap();
+        }
+        store.insert_annotation(ann_at(0)).unwrap();
+        store.enable_replication(crate::repl::ReplConfig::default());
+        let batches = store.repl_peek(16);
+        assert_eq!(batches.len(), 1);
+        // The three packets merged into one segment; the snapshot ships
+        // the merged state plus the annotation.
+        assert_eq!(batches[0].records.len(), 2);
+        // Enabling again is a no-op (ack state preserved).
+        store.repl_ack(1);
+        store.enable_replication(crate::repl::ReplConfig::default());
+        assert_eq!(store.repl_pending(), 0);
+        // New inserts tail the live stream.
+        store.insert_segment(seg_at(100_000, 64)).unwrap();
+        store.repl_seal();
+        assert_eq!(store.repl_peek(16).len(), 1);
+        assert_eq!(store.repl_peek(16)[0].seq, 2);
     }
 
     #[test]

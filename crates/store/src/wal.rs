@@ -4,7 +4,7 @@
 //! Record framing (shared by both front ends; see DESIGN.md §8):
 //!
 //! ```text
-//! u8  record tag (1 = segment, 2 = annotation)
+//! u8  record tag (1 = segment, 2 = annotation, 3 = repl-applied mark)
 //! u32 payload length
 //! u32 crc32(payload)
 //! payload bytes
@@ -43,6 +43,11 @@ pub enum WalRecord {
     Segment(WaveSegment),
     /// A context annotation.
     Annotation(ContextAnnotation),
+    /// Replica bookkeeping: the highest replication batch sequence this
+    /// store has durably applied. Logged alongside the applied records
+    /// so a restarted replica still skips batches it already holds
+    /// (idempotent shipping rides the normal crash-replay path).
+    ReplApplied(u64),
 }
 
 /// Errors touching the log.
@@ -74,12 +79,14 @@ impl From<std::io::Error> for WalError {
 
 const TAG_SEGMENT: u8 = 1;
 const TAG_ANNOTATION: u8 = 2;
+const TAG_REPL_APPLIED: u8 = 3;
 
 /// Encodes one record into its on-disk frame (tag, length, CRC, payload).
 fn encode_frame(record: &WalRecord) -> Vec<u8> {
     let (tag, payload) = match record {
         WalRecord::Segment(seg) => (TAG_SEGMENT, codec::encode_segment(seg)),
         WalRecord::Annotation(ann) => (TAG_ANNOTATION, codec::encode_annotation(ann)),
+        WalRecord::ReplApplied(seq) => (TAG_REPL_APPLIED, seq.to_le_bytes().to_vec()),
     };
     let mut frame = Vec::with_capacity(1 + 4 + 4 + payload.len());
     frame.push(tag);
@@ -211,6 +218,12 @@ impl Wal {
                 TAG_ANNOTATION => WalRecord::Annotation(
                     codec::decode_annotation(payload).map_err(WalError::Codec)?,
                 ),
+                TAG_REPL_APPLIED => {
+                    let bytes: [u8; 8] = payload
+                        .try_into()
+                        .map_err(|_| WalError::Codec(CodecError("bad repl mark".into())))?;
+                    WalRecord::ReplApplied(u64::from_le_bytes(bytes))
+                }
                 _ => break, // unknown tag: treat as corruption
             };
             records.push(record);

@@ -1,0 +1,182 @@
+//! Property tests for the replication segment wire codec (ISSUE 6
+//! satellite, mirroring `ledger_integrity.rs`): any batch of WAL
+//! records round-trips exactly through encode/decode (including the
+//! hex transport framing), while byte flips, truncation, and trailing
+//! garbage are all rejected — a replica never applies a frame it
+//! cannot fully account for.
+
+use proptest::prelude::*;
+use sensorsafe_store::codec::crc32;
+use sensorsafe_store::repl::{decode_batch, encode_batch, from_hex, to_hex};
+use sensorsafe_store::{SealedBatch, WalRecord};
+use sensorsafe_types::{
+    ChannelSpec, ContextAnnotation, ContextKind, ContextState, GeoPoint, SegmentMeta, TimeRange,
+    Timestamp, Timing, WaveSegment,
+};
+
+/// Compact, shrinkable description of one shippable record.
+#[derive(Debug, Clone)]
+enum RecordSpec {
+    /// A wave segment: (start_ms, rows).
+    Segment(u32, u8),
+    /// A context annotation: (start_ms, len_ms, states).
+    Annotation(u32, u16, Vec<(ContextKind, bool)>),
+}
+
+fn record_spec() -> impl Strategy<Value = RecordSpec> {
+    prop_oneof![
+        (any::<u32>(), 1u8..32).prop_map(|(start, rows)| RecordSpec::Segment(start, rows)),
+        (
+            any::<u32>(),
+            1u16..10_000,
+            prop::collection::vec(
+                (
+                    prop::sample::select(ContextKind::ALL.to_vec()),
+                    any::<bool>()
+                ),
+                0..6,
+            ),
+        )
+            .prop_map(|(start, len, states)| RecordSpec::Annotation(start, len, states)),
+    ]
+}
+
+impl RecordSpec {
+    fn to_record(&self) -> WalRecord {
+        match self {
+            RecordSpec::Segment(start, rows) => {
+                let meta = SegmentMeta {
+                    timing: Timing::Uniform {
+                        start: Timestamp::from_millis(*start as i64),
+                        interval_secs: 0.02,
+                    },
+                    location: Some(GeoPoint::ucla()),
+                    format: vec![ChannelSpec::f32("ecg"), ChannelSpec::f32("respiration")],
+                };
+                let data: Vec<Vec<f64>> = (0..*rows as usize)
+                    .map(|r| vec![r as f64, 300.0 + r as f64])
+                    .collect();
+                WalRecord::Segment(WaveSegment::from_rows(meta, &data).unwrap())
+            }
+            RecordSpec::Annotation(start, len, states) => {
+                WalRecord::Annotation(ContextAnnotation::new(
+                    TimeRange::new(
+                        Timestamp::from_millis(*start as i64),
+                        Timestamp::from_millis(*start as i64 + *len as i64),
+                    ),
+                    states
+                        .iter()
+                        .map(|(kind, active)| ContextState {
+                            kind: *kind,
+                            active: *active,
+                        })
+                        .collect(),
+                ))
+            }
+        }
+    }
+}
+
+fn encoded_frame() -> impl Strategy<Value = (String, u64, u64, Vec<RecordSpec>, Vec<u8>)> {
+    (
+        "[a-z][a-z0-9_-]{0,24}",
+        any::<u64>(),
+        1u64..u64::MAX,
+        prop::collection::vec(record_spec(), 0..6),
+    )
+        .prop_map(|(contributor, epoch, seq, specs)| {
+            let batch = SealedBatch {
+                seq,
+                records: specs.iter().map(RecordSpec::to_record).collect(),
+            };
+            let bytes = encode_batch(&contributor, epoch, &batch);
+            (contributor, epoch, seq, specs, bytes)
+        })
+}
+
+proptest! {
+    /// Round-trip fidelity: decoding an encoded batch yields the exact
+    /// frame — contributor, epoch, sequence, and every record — and the
+    /// hex transport framing is transparent.
+    #[test]
+    fn encode_decode_roundtrip((contributor, epoch, seq, specs, bytes) in encoded_frame()) {
+        let frame = decode_batch(&bytes).unwrap();
+        prop_assert_eq!(&frame.contributor, &contributor);
+        prop_assert_eq!(frame.epoch, epoch);
+        prop_assert_eq!(frame.seq, seq);
+        prop_assert_eq!(frame.records.len(), specs.len());
+        for (got, spec) in frame.records.iter().zip(specs.iter()) {
+            prop_assert_eq!(got, &spec.to_record());
+        }
+        let hex = to_hex(&bytes);
+        prop_assert_eq!(from_hex(&hex).unwrap(), bytes);
+    }
+
+    /// Byte-flip evidence: flipping any single byte anywhere in the
+    /// frame (payload or checksum) makes decoding fail.
+    #[test]
+    fn any_single_byte_flip_is_rejected(
+        (_, _, _, _, bytes) in encoded_frame(),
+        byte_frac in 0u16..1000,
+        flip in 1u8..=255,
+    ) {
+        let mut tampered = bytes.clone();
+        let index = (tampered.len() - 1) * byte_frac as usize / 1000;
+        tampered[index] ^= flip;
+        prop_assert!(
+            decode_batch(&tampered).is_err(),
+            "flip at byte {index}/{} went undetected",
+            tampered.len()
+        );
+    }
+
+    /// Truncation evidence: every proper prefix of a frame is rejected.
+    #[test]
+    fn any_truncation_is_rejected(
+        (_, _, _, _, bytes) in encoded_frame(),
+        cut_frac in 0u16..1000,
+    ) {
+        let cut = bytes.len() * cut_frac as usize / 1000; // always < len
+        prop_assert!(
+            decode_batch(&bytes[..cut]).is_err(),
+            "truncation to {cut}/{} bytes decoded",
+            bytes.len()
+        );
+    }
+
+    /// Trailing-garbage evidence: extra bytes after the frame are
+    /// rejected even when an attacker recomputes a valid checksum over
+    /// the padded body (the decoder insists on a fully-consumed frame).
+    #[test]
+    fn trailing_garbage_is_rejected(
+        (_, _, _, _, bytes) in encoded_frame(),
+        garbage in prop::collection::vec(any::<u8>(), 1..64),
+    ) {
+        // Naive append: the checksum no longer covers the tail.
+        let mut padded = bytes.clone();
+        padded.extend_from_slice(&garbage);
+        prop_assert!(decode_batch(&padded).is_err());
+
+        // Adversarial append: body + garbage with a *recomputed* valid
+        // checksum still fails, on the strict end-of-frame check.
+        let body = &bytes[..bytes.len() - 4];
+        let mut forged = body.to_vec();
+        forged.extend_from_slice(&garbage);
+        let crc = crc32(&forged);
+        forged.extend_from_slice(&crc.to_le_bytes());
+        prop_assert!(decode_batch(&forged).is_err());
+    }
+
+    /// Hex framing rejects odd lengths and non-hex characters.
+    #[test]
+    fn hex_rejects_malformed_input(s in "[0-9a-f]{1,40}") {
+        if s.len() % 2 == 1 {
+            prop_assert!(from_hex(&s).is_err());
+        } else {
+            prop_assert!(from_hex(&s).is_ok());
+        }
+        let mut bad = s.clone();
+        bad.push('g');
+        prop_assert!(from_hex(&bad).is_err());
+    }
+}
