@@ -5,7 +5,8 @@
 //! | `GET /health` | anyone | liveness + registry stats |
 //! | `POST /api/register` | admin key | create consumer accounts (returns the consumer's broker key) |
 //! | `POST /api/stores/register` | admin key | pair a data store: record its address + registration key, mint its sync key |
-//! | `POST /api/contributors/register` | store key | record a contributor hosted at a store |
+//! | `POST /api/contributors/register` | store key | record a contributor hosted at a store; mints the contributor's resolve key |
+//! | `POST /api/contributors/resolve` | store / own contributor / granted consumer | current store assignment + epoch (404 otherwise, indistinguishable from an unknown name) |
 //! | `POST /api/sync` | store key | mirror a contributor's privacy rules (§5.2) |
 //! | `POST /api/search` | consumer | contributor search over mirrored rules |
 //! | `POST /api/consumers/add` | consumer | auto-register at contributors' stores; escrow the keys |
@@ -210,12 +211,32 @@ impl Inner {
 
     /// `POST /api/contributors/resolve` — the current store assignment
     /// for a contributor. Clients call this after a fence rejection (or
-    /// a dead primary) to learn the promoted store and retry. Keyless,
-    /// like `GET /fleet`: it exposes infrastructure addresses, not data.
+    /// a dead primary) to learn the promoted store and retry.
+    ///
+    /// Requires a key: store keys see any assignment, a contributor sees
+    /// their own (via the resolve key minted at auto-registration), and a
+    /// consumer sees contributors whose stores escrowed access for them.
+    /// Anything else is answered exactly like a nonexistent contributor,
+    /// so the endpoint cannot be used to probe which names exist.
     fn handle_contributor_resolve(&self, body: &Value) -> Response {
+        let Some(principal) = self.authenticate(body) else {
+            return unauthorized();
+        };
         let Some(name) = body.get("name").and_then(Value::as_str) else {
             return bad_request("missing 'name'");
         };
+        let allowed = match principal.role {
+            Role::Server => true,
+            Role::Contributor => principal.name == name,
+            Role::Consumer => self
+                .registry
+                .consumer(&ConsumerId::new(principal.name.clone()))
+                .map(|record| record.access.contains_key(&ContributorId::new(name)))
+                .unwrap_or(false),
+        };
+        if !allowed {
+            return Response::error(Status::NotFound, "unknown contributor");
+        }
         match self.registry.assignment_of(&ContributorId::new(name)) {
             Some(assignment) => Response::json(&json!({
                 "store_addr": (assignment.addr.as_str()),
@@ -240,7 +261,13 @@ impl Inner {
         };
         self.registry
             .upsert_contributor(ContributorId::new(contributor), StoreAddr::new(addr));
-        Response::json(&json!({ "ok": true }))
+        // Mint the contributor's broker-side resolve key so their client
+        // can authenticate /api/contributors/resolve after a failover.
+        let resolve_key = self.keys.register(Principal {
+            name: contributor.to_string(),
+            role: Role::Contributor,
+        });
+        Response::json(&json!({ "ok": true, "resolve_key": (resolve_key.to_hex()) }))
     }
 
     fn handle_sync(&self, body: &Value) -> Response {
@@ -833,6 +860,67 @@ mod tests {
             }),
         ));
         assert_eq!(resp.status, Status::Ok);
+    }
+
+    #[test]
+    fn resolve_requires_key_and_hides_existence() {
+        let rig = rig();
+        register_contributor(&rig, "carol");
+        // Register alice by hand to capture her minted resolve key.
+        let resp = rig.store.handle(&Request::post_json(
+            "/api/register",
+            &json!({"key": (rig.store_admin.clone()), "name": "alice", "role": "contributor"}),
+        ));
+        assert_eq!(resp.status, Status::Created);
+        let resp = rig.broker.handle(&Request::post_json(
+            "/api/contributors/register",
+            &json!({"key": (rig.store_key.clone()), "contributor": "alice", "store_addr": "store-1"}),
+        ));
+        assert_eq!(resp.status, Status::Ok);
+        let alice_resolve = resp.json_body().unwrap()["resolve_key"]
+            .as_str()
+            .expect("registration mints a resolve key")
+            .to_string();
+        let resolve = |key: Option<&str>, name: &str| {
+            let mut body = json!({ "name": name });
+            if let Some(key) = key {
+                body = json!({ "key": key, "name": name });
+            }
+            rig.broker
+                .handle(&Request::post_json("/api/contributors/resolve", &body))
+        };
+        // No key / bad key: 401, regardless of whether the name exists.
+        assert_eq!(resolve(None, "alice").status, Status::Unauthorized);
+        assert_eq!(
+            resolve(Some(&"0".repeat(64)), "alice").status,
+            Status::Unauthorized
+        );
+        // A store key resolves anyone.
+        let resp = resolve(Some(&rig.store_key), "alice");
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(
+            resp.json_body().unwrap()["store_addr"].as_str(),
+            Some("store-1")
+        );
+        // A contributor resolves only themself; a real-but-foreign name
+        // answers exactly like a nonexistent one.
+        assert_eq!(resolve(Some(&alice_resolve), "alice").status, Status::Ok);
+        let foreign = resolve(Some(&alice_resolve), "carol");
+        let ghost = resolve(Some(&alice_resolve), "ghost");
+        assert_eq!(foreign.status, Status::NotFound);
+        assert_eq!(foreign.status, ghost.status);
+        assert_eq!(foreign.body, ghost.body, "existence must not leak");
+        // A consumer resolves only contributors whose stores escrowed
+        // access for them.
+        let bob = register_consumer(&rig, "bob");
+        assert_eq!(resolve(Some(&bob), "alice").status, Status::NotFound);
+        let resp = rig.broker.handle(&Request::post_json(
+            "/api/consumers/add",
+            &json!({"key": (bob.clone()), "contributors": ["alice"]}),
+        ));
+        assert_eq!(resp.status, Status::Ok, "{:?}", resp.json_body());
+        assert_eq!(resolve(Some(&bob), "alice").status, Status::Ok);
+        assert_eq!(resolve(Some(&bob), "carol").status, Status::NotFound);
     }
 
     #[test]

@@ -199,13 +199,18 @@ impl ContributorDevice {
                 CollectionDecision::Uploaded
             };
 
-            // Upload this episode's packets plus its annotation.
+            // Upload this episode's packets plus its annotation. A fresh
+            // random idempotency token per episode lets a failover-aware
+            // transport safely re-send the request after an ambiguous
+            // transport failure: the store dedupes on the token, so a
+            // commit-but-lost-response retry cannot double-store.
             let annotations = self.annotate(&episode_segments, &window);
-            let payload = upload_payload(&self.api_key, &episode_segments, &annotations);
+            let token = sensorsafe_auth::ApiKey::generate().to_hex();
+            let payload = upload_payload(&self.api_key, &episode_segments, &annotations, &token);
             let body_len = payload.to_string().len();
             let resp = self
                 .store
-                .round_trip(&Request::post_json("/api/upload", &payload))
+                .round_trip(&Request::post_json("/api/upload", &payload).idempotent())
                 .map_err(|e| e.to_string())?;
             if !resp.status.is_success() {
                 return Err(format!("upload failed: {}", resp.status.code()));
@@ -265,9 +270,11 @@ fn upload_payload(
     api_key: &str,
     segments: &[WaveSegment],
     annotations: &[ContextAnnotation],
+    upload_token: &str,
 ) -> Value {
     json!({
         "key": api_key,
+        "upload_token": upload_token,
         "segments": (Value::Array(segments.iter().map(WaveSegment::to_json).collect())),
         "annotations": (Value::Array(
             annotations

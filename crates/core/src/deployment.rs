@@ -293,16 +293,25 @@ impl Deployment {
         if !resp.status.is_success() {
             return Err(err("broker auto-registration failed"));
         }
+        let resolve_key = resp
+            .json_body()
+            .map_err(err)?
+            .get("resolve_key")
+            .and_then(Value::as_str)
+            .ok_or_else(|| err("broker returned no resolve key"))?
+            .to_string();
         // The handle talks to the store through a failover-aware
         // transport: after a broker-coordinated promotion it re-resolves
-        // the contributor's assignment and retries transparently.
+        // the contributor's assignment and retries transparently,
+        // authenticating as the contributor with the minted resolve key.
         let broker_transport = self.broker_transport.clone();
         let contributor = name.to_string();
+        let resolver_key = resolve_key.clone();
         let resolve: AddrResolver = Arc::new(move || {
             broker_transport
                 .round_trip(&Request::post_json(
                     "/api/contributors/resolve",
-                    &json!({"name": (contributor.clone())}),
+                    &json!({"name": (contributor.clone()), "key": (resolver_key.clone())}),
                 ))
                 .ok()
                 .filter(|resp| resp.status.is_success())
@@ -319,6 +328,7 @@ impl Deployment {
         Ok(ContributorHandle {
             name: name.to_string(),
             api_key,
+            resolve_key,
             store,
         })
     }
@@ -375,6 +385,9 @@ pub struct ContributorHandle {
     pub name: String,
     /// Their API key on their data store (hex).
     pub api_key: String,
+    /// Their broker-side key authorizing `/api/contributors/resolve`
+    /// (hex), minted at auto-registration.
+    pub resolve_key: String,
     /// Transport to their data store.
     pub store: Arc<dyn Transport>,
 }

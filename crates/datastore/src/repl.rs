@@ -23,6 +23,7 @@ use sensorsafe_json::{json, Value};
 use sensorsafe_net::{Request, Transport};
 use sensorsafe_obsv::audit::consumer_label;
 use sensorsafe_store::repl;
+use sensorsafe_types::ContributorId;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -60,16 +61,36 @@ impl Inner {
         let mut shipped = 0usize;
         let registry = sensorsafe_obsv::global();
         for id in self.state.contributor_ids() {
+            // Handshake before trusting acks: the replica persists its
+            // applied high-water, but this shipper's sequence numbering is
+            // in-memory. After a primary restart (or replica swap) the two
+            // can disagree — a replica ahead of us would silently ack
+            // batches it never applied. Compare high-waters once per
+            // attachment; on mismatch, wipe the replica (epoch-guarded)
+            // and re-snapshot so shipping restarts from seq 1.
+            if !self.repl_synced.lock().contains(&id) {
+                if !self.repl_handshake(&id, transport.as_ref(), &repl_key) {
+                    registry
+                        .counter(
+                            "sensorsafe_datastore_repl_ship_failures_total",
+                            "Replication batch pushes that failed or were rejected.",
+                            &[],
+                        )
+                        .inc();
+                    continue;
+                }
+                self.repl_synced.lock().insert(id.clone());
+            }
             let Some((batches, epoch)) = self
                 .state
                 .with_contributor_mut(&id, |account| {
-                    if !account.store.repl_enabled() || account.fenced {
+                    if !account.store.repl_enabled() || account.store.fenced() {
                         return None;
                     }
                     account.store.repl_seal();
                     Some((
                         account.store.repl_peek(MAX_BATCHES_PER_PASS),
-                        account.assignment_epoch,
+                        account.store.assignment_epoch(),
                     ))
                 })
                 .flatten()
@@ -100,9 +121,12 @@ impl Inner {
                     _ => {
                         // Transport error or rejection (including a fence
                         // response): stop this account for the pass and
-                        // retry on the next one. A fence also flips
-                        // `account.fenced` via /repl/fence, which skips
-                        // the account entirely from then on.
+                        // retry on the next one. The replica may have
+                        // restarted mid-run, so force a fresh handshake
+                        // before trusting its next ack. (A fence also
+                        // flips the durable fence flag via /repl/fence,
+                        // which skips the account entirely from then on.)
+                        self.repl_synced.lock().remove(&id);
                         registry
                             .counter(
                                 "sensorsafe_datastore_repl_ship_failures_total",
@@ -128,6 +152,84 @@ impl Inner {
                 .set(pending as i64);
         }
         shipped
+    }
+
+    /// Compares this primary's acked sequence against the replica's
+    /// durable applied high-water for one contributor. On agreement the
+    /// account is safe to ship to; on disagreement the replica's copy is
+    /// wiped (`/repl/reset`, guarded by our assignment epoch so a stale
+    /// deposed primary can never wipe a promoted replica) and the local
+    /// buffer re-snapshots the full store so shipping restarts from
+    /// seq 1. Returns whether shipping may proceed this pass.
+    fn repl_handshake(
+        &self,
+        id: &ContributorId,
+        transport: &dyn Transport,
+        repl_key: &str,
+    ) -> bool {
+        let Some((acked, epoch, enabled)) = self.state.with_contributor(id, |account| {
+            (
+                account.store.repl_acked_seq(),
+                account.store.assignment_epoch(),
+                account.store.repl_enabled(),
+            )
+        }) else {
+            return false;
+        };
+        if !enabled {
+            // Nothing buffered for this account yet; nothing to reconcile.
+            return true;
+        }
+        let status = json!({
+            "key": (repl_key.to_string()),
+            "contributor": (id.as_str()),
+        });
+        let applied = match transport.round_trip(&Request::post_json("/repl/status", &status)) {
+            Ok(resp) if resp.status.is_success() => match resp
+                .json_body()
+                .ok()
+                .as_ref()
+                .and_then(|b| b.get("applied"))
+                .and_then(Value::as_u64)
+            {
+                Some(applied) => applied,
+                None => return false,
+            },
+            _ => return false,
+        };
+        if applied == acked {
+            return true;
+        }
+        // Divergence (typically: primary restarted, so its in-memory
+        // numbering reset while the replica's high-water persisted).
+        // Wipe and restart from a fresh snapshot.
+        let reset = json!({
+            "key": (repl_key.to_string()),
+            "contributor": (id.as_str()),
+            "epoch": epoch,
+        });
+        match transport.round_trip(&Request::post_json("/repl/reset", &reset)) {
+            Ok(resp) if resp.status.is_success() => {}
+            _ => return false,
+        }
+        let resnapshotted = self
+            .state
+            .with_contributor_mut(id, |account| {
+                if account.store.repl_enabled() {
+                    account.store.repl_resnapshot();
+                }
+            })
+            .is_some();
+        if resnapshotted {
+            sensorsafe_obsv::global()
+                .counter(
+                    "sensorsafe_datastore_repl_resyncs_total",
+                    "Full replica resyncs triggered by a high-water mismatch.",
+                    &[],
+                )
+                .inc();
+        }
+        resnapshotted
     }
 
     /// Mirrors a freshly minted registration to the replica (best

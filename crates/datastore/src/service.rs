@@ -25,10 +25,11 @@ use sensorsafe_json::{json, Value};
 use sensorsafe_net::{Request, Response, Router, Service, Status, Transport};
 use sensorsafe_obsv::{audit, trace, AuditLedger, MemoryLedger, Registry, TraceRecorder};
 use sensorsafe_policy::{DependencyGraph, PrivacyRule};
-use sensorsafe_store::{repl, GroupCommitConfig, MergePolicy, Query, ReplConfig, WalRecord};
+use sensorsafe_store::{repl, GroupCommitConfig, MergePolicy, Query, ReplConfig};
 use sensorsafe_types::{
     ConsumerId, ContextAnnotation, ContributorId, GroupId, Region, StudyId, WaveSegment,
 };
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// Construction-time configuration.
@@ -86,6 +87,11 @@ pub(crate) struct Inner {
     pub(crate) graph: DependencyGraph,
     pub(crate) broker: Mutex<Option<BrokerLink>>,
     pub(crate) replica: Mutex<Option<crate::repl::ReplicaLink>>,
+    /// Contributors whose shipping stream has been handshaken against
+    /// the replica's durable high-water this attachment (see
+    /// `repl_ship_now`). Cleared on re-attach and on any ship failure,
+    /// so a replica restart forces a fresh `/repl/status` check.
+    pub(crate) repl_synced: Mutex<BTreeSet<ContributorId>>,
     pub(crate) passwords: PasswordStore,
     pub(crate) sessions: SessionManager,
     pub(crate) registry: Registry,
@@ -243,7 +249,10 @@ impl Inner {
     /// batch. Idempotent by `(contributor, seq)`: the replica records the
     /// highest applied sequence in its own WAL (crash-safe) and skips
     /// anything at or below it, so the primary can re-send after a lost
-    /// ack. Frames carrying an epoch older than the account's assignment
+    /// ack. The batch is applied **atomically** (one WAL frame carries
+    /// the records and the high-water advance together), so a crash can
+    /// never leave a half-applied batch for a re-send to duplicate.
+    /// Frames carrying an epoch older than the account's assignment
     /// epoch are rejected — a deposed primary cannot overwrite a promoted
     /// replica.
     fn handle_repl_segment(&self, body: &Value) -> Response {
@@ -268,42 +277,27 @@ impl Inner {
             return Response::error(Status::InternalError, "failed to open replica account");
         }
         let id = ContributorId::new(frame.contributor.as_str());
+        let seq = frame.seq;
         let (applied, ticket) = {
             let Some(mut account) = self.state.write_contributor(&id) else {
                 return Response::error(Status::InternalError, "replica account vanished");
             };
-            if frame.epoch < account.assignment_epoch {
-                let epoch = account.assignment_epoch;
+            if frame.epoch < account.store.assignment_epoch() {
+                let epoch = account.store.assignment_epoch();
                 return Response::json_with_status(
                     Status::Conflict,
                     &json!({ "error": "stale_epoch", "epoch": epoch }),
                 );
             }
-            if frame.seq <= account.store.repl_applied() {
-                (false, None)
-            } else {
-                for record in &frame.records {
-                    let outcome = match record {
-                        WalRecord::Segment(seg) => account.store.insert_segment(seg.clone()),
-                        WalRecord::Annotation(ann) => account.store.insert_annotation(ann.clone()),
-                        // Never shipped (the codec rejects it); replayed
-                        // marks are local bookkeeping.
-                        WalRecord::ReplApplied(_) => Ok(()),
-                    };
-                    if let Err(e) = outcome {
-                        return Response::error(
-                            Status::InternalError,
-                            &format!("replica apply failed: {e}"),
-                        );
-                    }
-                }
-                if let Err(e) = account.store.note_repl_applied(frame.seq) {
+            match account.store.apply_repl_batch(seq, frame.records) {
+                Ok(false) => (false, None),
+                Ok(true) => (true, account.store.commit_ticket()),
+                Err(e) => {
                     return Response::error(
                         Status::InternalError,
                         &format!("replica apply failed: {e}"),
-                    );
+                    )
                 }
-                (true, account.store.commit_ticket())
             }
         };
         // Same durability contract as /api/upload: the ack promises the
@@ -325,7 +319,79 @@ impl Inner {
                 )
                 .inc();
         }
-        Response::json(&json!({ "applied": applied, "seq": (frame.seq) }))
+        Response::json(&json!({ "applied": applied, "seq": seq }))
+    }
+
+    /// `POST /repl/status` — the shipping primary's handshake. Reports
+    /// this replica's durable apply high-water and assignment epoch so a
+    /// restarted primary (whose in-memory shipping sequence restarted
+    /// from scratch) can detect divergence and trigger a full resync
+    /// instead of shipping batches the replica will silently skip.
+    fn handle_repl_status(&self, body: &Value) -> Response {
+        let Some(principal) = self.authenticate(body) else {
+            return unauthorized();
+        };
+        if principal.role != Role::Server {
+            return Response::error(Status::Forbidden, "replication requires a server key");
+        }
+        let Some(contributor) = body.get("contributor").and_then(Value::as_str) else {
+            return bad_request("missing 'contributor'");
+        };
+        if !self.ensure_contributor_account(contributor) {
+            return Response::error(Status::InternalError, "failed to open replica account");
+        }
+        let id = ContributorId::new(contributor);
+        let Some(account) = self.state.read_contributor(&id) else {
+            return Response::error(Status::InternalError, "replica account vanished");
+        };
+        Response::json(&json!({
+            "applied": (account.store.repl_applied()),
+            "epoch": (account.store.assignment_epoch()),
+            "fenced": (account.store.fenced()),
+        }))
+    }
+
+    /// `POST /repl/reset` — wipes this replica's copy of one
+    /// contributor's data ahead of a full re-snapshot (the primary calls
+    /// this when the status handshake shows the streams diverged). The
+    /// wipe is durable (the WAL is rewritten) and epoch-guarded: a
+    /// deposed primary carrying a stale epoch cannot wipe a promoted
+    /// replica, and the assignment epoch/fence survive the reset.
+    fn handle_repl_reset(&self, body: &Value) -> Response {
+        let Some(principal) = self.authenticate(body) else {
+            return unauthorized();
+        };
+        if principal.role != Role::Server {
+            return Response::error(Status::Forbidden, "replication requires a server key");
+        }
+        let Some(contributor) = body.get("contributor").and_then(Value::as_str) else {
+            return bad_request("missing 'contributor'");
+        };
+        let Some(epoch) = body.get("epoch").and_then(Value::as_u64) else {
+            return bad_request("missing 'epoch'");
+        };
+        if !self.ensure_contributor_account(contributor) {
+            return Response::error(Status::InternalError, "failed to open replica account");
+        }
+        let id = ContributorId::new(contributor);
+        let outcome = self.state.with_contributor_mut(&id, |account| {
+            let current = account.store.assignment_epoch();
+            if epoch < current {
+                return Err(current);
+            }
+            Ok(account.store.repl_reset())
+        });
+        match outcome {
+            Some(Ok(Ok(()))) => Response::json(&json!({ "ok": true })),
+            Some(Ok(Err(e))) => {
+                Response::error(Status::InternalError, &format!("replica reset failed: {e}"))
+            }
+            Some(Err(current)) => Response::json_with_status(
+                Status::Conflict,
+                &json!({ "error": "stale_epoch", "epoch": current }),
+            ),
+            None => Response::error(Status::InternalError, "replica account vanished"),
+        }
     }
 
     /// `POST /repl/register` — a primary mirrors a freshly minted
@@ -440,7 +506,10 @@ impl Inner {
     /// Shared body of `/repl/fence` and `/repl/promote`: both CAS the
     /// account's assignment epoch forward and set the fenced flag. An
     /// epoch older than the current one is rejected as stale, making both
-    /// operations idempotent and safe to retry.
+    /// operations idempotent and safe to retry. The transition is staged
+    /// on the account's WAL and the 200 waits for the commit — the broker
+    /// stops retrying a fence once acknowledged, so the ack must mean
+    /// the fence survives a restart.
     fn repl_set_epoch(&self, body: &Value, fenced: bool) -> Response {
         let Some(principal) = self.authenticate(body) else {
             return unauthorized();
@@ -459,16 +528,30 @@ impl Inner {
         }
         let id = ContributorId::new(contributor);
         let outcome = self.state.with_contributor_mut(&id, |account| {
-            if epoch < account.assignment_epoch {
-                Err(account.assignment_epoch)
-            } else {
-                account.assignment_epoch = epoch;
-                account.fenced = fenced;
-                Ok(())
+            let current = account.store.assignment_epoch();
+            if epoch < current {
+                return Err(current);
             }
+            Ok(account
+                .store
+                .note_assignment(epoch, fenced)
+                .map(|()| account.store.commit_ticket()))
         });
         match outcome {
-            Some(Ok(())) => Response::json(&json!({ "ok": true, "epoch": epoch })),
+            Some(Ok(Ok(ticket))) => {
+                if let Some(ticket) = ticket {
+                    if let Err(e) = ticket.wait() {
+                        return Response::error(
+                            Status::InternalError,
+                            &format!("fence persist failed: {e}"),
+                        );
+                    }
+                }
+                Response::json(&json!({ "ok": true, "epoch": epoch }))
+            }
+            Some(Ok(Err(e))) => {
+                Response::error(Status::InternalError, &format!("fence persist failed: {e}"))
+            }
             Some(Err(current)) => Response::json_with_status(
                 Status::Conflict,
                 &json!({ "error": "stale_epoch", "epoch": current }),
@@ -516,6 +599,22 @@ impl Inner {
                 }
             }
         }
+        // Optional idempotency token: a client that retries an upload
+        // whose response was lost sends the same token again, and the
+        // duplicate is answered from the store's token ledger instead of
+        // being stored twice.
+        let token = match body.get("upload_token") {
+            None => None,
+            Some(v) => {
+                let Some(hex) = v.as_str() else {
+                    return bad_request("bad 'upload_token': expected hex string");
+                };
+                match repl::from_hex(hex) {
+                    Ok(t) if !t.is_empty() => Some(t),
+                    _ => return bad_request("bad 'upload_token': expected hex string"),
+                }
+            }
+        };
         // Stage-then-wait: the account write lock covers only the
         // in-memory mutation and WAL *staging*; the fsync wait happens
         // after the lock is released, so concurrent uploads (to this or
@@ -528,12 +627,28 @@ impl Inner {
             // Epoch fence: after a failover this store is no longer the
             // contributor's primary. Rejecting with the new epoch lets the
             // client re-resolve the assignment at the broker and retry.
-            if account.fenced {
-                let epoch = account.assignment_epoch;
+            if account.store.fenced() {
+                let epoch = account.store.assignment_epoch();
                 return Response::json_with_status(
                     Status::Conflict,
                     &json!({ "error": "fenced", "epoch": epoch }),
                 );
+            }
+            if let Some(token) = token.as_deref() {
+                if let Some((stored, annotated)) = account.store.check_upload_token(token) {
+                    sensorsafe_obsv::global()
+                        .counter(
+                            "sensorsafe_datastore_duplicate_uploads_total",
+                            "Upload retries answered from the idempotency-token ledger.",
+                            &[],
+                        )
+                        .inc();
+                    return Response::json(&json!({
+                        "stored_segments": (stored as usize),
+                        "stored_annotations": (annotated as usize),
+                        "duplicate": true,
+                    }));
+                }
             }
             let mut stored = 0usize;
             for seg in segments {
@@ -545,6 +660,18 @@ impl Inner {
             for ann in annotations {
                 if account.store.insert_annotation(ann).is_ok() {
                     annotated += 1;
+                }
+            }
+            if let Some(token) = token {
+                if let Err(e) =
+                    account
+                        .store
+                        .note_upload_token(token, stored as u32, annotated as u32)
+                {
+                    return Response::error(
+                        Status::InternalError,
+                        &format!("durable commit failed: {e}"),
+                    );
                 }
             }
             (stored, annotated, account.store.commit_ticket())
@@ -661,8 +788,8 @@ impl Inner {
             let Some(mut account) = self.state.write_contributor(&id) else {
                 return Response::error(Status::NotFound, "no such contributor account");
             };
-            if account.fenced {
-                let epoch = account.assignment_epoch;
+            if account.store.fenced() {
+                let epoch = account.store.assignment_epoch();
                 return Response::json_with_status(
                     Status::Conflict,
                     &json!({ "error": "fenced", "epoch": epoch }),
@@ -974,6 +1101,7 @@ impl DataStoreService {
             graph: DependencyGraph::paper(),
             broker: Mutex::new(None),
             replica: Mutex::new(None),
+            repl_synced: Mutex::new(BTreeSet::new()),
             passwords: PasswordStore::new(),
             sessions: SessionManager::new(),
             registry: Registry::new(),
@@ -1032,6 +1160,8 @@ impl DataStoreService {
         post_json_route!("/repl/rules", handle_repl_rules);
         post_json_route!("/repl/fence", handle_repl_fence);
         post_json_route!("/repl/promote", handle_repl_promote);
+        post_json_route!("/repl/status", handle_repl_status);
+        post_json_route!("/repl/reset", handle_repl_reset);
         crate::web::mount(&mut router, inner.clone());
         (
             DataStoreService {
@@ -1055,6 +1185,10 @@ impl DataStoreService {
     /// their keys mirrored — keys are only recoverable at mint time.
     pub fn attach_replica(&self, link: crate::repl::ReplicaLink) {
         *self.inner.replica.lock() = Some(link);
+        // Force a fresh /repl/status handshake per contributor: the new
+        // replica may hold anything from nothing to a full copy, and the
+        // shipper must compare high-waters before trusting its acks.
+        self.inner.repl_synced.lock().clear();
         for id in self.inner.state.contributor_ids() {
             self.inner
                 .state
@@ -1651,6 +1785,96 @@ mod durability_tests {
             .with_contributor(&id, |a| a.store.stats())
             .unwrap();
         assert_eq!(stats.samples, uploaded, "WAL replay recovered the data");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn register_alice(svc: &DataStoreService, admin: &sensorsafe_auth::ApiKey) -> String {
+        let resp = svc.handle(&Request::post_json(
+            "/api/register",
+            &json!({"key": (admin.to_hex()), "name": "alice", "role": "contributor"}),
+        ));
+        assert_eq!(resp.status, Status::Created, "{:?}", resp.json_body());
+        resp.json_body().unwrap()["api_key"]
+            .as_str()
+            .unwrap()
+            .to_string()
+    }
+
+    /// The REVIEW scenario: a durable primary restarts, its in-memory
+    /// shipping sequence resets to 1, and the still-running replica has a
+    /// higher persisted high-water — so without the status handshake every
+    /// post-restart batch would be acked as an already-applied duplicate
+    /// and silently dropped. The handshake must detect the divergence,
+    /// wipe the replica, and re-ship a full snapshot.
+    #[test]
+    fn primary_restart_resyncs_replica_instead_of_dropping_writes() {
+        let dir = std::env::temp_dir().join(format!("sensorsafe-resync-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let config = DataStoreConfig {
+            name: "primary".into(),
+            data_dir: Some(dir.clone()),
+            ..DataStoreConfig::default()
+        };
+        let (replica, replica_admin) = DataStoreService::new(DataStoreConfig {
+            name: "replica".to_string(),
+            ..DataStoreConfig::default()
+        });
+        let replica_admin = replica_admin.to_hex();
+        let link = || crate::repl::ReplicaLink {
+            addr: "replica:0".to_string(),
+            transport: Arc::new(sensorsafe_net::LocalTransport::new(Arc::new(
+                replica.clone(),
+            ))),
+            repl_key: replica_admin.clone(),
+        };
+        let scenario =
+            sensorsafe_sim::Scenario::alice_day(sensorsafe_types::Timestamp::from_millis(0), 6, 1);
+        let rendered = scenario.render();
+        let upload = |svc: &DataStoreService, key: &str, skip: usize| {
+            let segments: Vec<Value> = rendered
+                .chest_segments
+                .iter()
+                .skip(skip)
+                .take(8)
+                .map(WaveSegment::to_json)
+                .collect();
+            let resp = svc.handle(&Request::post_json(
+                "/api/upload",
+                &json!({"key": key, "segments": (Value::Array(segments))}),
+            ));
+            assert_eq!(resp.status, Status::Ok, "{:?}", resp.json_body());
+        };
+        // First incarnation: upload, ship, drain.
+        {
+            let (svc, admin) = DataStoreService::new(config.clone());
+            let key = register_alice(&svc, &admin);
+            svc.attach_replica(link());
+            upload(&svc, &key, 0);
+            while svc.repl_ship_now() > 0 {}
+        }
+        // "Restart": fresh service over the same directory. Its shipper
+        // numbering restarts at seq 1 while the replica's applied
+        // high-water persisted — the divergence under test.
+        let (svc, admin) = DataStoreService::new(config);
+        let key = register_alice(&svc, &admin);
+        svc.attach_replica(link());
+        upload(&svc, &key, 8);
+        while svc.repl_ship_now() > 0 {}
+        let id = ContributorId::new("alice");
+        let primary_stats = svc
+            .state()
+            .with_contributor(&id, |a| a.store.stats())
+            .unwrap();
+        let replica_stats = replica
+            .state()
+            .with_contributor(&id, |a| a.store.stats())
+            .unwrap();
+        assert_eq!(primary_stats.samples, 16 * rendered.chest_segments[0].len());
+        assert_eq!(
+            replica_stats.samples, primary_stats.samples,
+            "replica resynced to the full post-restart copy"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

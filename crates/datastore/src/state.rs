@@ -60,14 +60,6 @@ pub struct ContributorAccount {
     /// Labeled places ("home", "UCLA") drawn on the map UI; a window's
     /// location labels are the labels whose region contains its point.
     pub places: Vec<(String, Region)>,
-    /// The broker-assigned store epoch for this contributor (extends the
-    /// `(epoch, rules)` discipline to store placement). A failover
-    /// promotion bumps it; writes carrying an older epoch are rejected.
-    pub assignment_epoch: u64,
-    /// `true` once the broker fenced this store for the contributor (it
-    /// lost a failover CAS). A fenced account rejects contributor writes
-    /// until re-promoted.
-    pub fenced: bool,
     /// Lazily compiled rules, keyed by the epoch they were compiled at.
     /// An epoch bump invalidates the entry; the next enforcement pass
     /// recompiles once and every request after that shares the `Arc`.
@@ -84,8 +76,6 @@ impl ContributorAccount {
             rules: Vec::new(),
             rule_epoch: 0,
             places: Vec::new(),
-            assignment_epoch: 0,
-            fenced: false,
             compiled: Mutex::new(None),
         }
     }
@@ -120,8 +110,6 @@ impl ContributorAccount {
             rules: Vec::new(),
             rule_epoch: 0,
             places: Vec::new(),
-            assignment_epoch: 0,
-            fenced: false,
             compiled: Mutex::new(None),
         })
     }

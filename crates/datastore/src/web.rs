@@ -514,6 +514,7 @@ mod tests {
             query: Default::default(),
             headers: Default::default(),
             body: b"username=alice&password=hunter2".to_vec(),
+            idempotent: false,
         };
         login.headers.insert(
             "content-type".into(),

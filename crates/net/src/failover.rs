@@ -13,6 +13,14 @@
 //! Any other response — success, 4xx, 5xx — is returned untouched on the
 //! first attempt: only "this store cannot serve you anymore" conditions
 //! trigger the redirect loop.
+//!
+//! Transport errors are ambiguous: the store may have committed the
+//! request before the connection died, so blindly re-sending a
+//! non-idempotent write (e.g. `POST /api/upload`) can double-store it.
+//! They are therefore retried only for requests marked
+//! [`Request::idempotent`] — GETs, reads-over-POST, and writes carrying
+//! their own idempotency token. A fence rejection, by contrast, is an
+//! explicit "I did NOT perform this write", so it is always retried.
 
 use crate::{Request, Response, Status, Transport, TransportError};
 use parking_lot::RwLock;
@@ -88,11 +96,18 @@ impl FailoverTransport {
 
 impl Transport for FailoverTransport {
     fn round_trip(&self, request: &Request) -> Result<Response, TransportError> {
+        // A fence means the store refused the write before acting on it —
+        // always safe to retry elsewhere. A transport error leaves the
+        // outcome unknown, so only idempotent requests may be re-sent.
+        let retryable = |outcome: &Result<Response, TransportError>| match outcome {
+            Ok(resp) => is_fence_rejection(resp),
+            Err(_) => request.idempotent,
+        };
         let mut last = {
             let transport = self.current.read().1.clone();
             transport.round_trip(request)
         };
-        if matches!(&last, Ok(resp) if !is_fence_rejection(resp)) {
+        if !retryable(&last) {
             return last;
         }
         for attempt in 0..self.attempts {
@@ -102,7 +117,7 @@ impl Transport for FailoverTransport {
             self.refresh();
             let transport = self.current.read().1.clone();
             last = transport.round_trip(request);
-            if matches!(&last, Ok(resp) if !is_fence_rejection(resp)) {
+            if !retryable(&last) {
                 return last;
             }
         }
@@ -205,6 +220,78 @@ mod tests {
             .unwrap();
         assert_eq!(resp.status, Status::Conflict);
         assert_eq!(svc.0.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+
+    /// Fails the first `failures` round trips with a transport error,
+    /// then answers 200. `LocalTransport` can never produce a transport
+    /// error, so ambiguous-outcome behavior needs a scripted transport.
+    struct Flaky {
+        failures: std::sync::atomic::AtomicU32,
+        calls: Arc<std::sync::atomic::AtomicU32>,
+    }
+
+    impl Transport for Flaky {
+        fn round_trip(&self, _req: &Request) -> Result<Response, TransportError> {
+            self.calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            if self
+                .failures
+                .fetch_update(
+                    std::sync::atomic::Ordering::SeqCst,
+                    std::sync::atomic::Ordering::SeqCst,
+                    |n| n.checked_sub(1),
+                )
+                .is_ok()
+            {
+                Err(TransportError::Io(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionReset,
+                    "connection reset",
+                )))
+            } else {
+                Ok(Response::json(&json!({"ok": true})))
+            }
+        }
+    }
+
+    fn flaky_failover(
+        failures: u32,
+        calls: Arc<std::sync::atomic::AtomicU32>,
+    ) -> FailoverTransport {
+        let make: TransportMaker = Arc::new(move |_addr: &str| {
+            Arc::new(Flaky {
+                failures: std::sync::atomic::AtomicU32::new(failures),
+                calls: calls.clone(),
+            }) as Arc<dyn Transport>
+        });
+        let resolve: AddrResolver = Arc::new(|| None);
+        FailoverTransport::new("flaky", make, resolve).with_retry(5, Duration::from_millis(1))
+    }
+
+    #[test]
+    fn transport_error_not_retried_for_non_idempotent_post() {
+        let calls = Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let transport = flaky_failover(1, calls.clone());
+        // A plain POST write: the first attempt's outcome is unknown, so
+        // re-sending could double-commit — the error must surface.
+        let outcome = transport.round_trip(&Request::post_json("/api/upload", &json!({})));
+        assert!(outcome.is_err(), "ambiguous failure must not be retried");
+        assert_eq!(calls.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn transport_error_retried_for_idempotent_requests() {
+        // GETs are idempotent by construction.
+        let calls = Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let transport = flaky_failover(2, calls.clone());
+        let resp = transport.round_trip(&Request::get("/health")).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(calls.load(std::sync::atomic::Ordering::SeqCst), 3);
+        // A POST opts in (reads-over-POST, token-carrying writes).
+        let calls = Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let transport = flaky_failover(2, calls.clone());
+        let req = Request::post_json("/api/query", &json!({})).idempotent();
+        let resp = transport.round_trip(&req).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(calls.load(std::sync::atomic::Ordering::SeqCst), 3);
     }
 
     #[test]

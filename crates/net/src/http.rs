@@ -147,6 +147,13 @@ pub struct Request {
     pub headers: BTreeMap<String, String>,
     /// Body bytes.
     pub body: Vec<u8>,
+    /// Whether a retrying transport may safely re-send this request after
+    /// a transport error whose outcome is unknown (the server may have
+    /// committed the effect before the response was lost). GETs are
+    /// idempotent by construction; POSTs must opt in via
+    /// [`Request::idempotent`] — e.g. reads-over-POST, or writes carrying
+    /// their own idempotency token. Client-side only; never serialized.
+    pub idempotent: bool,
 }
 
 impl Request {
@@ -158,6 +165,7 @@ impl Request {
             query: BTreeMap::new(),
             headers: BTreeMap::new(),
             body: Vec::new(),
+            idempotent: true,
         }
     }
 
@@ -169,10 +177,18 @@ impl Request {
             query: BTreeMap::new(),
             headers: BTreeMap::new(),
             body: json.to_string().into_bytes(),
+            idempotent: false,
         };
         req.headers
             .insert("content-type".into(), "application/json".into());
         req
+    }
+
+    /// Marks the request safe to re-send after an ambiguous transport
+    /// failure (see the [`Request::idempotent`] field).
+    pub fn idempotent(mut self) -> Request {
+        self.idempotent = true;
+        self
     }
 
     /// Adds a query parameter.
@@ -384,6 +400,7 @@ pub fn read_request<R: Read>(reader: &mut BufReader<R>) -> std::io::Result<Optio
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
     Ok(Some(Request {
+        idempotent: method == Method::Get,
         method,
         path: percent_decode(raw_path),
         query: parse_query(raw_query),

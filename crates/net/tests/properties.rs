@@ -61,7 +61,7 @@ proptest! {
         headers in arb_headers(),
         body in prop::collection::vec(any::<u8>(), 0..512),
     ) {
-        let req = Request { method, path, query, headers, body };
+        let req = Request { idempotent: method == Method::Get, method, path, query, headers, body };
         let mut wire = Vec::new();
         write_request(&mut wire, &req).unwrap();
         let mut reader = BufReader::new(wire.as_slice());

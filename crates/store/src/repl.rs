@@ -161,13 +161,24 @@ impl ReplBuffer {
     pub fn next_seq(&self) -> u64 {
         self.next_seq
     }
+
+    /// The sealing thresholds this buffer was built with (used to build
+    /// a replacement buffer when the shipping stream is re-snapshotted
+    /// after a resync).
+    pub fn config(&self) -> ReplConfig {
+        self.config
+    }
 }
 
 fn approx_record_bytes(record: &WalRecord) -> usize {
     match record {
         WalRecord::Segment(seg) => seg.approx_bytes(),
         WalRecord::Annotation(ann) => 24 + ann.states.len() * 2,
-        WalRecord::ReplApplied(_) => 8,
+        WalRecord::ReplApplied(_) | WalRecord::AssignEpoch { .. } => 16,
+        WalRecord::ReplBatch { records, .. } => {
+            16 + records.iter().map(approx_record_bytes).sum::<usize>()
+        }
+        WalRecord::UploadToken { token, .. } => 16 + token.len(),
     }
 }
 
@@ -210,9 +221,7 @@ pub fn encode_batch(contributor: &str, epoch: u64, batch: &SealedBatch) -> Vec<u
         let (tag, payload) = match record {
             WalRecord::Segment(seg) => (WIRE_TAG_SEGMENT, codec::encode_segment(seg)),
             WalRecord::Annotation(ann) => (WIRE_TAG_ANNOTATION, codec::encode_annotation(ann)),
-            WalRecord::ReplApplied(_) => {
-                unreachable!("bookkeeping records are never shipped")
-            }
+            _ => unreachable!("bookkeeping records are never shipped"),
         };
         out.push(tag);
         out.extend_from_slice(&(payload.len() as u32).to_le_bytes());

@@ -1,12 +1,19 @@
 //! The segment store: time-ordered series, merge optimizer, query engine.
 
+use crate::codec::CodecError;
 use crate::query::Query;
 use crate::repl::{ReplBuffer, ReplConfig, SealedBatch};
 use crate::wal::{CommitTicket, GroupCommitConfig, GroupCommitWal, Wal, WalError, WalRecord};
 use sensorsafe_types::{ChannelSpec, ContextAnnotation, TimeRange, WaveSegment};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::path::Path;
 use std::sync::Arc;
+
+/// How many recent upload idempotency tokens a store remembers. Bounds
+/// both memory and the compacted log's bookkeeping tail; a client retry
+/// older than the last 256 uploads re-stores (acceptable: the retry
+/// window is seconds, not hundreds of uploads).
+const UPLOAD_TOKEN_CAP: usize = 256;
 
 /// Configuration of the §5.1 merge optimization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,6 +128,15 @@ pub struct SegmentStore {
     /// store is a replica (0 = none). Persisted via
     /// [`WalRecord::ReplApplied`] so restarts keep shipping idempotent.
     repl_applied: u64,
+    /// The broker-assigned store epoch for this contributor's data
+    /// (0 = never assigned). Persisted via [`WalRecord::AssignEpoch`].
+    assignment_epoch: u64,
+    /// Whether this store is fenced at `assignment_epoch` (a deposed
+    /// primary). Persisted with the epoch so a fence survives restart.
+    fenced: bool,
+    /// Recent upload idempotency tokens with the response each
+    /// produced, oldest first, capped at [`UPLOAD_TOKEN_CAP`].
+    upload_tokens: VecDeque<(Vec<u8>, u32, u32)>,
 }
 
 impl SegmentStore {
@@ -135,6 +151,9 @@ impl SegmentStore {
             merges: 0,
             repl: None,
             repl_applied: 0,
+            assignment_epoch: 0,
+            fenced: false,
+            upload_tokens: VecDeque::new(),
         }
     }
 
@@ -168,6 +187,28 @@ impl SegmentStore {
                 WalRecord::ReplApplied(seq) => {
                     store.repl_applied = store.repl_applied.max(seq);
                 }
+                WalRecord::AssignEpoch { epoch, fenced } => {
+                    store.assignment_epoch = epoch;
+                    store.fenced = fenced;
+                }
+                WalRecord::ReplBatch { seq, records } => {
+                    for nested in records {
+                        match nested {
+                            WalRecord::Segment(seg) if !seg.is_empty() => {
+                                store.insert_segment_inner(seg)
+                            }
+                            WalRecord::Segment(_) => {}
+                            WalRecord::Annotation(ann) => store.annotations.push(ann),
+                            _ => unreachable!("WAL decode rejects bookkeeping inside a batch"),
+                        }
+                    }
+                    store.repl_applied = store.repl_applied.max(seq);
+                }
+                WalRecord::UploadToken {
+                    token,
+                    stored,
+                    annotated,
+                } => store.push_upload_token(token, stored, annotated),
             }
         }
         store.annotations.sort_by_key(|a| a.window.start);
@@ -277,6 +318,12 @@ impl SegmentStore {
         if self.repl.is_some() {
             return;
         }
+        self.repl = Some(self.snapshot_buffer(config));
+    }
+
+    /// A fresh shipping buffer seeded with a full snapshot of the
+    /// current (merged) state, sealed and numbered from sequence 1.
+    fn snapshot_buffer(&self, config: ReplConfig) -> ReplBuffer {
         let mut buffer = ReplBuffer::new(config);
         for series in self.series.values() {
             for seg in series.segments.values() {
@@ -287,7 +334,18 @@ impl SegmentStore {
             buffer.observe(WalRecord::Annotation(ann.clone()));
         }
         buffer.seal_open();
-        self.repl = Some(buffer);
+        buffer
+    }
+
+    /// Replaces the shipping buffer with a fresh full snapshot (sequence
+    /// restarts at 1). The shipper calls this after wiping a divergent
+    /// replica via `/repl/reset`: the replica's high-water is back at 0,
+    /// so the stream and the snapshot renumber together. No-op without
+    /// replication.
+    pub fn repl_resnapshot(&mut self) {
+        if let Some(config) = self.repl.as_ref().map(ReplBuffer::config) {
+            self.repl = Some(self.snapshot_buffer(config));
+        }
     }
 
     /// Whether [`SegmentStore::enable_replication`] has been called.
@@ -332,6 +390,14 @@ impl SegmentStore {
         self.repl_applied
     }
 
+    /// Highest replication batch sequence the replica has acked (0
+    /// without replication). The shipper compares this against the
+    /// replica's reported `repl_applied` to detect divergence after a
+    /// primary restart.
+    pub fn repl_acked_seq(&self) -> u64 {
+        self.repl.as_ref().map(ReplBuffer::acked_seq).unwrap_or(0)
+    }
+
     /// Records that a replication batch up to `seq` has been applied,
     /// staging a [`WalRecord::ReplApplied`] mark so the high-water
     /// survives restart. The mark becomes durable with the batch's
@@ -345,6 +411,148 @@ impl SegmentStore {
         }
         self.repl_applied = seq;
         Ok(())
+    }
+
+    /// Applies one shipped replication batch **atomically**: the whole
+    /// batch is staged as a single [`WalRecord::ReplBatch`] frame (the
+    /// records *and* the high-water advance either both survive a crash
+    /// or neither does), then applied in memory. Returns `Ok(false)`
+    /// without touching anything when `seq` is at or below the durable
+    /// high-water (an idempotent re-send), `Ok(true)` when applied.
+    /// Rejects batches carrying bookkeeping records.
+    pub fn apply_repl_batch(
+        &mut self,
+        seq: u64,
+        records: Vec<WalRecord>,
+    ) -> Result<bool, StoreError> {
+        if seq <= self.repl_applied {
+            return Ok(false);
+        }
+        if records
+            .iter()
+            .any(|r| !matches!(r, WalRecord::Segment(_) | WalRecord::Annotation(_)))
+        {
+            return Err(StoreError::Wal(WalError::Codec(CodecError(
+                "replication batch may only carry data records".into(),
+            ))));
+        }
+        if let Some(wal) = &self.wal {
+            wal.stage(&WalRecord::ReplBatch {
+                seq,
+                records: records.clone(),
+            })?;
+        }
+        for record in records {
+            match record {
+                WalRecord::Segment(seg) => {
+                    if seg.is_empty() {
+                        continue;
+                    }
+                    if let Some(repl) = &mut self.repl {
+                        repl.observe(WalRecord::Segment(seg.clone()));
+                    }
+                    self.insert_segment_inner(seg);
+                }
+                WalRecord::Annotation(ann) => {
+                    if let Some(repl) = &mut self.repl {
+                        repl.observe(WalRecord::Annotation(ann.clone()));
+                    }
+                    let pos = self
+                        .annotations
+                        .partition_point(|a| a.window.start <= ann.window.start);
+                    self.annotations.insert(pos, ann);
+                }
+                _ => unreachable!("validated above"),
+            }
+        }
+        self.repl_applied = seq;
+        Ok(true)
+    }
+
+    /// The broker-assigned store epoch for this contributor (0 = never
+    /// assigned).
+    pub fn assignment_epoch(&self) -> u64 {
+        self.assignment_epoch
+    }
+
+    /// Whether this store is fenced (a deposed primary that must reject
+    /// contributor writes and stale replication frames).
+    pub fn fenced(&self) -> bool {
+        self.fenced
+    }
+
+    /// Records a broker assignment-epoch transition, staging a
+    /// [`WalRecord::AssignEpoch`] mark so a fence survives restart.
+    /// No-op when nothing changes. The caller decides monotonicity (the
+    /// service CAS-forwards epochs); this just persists the outcome —
+    /// ack it only after a commit ticket covering the mark resolves.
+    pub fn note_assignment(&mut self, epoch: u64, fenced: bool) -> Result<(), StoreError> {
+        if self.assignment_epoch == epoch && self.fenced == fenced {
+            return Ok(());
+        }
+        if let Some(wal) = &self.wal {
+            wal.stage(&WalRecord::AssignEpoch { epoch, fenced })?;
+        }
+        self.assignment_epoch = epoch;
+        self.fenced = fenced;
+        Ok(())
+    }
+
+    /// Wipes this store's data state for a replication resync: series,
+    /// annotations, the apply high-water, and remembered upload tokens
+    /// all reset; the assignment epoch/fence are **kept** (a reset must
+    /// not unfence a store). The WAL is rewritten durably (via
+    /// [`SegmentStore::compact`]) so a crash mid-resync cannot resurrect
+    /// the wiped records.
+    pub fn repl_reset(&mut self) -> Result<(), StoreError> {
+        self.series.clear();
+        self.annotations.clear();
+        self.seq = 0;
+        self.merges = 0;
+        self.repl_applied = 0;
+        self.upload_tokens.clear();
+        if let Some(config) = self.repl.as_ref().map(ReplBuffer::config) {
+            self.repl = Some(ReplBuffer::new(config));
+        }
+        self.compact()
+    }
+
+    /// The response recorded for an upload idempotency token, if the
+    /// token is among the last [`UPLOAD_TOKEN_CAP`] remembered:
+    /// `(segments stored, annotations stored)`.
+    pub fn check_upload_token(&self, token: &[u8]) -> Option<(u32, u32)> {
+        self.upload_tokens
+            .iter()
+            .find(|(t, _, _)| t.as_slice() == token)
+            .map(|&(_, stored, annotated)| (stored, annotated))
+    }
+
+    /// Remembers an upload idempotency token and the response it
+    /// produced, staging a [`WalRecord::UploadToken`] mark so a retry
+    /// after restart still deduplicates. Becomes durable with the
+    /// upload's records on the same group commit.
+    pub fn note_upload_token(
+        &mut self,
+        token: Vec<u8>,
+        stored: u32,
+        annotated: u32,
+    ) -> Result<(), StoreError> {
+        if let Some(wal) = &self.wal {
+            wal.stage(&WalRecord::UploadToken {
+                token: token.clone(),
+                stored,
+                annotated,
+            })?;
+        }
+        self.push_upload_token(token, stored, annotated);
+        Ok(())
+    }
+
+    fn push_upload_token(&mut self, token: Vec<u8>, stored: u32, annotated: u32) {
+        self.upload_tokens.push_back((token, stored, annotated));
+        while self.upload_tokens.len() > UPLOAD_TOKEN_CAP {
+            self.upload_tokens.pop_front();
+        }
     }
 
     /// Rewrites the WAL from the current (merged) in-memory state. The
@@ -398,6 +606,21 @@ impl SegmentStore {
             if self.repl_applied > 0 {
                 // A replica's apply high-water mark survives compaction.
                 fresh.append(&WalRecord::ReplApplied(self.repl_applied))?;
+            }
+            if self.assignment_epoch > 0 || self.fenced {
+                // The fence must survive compaction too, or a compacted
+                // deposed primary would restart writable.
+                fresh.append(&WalRecord::AssignEpoch {
+                    epoch: self.assignment_epoch,
+                    fenced: self.fenced,
+                })?;
+            }
+            for (token, stored, annotated) in &self.upload_tokens {
+                fresh.append(&WalRecord::UploadToken {
+                    token: token.clone(),
+                    stored: *stored,
+                    annotated: *annotated,
+                })?;
             }
             fresh.sync()?;
         }
@@ -898,6 +1121,154 @@ mod tests {
         store.repl_seal();
         assert_eq!(store.repl_peek(16).len(), 1);
         assert_eq!(store.repl_peek(16)[0].seq, 2);
+    }
+
+    #[test]
+    fn repl_batch_applies_atomically_and_idempotently() {
+        let dir =
+            std::env::temp_dir().join(format!("sensorsafe-store-batch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.wal");
+        {
+            let mut store = SegmentStore::open(&path, MergePolicy::default()).unwrap();
+            let batch = vec![
+                WalRecord::Segment(seg_at(0, 64)),
+                WalRecord::Annotation(ann_at(0)),
+            ];
+            assert!(store.apply_repl_batch(1, batch.clone()).unwrap());
+            // Re-sending the same sequence is a no-op, not a duplicate.
+            assert!(!store.apply_repl_batch(1, batch).unwrap());
+            assert_eq!(store.stats().samples, 64);
+            assert_eq!(store.stats().annotations, 1);
+            assert_eq!(store.repl_applied(), 1);
+            // Bookkeeping records inside a batch are rejected outright.
+            assert!(store
+                .apply_repl_batch(2, vec![WalRecord::ReplApplied(9)])
+                .is_err());
+            assert_eq!(store.repl_applied(), 1);
+            store.sync().unwrap();
+        }
+        // Crash replay: the batch's records and its high-water advance
+        // arrive together.
+        let reopened = SegmentStore::open(&path, MergePolicy::default()).unwrap();
+        assert_eq!(reopened.stats().samples, 64);
+        assert_eq!(reopened.stats().annotations, 1);
+        assert_eq!(reopened.repl_applied(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn assignment_epoch_survives_restart_and_compaction() {
+        let dir =
+            std::env::temp_dir().join(format!("sensorsafe-store-fence-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.wal");
+        {
+            let mut store = SegmentStore::open(&path, MergePolicy::default()).unwrap();
+            store.insert_segment(seg_at(0, 64)).unwrap();
+            store.note_assignment(2, true).unwrap();
+            store.sync().unwrap();
+            assert_eq!(store.assignment_epoch(), 2);
+            assert!(store.fenced());
+        }
+        let mut reopened = SegmentStore::open(&path, MergePolicy::default()).unwrap();
+        assert_eq!(reopened.assignment_epoch(), 2, "fence replays from log");
+        assert!(reopened.fenced());
+        reopened.compact().unwrap();
+        drop(reopened);
+        let again = SegmentStore::open(&path, MergePolicy::default()).unwrap();
+        assert_eq!(again.assignment_epoch(), 2, "fence survives compaction");
+        assert!(again.fenced());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn upload_tokens_dedupe_across_restart_and_cap() {
+        let dir =
+            std::env::temp_dir().join(format!("sensorsafe-store-token-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.wal");
+        {
+            let mut store = SegmentStore::open(&path, MergePolicy::default()).unwrap();
+            store.note_upload_token(vec![1, 2, 3], 5, 2).unwrap();
+            assert_eq!(store.check_upload_token(&[1, 2, 3]), Some((5, 2)));
+            assert_eq!(store.check_upload_token(&[9]), None);
+            store.sync().unwrap();
+        }
+        let mut reopened = SegmentStore::open(&path, MergePolicy::default()).unwrap();
+        assert_eq!(
+            reopened.check_upload_token(&[1, 2, 3]),
+            Some((5, 2)),
+            "token memory replays from the log"
+        );
+        // The deque is bounded: flooding evicts the oldest.
+        for i in 0..super::UPLOAD_TOKEN_CAP {
+            reopened
+                .note_upload_token(vec![7, (i % 251) as u8, (i / 251) as u8], 1, 0)
+                .unwrap();
+        }
+        assert_eq!(reopened.check_upload_token(&[1, 2, 3]), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn repl_reset_wipes_data_but_keeps_fence() {
+        let dir =
+            std::env::temp_dir().join(format!("sensorsafe-store-reset-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.wal");
+        {
+            let mut store = SegmentStore::open(&path, MergePolicy::default()).unwrap();
+            store
+                .apply_repl_batch(3, vec![WalRecord::Segment(seg_at(0, 64))])
+                .unwrap();
+            store.note_assignment(2, false).unwrap();
+            store.note_upload_token(vec![1], 1, 0).unwrap();
+            store.repl_reset().unwrap();
+            assert_eq!(store.stats().samples, 0);
+            assert_eq!(store.repl_applied(), 0, "high-water resets with data");
+            assert_eq!(store.check_upload_token(&[1]), None);
+            assert_eq!(store.assignment_epoch(), 2, "epoch survives the wipe");
+        }
+        // The wipe is durable: a crash right after cannot resurrect the
+        // old records (the WAL was rewritten, not just the memory).
+        let reopened = SegmentStore::open(&path, MergePolicy::default()).unwrap();
+        assert_eq!(reopened.stats().samples, 0);
+        assert_eq!(reopened.repl_applied(), 0);
+        assert_eq!(reopened.assignment_epoch(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resnapshot_restarts_shipping_from_seq_one() {
+        let mut store = SegmentStore::in_memory(MergePolicy::default());
+        store.enable_replication(crate::repl::ReplConfig::default());
+        store.insert_segment(seg_at(0, 64)).unwrap();
+        store.repl_seal();
+        store.repl_ack(1);
+        store.insert_segment(seg_at(64 * 20, 64)).unwrap();
+        store.repl_seal();
+        assert_eq!(store.repl_peek(16)[0].seq, 2);
+        // After a resync wiped the replica, the stream restarts at 1
+        // with the full merged state.
+        store.repl_resnapshot();
+        assert_eq!(store.repl_acked_seq(), 0);
+        let batches = store.repl_peek(16);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].seq, 1);
+        let total: usize = batches[0]
+            .records
+            .iter()
+            .map(|r| match r {
+                WalRecord::Segment(s) => s.len(),
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total, 128, "snapshot carries everything, not the tail");
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! Record framing (shared by both front ends; see DESIGN.md §8):
 //!
 //! ```text
-//! u8  record tag (1 = segment, 2 = annotation, 3 = repl-applied mark)
+//! u8  record tag (1 = segment, 2 = annotation, 3 = repl-applied mark,
+//!     4 = assignment-epoch mark, 5 = repl batch, 6 = upload token)
 //! u32 payload length
 //! u32 crc32(payload)
 //! payload bytes
@@ -48,6 +49,42 @@ pub enum WalRecord {
     /// so a restarted replica still skips batches it already holds
     /// (idempotent shipping rides the normal crash-replay path).
     ReplApplied(u64),
+    /// The broker-assigned store epoch for this contributor, plus
+    /// whether the store is fenced at that epoch. Persisting the
+    /// transition closes the restart hole: a deposed primary that
+    /// crashes and comes back must still reject contributor writes, and
+    /// a promoted replica must still reject stale-epoch frames.
+    AssignEpoch {
+        /// Monotonic assignment epoch.
+        epoch: u64,
+        /// `true` when the store is fenced for the contributor.
+        fenced: bool,
+    },
+    /// One replication batch applied as a unit. A replica logs the whole
+    /// shipped batch as a single CRC-framed record, so crash replay
+    /// applies it all-or-nothing: either the frame (records **and** the
+    /// sequence they advance the high-water to) survives, or none of it
+    /// does — a re-sent batch can never duplicate a partially applied
+    /// one.
+    ReplBatch {
+        /// The batch sequence the apply advances `repl_applied` to.
+        seq: u64,
+        /// The data records, in ship order (segments and annotations
+        /// only — bookkeeping records never ride inside a batch).
+        records: Vec<WalRecord>,
+    },
+    /// An upload idempotency token with the response it produced. The
+    /// store remembers recent tokens so a client retry of an upload
+    /// whose ack was lost in transit (e.g. across a failover) returns
+    /// the original response instead of storing the data twice.
+    UploadToken {
+        /// The client-chosen token bytes.
+        token: Vec<u8>,
+        /// Segments stored by the original request.
+        stored: u32,
+        /// Annotations stored by the original request.
+        annotated: u32,
+    },
 }
 
 /// Errors touching the log.
@@ -80,6 +117,69 @@ impl From<std::io::Error> for WalError {
 const TAG_SEGMENT: u8 = 1;
 const TAG_ANNOTATION: u8 = 2;
 const TAG_REPL_APPLIED: u8 = 3;
+const TAG_ASSIGN_EPOCH: u8 = 4;
+const TAG_REPL_BATCH: u8 = 5;
+const TAG_UPLOAD_TOKEN: u8 = 6;
+
+/// Encodes a [`WalRecord::ReplBatch`] payload: `u64 seq`, `u32 count`,
+/// then per nested data record `u8 tag, u32 len, payload` (the same
+/// sub-framing as the replication wire format, minus its checksum — the
+/// enclosing WAL frame's CRC covers the whole batch).
+fn encode_repl_batch(seq: u64, records: &[WalRecord]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&(records.len() as u32).to_le_bytes());
+    for record in records {
+        let (tag, payload) = match record {
+            WalRecord::Segment(seg) => (TAG_SEGMENT, codec::encode_segment(seg)),
+            WalRecord::Annotation(ann) => (TAG_ANNOTATION, codec::encode_annotation(ann)),
+            _ => unreachable!("bookkeeping records never ride inside a replication batch"),
+        };
+        out.push(tag);
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+    }
+    out
+}
+
+/// Decodes the payload written by [`encode_repl_batch`].
+fn decode_repl_batch(payload: &[u8]) -> Result<(u64, Vec<WalRecord>), CodecError> {
+    let short = || CodecError("truncated repl batch record".into());
+    if payload.len() < 12 {
+        return Err(short());
+    }
+    let seq = u64::from_le_bytes(payload[..8].try_into().unwrap());
+    let count = u32::from_le_bytes(payload[8..12].try_into().unwrap()) as usize;
+    let mut records = Vec::with_capacity(count.min(4096));
+    let mut pos = 12usize;
+    for _ in 0..count {
+        if pos + 5 > payload.len() {
+            return Err(short());
+        }
+        let tag = payload[pos];
+        let len = u32::from_le_bytes(payload[pos + 1..pos + 5].try_into().unwrap()) as usize;
+        pos += 5;
+        if pos + len > payload.len() {
+            return Err(short());
+        }
+        let body = &payload[pos..pos + len];
+        pos += len;
+        let record = match tag {
+            TAG_SEGMENT => WalRecord::Segment(codec::decode_segment(body)?),
+            TAG_ANNOTATION => WalRecord::Annotation(codec::decode_annotation(body)?),
+            other => {
+                return Err(CodecError(format!(
+                    "unexpected tag {other} inside repl batch record"
+                )))
+            }
+        };
+        records.push(record);
+    }
+    if pos != payload.len() {
+        return Err(CodecError("trailing bytes in repl batch record".into()));
+    }
+    Ok((seq, records))
+}
 
 /// Encodes one record into its on-disk frame (tag, length, CRC, payload).
 fn encode_frame(record: &WalRecord) -> Vec<u8> {
@@ -87,6 +187,25 @@ fn encode_frame(record: &WalRecord) -> Vec<u8> {
         WalRecord::Segment(seg) => (TAG_SEGMENT, codec::encode_segment(seg)),
         WalRecord::Annotation(ann) => (TAG_ANNOTATION, codec::encode_annotation(ann)),
         WalRecord::ReplApplied(seq) => (TAG_REPL_APPLIED, seq.to_le_bytes().to_vec()),
+        WalRecord::AssignEpoch { epoch, fenced } => {
+            let mut payload = epoch.to_le_bytes().to_vec();
+            payload.push(u8::from(*fenced));
+            (TAG_ASSIGN_EPOCH, payload)
+        }
+        WalRecord::ReplBatch { seq, records } => (TAG_REPL_BATCH, encode_repl_batch(*seq, records)),
+        WalRecord::UploadToken {
+            token,
+            stored,
+            annotated,
+        } => {
+            assert!(token.len() <= u16::MAX as usize, "upload token too long");
+            let mut payload = Vec::with_capacity(2 + token.len() + 8);
+            payload.extend_from_slice(&(token.len() as u16).to_le_bytes());
+            payload.extend_from_slice(token);
+            payload.extend_from_slice(&stored.to_le_bytes());
+            payload.extend_from_slice(&annotated.to_le_bytes());
+            (TAG_UPLOAD_TOKEN, payload)
+        }
     };
     let mut frame = Vec::with_capacity(1 + 4 + 4 + payload.len());
     frame.push(tag);
@@ -223,6 +342,39 @@ impl Wal {
                         .try_into()
                         .map_err(|_| WalError::Codec(CodecError("bad repl mark".into())))?;
                     WalRecord::ReplApplied(u64::from_le_bytes(bytes))
+                }
+                TAG_ASSIGN_EPOCH => {
+                    if payload.len() != 9 {
+                        return Err(WalError::Codec(CodecError("bad assign-epoch mark".into())));
+                    }
+                    WalRecord::AssignEpoch {
+                        epoch: u64::from_le_bytes(payload[..8].try_into().unwrap()),
+                        fenced: payload[8] != 0,
+                    }
+                }
+                TAG_REPL_BATCH => {
+                    let (seq, batch) = decode_repl_batch(payload).map_err(WalError::Codec)?;
+                    WalRecord::ReplBatch {
+                        seq,
+                        records: batch,
+                    }
+                }
+                TAG_UPLOAD_TOKEN => {
+                    let bad = || WalError::Codec(CodecError("bad upload-token record".into()));
+                    if payload.len() < 10 {
+                        return Err(bad());
+                    }
+                    let token_len = u16::from_le_bytes(payload[..2].try_into().unwrap()) as usize;
+                    if payload.len() != 2 + token_len + 8 {
+                        return Err(bad());
+                    }
+                    let token = payload[2..2 + token_len].to_vec();
+                    let rest = &payload[2 + token_len..];
+                    WalRecord::UploadToken {
+                        token,
+                        stored: u32::from_le_bytes(rest[..4].try_into().unwrap()),
+                        annotated: u32::from_le_bytes(rest[4..8].try_into().unwrap()),
+                    }
                 }
                 _ => break, // unknown tag: treat as corruption
             };
@@ -649,6 +801,54 @@ mod tests {
         let (replayed, offset) = Wal::replay(&path).unwrap();
         assert_eq!(replayed, records);
         assert_eq!(offset, std::fs::metadata(&path).unwrap().len());
+    }
+
+    #[test]
+    fn bookkeeping_records_roundtrip() {
+        let dir = tempdir("bookkeeping");
+        let path = dir.join("wal.log");
+        let records = vec![
+            WalRecord::AssignEpoch {
+                epoch: 7,
+                fenced: true,
+            },
+            WalRecord::ReplBatch {
+                seq: 42,
+                records: vec![WalRecord::Segment(seg(0)), WalRecord::Annotation(ann(0))],
+            },
+            WalRecord::UploadToken {
+                token: vec![0xab; 16],
+                stored: 3,
+                annotated: 1,
+            },
+            WalRecord::ReplBatch {
+                seq: 43,
+                records: Vec::new(),
+            },
+        ];
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            for r in &records {
+                wal.append(r).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        let (replayed, offset) = Wal::replay(&path).unwrap();
+        assert_eq!(replayed, records);
+        assert_eq!(offset, std::fs::metadata(&path).unwrap().len());
+    }
+
+    #[test]
+    fn repl_batch_rejects_nested_bookkeeping_tags() {
+        // Hand-craft a repl-batch payload whose nested record carries the
+        // repl-applied tag: decode must reject it rather than recurse.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&9u64.to_le_bytes());
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.push(TAG_REPL_APPLIED);
+        payload.extend_from_slice(&8u32.to_le_bytes());
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        assert!(decode_repl_batch(&payload).is_err());
     }
 
     #[test]
