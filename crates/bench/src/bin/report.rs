@@ -345,6 +345,149 @@ fn c2_durable_upload_table() {
     println!();
 }
 
+/// Child-process client for the C3 soak. The container's 20,000-fd
+/// budget cannot hold ~10k server-side descriptors *and* ~10k client
+/// sockets in one process, so the report binary re-execs itself
+/// (`report c3-client <addr> <conns>`) and each child owns a slice of
+/// the client connections. Protocol over the pipes: the child prints
+/// `ready <n>` once all connections are open and proven live, waits for
+/// any line on stdin, drives one final round over every connection, and
+/// prints `done`.
+fn c3_client_main(addr: &str, conns: usize) {
+    use std::io::{BufRead, Write};
+    let mut held = sensorsafe_bench::open_soak_conns(addr, conns).expect("c3 client connect");
+    println!("ready {conns}");
+    std::io::stdout().flush().expect("c3 client stdout");
+    let mut line = String::new();
+    std::io::stdin()
+        .lock()
+        .read_line(&mut line)
+        .expect("c3 parent handshake");
+    sensorsafe_bench::soak_round(&mut held).expect("c3 client final round");
+    println!("done");
+}
+
+fn c3_evented_core_table() {
+    use sensorsafe_bench::rss_kb;
+    use sensorsafe_core::net::{EventedConfig, Server, ServerMode};
+    use std::io::{BufRead, BufReader, Write};
+    use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+    println!("== C3: evented core, concurrent keep-alive connections at flat memory ==");
+    println!(
+        "environment: {} CPU(s) visible to this process",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    struct Client {
+        child: Child,
+        stdin: ChildStdin,
+        stdout: BufReader<ChildStdout>,
+    }
+    let spawn_client = |addr: &str, conns: usize| -> Client {
+        let exe = std::env::current_exe().expect("current_exe");
+        let mut child = Command::new(exe)
+            .args(["c3-client", addr, &conns.to_string()])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn c3 client");
+        let stdin = child.stdin.take().expect("client stdin");
+        let mut stdout = BufReader::new(child.stdout.take().expect("client stdout"));
+        let mut line = String::new();
+        stdout.read_line(&mut line).expect("client ready line");
+        assert_eq!(line.trim(), format!("ready {conns}"), "client handshake");
+        Client {
+            child,
+            stdin,
+            stdout,
+        }
+    };
+    // Releasing a client drives one final request over every one of its
+    // connections — proof that each is still concurrently served, not
+    // merely open.
+    let release_client = |mut client: Client| {
+        writeln!(client.stdin, "go").expect("client go");
+        let mut line = String::new();
+        client
+            .stdout
+            .read_line(&mut line)
+            .expect("client done line");
+        assert_eq!(line.trim(), "done", "client final round");
+        assert!(client.child.wait().expect("client exit").success());
+    };
+    let print_row = |label: &str, base_kb: u64, conns: usize| {
+        let kb = rss_kb();
+        let delta = kb.saturating_sub(base_kb);
+        let per_conn = if conns > 0 {
+            format!("{:.2}", delta as f64 / conns as f64)
+        } else {
+            "-".into()
+        };
+        println!("{label:<34} {kb:>10} {delta:>11} {per_conn:>13}");
+    };
+
+    // --- evented store: 4 children x 2,560 = 10,240 connections ---
+    let (store, _admin) = sensorsafe_core::datastore::DataStoreService::new(Default::default());
+    let config = EventedConfig {
+        handler_threads: 8,
+        // The staircase below holds connections idle for minutes while
+        // later children ramp; reaping mid-measurement would deflate
+        // the concurrency claim.
+        idle_timeout: std::time::Duration::from_secs(600),
+        ..EventedConfig::default()
+    };
+    let mut server =
+        Server::bind_evented("127.0.0.1:0", config, Arc::new(store)).expect("evented store");
+    let addr = server.addr_string();
+    let open_gauge = sensorsafe_core::obsv::global().gauge(
+        "sensorsafe_net_open_connections",
+        "Currently open server-side connections across all servers in \
+         this process.",
+        &[],
+    );
+    println!(
+        "{:<34} {:>10} {:>11} {:>13}",
+        "held connections", "rss KiB", "delta KiB", "KiB per conn"
+    );
+    let base_kb = rss_kb();
+    print_row("0 (evented store idle)", base_kb, 0);
+    let mut clients = Vec::new();
+    let mut held = 0usize;
+    for _ in 0..4 {
+        clients.push(spawn_client(&addr, 2_560));
+        held += 2_560;
+        print_row(&format!("{held} (evented)"), base_kb, held);
+    }
+    println!(
+        "server-side open-connection gauge at peak: {}",
+        open_gauge.get()
+    );
+    for client in clients.drain(..) {
+        release_client(client); // final round: all 10,240 still served
+    }
+    server.shutdown();
+
+    // --- thread-pool baseline, same run ---
+    // The blocking server parks one worker per keep-alive connection,
+    // so its concurrency ceiling IS its worker count; 10k connections
+    // would need 10k threads. Measured at a 512-worker rig instead.
+    let (store, _admin) = sensorsafe_core::datastore::DataStoreService::new(Default::default());
+    let tp_base_kb = rss_kb();
+    let mut server = Server::bind_mode("127.0.0.1:0", ServerMode::ThreadPool, 512, Arc::new(store))
+        .expect("thread-pool store");
+    print_row("0 (thread-pool, 512 workers)", tp_base_kb, 0);
+    let client = spawn_client(&server.addr_string(), 512);
+    print_row("512 (thread-pool)", tp_base_kb, 512);
+    release_client(client);
+    server.shutdown();
+    println!(
+        "--> evented: 10,240 keep-alive connections on {} handler threads; \
+         thread-pool ceiling = worker count\n",
+        8
+    );
+}
+
 fn obsv_overhead_table() {
     println!("== O1: observability overhead on the query hot path ==");
     // Each configuration gets its own deployment because the audit
@@ -534,6 +677,18 @@ fn obsv_metrics_snapshot(store: &sensorsafe_core::datastore::DataStoreService) {
 }
 
 fn main() {
+    // Self-exec entry point for the C3 soak's client children.
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("c3-client") {
+        let addr = args.get(2).expect("c3-client <addr> <conns>");
+        let conns = args
+            .get(3)
+            .and_then(|n| n.parse().ok())
+            .expect("c3-client <addr> <conns>");
+        c3_client_main(addr, conns);
+        return;
+    }
+
     f5_storage_table();
     a1_merge_table();
     a2_search_table();
@@ -541,6 +696,7 @@ fn main() {
     f1_byte_accounting();
     c1_concurrency_table();
     c2_durable_upload_table();
+    c3_evented_core_table();
     obsv_overhead_table();
     fleet_scrape_overhead_table();
 

@@ -441,6 +441,77 @@ pub fn run_durable_uploads(
     started.elapsed()
 }
 
+/// Resident set size (`VmRSS`) of this process in KiB, read from
+/// `/proc/self/status`. Returns 0 where procfs is unavailable, so C3
+/// memory columns degrade to zeros instead of failing the run.
+pub fn rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|line| line.starts_with("VmRSS:"))
+                .and_then(|line| line.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// One keep-alive connection held open by the C3 soak (stream for
+/// writes, buffered clone for reads).
+pub struct SoakConn {
+    stream: std::net::TcpStream,
+    reader: std::io::BufReader<std::net::TcpStream>,
+}
+
+/// Opens `n` keep-alive connections to `addr`, then proves every one
+/// live with a [`soak_round`]. Transient connect failures (listen
+/// backlog overflow while thousands of peers arrive) are retried
+/// briefly before giving up.
+pub fn open_soak_conns(addr: &str, n: usize) -> std::io::Result<Vec<SoakConn>> {
+    let mut conns = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut attempts = 0;
+        let stream = loop {
+            match std::net::TcpStream::connect(addr) {
+                Ok(stream) => break stream,
+                Err(_) if attempts < 50 => {
+                    attempts += 1;
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        // Request heads go out as a few small writes; without nodelay,
+        // Nagle + delayed ACK turns every round trip into ~40 ms.
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        let reader = std::io::BufReader::new(stream.try_clone()?);
+        conns.push(SoakConn { stream, reader });
+    }
+    soak_round(&mut conns)?;
+    Ok(conns)
+}
+
+/// Sends `GET /healthz` on every connection and reads every response —
+/// one full round over the whole set, erroring if any connection has
+/// gone dead or answers non-200.
+pub fn soak_round(conns: &mut [SoakConn]) -> std::io::Result<()> {
+    use sensorsafe_core::net::http::{read_response, write_request};
+    let ping = Request::get("/healthz");
+    for conn in conns.iter_mut() {
+        write_request(&mut conn.stream, &ping)?;
+        let resp = read_response(&mut conn.reader)?;
+        if resp.status != Status::Ok {
+            return Err(std::io::Error::other(format!(
+                "soak round got {:?}",
+                resp.status
+            )));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -479,6 +550,21 @@ mod tests {
         let spent = fsyncs.get() - before;
         assert!(spent > 0, "durable uploads must fsync");
         assert!(spent < 32, "no coalescing: {spent} fsyncs for 32 uploads");
+    }
+
+    #[test]
+    fn soak_helpers_round_trip_against_an_evented_store() {
+        use sensorsafe_core::net::{EventedConfig, Server};
+        let (store, _admin) = DataStoreService::new(Default::default());
+        let config = EventedConfig {
+            loops: 1,
+            handler_threads: 2,
+            ..EventedConfig::default()
+        };
+        let server = Server::bind_evented("127.0.0.1:0", config, Arc::new(store)).unwrap();
+        let mut conns = open_soak_conns(&server.addr_string(), 8).unwrap();
+        soak_round(&mut conns).unwrap();
+        assert!(rss_kb() > 0, "VmRSS should be readable on this platform");
     }
 
     #[test]

@@ -69,8 +69,12 @@ pub enum Status {
     Conflict,
     /// 413
     PayloadTooLarge,
+    /// 431
+    RequestHeaderFieldsTooLarge,
     /// 500
     InternalError,
+    /// 503
+    ServiceUnavailable,
 }
 
 impl Status {
@@ -86,7 +90,9 @@ impl Status {
             Status::MethodNotAllowed => 405,
             Status::Conflict => 409,
             Status::PayloadTooLarge => 413,
+            Status::RequestHeaderFieldsTooLarge => 431,
             Status::InternalError => 500,
+            Status::ServiceUnavailable => 503,
         }
     }
 
@@ -102,7 +108,9 @@ impl Status {
             Status::MethodNotAllowed => "Method Not Allowed",
             Status::Conflict => "Conflict",
             Status::PayloadTooLarge => "Payload Too Large",
+            Status::RequestHeaderFieldsTooLarge => "Request Header Fields Too Large",
             Status::InternalError => "Internal Server Error",
+            Status::ServiceUnavailable => "Service Unavailable",
         }
     }
 
@@ -118,7 +126,9 @@ impl Status {
             Status::MethodNotAllowed,
             Status::Conflict,
             Status::PayloadTooLarge,
+            Status::RequestHeaderFieldsTooLarge,
             Status::InternalError,
+            Status::ServiceUnavailable,
         ]
         .into_iter()
         .find(|s| s.code() == code)
@@ -133,6 +143,13 @@ impl Status {
 /// Largest accepted request body (64 MiB — a day of multi-channel sensor
 /// data fits comfortably; anything bigger is rejected, not buffered).
 pub const MAX_BODY: usize = 64 * 1024 * 1024;
+
+/// Largest accepted message head (request/status line + headers,
+/// including line terminators). A peer that streams more head bytes than
+/// this without finishing its headers is answered `431` and closed —
+/// the cap is enforced *while reading*, so a hostile client can never
+/// claim more than this much memory for headers.
+pub const MAX_HEAD_BYTES: usize = 32 * 1024;
 
 /// An HTTP request.
 #[derive(Debug, Clone, PartialEq)]
@@ -354,56 +371,136 @@ fn parse_query(qs: &str) -> BTreeMap<String, String> {
     map
 }
 
-/// Reads one request from a stream. Returns `Ok(None)` on a clean EOF
-/// before any bytes (keep-alive connection closed by peer).
-pub fn read_request<R: Read>(reader: &mut BufReader<R>) -> std::io::Result<Option<Request>> {
-    let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
-        return Ok(None);
-    }
+pub(crate) fn invalid(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Parses a request line (`GET /path?query HTTP/1.1`) into method,
+/// decoded path, and decoded query map. Shared by the blocking reader
+/// and the incremental [`crate::codec::RequestDecoder`], so the two
+/// parsers can never disagree on the head grammar.
+pub(crate) fn parse_request_line(
+    line: &str,
+) -> std::io::Result<(Method, String, BTreeMap<String, String>)> {
     let mut parts = line.trim_end().splitn(3, ' ');
-    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
     let method = parts
         .next()
         .and_then(Method::parse)
-        .ok_or_else(|| bad("bad method"))?;
-    let target = parts.next().ok_or_else(|| bad("missing request target"))?;
-    let version = parts.next().ok_or_else(|| bad("missing HTTP version"))?;
+        .ok_or_else(|| invalid("bad method"))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| invalid("missing request target"))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| invalid("missing HTTP version"))?;
     if !version.starts_with("HTTP/1.") {
-        return Err(bad("unsupported HTTP version"));
+        return Err(invalid("unsupported HTTP version"));
     }
     let (raw_path, raw_query) = match target.split_once('?') {
         Some((p, q)) => (p, q),
         None => (target, ""),
     };
+    Ok((method, percent_decode(raw_path), parse_query(raw_query)))
+}
+
+/// Parses a status line (`HTTP/1.1 200 OK`). Shared like
+/// [`parse_request_line`].
+pub(crate) fn parse_status_line(line: &str) -> std::io::Result<Status> {
+    let mut parts = line.trim_end().splitn(3, ' ');
+    let version = parts.next().ok_or_else(|| invalid("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(invalid("unsupported HTTP version"));
+    }
+    let code: u16 = parts
+        .next()
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| invalid("bad status code"))?;
+    Status::from_code(code).ok_or_else(|| invalid("unknown status code"))
+}
+
+/// Parses one `key: value` header line (already known non-empty).
+pub(crate) fn parse_header_line(line: &str) -> std::io::Result<(String, String)> {
+    let (key, value) = line
+        .trim_end()
+        .split_once(':')
+        .ok_or_else(|| invalid("bad header"))?;
+    Ok((key.trim().to_ascii_lowercase(), value.trim().to_string()))
+}
+
+/// Extracts and bounds-checks `content-length`.
+pub(crate) fn parse_content_length(headers: &BTreeMap<String, String>) -> std::io::Result<usize> {
+    let content_length: usize = headers
+        .get("content-length")
+        .map(|v| v.parse().map_err(|_| invalid("bad content-length")))
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Err(invalid("body too large"));
+    }
+    Ok(content_length)
+}
+
+/// The response status a server should answer when a read failed with
+/// `e`: `431` for a head that overran [`MAX_HEAD_BYTES`], `413` for a
+/// body beyond [`MAX_BODY`], `400` for anything else malformed.
+pub fn error_status(e: &std::io::Error) -> Status {
+    if e.kind() != std::io::ErrorKind::InvalidData {
+        return Status::BadRequest;
+    }
+    match e.to_string().as_str() {
+        "headers too large" => Status::RequestHeaderFieldsTooLarge,
+        "body too large" => Status::PayloadTooLarge,
+        _ => Status::BadRequest,
+    }
+}
+
+/// Reads one line, debiting its bytes from the shared head budget. At an
+/// exhausted budget mid-line the head is oversized — that is
+/// indistinguishable from a hostile endless header stream, so it errors
+/// rather than buffering on.
+fn read_head_line<R: Read>(
+    reader: &mut BufReader<R>,
+    budget: &mut usize,
+) -> std::io::Result<String> {
+    let mut line = String::new();
+    let read = reader.by_ref().take(*budget as u64).read_line(&mut line)?;
+    *budget -= read;
+    if !line.ends_with('\n') && *budget == 0 {
+        return Err(invalid("headers too large"));
+    }
+    Ok(line)
+}
+
+/// Reads one request from a stream. Returns `Ok(None)` on a clean EOF
+/// before any bytes (keep-alive connection closed by peer).
+pub fn read_request<R: Read>(reader: &mut BufReader<R>) -> std::io::Result<Option<Request>> {
+    let mut budget = MAX_HEAD_BYTES;
+    let line = read_head_line(reader, &mut budget)?;
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let (method, path, query) = parse_request_line(&line)?;
     let mut headers = BTreeMap::new();
     loop {
-        let mut header_line = String::new();
-        if reader.read_line(&mut header_line)? == 0 {
-            return Err(bad("EOF in headers"));
+        let header_line = read_head_line(reader, &mut budget)?;
+        if header_line.is_empty() {
+            return Err(invalid("EOF in headers"));
         }
         let trimmed = header_line.trim_end();
         if trimmed.is_empty() {
             break;
         }
-        let (key, value) = trimmed.split_once(':').ok_or_else(|| bad("bad header"))?;
-        headers.insert(key.trim().to_ascii_lowercase(), value.trim().to_string());
+        let (key, value) = parse_header_line(trimmed)?;
+        headers.insert(key, value);
     }
-    let content_length: usize = headers
-        .get("content-length")
-        .map(|v| v.parse().map_err(|_| bad("bad content-length")))
-        .transpose()?
-        .unwrap_or(0);
-    if content_length > MAX_BODY {
-        return Err(bad("body too large"));
-    }
+    let content_length = parse_content_length(&headers)?;
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
     Ok(Some(Request {
         idempotent: method == Method::Get,
         method,
-        path: percent_decode(raw_path),
-        query: parse_query(raw_query),
+        path,
+        query,
         headers,
         body,
     }))
@@ -444,42 +541,26 @@ pub fn write_request<W: Write>(writer: &mut W, req: &Request) -> std::io::Result
 
 /// Reads one response (client side).
 pub fn read_response<R: Read>(reader: &mut BufReader<R>) -> std::io::Result<Response> {
-    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
-    let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
-        return Err(bad("EOF before status line"));
+    let mut budget = MAX_HEAD_BYTES;
+    let line = read_head_line(reader, &mut budget)?;
+    if line.is_empty() {
+        return Err(invalid("EOF before status line"));
     }
-    let mut parts = line.trim_end().splitn(3, ' ');
-    let version = parts.next().ok_or_else(|| bad("missing version"))?;
-    if !version.starts_with("HTTP/1.") {
-        return Err(bad("unsupported HTTP version"));
-    }
-    let code: u16 = parts
-        .next()
-        .and_then(|c| c.parse().ok())
-        .ok_or_else(|| bad("bad status code"))?;
-    let status = Status::from_code(code).ok_or_else(|| bad("unknown status code"))?;
+    let status = parse_status_line(&line)?;
     let mut headers = BTreeMap::new();
     loop {
-        let mut header_line = String::new();
-        if reader.read_line(&mut header_line)? == 0 {
-            return Err(bad("EOF in headers"));
+        let header_line = read_head_line(reader, &mut budget)?;
+        if header_line.is_empty() {
+            return Err(invalid("EOF in headers"));
         }
         let trimmed = header_line.trim_end();
         if trimmed.is_empty() {
             break;
         }
-        let (key, value) = trimmed.split_once(':').ok_or_else(|| bad("bad header"))?;
-        headers.insert(key.trim().to_ascii_lowercase(), value.trim().to_string());
+        let (key, value) = parse_header_line(trimmed)?;
+        headers.insert(key, value);
     }
-    let content_length: usize = headers
-        .get("content-length")
-        .map(|v| v.parse().map_err(|_| bad("bad content-length")))
-        .transpose()?
-        .unwrap_or(0);
-    if content_length > MAX_BODY {
-        return Err(bad("body too large"));
-    }
+    let content_length = parse_content_length(&headers)?;
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
     Ok(Response {

@@ -28,21 +28,27 @@
 //! TLS is intentionally absent (see DESIGN.md substitutions): in the
 //! paper HTTPS wraps this byte stream transparently.
 
+pub mod codec;
+pub mod evented;
 pub mod failover;
 pub mod http;
+pub mod poll;
 pub mod promtext;
 mod router;
 mod server;
 pub mod traces;
 mod transport;
 
+pub use evented::{EventedConfig, EventedServer};
 pub use failover::{AddrResolver, FailoverTransport, TransportMaker};
 pub use http::{Method, Request, Response, Status, TRACE_HEADER};
 pub use promtext::{ParsedScrape, TextSample};
 pub use router::{Params, Router};
-pub use server::Server;
+pub use server::{Server, ServerMode, ThreadPoolServer};
 pub use traces::traces_response;
-pub use transport::{HttpClient, LocalTransport, TcpTransport, Transport, TransportError};
+pub use transport::{
+    HttpClient, LocalTransport, TcpTransport, Transport, TransportError, DEFAULT_POOL_SIZE,
+};
 
 use std::sync::Arc;
 

@@ -61,14 +61,33 @@ impl Transport for LocalTransport {
     }
 }
 
-/// A blocking HTTP client with one pooled keep-alive connection.
+/// Idle keep-alive connections an [`HttpClient`] retains by default.
+pub const DEFAULT_POOL_SIZE: usize = 8;
+
+/// A blocking HTTP client with a pool of keep-alive connections.
 ///
-/// Thread-safe: concurrent callers serialize on the connection (spawn
-/// one client per thread for parallel load, as the benches do).
+/// Thread-safe and genuinely concurrent: each in-flight request checks
+/// an idle connection out of the pool (or dials a fresh one) and checks
+/// it back in afterwards, so N threads sharing one client drive N
+/// sockets in parallel instead of serializing on a single connection.
+/// At most [`DEFAULT_POOL_SIZE`] (see [`HttpClient::with_pool_size`])
+/// idle connections are retained; extras are closed on check-in.
 pub struct HttpClient {
     addr: String,
-    connection: Mutex<Option<TcpStream>>,
+    pool: Mutex<Vec<TcpStream>>,
+    max_idle: usize,
     timeout: Duration,
+}
+
+fn count_client_connection(kind: &'static str) {
+    sensorsafe_obsv::global()
+        .counter(
+            "sensorsafe_net_client_connections_total",
+            "Client-side connection checkouts, by kind: freshly dialed \
+             vs reused from the keep-alive pool.",
+            &[("kind", kind)],
+        )
+        .inc();
 }
 
 impl HttpClient {
@@ -76,7 +95,8 @@ impl HttpClient {
     pub fn new(addr: impl Into<String>) -> HttpClient {
         HttpClient {
             addr: addr.into(),
-            connection: Mutex::new(None),
+            pool: Mutex::new(Vec::new()),
+            max_idle: DEFAULT_POOL_SIZE,
             timeout: Duration::from_secs(10),
         }
     }
@@ -87,9 +107,21 @@ impl HttpClient {
         self
     }
 
+    /// Overrides how many idle keep-alive connections the pool retains
+    /// (`0` disables pooling: every request dials fresh).
+    pub fn with_pool_size(mut self, max_idle: usize) -> HttpClient {
+        self.max_idle = max_idle;
+        self
+    }
+
     /// The server address this client targets.
     pub fn addr(&self) -> &str {
         &self.addr
+    }
+
+    /// Idle pooled connections right now (used by tests and benches).
+    pub fn idle_connections(&self) -> usize {
+        self.pool.lock().len()
     }
 
     fn connect(&self) -> std::io::Result<TcpStream> {
@@ -97,7 +129,17 @@ impl HttpClient {
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(self.timeout))?;
         stream.set_write_timeout(Some(self.timeout))?;
+        count_client_connection("fresh");
         Ok(stream)
+    }
+
+    /// Returns a healthy connection to the pool, unless the pool is
+    /// already holding `max_idle` of them.
+    fn checkin(&self, stream: TcpStream) {
+        let mut pool = self.pool.lock();
+        if pool.len() < self.max_idle {
+            pool.push(stream);
+        }
     }
 
     fn try_once(&self, stream: &mut TcpStream, request: &Request) -> std::io::Result<Response> {
@@ -106,33 +148,32 @@ impl HttpClient {
         read_response(&mut reader)
     }
 
-    /// Sends a request, transparently reconnecting once if the pooled
+    /// Sends a request on a pooled connection (dialing fresh when none
+    /// is idle), transparently reconnecting once if the pooled
     /// connection has gone stale.
     pub fn send(&self, request: &Request) -> Result<Response, TransportError> {
-        let mut slot = self.connection.lock();
-        if let Some(stream) = slot.as_mut() {
-            match self.try_once(stream, request) {
-                Ok(resp) => {
-                    if request
-                        .header("connection")
-                        .is_some_and(|v| v.eq_ignore_ascii_case("close"))
-                    {
-                        *slot = None;
-                    }
-                    return Ok(resp);
+        let close = request
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+        // Pop under a short-lived guard: binding the checkout first
+        // keeps the pool unlocked during the round trip (and during
+        // `checkin`, which takes the lock again).
+        let checkout = self.pool.lock().pop();
+        if let Some(mut pooled) = checkout {
+            count_client_connection("reused");
+            // On error the pooled connection had gone stale — drop it
+            // and fall through to a fresh dial.
+            if let Ok(resp) = self.try_once(&mut pooled, request) {
+                if !close {
+                    self.checkin(pooled);
                 }
-                Err(_) => {
-                    *slot = None; // stale; fall through to reconnect
-                }
+                return Ok(resp);
             }
         }
         let mut fresh = self.connect()?;
         let resp = self.try_once(&mut fresh, request)?;
-        let close = request
-            .header("connection")
-            .is_some_and(|v| v.eq_ignore_ascii_case("close"));
         if !close {
-            *slot = Some(fresh);
+            self.checkin(fresh);
         }
         Ok(resp)
     }
@@ -217,5 +258,84 @@ mod tests {
     fn connect_to_nothing_errors() {
         let client = HttpClient::new("127.0.0.1:1").with_timeout(Duration::from_millis(200));
         assert!(client.send(&Request::get("/x")).is_err());
+    }
+
+    #[test]
+    fn sequential_sends_reuse_one_pooled_connection() {
+        let server = Server::bind("127.0.0.1:0", 1, service()).unwrap();
+        let client = HttpClient::new(server.addr_string());
+        for _ in 0..5 {
+            assert!(client.send(&Request::get("/whoami")).is_ok());
+        }
+        assert_eq!(client.idle_connections(), 1);
+    }
+
+    #[test]
+    fn concurrent_sends_share_the_pool() {
+        let server = Server::bind("127.0.0.1:0", 4, service()).unwrap();
+        let client = Arc::new(HttpClient::new(server.addr_string()));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let client = client.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..20 {
+                    assert_eq!(
+                        client.send(&Request::get("/whoami")).unwrap().status,
+                        Status::Ok
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Everything healthy got checked back in, capped at the pool
+        // size; at least one connection survived for reuse.
+        let idle = client.idle_connections();
+        assert!(
+            (1..=super::DEFAULT_POOL_SIZE).contains(&idle),
+            "idle={idle}"
+        );
+    }
+
+    #[test]
+    fn pool_cap_is_enforced() {
+        let server = Server::bind("127.0.0.1:0", 4, service()).unwrap();
+        let client = Arc::new(HttpClient::new(server.addr_string()).with_pool_size(2));
+        let mut handles = Vec::new();
+        // 6 threads in flight at once can dial up to 6 sockets, but at
+        // most 2 may be retained.
+        for _ in 0..6 {
+            let client = client.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10 {
+                    client.send(&Request::get("/whoami")).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(client.idle_connections() <= 2);
+    }
+
+    #[test]
+    fn pool_size_zero_disables_pooling() {
+        let server = Server::bind("127.0.0.1:0", 1, service()).unwrap();
+        let client = HttpClient::new(server.addr_string()).with_pool_size(0);
+        for _ in 0..3 {
+            assert!(client.send(&Request::get("/whoami")).is_ok());
+        }
+        assert_eq!(client.idle_connections(), 0);
+    }
+
+    #[test]
+    fn connection_close_requests_are_not_pooled() {
+        let server = Server::bind("127.0.0.1:0", 1, service()).unwrap();
+        let client = HttpClient::new(server.addr_string());
+        let mut req = Request::get("/whoami");
+        req.headers.insert("connection".into(), "close".into());
+        assert!(client.send(&req).is_ok());
+        assert_eq!(client.idle_connections(), 0);
     }
 }

@@ -1,0 +1,294 @@
+//! Property-based tests for the incremental HTTP codec: fed the same
+//! bytes as the blocking parser — at arbitrary split boundaries — it
+//! must produce byte-exactly the same messages, and agree with the
+//! blocking parser's verdict on garbage and truncation.
+
+use proptest::prelude::*;
+use sensorsafe_net::codec::{Decoded, RequestDecoder, ResponseDecoder};
+use sensorsafe_net::http::{
+    read_request, read_response, write_request, write_response, Method, Request, Response, Status,
+};
+use std::collections::BTreeMap;
+use std::io::BufReader;
+
+fn arb_method() -> impl Strategy<Value = Method> {
+    prop::sample::select(vec![Method::Get, Method::Post, Method::Put, Method::Delete])
+}
+
+fn arb_path() -> impl Strategy<Value = String> {
+    prop::collection::vec("[a-zA-Z0-9._~ -]{1,12}", 0..4)
+        .prop_map(|segments| format!("/{}", segments.join("/")))
+}
+
+fn arb_kv() -> impl Strategy<Value = BTreeMap<String, String>> {
+    prop::collection::btree_map("[a-z0-9_]{1,8}", "[a-zA-Z0-9 =&?%+-]{0,16}", 0..4)
+}
+
+fn arb_headers() -> impl Strategy<Value = BTreeMap<String, String>> {
+    // Header values are trimmed on parse (RFC 9110 optional whitespace),
+    // so generate values without edge whitespace.
+    prop::collection::btree_map(
+        "[a-z][a-z0-9-]{0,10}",
+        "([a-zA-Z0-9;=/.-]([a-zA-Z0-9 ;=/.-]{0,22}[a-zA-Z0-9;=/.-])?)?",
+        0..4,
+    )
+    .prop_map(|mut h| {
+        // content-length is computed by the writer; "connection" would
+        // change framing semantics server-side, not parse results.
+        h.remove("content-length");
+        h
+    })
+}
+
+fn arb_status() -> impl Strategy<Value = Status> {
+    prop::sample::select(vec![
+        Status::Ok,
+        Status::Created,
+        Status::BadRequest,
+        Status::Unauthorized,
+        Status::Forbidden,
+        Status::NotFound,
+        Status::MethodNotAllowed,
+        Status::Conflict,
+        Status::PayloadTooLarge,
+        Status::RequestHeaderFieldsTooLarge,
+        Status::InternalError,
+        Status::ServiceUnavailable,
+    ])
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        arb_method(),
+        arb_path(),
+        arb_kv(),
+        arb_headers(),
+        prop::collection::vec(any::<u8>(), 0..512),
+    )
+        .prop_map(|(method, path, query, headers, body)| Request {
+            idempotent: method == Method::Get,
+            method,
+            path,
+            query,
+            headers,
+            body,
+        })
+}
+
+/// Turns arbitrary proptest indices into a sorted, deduped list of cut
+/// offsets covering the whole wire.
+fn cut_offsets(wire_len: usize, cuts: &[prop::sample::Index]) -> Vec<usize> {
+    let mut offsets: Vec<usize> = cuts.iter().map(|ix| ix.index(wire_len + 1)).collect();
+    offsets.push(0);
+    offsets.push(wire_len);
+    offsets.sort_unstable();
+    offsets.dedup();
+    offsets
+}
+
+/// Feeds `wire` to the request decoder in the given fragments, draining
+/// completed requests after every fragment. Panics if the decoder
+/// rejects (callers pass valid wire bytes).
+fn drive_request_decoder(
+    decoder: &mut RequestDecoder,
+    wire: &[u8],
+    offsets: &[usize],
+) -> Vec<Request> {
+    let mut items = Vec::new();
+    for pair in offsets.windows(2) {
+        decoder.feed(&wire[pair[0]..pair[1]]);
+        loop {
+            match decoder.poll() {
+                Decoded::Item(item) => items.push(item),
+                Decoded::NeedMore => break,
+                Decoded::Failed(e) => panic!("decoder failed on valid input: {}", e.message),
+            }
+        }
+    }
+    items
+}
+
+proptest! {
+    /// A pipelined burst of requests, split at arbitrary byte
+    /// boundaries, decodes incrementally to byte-exactly what the
+    /// blocking parser reads from the same wire bytes.
+    #[test]
+    fn incremental_request_decode_matches_blocking(
+        requests in prop::collection::vec(arb_request(), 1..4),
+        cuts in prop::collection::vec(any::<prop::sample::Index>(), 0..12),
+    ) {
+        let mut wire = Vec::new();
+        for req in &requests {
+            write_request(&mut wire, req).unwrap();
+        }
+
+        // Blocking reference parse of the identical bytes.
+        let mut reader = BufReader::new(wire.as_slice());
+        let mut blocking = Vec::new();
+        while let Some(req) = read_request(&mut reader).unwrap() {
+            blocking.push(req);
+        }
+
+        let mut decoder = RequestDecoder::new();
+        let offsets = cut_offsets(wire.len(), &cuts);
+        let incremental = drive_request_decoder(&mut decoder, &wire, &offsets);
+
+        prop_assert_eq!(incremental.len(), blocking.len());
+        for (a, b) in incremental.iter().zip(&blocking) {
+            prop_assert_eq!(a.method, b.method);
+            prop_assert_eq!(&a.path, &b.path);
+            prop_assert_eq!(&a.query, &b.query);
+            prop_assert_eq!(&a.headers, &b.headers);
+            prop_assert_eq!(&a.body, &b.body);
+        }
+        prop_assert!(decoder.at_boundary());
+    }
+
+    /// Responses decode incrementally to what the blocking parser reads,
+    /// at any fragmentation.
+    #[test]
+    fn incremental_response_decode_matches_blocking(
+        status in arb_status(),
+        headers in arb_headers(),
+        body in prop::collection::vec(any::<u8>(), 0..512),
+        cuts in prop::collection::vec(any::<prop::sample::Index>(), 0..8),
+    ) {
+        let resp = Response { status, headers, body };
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp).unwrap();
+
+        let mut reader = BufReader::new(wire.as_slice());
+        let blocking = read_response(&mut reader).unwrap();
+
+        let mut decoder = ResponseDecoder::new();
+        let mut items = Vec::new();
+        for pair in cut_offsets(wire.len(), &cuts).windows(2) {
+            decoder.feed(&wire[pair[0]..pair[1]]);
+            loop {
+                match decoder.poll() {
+                    Decoded::Item(item) => items.push(item),
+                    Decoded::NeedMore => break,
+                    Decoded::Failed(e) => {
+                        panic!("decoder failed on valid response: {}", e.message)
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(items.len(), 1);
+        prop_assert_eq!(items[0].status, blocking.status);
+        prop_assert_eq!(&items[0].body, &blocking.body);
+    }
+
+    /// Byte-at-a-time (the worst fragmentation) agrees too.
+    #[test]
+    fn byte_at_a_time_agrees_with_blocking(req in arb_request()) {
+        let mut wire = Vec::new();
+        write_request(&mut wire, &req).unwrap();
+        let mut reader = BufReader::new(wire.as_slice());
+        let blocking = read_request(&mut reader).unwrap().unwrap();
+
+        let mut decoder = RequestDecoder::new();
+        let mut items = Vec::new();
+        for b in &wire {
+            decoder.feed(std::slice::from_ref(b));
+            if let Decoded::Item(req) = decoder.poll() {
+                items.push(req);
+            }
+        }
+        prop_assert_eq!(items.len(), 1);
+        prop_assert_eq!(&items[0].path, &blocking.path);
+        prop_assert_eq!(&items[0].headers, &blocking.headers);
+        prop_assert_eq!(&items[0].body, &blocking.body);
+    }
+
+    /// On arbitrary garbage the incremental decoder never panics, and
+    /// whenever the blocking parser rejects a *complete* head as
+    /// malformed (InvalidData), the incremental decoder fed the same
+    /// bytes fails too — same verdict, incremental delivery.
+    #[test]
+    fn garbage_verdicts_agree(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+        cuts in prop::collection::vec(any::<prop::sample::Index>(), 0..6),
+    ) {
+        // Terminate the head so both parsers see a complete (if bogus)
+        // message head rather than truncation.
+        let mut wire = bytes.clone();
+        wire.extend_from_slice(b"\r\n\r\n");
+
+        let mut reader = BufReader::new(wire.as_slice());
+        let blocking_verdict = read_request(&mut reader);
+
+        let mut decoder = RequestDecoder::new();
+        let mut offsets: Vec<usize> =
+            cuts.iter().map(|ix| ix.index(wire.len() + 1)).collect();
+        offsets.push(0);
+        offsets.push(wire.len());
+        offsets.sort_unstable();
+        offsets.dedup();
+        let mut failed = false;
+        let mut decoded_any = false;
+        'outer: for pair in offsets.windows(2) {
+            decoder.feed(&wire[pair[0]..pair[1]]);
+            loop {
+                match decoder.poll() {
+                    Decoded::Item(_) => decoded_any = true,
+                    Decoded::NeedMore => break,
+                    Decoded::Failed(_) => { failed = true; break 'outer; }
+                }
+            }
+        }
+        match blocking_verdict {
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                prop_assert!(failed, "blocking rejected but incremental did not");
+            }
+            Ok(Some(_)) => {
+                prop_assert!(decoded_any || !failed);
+            }
+            // Truncation/EOF cases: the incremental decoder just waits
+            // for more bytes; it must not have *failed* unless the
+            // blocking parser also saw malformed data.
+            _ => {}
+        }
+    }
+
+    /// Truncated messages never produce an item and never fail as
+    /// malformed: the decoder just reports NeedMore, exactly like a
+    /// blocking parser would keep waiting on the socket.
+    #[test]
+    fn truncation_waits_instead_of_failing(
+        req in arb_request(),
+        drop_tail in 1usize..64,
+    ) {
+        let mut wire = Vec::new();
+        write_request(&mut wire, &req).unwrap();
+        let keep = wire.len().saturating_sub(drop_tail);
+        let mut decoder = RequestDecoder::new();
+        decoder.feed(&wire[..keep]);
+        let mut saw_item = false;
+        let mut saw_failure = false;
+        loop {
+            match decoder.poll() {
+                Decoded::Item(_) => saw_item = true,
+                Decoded::NeedMore => break,
+                Decoded::Failed(_) => {
+                    saw_failure = true;
+                    break;
+                }
+            }
+        }
+        prop_assert!(!saw_failure, "truncated valid request must not fail");
+        // Dropping bytes from the end can never complete the message.
+        prop_assert!(!saw_item);
+        prop_assert!(!decoder.at_boundary() || keep == 0);
+        // Feeding the missing tail completes it.
+        decoder.feed(&wire[keep..]);
+        let completed = match decoder.poll() {
+            Decoded::Item(got) => {
+                prop_assert_eq!(got.body, req.body);
+                true
+            }
+            _ => false,
+        };
+        prop_assert!(completed, "completing the wire must decode the request");
+    }
+}

@@ -518,7 +518,7 @@ impl SegmentStore {
     }
 
     /// The response recorded for an upload idempotency token, if the
-    /// token is among the last [`UPLOAD_TOKEN_CAP`] remembered:
+    /// token is among the last `UPLOAD_TOKEN_CAP` (256) remembered:
     /// `(segments stored, annotations stored)`.
     pub fn check_upload_token(&self, token: &[u8]) -> Option<(u32, u32)> {
         self.upload_tokens

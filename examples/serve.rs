@@ -11,12 +11,11 @@
 //! cargo run --example serve -- --once  # smoke-test and exit
 //! ```
 
-use sensorsafe::net::{HttpClient, Request, Server};
+use sensorsafe::net::{HttpClient, Request};
 use sensorsafe::sim::Scenario;
 use sensorsafe::store::Query;
 use sensorsafe::types::Timestamp;
 use sensorsafe::{json, Deployment};
-use std::sync::Arc;
 
 fn main() {
     let once = std::env::args().any(|a| a == "--once");
@@ -27,16 +26,22 @@ fn main() {
     let store1_host = "127.0.0.1:7071";
     let store2_host = "127.0.0.1:7072";
 
+    // Server architecture comes from SENSORSAFE_SERVER_MODE (default:
+    // the evented epoll core; "thread-pool" selects the baseline).
     let mut deployment =
         Deployment::over_tcp_with_fleet(broker_host, sensorsafe::broker::FleetConfig::default());
-    let broker_server =
-        Server::bind(broker_host, 4, Arc::new(deployment.broker().clone())).expect("bind broker");
+    let broker_server = deployment
+        .serve_broker(broker_host, 4)
+        .expect("bind broker");
     let store1 = deployment.add_store(store1_host);
-    let store2 = deployment.add_store(store2_host);
-    let store1_server =
-        Server::bind(store1_host, 4, Arc::new(store1.clone())).expect("bind store 1");
-    let store2_server =
-        Server::bind(store2_host, 4, Arc::new(store2.clone())).expect("bind store 2");
+    let _store2 = deployment.add_store(store2_host);
+    let store1_server = deployment
+        .serve_store(store1_host, 4)
+        .expect("bind store 1");
+    let store2_server = deployment
+        .serve_store(store2_host, 4)
+        .expect("bind store 2");
+    println!("mode    : {}", deployment.server_mode().as_str());
     println!("broker  : http://{}", broker_server.addr());
     println!("store 1 : http://{}", store1_server.addr());
     println!("store 2 : http://{}", store2_server.addr());

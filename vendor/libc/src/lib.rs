@@ -1,0 +1,200 @@
+//! Offline shim for the `libc` crate.
+//!
+//! The workspace has no registry access, so — like every crate under
+//! `vendor/` — this provides exactly the surface the workspace uses: the
+//! Linux syscalls behind `sensorsafe_net`'s evented core (`epoll`,
+//! `eventfd`, `SO_REUSEPORT` listener setup) and the bench harness's
+//! file-descriptor budget check (`getrlimit`/`setrlimit`). Declarations
+//! link against the system C library that `std` already pulls in; no new
+//! link-time dependency is introduced.
+//!
+//! Everything here is the stable Linux kernel/glibc ABI for the
+//! architectures this workspace builds on (x86_64 and aarch64).
+
+#![allow(non_camel_case_types)]
+
+pub type c_int = i32;
+pub type c_uint = u32;
+pub type c_void = std::ffi::c_void;
+pub type size_t = usize;
+pub type ssize_t = isize;
+pub type socklen_t = u32;
+pub type rlim_t = u64;
+
+// --- epoll -----------------------------------------------------------------
+
+/// Readable.
+pub const EPOLLIN: u32 = 0x001;
+/// Writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (always reported, never needs arming).
+pub const EPOLLERR: u32 = 0x008;
+/// Hang-up (always reported, never needs arming).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer shut down its writing half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+pub const EPOLL_CTL_ADD: c_int = 1;
+pub const EPOLL_CTL_DEL: c_int = 2;
+pub const EPOLL_CTL_MOD: c_int = 3;
+pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+/// One epoll readiness event. On x86_64 the kernel ABI packs this struct
+/// (4-byte-aligned `u64 data`); on every other architecture it has
+/// natural alignment. Getting this wrong corrupts every second event in
+/// a `epoll_wait` batch, so the layout is pinned by a unit test below.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct epoll_event {
+    /// Readiness bit set (`EPOLLIN` | ...).
+    pub events: u32,
+    /// Caller-owned cookie, returned verbatim with each event.
+    pub u64: u64,
+}
+
+// --- eventfd ---------------------------------------------------------------
+
+pub const EFD_CLOEXEC: c_int = 0o2000000;
+pub const EFD_NONBLOCK: c_int = 0o4000;
+
+// --- sockets ---------------------------------------------------------------
+
+pub const AF_INET: c_int = 2;
+pub const AF_INET6: c_int = 10;
+pub const SOCK_STREAM: c_int = 1;
+pub const SOCK_NONBLOCK: c_int = 0o4000;
+pub const SOCK_CLOEXEC: c_int = 0o2000000;
+pub const SOL_SOCKET: c_int = 1;
+pub const SO_REUSEADDR: c_int = 2;
+pub const SO_REUSEPORT: c_int = 15;
+pub const IPPROTO_IPV6: c_int = 41;
+pub const IPV6_V6ONLY: c_int = 26;
+
+/// IPv4 socket address (network byte order for port and address).
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct sockaddr_in {
+    pub sin_family: u16,
+    pub sin_port: u16,
+    pub sin_addr: u32,
+    pub sin_zero: [u8; 8],
+}
+
+/// IPv6 socket address (network byte order for port and address).
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct sockaddr_in6 {
+    pub sin6_family: u16,
+    pub sin6_port: u16,
+    pub sin6_flowinfo: u32,
+    pub sin6_addr: [u8; 16],
+    pub sin6_scope_id: u32,
+}
+
+// --- resource limits -------------------------------------------------------
+
+pub const RLIMIT_NOFILE: c_int = 7;
+
+/// A soft/hard resource limit pair.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct rlimit {
+    pub rlim_cur: rlim_t,
+    pub rlim_max: rlim_t,
+}
+
+extern "C" {
+    pub fn epoll_create1(flags: c_int) -> c_int;
+    pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+    pub fn epoll_wait(
+        epfd: c_int,
+        events: *mut epoll_event,
+        maxevents: c_int,
+        timeout_ms: c_int,
+    ) -> c_int;
+    pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    pub fn read(fd: c_int, buf: *mut c_void, count: size_t) -> ssize_t;
+    pub fn write(fd: c_int, buf: *const c_void, count: size_t) -> ssize_t;
+    pub fn close(fd: c_int) -> c_int;
+    pub fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    pub fn bind(fd: c_int, addr: *const c_void, addrlen: socklen_t) -> c_int;
+    pub fn listen(fd: c_int, backlog: c_int) -> c_int;
+    pub fn getsockname(fd: c_int, addr: *mut c_void, addrlen: *mut socklen_t) -> c_int;
+    pub fn setsockopt(
+        fd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *const c_void,
+        optlen: socklen_t,
+    ) -> c_int;
+    pub fn getrlimit(resource: c_int, rlim: *mut rlimit) -> c_int;
+    pub fn setrlimit(resource: c_int, rlim: *const rlimit) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoll_event_layout_matches_kernel_abi() {
+        #[cfg(target_arch = "x86_64")]
+        assert_eq!(std::mem::size_of::<epoll_event>(), 12);
+        #[cfg(not(target_arch = "x86_64"))]
+        assert_eq!(std::mem::size_of::<epoll_event>(), 16);
+    }
+
+    #[test]
+    fn sockaddr_layouts() {
+        assert_eq!(std::mem::size_of::<sockaddr_in>(), 16);
+        assert_eq!(std::mem::size_of::<sockaddr_in6>(), 28);
+    }
+
+    #[test]
+    fn eventfd_round_trip() {
+        unsafe {
+            let fd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+            assert!(fd >= 0, "eventfd failed");
+            let one: u64 = 1;
+            assert_eq!(
+                write(fd, (&one as *const u64).cast(), 8),
+                8,
+                "eventfd write"
+            );
+            let mut val: u64 = 0;
+            assert_eq!(
+                read(fd, (&mut val as *mut u64).cast(), 8),
+                8,
+                "eventfd read"
+            );
+            assert_eq!(val, 1);
+            // Drained: a second read would block, so it must fail.
+            assert_eq!(read(fd, (&mut val as *mut u64).cast(), 8), -1);
+            close(fd);
+        }
+    }
+
+    #[test]
+    fn epoll_reports_eventfd_readable() {
+        unsafe {
+            let ep = epoll_create1(EPOLL_CLOEXEC);
+            assert!(ep >= 0);
+            let fd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+            assert!(fd >= 0);
+            let mut ev = epoll_event {
+                events: EPOLLIN,
+                u64: 42,
+            };
+            assert_eq!(epoll_ctl(ep, EPOLL_CTL_ADD, fd, &mut ev), 0);
+            let one: u64 = 1;
+            assert_eq!(write(fd, (&one as *const u64).cast(), 8), 8);
+            let mut out = [epoll_event { events: 0, u64: 0 }; 4];
+            let n = epoll_wait(ep, out.as_mut_ptr(), 4, 1000);
+            assert_eq!(n, 1);
+            let cookie = out[0].u64;
+            assert_eq!(cookie, 42);
+            close(fd);
+            close(ep);
+        }
+    }
+}
