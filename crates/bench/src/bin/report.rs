@@ -9,10 +9,11 @@
 //! ```
 
 use sensorsafe_bench::{
-    alice_scenario, chest_packets, durable_workload, mixed_workload, run_durable_uploads,
-    run_mixed_traffic, segment_store_with, synthetic_rules, tuple_store_with,
+    alice_scenario, chest_packets, durable_workload, durable_workload_with, mixed_workload,
+    run_durable_uploads, run_many_account_uploads, run_mixed_traffic, segment_store_with,
+    synthetic_rules, tuple_store_with,
 };
-use sensorsafe_core::datastore::LockMode;
+use sensorsafe_core::datastore::{DataStoreConfig, LockMode, StorageEngine};
 use sensorsafe_core::net::{LocalTransport, Request, Service, Transport};
 use sensorsafe_core::policy::{ConsumerCtx, RuleIndex, SearchQuery};
 use sensorsafe_core::store::{GroupCommitConfig, MergePolicy, Query};
@@ -342,6 +343,161 @@ fn c2_durable_upload_table() {
         }
     }
     println!("(fsync/up < 1 at threads >= 4 is group commit coalescing concurrent acks)");
+    println!();
+}
+
+fn c4_store_wide_group_commit_table() {
+    use sensorsafe_core::store::JournalConfig;
+    println!("== C4: store-wide group commit, many accounts x low per-account rate ==");
+    println!(
+        "environment: {} CPU(s) visible to this process",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    println!(
+        "shape: every contributor uploads one packet per round (a 1 Hz fleet\n\
+         compressed in time) — no account ever has two uploads in flight, so\n\
+         only cross-account batching can coalesce fsyncs"
+    );
+    let registry = sensorsafe_core::obsv::global();
+    let fsyncs = registry.counter(
+        "sensorsafe_store_wal_fsyncs_total",
+        "fsync calls issued by write-ahead logs.",
+        &[],
+    );
+    let uploads = registry.counter(
+        "sensorsafe_datastore_durable_uploads_total",
+        "Upload requests acked after a durable WAL commit.",
+        &[],
+    );
+    // More workers than a single fsync can retire: the commit thread
+    // batches every upload staged while the previous fsync was in
+    // flight, so in-flight depth bounds the achievable coalescing.
+    let threads = 32;
+    println!(
+        "{:<18} {:<16} {:>9} {:>10} {:>8} {:>8} {:>12}",
+        "engine", "commit config", "contribs", "req/s", "uploads", "fsyncs", "fsync/up"
+    );
+    let configs = [
+        ("batch64_500us", GroupCommitConfig::default()),
+        (
+            "batch256_2ms",
+            GroupCommitConfig {
+                max_batch: 256,
+                max_delay: std::time::Duration::from_millis(2),
+            },
+        ),
+    ];
+    for (engine_label, engine) in [
+        ("per-account-wal", StorageEngine::PerAccountWal),
+        ("journal", StorageEngine::Journal),
+    ] {
+        for (wal_label, wal) in configs {
+            for contributors in [100usize, 1000] {
+                let workload = durable_workload_with(
+                    DataStoreConfig {
+                        engine,
+                        wal,
+                        ..Default::default()
+                    },
+                    contributors,
+                );
+                run_many_account_uploads(&workload, threads, 0, 1); // warm-up, discarded
+                let (f0, u0) = (fsyncs.get(), uploads.get());
+                let elapsed = run_many_account_uploads(&workload, threads, 1, 3);
+                let df = fsyncs.get() - f0;
+                let du = uploads.get() - u0;
+                println!(
+                    "{:<18} {:<16} {:>9} {:>10.0} {:>8} {:>8} {:>12.3}",
+                    engine_label,
+                    wal_label,
+                    contributors,
+                    du as f64 / elapsed.as_secs_f64(),
+                    du,
+                    df,
+                    df as f64 / du as f64
+                );
+            }
+        }
+    }
+    // Recovery-time probe: rotation + checkpoints bound replay to the
+    // checkpoint snapshot plus the tail segments — segments a checkpoint
+    // covers are skipped wholesale at reopen. The workload drives
+    // re-enrollment cycles (upload, `/repl/reset` wipe, upload again):
+    // live state stays one cycle's worth while journal history grows
+    // with every cycle, which is exactly the shape where a naive
+    // full-log replay (the control rig, rotation disabled) degrades
+    // linearly and a checkpointed reopen stays flat.
+    println!(
+        "\n{:<34} {:>9} {:>9} {:>12} {:>10} {:>8}",
+        "journal recovery rig", "history", "live", "replay ms", "live segs", "ckpt'd"
+    );
+    let rigs = [
+        (
+            "rotate 256 KiB + ckpt",
+            JournalConfig {
+                rotate_bytes: 256 * 1024,
+                ..Default::default()
+            },
+        ),
+        (
+            "rotation disabled",
+            JournalConfig {
+                rotate_bytes: u64::MAX,
+                rotate_records: u64::MAX,
+                ..Default::default()
+            },
+        ),
+    ];
+    let contributors = 128;
+    let live_rounds = 4;
+    for (label, journal) in rigs {
+        for cycles in [1usize, 4, 16] {
+            let mut workload = durable_workload_with(
+                DataStoreConfig {
+                    engine: StorageEngine::Journal,
+                    journal,
+                    ..Default::default()
+                },
+                contributors,
+            );
+            for cycle in 0..cycles {
+                run_many_account_uploads(&workload, threads, cycle * live_rounds, live_rounds);
+                if cycle + 1 < cycles {
+                    // Operator wipe between cycles: the account's prior
+                    // records become dead history the checkpoint drops.
+                    for (name, _) in &workload.contributors {
+                        let resp =
+                            workload
+                                .store
+                                .handle(&sensorsafe_core::net::Request::post_json(
+                                    "/repl/reset",
+                                    &sensorsafe_core::json!({
+                                        "key": (workload.admin_key.clone()),
+                                        "contributor": (name.clone()),
+                                        "epoch": 0,
+                                    }),
+                                ));
+                        assert!(resp.status.is_success(), "re-enrollment wipe failed");
+                    }
+                }
+            }
+            let replay = workload.restart();
+            let stats = workload.store.journal_stats().expect("journal engine");
+            println!(
+                "{:<34} {:>9} {:>9} {:>12.2} {:>10} {:>8}",
+                format!("{label}, {cycles} cycles"),
+                cycles * live_rounds * contributors,
+                live_rounds * contributors,
+                replay.as_secs_f64() * 1e3,
+                stats.live_segments,
+                stats.checkpointed_through
+            );
+        }
+    }
+    println!(
+        "(history = uploads ever journaled, live = uploads surviving the last wipe;\n\
+         flat replay ms down the checkpointed rows = reopen bounded to ckpt + tail)"
+    );
     println!();
 }
 
@@ -688,6 +844,12 @@ fn main() {
         c3_client_main(addr, conns);
         return;
     }
+    // `report c4` runs the storage-engine sweep alone — the section CI
+    // and the OPERATIONS.md runbook re-run in isolation.
+    if args.get(1).map(String::as_str) == Some("c4") {
+        c4_store_wide_group_commit_table();
+        return;
+    }
 
     f5_storage_table();
     a1_merge_table();
@@ -697,6 +859,7 @@ fn main() {
     c1_concurrency_table();
     c2_durable_upload_table();
     c3_evented_core_table();
+    c4_store_wide_group_commit_table();
     obsv_overhead_table();
     fleet_scrape_overhead_table();
 

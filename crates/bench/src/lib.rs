@@ -245,7 +245,15 @@ pub fn mixed_workload(lock_mode: LockMode, n_contributors: usize) -> MixedWorklo
 /// One 64-sample chest packet per contributor, a day past the preload
 /// region (so C1 traffic uploads never intersect the queried window).
 fn future_packet(i: usize) -> WaveSegment {
-    let start = DAY_START + 86_400_000 + (i * 64 * 20) as i64;
+    future_packet_at(i, 0)
+}
+
+/// Round `round` of contributor `i`'s packet stream: each round starts
+/// exactly where the previous one ended, so consecutive uploads merge —
+/// the shape of a real continuous 1 Hz sensor feed. Contributors are
+/// strided a day apart so streams never overlap.
+fn future_packet_at(i: usize, round: usize) -> WaveSegment {
+    let start = DAY_START + 86_400_000 + (i as i64) * 86_400_000 + (round * 64 * 20) as i64;
     let meta = SegmentMeta {
         timing: Timing::Uniform {
             start: Timestamp::from_millis(start),
@@ -344,6 +352,10 @@ pub struct DurableWorkload {
     pub store: DataStoreService,
     /// `(name, api_key)` per contributor.
     pub contributors: Vec<(String, String)>,
+    /// The store's admin (`Role::Server`) key in hex — lets a bench
+    /// drive operator paths like `/repl/reset` re-enrollment wipes.
+    pub admin_key: String,
+    config: DataStoreConfig,
     dir: std::path::PathBuf,
 }
 
@@ -353,10 +365,49 @@ impl Drop for DurableWorkload {
     }
 }
 
-/// Builds the C2 workload: a durable store (per-contributor WALs on
-/// disk) under the given group-commit configuration, with
-/// `n_contributors` registered accounts.
+impl DurableWorkload {
+    /// Shuts the running service down and reopens a fresh one over the
+    /// same on-disk state, returning how long the reopen took. Under
+    /// [`StorageEngine::Journal`](sensorsafe_core::datastore::StorageEngine)
+    /// that covers the full journal replay
+    /// (checkpoint load + tail-segment scan), so this is the C4
+    /// recovery-time probe: with rotation + checkpoints, the duration
+    /// must stay flat as upload history grows.
+    pub fn restart(&mut self) -> Duration {
+        // Swap in a throwaway in-memory service so the durable one drops
+        // (joining its journal threads and releasing the directory)
+        // before the reopen is timed.
+        let (placeholder, _key) = DataStoreService::new(Default::default());
+        drop(std::mem::replace(&mut self.store, placeholder));
+        let started = Instant::now();
+        let (store, _admin) = DataStoreService::new(self.config.clone());
+        let elapsed = started.elapsed();
+        self.store = store;
+        elapsed
+    }
+}
+
+/// Builds the C2 workload: a durable store under the given group-commit
+/// configuration and the default storage engine, with `n_contributors`
+/// registered accounts.
 pub fn durable_workload(wal: GroupCommitConfig, n_contributors: usize) -> DurableWorkload {
+    durable_workload_with(
+        DataStoreConfig {
+            wal,
+            ..Default::default()
+        },
+        n_contributors,
+    )
+}
+
+/// Builds a durable workload from an explicit [`DataStoreConfig`]
+/// (engine, group-commit, and journal rotation settings) — the C4
+/// builder. The config's `data_dir` is overwritten with a fresh temp
+/// directory that the workload removes on drop.
+pub fn durable_workload_with(
+    mut config: DataStoreConfig,
+    n_contributors: usize,
+) -> DurableWorkload {
     use std::sync::atomic::{AtomicU64, Ordering};
     static NEXT: AtomicU64 = AtomicU64::new(0);
     let dir = std::env::temp_dir().join(format!(
@@ -366,11 +417,8 @@ pub fn durable_workload(wal: GroupCommitConfig, n_contributors: usize) -> Durabl
     ));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("bench temp dir");
-    let (store, admin) = DataStoreService::new(DataStoreConfig {
-        data_dir: Some(dir.clone()),
-        wal,
-        ..Default::default()
-    });
+    config.data_dir = Some(dir.clone());
+    let (store, admin) = DataStoreService::new(config.clone());
     let admin = admin.to_hex();
     let mut contributors = Vec::with_capacity(n_contributors);
     for i in 0..n_contributors {
@@ -389,8 +437,72 @@ pub fn durable_workload(wal: GroupCommitConfig, n_contributors: usize) -> Durabl
     DurableWorkload {
         store,
         contributors,
+        admin_key: admin,
+        config,
         dir,
     }
+}
+
+/// Drives the C4 many-accounts/low-rate shape: every contributor uploads
+/// exactly one packet per round (`rounds * n_contributors` uploads
+/// total), with the contributor space sharded over `threads` workers.
+/// Each contributor's rounds form one contiguous packet stream (they
+/// merge, like a real 1 Hz feed). Unlike [`run_durable_uploads`] — many
+/// threads hammering few accounts — no account ever sees two concurrent
+/// uploads here, so per-account group commit has nothing to coalesce and
+/// only a store-wide commit path can batch the fsyncs. `start_round`
+/// continues a stream a previous call left off at. Bodies are
+/// pre-rendered; the duration covers only the traffic.
+pub fn run_many_account_uploads(
+    workload: &DurableWorkload,
+    threads: usize,
+    start_round: usize,
+    rounds: usize,
+) -> Duration {
+    let n = workload.contributors.len();
+    assert!(n > 0 && threads > 0);
+    let render_round = |round: usize| -> Vec<Request> {
+        workload
+            .contributors
+            .iter()
+            .enumerate()
+            .map(|(i, (_, key))| {
+                let packet = future_packet_at(i, round);
+                Request::post_json(
+                    "/api/upload",
+                    &json!({"key": (key.clone()), "segments": (Value::Array(vec![packet.to_json()]))}),
+                )
+            })
+            .collect()
+    };
+    let upload_reqs: Arc<Vec<Vec<Request>>> = Arc::new(
+        (start_round..start_round + rounds)
+            .map(render_round)
+            .collect(),
+    );
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let store = workload.store.clone();
+            let uploads = upload_reqs.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                for round in uploads.iter() {
+                    for i in (t..round.len()).step_by(threads) {
+                        let resp = store.handle(&round[i]);
+                        assert_eq!(resp.status, Status::Ok, "many-account upload failed");
+                    }
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let started = Instant::now();
+    for handle in handles {
+        handle.join().expect("upload thread panicked");
+    }
+    started.elapsed()
 }
 
 /// Drives `threads` workers, each issuing `ops_per_thread` durable
@@ -515,6 +627,7 @@ pub fn soak_round(conns: &mut [SoakConn]) -> std::io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sensorsafe_core::datastore::StorageEngine;
 
     #[test]
     fn chest_packets_are_mergeable() {
@@ -550,6 +663,59 @@ mod tests {
         let spent = fsyncs.get() - before;
         assert!(spent > 0, "durable uploads must fsync");
         assert!(spent < 32, "no coalescing: {spent} fsyncs for 32 uploads");
+    }
+
+    #[test]
+    fn c4_group_commit_coalesces_across_accounts() {
+        // The C4 acceptance shape at reduced scale: many accounts, each
+        // uploading at most once at a time. Per-account WALs get no
+        // coalescing from this shape (one fsync per upload), while the
+        // store-wide journal batches strangers' uploads into shared
+        // fsyncs. A restart replays the journal and must come back up.
+        let fsyncs = sensorsafe_core::obsv::global().counter(
+            "sensorsafe_store_wal_fsyncs_total",
+            "fsync calls issued by write-ahead logs.",
+            &[],
+        );
+        let contributors = 48;
+        let (threads, rounds) = (8, 2);
+        let total = (contributors * rounds) as u64;
+
+        let wal_workload = durable_workload_with(
+            DataStoreConfig {
+                engine: StorageEngine::PerAccountWal,
+                ..Default::default()
+            },
+            contributors,
+        );
+        let before = fsyncs.get();
+        run_many_account_uploads(&wal_workload, threads, 0, rounds);
+        let per_account_spent = fsyncs.get() - before;
+        assert!(
+            per_account_spent >= total,
+            "per-account WALs cannot coalesce across accounts: \
+             {per_account_spent} fsyncs for {total} uploads"
+        );
+
+        let mut journal_workload = durable_workload_with(
+            DataStoreConfig {
+                engine: StorageEngine::Journal,
+                ..Default::default()
+            },
+            contributors,
+        );
+        let before = fsyncs.get();
+        run_many_account_uploads(&journal_workload, threads, 0, rounds);
+        let journal_spent = fsyncs.get() - before;
+        assert!(journal_spent > 0, "durable uploads must fsync");
+        assert!(
+            journal_spent * 2 < total,
+            "store-wide group commit should batch across accounts: \
+             {journal_spent} fsyncs for {total} uploads"
+        );
+
+        let replay = journal_workload.restart();
+        assert!(replay > Duration::ZERO, "restart must replay the journal");
     }
 
     #[test]

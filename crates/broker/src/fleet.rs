@@ -30,6 +30,53 @@
 //! additionally annotate contributors whose store is currently
 //! Unreachable. The plane observes itself: scrape failures, scrape
 //! latency, and per-store staleness are first-class metrics.
+//!
+//! Pair a store, sweep it once, and read the verdict back from
+//! `GET /fleet` (production deployments spawn
+//! [`BrokerService::spawn_fleet_scraper`](crate::BrokerService::spawn_fleet_scraper)
+//! instead of sweeping by hand):
+//!
+//! ```
+//! use sensorsafe_broker::{BrokerConfig, BrokerService, TransportFactory};
+//! use sensorsafe_json::json;
+//! use sensorsafe_net::{LocalTransport, Request, Response, Service, Transport};
+//! use std::sync::Arc;
+//!
+//! // A minimal "store": anything serving /healthz and /metrics can be
+//! // swept. Real deployments hand the factory a TCP transport instead.
+//! struct StubStore;
+//! impl Service for StubStore {
+//!     fn handle(&self, request: &Request) -> Response {
+//!         match request.path.as_str() {
+//!             "/healthz" => Response::json(&json!({"status": "ok"})),
+//!             _ => Response::text("sensorsafe_requests_total 1\n"),
+//!         }
+//!     }
+//! }
+//!
+//! let transports: TransportFactory = Arc::new(|_addr| {
+//!     Arc::new(LocalTransport::new(Arc::new(StubStore))) as Arc<dyn Transport>
+//! });
+//! let (broker, admin) = BrokerService::new(BrokerConfig {
+//!     name: "broker".into(),
+//!     transports,
+//!     ..BrokerConfig::default()
+//! });
+//! let resp = broker.handle(&Request::post_json(
+//!     "/api/stores/register",
+//!     &json!({"key": (admin.to_hex()), "addr": "s1", "register_key": "k"}),
+//! ));
+//! assert!(resp.status.is_success());
+//!
+//! // Hysteresis: a store proves itself over `healthy_after` (default 2)
+//! // consecutive good probes before it is called Healthy.
+//! broker.fleet_sweep_now();
+//! let fleet = broker.handle(&Request::get("/fleet")).json_body().unwrap();
+//! assert_eq!(fleet["stores"][0]["health"], json!("degraded"));
+//! broker.fleet_sweep_now();
+//! let fleet = broker.handle(&Request::get("/fleet")).json_body().unwrap();
+//! assert_eq!(fleet["stores"][0]["health"], json!("healthy"));
+//! ```
 
 use crate::service::Inner;
 use parking_lot::Mutex;

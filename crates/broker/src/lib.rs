@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! The SensorSafe broker (Fig. 2 right, §5.2).
 //!
 //! The broker makes a *distributed* fleet of remote data stores usable:

@@ -1,4 +1,33 @@
 //! High-level deployment wiring: broker + data stores + actors.
+//!
+//! [`Deployment`] assembles a whole SensorSafe system — one broker, any
+//! number of data stores, contributors and consumers — either in-process
+//! (services call each other directly; the default for tests) or over
+//! real TCP. The §6 walkthrough in miniature:
+//!
+//! ```
+//! use sensorsafe_core::{json, Deployment};
+//! use sensorsafe_core::sim::Scenario;
+//! use sensorsafe_core::store::Query;
+//! use sensorsafe_core::types::Timestamp;
+//!
+//! let mut deployment = Deployment::in_process();
+//! deployment.add_store("s1");
+//!
+//! // Alice hosts her data on store s1 and allows sharing.
+//! let alice = deployment.register_contributor("s1", "alice")?;
+//! alice.set_rules(&json!([{"Action": "Allow"}]))?;
+//! let day = Scenario::alice_day(Timestamp::from_millis(1_311_500_000_000), 1, 1);
+//! alice.upload_scenario(&day)?;
+//!
+//! // Bob discovers and downloads directly from the store — the broker
+//! // only ever serves him the access list.
+//! let bob = deployment.register_consumer("bob")?;
+//! bob.add_contributors(&["alice"])?;
+//! let results = bob.download_all(&Query::all())?;
+//! assert!(results[0].1.raw_samples() > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 use sensorsafe_broker::{BrokerConfig, BrokerService, FleetConfig, FleetScraper, TransportFactory};
 use sensorsafe_client::{ConsumerApp, ContributorDevice};

@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! The SensorSafe remote data store server (Fig. 2, left).
 //!
 //! One data store hosts one or more contributors' data (a personal
@@ -27,7 +28,9 @@ pub mod web;
 
 pub use pipeline::{shared_view, shared_view_from_json, shared_view_to_json, SharedView};
 pub use repl::{ReplShipper, ReplicaLink};
-pub use service::{annotation_to_json, BrokerLink, DataStoreConfig, DataStoreService};
+pub use service::{
+    annotation_to_json, BrokerLink, DataStoreConfig, DataStoreService, StorageEngine,
+};
 pub use state::{
     ConsumerAccount, ContributorAccount, ContributorReadGuard, ContributorWriteGuard,
     DataStoreState, LockMode,

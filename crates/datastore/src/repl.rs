@@ -17,6 +17,60 @@
 //! [`repl_ack`](sensorsafe_store::SegmentStore::repl_ack) call. A fenced
 //! account (this store lost a failover CAS) is skipped entirely: a
 //! deposed primary must not keep writing at the new one.
+//!
+//! Pairing a primary with a replica and shipping one account's data
+//! (production deployments spawn
+//! [`DataStoreService::spawn_repl_shipper`](crate::DataStoreService::spawn_repl_shipper)
+//! instead of shipping by hand):
+//!
+//! ```
+//! use sensorsafe_datastore::{DataStoreService, ReplicaLink};
+//! use sensorsafe_json::json;
+//! use sensorsafe_net::{LocalTransport, Request, Service, Transport};
+//! use sensorsafe_types::{ChannelSpec, SegmentMeta, Timestamp, Timing, WaveSegment};
+//! use std::sync::Arc;
+//!
+//! let (primary, admin) = DataStoreService::new(Default::default());
+//! let (replica, replica_admin) = DataStoreService::new(Default::default());
+//!
+//! // The link carries a transport to the replica plus a Role::Server
+//! // key minted *on the replica* that authorizes /repl/* calls there.
+//! primary.attach_replica(ReplicaLink {
+//!     addr: "replica-1".into(),
+//!     transport: Arc::new(LocalTransport::new(Arc::new(replica.clone()))),
+//!     repl_key: replica_admin.to_hex(),
+//! });
+//!
+//! // Registrations are mirrored (same API key on both sides), uploads
+//! // buffer sealed batches, and a shipping pass drains them across.
+//! let resp = primary.handle(&Request::post_json(
+//!     "/api/register",
+//!     &json!({"key": (admin.to_hex()), "name": "alice", "role": "contributor"}),
+//! ));
+//! let alice_key = resp.json_body().unwrap()["api_key"].as_str().unwrap().to_string();
+//! let segment = WaveSegment::from_rows(
+//!     SegmentMeta {
+//!         timing: Timing::Uniform { start: Timestamp::from_millis(0), interval_secs: 1.0 },
+//!         location: None,
+//!         format: vec![ChannelSpec::f32("ecg")],
+//!     },
+//!     &[vec![0.5], vec![0.7]],
+//! ).unwrap();
+//! let resp = primary.handle(&Request::post_json(
+//!     "/api/upload",
+//!     &json!({"key": (alice_key.clone()), "segments": [(segment.to_json())]}),
+//! ));
+//! assert!(resp.status.is_success());
+//! let shipped = primary.repl_ship_now();
+//! assert!(shipped > 0, "the sealed upload batch ships to the replica");
+//!
+//! // The replica now authenticates the same contributor key.
+//! let resp = replica.handle(&Request::post_json(
+//!     "/api/rules/get",
+//!     &json!({"key": (alice_key)}),
+//! ));
+//! assert!(resp.status.is_success());
+//! ```
 
 use crate::service::Inner;
 use sensorsafe_json::{json, Value};
@@ -150,6 +204,15 @@ impl Inner {
                     &[("contributor", &label)],
                 )
                 .set(pending as i64);
+        }
+        // Fresh acks may have unblocked journal segment GC: checkpointed
+        // segments are only deleted once every account's shipped batches
+        // are acked (the journal's GC gate reads `repl_acked_seq`), so a
+        // shipping pass is the natural moment to retry.
+        if shipped > 0 {
+            if let Some(journal) = &self.journal {
+                journal.maybe_gc();
+            }
         }
         shipped
     }

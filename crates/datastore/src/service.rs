@@ -32,6 +32,26 @@ use sensorsafe_types::{
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
+/// Which durability engine backs hosted contributor stores when a data
+/// directory is configured (ignored for in-memory deployments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StorageEngine {
+    /// Storage engine v2 (default): one store-wide
+    /// [`sensorsafe_store::StoreJournal`] shared by every hosted
+    /// account. A single commit thread batches records from many
+    /// contributors into one `write`+`fsync`, segments rotate at a size
+    /// threshold, each rotation checkpoints account state so crash
+    /// replay is bounded to the tail segment, and checkpointed segments
+    /// are garbage-collected once replication acks catch up.
+    #[default]
+    Journal,
+    /// Storage engine v1: one `<dir>/<name>.wal` group-commit log per
+    /// contributor account. Kept for migration and as the bench
+    /// baseline; fsync cost scales with the number of concurrently
+    /// active accounts.
+    PerAccountWal,
+}
+
 /// Construction-time configuration.
 #[derive(Debug, Clone)]
 pub struct DataStoreConfig {
@@ -39,17 +59,27 @@ pub struct DataStoreConfig {
     pub name: String,
     /// Merge policy for hosted contributors' stores.
     pub merge: MergePolicy,
-    /// Directory for per-contributor write-ahead logs. `None` keeps all
-    /// data in memory (tests, benches); with a directory set, each
-    /// contributor account replays `<dir>/<name>.wal` on registration,
-    /// so a restarted server recovers its data.
+    /// Directory for durable storage. `None` keeps all data in memory
+    /// (tests, benches); with a directory set, contributor data is
+    /// recovered on registration — from the shared journal
+    /// (`<dir>/journal.seg-N` + `<dir>/journal.ckpt`) under
+    /// [`StorageEngine::Journal`], or from `<dir>/<name>.wal` under
+    /// [`StorageEngine::PerAccountWal`] — so a restarted server
+    /// recovers its data.
     pub data_dir: Option<std::path::PathBuf>,
+    /// Durability engine for contributor data under `data_dir`. See
+    /// [`StorageEngine`] and `docs/OPERATIONS.md` ("Storage engine").
+    pub engine: StorageEngine,
+    /// Journal segment rotation thresholds (journal engine only). See
+    /// [`sensorsafe_store::JournalConfig`].
+    pub journal: sensorsafe_store::JournalConfig,
     /// Locking discipline for contributor state. `GlobalLock` reproduces
     /// the pre-sharding coarse lock (bench baseline only).
     pub lock_mode: LockMode,
     /// WAL group-commit batching for durable contributor stores (ignored
-    /// when `data_dir` is `None`). See [`GroupCommitConfig`] and
-    /// `docs/OPERATIONS.md` for tuning.
+    /// when `data_dir` is `None`). Applies to both engines: the journal
+    /// engine uses it as its commit-thread batching window. See
+    /// [`GroupCommitConfig`] and `docs/OPERATIONS.md` for tuning.
     pub wal: GroupCommitConfig,
     /// Requests slower than this are pinned in the slow-trace ring and
     /// logged as one structured JSON line (`None` disables capture). See
@@ -63,6 +93,8 @@ impl Default for DataStoreConfig {
             name: "sensorsafe-datastore".to_string(),
             merge: MergePolicy::default(),
             data_dir: None,
+            engine: StorageEngine::default(),
+            journal: sensorsafe_store::JournalConfig::default(),
             lock_mode: LockMode::Sharded,
             wal: GroupCommitConfig::default(),
             slow_request_threshold: None,
@@ -82,6 +114,11 @@ pub struct BrokerLink {
 
 pub(crate) struct Inner {
     pub(crate) config: DataStoreConfig,
+    /// The shared store-wide journal (storage engine v2). `Some` only
+    /// when `data_dir` is set and the engine is
+    /// [`StorageEngine::Journal`]; a journal that fails to open degrades
+    /// the server to per-account WALs rather than refusing to start.
+    pub(crate) journal: Option<Arc<sensorsafe_store::StoreJournal>>,
     pub(crate) state: DataStoreState,
     pub(crate) keys: KeyRing,
     pub(crate) graph: DependencyGraph,
@@ -151,24 +188,13 @@ impl Inner {
         };
         let created = match role {
             Role::Contributor => {
-                let mut account = match &self.config.data_dir {
-                    None => ContributorAccount::new(ContributorId::new(name), self.config.merge),
-                    Some(dir) => {
-                        let path = dir.join(format!("{name}.wal"));
-                        match ContributorAccount::open_with(
-                            ContributorId::new(name),
-                            path,
-                            self.config.merge,
-                            self.config.wal,
-                        ) {
-                            Ok(account) => account,
-                            Err(e) => {
-                                return Response::error(
-                                    Status::InternalError,
-                                    &format!("failed to open contributor store: {e}"),
-                                )
-                            }
-                        }
+                let mut account = match self.open_contributor_account(name) {
+                    Ok(account) => account,
+                    Err(e) => {
+                        return Response::error(
+                            Status::InternalError,
+                            &format!("failed to open contributor store: {e}"),
+                        )
                     }
                 };
                 // A replicated primary ships every account from birth.
@@ -221,6 +247,31 @@ impl Inner {
         Response::json_with_status(Status::Created, &json!({ "api_key": (key.to_hex()) }))
     }
 
+    /// Opens (or creates) the hosted account for `name` under the
+    /// configured durability engine: in-memory without a data directory,
+    /// the shared journal under [`StorageEngine::Journal`], otherwise a
+    /// per-account `<dir>/<name>.wal`. Journal-recovered state (if any)
+    /// is claimed exactly once inside
+    /// [`ContributorAccount::open_journal`].
+    fn open_contributor_account(
+        &self,
+        name: &str,
+    ) -> Result<ContributorAccount, sensorsafe_store::StoreError> {
+        let id = ContributorId::new(name);
+        match (&self.config.data_dir, &self.journal) {
+            (None, _) => Ok(ContributorAccount::new(id, self.config.merge)),
+            (Some(_), Some(journal)) => Ok(ContributorAccount::open_journal(
+                id,
+                journal.clone(),
+                self.config.merge,
+            )),
+            (Some(dir), None) => {
+                let path = dir.join(format!("{name}.wal"));
+                ContributorAccount::open_with(id, path, self.config.merge, self.config.wal)
+            }
+        }
+    }
+
     /// Creates an empty contributor account if `name` has none yet (the
     /// replica side of replication: accounts materialize on first
     /// mirrored registration or shipped batch). Durable when the store
@@ -230,15 +281,9 @@ impl Inner {
         if self.state.with_contributor(&id, |_| ()).is_some() {
             return true;
         }
-        let account = match &self.config.data_dir {
-            None => ContributorAccount::new(id, self.config.merge),
-            Some(dir) => {
-                let path = dir.join(format!("{name}.wal"));
-                match ContributorAccount::open_with(id, path, self.config.merge, self.config.wal) {
-                    Ok(account) => account,
-                    Err(_) => return false,
-                }
-            }
+        let account = match self.open_contributor_account(name) {
+            Ok(account) => account,
+            Err(_) => return false,
         };
         // A concurrent insert losing the race is fine: the account exists.
         self.state.add_contributor(account);
@@ -1092,10 +1137,35 @@ impl DataStoreService {
                 }
             },
         };
+        // Storage engine v2: one shared journal for every hosted
+        // account. An open failure (corrupt checkpoint, unwritable
+        // directory) degrades to per-account WALs — the server still
+        // starts and /healthz exposes the per-store engine state — but
+        // is loudly logged because the operator chose the journal.
+        let journal = match (&config.data_dir, config.engine) {
+            (Some(dir), StorageEngine::Journal) => {
+                let journal_config = sensorsafe_store::JournalConfig {
+                    commit: config.wal,
+                    ..config.journal
+                };
+                match sensorsafe_store::StoreJournal::open(dir, journal_config) {
+                    Ok(journal) => Some(Arc::new(journal)),
+                    Err(e) => {
+                        eprintln!(
+                            "{{\"event\":\"journal_open_failed\",\"server\":\"{}\",\"error\":\"{e}\",\"fallback\":\"per_account_wal\"}}",
+                            config.name
+                        );
+                        None
+                    }
+                }
+            }
+            _ => None,
+        };
         let traces = TraceRecorder::new(256);
         traces.set_slow_threshold(config.slow_request_threshold);
         let inner = Arc::new(Inner {
             config,
+            journal,
             state,
             keys: KeyRing::new(),
             graph: DependencyGraph::paper(),
@@ -1114,6 +1184,53 @@ impl DataStoreService {
             name: "admin".to_string(),
             role: Role::Server,
         });
+        if let Some(journal) = inner.journal.clone() {
+            // Checkpoint source: snapshot every hosted account under its
+            // write lock. `high_seq` MUST be read under that same lock
+            // (atomically with the record snapshot) or records staged in
+            // between would be lost or duplicated on replay. Accounts the
+            // journal recovered but nobody re-registered yet are carried
+            // forward by the journal itself. Weak references keep the
+            // journal's background threads from leaking the whole server.
+            let weak = Arc::downgrade(&inner);
+            let source_journal = Arc::downgrade(&journal);
+            journal.register_checkpoint_source(Box::new(move || {
+                let (Some(inner), Some(journal)) = (weak.upgrade(), source_journal.upgrade())
+                else {
+                    return Vec::new();
+                };
+                let mut out = Vec::new();
+                for id in inner.state.contributor_ids() {
+                    let entry = inner.state.with_contributor_mut(&id, |a| {
+                        sensorsafe_store::CheckpointAccount {
+                            name: id.as_str().to_string(),
+                            high_seq: journal.account_seq(id.as_str()),
+                            records: a.store.snapshot_records(),
+                            rule_epoch: a.rule_epoch,
+                            repl_head: a.store.repl_seal_head(),
+                        }
+                    });
+                    out.extend(entry);
+                }
+                out
+            }));
+            // GC gate: a checkpointed segment may only be deleted once
+            // the replica has acked everything the checkpoint says was
+            // sealed for shipping (PR 6's `repl_acked_seq`). `None` for
+            // an account without replication enabled — safe, because
+            // enabling replication always starts from a full snapshot.
+            let weak = Arc::downgrade(&inner);
+            journal.register_gc_gate(Box::new(move |name: &str| {
+                let inner = weak.upgrade()?;
+                let id = ContributorId::new(name);
+                inner
+                    .state
+                    .with_contributor(&id, |a| {
+                        a.store.repl_enabled().then(|| a.store.repl_acked_seq())
+                    })
+                    .flatten()
+            }));
+        }
         let mut router = Router::new();
         {
             let inner = inner.clone();
@@ -1265,6 +1382,14 @@ impl DataStoreService {
     /// has a data directory, in-memory otherwise).
     pub fn audit_ledger(&self) -> Arc<dyn AuditLedger> {
         self.inner.ledger.clone()
+    }
+
+    /// A snapshot of the shared journal's segment/checkpoint bookkeeping,
+    /// or `None` when this store runs in-memory or on per-account WALs.
+    /// Operators get the same numbers as metrics; benches and tests use
+    /// this to assert rotation and GC actually happened.
+    pub fn journal_stats(&self) -> Option<sensorsafe_store::JournalStats> {
+        self.inner.journal.as_ref().map(|journal| journal.stats())
     }
 }
 

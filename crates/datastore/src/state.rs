@@ -33,7 +33,7 @@ use parking_lot::{
     ArcRwLockReadGuard, ArcRwLockWriteGuard, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard,
 };
 use sensorsafe_policy::{CompiledRules, PrivacyRule};
-use sensorsafe_store::{GroupCommitConfig, MergePolicy, SegmentStore, StoreError};
+use sensorsafe_store::{GroupCommitConfig, MergePolicy, SegmentStore, StoreError, StoreJournal};
 use sensorsafe_types::{ConsumerId, ContributorId, GeoPoint, GroupId, Region, StudyId};
 use std::collections::BTreeMap;
 use std::ops::{Deref, DerefMut};
@@ -112,6 +112,34 @@ impl ContributorAccount {
             places: Vec::new(),
             compiled: Mutex::new(None),
         })
+    }
+
+    /// A durable account backed by the **store-wide journal** (storage
+    /// engine v2): records stage into the shared [`StoreJournal`] and
+    /// ride its single commit thread's batched fsyncs. Any state the
+    /// journal recovered for this account at open (checkpoint +
+    /// tail-segment replay) is claimed here — `take_account` hands it
+    /// over exactly once, so a second registration of the same name
+    /// starts from the live directory entry, not a stale replay.
+    pub fn open_journal(
+        id: ContributorId,
+        journal: Arc<StoreJournal>,
+        merge: MergePolicy,
+    ) -> ContributorAccount {
+        let name = id.as_str().to_string();
+        let recovered = journal.take_account(&name);
+        let (records, rule_epoch) = match recovered {
+            Some(r) => (r.records, r.rule_epoch),
+            None => (Vec::new(), 0),
+        };
+        ContributorAccount {
+            id,
+            store: SegmentStore::open_journal(journal, name, merge, records),
+            rules: Vec::new(),
+            rule_epoch,
+            places: Vec::new(),
+            compiled: Mutex::new(None),
+        }
     }
 
     /// Labels active at `point`.

@@ -1,11 +1,16 @@
-//! Lint: every metric family registered anywhere in the workspace's
-//! library code must be documented in README.md's metrics table.
+//! Lint: README.md's metrics table and the metric families registered
+//! in the workspace's library code must agree, in **both** directions:
+//! every registered family has a README row, and every README row names
+//! a family that still exists in code (so a removed or renamed family
+//! can't leave stale documentation behind).
 //!
 //! The scan is deliberately dumb — a grep for `"sensorsafe_..."` string
 //! literals under `crates/*/src` — so it never goes stale when a new
 //! crate registers a family. Test-only families use the reserved
 //! `sensorsafe_test_` prefix and are exempt; benches and integration
-//! tests live outside `src/` and are not scanned.
+//! tests live outside `src/` and are not scanned. The reverse pass only
+//! looks at table rows (lines shaped `| \`sensorsafe_...\` | ...`), so
+//! prose mentioning derived series like `..._bucket` stays exempt.
 
 use std::collections::BTreeSet;
 use std::fs;
@@ -92,5 +97,29 @@ fn every_registered_metric_is_documented_in_readme() {
         undocumented.is_empty(),
         "metric families registered in code but missing from README.md's \
          metrics table: {undocumented:?}"
+    );
+
+    // Reverse direction: every README table row must name a family the
+    // code still registers. Rows are lines of the form
+    // `| `sensorsafe_...` | type | labels | meaning |`.
+    let documented: Vec<&str> = readme
+        .lines()
+        .filter_map(|line| line.strip_prefix("| `sensorsafe_"))
+        .filter_map(|rest| rest.split('`').next().map(|name| &rest[..name.len()]))
+        .collect();
+    assert!(
+        documented.len() > 10,
+        "README table scan found only {} rows — lint is miswired",
+        documented.len()
+    );
+    let stale: Vec<String> = documented
+        .iter()
+        .map(|suffix| format!("sensorsafe_{suffix}"))
+        .filter(|name| !families.contains(name))
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "README.md's metrics table documents families no longer registered \
+         anywhere under crates/*/src (remove or rename the rows): {stale:?}"
     );
 }

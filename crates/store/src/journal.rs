@@ -1,0 +1,1522 @@
+//! Storage engine v2: the **store-wide journal** — one shared,
+//! segment-rotated, checkpointed log for every contributor account a
+//! data store hosts.
+//!
+//! The per-account [`GroupCommitWal`](crate::GroupCommitWal) pays one
+//! fsync stream per account, which is the wrong shape for SensorSafe's
+//! deployment: fleets of thousands of *low-rate* contributors (§6's
+//! studies stream ~1 Hz vitals). With one log per account there is no
+//! cross-account batching — a thousand 1 Hz contributors cost a
+//! thousand fsyncs per second even though each write is tiny. The
+//! journal inverts that: every account **stages** encoded records into
+//! one shared buffer, and a single commit thread retires the combined
+//! batch with one `write` + `fsync`, so the fsync cost amortizes across
+//! the fleet (target ≪1 fsync per upload at 1000 contributors × 1 Hz).
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! <dir>/journal.seg-1        sealed segment (oldest surviving)
+//! <dir>/journal.seg-2        sealed segment
+//! <dir>/journal.seg-3        active segment (append tail)
+//! <dir>/journal.ckpt         latest checkpoint (atomic tmp+rename)
+//! ```
+//!
+//! Each segment is a sequence of frames:
+//!
+//! ```text
+//! u32 frame length
+//! u32 crc32(frame payload)
+//! payload:
+//!   u16 account name length, name bytes
+//!   u64 account sequence (1-based, per account, monotonic forever)
+//!   u8  record tag + record payload (same per-record encoding as the
+//!       per-account WAL — see crate::wal)
+//! ```
+//!
+//! # Rotation, checkpoints, and bounded replay
+//!
+//! The commit thread seals the active segment once it crosses
+//! [`JournalConfig::rotate_bytes`] or [`JournalConfig::rotate_records`]
+//! and opens the next one. Every rotation requests a **checkpoint**: a
+//! snapshot of each account's live state (compacted records + rule
+//! epoch + replication/assignment bookkeeping + account-sequence
+//! high-water) covering every sealed segment, written to
+//! `journal.ckpt` with WAL discipline (tmp file, fsync, rename, fsync
+//! dir). Replay after a crash is then **bounded by the tail**: load the
+//! checkpoint, then apply only frames from segments newer than the
+//! checkpoint's coverage whose account sequence exceeds that account's
+//! checkpointed high-water. A ten-year account replays in the time it
+//! takes to read one checkpoint entry plus the tail segment — flat in
+//! history length.
+//!
+//! # Garbage collection and replication
+//!
+//! Segments at or below the latest durable checkpoint's coverage are
+//! redundant for recovery — but a replicated primary must not drop them
+//! before the replica holds their records, or a crash-plus-failover
+//! could lose the only copy in flight. GC therefore composes with
+//! PR 6's ack low-water: the datastore registers a **GC gate** mapping
+//! each account to its replica-acked batch sequence
+//! ([`SegmentStore::repl_acked_seq`](crate::SegmentStore::repl_acked_seq)),
+//! and the checkpoint records the shipping head each account had when
+//! it was snapshotted. Segments are deleted only when every replicated
+//! account's acked sequence has reached its checkpointed head;
+//! otherwise GC defers (safe — deferral costs disk, never data) and is
+//! re-attempted after the next shipper ack pass.
+//!
+//! # Locking
+//!
+//! `stage` takes only the journal mutex and is called under one account
+//! write lock (the crate's lock order allows account → journal). The
+//! commit thread takes only the journal mutex — never an account lock —
+//! so waiting for a ticket while holding an account lock cannot
+//! deadlock. The checkpoint thread takes the checkpoint serialization
+//! lock, then account locks **one at a time** (via the registered
+//! source callback), then the journal mutex; nothing takes them in the
+//! reverse order. [`SegmentStore::compact`](crate::SegmentStore::compact)
+//! in journal mode only *requests* an async checkpoint for exactly this
+//! reason: it runs under an account lock, and checkpointing inline
+//! there would invert the order.
+
+use crate::codec::crc32;
+use crate::wal::{
+    appends_counter, decode_record_payload, encode_record_payload, fsync_counter, tag_is_known,
+    GroupCommitConfig, WalError, WalRecord,
+};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Magic prefix of a checkpoint file (versioned: bump the digits for
+/// incompatible layout changes).
+const CKPT_MAGIC: &[u8; 8] = b"SSCKPT01";
+
+/// Tuning knobs for a [`StoreJournal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalConfig {
+    /// Seal the active segment once it holds this many bytes.
+    pub rotate_bytes: u64,
+    /// Seal the active segment once it holds this many records.
+    pub rotate_records: u64,
+    /// Group-commit batching for the shared commit thread (same knobs
+    /// as the per-account WAL; the batch now gathers across accounts).
+    pub commit: GroupCommitConfig,
+}
+
+impl Default for JournalConfig {
+    /// 8 MiB / 8192-record segments: large enough that rotation (and
+    /// the checkpoint it triggers) is rare, small enough that replay of
+    /// one tail segment stays well under a second.
+    fn default() -> Self {
+        JournalConfig {
+            rotate_bytes: 8 * 1024 * 1024,
+            rotate_records: 8192,
+            commit: GroupCommitConfig::default(),
+        }
+    }
+}
+
+/// One account's contribution to a checkpoint, as produced by the
+/// registered checkpoint source (the datastore, holding that account's
+/// write lock).
+pub struct CheckpointAccount {
+    /// The contributor account name (its journal staging key).
+    pub name: String,
+    /// The account's live state as compacted WAL records (what
+    /// [`SegmentStore::snapshot_records`](crate::SegmentStore::snapshot_records)
+    /// returns).
+    pub records: Vec<WalRecord>,
+    /// The account's staging-sequence high-water
+    /// ([`StoreJournal::account_seq`]) **read under the same account
+    /// lock as the record snapshot** — replay skips tail frames at or
+    /// below this, so a high-water newer than the snapshot would drop
+    /// records and an older one would apply them twice.
+    pub high_seq: u64,
+    /// The account's privacy-rule epoch, restored on recovery so a
+    /// restarted store never hands the broker a regressed epoch.
+    pub rule_epoch: u64,
+    /// The replication shipping head (highest sealed batch sequence) at
+    /// snapshot time; `0` when the account is not replicated. Segment
+    /// GC waits until the replica has acked through this.
+    pub repl_head: u64,
+}
+
+/// An account's state recovered from the journal (checkpoint + tail
+/// replay), claimed once via [`StoreJournal::take_account`].
+pub struct RecoveredAccount {
+    /// The account's records in apply order (checkpoint snapshot first,
+    /// then tail-segment records).
+    pub records: Vec<WalRecord>,
+    /// The privacy-rule epoch the checkpoint recorded.
+    pub rule_epoch: u64,
+}
+
+/// Callback snapshotting every live account for a checkpoint. Called on
+/// the checkpoint thread; takes each account's lock one at a time.
+pub type CheckpointSource = Box<dyn Fn() -> Vec<CheckpointAccount> + Send + Sync>;
+
+/// Callback mapping an account name to its current replica-acked batch
+/// sequence (`None` = account unknown or no longer replicated, which
+/// passes the gate: a re-enabled replication always starts from a full
+/// snapshot, so old segments are not its source of truth).
+pub type GcGate = Box<dyn Fn(&str) -> Option<u64> + Send + Sync>;
+
+/// Internal recovered-account state (kept until claimed; carried
+/// forward into every checkpoint so an unclaimed account's data
+/// survives GC of the segments it was recovered from).
+struct RecoveredState {
+    records: Vec<WalRecord>,
+    rule_epoch: u64,
+    high_seq: u64,
+    repl_head: u64,
+}
+
+/// Mutable journal state under the one journal mutex.
+struct JournalState {
+    /// Encoded frames staged since the last batch cut, in stage order.
+    buf: Vec<u8>,
+    /// Records currently in `buf`.
+    staged_count: usize,
+    /// Global sequence of the newest staged record (0 = none yet).
+    staged_seq: u64,
+    /// Highest global sequence known durable on disk.
+    durable_seq: u64,
+    /// A flush wants the commit thread to cut the batch immediately.
+    flush_requested: bool,
+    /// Shutdown: the commit thread drains and exits, the checkpoint
+    /// thread exits.
+    stop: bool,
+    /// Sticky I/O failure (same contract as the per-account WAL: after
+    /// a failed batch write, nothing acks durably again).
+    error: Option<String>,
+    /// Per-account staging sequence high-waters (monotonic forever,
+    /// surviving restarts via checkpoint + replay).
+    account_seqs: BTreeMap<String, u64>,
+    /// Highest sealed (rotation-complete) segment number.
+    last_sealed: u64,
+    /// The active segment number (mirror of the commit thread's own;
+    /// for stats).
+    active_segment: u64,
+    /// A rotation (or compaction) asked for a checkpoint.
+    checkpoint_requested: bool,
+    /// Coverage of the latest durable checkpoint (0 = none yet).
+    checkpointed_through: u64,
+    /// Replication shipping heads recorded by the latest checkpoint
+    /// (only accounts with a non-zero head). The GC gate compares
+    /// current acked sequences against these.
+    ckpt_repl_heads: BTreeMap<String, u64>,
+    /// Accounts recovered at open and not yet claimed.
+    recovered: BTreeMap<String, RecoveredState>,
+}
+
+struct JournalInner {
+    dir: PathBuf,
+    config: JournalConfig,
+    state: Mutex<JournalState>,
+    /// Wakes the commit thread (staged data / flush / stop).
+    work: Condvar,
+    /// Wakes ticket waiters (batch retired / sticky error).
+    done: Condvar,
+    /// Wakes the checkpoint thread (rotation / request / stop).
+    ckpt_work: Condvar,
+    /// Serializes checkpoint writes (thread + synchronous callers).
+    ckpt_lock: Mutex<()>,
+    source: Mutex<Option<CheckpointSource>>,
+    gate: Mutex<Option<GcGate>>,
+}
+
+/// The store-wide journal: shared group commit, segment rotation,
+/// checkpoints, and replication-gated GC. See the module docs.
+///
+/// Obtained once per data store ([`StoreJournal::open`]) and shared by
+/// every hosted account
+/// ([`SegmentStore::open_journal`](crate::SegmentStore::open_journal)).
+/// Dropping the last handle flushes staged records and joins the
+/// background threads.
+pub struct StoreJournal {
+    inner: Arc<JournalInner>,
+    commit_thread: Option<JoinHandle<()>>,
+    ckpt_thread: Option<JoinHandle<()>>,
+}
+
+/// A claim on durability for every record staged journal-wide up to a
+/// point; [`JournalTicket::wait`] returns once the shared commit thread
+/// has retired them all (one fsync covers many accounts' tickets).
+pub struct JournalTicket {
+    inner: Arc<JournalInner>,
+    seq: u64,
+}
+
+/// A point-in-time summary of the journal's segment/checkpoint state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalStats {
+    /// The segment currently being appended to.
+    pub active_segment: u64,
+    /// Highest rotation-sealed segment (0 = none yet).
+    pub last_sealed: u64,
+    /// Coverage of the latest durable checkpoint (0 = none yet).
+    pub checkpointed_through: u64,
+    /// Segment files currently on disk (sealed + active).
+    pub live_segments: usize,
+    /// Highest global staging sequence known durable.
+    pub durable_seq: u64,
+}
+
+fn sticky_err(msg: &str) -> WalError {
+    WalError::Io(std::io::Error::other(format!(
+        "journal commit previously failed: {msg}"
+    )))
+}
+
+fn segment_path(dir: &Path, n: u64) -> PathBuf {
+    dir.join(format!("journal.seg-{n}"))
+}
+
+fn checkpoint_path(dir: &Path) -> PathBuf {
+    dir.join("journal.ckpt")
+}
+
+/// fsyncs a directory so file creations/renames inside it are durable.
+fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// Lists existing segment numbers in `dir`, sorted ascending.
+fn list_segments(dir: &Path) -> std::io::Result<Vec<u64>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(n) = name.strip_prefix("journal.seg-") {
+            if let Ok(n) = n.parse::<u64>() {
+                out.push(n);
+            }
+        }
+    }
+    out.sort_unstable();
+    Ok(out)
+}
+
+/// The commit thread's exclusive handle on the active segment.
+struct ActiveSegment {
+    dir: PathBuf,
+    file: File,
+    seg_no: u64,
+    bytes: u64,
+    records: u64,
+}
+
+impl ActiveSegment {
+    fn open(dir: &Path, seg_no: u64, bytes: u64, records: u64) -> Result<ActiveSegment, WalError> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(segment_path(dir, seg_no))?;
+        sync_dir(dir)?;
+        Ok(ActiveSegment {
+            dir: dir.to_path_buf(),
+            file,
+            seg_no,
+            bytes,
+            records,
+        })
+    }
+
+    /// One batch write + fsync, sharing the per-account WAL's batch
+    /// metrics so the fsync/upload coalescing ratio stays comparable
+    /// across engines.
+    fn write_batch(&mut self, batch: &[u8], records: usize) -> Result<(), WalError> {
+        let started = Instant::now();
+        self.file.write_all(batch)?;
+        self.file.sync_data()?;
+        fsync_counter().inc();
+        self.bytes += batch.len() as u64;
+        self.records += records as u64;
+        let registry = sensorsafe_obsv::global();
+        registry
+            .histogram(
+                "sensorsafe_store_wal_commit_batch_records",
+                "Records retired per WAL group-commit batch.",
+                &[],
+                Some(&[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0]),
+            )
+            .observe_secs(records as f64);
+        registry
+            .histogram(
+                "sensorsafe_store_wal_commit_seconds",
+                "WAL group-commit batch latency (write + fsync).",
+                &[],
+                None,
+            )
+            .observe(started.elapsed());
+        registry
+            .gauge(
+                "sensorsafe_store_journal_active_segment_bytes",
+                "Bytes in the journal's active (append-tail) segment.",
+                &[],
+            )
+            .set(self.bytes as i64);
+        Ok(())
+    }
+
+    /// Seals the current segment (already fully fsynced by
+    /// `write_batch`) and opens the next.
+    fn rotate(&mut self) -> Result<(), WalError> {
+        let next = self.seg_no + 1;
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(segment_path(&self.dir, next))?;
+        sync_dir(&self.dir)?;
+        self.file = file;
+        self.seg_no = next;
+        self.bytes = 0;
+        self.records = 0;
+        let registry = sensorsafe_obsv::global();
+        registry
+            .counter(
+                "sensorsafe_store_journal_rotations_total",
+                "Journal segment rotations (active segment sealed).",
+                &[],
+            )
+            .inc();
+        registry
+            .gauge(
+                "sensorsafe_store_journal_active_segment_bytes",
+                "Bytes in the journal's active (append-tail) segment.",
+                &[],
+            )
+            .set(0);
+        Ok(())
+    }
+}
+
+impl StoreJournal {
+    /// Opens (creating if absent) the journal in `dir`: loads the
+    /// latest checkpoint, replays tail segments into recoverable
+    /// account states ([`StoreJournal::take_account`]), truncates any
+    /// torn tail, and spawns the commit + checkpoint threads.
+    pub fn open(dir: impl AsRef<Path>, config: JournalConfig) -> Result<StoreJournal, WalError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        // A torn checkpoint write leaves only the tmp file (the rename
+        // is atomic); it is garbage.
+        let _ = std::fs::remove_file(dir.join("journal.ckpt.tmp"));
+
+        let ckpt = load_checkpoint(&checkpoint_path(&dir))?;
+        let (covers, mut accounts, ckpt_repl_heads) = match ckpt {
+            Some(c) => (c.covers, c.accounts, c.repl_heads),
+            None => (0, BTreeMap::new(), BTreeMap::new()),
+        };
+
+        // Replay tail segments (those newer than the checkpoint covers).
+        let seg_nos = list_segments(&dir)?;
+        let mut active_no = 0u64;
+        let mut active_bytes = 0u64;
+        let mut active_records = 0u64;
+        let mut torn_at: Option<(u64, u64)> = None;
+        for &n in &seg_nos {
+            if n <= covers {
+                continue; // fully covered by the checkpoint; GC-pending
+            }
+            let (replayed, valid_len, file_len, torn) =
+                replay_segment(&segment_path(&dir, n), &mut accounts)?;
+            active_no = n;
+            active_bytes = valid_len;
+            active_records = replayed;
+            if torn {
+                torn_at = Some((n, valid_len));
+                let _ = file_len;
+                break;
+            }
+        }
+        if let Some((n, valid_len)) = torn_at {
+            // Valid-prefix semantics: truncate the torn segment and drop
+            // anything after it (a crash only ever tears the final
+            // segment, so later files here mean external corruption —
+            // the prefix contract says they are gone).
+            let file = OpenOptions::new().write(true).open(segment_path(&dir, n))?;
+            file.set_len(valid_len)?;
+            file.sync_data()?;
+            for &m in &seg_nos {
+                if m > n {
+                    std::fs::remove_file(segment_path(&dir, m))?;
+                }
+            }
+            sync_dir(&dir)?;
+        }
+        if active_no == 0 {
+            // Fresh journal, or every segment was checkpointed and
+            // GC'd: numbering continues after the checkpoint coverage.
+            active_no = covers + 1;
+            active_bytes = 0;
+            active_records = 0;
+        }
+
+        let account_seqs: BTreeMap<String, u64> = accounts
+            .iter()
+            .map(|(name, s)| (name.clone(), s.high_seq))
+            .collect();
+        let recovered: BTreeMap<String, RecoveredState> = accounts
+            .into_iter()
+            .filter(|(_, s)| !s.records.is_empty() || s.rule_epoch > 0)
+            .map(|(name, s)| {
+                let repl_head = ckpt_repl_heads.get(&name).copied().unwrap_or(0);
+                (
+                    name,
+                    RecoveredState {
+                        records: s.records,
+                        rule_epoch: s.rule_epoch,
+                        high_seq: s.high_seq,
+                        repl_head,
+                    },
+                )
+            })
+            .collect();
+
+        let active = ActiveSegment::open(&dir, active_no, active_bytes, active_records)?;
+        let inner = Arc::new(JournalInner {
+            dir,
+            config,
+            state: Mutex::new(JournalState {
+                buf: Vec::new(),
+                staged_count: 0,
+                staged_seq: 0,
+                durable_seq: 0,
+                flush_requested: false,
+                stop: false,
+                error: None,
+                account_seqs,
+                last_sealed: active_no.saturating_sub(1).max(covers),
+                active_segment: active_no,
+                checkpoint_requested: false,
+                checkpointed_through: covers,
+                ckpt_repl_heads,
+                recovered,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            ckpt_work: Condvar::new(),
+            ckpt_lock: Mutex::new(()),
+            source: Mutex::new(None),
+            gate: Mutex::new(None),
+        });
+        let commit_inner = Arc::clone(&inner);
+        let commit_thread = std::thread::Builder::new()
+            .name("journal-commit".to_string())
+            .spawn(move || commit_loop(commit_inner, active))
+            .expect("spawn journal-commit thread");
+        let ckpt_inner = Arc::clone(&inner);
+        let ckpt_thread = std::thread::Builder::new()
+            .name("journal-ckpt".to_string())
+            .spawn(move || checkpoint_loop(ckpt_inner))
+            .expect("spawn journal-ckpt thread");
+        Ok(StoreJournal {
+            inner,
+            commit_thread: Some(commit_thread),
+            ckpt_thread: Some(ckpt_thread),
+        })
+    }
+
+    /// The directory holding segments and checkpoints.
+    pub fn dir(&self) -> &Path {
+        &self.inner.dir
+    }
+
+    /// The configuration the journal was opened with.
+    pub fn config(&self) -> JournalConfig {
+        self.inner.config
+    }
+
+    /// Registers the checkpoint-source callback (the datastore's
+    /// per-account snapshotter). Until one is registered, checkpoints
+    /// cover only recovered-but-unclaimed accounts.
+    pub fn register_checkpoint_source(&self, source: CheckpointSource) {
+        *self.inner.source.lock().expect("journal source poisoned") = Some(source);
+    }
+
+    /// Registers the GC gate (current replica-acked sequence per
+    /// account). Without one, GC treats every account as unreplicated.
+    pub fn register_gc_gate(&self, gate: GcGate) {
+        *self.inner.gate.lock().expect("journal gate poisoned") = Some(gate);
+    }
+
+    /// Claims one recovered account's state (records + rule epoch).
+    /// Each account can be claimed once; unclaimed accounts are carried
+    /// forward into future checkpoints so their data survives GC.
+    pub fn take_account(&self, name: &str) -> Option<RecoveredAccount> {
+        let mut state = self.inner.state.lock().expect("journal state poisoned");
+        state.recovered.remove(name).map(|s| RecoveredAccount {
+            records: s.records,
+            rule_epoch: s.rule_epoch,
+        })
+    }
+
+    /// Names of recovered accounts not yet claimed (restart bookkeeping
+    /// for the datastore: it re-creates these accounts eagerly).
+    pub fn recovered_accounts(&self) -> Vec<String> {
+        let state = self.inner.state.lock().expect("journal state poisoned");
+        state.recovered.keys().cloned().collect()
+    }
+
+    /// The account's staging-sequence high-water (0 = never staged).
+    /// A checkpoint source must read this under the same account lock
+    /// that serializes the account's staging, so the value is consistent
+    /// with the record snapshot taken next to it.
+    pub fn account_seq(&self, name: &str) -> u64 {
+        let state = self.inner.state.lock().expect("journal state poisoned");
+        state.account_seqs.get(name).copied().unwrap_or(0)
+    }
+
+    /// Stages one record for `account`, returning the global sequence a
+    /// ticket must cover for it. Not durable until a commit covering
+    /// that sequence completes. Callers serialize per-account staging
+    /// (the datastore stages under the account's write lock); staging
+    /// for different accounts may race freely.
+    pub fn stage(&self, account: &str, record: &WalRecord) -> Result<u64, WalError> {
+        let (tag, payload) = encode_record_payload(record);
+        let name = account.as_bytes();
+        assert!(name.len() <= u16::MAX as usize, "account name too long");
+        let mut body = Vec::with_capacity(2 + name.len() + 8 + 1 + payload.len());
+        body.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        body.extend_from_slice(name);
+        body.extend_from_slice(&0u64.to_le_bytes()); // account_seq patched below
+        body.push(tag);
+        body.extend_from_slice(&payload);
+
+        let mut state = self.inner.state.lock().expect("journal state poisoned");
+        if let Some(msg) = &state.error {
+            return Err(sticky_err(msg));
+        }
+        let aseq = {
+            let counter = state.account_seqs.entry(account.to_string()).or_insert(0);
+            *counter += 1;
+            *counter
+        };
+        let name_end = 2 + name.len();
+        body[name_end..name_end + 8].copy_from_slice(&aseq.to_le_bytes());
+        state.staged_seq += 1;
+        state.staged_count += 1;
+        let seq = state.staged_seq;
+        state
+            .buf
+            .extend_from_slice(&(body.len() as u32).to_le_bytes());
+        state.buf.extend_from_slice(&crc32(&body).to_le_bytes());
+        state.buf.extend_from_slice(&body);
+        appends_counter().inc();
+        self.inner.work.notify_all();
+        Ok(seq)
+    }
+
+    /// A ticket covering everything staged journal-wide so far.
+    pub fn ticket(&self) -> JournalTicket {
+        let state = self.inner.state.lock().expect("journal state poisoned");
+        JournalTicket {
+            inner: Arc::clone(&self.inner),
+            seq: state.staged_seq,
+        }
+    }
+
+    /// Commits every staged record immediately (no gathering delay) and
+    /// returns once they are durable.
+    pub fn flush(&self) -> Result<(), WalError> {
+        let seq = {
+            let mut state = self.inner.state.lock().expect("journal state poisoned");
+            state.flush_requested = true;
+            self.inner.work.notify_all();
+            state.staged_seq
+        };
+        wait_durable(&self.inner, seq)
+    }
+
+    /// The highest global staging sequence known durable.
+    pub fn durable_seq(&self) -> u64 {
+        self.inner
+            .state
+            .lock()
+            .expect("journal state poisoned")
+            .durable_seq
+    }
+
+    /// The sticky I/O failure, if a batch commit has ever failed.
+    pub fn sticky_error(&self) -> Option<String> {
+        self.inner
+            .state
+            .lock()
+            .expect("journal state poisoned")
+            .error
+            .clone()
+    }
+
+    /// Asks the checkpoint thread for a checkpoint soon (async; safe to
+    /// call while holding an account lock).
+    pub fn request_checkpoint(&self) {
+        let mut state = self.inner.state.lock().expect("journal state poisoned");
+        state.checkpoint_requested = true;
+        self.inner.ckpt_work.notify_all();
+    }
+
+    /// Writes a checkpoint synchronously (if anything new is sealed)
+    /// and attempts GC. Returns whether a checkpoint was written. Must
+    /// **not** be called while holding an account lock — the checkpoint
+    /// source takes account locks itself.
+    pub fn checkpoint_now(&self) -> Result<bool, WalError> {
+        let wrote = do_checkpoint(&self.inner)?;
+        let _ = maybe_gc(&self.inner);
+        Ok(wrote)
+    }
+
+    /// Attempts segment GC (delete segments covered by the latest
+    /// durable checkpoint, gated on replication acks). Returns segments
+    /// deleted. The replication shipper calls this after an ack pass.
+    pub fn maybe_gc(&self) -> usize {
+        maybe_gc(&self.inner)
+    }
+
+    /// Current segment/checkpoint summary.
+    pub fn stats(&self) -> JournalStats {
+        let state = self.inner.state.lock().expect("journal state poisoned");
+        JournalStats {
+            active_segment: state.active_segment,
+            last_sealed: state.last_sealed,
+            checkpointed_through: state.checkpointed_through,
+            live_segments: list_segments(&self.inner.dir).map(|v| v.len()).unwrap_or(0),
+            durable_seq: state.durable_seq,
+        }
+    }
+}
+
+impl Drop for StoreJournal {
+    /// Clean shutdown: drains staged records (best effort), then joins
+    /// both background threads.
+    fn drop(&mut self) {
+        {
+            let mut state = self.inner.state.lock().expect("journal state poisoned");
+            state.stop = true;
+            state.flush_requested = true;
+            self.inner.work.notify_all();
+            self.inner.ckpt_work.notify_all();
+        }
+        if let Some(handle) = self.commit_thread.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.ckpt_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl JournalTicket {
+    /// Blocks until every record covered by this ticket is durable.
+    pub fn wait(&self) -> Result<(), WalError> {
+        wait_durable(&self.inner, self.seq)
+    }
+
+    /// The global journal sequence this ticket waits for.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+fn wait_durable(inner: &JournalInner, seq: u64) -> Result<(), WalError> {
+    let mut state = inner.state.lock().expect("journal state poisoned");
+    loop {
+        if let Some(msg) = &state.error {
+            return Err(sticky_err(msg));
+        }
+        if state.durable_seq >= seq {
+            return Ok(());
+        }
+        state = inner.done.wait(state).expect("journal state poisoned");
+    }
+}
+
+/// The commit thread: gather staged frames across accounts, retire each
+/// batch with one write + fsync, rotate when the active segment fills.
+fn commit_loop(inner: Arc<JournalInner>, mut active: ActiveSegment) {
+    loop {
+        let (batch, upto, records) = {
+            let mut state = inner.state.lock().expect("journal state poisoned");
+            loop {
+                if state.staged_count > 0 || state.flush_requested {
+                    break;
+                }
+                if state.stop {
+                    return;
+                }
+                state = inner.work.wait(state).expect("journal state poisoned");
+            }
+            // Gathering window: give concurrent stagers a chance to
+            // join this batch, unless a flush wants immediacy.
+            let max_delay = inner.config.commit.max_delay;
+            if !state.flush_requested && !max_delay.is_zero() {
+                let deadline = Instant::now() + max_delay;
+                while state.staged_count < inner.config.commit.max_batch
+                    && !state.flush_requested
+                    && !state.stop
+                {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (guard, timeout) = inner
+                        .work
+                        .wait_timeout(state, deadline - now)
+                        .expect("journal state poisoned");
+                    state = guard;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+            }
+            let batch = std::mem::take(&mut state.buf);
+            let records = state.staged_count;
+            state.staged_count = 0;
+            state.flush_requested = false;
+            (batch, state.staged_seq, records)
+        };
+        if batch.is_empty() {
+            // A flush with nothing staged: everything is already
+            // durable (or sticky-failed); just wake waiters.
+            inner.done.notify_all();
+            continue;
+        }
+        let wrote = active.write_batch(&batch, records);
+        let mut state = inner.state.lock().expect("journal state poisoned");
+        let mut rotate = false;
+        match wrote {
+            Ok(()) => {
+                state.durable_seq = upto;
+                rotate = active.bytes >= inner.config.rotate_bytes
+                    || active.records >= inner.config.rotate_records;
+            }
+            Err(e) => state.error = Some(e.to_string()),
+        }
+        inner.done.notify_all();
+        if rotate {
+            drop(state);
+            let rotated = active.rotate();
+            let mut state = inner.state.lock().expect("journal state poisoned");
+            match rotated {
+                Ok(()) => {
+                    state.last_sealed = active.seg_no - 1;
+                    state.active_segment = active.seg_no;
+                    state.checkpoint_requested = true;
+                    inner.ckpt_work.notify_all();
+                }
+                Err(e) => {
+                    // Losing the ability to open the next segment is as
+                    // fatal as a failed write: appends would land in a
+                    // sealed segment the checkpointer believes immutable.
+                    state.error = Some(e.to_string());
+                    inner.done.notify_all();
+                }
+            }
+        }
+    }
+}
+
+/// The checkpoint thread: wait for a rotation (or explicit request),
+/// write a checkpoint, attempt GC.
+fn checkpoint_loop(inner: Arc<JournalInner>) {
+    loop {
+        {
+            let mut state = inner.state.lock().expect("journal state poisoned");
+            while !state.checkpoint_requested && !state.stop {
+                state = inner.ckpt_work.wait(state).expect("journal state poisoned");
+            }
+            if state.stop {
+                return;
+            }
+            state.checkpoint_requested = false;
+        }
+        if let Err(e) = do_checkpoint(&inner) {
+            // A failed checkpoint endangers no acked data (the segments
+            // it would have covered stay on disk); surface and retry at
+            // the next rotation.
+            eprintln!("{{\"event\":\"journal_checkpoint_failed\",\"error\":\"{e}\"}}");
+        }
+        let _ = maybe_gc(&inner);
+    }
+}
+
+/// In-flight checkpoint entry.
+struct CkptEntry {
+    name: String,
+    high_seq: u64,
+    repl_head: u64,
+    rule_epoch: u64,
+    records: Vec<WalRecord>,
+}
+
+/// Writes one checkpoint covering everything sealed so far. Returns
+/// `false` when there is nothing new to cover.
+fn do_checkpoint(inner: &JournalInner) -> Result<bool, WalError> {
+    let _serialize = inner.ckpt_lock.lock().expect("journal ckpt lock poisoned");
+    // Capture coverage BEFORE snapshotting: rotations that land while
+    // we snapshot only mean the snapshot covers more than `covers`
+    // claims — never less. (The converse order would lose data.)
+    let covers = {
+        let state = inner.state.lock().expect("journal state poisoned");
+        if let Some(msg) = &state.error {
+            return Err(sticky_err(msg));
+        }
+        if state.last_sealed <= state.checkpointed_through {
+            return Ok(false);
+        }
+        state.last_sealed
+    };
+    let started = Instant::now();
+    let source_accounts = {
+        let guard = inner.source.lock().expect("journal source poisoned");
+        match guard.as_ref() {
+            Some(f) => f(),
+            None => Vec::new(),
+        }
+    };
+    let mut entries: Vec<CkptEntry> = Vec::with_capacity(source_accounts.len());
+    {
+        let state = inner.state.lock().expect("journal state poisoned");
+        for acc in source_accounts {
+            entries.push(CkptEntry {
+                name: acc.name,
+                high_seq: acc.high_seq,
+                repl_head: acc.repl_head,
+                rule_epoch: acc.rule_epoch,
+                records: acc.records,
+            });
+        }
+        // Recovered-but-unclaimed accounts ride along unchanged, so GC
+        // of the segments they were recovered from cannot orphan them.
+        for (name, rec) in &state.recovered {
+            if entries.iter().any(|e| &e.name == name) {
+                continue;
+            }
+            entries.push(CkptEntry {
+                name: name.clone(),
+                high_seq: rec.high_seq,
+                repl_head: rec.repl_head,
+                rule_epoch: rec.rule_epoch,
+                records: rec.records.clone(),
+            });
+        }
+        // Safety: replay skips every segment the checkpoint covers, so
+        // an account that ever staged but is in neither the source
+        // snapshot nor the recovered carry-forward would silently lose
+        // its sealed records. Refuse to checkpoint rather than risk it
+        // (an account staged concurrently with the snapshot only has
+        // data in segments newer than `covers`, so skipping is always
+        // safe — the next rotation retries).
+        for name in state.account_seqs.keys() {
+            if !entries.iter().any(|e| &e.name == name) {
+                eprintln!(
+                    "{{\"event\":\"journal_checkpoint_skipped\",\
+                     \"reason\":\"account not covered by snapshot\",\
+                     \"account\":\"{name}\"}}"
+                );
+                return Ok(false);
+            }
+        }
+    }
+
+    let bytes = encode_checkpoint(covers, &entries);
+    let tmp = inner.dir.join("journal.ckpt.tmp");
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(&bytes)?;
+        file.sync_data()?;
+    }
+    std::fs::rename(&tmp, checkpoint_path(&inner.dir))?;
+    sync_dir(&inner.dir)?;
+
+    {
+        let mut state = inner.state.lock().expect("journal state poisoned");
+        state.checkpointed_through = covers;
+        state.ckpt_repl_heads = entries
+            .iter()
+            .filter(|e| e.repl_head > 0)
+            .map(|e| (e.name.clone(), e.repl_head))
+            .collect();
+    }
+    let registry = sensorsafe_obsv::global();
+    registry
+        .counter(
+            "sensorsafe_store_journal_checkpoints_total",
+            "Journal checkpoints written.",
+            &[],
+        )
+        .inc();
+    registry
+        .histogram(
+            "sensorsafe_store_journal_checkpoint_seconds",
+            "Journal checkpoint latency (snapshot + write + rename).",
+            &[],
+            None,
+        )
+        .observe(started.elapsed());
+    Ok(true)
+}
+
+/// Deletes segments covered by the latest durable checkpoint, gated on
+/// replication acks. Returns segments deleted.
+fn maybe_gc(inner: &JournalInner) -> usize {
+    let (through, repl_heads) = {
+        let state = inner.state.lock().expect("journal state poisoned");
+        (state.checkpointed_through, state.ckpt_repl_heads.clone())
+    };
+    if through == 0 {
+        return 0;
+    }
+    let registry = sensorsafe_obsv::global();
+    {
+        let guard = inner.gate.lock().expect("journal gate poisoned");
+        if let Some(gate) = guard.as_ref() {
+            for (name, head) in &repl_heads {
+                match gate(name) {
+                    // The replica holds everything the checkpoint
+                    // covers for this account: safe.
+                    Some(acked) if acked >= *head => {}
+                    // Account gone or no longer replicated: a future
+                    // re-enable starts from a full snapshot, so old
+                    // segments are not its source of truth.
+                    None => {}
+                    Some(_) => {
+                        registry
+                            .counter(
+                                "sensorsafe_store_journal_gc_deferred_total",
+                                "Segment GC passes deferred waiting for replication acks.",
+                                &[],
+                            )
+                            .inc();
+                        return 0;
+                    }
+                }
+            }
+        }
+    }
+    let Ok(seg_nos) = list_segments(&inner.dir) else {
+        return 0;
+    };
+    let mut deleted = 0usize;
+    for n in seg_nos {
+        if n <= through && std::fs::remove_file(segment_path(&inner.dir, n)).is_ok() {
+            deleted += 1;
+            registry
+                .counter(
+                    "sensorsafe_store_journal_segments_gced_total",
+                    "Journal segments deleted after checkpoint + replication ack.",
+                    &[],
+                )
+                .inc();
+        }
+    }
+    if deleted > 0 {
+        let _ = sync_dir(&inner.dir);
+    }
+    deleted
+}
+
+/// Per-account state accumulated during replay.
+struct ReplayAccount {
+    records: Vec<WalRecord>,
+    rule_epoch: u64,
+    high_seq: u64,
+}
+
+/// A decoded checkpoint file.
+struct Checkpoint {
+    covers: u64,
+    accounts: BTreeMap<String, ReplayAccount>,
+    repl_heads: BTreeMap<String, u64>,
+}
+
+fn encode_checkpoint(covers: u64, entries: &[CkptEntry]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256);
+    out.extend_from_slice(CKPT_MAGIC);
+    out.extend_from_slice(&covers.to_le_bytes());
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for e in entries {
+        let name = e.name.as_bytes();
+        assert!(name.len() <= u16::MAX as usize, "account name too long");
+        out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        out.extend_from_slice(name);
+        out.extend_from_slice(&e.high_seq.to_le_bytes());
+        out.extend_from_slice(&e.repl_head.to_le_bytes());
+        out.extend_from_slice(&e.rule_epoch.to_le_bytes());
+        out.extend_from_slice(&(e.records.len() as u32).to_le_bytes());
+        for record in &e.records {
+            let (tag, payload) = encode_record_payload(record);
+            out.push(tag);
+            out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            out.extend_from_slice(&payload);
+        }
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Loads and verifies the checkpoint at `path`. A missing file is a
+/// fresh journal; a corrupt file is an error (checkpoint writes are
+/// atomic, so corruption means disk damage, and silently ignoring it
+/// could resurrect a pre-checkpoint world after its segments were
+/// GC'd).
+fn load_checkpoint(path: &Path) -> Result<Option<Checkpoint>, WalError> {
+    if !path.exists() {
+        return Ok(None);
+    }
+    let mut data = Vec::new();
+    File::open(path)?.read_to_end(&mut data)?;
+    let corrupt = |msg: &str| {
+        WalError::Codec(crate::codec::CodecError(format!(
+            "journal checkpoint: {msg}"
+        )))
+    };
+    if data.len() < CKPT_MAGIC.len() + 8 + 4 + 4 {
+        return Err(corrupt("file too short"));
+    }
+    let (body, crc_bytes) = data.split_at(data.len() - 4);
+    let expected = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    if crc32(body) != expected {
+        return Err(corrupt("checksum mismatch"));
+    }
+    if &body[..CKPT_MAGIC.len()] != CKPT_MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let mut pos = CKPT_MAGIC.len();
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], WalError> {
+        if *pos + n > body.len() {
+            return Err(corrupt("truncated"));
+        }
+        let s = &body[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+    let covers = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+    let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+    let mut accounts = BTreeMap::new();
+    let mut repl_heads = BTreeMap::new();
+    for _ in 0..count {
+        let name_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+        let name = std::str::from_utf8(take(&mut pos, name_len)?)
+            .map_err(|_| corrupt("account name not UTF-8"))?
+            .to_string();
+        let high_seq = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let repl_head = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let rule_epoch = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let record_count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let mut records = Vec::with_capacity(record_count.min(4096));
+        for _ in 0..record_count {
+            let tag = take(&mut pos, 1)?[0];
+            let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+            let payload = take(&mut pos, len)?;
+            records.push(decode_record_payload(tag, payload)?);
+        }
+        if repl_head > 0 {
+            repl_heads.insert(name.clone(), repl_head);
+        }
+        accounts.insert(
+            name,
+            ReplayAccount {
+                records,
+                rule_epoch,
+                high_seq,
+            },
+        );
+    }
+    if pos != body.len() {
+        return Err(corrupt("trailing bytes"));
+    }
+    Ok(Some(Checkpoint {
+        covers,
+        accounts,
+        repl_heads,
+    }))
+}
+
+/// Replays one segment file into the account map. Returns `(records
+/// replayed, valid byte length, file length, torn?)`.
+fn replay_segment(
+    path: &Path,
+    accounts: &mut BTreeMap<String, ReplayAccount>,
+) -> Result<(u64, u64, u64, bool), WalError> {
+    if !path.exists() {
+        return Ok((0, 0, 0, false));
+    }
+    let mut data = Vec::new();
+    File::open(path)?.read_to_end(&mut data)?;
+    let mut pos = 0usize;
+    let mut replayed = 0u64;
+    loop {
+        let header_end = pos + 4 + 4;
+        if header_end > data.len() {
+            break; // torn header
+        }
+        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+        let expected_crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
+        let payload_end = header_end + len;
+        if payload_end > data.len() {
+            break; // torn payload
+        }
+        let payload = &data[header_end..payload_end];
+        if crc32(payload) != expected_crc {
+            break; // corrupt frame: stop at the valid prefix
+        }
+        // Frame payload: name, account_seq, tag, record payload.
+        if payload.len() < 2 + 8 + 1 {
+            break;
+        }
+        let name_len = u16::from_le_bytes(payload[..2].try_into().unwrap()) as usize;
+        if 2 + name_len + 8 + 1 > payload.len() {
+            break;
+        }
+        let Ok(name) = std::str::from_utf8(&payload[2..2 + name_len]) else {
+            break;
+        };
+        let aseq_start = 2 + name_len;
+        let account_seq =
+            u64::from_le_bytes(payload[aseq_start..aseq_start + 8].try_into().unwrap());
+        let tag = payload[aseq_start + 8];
+        if !tag_is_known(tag) {
+            break;
+        }
+        let record = decode_record_payload(tag, &payload[aseq_start + 9..])?;
+        let entry = accounts.entry(name.to_string()).or_insert(ReplayAccount {
+            records: Vec::new(),
+            rule_epoch: 0,
+            high_seq: 0,
+        });
+        // Skip frames the checkpoint already covers for this account
+        // (its snapshot is a superset of segments ≤ covers and may even
+        // include records staged into the tail before it was cut).
+        if account_seq > entry.high_seq {
+            entry.records.push(record);
+            entry.high_seq = account_seq;
+            replayed += 1;
+        }
+        pos = payload_end;
+    }
+    Ok((replayed, pos as u64, data.len() as u64, pos < data.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensorsafe_types::{
+        ChannelSpec, ContextAnnotation, ContextKind, ContextState, SegmentMeta, TimeRange,
+        Timestamp, Timing, WaveSegment,
+    };
+    use std::time::Duration;
+
+    fn tempdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sensorsafe-journal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn seg(start: i64) -> WalRecord {
+        let meta = SegmentMeta {
+            timing: Timing::Uniform {
+                start: Timestamp::from_millis(start),
+                interval_secs: 0.02,
+            },
+            location: None,
+            format: vec![ChannelSpec::f32("ecg")],
+        };
+        let rows: Vec<Vec<f64>> = (0..16).map(|i| vec![i as f64]).collect();
+        WalRecord::Segment(WaveSegment::from_rows(meta, &rows).unwrap())
+    }
+
+    fn ann(start: i64) -> WalRecord {
+        WalRecord::Annotation(ContextAnnotation::new(
+            TimeRange::new(
+                Timestamp::from_millis(start),
+                Timestamp::from_millis(start + 1000),
+            ),
+            vec![ContextState::on(ContextKind::Walk)],
+        ))
+    }
+
+    fn quick_config() -> JournalConfig {
+        JournalConfig {
+            rotate_bytes: u64::MAX,
+            rotate_records: u64::MAX,
+            commit: GroupCommitConfig {
+                max_batch: 64,
+                max_delay: Duration::from_micros(200),
+            },
+        }
+    }
+
+    /// An honest checkpoint source for one account: the test stages and
+    /// updates the shared `(records, high_seq)` snapshot under the same
+    /// mutex, mimicking the datastore snapshotting under the account
+    /// write lock that also serializes staging.
+    type Shared = Arc<Mutex<(Vec<WalRecord>, u64)>>;
+
+    fn shared_source(name: &str, shared: &Shared) -> CheckpointSource {
+        let name = name.to_string();
+        let shared = Arc::clone(shared);
+        Box::new(move || {
+            let s = shared.lock().unwrap();
+            vec![CheckpointAccount {
+                name: name.clone(),
+                records: s.0.clone(),
+                high_seq: s.1,
+                rule_epoch: 0,
+                repl_head: 0,
+            }]
+        })
+    }
+
+    fn stage_tracked(journal: &StoreJournal, name: &str, shared: &Shared, record: WalRecord) {
+        let mut s = shared.lock().unwrap();
+        journal.stage(name, &record).unwrap();
+        s.0.push(record);
+        s.1 = journal.account_seq(name);
+    }
+
+    #[test]
+    fn stage_flush_reopen_recovers_per_account() {
+        let dir = tempdir("roundtrip");
+        {
+            let journal = StoreJournal::open(&dir, quick_config()).unwrap();
+            journal.stage("alice", &seg(0)).unwrap();
+            journal.stage("bob", &seg(1000)).unwrap();
+            journal.stage("alice", &ann(0)).unwrap();
+            journal.flush().unwrap();
+        }
+        let journal = StoreJournal::open(&dir, quick_config()).unwrap();
+        let mut names = journal.recovered_accounts();
+        names.sort();
+        assert_eq!(names, vec!["alice", "bob"]);
+        let alice = journal.take_account("alice").unwrap();
+        assert_eq!(alice.records, vec![seg(0), ann(0)]);
+        let bob = journal.take_account("bob").unwrap();
+        assert_eq!(bob.records, vec![seg(1000)]);
+        assert!(journal.take_account("alice").is_none(), "claimed once");
+    }
+
+    #[test]
+    fn tickets_coalesce_across_accounts() {
+        let dir = tempdir("coalesce");
+        let journal = Arc::new(StoreJournal::open(&dir, quick_config()).unwrap());
+        let fsyncs_before = fsync_counter().get();
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            journal.stage(&format!("acct-{i}"), &seg(i * 1000)).unwrap();
+            let ticket = journal.ticket();
+            handles.push(std::thread::spawn(move || ticket.wait()));
+        }
+        for h in handles {
+            h.join().unwrap().unwrap();
+        }
+        let fsyncs = fsync_counter().get() - fsyncs_before;
+        assert!(
+            fsyncs < 8,
+            "8 accounts' waiters should share fsyncs, took {fsyncs}"
+        );
+    }
+
+    #[test]
+    fn rotation_seals_and_checkpoint_bounds_replay() {
+        let dir = tempdir("rotate");
+        let config = JournalConfig {
+            rotate_bytes: 1, // rotate after every batch
+            rotate_records: u64::MAX,
+            commit: GroupCommitConfig::unbatched(),
+        };
+        {
+            let journal = StoreJournal::open(&dir, config).unwrap();
+            let alice: Shared = Arc::new(Mutex::new((Vec::new(), 0)));
+            journal.register_checkpoint_source(shared_source("alice", &alice));
+            for i in 0..4 {
+                stage_tracked(&journal, "alice", &alice, seg(i * 1000));
+                journal.flush().unwrap();
+            }
+            let stats = journal.stats();
+            assert!(stats.active_segment > 1, "rotation advanced the segment");
+            assert!(stats.last_sealed >= 1);
+        }
+        // Recovery sees all four records exactly once, in order —
+        // whether each came from the checkpoint or from tail replay.
+        let journal = StoreJournal::open(&dir, config).unwrap();
+        let alice = journal.take_account("alice").unwrap();
+        assert_eq!(alice.records.len(), 4);
+        assert_eq!(alice.records[0], seg(0));
+        assert_eq!(alice.records[3], seg(3000));
+    }
+
+    #[test]
+    fn checkpoint_carries_unclaimed_accounts_through_gc() {
+        let dir = tempdir("carry");
+        let config = JournalConfig {
+            rotate_bytes: 1,
+            rotate_records: u64::MAX,
+            commit: GroupCommitConfig::unbatched(),
+        };
+        {
+            let journal = StoreJournal::open(&dir, config).unwrap();
+            journal.stage("alice", &seg(0)).unwrap();
+            journal.stage("alice", &ann(0)).unwrap();
+            journal.flush().unwrap();
+            journal.stage("alice", &seg(1000)).unwrap();
+            journal.flush().unwrap();
+        }
+        // Reopen WITHOUT claiming alice; checkpoint + GC must not lose
+        // her records even though their source segments get deleted.
+        {
+            let journal = StoreJournal::open(&dir, config).unwrap();
+            // The source covers only bob; alice rides along via the
+            // recovered carry-forward.
+            let bob: Shared = Arc::new(Mutex::new((Vec::new(), 0)));
+            journal.register_checkpoint_source(shared_source("bob", &bob));
+            stage_tracked(&journal, "bob", &bob, seg(2000));
+            journal.flush().unwrap(); // rotation → sealed segment
+            stage_tracked(&journal, "bob", &bob, seg(3000));
+            journal.flush().unwrap();
+            // Poll: the background checkpoint thread may beat the
+            // synchronous call after the rotation above.
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while journal.stats().checkpointed_through < 1 {
+                let _ = journal.checkpoint_now().unwrap();
+                assert!(Instant::now() < deadline, "checkpoint never covered");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let journal = StoreJournal::open(&dir, config).unwrap();
+        let alice = journal.take_account("alice").unwrap();
+        assert_eq!(alice.records, vec![seg(0), ann(0), seg(1000)]);
+        let bob = journal.take_account("bob").unwrap();
+        assert_eq!(bob.records, vec![seg(2000), seg(3000)]);
+    }
+
+    #[test]
+    fn gc_deletes_checkpointed_segments() {
+        let dir = tempdir("gc");
+        let config = JournalConfig {
+            rotate_bytes: 1,
+            rotate_records: u64::MAX,
+            commit: GroupCommitConfig::unbatched(),
+        };
+        let journal = StoreJournal::open(&dir, config).unwrap();
+        let alice: Shared = Arc::new(Mutex::new((Vec::new(), 0)));
+        journal.register_checkpoint_source(shared_source("alice", &alice));
+        for i in 0..5 {
+            stage_tracked(&journal, "alice", &alice, seg(i * 1000));
+            journal.flush().unwrap();
+        }
+        // Rotation (and the checkpoint it requests) is asynchronous:
+        // poll until everything sealed is checkpointed and GC'd. Only
+        // the active segment (and possibly the newest sealed-after-
+        // checkpoint one) may remain.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while journal.stats().live_segments > 2 {
+            let _ = journal.checkpoint_now().unwrap();
+            assert!(
+                Instant::now() < deadline,
+                "GC never pruned, kept {} segments",
+                journal.stats().live_segments
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(journal.maybe_gc(), 0, "idempotent");
+    }
+
+    #[test]
+    fn gc_defers_until_replication_acked() {
+        let dir = tempdir("gc-gate");
+        let config = JournalConfig {
+            rotate_bytes: 1,
+            rotate_records: u64::MAX,
+            commit: GroupCommitConfig::unbatched(),
+        };
+        let journal = StoreJournal::open(&dir, config).unwrap();
+        let acked = Arc::new(Mutex::new(0u64));
+        let gate_acked = Arc::clone(&acked);
+        journal.register_checkpoint_source(Box::new(|| {
+            vec![CheckpointAccount {
+                name: "alice".to_string(),
+                records: Vec::new(),
+                high_seq: 100, // never reopened; only GC gating matters here
+                rule_epoch: 0,
+                repl_head: 7,
+            }]
+        }));
+        journal.register_gc_gate(Box::new(move |name| {
+            assert_eq!(name, "alice");
+            Some(*gate_acked.lock().unwrap())
+        }));
+        for i in 0..3 {
+            journal.stage("alice", &seg(i * 1000)).unwrap();
+            journal.flush().unwrap();
+        }
+        // Poll until a checkpoint covers at least one sealed segment
+        // (rotation and the background checkpoint are asynchronous).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while journal.stats().checkpointed_through == 0 {
+            let _ = journal.checkpoint_now().unwrap();
+            assert!(Instant::now() < deadline, "checkpoint never covered");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let before = journal.stats().live_segments;
+        assert!(before > 1, "checkpointed segments awaiting GC");
+        // Replica acked only batch 3 < head 7: GC must defer.
+        *acked.lock().unwrap() = 3;
+        assert_eq!(journal.maybe_gc(), 0);
+        assert_eq!(journal.stats().live_segments, before);
+        // Replica catches up: GC proceeds.
+        *acked.lock().unwrap() = 7;
+        while journal.stats().live_segments >= before {
+            journal.maybe_gc();
+            assert!(Instant::now() < deadline, "GC never ran after acks");
+        }
+    }
+
+    #[test]
+    fn sticky_error_reported_to_all_waiters() {
+        let dir = tempdir("sticky");
+        let journal = StoreJournal::open(&dir, quick_config()).unwrap();
+        journal.stage("alice", &seg(0)).unwrap();
+        journal.flush().unwrap();
+        assert!(journal.sticky_error().is_none());
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_reopen() {
+        let dir = tempdir("torn");
+        let config = quick_config();
+        {
+            let journal = StoreJournal::open(&dir, config).unwrap();
+            journal.stage("alice", &seg(0)).unwrap();
+            journal.stage("alice", &seg(1000)).unwrap();
+            journal.flush().unwrap();
+        }
+        // Tear the active segment mid-frame.
+        let seg1 = segment_path(&dir, 1);
+        let len = std::fs::metadata(&seg1).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&seg1).unwrap();
+        file.set_len(len - 5).unwrap();
+        drop(file);
+        let journal = StoreJournal::open(&dir, config).unwrap();
+        let alice = journal.take_account("alice").unwrap();
+        assert_eq!(alice.records, vec![seg(0)], "torn record dropped");
+        // And appends keep working after the truncation.
+        journal.stage("alice", &seg(2000)).unwrap();
+        journal.flush().unwrap();
+        drop(journal);
+        let journal = StoreJournal::open(&dir, config).unwrap();
+        assert_eq!(
+            journal.take_account("alice").unwrap().records,
+            vec![seg(0), seg(2000)]
+        );
+    }
+}

@@ -12,6 +12,13 @@
 //!   reopened from its log replays to identical state. Concurrent
 //!   writers go through [`GroupCommitWal`], which coalesces appends into
 //!   batched `write`+`fsync` commits (DESIGN.md §8).
+//! * [`journal`] — storage engine v2: the **store-wide journal**
+//!   ([`StoreJournal`]) shared by every hosted account. One commit
+//!   thread batches staged records from many accounts into a single
+//!   `write`+`fsync`; segments rotate at a size threshold, each
+//!   rotation checkpoints account state so crash replay is bounded to
+//!   the tail segment, and checkpointed segments are garbage-collected
+//!   once replication acks catch up.
 //! * [`ledger`] — the file-backed, hash-chained privacy audit ledger
 //!   ([`FileLedger`]): `obsv::ledger`'s integrity model persisted with the
 //!   WAL's flush + `sync_data` discipline, so enforcement decisions are as
@@ -31,6 +38,7 @@
 
 pub mod baseline;
 pub mod codec;
+pub mod journal;
 pub mod ledger;
 pub mod query;
 pub mod repl;
@@ -39,8 +47,11 @@ pub mod wal;
 
 pub use baseline::TupleStore;
 pub use codec::{decode_annotation, decode_segment, encode_annotation, encode_segment, CodecError};
+pub use journal::{
+    CheckpointAccount, JournalConfig, JournalStats, JournalTicket, RecoveredAccount, StoreJournal,
+};
 pub use ledger::{verify_ledger_file, FileLedger};
 pub use query::Query;
 pub use repl::{ReplBuffer, ReplConfig, ReplFrame, SealedBatch};
-pub use store::{MergePolicy, SegmentStore, StoreError, StoreStats};
+pub use store::{MergePolicy, SegmentStore, StoreError, StoreStats, StoreTicket};
 pub use wal::{CommitTicket, GroupCommitConfig, GroupCommitWal, Wal, WalError, WalRecord};

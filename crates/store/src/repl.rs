@@ -179,6 +179,7 @@ fn approx_record_bytes(record: &WalRecord) -> usize {
             16 + records.iter().map(approx_record_bytes).sum::<usize>()
         }
         WalRecord::UploadToken { token, .. } => 16 + token.len(),
+        WalRecord::AccountReset => 16,
     }
 }
 

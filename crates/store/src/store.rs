@@ -1,6 +1,7 @@
 //! The segment store: time-ordered series, merge optimizer, query engine.
 
 use crate::codec::CodecError;
+use crate::journal::{JournalTicket, StoreJournal};
 use crate::query::Query;
 use crate::repl::{ReplBuffer, ReplConfig, SealedBatch};
 use crate::wal::{CommitTicket, GroupCommitConfig, GroupCommitWal, Wal, WalError, WalRecord};
@@ -95,6 +96,55 @@ pub struct StoreStats {
     pub annotations: usize,
 }
 
+/// Which durability engine backs a store.
+enum Durability {
+    /// No log: in-memory only (tests, benches).
+    None,
+    /// Storage engine v1: one [`GroupCommitWal`] per account. Kept as
+    /// the A/B baseline for the C4 bench.
+    Wal(Arc<GroupCommitWal>),
+    /// Storage engine v2: the shared [`StoreJournal`], staging under
+    /// this account's name.
+    Journal {
+        journal: Arc<StoreJournal>,
+        account: String,
+    },
+}
+
+impl Durability {
+    fn stage(&self, record: &WalRecord) -> Result<(), WalError> {
+        match self {
+            Durability::None => Ok(()),
+            Durability::Wal(wal) => wal.stage(record).map(|_| ()),
+            Durability::Journal { journal, account } => journal.stage(account, record).map(|_| ()),
+        }
+    }
+}
+
+/// A durability claim from either engine: resolves once every record
+/// staged on this store before the ticket was taken is on disk. Take it
+/// under the account lock, [`StoreTicket::wait`] after releasing it —
+/// the stage-then-wait upload path that keeps fsync latency off the
+/// account lock.
+pub enum StoreTicket {
+    /// A per-account WAL commit ticket (engine v1).
+    Wal(CommitTicket),
+    /// A store-wide journal ticket (engine v2) — one shared fsync may
+    /// resolve many accounts' tickets at once.
+    Journal(JournalTicket),
+}
+
+impl StoreTicket {
+    /// Blocks until the covered records are durable (or the engine's
+    /// sticky error surfaces).
+    pub fn wait(&self) -> Result<(), WalError> {
+        match self {
+            StoreTicket::Wal(t) => t.wait(),
+            StoreTicket::Journal(t) => t.wait(),
+        }
+    }
+}
+
 /// One series: segments sharing a channel format, ordered by start time.
 #[derive(Debug, Default)]
 struct Series {
@@ -119,7 +169,7 @@ pub struct SegmentStore {
     series: BTreeMap<String, Series>,
     annotations: Vec<ContextAnnotation>,
     policy: MergePolicy,
-    wal: Option<Arc<GroupCommitWal>>,
+    durability: Durability,
     seq: u64,
     merges: usize,
     /// Shipping buffer when this store is a replicated primary.
@@ -146,7 +196,7 @@ impl SegmentStore {
             series: BTreeMap::new(),
             annotations: Vec::new(),
             policy,
-            wal: None,
+            durability: Durability::None,
             seq: 0,
             merges: 0,
             repl: None,
@@ -181,39 +231,82 @@ impl SegmentStore {
         }
         let mut store = SegmentStore::in_memory(policy);
         for record in records {
-            match record {
-                WalRecord::Segment(seg) => store.insert_segment_inner(seg),
-                WalRecord::Annotation(ann) => store.annotations.push(ann),
-                WalRecord::ReplApplied(seq) => {
-                    store.repl_applied = store.repl_applied.max(seq);
-                }
-                WalRecord::AssignEpoch { epoch, fenced } => {
-                    store.assignment_epoch = epoch;
-                    store.fenced = fenced;
-                }
-                WalRecord::ReplBatch { seq, records } => {
-                    for nested in records {
-                        match nested {
-                            WalRecord::Segment(seg) if !seg.is_empty() => {
-                                store.insert_segment_inner(seg)
-                            }
-                            WalRecord::Segment(_) => {}
-                            WalRecord::Annotation(ann) => store.annotations.push(ann),
-                            _ => unreachable!("WAL decode rejects bookkeeping inside a batch"),
-                        }
-                    }
-                    store.repl_applied = store.repl_applied.max(seq);
-                }
-                WalRecord::UploadToken {
-                    token,
-                    stored,
-                    annotated,
-                } => store.push_upload_token(token, stored, annotated),
-            }
+            store.apply_replay_record(record);
         }
         store.annotations.sort_by_key(|a| a.window.start);
-        store.wal = Some(Arc::new(GroupCommitWal::open(path, wal_config)?));
+        store.durability = Durability::Wal(Arc::new(GroupCommitWal::open(path, wal_config)?));
         Ok(store)
+    }
+
+    /// Opens a store backed by the shared [`StoreJournal`] (storage
+    /// engine v2), applying `recovered` — the record stream the journal
+    /// recovered for this account
+    /// ([`StoreJournal::take_account`](crate::StoreJournal::take_account)),
+    /// empty for a brand-new account. Future inserts stage on the
+    /// journal under `account`; durability comes from the store-wide
+    /// commit thread, so a fleet of accounts shares each fsync.
+    pub fn open_journal(
+        journal: Arc<StoreJournal>,
+        account: impl Into<String>,
+        policy: MergePolicy,
+        recovered: Vec<WalRecord>,
+    ) -> SegmentStore {
+        let mut store = SegmentStore::in_memory(policy);
+        for record in recovered {
+            store.apply_replay_record(record);
+        }
+        store.annotations.sort_by_key(|a| a.window.start);
+        store.durability = Durability::Journal {
+            journal,
+            account: account.into(),
+        };
+        store
+    }
+
+    /// Applies one replayed log record to in-memory state (shared by
+    /// the per-account WAL and journal recovery paths).
+    fn apply_replay_record(&mut self, record: WalRecord) {
+        match record {
+            WalRecord::Segment(seg) if !seg.is_empty() => self.insert_segment_inner(seg),
+            WalRecord::Segment(_) => {}
+            WalRecord::Annotation(ann) => self.annotations.push(ann),
+            WalRecord::ReplApplied(seq) => {
+                self.repl_applied = self.repl_applied.max(seq);
+            }
+            WalRecord::AssignEpoch { epoch, fenced } => {
+                self.assignment_epoch = epoch;
+                self.fenced = fenced;
+            }
+            WalRecord::ReplBatch { seq, records } => {
+                for nested in records {
+                    match nested {
+                        WalRecord::Segment(seg) if !seg.is_empty() => {
+                            self.insert_segment_inner(seg)
+                        }
+                        WalRecord::Segment(_) => {}
+                        WalRecord::Annotation(ann) => self.annotations.push(ann),
+                        _ => unreachable!("WAL decode rejects bookkeeping inside a batch"),
+                    }
+                }
+                self.repl_applied = self.repl_applied.max(seq);
+            }
+            WalRecord::UploadToken {
+                token,
+                stored,
+                annotated,
+            } => self.push_upload_token(token, stored, annotated),
+            // A durable account wipe: data state resets, the
+            // assignment epoch/fence survive (a reset must not unfence
+            // a deposed primary).
+            WalRecord::AccountReset => {
+                self.series.clear();
+                self.annotations.clear();
+                self.seq = 0;
+                self.merges = 0;
+                self.repl_applied = 0;
+                self.upload_tokens.clear();
+            }
+        }
     }
 
     /// Inserts a segment, staging it on the WAL and running the merge
@@ -225,9 +318,8 @@ impl SegmentStore {
         if segment.is_empty() {
             return Ok(());
         }
-        if let Some(wal) = &self.wal {
-            wal.stage(&WalRecord::Segment(segment.clone()))?;
-        }
+        self.durability
+            .stage(&WalRecord::Segment(segment.clone()))?;
         if let Some(repl) = &mut self.repl {
             repl.observe(WalRecord::Segment(segment.clone()));
         }
@@ -269,9 +361,8 @@ impl SegmentStore {
     /// Stores a context annotation (staged on the WAL like segments;
     /// see [`SegmentStore::insert_segment`] for durability).
     pub fn insert_annotation(&mut self, annotation: ContextAnnotation) -> Result<(), StoreError> {
-        if let Some(wal) = &self.wal {
-            wal.stage(&WalRecord::Annotation(annotation.clone()))?;
-        }
+        self.durability
+            .stage(&WalRecord::Annotation(annotation.clone()))?;
         if let Some(repl) = &mut self.repl {
             repl.observe(WalRecord::Annotation(annotation.clone()));
         }
@@ -287,26 +378,38 @@ impl SegmentStore {
     /// commit, skipping the gathering delay). When this returns `Ok`,
     /// all prior inserts are durable.
     pub fn sync(&mut self) -> Result<(), StoreError> {
-        if let Some(wal) = &self.wal {
-            wal.flush()?;
+        match &self.durability {
+            Durability::None => Ok(()),
+            Durability::Wal(wal) => Ok(wal.flush()?),
+            Durability::Journal { journal, .. } => Ok(journal.flush()?),
         }
-        Ok(())
     }
 
-    /// A ticket covering every record staged so far on this store's WAL,
-    /// or `None` for in-memory stores. The caller can release the store
-    /// lock and then [`CommitTicket::wait`] — this is the stage-then-wait
-    /// upload path that keeps fsync latency off the account lock.
-    pub fn commit_ticket(&self) -> Option<CommitTicket> {
-        self.wal.as_ref().map(GroupCommitWal::ticket)
+    /// A ticket covering every record staged so far on this store's
+    /// durability engine, or `None` for in-memory stores. The caller can
+    /// release the store lock and then [`StoreTicket::wait`] — this is
+    /// the stage-then-wait upload path that keeps fsync latency off the
+    /// account lock.
+    pub fn commit_ticket(&self) -> Option<StoreTicket> {
+        match &self.durability {
+            Durability::None => None,
+            Durability::Wal(wal) => Some(StoreTicket::Wal(wal.ticket())),
+            Durability::Journal { journal, .. } => Some(StoreTicket::Journal(journal.ticket())),
+        }
     }
 
-    /// The WAL's sticky I/O failure, if any batch commit has ever failed
-    /// (`None` for in-memory stores and healthy logs). Surfaced by the
-    /// data store's `/healthz` so fleet monitoring sees a store that can
-    /// no longer ack writes durably.
+    /// The durability engine's sticky I/O failure, if any batch commit
+    /// has ever failed (`None` for in-memory stores and healthy logs).
+    /// Surfaced by the data store's `/healthz` so fleet monitoring sees
+    /// a store that can no longer ack writes durably. In journal mode
+    /// the error is store-wide: one failed shared commit surfaces on
+    /// every hosted account.
     pub fn wal_sticky_error(&self) -> Option<String> {
-        self.wal.as_ref().and_then(|wal| wal.sticky_error())
+        match &self.durability {
+            Durability::None => None,
+            Durability::Wal(wal) => wal.sticky_error(),
+            Durability::Journal { journal, .. } => journal.sticky_error(),
+        }
     }
 
     /// Turns this store into a replicated primary: all current state is
@@ -406,9 +509,7 @@ impl SegmentStore {
         if seq <= self.repl_applied {
             return Ok(());
         }
-        if let Some(wal) = &self.wal {
-            wal.stage(&WalRecord::ReplApplied(seq))?;
-        }
+        self.durability.stage(&WalRecord::ReplApplied(seq))?;
         self.repl_applied = seq;
         Ok(())
     }
@@ -436,12 +537,10 @@ impl SegmentStore {
                 "replication batch may only carry data records".into(),
             ))));
         }
-        if let Some(wal) = &self.wal {
-            wal.stage(&WalRecord::ReplBatch {
-                seq,
-                records: records.clone(),
-            })?;
-        }
+        self.durability.stage(&WalRecord::ReplBatch {
+            seq,
+            records: records.clone(),
+        })?;
         for record in records {
             match record {
                 WalRecord::Segment(seg) => {
@@ -490,9 +589,8 @@ impl SegmentStore {
         if self.assignment_epoch == epoch && self.fenced == fenced {
             return Ok(());
         }
-        if let Some(wal) = &self.wal {
-            wal.stage(&WalRecord::AssignEpoch { epoch, fenced })?;
-        }
+        self.durability
+            .stage(&WalRecord::AssignEpoch { epoch, fenced })?;
         self.assignment_epoch = epoch;
         self.fenced = fenced;
         Ok(())
@@ -501,9 +599,12 @@ impl SegmentStore {
     /// Wipes this store's data state for a replication resync: series,
     /// annotations, the apply high-water, and remembered upload tokens
     /// all reset; the assignment epoch/fence are **kept** (a reset must
-    /// not unfence a store). The WAL is rewritten durably (via
-    /// [`SegmentStore::compact`]) so a crash mid-resync cannot resurrect
-    /// the wiped records.
+    /// not unfence a store). The wipe is durable before this returns: in
+    /// per-account WAL mode the log is rewritten (via
+    /// [`SegmentStore::compact`]); in journal mode a
+    /// [`WalRecord::AccountReset`] marker is staged and flushed, so a
+    /// crash mid-resync replays the wipe instead of resurrecting the
+    /// wiped records.
     pub fn repl_reset(&mut self) -> Result<(), StoreError> {
         self.series.clear();
         self.annotations.clear();
@@ -514,7 +615,27 @@ impl SegmentStore {
         if let Some(config) = self.repl.as_ref().map(ReplBuffer::config) {
             self.repl = Some(ReplBuffer::new(config));
         }
+        if let Durability::Journal { journal, account } = &self.durability {
+            journal.stage(account, &WalRecord::AccountReset)?;
+            journal.flush()?;
+            return Ok(());
+        }
         self.compact()
+    }
+
+    /// Seals the open replication batch and returns the shipping head —
+    /// the highest sealed batch sequence (0 with nothing sealed or
+    /// replication off). The journal checkpoint records this per
+    /// account; segment GC then waits for
+    /// [`SegmentStore::repl_acked_seq`] to reach it.
+    pub fn repl_seal_head(&mut self) -> u64 {
+        match &mut self.repl {
+            Some(repl) => {
+                repl.seal_open();
+                repl.next_seq() - 1
+            }
+            None => 0,
+        }
     }
 
     /// The response recorded for an upload idempotency token, if the
@@ -537,13 +658,11 @@ impl SegmentStore {
         stored: u32,
         annotated: u32,
     ) -> Result<(), StoreError> {
-        if let Some(wal) = &self.wal {
-            wal.stage(&WalRecord::UploadToken {
-                token: token.clone(),
-                stored,
-                annotated,
-            })?;
-        }
+        self.durability.stage(&WalRecord::UploadToken {
+            token: token.clone(),
+            stored,
+            annotated,
+        })?;
         self.push_upload_token(token, stored, annotated);
         Ok(())
     }
@@ -575,15 +694,29 @@ impl SegmentStore {
     /// acked) must first catch up to the buffer head. Retry after the
     /// shipper drains.
     pub fn compact(&mut self) -> Result<(), StoreError> {
+        if let Durability::Journal { journal, .. } = &self.durability {
+            // Journal mode: there is no per-account log to rewrite.
+            // Flush staged records and request an async checkpoint —
+            // once written it bounds replay exactly as a rewrite would,
+            // and segment GC (not this call) reclaims the disk. Async
+            // on purpose: compact() runs under the account lock and the
+            // checkpoint source takes account locks itself, so an
+            // inline checkpoint here would deadlock. No replication-lag
+            // refusal either — nothing here renumbers the shipping
+            // stream (GC separately waits for replica acks).
+            journal.flush()?;
+            journal.request_checkpoint();
+            return Ok(());
+        }
         let pending = self.repl_pending();
         if pending > 0 {
             return Err(StoreError::ReplicationLag(pending));
         }
-        let Some(wal) = self.wal.take() else {
+        let Durability::Wal(wal) = std::mem::replace(&mut self.durability, Durability::None) else {
             return Ok(());
         };
         // Drain: every staged record (including batches being gathered
-        // by in-flight `CommitTicket::wait`ers) hits the old log before
+        // by in-flight `StoreTicket::wait`ers) hits the old log before
         // the rename. Outstanding tickets hold Arc clones, but their
         // sequences are durable after this, so their waits return
         // without touching the replaced file.
@@ -595,38 +728,54 @@ impl SegmentStore {
         let _ = std::fs::remove_file(&tmp);
         {
             let mut fresh = Wal::open(&tmp)?;
-            for series in self.series.values() {
-                for seg in series.segments.values() {
-                    fresh.append(&WalRecord::Segment(seg.clone()))?;
-                }
-            }
-            for ann in &self.annotations {
-                fresh.append(&WalRecord::Annotation(ann.clone()))?;
-            }
-            if self.repl_applied > 0 {
-                // A replica's apply high-water mark survives compaction.
-                fresh.append(&WalRecord::ReplApplied(self.repl_applied))?;
-            }
-            if self.assignment_epoch > 0 || self.fenced {
-                // The fence must survive compaction too, or a compacted
-                // deposed primary would restart writable.
-                fresh.append(&WalRecord::AssignEpoch {
-                    epoch: self.assignment_epoch,
-                    fenced: self.fenced,
-                })?;
-            }
-            for (token, stored, annotated) in &self.upload_tokens {
-                fresh.append(&WalRecord::UploadToken {
-                    token: token.clone(),
-                    stored: *stored,
-                    annotated: *annotated,
-                })?;
+            for record in self.snapshot_records() {
+                fresh.append(&record)?;
             }
             fresh.sync()?;
         }
         std::fs::rename(&tmp, &path).map_err(|e| StoreError::Wal(e.into()))?;
-        self.wal = Some(Arc::new(GroupCommitWal::open(&path, config)?));
+        self.durability = Durability::Wal(Arc::new(GroupCommitWal::open(&path, config)?));
         Ok(())
+    }
+
+    /// The store's live state as a compacted record stream: one
+    /// [`WalRecord::Segment`] per (merged) live segment, every
+    /// annotation, then the bookkeeping tail — replica apply high-water
+    /// ([`WalRecord::ReplApplied`]), assignment epoch/fence
+    /// ([`WalRecord::AssignEpoch`]), and remembered upload idempotency
+    /// tokens ([`WalRecord::UploadToken`]). Replaying these records
+    /// reconstructs this store exactly; it is what both a compacted
+    /// per-account log and a journal checkpoint persist.
+    pub fn snapshot_records(&self) -> Vec<WalRecord> {
+        let mut out = Vec::new();
+        for series in self.series.values() {
+            for seg in series.segments.values() {
+                out.push(WalRecord::Segment(seg.clone()));
+            }
+        }
+        for ann in &self.annotations {
+            out.push(WalRecord::Annotation(ann.clone()));
+        }
+        if self.repl_applied > 0 {
+            // A replica's apply high-water mark survives compaction.
+            out.push(WalRecord::ReplApplied(self.repl_applied));
+        }
+        if self.assignment_epoch > 0 || self.fenced {
+            // The fence must survive compaction too, or a compacted
+            // deposed primary would restart writable.
+            out.push(WalRecord::AssignEpoch {
+                epoch: self.assignment_epoch,
+                fenced: self.fenced,
+            });
+        }
+        for (token, stored, annotated) in &self.upload_tokens {
+            out.push(WalRecord::UploadToken {
+                token: token.clone(),
+                stored: *stored,
+                annotated: *annotated,
+            });
+        }
+        out
     }
 
     /// Runs a query, returning matching (sliced, projected) segments in

@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! u8  record tag (1 = segment, 2 = annotation, 3 = repl-applied mark,
-//!     4 = assignment-epoch mark, 5 = repl batch, 6 = upload token)
+//!     4 = assignment-epoch mark, 5 = repl batch, 6 = upload token,
+//!     7 = account reset)
 //! u32 payload length
 //! u32 crc32(payload)
 //! payload bytes
@@ -85,6 +86,14 @@ pub enum WalRecord {
         /// Annotations stored by the original request.
         annotated: u32,
     },
+    /// A durable account wipe marker. Replaying one clears every data
+    /// record (segments, annotations, replication high-water, upload
+    /// tokens) seen so far for the account, while the assignment
+    /// epoch/fence survive. The per-account WAL never writes this —
+    /// its `/repl/reset` path rewrites the log file instead — but the
+    /// store-wide journal cannot rewrite a shared log for one account's
+    /// reset, so it appends this marker.
+    AccountReset,
 }
 
 /// Errors touching the log.
@@ -120,6 +129,13 @@ const TAG_REPL_APPLIED: u8 = 3;
 const TAG_ASSIGN_EPOCH: u8 = 4;
 const TAG_REPL_BATCH: u8 = 5;
 const TAG_UPLOAD_TOKEN: u8 = 6;
+const TAG_ACCOUNT_RESET: u8 = 7;
+
+/// Whether `tag` names a known record type. Replay treats an unknown tag
+/// as corruption (stop at the valid prefix) rather than a codec error.
+pub(crate) fn tag_is_known(tag: u8) -> bool {
+    (TAG_SEGMENT..=TAG_ACCOUNT_RESET).contains(&tag)
+}
 
 /// Encodes a [`WalRecord::ReplBatch`] payload: `u64 seq`, `u32 count`,
 /// then per nested data record `u8 tag, u32 len, payload` (the same
@@ -181,9 +197,12 @@ fn decode_repl_batch(payload: &[u8]) -> Result<(u64, Vec<WalRecord>), CodecError
     Ok((seq, records))
 }
 
-/// Encodes one record into its on-disk frame (tag, length, CRC, payload).
-fn encode_frame(record: &WalRecord) -> Vec<u8> {
-    let (tag, payload) = match record {
+/// Encodes one record's payload, returning `(tag, payload)`. Shared by
+/// the per-account WAL frame ([`encode_frame`]) and the store-wide
+/// journal's segment frames, so both log formats carry byte-identical
+/// record payloads.
+pub(crate) fn encode_record_payload(record: &WalRecord) -> (u8, Vec<u8>) {
+    match record {
         WalRecord::Segment(seg) => (TAG_SEGMENT, codec::encode_segment(seg)),
         WalRecord::Annotation(ann) => (TAG_ANNOTATION, codec::encode_annotation(ann)),
         WalRecord::ReplApplied(seq) => (TAG_REPL_APPLIED, seq.to_le_bytes().to_vec()),
@@ -206,7 +225,78 @@ fn encode_frame(record: &WalRecord) -> Vec<u8> {
             payload.extend_from_slice(&annotated.to_le_bytes());
             (TAG_UPLOAD_TOKEN, payload)
         }
+        WalRecord::AccountReset => (TAG_ACCOUNT_RESET, Vec::new()),
+    }
+}
+
+/// Decodes a record payload written by [`encode_record_payload`]. The
+/// caller has already verified the enclosing frame's CRC, so any failure
+/// here is a codec version mismatch, not corruption.
+pub(crate) fn decode_record_payload(tag: u8, payload: &[u8]) -> Result<WalRecord, WalError> {
+    let record = match tag {
+        TAG_SEGMENT => WalRecord::Segment(codec::decode_segment(payload).map_err(WalError::Codec)?),
+        TAG_ANNOTATION => {
+            WalRecord::Annotation(codec::decode_annotation(payload).map_err(WalError::Codec)?)
+        }
+        TAG_REPL_APPLIED => {
+            let bytes: [u8; 8] = payload
+                .try_into()
+                .map_err(|_| WalError::Codec(CodecError("bad repl mark".into())))?;
+            WalRecord::ReplApplied(u64::from_le_bytes(bytes))
+        }
+        TAG_ASSIGN_EPOCH => {
+            if payload.len() != 9 {
+                return Err(WalError::Codec(CodecError("bad assign-epoch mark".into())));
+            }
+            WalRecord::AssignEpoch {
+                epoch: u64::from_le_bytes(payload[..8].try_into().unwrap()),
+                fenced: payload[8] != 0,
+            }
+        }
+        TAG_REPL_BATCH => {
+            let (seq, batch) = decode_repl_batch(payload).map_err(WalError::Codec)?;
+            WalRecord::ReplBatch {
+                seq,
+                records: batch,
+            }
+        }
+        TAG_UPLOAD_TOKEN => {
+            let bad = || WalError::Codec(CodecError("bad upload-token record".into()));
+            if payload.len() < 10 {
+                return Err(bad());
+            }
+            let token_len = u16::from_le_bytes(payload[..2].try_into().unwrap()) as usize;
+            if payload.len() != 2 + token_len + 8 {
+                return Err(bad());
+            }
+            let token = payload[2..2 + token_len].to_vec();
+            let rest = &payload[2 + token_len..];
+            WalRecord::UploadToken {
+                token,
+                stored: u32::from_le_bytes(rest[..4].try_into().unwrap()),
+                annotated: u32::from_le_bytes(rest[4..8].try_into().unwrap()),
+            }
+        }
+        TAG_ACCOUNT_RESET => {
+            if !payload.is_empty() {
+                return Err(WalError::Codec(CodecError(
+                    "bad account-reset record".into(),
+                )));
+            }
+            WalRecord::AccountReset
+        }
+        other => {
+            return Err(WalError::Codec(CodecError(format!(
+                "unknown record tag {other}"
+            ))))
+        }
     };
+    Ok(record)
+}
+
+/// Encodes one record into its on-disk frame (tag, length, CRC, payload).
+fn encode_frame(record: &WalRecord) -> Vec<u8> {
+    let (tag, payload) = encode_record_payload(record);
     let mut frame = Vec::with_capacity(1 + 4 + 4 + payload.len());
     frame.push(tag);
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -215,7 +305,7 @@ fn encode_frame(record: &WalRecord) -> Vec<u8> {
     frame
 }
 
-fn appends_counter() -> Arc<sensorsafe_obsv::Counter> {
+pub(crate) fn appends_counter() -> Arc<sensorsafe_obsv::Counter> {
     sensorsafe_obsv::global().counter(
         "sensorsafe_store_wal_appends_total",
         "Records appended to write-ahead logs.",
@@ -223,7 +313,7 @@ fn appends_counter() -> Arc<sensorsafe_obsv::Counter> {
     )
 }
 
-fn fsync_counter() -> Arc<sensorsafe_obsv::Counter> {
+pub(crate) fn fsync_counter() -> Arc<sensorsafe_obsv::Counter> {
     sensorsafe_obsv::global().counter(
         "sensorsafe_store_wal_fsyncs_total",
         "fsync calls issued by write-ahead logs.",
@@ -330,55 +420,10 @@ impl Wal {
             if crc32(payload) != expected_crc {
                 break; // corrupt record: stop at the valid prefix
             }
-            let record = match tag {
-                TAG_SEGMENT => {
-                    WalRecord::Segment(codec::decode_segment(payload).map_err(WalError::Codec)?)
-                }
-                TAG_ANNOTATION => WalRecord::Annotation(
-                    codec::decode_annotation(payload).map_err(WalError::Codec)?,
-                ),
-                TAG_REPL_APPLIED => {
-                    let bytes: [u8; 8] = payload
-                        .try_into()
-                        .map_err(|_| WalError::Codec(CodecError("bad repl mark".into())))?;
-                    WalRecord::ReplApplied(u64::from_le_bytes(bytes))
-                }
-                TAG_ASSIGN_EPOCH => {
-                    if payload.len() != 9 {
-                        return Err(WalError::Codec(CodecError("bad assign-epoch mark".into())));
-                    }
-                    WalRecord::AssignEpoch {
-                        epoch: u64::from_le_bytes(payload[..8].try_into().unwrap()),
-                        fenced: payload[8] != 0,
-                    }
-                }
-                TAG_REPL_BATCH => {
-                    let (seq, batch) = decode_repl_batch(payload).map_err(WalError::Codec)?;
-                    WalRecord::ReplBatch {
-                        seq,
-                        records: batch,
-                    }
-                }
-                TAG_UPLOAD_TOKEN => {
-                    let bad = || WalError::Codec(CodecError("bad upload-token record".into()));
-                    if payload.len() < 10 {
-                        return Err(bad());
-                    }
-                    let token_len = u16::from_le_bytes(payload[..2].try_into().unwrap()) as usize;
-                    if payload.len() != 2 + token_len + 8 {
-                        return Err(bad());
-                    }
-                    let token = payload[2..2 + token_len].to_vec();
-                    let rest = &payload[2 + token_len..];
-                    WalRecord::UploadToken {
-                        token,
-                        stored: u32::from_le_bytes(rest[..4].try_into().unwrap()),
-                        annotated: u32::from_le_bytes(rest[4..8].try_into().unwrap()),
-                    }
-                }
-                _ => break, // unknown tag: treat as corruption
-            };
-            records.push(record);
+            if !tag_is_known(tag) {
+                break; // unknown tag: treat as corruption
+            }
+            records.push(decode_record_payload(tag, payload)?);
             pos = payload_end;
         }
         Ok((records, pos as u64))
