@@ -684,7 +684,10 @@ impl FleetScraper {
             .name("fleet-scraper".to_string())
             .spawn(move || {
                 while !thread_stop.load(Ordering::Acquire) {
-                    inner.fleet_sweep();
+                    {
+                        let _frame = sensorsafe_obsv::prof_frame!("fleet-sweep");
+                        inner.fleet_sweep();
+                    }
                     // Sleep in short slices so stop() returns promptly
                     // even with long scrape intervals.
                     let mut remaining = interval;

@@ -445,6 +445,7 @@ impl Inner {
         // Snapshot under a brief read lock; the search itself (rule
         // matching over every mirrored contributor) runs lock-free on
         // copy-on-write `Arc`s, so concurrent syncs are never blocked.
+        let _frame = sensorsafe_obsv::prof_frame!("broker-search");
         let snapshot = self.rules.read().snapshot();
         let hits = snapshot.search(&query);
         // Annotate hits whose hosting store the fleet plane currently
@@ -611,7 +612,9 @@ impl BrokerService {
     /// Builds a broker. Returns the service plus its admin key.
     pub fn new(config: BrokerConfig) -> (BrokerService, ApiKey) {
         let traces = TraceRecorder::new(256);
-        traces.set_slow_threshold(config.slow_request_threshold);
+        traces.set_slow_threshold(sensorsafe_obsv::trace::slow_threshold_from_env(
+            config.slow_request_threshold,
+        ));
         let fleet = crate::fleet::FleetPlane::new(config.fleet.clone());
         let inner = Arc::new(Inner {
             config,
@@ -656,6 +659,14 @@ impl BrokerService {
                 },
             );
         }
+        router.get(
+            "/debug/profile",
+            move |req: &Request, _: &sensorsafe_net::Params| sensorsafe_net::profile_response(req),
+        );
+        router.get(
+            "/debug/spans",
+            move |req: &Request, _: &sensorsafe_net::Params| sensorsafe_net::spans_response(req),
+        );
         macro_rules! post_json_route {
             ($path:literal, $method:ident) => {{
                 let inner = inner.clone();

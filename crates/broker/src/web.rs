@@ -316,6 +316,20 @@ fn handle_fleet_page(inner: &Inner, req: &Request) -> Response {
     )
 }
 
+/// `GET /ui/spans` — the broker's continuous span-stats table (profiling
+/// plane), behind a session like the fleet page.
+fn handle_spans_page(inner: &Inner, req: &Request) -> Response {
+    if let Err(resp) = require_session(inner, req) {
+        return resp;
+    }
+    let body = format!(
+        "<p>Per-span timing since process start. Pull folded stacks from \
+         <code>/debug/profile?seconds=5</code> for a flamegraph.</p>\n{}",
+        sensorsafe_net::spans_table_html()
+    );
+    page("Profiling spans", &body)
+}
+
 /// Mounts the broker web UI.
 pub(crate) fn mount(router: &mut Router, inner: Arc<Inner>) {
     router.get("/ui/login", move |_: &Request, _: &Params| {
@@ -343,6 +357,12 @@ pub(crate) fn mount(router: &mut Router, inner: Arc<Inner>) {
         let inner = inner.clone();
         router.get("/ui/fleet", move |req: &Request, _: &Params| {
             handle_fleet_page(&inner, req)
+        });
+    }
+    {
+        let inner = inner.clone();
+        router.get("/ui/spans", move |req: &Request, _: &Params| {
+            handle_spans_page(&inner, req)
         });
     }
     // Quiet the unused-field lint for Value: web handlers only need a

@@ -358,7 +358,10 @@ impl ReplShipper {
             .name("repl-shipper".to_string())
             .spawn(move || {
                 while !thread_stop.load(Ordering::Acquire) {
-                    inner.repl_ship_now();
+                    {
+                        let _frame = sensorsafe_obsv::prof_frame!("repl-ship");
+                        inner.repl_ship_now();
+                    }
                     // Sleep in short slices so stop() returns promptly.
                     let mut remaining = interval;
                     while remaining > Duration::ZERO && !thread_stop.load(Ordering::Acquire) {

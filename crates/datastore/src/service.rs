@@ -1162,7 +1162,9 @@ impl DataStoreService {
             _ => None,
         };
         let traces = TraceRecorder::new(256);
-        traces.set_slow_threshold(config.slow_request_threshold);
+        traces.set_slow_threshold(sensorsafe_obsv::trace::slow_threshold_from_env(
+            config.slow_request_threshold,
+        ));
         let inner = Arc::new(Inner {
             config,
             journal,
@@ -1253,6 +1255,14 @@ impl DataStoreService {
                 },
             );
         }
+        router.get(
+            "/debug/profile",
+            move |req: &Request, _: &sensorsafe_net::Params| sensorsafe_net::profile_response(req),
+        );
+        router.get(
+            "/debug/spans",
+            move |req: &Request, _: &sensorsafe_net::Params| sensorsafe_net::spans_response(req),
+        );
         macro_rules! post_json_route {
             ($path:literal, $method:ident) => {{
                 let inner = inner.clone();

@@ -347,6 +347,25 @@ fn lock_wait_histogram(mode: &str) -> Arc<sensorsafe_obsv::Histogram> {
     )
 }
 
+/// Static stripe-label table: label values are `&str` and 16 stripes is a
+/// closed set, so no per-observation allocation.
+const STRIPE_LABELS: [&str; STRIPES] = [
+    "0", "1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15",
+];
+
+/// Per-stripe lock-wait attribution: when the aggregate
+/// `sensorsafe_datastore_lock_wait_seconds` climbs, this family says
+/// whether the contention is spread evenly or one stripe (one hot
+/// contributor hashing there) is the culprit.
+fn stripe_lock_wait_histogram(stripe: usize, mode: &str) -> Arc<sensorsafe_obsv::Histogram> {
+    sensorsafe_obsv::global().histogram(
+        "sensorsafe_datastore_stripe_lock_wait_seconds",
+        "Time waiting to acquire a contributor account lock, by directory stripe.",
+        &[("mode", mode), ("stripe", STRIPE_LABELS[stripe % STRIPES])],
+        None,
+    )
+}
+
 impl DataStoreState {
     /// Empty state in the default (sharded) mode.
     pub fn new() -> DataStoreState {
@@ -433,11 +452,17 @@ impl DataStoreState {
         // `GlobalLock` mode time blocked on the global lock shows up in
         // the histogram too (that is the contention the sharding kills).
         let waited = Instant::now();
+        // Profiling frame covers the acquisition only, so sampled stacks
+        // separate lock-wait time from time spent holding the lock.
+        let prof = sensorsafe_obsv::prof_frame!("stripe-lock-wait");
         let _global = self.global.as_ref().map(|g| g.read());
         let account = self.lookup(id)?;
         lock_order::acquire_account();
         let guard = RwLock::read_arc(&account);
-        lock_wait_histogram("read").observe(waited.elapsed());
+        drop(prof);
+        let elapsed = waited.elapsed();
+        lock_wait_histogram("read").observe(elapsed);
+        stripe_lock_wait_histogram(stripe_of(id), "read").observe(elapsed);
         Some(ContributorReadGuard { guard, _global })
     }
 
@@ -445,11 +470,15 @@ impl DataStoreState {
     /// and readers of the *same* account are serialized (sharded mode).
     pub fn write_contributor(&self, id: &ContributorId) -> Option<ContributorWriteGuard<'_>> {
         let waited = Instant::now();
+        let prof = sensorsafe_obsv::prof_frame!("stripe-lock-wait");
         let _global = self.global.as_ref().map(|g| g.write());
         let account = self.lookup(id)?;
         lock_order::acquire_account();
         let guard = RwLock::write_arc(&account);
-        lock_wait_histogram("write").observe(waited.elapsed());
+        drop(prof);
+        let elapsed = waited.elapsed();
+        lock_wait_histogram("write").observe(elapsed);
+        stripe_lock_wait_histogram(stripe_of(id), "write").observe(elapsed);
         Some(ContributorWriteGuard { guard, _global })
     }
 

@@ -454,6 +454,20 @@ fn handle_data_page(inner: &Inner, req: &Request) -> Response {
     page(&format!("Data of {username}"), &body)
 }
 
+/// `GET /ui/spans` — the continuous span-stats table (profiling plane),
+/// behind a session like every other UI page.
+fn handle_spans_page(inner: &Inner, req: &Request) -> Response {
+    if let Err(resp) = require_session(inner, req) {
+        return resp;
+    }
+    let body = format!(
+        "<p>Per-span timing since process start. Pull folded stacks from \
+         <code>/debug/profile?seconds=5</code> for a flamegraph.</p>\n{}",
+        sensorsafe_net::spans_table_html()
+    );
+    page("Profiling spans", &body)
+}
+
 /// Mounts the web UI onto the service's router.
 pub(crate) fn mount(router: &mut Router, inner: Arc<Inner>) {
     {
@@ -487,6 +501,12 @@ pub(crate) fn mount(router: &mut Router, inner: Arc<Inner>) {
         let inner = inner.clone();
         router.get("/ui/audit", move |req: &Request, _: &Params| {
             handle_audit_page(&inner, req)
+        });
+    }
+    {
+        let inner = inner.clone();
+        router.get("/ui/spans", move |req: &Request, _: &Params| {
+            handle_spans_page(&inner, req)
         });
     }
 }

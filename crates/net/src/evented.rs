@@ -174,6 +174,15 @@ fn count_shed(reason: &'static str) {
         .inc();
 }
 
+fn handler_queue_gauge() -> Arc<sensorsafe_obsv::Gauge> {
+    sensorsafe_obsv::global().gauge(
+        "sensorsafe_net_handler_queue_depth",
+        "Requests dispatched to the evented servers' handler pool and not \
+         yet picked up by a handler thread.",
+        &[],
+    )
+}
+
 fn open_conns_gauge() -> Arc<sensorsafe_obsv::Gauge> {
     sensorsafe_obsv::global().gauge(
         "sensorsafe_net_open_connections",
@@ -471,6 +480,11 @@ impl Drop for EventedServer {
 
 fn handler_main(rx: Receiver<Job>, service: Arc<dyn Service>) {
     while let Ok(job) = rx.recv() {
+        handler_queue_gauge().add(-1);
+        // Attribute handler time (including the service's own nested
+        // spans) to this pool in the profiling plane; between jobs the
+        // thread samples as `net-handler;(idle)`.
+        let _frame = sensorsafe_obsv::prof_frame!("request-handler");
         let started = Instant::now();
         let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             service.handle(&job.request)
@@ -547,7 +561,13 @@ impl EventLoop {
                 None // fully idle: zero CPU until an accept or the waker
             };
             events.clear();
-            if self.poller.wait(&mut events, timeout).is_err() {
+            let wait_result = {
+                // Attributes the loop's blocked time in sampled profiles
+                // (`net-loop;epoll-wait`) instead of leaving it unlabeled.
+                let _frame = sensorsafe_obsv::prof_frame!("epoll-wait");
+                self.poller.wait(&mut events, timeout)
+            };
+            if wait_result.is_err() {
                 break;
             }
             if self.stop.load(Ordering::SeqCst) {
@@ -728,9 +748,15 @@ impl EventLoop {
                     generation,
                     shared: self.shared.clone(),
                 };
+                // Count the job before sending it: a handler thread can
+                // pick it up (and decrement) the instant try_send
+                // returns, and increment-after-send would let a
+                // concurrent scrape read the gauge below zero.
+                handler_queue_gauge().add(1);
                 match self.job_tx.try_send(job) {
                     Ok(()) => {}
                     Err(TrySendError::Full(job)) | Err(TrySendError::Disconnected(job)) => {
+                        handler_queue_gauge().add(-1);
                         count_shed("handler_queue");
                         drop(job);
                         let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {

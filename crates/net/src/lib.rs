@@ -29,6 +29,7 @@
 //! paper HTTPS wraps this byte stream transparently.
 
 pub mod codec;
+pub mod debug;
 pub mod evented;
 pub mod failover;
 pub mod http;
@@ -39,6 +40,7 @@ mod server;
 pub mod traces;
 mod transport;
 
+pub use debug::{profile_response, spans_response, spans_table_html};
 pub use evented::{EventedConfig, EventedServer};
 pub use failover::{AddrResolver, FailoverTransport, TransportMaker};
 pub use http::{Method, Request, Response, Status, TRACE_HEADER};

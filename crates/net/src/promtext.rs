@@ -5,7 +5,8 @@
 //! of `sensorsafe-obsv`'s `expose` module and accepts the general text
 //! format: `# HELP` / `# TYPE` comment lines, optional label sets with
 //! escaped values (`\\`, `\"`, `\n`), histogram `_bucket`/`_sum`/`_count`
-//! series, `+Inf` bounds, and optional trailing timestamps.
+//! series, `+Inf` bounds, optional trailing timestamps, and (ignored)
+//! OpenMetrics exemplar suffixes.
 //!
 //! Parsing is tolerant by design: a scrape is operational telemetry, so a
 //! malformed line is skipped (and counted) rather than failing the whole
@@ -126,12 +127,20 @@ fn parse_sample_line(line: &str) -> Option<TextSample> {
     };
     let mut fields = rest.split_whitespace();
     let value: f64 = fields.next()?.parse().ok()?;
-    // An optional trailing millisecond timestamp is legal; anything after
-    // that is not.
-    if let Some(ts) = fields.next() {
-        ts.parse::<i64>().ok()?;
-        if fields.next().is_some() {
-            return None;
+    // An optional trailing millisecond timestamp is legal, and an
+    // OpenMetrics exemplar (` # {labels} value [ts]`) may follow the value
+    // or the timestamp — some exporters emit those even on the 0.0.4
+    // content type. Exemplars are accepted and ignored; anything else
+    // after the timestamp is malformed.
+    match fields.next() {
+        None => {}
+        Some("#") => {}
+        Some(ts) => {
+            ts.parse::<i64>().ok()?;
+            match fields.next() {
+                None | Some("#") => {}
+                Some(_) => return None,
+            }
         }
     }
     Some(TextSample {
@@ -266,6 +275,60 @@ also_good_total 2
         let parsed = parse(doc);
         assert_eq!(parsed.samples.len(), 2);
         assert_eq!(parsed.malformed_lines, 4);
+    }
+
+    #[test]
+    fn non_finite_values_parse_to_ieee() {
+        let doc = "\
+ratio_nan NaN
+ratio_pinf +Inf
+ratio_ninf -Inf
+ratio_ts NaN 1712345678901
+";
+        let parsed = parse(doc);
+        assert_eq!(parsed.malformed_lines, 0);
+        assert!(parsed.first("ratio_nan").unwrap().value.is_nan());
+        assert_eq!(parsed.first("ratio_pinf").unwrap().value, f64::INFINITY);
+        assert_eq!(parsed.first("ratio_ninf").unwrap().value, f64::NEG_INFINITY);
+        assert!(parsed.first("ratio_ts").unwrap().value.is_nan());
+    }
+
+    #[test]
+    fn exemplar_suffixes_are_accepted_and_ignored() {
+        // (line, expect_ok, expected value when ok)
+        let table: &[(&str, bool, f64)] = &[
+            // Exemplar straight after the value.
+            ("req_total 7 # {trace_id=\"abc\"} 1.5", true, 7.0),
+            // Exemplar after a timestamp.
+            (
+                "req_total 7 1712345678901 # {trace_id=\"abc\"} 1.5 1712345678901",
+                true,
+                7.0,
+            ),
+            // Exemplar with no exemplar-labels section.
+            ("lat_bucket{le=\"0.5\"} 3 # 0.42", true, 3.0),
+            // Non-finite sample value plus exemplar.
+            ("odd_ratio +Inf # {span=\"x\"} 2", true, f64::INFINITY),
+            // '#' glued to the value is not a number, not an exemplar.
+            ("req_total 7# {t=\"a\"} 1", false, 0.0),
+            // Junk after a timestamp is still malformed.
+            ("req_total 7 1712345678901 junk", false, 0.0),
+        ];
+        for &(line, expect_ok, expected) in table {
+            let parsed = parse(line);
+            if expect_ok {
+                assert_eq!(parsed.malformed_lines, 0, "line: {line}");
+                assert_eq!(parsed.samples.len(), 1, "line: {line}");
+                let got = parsed.samples[0].value;
+                assert!(
+                    got == expected || (got.is_nan() && expected.is_nan()),
+                    "line: {line}, got {got}"
+                );
+            } else {
+                assert_eq!(parsed.malformed_lines, 1, "line: {line}");
+                assert!(parsed.samples.is_empty(), "line: {line}");
+            }
+        }
     }
 
     #[test]

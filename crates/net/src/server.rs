@@ -185,12 +185,13 @@ impl ThreadPoolServer {
         let (tx, rx) = bounded::<TcpStream>(1024);
         let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
         let mut worker_handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
+        for i in 0..workers {
             let rx = rx.clone();
             let service = service.clone();
             let conns = conns.clone();
             let stop = stop.clone();
-            worker_handles.push(std::thread::spawn(move || {
+            let thread = std::thread::Builder::new().name(format!("net-worker-{i}"));
+            worker_handles.push(thread.spawn(move || {
                 while let Ok(stream) = rx.recv() {
                     if stop.load(Ordering::Relaxed) {
                         break;
@@ -204,7 +205,7 @@ impl ThreadPoolServer {
                     }
                     serve_connection(stream, service.as_ref());
                 }
-            }));
+            })?);
         }
         let acceptor_stop = stop.clone();
         let acceptor_tx = tx.clone();
@@ -345,9 +346,13 @@ fn serve_loop(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, service
                 let close = request
                     .header("connection")
                     .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+                // Same frame name as the evented handler pool, so profiles
+                // compare across server modes.
+                let frame = sensorsafe_obsv::prof_frame!("request-handler");
                 let started = std::time::Instant::now();
                 let response = service.handle(&request);
                 record_request(started.elapsed(), response.status);
+                drop(frame);
                 if write_response(writer, &response).is_err() {
                     return;
                 }

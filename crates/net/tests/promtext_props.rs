@@ -1,0 +1,120 @@
+//! Property-based tests for the Prometheus text parser: the edge cases
+//! the fleet scraper can hit in the wild — label values needing escapes,
+//! non-finite sample values, timestamps, and OpenMetrics exemplar
+//! suffixes — all parse back exactly and never panic.
+
+use proptest::prelude::*;
+use sensorsafe_net::promtext::parse;
+
+fn arb_label_key() -> impl Strategy<Value = String> {
+    "[a-z_][a-z0-9_]{0,8}"
+}
+
+/// Label values with the characters the exposition format must escape
+/// (`\`, `"`, newline) mixed into ordinary text.
+fn arb_label_value() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop_oneof![
+            "[a-zA-Z0-9 .:/+-]".prop_map(|s: String| s),
+            Just("\\".to_string()),
+            Just("\"".to_string()),
+            Just("\n".to_string()),
+        ],
+        0..12,
+    )
+    .prop_map(|parts| parts.concat())
+}
+
+fn escape_label_value(raw: &str) -> String {
+    let mut out = String::new();
+    for c in raw.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Sample values as (wire spelling, expected f64), covering the IEEE
+/// spellings the 0.0.4 format allows.
+fn arb_value() -> impl Strategy<Value = (String, f64)> {
+    prop_oneof![
+        any::<i32>().prop_map(|n| (n.to_string(), n as f64)),
+        (-1.0e9f64..1.0e9).prop_map(|f| (format!("{f:?}"), f)),
+        Just(("NaN".to_string(), f64::NAN)),
+        Just(("+Inf".to_string(), f64::INFINITY)),
+        Just(("-Inf".to_string(), f64::NEG_INFINITY)),
+    ]
+}
+
+/// Optional suffix after the value: nothing, a timestamp, an exemplar, or
+/// a timestamp followed by an exemplar. All must parse; exemplars are
+/// ignored.
+fn arb_suffix() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        any::<i64>().prop_map(|ts| format!(" {ts}")),
+        Just(" # {trace_id=\"abc123\"} 0.5".to_string()),
+        any::<i64>().prop_map(|ts| format!(" {ts} # {{trace_id=\"abc123\"}} 0.5 {ts}")),
+    ]
+}
+
+proptest! {
+    /// A well-formed sample line with escaped labels, any legal value
+    /// spelling, and any legal suffix parses to exactly one sample with
+    /// the labels and value intact.
+    #[test]
+    fn escaped_labels_and_odd_values_roundtrip(
+        labels in prop::collection::btree_map(arb_label_key(), arb_label_value(), 0..4),
+        (value_repr, expected) in arb_value(),
+        suffix in arb_suffix(),
+    ) {
+        let mut line = String::from("scrape_props_total");
+        if !labels.is_empty() {
+            line.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                line.push_str(&format!("{k}=\"{}\"", escape_label_value(v)));
+            }
+            line.push('}');
+        }
+        line.push(' ');
+        line.push_str(&value_repr);
+        line.push_str(&suffix);
+        line.push('\n');
+
+        let parsed = parse(&line);
+        prop_assert_eq!(parsed.malformed_lines, 0, "line: {:?}", line);
+        prop_assert_eq!(parsed.samples.len(), 1);
+        let sample = &parsed.samples[0];
+        prop_assert_eq!(sample.name.as_str(), "scrape_props_total");
+        prop_assert!(
+            sample.value == expected || (sample.value.is_nan() && expected.is_nan()),
+            "value {:?} parsed to {}", value_repr, sample.value
+        );
+        prop_assert_eq!(sample.labels.len(), labels.len());
+        for (k, v) in &labels {
+            prop_assert_eq!(sample.label(k), Some(v.as_str()), "label {}", k);
+        }
+    }
+
+    /// The parser is total: arbitrary text never panics, and every line is
+    /// either a sample or counted malformed (comments/blanks aside).
+    #[test]
+    fn parser_total_on_arbitrary_text(text in "[ -~\n\t\"\\\\{}#]{0,256}") {
+        let parsed = parse(&text);
+        let candidate_lines = text
+            .lines()
+            .filter(|l| {
+                let t = l.trim();
+                !t.is_empty() && !t.starts_with('#')
+            })
+            .count();
+        prop_assert!(parsed.samples.len() + parsed.malformed_lines <= candidate_lines);
+    }
+}

@@ -22,6 +22,12 @@
 //!   append-only ledger of enforcement decisions whose `verify_frames`
 //!   detects any in-place tampering or truncation. File persistence lives
 //!   in the `store` crate (`FileLedger`).
+//! * [`prof`] — continuous profiling plane: a lock-free span-stack flight
+//!   recorder mirrored per thread, a wall-clock sampler folding every
+//!   registered stack into flamegraph-compatible counts (served at
+//!   `GET /debug/profile`), and an incremental span-stats table
+//!   (`/debug/spans`). Request spans from [`trace`] register frames
+//!   automatically; worker loops add explicit frames via `prof_frame!`.
 //! * [`timeseries`] — fixed-capacity retention for scraped fleet metrics:
 //!   per-series ring buffers with counter-reset-aware delta/rate and
 //!   windowed-quantile helpers, allocation-free on the push path.
@@ -48,6 +54,7 @@ pub mod audit;
 pub mod expose;
 pub mod ledger;
 pub mod metrics;
+pub mod prof;
 pub mod slo;
 pub mod timeseries;
 pub mod trace;
@@ -56,6 +63,7 @@ pub use ledger::{AuditLedger, ChainHead, DecisionRecord, LedgerError, MemoryLedg
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, Registry, DEFAULT_LATENCY_BUCKETS,
 };
+pub use prof::{ProfGuard, SpanStat};
 pub use slo::{Evaluation, Measurement, Objective, ObjectiveKind};
 pub use timeseries::{Sample, SeriesRing, SeriesTable};
 pub use trace::{Phase, SpanGuard, Trace, TraceContext, TraceRecorder};

@@ -139,11 +139,10 @@ pub fn phase(name: &'static str) {
     SPAN_STACK.with(|stack| {
         if let Some(span) = stack.borrow_mut().last_mut() {
             let now = Instant::now();
-            span.phases.push(Phase {
-                name,
-                elapsed: now - span.last_mark,
-            });
+            let elapsed = now - span.last_mark;
+            span.phases.push(Phase { name, elapsed });
             span.last_mark = now;
+            crate::prof::record_phase(name, elapsed);
         }
     });
 }
@@ -240,6 +239,10 @@ impl TraceRecorder {
             None => (next_id(), 0),
         };
         let span_id = next_id();
+        let name = name.into();
+        // Mirror the span as a profiling frame so the wall-clock sampler
+        // attributes this thread's time to the request while it is active.
+        let prof = crate::prof::enter(&name);
         let started = Instant::now();
         SPAN_STACK.with(|stack| {
             stack.borrow_mut().push(ActiveSpan {
@@ -252,11 +255,12 @@ impl TraceRecorder {
         SpanGuard {
             state: Some(SpanState {
                 recorder: self.clone(),
-                name: name.into(),
+                name,
                 trace_id,
                 span_id,
                 parent_span_id,
                 started,
+                _prof: prof,
             }),
         }
     }
@@ -297,29 +301,58 @@ impl TraceRecorder {
     }
 }
 
+/// Resolves the effective slow-request threshold: the
+/// `SENSORSAFE_SLOW_REQ_MS` environment variable overrides the configured
+/// value at startup (a parseable millisecond count; `0` disables capture),
+/// anything unset or malformed falls back to `configured`. Lets operators
+/// retune capture on a deployed binary without a config change.
+pub fn slow_threshold_from_env(configured: Option<Duration>) -> Option<Duration> {
+    match std::env::var("SENSORSAFE_SLOW_REQ_MS") {
+        Ok(raw) => match raw.trim().parse::<u64>() {
+            Ok(0) => None,
+            Ok(ms) => Some(Duration::from_millis(ms)),
+            Err(_) => configured,
+        },
+        Err(_) => configured,
+    }
+}
+
 /// One structured log line for a slow request (obsv has no JSON dependency,
 /// and the fields — hex ids, static phase names, a route pattern — need
-/// only string escaping).
+/// only string escaping). Each phase carries its share of the total
+/// (`pct`), and `unattributed_ms` is the tail no [`phase`] call claimed —
+/// the first place to look when a slow request's phases all look fast.
 fn slow_request_json(trace: &Trace) -> String {
+    let total_ms = trace.total.as_secs_f64() * 1e3;
     let mut phases = String::new();
+    let mut attributed_ms = 0.0;
     for (i, p) in trace.phases.iter().enumerate() {
         if i > 0 {
             phases.push(',');
         }
+        let phase_ms = p.elapsed.as_secs_f64() * 1e3;
+        attributed_ms += phase_ms;
+        let pct = if total_ms > 0.0 {
+            (phase_ms / total_ms * 100.0).min(100.0)
+        } else {
+            0.0
+        };
         phases.push_str(&format!(
-            "{{\"name\":\"{}\",\"ms\":{:.3}}}",
+            "{{\"name\":\"{}\",\"ms\":{:.3},\"pct\":{:.1}}}",
             escape_json(p.name),
-            p.elapsed.as_secs_f64() * 1e3
+            phase_ms,
+            pct
         ));
     }
     format!(
-        "{{\"slow_request\":{{\"name\":\"{}\",\"trace_id\":\"{:016x}\",\"span_id\":\"{:016x}\",\"parent_span_id\":\"{:016x}\",\"total_ms\":{:.3},\"completed_unix_ms\":{},\"phases\":[{}]}}}}",
+        "{{\"slow_request\":{{\"name\":\"{}\",\"trace_id\":\"{:016x}\",\"span_id\":\"{:016x}\",\"parent_span_id\":\"{:016x}\",\"total_ms\":{:.3},\"completed_unix_ms\":{},\"unattributed_ms\":{:.3},\"phases\":[{}]}}}}",
         escape_json(&trace.name),
         trace.trace_id,
         trace.span_id,
         trace.parent_span_id,
-        trace.total.as_secs_f64() * 1e3,
+        total_ms,
         trace.completed_unix_ms,
+        (total_ms - attributed_ms).max(0.0),
         phases
     )
 }
@@ -344,6 +377,8 @@ struct SpanState {
     span_id: u64,
     parent_span_id: u64,
     started: Instant,
+    /// Closes the mirrored profiling frame when the span ends.
+    _prof: crate::prof::ProfGuard,
 }
 
 /// RAII guard for an active span.
@@ -626,6 +661,35 @@ mod tests {
         assert!(line.starts_with("{\"slow_request\":{"));
         assert!(line.contains("\"trace_id\":\"00000000000000ab\""));
         assert!(line.contains("\"name\":\"GET /\\\"odd\\\"\""));
-        assert!(line.contains("\"phases\":[{\"name\":\"auth\",\"ms\":1.500}]"));
+        // Phase breakdown carries both absolute time and share of total.
+        assert!(line.contains("\"phases\":[{\"name\":\"auth\",\"ms\":1.500,\"pct\":12.5}]"));
+        // 12ms total − 1.5ms attributed = 10.5ms unexplained.
+        assert!(line.contains("\"unattributed_ms\":10.500"));
+    }
+
+    #[test]
+    fn slow_threshold_env_override() {
+        let configured = Some(Duration::from_millis(250));
+        // Unset: configured value passes through.
+        std::env::remove_var("SENSORSAFE_SLOW_REQ_MS");
+        assert_eq!(slow_threshold_from_env(configured), configured);
+        assert_eq!(slow_threshold_from_env(None), None);
+        // Set: env wins over config.
+        std::env::set_var("SENSORSAFE_SLOW_REQ_MS", "40");
+        assert_eq!(
+            slow_threshold_from_env(configured),
+            Some(Duration::from_millis(40))
+        );
+        assert_eq!(
+            slow_threshold_from_env(None),
+            Some(Duration::from_millis(40))
+        );
+        // Zero disables capture outright.
+        std::env::set_var("SENSORSAFE_SLOW_REQ_MS", "0");
+        assert_eq!(slow_threshold_from_env(configured), None);
+        // Garbage falls back to the configured value.
+        std::env::set_var("SENSORSAFE_SLOW_REQ_MS", "soon");
+        assert_eq!(slow_threshold_from_env(configured), configured);
+        std::env::remove_var("SENSORSAFE_SLOW_REQ_MS");
     }
 }

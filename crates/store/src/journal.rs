@@ -603,6 +603,7 @@ impl StoreJournal {
         body[name_end..name_end + 8].copy_from_slice(&aseq.to_le_bytes());
         state.staged_seq += 1;
         state.staged_count += 1;
+        commit_queue_gauge().set(state.staged_count as i64);
         let seq = state.staged_seq;
         state
             .buf
@@ -737,11 +738,25 @@ fn wait_durable(inner: &JournalInner, seq: u64) -> Result<(), WalError> {
     }
 }
 
+/// Staged records not yet taken by the commit thread. Sampled at stage
+/// and batch-take time; a persistently high value means the commit thread
+/// (write + fsync) is the bottleneck, not the stagers.
+fn commit_queue_gauge() -> std::sync::Arc<sensorsafe_obsv::Gauge> {
+    sensorsafe_obsv::global().gauge(
+        "sensorsafe_journal_commit_queue_depth",
+        "Records staged in the store journal awaiting the commit thread.",
+        &[],
+    )
+}
+
 /// The commit thread: gather staged frames across accounts, retire each
 /// batch with one write + fsync, rotate when the active segment fills.
 fn commit_loop(inner: Arc<JournalInner>, mut active: ActiveSegment) {
     loop {
         let (batch, upto, records) = {
+            // Waiting for (and gathering) work; distinguishes idle/gather
+            // time from write+fsync time in sampled profiles.
+            let _gather = sensorsafe_obsv::prof_frame!("journal-gather");
             let mut state = inner.state.lock().expect("journal state poisoned");
             loop {
                 if state.staged_count > 0 || state.flush_requested {
@@ -778,6 +793,7 @@ fn commit_loop(inner: Arc<JournalInner>, mut active: ActiveSegment) {
             let batch = std::mem::take(&mut state.buf);
             let records = state.staged_count;
             state.staged_count = 0;
+            commit_queue_gauge().set(0);
             state.flush_requested = false;
             (batch, state.staged_seq, records)
         };
@@ -787,6 +803,18 @@ fn commit_loop(inner: Arc<JournalInner>, mut active: ActiveSegment) {
             inner.done.notify_all();
             continue;
         }
+        // How full the gathering window ran: near 1.0 means max_batch is
+        // the binding constraint, near 0 means commits retire singletons
+        // (max_delay too short or traffic too thin to batch).
+        sensorsafe_obsv::global()
+            .histogram(
+                "sensorsafe_journal_gather_occupancy_ratio",
+                "Fraction of max_batch filled per journal commit batch.",
+                &[],
+                Some(&[0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0]),
+            )
+            .observe_secs(records as f64 / inner.config.commit.max_batch.max(1) as f64);
+        let _commit = sensorsafe_obsv::prof_frame!("journal-commit");
         let wrote = active.write_batch(&batch, records);
         let mut state = inner.state.lock().expect("journal state poisoned");
         let mut rotate = false;
@@ -836,6 +864,7 @@ fn checkpoint_loop(inner: Arc<JournalInner>) {
             }
             state.checkpoint_requested = false;
         }
+        let _frame = sensorsafe_obsv::prof_frame!("journal-checkpoint");
         if let Err(e) = do_checkpoint(&inner) {
             // A failed checkpoint endangers no acked data (the segments
             // it would have covered stay on disk); surface and retry at
