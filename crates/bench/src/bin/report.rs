@@ -881,6 +881,57 @@ fn o3_profiler_overhead_table() {
     println!();
 }
 
+fn o4_awareness_overhead_table() {
+    println!("== O4: awareness-aggregator overhead on the mixed workload ==");
+    println!(
+        "environment: {} CPU(s) visible to this process",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    // Same interleaved best-of-round estimator as O1-O3. The awareness
+    // plane hangs off the store, so the kill switch is flipped on the
+    // workload's own instance between timed runs; every consumer query
+    // in the C1 mix funnels one decision through `record_decision`,
+    // which is exactly the aggregation path being priced.
+    let configs: [(&str, bool); 2] = [
+        ("awareness plane disabled", false),
+        ("awareness plane enabled (default)", true),
+    ];
+    let threads = 4;
+    let ops = 600;
+    let workload = mixed_workload(LockMode::Sharded, 8);
+    run_mixed_traffic(&workload, threads, 40); // warm-up, discarded
+
+    const ROUNDS: usize = 8;
+    let mut best = [0.0f64; 2];
+    for round in 0..=ROUNDS {
+        for (i, (_, enabled)) in configs.iter().enumerate() {
+            workload.store.awareness().set_enabled(*enabled);
+            let elapsed = run_mixed_traffic(&workload, threads, ops);
+            let rate = (threads * ops) as f64 / elapsed.as_secs_f64();
+            // Round 0 is warm-up (allocator, map growth) and discarded.
+            if round > 0 && rate > best[i] {
+                best[i] = rate;
+            }
+        }
+    }
+    workload.store.awareness().set_enabled(true);
+
+    for (i, (label, _)) in configs.iter().enumerate() {
+        let overhead = (best[0] - best[i]) / best[0] * 100.0;
+        println!(
+            "{label:<40} {:>10.0} req/s (best of {ROUNDS}, {overhead:+.2}% vs disabled)",
+            best[i]
+        );
+    }
+    let overhead = (best[0] - best[1]) / best[0] * 100.0;
+    println!("--> awareness aggregation overhead: {overhead:+.2}% (budget: <5%)");
+    println!(
+        "    {} decisions aggregated on the workload store",
+        workload.store.awareness().aggregates().total().total()
+    );
+    println!();
+}
+
 fn obsv_metrics_snapshot(store: &sensorsafe_core::datastore::DataStoreService) {
     println!("== OBSV: metrics snapshot after the runs above ==");
     // Per-instance (datastore) families first, then the process-wide
@@ -917,6 +968,12 @@ fn main() {
         o3_profiler_overhead_table();
         return;
     }
+    // `report o4` runs the awareness overhead sweep alone — the section
+    // EXPERIMENTS.md O4 and the OPERATIONS.md runbook reference.
+    if args.get(1).map(String::as_str) == Some("o4") {
+        o4_awareness_overhead_table();
+        return;
+    }
 
     f5_storage_table();
     a1_merge_table();
@@ -930,6 +987,7 @@ fn main() {
     obsv_overhead_table();
     fleet_scrape_overhead_table();
     o3_profiler_overhead_table();
+    o4_awareness_overhead_table();
 
     // Re-run one instrumented flow so the snapshot shows every family.
     let mut deployment = Deployment::in_process();

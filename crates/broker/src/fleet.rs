@@ -313,6 +313,39 @@ fn key_wal_fsyncs(addr: &str) -> String {
 fn key_durable_uploads(addr: &str) -> String {
     format!("{addr}|durable_uploads")
 }
+fn key_decisions(addr: &str, outcome: &str) -> String {
+    format!("{addr}|decisions|{outcome}")
+}
+fn key_baseline_decisions(addr: &str) -> String {
+    format!("{addr}|baseline_decisions")
+}
+fn key_rule_hits(addr: &str) -> String {
+    format!("{addr}|rule_hits")
+}
+fn key_dead_rules(addr: &str) -> String {
+    format!("{addr}|dead_rules")
+}
+
+/// The decision outcomes the privacy rollup tracks, in display order.
+const PRIVACY_OUTCOMES: [&str; 3] = ["allowed", "abstracted", "denied"];
+
+/// Deterministic per-store probe offset within one sweep interval:
+/// FNV-1a over the store address, reduced modulo the interval. Stores
+/// registered to the same broker land at different phases of the sweep
+/// instead of being probed in lockstep at every tick (a thundering herd
+/// on the fleet's `/metrics` endpoints when N is large). Derived purely
+/// from the address so the offset is stable across broker restarts.
+pub(crate) fn store_jitter(addr: &str, interval: Duration) -> Duration {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in addr.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let span = interval.as_millis().min(u128::from(u64::MAX)) as u64;
+    if span == 0 {
+        return Duration::ZERO;
+    }
+    Duration::from_millis(h % span)
+}
 
 impl Inner {
     /// Seconds on the broker's monotonic clock (time since start) — the
@@ -324,16 +357,34 @@ impl Inner {
     /// One full sweep of every registered store: probe `/healthz`,
     /// scrape `/metrics`, ingest samples, advance each store's state
     /// machine, evaluate SLOs, and refresh the fleet gauges. Runs on the
-    /// scraper thread, but callable directly for deterministic tests.
+    /// scraper thread, but callable directly for deterministic tests
+    /// (this path never sleeps — see [`Inner::fleet_sweep_paced`]).
     pub(crate) fn fleet_sweep(&self) {
+        self.fleet_sweep_paced(&mut |_| {});
+    }
+
+    /// A sweep with a caller-supplied pacing hook. Stores are visited in
+    /// [`store_jitter`] order and the hook is handed each store's
+    /// deterministic offset before its probe; the scraper thread sleeps
+    /// up to that offset so N stores are spread across the interval
+    /// instead of being probed in lockstep at every tick. Tests and the
+    /// `/fleet/sweep` admin path pass a no-op hook.
+    pub(crate) fn fleet_sweep_paced(&self, pace: &mut dyn FnMut(Duration)) {
         // One trace context per sweep: the span makes the sweep's
         // outbound probes carry this trace id to every store, so a sweep
         // is followable across the fleet via /traces.
         let _span = self.traces.begin_ctx("fleet sweep", None);
         let ctx = sensorsafe_obsv::trace::current_context();
-        let now = self.fleet_now_secs();
+        let interval = self.fleet.config.scrape_interval;
         let addrs = self.registry.store_addrs();
-        for addr in &addrs {
+        let mut scheduled: Vec<(Duration, &String)> = addrs
+            .iter()
+            .map(|addr| (store_jitter(addr, interval), addr))
+            .collect();
+        scheduled.sort();
+        for (offset, addr) in scheduled {
+            pace(offset);
+            let now = self.fleet_now_secs();
             let started = std::time::Instant::now();
             let probe = self.probe_store(addr, ctx);
             self.metrics
@@ -346,7 +397,7 @@ impl Inner {
                 .observe(started.elapsed());
             self.ingest_probe(addr, now, probe);
         }
-        self.evaluate_fleet(now, &addrs);
+        self.evaluate_fleet(self.fleet_now_secs(), &addrs);
         // Failover rides the sweep: promotions act on the verdicts the
         // health machines just reached.
         self.failover_sweep();
@@ -417,6 +468,10 @@ impl Inner {
                 let mut req_buckets: BTreeMap<String, f64> = BTreeMap::new();
                 let mut wal_fsyncs: Option<f64> = None;
                 let mut uploads: Option<f64> = None;
+                let mut decisions: BTreeMap<String, f64> = BTreeMap::new();
+                let mut baseline: Option<f64> = None;
+                let mut rule_hits: Option<f64> = None;
+                let mut dead_rules: Option<f64> = None;
                 for sample in &scrape.samples {
                     match sample.name.as_str() {
                         "sensorsafe_datastore_request_seconds_bucket" => {
@@ -433,6 +488,23 @@ impl Inner {
                         "sensorsafe_datastore_durable_uploads_total" => {
                             uploads = Some(uploads.unwrap_or(0.0) + sample.value);
                         }
+                        // The privacy-posture families from the store's
+                        // sharing-awareness plane.
+                        "sensorsafe_policy_decision_outcomes_total" => {
+                            if let Some(outcome) = sample.label("outcome") {
+                                *decisions.entry(outcome.to_string()).or_insert(0.0) +=
+                                    sample.value;
+                            }
+                        }
+                        "sensorsafe_policy_baseline_decisions_total" => {
+                            baseline = Some(baseline.unwrap_or(0.0) + sample.value);
+                        }
+                        "sensorsafe_policy_rule_hits_total" => {
+                            rule_hits = Some(rule_hits.unwrap_or(0.0) + sample.value);
+                        }
+                        "sensorsafe_policy_dead_rules" => {
+                            dead_rules = Some(dead_rules.unwrap_or(0.0) + sample.value);
+                        }
                         _ => {}
                     }
                 }
@@ -445,6 +517,18 @@ impl Inner {
                 }
                 if let Some(v) = uploads {
                     series.push(&key_durable_uploads(addr), now, v);
+                }
+                for (outcome, cum) in decisions {
+                    series.push(&key_decisions(addr, &outcome), now, cum);
+                }
+                if let Some(v) = baseline {
+                    series.push(&key_baseline_decisions(addr), now, v);
+                }
+                if let Some(v) = rule_hits {
+                    series.push(&key_rule_hits(addr), now, v);
+                }
+                if let Some(v) = dead_rules {
+                    series.push(&key_dead_rules(addr), now, v);
                 }
             }
             self.metrics
@@ -597,10 +681,64 @@ impl Inner {
         }
     }
 
+    /// Fleet-wide privacy-posture rollup from the retained awareness
+    /// families: decision totals and per-second rates by outcome, the
+    /// denial ratio, baseline-only decision volume, and the dead-rule
+    /// count summed across every store.
+    fn privacy_rollup(&self, now: f64, addrs: &[String]) -> Value {
+        let window = self.fleet.config.availability.window_secs;
+        let series = self.fleet.series.lock();
+        let mut totals = BTreeMap::new();
+        let mut rates = BTreeMap::new();
+        for outcome in PRIVACY_OUTCOMES {
+            let mut total = 0.0;
+            let mut rate = 0.0;
+            for addr in addrs {
+                if let Some(ring) = series.get(&key_decisions(addr, outcome)) {
+                    total += ring.latest().map(|s| s.value).unwrap_or(0.0);
+                    rate += ring.rate(now, window).unwrap_or(0.0);
+                }
+            }
+            totals.insert(outcome, total);
+            rates.insert(outcome, rate);
+        }
+        let sum = |keys: &BTreeMap<&str, f64>| keys.values().sum::<f64>();
+        let all = sum(&totals);
+        // fold from +0.0: f64's `Sum` identity is -0.0, which would
+        // serialize an absent family as "-0.0" in the JSON.
+        let latest_sum = |key: &dyn Fn(&str) -> String| {
+            addrs
+                .iter()
+                .filter_map(|a| series.get(&key(a)))
+                .filter_map(|r| r.latest())
+                .fold(0.0, |acc, s| acc + s.value)
+        };
+        json!({
+            "window_secs": (window),
+            "decisions": {
+                "allowed": (totals["allowed"]),
+                "abstracted": (totals["abstracted"]),
+                "denied": (totals["denied"]),
+                "total": (all),
+            },
+            "decisions_per_sec": {
+                "allowed": (rates["allowed"]),
+                "abstracted": (rates["abstracted"]),
+                "denied": (rates["denied"]),
+                "total": (sum(&rates)),
+            },
+            "denial_ratio": (if all > 0.0 { totals["denied"] / all } else { 0.0 }),
+            "baseline_decisions": (latest_sum(&|a: &str| key_baseline_decisions(a))),
+            "rule_hits": (latest_sum(&|a: &str| key_rule_hits(a))),
+            "dead_rules": (latest_sum(&|a: &str| key_dead_rules(a))),
+        })
+    }
+
     /// `GET /fleet`: the whole plane as JSON.
     pub(crate) fn handle_fleet(&self) -> Response {
         let now = self.fleet_now_secs();
         let config = &self.fleet.config;
+        let privacy = self.privacy_rollup(now, &self.registry.store_addrs());
         let stores = self.fleet.stores.lock();
         let mut store_entries = Vec::new();
         let mut alerts = Vec::new();
@@ -663,6 +801,7 @@ impl Inner {
             "stores": (Value::Array(store_entries)),
             "alerts": (Value::Array(alerts)),
             "failovers": (Value::Array(failovers)),
+            "privacy": (privacy),
         }))
     }
 }
@@ -684,13 +823,25 @@ impl FleetScraper {
             .name("fleet-scraper".to_string())
             .spawn(move || {
                 while !thread_stop.load(Ordering::Acquire) {
+                    let sweep_started = std::time::Instant::now();
                     {
                         let _frame = sensorsafe_obsv::prof_frame!("fleet-sweep");
-                        inner.fleet_sweep();
+                        let stop = &thread_stop;
+                        // Hold each store's probe to its deterministic
+                        // jitter offset within the sweep (sliced sleeps
+                        // so stop() still returns promptly).
+                        inner.fleet_sweep_paced(&mut |offset| loop {
+                            let elapsed = sweep_started.elapsed();
+                            if elapsed >= offset || stop.load(Ordering::Acquire) {
+                                break;
+                            }
+                            std::thread::sleep((offset - elapsed).min(Duration::from_millis(20)));
+                        });
                     }
-                    // Sleep in short slices so stop() returns promptly
-                    // even with long scrape intervals.
-                    let mut remaining = interval;
+                    // Sleep out the rest of the interval in short slices
+                    // so stop() returns promptly even with long scrape
+                    // intervals.
+                    let mut remaining = interval.saturating_sub(sweep_started.elapsed());
                     while remaining > Duration::ZERO && !thread_stop.load(Ordering::Acquire) {
                         let slice = remaining.min(Duration::from_millis(20));
                         std::thread::sleep(slice);
@@ -783,6 +934,26 @@ mod tests {
         m.observe(ProbeOutcome::Failure, &cfg);
         m.observe(ProbeOutcome::Failure, &cfg);
         assert_eq!(m.state, StoreHealth::Degraded);
+    }
+
+    #[test]
+    fn store_jitter_is_deterministic_bounded_and_spread() {
+        let interval = Duration::from_secs(5);
+        // Deterministic: same address, same offset, every time.
+        let a = store_jitter("127.0.0.1:7001", interval);
+        assert_eq!(a, store_jitter("127.0.0.1:7001", interval));
+        // Bounded: always strictly inside the sweep interval.
+        for i in 0..64 {
+            assert!(store_jitter(&format!("10.0.0.{i}:7000"), interval) < interval);
+        }
+        // Spread: sibling addresses land at distinct phases rather than
+        // in lockstep.
+        let offsets: std::collections::BTreeSet<_> = (0..8)
+            .map(|i| store_jitter(&format!("10.0.0.{i}:7000"), interval))
+            .collect();
+        assert!(offsets.len() >= 6, "poor spread: {offsets:?}");
+        // Degenerate interval: no panic, no offset.
+        assert_eq!(store_jitter("x", Duration::ZERO), Duration::ZERO);
     }
 
     #[test]

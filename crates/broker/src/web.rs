@@ -304,12 +304,37 @@ fn handle_fleet_page(inner: &Inner, req: &Request) -> Response {
     } else {
         format!("<h2>Failovers</h2><ul id=\"failovers\">{failovers}</ul>")
     };
+    // Fleet-wide privacy posture from the scraped awareness families.
+    let privacy = &fleet["privacy"];
+    let outcome = |k: &str| privacy["decisions"][k].as_f64().unwrap_or(0.0);
+    let rate = |k: &str| privacy["decisions_per_sec"][k].as_f64().unwrap_or(0.0);
+    let privacy_block = format!(
+        "<h2>Privacy posture</h2>\
+         <table id=\"privacy\">\
+         <tr><th>Outcome</th><th>Decisions</th><th>Per second</th></tr>\
+         <tr><td>allowed</td><td>{a:.0}</td><td>{ar:.3}</td></tr>\
+         <tr><td>abstracted</td><td>{b:.0}</td><td>{br:.3}</td></tr>\
+         <tr><td>denied</td><td>{d:.0}</td><td>{dr:.3}</td></tr>\
+         </table>\
+         <p>Denial ratio {ratio:.3}; {baseline:.0} decision(s) matched no rule; \
+         {dead:.0} dead rule(s) fleet-wide.</p>",
+        a = outcome("allowed"),
+        ar = rate("allowed"),
+        b = outcome("abstracted"),
+        br = rate("abstracted"),
+        d = outcome("denied"),
+        dr = rate("denied"),
+        ratio = privacy["denial_ratio"].as_f64().unwrap_or(0.0),
+        baseline = privacy["baseline_decisions"].as_f64().unwrap_or(0.0),
+        dead = privacy["dead_rules"].as_f64().unwrap_or(0.0),
+    );
     page(
         "Fleet Health",
         &format!(
             "<p>{sweeps} sweep(s), {series} series retained.</p>{alert_block}{failover_block}\
              <table id=\"fleet\"><tr><th>Store</th><th>Health</th><th>Healthz</th>\
-             <th>p99</th><th>Failures</th><th>Staleness</th><th>SLO</th></tr>{rows}</table>",
+             <th>p99</th><th>Failures</th><th>Staleness</th><th>SLO</th></tr>{rows}</table>\
+             {privacy_block}",
             sweeps = fleet["sweeps"].as_u64().unwrap_or(0),
             series = fleet["series_retained"].as_u64().unwrap_or(0),
         ),

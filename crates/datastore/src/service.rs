@@ -138,6 +138,10 @@ pub(crate) struct Inner {
     /// decisions are going to an in-memory fallback; `/healthz` reports
     /// the component as degraded so the condition is visible fleet-wide.
     pub(crate) ledger_fallback: bool,
+    /// The sharing-awareness plane: live privacy-decision analytics fed
+    /// from the same `record_decision` stream as the ledger, surfaced via
+    /// `/api/privacy/summary` and `/ui/privacy`.
+    pub(crate) awareness: Arc<sensorsafe_obsv::AwarenessPlane>,
     pub(crate) started: std::time::Instant,
 }
 
@@ -201,7 +205,14 @@ impl Inner {
                 if self.replica.lock().is_some() {
                     account.store.enable_replication(ReplConfig::default());
                 }
-                self.state.add_contributor(account)
+                // Journal recovery may have restored a non-zero rule set;
+                // seed the awareness plane with whatever epoch is live.
+                let rule_meta = (account.rule_epoch, account.rules.len());
+                let created = self.state.add_contributor(account);
+                if created {
+                    self.awareness.note_rule_set(name, rule_meta.0, rule_meta.1);
+                }
+                created
             }
             Role::Consumer => {
                 let groups = body
@@ -545,6 +556,11 @@ impl Inner {
                 account.rule_epoch
             })
             .unwrap_or(0);
+        if current == epoch {
+            // Adopted: the mirrored set is now live on this replica too.
+            self.awareness
+                .note_rule_set(contributor, epoch, rules.len());
+        }
         Response::json(&json!({ "epoch": current }))
     }
 
@@ -807,6 +823,14 @@ impl Inner {
         let Some(account) = self.state.read_contributor(&contributor) else {
             return Response::error(Status::NotFound, "no such contributor");
         };
+        // The awareness scope needs the rule epoch that is live for this
+        // request (read under the same account guard enforcement uses),
+        // so rule hits attribute to the exact rule set that produced them.
+        let _aware = sensorsafe_obsv::awareness::awareness_scope(
+            self.awareness.clone(),
+            contributor.as_str().to_string(),
+            account.rule_epoch,
+        );
         let view = shared_view(&account, &ctx, &query, &self.graph);
         let payload = shared_view_to_json(&view);
         trace::phase("serialize");
@@ -842,6 +866,8 @@ impl Inner {
             }
             account.set_rules(rules.clone())
         };
+        self.awareness
+            .note_rule_set(id.as_str(), epoch, rules.len());
         let synced = self.push_rules_to_broker(&id, epoch, &rules);
         self.mirror_rules_to_replica(id.as_str(), epoch, &PrivacyRule::rules_to_json(&rules));
         Response::json(&json!({ "epoch": epoch, "broker_synced": synced }))
@@ -948,35 +974,32 @@ impl Inner {
                 )
             }
         };
-        let consumer = body.get("consumer").and_then(Value::as_str);
-        let from_ms = body.get("from_ms").and_then(Value::as_u64);
-        let to_ms = body.get("to_ms").and_then(Value::as_u64);
-        let limit = body
-            .get("limit")
-            .and_then(Value::as_u64)
-            .unwrap_or(100)
-            .min(1_000) as usize;
-        let matching: Vec<sensorsafe_obsv::DecisionRecord> = self
-            .ledger
-            .recent(usize::MAX)
-            .into_iter()
-            .filter(|r| {
-                contributor_filter
-                    .as_deref()
-                    .is_none_or(|c| r.contributor == c)
-                    && consumer.is_none_or(|c| r.consumer == c)
-                    && from_ms.is_none_or(|t| r.unix_ms >= t)
-                    && to_ms.is_none_or(|t| r.unix_ms <= t)
-            })
-            .collect();
-        let skip = matching.len().saturating_sub(limit);
-        let decisions: Vec<Value> = matching[skip..]
+        // Filtering is pushed down into the ledger backend: one backward
+        // scan, only the page's rows are cloned (never the whole ledger).
+        let page = self.ledger.page(&sensorsafe_obsv::AuditFilter {
+            contributor: contributor_filter,
+            consumer: body
+                .get("consumer")
+                .and_then(Value::as_str)
+                .map(str::to_string),
+            from_ms: body.get("from_ms").and_then(Value::as_u64),
+            to_ms: body.get("to_ms").and_then(Value::as_u64),
+            before: body.get("before").and_then(Value::as_u64),
+            limit: body
+                .get("limit")
+                .and_then(Value::as_u64)
+                .unwrap_or(100)
+                .min(1_000) as usize,
+        });
+        let decisions: Vec<Value> = page
+            .records
             .iter()
             .map(|r| {
                 json!({
                     "seq": (r.seq),
                     "unix_ms": (r.unix_ms),
                     "trace_id": (format!("{:016x}", r.trace_id)),
+                    "rule_epoch": (r.rule_epoch),
                     "contributor": (r.contributor.clone()),
                     "consumer": (r.consumer.clone()),
                     "outcome": (r.outcome.as_str()),
@@ -989,9 +1012,39 @@ impl Inner {
             .collect();
         Response::json(&json!({
             "decisions": (Value::Array(decisions)),
-            "matched": (matching.len() as u64),
+            "matched": (page.matched),
             "ledger_len": (self.ledger.len()),
         }))
+    }
+
+    /// `POST /api/privacy/summary` — the sharing-awareness plane's JSON
+    /// face (§6's posture-inspection walkthroughs, made queryable). The
+    /// key travels in the body per §5.4. Contributors see their own
+    /// summary; the admin key passes an explicit `contributor`; consumers
+    /// are refused — this surface is about them, not for them.
+    fn handle_privacy_summary(&self, body: &Value) -> Response {
+        let Some(principal) = self.authenticate(body) else {
+            return unauthorized();
+        };
+        let contributor = match principal.role {
+            Role::Contributor => principal.name.clone(),
+            Role::Server => match body.get("contributor").and_then(Value::as_str) {
+                Some(c) => c.to_string(),
+                None => return bad_request("missing 'contributor'"),
+            },
+            Role::Consumer => {
+                return Response::error(
+                    Status::Forbidden,
+                    "the privacy summary is owner- and operator-facing",
+                )
+            }
+        };
+        let summary = self.awareness.contributor_summary(&contributor);
+        Response::json(&privacy_summary_json(
+            &contributor,
+            &summary,
+            self.ledger.len(),
+        ))
     }
 
     fn handle_health(&self) -> Response {
@@ -1111,6 +1164,86 @@ pub fn annotation_to_json(ann: &ContextAnnotation) -> Value {
     })
 }
 
+/// Serializes a [`sensorsafe_obsv::ContributorSummary`] into the
+/// `/api/privacy/summary` response shape (shared with `/ui/privacy`).
+fn privacy_summary_json(
+    contributor: &str,
+    summary: &sensorsafe_obsv::ContributorSummary,
+    ledger_len: u64,
+) -> Value {
+    let consumers: Vec<Value> = summary
+        .consumers
+        .iter()
+        .map(|f| {
+            json!({
+                "consumer": (f.consumer.clone()),
+                "allowed": (f.counts.allowed),
+                "abstracted": (f.counts.abstracted),
+                "denied": (f.counts.denied),
+                "baseline": (f.counts.baseline),
+                "total": (f.counts.total()),
+                "baseline_only": (f.baseline_only),
+            })
+        })
+        .collect();
+    let rule_hits: Vec<Value> = summary
+        .rule_hits
+        .iter()
+        .map(|r| {
+            json!({
+                "epoch": (r.epoch),
+                "rule": (r.rule as u64),
+                "hits": (r.hits),
+                "last_unix_ms": (r.last_unix_ms),
+                "current": (r.current),
+            })
+        })
+        .collect();
+    let trend: Vec<Value> = summary
+        .trend
+        .iter()
+        .map(|p| {
+            json!({
+                "bucket_unix_secs": (p.bucket_unix_secs),
+                "allowed": (p.allowed),
+                "abstracted": (p.abstracted),
+                "denied": (p.denied),
+            })
+        })
+        .collect();
+    let dead_rules: Vec<Value> = summary
+        .dead_rules
+        .iter()
+        .map(|&r| Value::from(r as u64))
+        .collect();
+    let baseline_only: Vec<Value> = summary
+        .baseline_only_consumers
+        .iter()
+        .map(|c| Value::from(c.clone()))
+        .collect();
+    json!({
+        "contributor": (contributor.to_string()),
+        "rule_epoch": (summary.rule_epoch),
+        "rule_count": (summary.rule_count as u64),
+        "decisions": (json!({
+            "allowed": (summary.counts.allowed),
+            "abstracted": (summary.counts.abstracted),
+            "denied": (summary.counts.denied),
+            "baseline": (summary.counts.baseline),
+            "total": (summary.counts.total()),
+        })),
+        "suppressed_channels": (summary.suppressed_channels),
+        "last_unix_ms": (summary.last_unix_ms),
+        "consumers": (Value::Array(consumers)),
+        "rule_hits": (Value::Array(rule_hits)),
+        "dead_rules": (Value::Array(dead_rules)),
+        "baseline_only_consumers": (Value::Array(baseline_only)),
+        "trend": (Value::Array(trend)),
+        "aggregates_digest": (summary.digest.clone()),
+        "ledger_len": (ledger_len),
+    })
+}
+
 impl DataStoreService {
     /// Builds a service. Returns the service plus the **admin key** (a
     /// `Role::Server` credential the operator uses to create accounts
@@ -1180,6 +1313,7 @@ impl DataStoreService {
             traces,
             ledger,
             ledger_fallback,
+            awareness: Arc::new(sensorsafe_obsv::AwarenessPlane::new()),
             started: std::time::Instant::now(),
         });
         let admin_key = inner.keys.register(Principal {
@@ -1282,6 +1416,7 @@ impl DataStoreService {
         post_json_route!("/api/rules/get", handle_rules_get);
         post_json_route!("/api/places/set", handle_places_set);
         post_json_route!("/api/audit", handle_audit);
+        post_json_route!("/api/privacy/summary", handle_privacy_summary);
         post_json_route!("/repl/segment", handle_repl_segment);
         post_json_route!("/repl/register", handle_repl_register);
         post_json_route!("/repl/rules", handle_repl_rules);
@@ -1392,6 +1527,13 @@ impl DataStoreService {
     /// has a data directory, in-memory otherwise).
     pub fn audit_ledger(&self) -> Arc<dyn AuditLedger> {
         self.inner.ledger.clone()
+    }
+
+    /// The sharing-awareness plane: live privacy-decision analytics over
+    /// the `record_decision` stream. Tests compare its aggregates against
+    /// a ledger replay; the O4 experiment toggles it via `set_enabled`.
+    pub fn awareness(&self) -> Arc<sensorsafe_obsv::AwarenessPlane> {
+        self.inner.awareness.clone()
     }
 
     /// A snapshot of the shared journal's segment/checkpoint bookkeeping,

@@ -14,6 +14,11 @@
 //!   it to the contributor's rule set (bumping the epoch and syncing the
 //!   broker, exactly like the API path).
 //! * `GET /ui/data` — the contributor's data viewer (per-series stats).
+//! * `GET /ui/audit` — the contributor's enforcement audit trail, paged
+//!   backwards with `?before=<seq>`.
+//! * `GET /ui/privacy` — the sharing-awareness dashboard: who receives
+//!   the contributor's data, the outcome mix, per-rule hit counts with
+//!   dead-rule highlighting, and the recent decision trend.
 //!
 //! Sessions travel in the `session` query parameter; the web username is
 //! the contributor id.
@@ -127,6 +132,7 @@ fn handle_login(inner: &Inner, req: &Request) -> Response {
               <li><a href="/ui/rules?session={t}">Privacy rules</a></li>
               <li><a href="/ui/data?session={t}">My data</a></li>
               <li><a href="/ui/audit?session={t}">Audit trail</a></li>
+              <li><a href="/ui/privacy?session={t}">Sharing awareness</a></li>
             </ul>
             <p data-session-token="{t}"></p>"#,
             u = escape(username),
@@ -382,22 +388,29 @@ fn handle_rules_post(inner: &Inner, req: &Request) -> Response {
     )
 }
 
+/// Rows the audit page shows per request.
+const AUDIT_PAGE_ROWS: usize = 50;
+
 /// `GET /ui/audit` — the contributor's view of the enforcement audit
 /// ledger: who asked for their data, what the policy engine decided,
 /// which rules matched, and the trace id to follow the request with.
+/// The contributor filter and row limit are pushed down into the ledger
+/// (`AuditLedger::page` does one backward scan — no full-ledger
+/// materialization), and `?before=<seq>` pages backwards in time.
 fn handle_audit_page(inner: &Inner, req: &Request) -> Response {
     let username = match require_session(inner, req) {
         Ok(u) => u,
         Err(resp) => return resp,
     };
-    let mine: Vec<_> = inner
-        .ledger
-        .recent(usize::MAX)
-        .into_iter()
-        .filter(|r| r.contributor == username)
-        .collect();
-    let skip = mine.len().saturating_sub(50);
-    let rows: String = mine[skip..]
+    let before = req.query.get("before").and_then(|v| v.parse::<u64>().ok());
+    let page_result = inner.ledger.page(&sensorsafe_obsv::AuditFilter {
+        contributor: Some(username.clone()),
+        before,
+        limit: AUDIT_PAGE_ROWS,
+        ..Default::default()
+    });
+    let rows: String = page_result
+        .records
         .iter()
         .rev() // newest first for the reader
         .map(|r| {
@@ -419,14 +432,121 @@ fn handle_audit_page(inner: &Inner, req: &Request) -> Response {
             )
         })
         .collect();
+    // When the page is full and its oldest row isn't seq 0, there may be
+    // older matches — link the next page with that seq as the cursor.
+    let older = match page_result.records.first() {
+        Some(oldest) if page_result.records.len() == AUDIT_PAGE_ROWS && oldest.seq > 0 => {
+            format!(
+                r#"<p><a href="/ui/audit?session={s}&amp;before={b}">Older decisions</a></p>"#,
+                s = req.query.get("session").cloned().unwrap_or_default(),
+                b = oldest.seq
+            )
+        }
+        _ => String::new(),
+    };
     let body = format!(
-        "<p>{} decision(s) recorded for you; newest first (last 50 shown).</p>\
+        "<p>{matched} decision(s) recorded for you; newest first \
+         (up to {AUDIT_PAGE_ROWS} shown).</p>\
          <table id=\"audit\">\
          <tr><th>#</th><th>Time (unix ms)</th><th>Consumer</th>\
-         <th>Decision</th><th>Matched rules</th><th>Trace</th></tr>{rows}</table>",
-        mine.len()
+         <th>Decision</th><th>Matched rules</th><th>Trace</th></tr>{rows}</table>{older}",
+        matched = page_result.matched,
     );
     page(&format!("Audit trail of {username}"), &body)
+}
+
+/// `GET /ui/privacy` — the sharing-awareness dashboard (the paper's §6
+/// "who is receiving my data" question, answered from the decision
+/// stream): top consumers with their outcome mix, per-rule hit counts
+/// with dead rules highlighted, baseline-only flows, and the recent
+/// decision trend.
+fn handle_privacy_page(inner: &Inner, req: &Request) -> Response {
+    let username = match require_session(inner, req) {
+        Ok(u) => u,
+        Err(resp) => return resp,
+    };
+    let s = inner.awareness.contributor_summary(&username);
+    let consumer_rows: String = s
+        .consumers
+        .iter()
+        .map(|f| {
+            let note = if f.baseline_only {
+                " <em>(baseline only — no rule governs this flow)</em>"
+            } else {
+                ""
+            };
+            format!(
+                "<tr><td>{}{note}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+                escape(&f.consumer),
+                f.counts.allowed,
+                f.counts.abstracted,
+                f.counts.denied,
+                f.counts.total(),
+            )
+        })
+        .collect();
+    let rule_rows: String = s
+        .rule_hits
+        .iter()
+        .map(|r| {
+            let epoch_note = if r.current { " (current)" } else { "" };
+            format!(
+                "<tr><td>{}{epoch_note}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+                r.epoch, r.rule, r.hits, r.last_unix_ms,
+            )
+        })
+        .collect();
+    let dead = if s.dead_rules.is_empty() {
+        "<p>No dead rules: every current rule has matched at least once.</p>".to_string()
+    } else {
+        format!(
+            "<p class=\"dead-rules\"><strong>Dead rules</strong> (never matched since \
+             epoch {}): {}</p>",
+            s.rule_epoch,
+            s.dead_rules
+                .iter()
+                .map(|i| format!("#{i}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    };
+    let trend_rows: String = s
+        .trend
+        .iter()
+        .map(|p| {
+            format!(
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+                p.bucket_unix_secs, p.allowed, p.abstracted, p.denied,
+            )
+        })
+        .collect();
+    let body = format!(
+        "<p>{total} decision(s) observed ({allowed} allowed, {abstracted} abstracted, \
+         {denied} denied; {baseline} matched no rule; {suppressed} channel(s) suppressed \
+         by dependency closure). Rule set epoch {epoch} with {rules} rule(s).</p>\
+         <h2>Consumers (busiest first)</h2>\
+         <table id=\"consumers\"><tr><th>Consumer</th><th>Allowed</th>\
+         <th>Abstracted</th><th>Denied</th><th>Total</th></tr>{consumer_rows}</table>\
+         <h2>Rule hits</h2>{dead}\
+         <table id=\"rule-hits\"><tr><th>Epoch</th><th>Rule</th><th>Hits</th>\
+         <th>Last match (unix ms)</th></tr>{rule_rows}</table>\
+         <h2>Recent trend ({bucket}s buckets)</h2>\
+         <table id=\"trend\"><tr><th>Bucket (unix s)</th><th>Allowed</th>\
+         <th>Abstracted</th><th>Denied</th></tr>{trend_rows}</table>\
+         <p>Aggregates digest <code>{digest}</code> — reproducible offline by \
+         replaying the audit ledger (docs/OPERATIONS.md).</p>",
+        total = s.counts.total(),
+        allowed = s.counts.allowed,
+        abstracted = s.counts.abstracted,
+        denied = s.counts.denied,
+        baseline = s.counts.baseline,
+        suppressed = s.suppressed_channels,
+        epoch = s.rule_epoch,
+        rules = s.rule_count,
+        bucket = sensorsafe_obsv::awareness::TREND_BUCKET_SECS,
+        digest = s.digest,
+    );
+    page(&format!("Sharing awareness for {username}"), &body)
 }
 
 fn handle_data_page(inner: &Inner, req: &Request) -> Response {
@@ -501,6 +621,12 @@ pub(crate) fn mount(router: &mut Router, inner: Arc<Inner>) {
         let inner = inner.clone();
         router.get("/ui/audit", move |req: &Request, _: &Params| {
             handle_audit_page(&inner, req)
+        });
+    }
+    {
+        let inner = inner.clone();
+        router.get("/ui/privacy", move |req: &Request, _: &Params| {
+            handle_privacy_page(&inner, req)
         });
     }
     {
@@ -697,6 +823,7 @@ mod tests {
             seq: 0,
             unix_ms: 42,
             trace_id: 0xabcd,
+            rule_epoch: 1,
             contributor: "alice".into(),
             consumer: "bob".into(),
             matched_rules: vec![1],
@@ -708,6 +835,98 @@ mod tests {
         assert!(html.contains("bob"), "{html}");
         assert!(html.contains("denied"));
         assert!(html.contains("000000000000abcd"));
+    }
+
+    #[test]
+    fn audit_page_paginates_backwards_with_before() {
+        let (svc, token) = logged_in_service();
+        // 120 decisions for alice interleaved with noise from another
+        // contributor: the page must show only alice's newest 50 and the
+        // "Older" cursor must walk her history, not raw sequence numbers.
+        for i in 0..120u64 {
+            svc.audit_ledger().append(sensorsafe_obsv::DecisionRecord {
+                seq: 0,
+                unix_ms: i,
+                trace_id: i,
+                rule_epoch: 1,
+                contributor: if i % 3 == 0 { "mallory" } else { "alice" }.into(),
+                consumer: format!("c{i}"),
+                matched_rules: vec![],
+                outcome: sensorsafe_obsv::audit::Outcome::Allowed,
+                suppressed_channels: 0,
+            });
+        }
+        let resp = svc.handle(&Request::get("/ui/audit").with_query("session", token.clone()));
+        let html = String::from_utf8(resp.body).unwrap();
+        // 80 of the 120 belong to alice; the newest 50 are shown.
+        assert!(html.contains("80 decision(s)"), "{html}");
+        assert!(html.contains("c119"));
+        assert!(!html.contains("<td>c117</td>")); // mallory's row stays filtered out
+        let before = html
+            .split("before=")
+            .nth(1)
+            .expect("older link present")
+            .split('"')
+            .next()
+            .unwrap()
+            .parse::<u64>()
+            .unwrap();
+        let resp = svc.handle(
+            &Request::get("/ui/audit")
+                .with_query("session", token)
+                .with_query("before", before.to_string()),
+        );
+        let html = String::from_utf8(resp.body).unwrap();
+        // The older page holds strictly older rows and never repeats the
+        // cursor row.
+        assert!(html.contains("80 decision(s)"));
+        assert!(!html.contains("c119"), "{html}");
+    }
+
+    #[test]
+    fn privacy_page_shows_awareness_summary() {
+        let (svc, token) = logged_in_service();
+        // Session required, like every UI page.
+        assert_eq!(
+            svc.handle(&Request::get("/ui/privacy")).status,
+            Status::Unauthorized
+        );
+        // Two rules live, one decision that matched only rule 0: rule 1
+        // is dead; carol's flow is rule-governed, dave's baseline-only.
+        svc.awareness().note_rule_set("alice", 2, 2);
+        svc.awareness().observe(&sensorsafe_obsv::DecisionRecord {
+            seq: 0,
+            unix_ms: 60_000,
+            trace_id: 1,
+            rule_epoch: 2,
+            contributor: "alice".into(),
+            consumer: "carol".into(),
+            matched_rules: vec![0],
+            outcome: sensorsafe_obsv::audit::Outcome::Abstracted,
+            suppressed_channels: 2,
+        });
+        svc.awareness().observe(&sensorsafe_obsv::DecisionRecord {
+            seq: 1,
+            unix_ms: 120_000,
+            trace_id: 2,
+            rule_epoch: 2,
+            contributor: "alice".into(),
+            consumer: "dave".into(),
+            matched_rules: vec![],
+            outcome: sensorsafe_obsv::audit::Outcome::Allowed,
+            suppressed_channels: 0,
+        });
+        let resp = svc.handle(&Request::get("/ui/privacy").with_query("session", token));
+        assert_eq!(resp.status, Status::Ok);
+        let html = String::from_utf8(resp.body).unwrap();
+        assert!(html.contains("id=\"consumers\""), "{html}");
+        assert!(html.contains("carol"));
+        assert!(html.contains("baseline only"), "{html}");
+        assert!(html.contains("Dead rules"), "{html}");
+        assert!(html.contains("#1"));
+        assert!(html.contains("id=\"rule-hits\""));
+        assert!(html.contains("id=\"trend\""));
+        assert!(html.contains("Aggregates digest"));
     }
 
     #[test]

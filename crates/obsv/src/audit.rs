@@ -182,21 +182,38 @@ pub fn record_decision(outcome: Outcome, suppressed_channels: u64, matched_rules
             .add(suppressed_channels);
     }
     let scope = CURRENT_LEDGER.with(|stack| stack.borrow().last().cloned());
-    if let Some((ledger, contributor)) = scope {
-        let unix_ms = SystemTime::now()
-            .duration_since(UNIX_EPOCH)
-            .map(|d| d.as_millis() as u64)
-            .unwrap_or(0);
-        ledger.append(DecisionRecord {
-            seq: 0, // assigned by the ledger
-            unix_ms,
-            trace_id: trace::current_context().map(|c| c.trace_id).unwrap_or(0),
-            contributor,
-            consumer,
-            matched_rules: matched_rules.to_vec(),
-            outcome,
-            suppressed_channels,
-        });
+    let aware = crate::awareness::current_scope();
+    if scope.is_none() && aware.is_none() {
+        return;
+    }
+    // One record serves both sinks: the ledger append and the awareness
+    // observation must carry identical fields (timestamp included) so a
+    // replay of the chain reproduces the live aggregates byte for byte.
+    let unix_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let contributor = scope
+        .as_ref()
+        .map(|(_, c)| c.clone())
+        .or_else(|| aware.as_ref().map(|(_, c, _)| c.clone()))
+        .unwrap_or_default();
+    let record = DecisionRecord {
+        seq: 0, // assigned by the ledger
+        unix_ms,
+        trace_id: trace::current_context().map(|c| c.trace_id).unwrap_or(0),
+        rule_epoch: aware.as_ref().map(|(_, _, e)| *e).unwrap_or(0),
+        contributor,
+        consumer,
+        matched_rules: matched_rules.to_vec(),
+        outcome,
+        suppressed_channels,
+    };
+    if let Some((plane, _, _)) = aware {
+        plane.observe(&record);
+    }
+    if let Some((ledger, _)) = scope {
+        ledger.append(record);
     }
 }
 

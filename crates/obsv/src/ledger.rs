@@ -33,6 +33,10 @@ pub struct DecisionRecord {
     pub unix_ms: u64,
     /// The request tree that triggered enforcement (0 when untraced).
     pub trace_id: u64,
+    /// The contributor's rule-set epoch that was live when the decision
+    /// was made (0 when unknown). Awareness analytics attribute rule hits
+    /// to the epoch so an epoch bump snapshots the old attribution.
+    pub rule_epoch: u64,
     /// Whose data was decided over.
     pub contributor: String,
     /// Who asked for it.
@@ -53,6 +57,7 @@ impl DecisionRecord {
         out.extend_from_slice(&self.seq.to_le_bytes());
         out.extend_from_slice(&self.unix_ms.to_le_bytes());
         out.extend_from_slice(&self.trace_id.to_le_bytes());
+        out.extend_from_slice(&self.rule_epoch.to_le_bytes());
         encode_str(&mut out, &self.contributor);
         encode_str(&mut out, &self.consumer);
         out.push(match self.outcome {
@@ -77,6 +82,7 @@ impl DecisionRecord {
         let seq = cursor.u64()?;
         let unix_ms = cursor.u64()?;
         let trace_id = cursor.u64()?;
+        let rule_epoch = cursor.u64()?;
         let contributor = cursor.string()?;
         let consumer = cursor.string()?;
         let outcome = match cursor.u8()? {
@@ -98,6 +104,7 @@ impl DecisionRecord {
             seq,
             unix_ms,
             trace_id,
+            rule_epoch,
             contributor,
             consumer,
             matched_rules,
@@ -312,6 +319,97 @@ fn appends_counter() -> std::sync::Arc<crate::Counter> {
     )
 }
 
+/// A pushed-down ledger query: which records to match and how large a
+/// page to materialize. Matching happens inside the backend so a page
+/// view never clones the whole ledger (the old `/ui/audit` bug).
+#[derive(Clone, Debug, Default)]
+pub struct AuditFilter {
+    /// Only records for this contributor (all contributors when `None`).
+    pub contributor: Option<String>,
+    /// Only records for this consumer.
+    pub consumer: Option<String>,
+    /// Only records with `unix_ms >= from_ms`.
+    pub from_ms: Option<u64>,
+    /// Only records with `unix_ms <= to_ms`.
+    pub to_ms: Option<u64>,
+    /// Only records with `seq < before` — the pagination cursor: pass the
+    /// oldest seq of the previous page to walk backwards in time.
+    pub before: Option<u64>,
+    /// Maximum records to materialize (the newest matches win).
+    pub limit: usize,
+}
+
+impl AuditFilter {
+    /// Whether `record` passes every set criterion.
+    pub fn matches(&self, record: &DecisionRecord) -> bool {
+        if let Some(c) = &self.contributor {
+            if &record.contributor != c {
+                return false;
+            }
+        }
+        if let Some(c) = &self.consumer {
+            if &record.consumer != c {
+                return false;
+            }
+        }
+        if let Some(from) = self.from_ms {
+            if record.unix_ms < from {
+                return false;
+            }
+        }
+        if let Some(to) = self.to_ms {
+            if record.unix_ms > to {
+                return false;
+            }
+        }
+        if let Some(before) = self.before {
+            if record.seq >= before {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// One page of ledger query results.
+#[derive(Clone, Debug, Default)]
+pub struct AuditPage {
+    /// The newest `limit` matching records, oldest first (same ordering
+    /// as [`AuditLedger::recent`]).
+    pub records: Vec<DecisionRecord>,
+    /// Total records matching the filter's contributor/consumer/time
+    /// criteria, ignoring `before` and `limit` — lets callers say
+    /// "showing 50 of 1,204".
+    pub matched: u64,
+}
+
+/// Shared backend implementation of [`AuditLedger::page`] for backends
+/// that mirror records in memory: one backward scan, cloning only the
+/// records that land in the page.
+pub fn page_records(records: &[DecisionRecord], filter: &AuditFilter) -> AuditPage {
+    let mut page = Vec::new();
+    let mut matched = 0u64;
+    let unpaged = AuditFilter {
+        before: None,
+        limit: 0,
+        ..filter.clone()
+    };
+    for record in records.iter().rev() {
+        if !unpaged.matches(record) {
+            continue;
+        }
+        matched += 1;
+        if page.len() < filter.limit && filter.before.is_none_or(|b| record.seq < b) {
+            page.push(record.clone());
+        }
+    }
+    page.reverse();
+    AuditPage {
+        records: page,
+        matched,
+    }
+}
+
 /// Where the ledger's decision stream is persisted and queried from.
 /// `append` assigns the record's `seq` and returns it; callers must not
 /// set `seq` themselves. Durability is backend-defined: `sync` is the
@@ -330,6 +428,9 @@ pub trait AuditLedger: Send + Sync {
     }
     /// The newest `limit` records, oldest first.
     fn recent(&self, limit: usize) -> Vec<DecisionRecord>;
+    /// Filtered, limited page of records — matching runs inside the
+    /// backend so callers never materialize the whole ledger.
+    fn page(&self, filter: &AuditFilter) -> AuditPage;
 }
 
 /// Volatile ledger for memory-only stores and tests: same chain-position
@@ -366,6 +467,10 @@ impl AuditLedger for MemoryLedger {
         let skip = records.len().saturating_sub(limit);
         records[skip..].to_vec()
     }
+
+    fn page(&self, filter: &AuditFilter) -> AuditPage {
+        page_records(&self.records.lock(), filter)
+    }
 }
 
 #[cfg(test)]
@@ -377,6 +482,7 @@ mod tests {
             seq,
             unix_ms: 1_700_000_000_000 + seq,
             trace_id: 0xfeed_0000 + seq,
+            rule_epoch: 1 + seq / 4,
             contributor: "alice".into(),
             consumer: consumer.into(),
             matched_rules: vec![0, 3],
@@ -413,6 +519,7 @@ mod tests {
             seq: 0,
             unix_ms: 0,
             trace_id: 0,
+            rule_epoch: 0,
             contributor: String::new(),
             consumer: String::new(),
             matched_rules: vec![],
@@ -491,5 +598,56 @@ mod tests {
         assert_eq!(recent[0].consumer, "c7");
         assert_eq!(recent[2].consumer, "c9");
         assert_eq!(recent[2].seq, 9);
+    }
+
+    #[test]
+    fn page_filters_limits_and_paginates_without_full_scans() {
+        let ledger = MemoryLedger::new();
+        for i in 0..20u64 {
+            let mut r = record(0, if i % 2 == 0 { "bob" } else { "carol" });
+            r.contributor = if i % 4 == 0 {
+                "dana".into()
+            } else {
+                "alice".into()
+            };
+            ledger.append(r);
+        }
+        // Contributor filter + limit: the newest matches win, oldest first.
+        let page = ledger.page(&AuditFilter {
+            contributor: Some("alice".into()),
+            limit: 5,
+            ..AuditFilter::default()
+        });
+        assert_eq!(page.matched, 15);
+        assert_eq!(page.records.len(), 5);
+        assert!(page.records.iter().all(|r| r.contributor == "alice"));
+        assert!(page.records.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(page.records.last().unwrap().seq, 19);
+
+        // Pagination cursor: `before` pages backwards while `matched`
+        // still reports the full filtered population.
+        let oldest = page.records.first().unwrap().seq;
+        let older = ledger.page(&AuditFilter {
+            contributor: Some("alice".into()),
+            before: Some(oldest),
+            limit: 5,
+            ..AuditFilter::default()
+        });
+        assert_eq!(older.matched, 15);
+        assert_eq!(older.records.len(), 5);
+        assert!(older.records.iter().all(|r| r.seq < oldest));
+
+        // Consumer filter composes.
+        let bob = ledger.page(&AuditFilter {
+            contributor: Some("alice".into()),
+            consumer: Some("bob".into()),
+            limit: 100,
+            ..AuditFilter::default()
+        });
+        assert_eq!(bob.matched as usize, bob.records.len());
+        assert!(bob
+            .records
+            .iter()
+            .all(|r| r.consumer == "bob" && r.contributor == "alice"));
     }
 }

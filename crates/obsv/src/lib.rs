@@ -22,6 +22,13 @@
 //!   append-only ledger of enforcement decisions whose `verify_frames`
 //!   detects any in-place tampering or truncation. File persistence lives
 //!   in the `store` crate (`FileLedger`).
+//! * [`awareness`] — the sharing-awareness plane: streaming
+//!   privacy-decision analytics fed from the same `record_decision` path
+//!   as the ledger — per-contributor (consumer × outcome) rollups,
+//!   epoch-keyed rule-hit attribution, dead-rule and baseline-only-flow
+//!   findings, and a bucketed decision trend. Aggregates are a pure
+//!   function of the decision-record stream, so a replay of the verified
+//!   hash chain reproduces the live numbers byte for byte.
 //! * [`prof`] — continuous profiling plane: a lock-free span-stack flight
 //!   recorder mirrored per thread, a wall-clock sampler folding every
 //!   registered stack into flamegraph-compatible counts (served at
@@ -51,6 +58,7 @@
 //! is what the `f2_auth_layer` overhead bench compares against.
 
 pub mod audit;
+pub mod awareness;
 pub mod expose;
 pub mod ledger;
 pub mod metrics;
@@ -59,7 +67,10 @@ pub mod slo;
 pub mod timeseries;
 pub mod trace;
 
-pub use ledger::{AuditLedger, ChainHead, DecisionRecord, LedgerError, MemoryLedger};
+pub use awareness::{AwarenessAggregates, AwarenessPlane, ContributorSummary};
+pub use ledger::{
+    AuditFilter, AuditLedger, AuditPage, ChainHead, DecisionRecord, LedgerError, MemoryLedger,
+};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, Registry, DEFAULT_LATENCY_BUCKETS,
 };

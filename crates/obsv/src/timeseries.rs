@@ -84,6 +84,24 @@ impl SeriesRing {
         }
     }
 
+    /// Adds `delta` to the latest sample when it sits exactly at
+    /// `at_secs`, else pushes a fresh `(at_secs, delta)` sample. This is
+    /// the time-*bucketed* update: callers quantize timestamps to a bucket
+    /// boundary and every event inside a bucket accumulates into one
+    /// sample, so a ring of N samples retains N buckets of history rather
+    /// than N raw events.
+    pub fn accumulate(&mut self, at_secs: f64, delta: f64) {
+        if self.len > 0 {
+            let cap = self.samples.len();
+            let last = (self.head + cap - 1) % cap;
+            if self.samples[last].at_secs == at_secs {
+                self.samples[last].value += delta;
+                return;
+            }
+        }
+        self.push(at_secs, delta);
+    }
+
     /// Samples in chronological order, oldest first.
     pub fn iter(&self) -> impl Iterator<Item = Sample> + '_ {
         let cap = self.samples.len();
@@ -283,6 +301,25 @@ impl SeriesTable {
         true
     }
 
+    /// Accumulates `delta` into the named series' bucket at `at_secs`
+    /// (see [`SeriesRing::accumulate`]), creating the ring on first sight.
+    /// Returns `false` (and counts the drop) when the key is new but the
+    /// table is at its series cap.
+    pub fn accumulate(&mut self, key: &str, at_secs: f64, delta: f64) -> bool {
+        if let Some(ring) = self.series.get_mut(key) {
+            ring.accumulate(at_secs, delta);
+            return true;
+        }
+        if self.series.len() >= self.max_series {
+            self.dropped += 1;
+            return false;
+        }
+        let mut ring = SeriesRing::new(self.ring_capacity);
+        ring.push(at_secs, delta);
+        self.series.insert(key.to_string(), ring);
+        true
+    }
+
     /// The ring for `key`, if any samples were admitted.
     pub fn get(&self, key: &str) -> Option<&SeriesRing> {
         self.series.get(key)
@@ -344,6 +381,30 @@ mod tests {
         );
         assert_eq!(ring.latest().unwrap().value, 40.0);
         assert_eq!(ring.capacity(), 3);
+    }
+
+    #[test]
+    fn accumulate_merges_same_bucket_and_advances_on_new_buckets() {
+        let mut ring = SeriesRing::new(4);
+        ring.accumulate(60.0, 1.0);
+        ring.accumulate(60.0, 2.0);
+        ring.accumulate(120.0, 5.0);
+        let got: Vec<Sample> = ring.iter().collect();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].value, 3.0);
+        assert_eq!(got[1].value, 5.0);
+        // Going back in time never merges into an older bucket: a fresh
+        // sample is appended (time only moves forward for callers).
+        ring.accumulate(60.0, 1.0);
+        assert_eq!(ring.iter().count(), 3);
+
+        let mut table = SeriesTable::new(4, 1);
+        assert!(table.accumulate("a|x", 60.0, 1.0));
+        assert!(table.accumulate("a|x", 60.0, 1.0));
+        assert_eq!(table.get("a|x").unwrap().latest().unwrap().value, 2.0);
+        // Series cap still applies to new keys.
+        assert!(!table.accumulate("b|x", 60.0, 1.0));
+        assert_eq!(table.dropped_series_pushes(), 1);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 
 use parking_lot::Mutex;
 use sensorsafe_obsv::ledger::{encode_frame, verify_frames, ChainHead, GENESIS_HASH};
-use sensorsafe_obsv::{AuditLedger, DecisionRecord, LedgerError};
+use sensorsafe_obsv::{AuditFilter, AuditLedger, AuditPage, DecisionRecord, LedgerError};
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
@@ -196,6 +196,10 @@ impl AuditLedger for FileLedger {
         let skip = inner.records.len().saturating_sub(limit);
         inner.records[skip..].to_vec()
     }
+
+    fn page(&self, filter: &AuditFilter) -> AuditPage {
+        sensorsafe_obsv::ledger::page_records(&self.inner.lock().records, filter)
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +212,7 @@ mod tests {
             seq: 0,
             unix_ms: 1_700_000_000_123,
             trace_id: 0xdead_beef,
+            rule_epoch: 3,
             contributor: "alice".into(),
             consumer: consumer.into(),
             matched_rules: vec![0, 2],

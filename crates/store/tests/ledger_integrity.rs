@@ -20,6 +20,7 @@ struct RecordSpec {
     suppressed: u64,
     unix_ms: u64,
     trace_id: u64,
+    rule_epoch: u64,
 }
 
 fn record_spec() -> impl Strategy<Value = RecordSpec> {
@@ -33,10 +34,17 @@ fn record_spec() -> impl Strategy<Value = RecordSpec> {
             Just(Outcome::Denied),
         ],
         any::<u64>(),
-        (any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
     )
         .prop_map(
-            |(contributor, consumer, matched, outcome, suppressed, (unix_ms, trace_id))| {
+            |(
+                contributor,
+                consumer,
+                matched,
+                outcome,
+                suppressed,
+                (unix_ms, trace_id, rule_epoch),
+            )| {
                 RecordSpec {
                     contributor,
                     consumer,
@@ -45,6 +53,7 @@ fn record_spec() -> impl Strategy<Value = RecordSpec> {
                     suppressed,
                     unix_ms,
                     trace_id,
+                    rule_epoch,
                 }
             },
         )
@@ -56,6 +65,7 @@ impl RecordSpec {
             seq: 0, // assigned by the ledger
             unix_ms: self.unix_ms,
             trace_id: self.trace_id,
+            rule_epoch: self.rule_epoch,
             contributor: self.contributor.clone(),
             consumer: self.consumer.clone(),
             matched_rules: self.matched.clone(),
@@ -122,6 +132,7 @@ proptest! {
             prop_assert_eq!(got.suppressed_channels, want.suppressed);
             prop_assert_eq!(got.unix_ms, want.unix_ms);
             prop_assert_eq!(got.trace_id, want.trace_id);
+            prop_assert_eq!(got.rule_epoch, want.rule_epoch);
         }
         let _ = std::fs::remove_dir_all(path.parent().unwrap());
     }
